@@ -1,0 +1,74 @@
+// Ablation: approximate join evaluation strategies.
+//
+// The paper's Section 2 frames the pq-gram index in the context of
+// approximate XML joins (Guha et al.). This bench joins two collections
+// of documents -- a fraction of the right side are noisy copies of left
+// documents -- and compares the nested-loop evaluation (all bag pairs)
+// against the inverted-postings evaluation (only pairs sharing at least
+// one pq-gram). Result sets are identical; the gap grows with collection
+// size since most pairs share nothing.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/join.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+int main() {
+  const PqShape shape{3, 3};
+  const int nodes_per_doc = 200;
+  const double tau = 0.35;
+
+  PrintHeader("Ablation: approximate join, nested loop vs inverted index");
+  std::printf("XMark-like documents (~%d nodes), tau = %.2f, 20%% of the "
+              "right side are perturbed copies\n\n",
+              nodes_per_doc, tau);
+  std::printf("%8s %8s %8s %16s %14s %10s\n", "left", "right", "pairs",
+              "nested loop [s]", "inverted [s]", "speedup");
+
+  for (int docs : {32, 64, 128, Scaled(256)}) {
+    Rng rng(docs);
+    auto dict = std::make_shared<LabelDict>();
+    ForestIndex left(shape), right(shape);
+    std::vector<Tree> left_docs;
+    for (TreeId id = 0; id < docs; ++id) {
+      left_docs.push_back(GenerateXmarkLike(dict, &rng, nodes_per_doc));
+      left.AddTree(id, left_docs.back());
+    }
+    for (TreeId id = 0; id < docs; ++id) {
+      if (id % 5 == 0) {
+        Tree twin = left_docs[id].Clone();
+        EditLog log;
+        GenerateEditScript(&twin, &rng, 5, EditScriptOptions{}, &log);
+        right.AddTree(1000 + id, twin);
+      } else {
+        right.AddTree(1000 + id, GenerateXmarkLike(dict, &rng,
+                                                   nodes_per_doc));
+      }
+    }
+
+    std::vector<JoinResult> nested, indexed;
+    double nested_s =
+        TimeIt([&] { nested = NestedLoopJoin(left, right, tau); });
+    InvertedForestIndex inverted(right);
+    double inverted_s =
+        TimeIt([&] { indexed = IndexJoin(left, inverted, tau); });
+    if (nested.size() != indexed.size()) {
+      std::printf("RESULT MISMATCH\n");
+      return 1;
+    }
+    std::printf("%8d %8d %8zu %16.4f %14.4f %9.1fx\n", docs, docs,
+                nested.size(), nested_s, inverted_s,
+                inverted_s > 0 ? nested_s / inverted_s : 0.0);
+  }
+  std::printf("\nreading: identical result sets; the inverted evaluation "
+              "scales with the matching pairs, not with all pairs.\n");
+  return 0;
+}

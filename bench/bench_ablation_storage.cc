@@ -1,0 +1,69 @@
+// Ablation: persisting the index incrementally (paged store + WAL)
+// vs. rewriting a snapshot file per update.
+//
+// The paper calls the index "persistent"; the simplest persistence --
+// serialize the whole forest index after every change -- costs O(index)
+// I/O per update regardless of how small the change is. The page-based
+// store updates only the pages holding affected tuples, so the on-disk
+// update cost tracks the *delta* size, like the in-memory algorithm.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "edit/edit_script.h"
+#include "storage/index_store.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+int main() {
+  const PqShape shape{3, 3};
+  const int log_size = 100;
+
+  PrintHeader("Ablation: on-disk maintenance, paged store vs snapshot");
+  std::printf("one %d-operation log per document size; time includes all "
+              "I/O and fsyncs\n\n",
+              log_size);
+  std::printf("%12s %16s %18s %20s\n", "tree nodes", "snapshot [s]",
+              "paged store [s]", "snapshot/paged");
+
+  for (int records : {2000, 8000, 32000, Scaled(128000)}) {
+    Rng rng(records);
+    Tree doc = GenerateDblpLike(nullptr, &rng, records);
+    EditLog log;
+    Tree edited = doc.Clone();
+    GenerateEditScript(&edited, &rng, log_size, EditScriptOptions{}, &log);
+
+    // Snapshot persistence: in-memory update + full file rewrite.
+    std::string snap_path = "/tmp/pqidx_bench_snapshot.idx";
+    ForestIndex forest(shape);
+    forest.AddTree(1, doc);
+    if (!SaveForestIndex(forest, snap_path).ok()) return 1;
+    double snapshot_s = TimeIt([&] {
+      if (!forest.ApplyLog(1, edited, log).ok()) std::abort();
+      if (!SaveForestIndex(forest, snap_path).ok()) std::abort();
+    });
+
+    // Paged store: delta-sized page writes through the WAL.
+    std::string paged_path = "/tmp/pqidx_bench_paged.db";
+    auto store = PersistentForestIndex::Create(paged_path, shape);
+    if (!store.ok() || !(*store)->AddTree(1, doc).ok()) return 1;
+    double paged_s = TimeIt([&] {
+      if (!(*store)->ApplyLog(1, edited, log).ok()) std::abort();
+    });
+
+    std::printf("%12d %16.4f %18.4f %19.1fx\n", doc.size(), snapshot_s,
+                paged_s, paged_s > 0 ? snapshot_s / paged_s : 0.0);
+  }
+  std::printf("\nreading: snapshot cost grows linearly with the index; "
+              "the paged store pays fixed fsync overhead plus delta-sized "
+              "page traffic, so it wins once the index outgrows a few "
+              "hundred thousand tuples.\n");
+  return 0;
+}

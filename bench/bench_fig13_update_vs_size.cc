@@ -1,0 +1,57 @@
+// Figure 13 (right): index construction vs. incremental update across
+// tree sizes.
+//
+// Paper setup: trees up to 27M nodes; build-from-scratch time grows
+// linearly with the tree size (log-scale y axis), while the incremental
+// update time for a fixed log is nearly independent of the tree size.
+//
+// Scaled setup: XMark-like trees from 2^13 up to 2^20 nodes (the top end
+// scales with PQIDX_BENCH_SCALE), one 100-operation log per tree.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+int main() {
+  const PqShape shape{3, 3};
+  const int log_size = 100;
+  const int max_nodes = Scaled(1 << 20);
+
+  PrintHeader(
+      "Figure 13 (right): build from scratch vs incremental update");
+  std::printf("3,3-grams, log of %d edit operations per tree\n\n", log_size);
+  std::printf("%12s %14s %18s %14s\n", "tree nodes", "build [s]",
+              "incr update [s]", "build/update");
+
+  for (int nodes = 1 << 13; nodes <= max_nodes; nodes *= 2) {
+    Rng rng(nodes);
+    Tree doc = GenerateXmarkLike(nullptr, &rng, nodes);
+
+    PqGramIndex index(shape);
+    double build_s = TimeIt([&] { index = BuildIndex(doc, shape); });
+
+    EditLog log;
+    GenerateEditScript(&doc, &rng, log_size, EditScriptOptions{}, &log);
+    UpdateTimings timings;
+    Status status = UpdateIndex(&index, doc, log, &timings);
+    if (!status.ok()) {
+      std::printf("update failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%12d %14.4f %18.4f %13.1fx\n", doc.size(), build_s,
+                timings.total_s,
+                timings.total_s > 0 ? build_s / timings.total_s : 0.0);
+  }
+  std::printf("\npaper shape: build time linear in tree size; update time "
+              "nearly independent of it.\n");
+  return 0;
+}

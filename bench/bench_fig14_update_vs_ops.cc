@@ -1,0 +1,49 @@
+// Figure 14 (right): incremental update time vs. number of edit
+// operations on real-world-shaped data.
+//
+// Paper setup: the DBLP dataset (211MB, 11M nodes); update time is linear
+// in the number of edit operations in the log.
+//
+// Scaled setup: a DBLP-like bibliography (default ~300k nodes,
+// PQIDX_BENCH_SCALE multiplies), log sizes 1 .. 2000.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+int main() {
+  const PqShape shape{3, 3};
+  const int records = Scaled(30000);
+  Rng rng(11);
+
+  Tree doc = GenerateDblpLike(nullptr, &rng, records);
+  PqGramIndex index = BuildIndex(doc, shape);
+  PrintHeader("Figure 14 (right): update time vs number of edit operations");
+  std::printf("DBLP-like document: %d nodes (root fanout %d), 3,3-grams\n\n",
+              doc.size(), doc.fanout(doc.root()));
+  std::printf("%10s %14s %16s\n", "edit ops", "update [s]", "s per 1k ops");
+
+  for (int ops : {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, ops, EditScriptOptions{}, &log);
+    UpdateTimings timings;
+    Status status = UpdateIndex(&index, doc, log, &timings);
+    if (!status.ok()) {
+      std::printf("update failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%10d %14.4f %16.4f\n", ops, timings.total_s,
+                timings.total_s * 1000.0 / ops);
+  }
+  std::printf("\npaper shape: update time linear in the log size.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the core primitives, including
+// the paper's Section 2 observation that computing the pq-grams is by far
+// the most expensive part of the distance computation (compare
+// ProfileBuild against BagDistance at equal tree sizes).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/delta.h"
+#include "core/delta_store.h"
+#include "core/distance.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "core/profile.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+
+namespace pqidx {
+namespace {
+
+void BM_KarpRabinFingerprint(benchmark::State& state) {
+  std::string label = "inproceedings_with_a_long_label";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KarpRabinFingerprint(label));
+  }
+}
+BENCHMARK(BM_KarpRabinFingerprint);
+
+void BM_ProfileBuild(benchmark::State& state) {
+  Rng rng(1);
+  Tree doc = GenerateXmarkLike(nullptr, &rng,
+                               static_cast<int>(state.range(0)));
+  const PqShape shape{3, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildIndex(doc, shape));
+  }
+  state.SetItemsProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_ProfileBuild)->Range(1 << 10, 1 << 17);
+
+void BM_BagDistance(benchmark::State& state) {
+  Rng rng(2);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{3, 3};
+  Tree a = GenerateXmarkLike(dict, &rng, static_cast<int>(state.range(0)));
+  Tree b = GenerateXmarkLike(dict, &rng, static_cast<int>(state.range(0)));
+  PqGramIndex ia = BuildIndex(a, shape);
+  PqGramIndex ib = BuildIndex(b, shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PqGramDistance(ia, ib));
+  }
+}
+BENCHMARK(BM_BagDistance)->Range(1 << 10, 1 << 17);
+
+void BM_DeltaSingleOp(benchmark::State& state) {
+  // Delta computation for one edit operation: near-constant in tree size
+  // (paper Section 8.2).
+  Rng rng(3);
+  Tree doc = GenerateXmarkLike(nullptr, &rng,
+                               static_cast<int>(state.range(0)));
+  Tree scratch = doc.Clone();
+  EditLog log;
+  GenerateEditScript(&scratch, &rng, 1, EditScriptOptions{}, &log);
+  const EditOperation op = log.inverse(0);
+  const PqShape shape{3, 3};
+  for (auto _ : state) {
+    DeltaStore store(shape);
+    // The inverse op applies to `scratch` (the edited tree).
+    benchmark::DoNotOptimize(ComputeDelta(scratch, op, &store));
+  }
+}
+BENCHMARK(BM_DeltaSingleOp)->Range(1 << 10, 1 << 17);
+
+// Per-operation-kind delta + update costs (the paper's Section 8.2
+// claims both are near-constant per operation).
+void BM_UpdatePerOpKind(benchmark::State& state) {
+  const PqShape shape{3, 3};
+  Rng rng(7);
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 1 << 15);
+  EditScriptOptions options;
+  options.insert_weight = state.range(0) == 0 ? 1 : 0;
+  options.delete_weight = state.range(0) == 1 ? 1 : 0;
+  options.rename_weight = state.range(0) == 2 ? 1 : 0;
+  PqGramIndex index = BuildIndex(doc, shape);
+  for (auto _ : state) {
+    state.PauseTiming();
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 20, options, &log);
+    state.ResumeTiming();
+    Status status = UpdateIndex(&index, doc, log);
+    benchmark::DoNotOptimize(status);
+  }
+  static const char* kNames[] = {"insert", "delete", "rename"};
+  state.SetLabel(std::string("20 ") + kNames[state.range(0)] +
+                 " ops per iteration");
+}
+BENCHMARK(BM_UpdatePerOpKind)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate100Ops(benchmark::State& state) {
+  const PqShape shape{3, 3};
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(4 + state.iterations());
+    Tree doc = GenerateXmarkLike(nullptr, &rng,
+                                 static_cast<int>(state.range(0)));
+    PqGramIndex index = BuildIndex(doc, shape);
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 100, EditScriptOptions{}, &log);
+    state.ResumeTiming();
+    Status status = UpdateIndex(&index, doc, log);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_IncrementalUpdate100Ops)->Range(1 << 12, 1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestLookup(benchmark::State& state) {
+  Rng rng(5);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{3, 3};
+  ForestIndex forest(shape);
+  for (int i = 0; i < state.range(0); ++i) {
+    forest.AddTree(i, GenerateXmarkLike(dict, &rng, 500));
+  }
+  Tree query = GenerateXmarkLike(dict, &rng, 500);
+  PqGramIndex qi = BuildIndex(query, shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Lookup(qi, 0.5));
+  }
+}
+BENCHMARK(BM_ForestLookup)->Range(8, 512);
+
+}  // namespace
+}  // namespace pqidx
+
+BENCHMARK_MAIN();

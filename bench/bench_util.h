@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction bench binaries: wall-clock
+// timing, workload scaling via the PQIDX_BENCH_SCALE environment variable,
+// and aligned table output.
+
+#ifndef PQIDX_BENCH_BENCH_UTIL_H_
+#define PQIDX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pqidx::bench {
+
+// Multiplies workload sizes by PQIDX_BENCH_SCALE (default 1.0). Scale 10+
+// approaches the paper's original sizes; the defaults keep every binary
+// in the tens of seconds on a laptop.
+inline double Scale() {
+  const char* env = std::getenv("PQIDX_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline int Scaled(int base) {
+  double v = base * Scale();
+  return v < 1 ? 1 : static_cast<int>(v);
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Runs `fn` and returns its wall-clock time in seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  WallTimer timer;
+  fn();
+  return timer.Seconds();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace pqidx::bench
+
+#endif  // PQIDX_BENCH_BENCH_UTIL_H_

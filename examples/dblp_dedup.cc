@@ -1,0 +1,119 @@
+// Near-duplicate detection in a bibliography, the motivating use case for
+// approximate tree matching (paper Sections 1-2: approximate XML joins,
+// duplicate detection a la DogmatiX).
+//
+// Each publication record (a subtree under the DBLP-like root) is treated
+// as one document in a forest index. A fraction of records are injected as
+// noisy duplicates (field renames, dropped or added fields). The example
+// then runs a self-join: for every record, an approximate lookup under a
+// distance threshold, reporting precision/recall of duplicate detection.
+//
+// Run:  build/examples/dblp_dedup [records] [dup_fraction]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+using namespace pqidx;
+
+namespace {
+
+// Extracts the record subtrees of a DBLP-like tree as standalone trees.
+std::vector<Tree> SplitRecords(const Tree& dblp) {
+  std::vector<Tree> records;
+  for (NodeId rec : dblp.children(dblp.root())) {
+    Tree record(dblp.dict_ptr());
+    NodeId root = record.CreateRoot(dblp.label(rec));
+    std::vector<std::pair<NodeId, NodeId>> stack{{rec, root}};
+    while (!stack.empty()) {
+      auto [src, dst] = stack.back();
+      stack.pop_back();
+      for (NodeId c : dblp.children(src)) {
+        stack.emplace_back(c, record.AddChild(dst, dblp.label(c)));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_records = argc > 1 ? std::atoi(argv[1]) : 400;
+  const double dup_fraction = argc > 2 ? std::atof(argv[2]) : 0.15;
+  const PqShape shape{2, 3};  // records are shallow: a small p suffices
+  const double tau = 0.45;
+  Rng rng(99);
+
+  Tree dblp = GenerateDblpLike(nullptr, &rng, num_records);
+  std::vector<Tree> records = SplitRecords(dblp);
+
+  // Inject noisy duplicates: a copy of a random record with a few edits
+  // (changed year, renamed venue, dropped page field, ...).
+  int num_dups = static_cast<int>(num_records * dup_fraction);
+  std::vector<std::pair<TreeId, TreeId>> truth;  // (duplicate, original)
+  for (int d = 0; d < num_dups; ++d) {
+    TreeId original = static_cast<TreeId>(rng.NextBounded(num_records));
+    Tree copy = records[original].Clone();
+    EditLog scratch;
+    EditScriptOptions noise;
+    noise.reuse_label_probability = 0.9;
+    GenerateEditScript(&copy, &rng, 1 + rng.NextBounded(3), noise, &scratch);
+    truth.emplace_back(static_cast<TreeId>(records.size()), original);
+    records.push_back(std::move(copy));
+  }
+
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < static_cast<TreeId>(records.size()); ++id) {
+    forest.AddTree(id, records[id]);
+  }
+  std::printf("indexed %zu records (%d injected near-duplicates), "
+              "tau = %.2f\n",
+              records.size(), num_dups, tau);
+
+  // Self-join: report all pairs within tau (id ordering avoids doubles).
+  std::vector<std::pair<TreeId, TreeId>> found;
+  for (TreeId id = 0; id < static_cast<TreeId>(records.size()); ++id) {
+    for (const LookupResult& hit : forest.Lookup(*forest.Find(id), tau)) {
+      if (hit.tree_id > id) found.emplace_back(hit.tree_id, id);
+    }
+  }
+
+  int true_positives = 0;
+  for (auto [dup, orig] : truth) {
+    for (auto [a, b] : found) {
+      if ((a == dup && b == orig) || (a == orig && b == dup)) {
+        ++true_positives;
+        break;
+      }
+    }
+  }
+  std::printf("pairs reported: %zu\n", found.size());
+  std::printf("injected duplicates recovered: %d / %d (recall %.2f)\n",
+              true_positives, num_dups,
+              num_dups > 0 ? static_cast<double>(true_positives) / num_dups
+                           : 1.0);
+  std::printf("precision: %.2f (non-injected pairs may still be genuine "
+              "near-duplicates of the generator)\n",
+              found.empty() ? 1.0
+                            : static_cast<double>(true_positives) /
+                                  static_cast<double>(found.size()));
+
+  // Show the three closest reported pairs.
+  std::printf("\nsample matches:\n");
+  int shown = 0;
+  for (auto [a, b] : found) {
+    if (shown++ >= 3) break;
+    std::printf("  #%d %s\n  #%d %s\n\n", a,
+                ToNotation(records[a]).c_str(), b,
+                ToNotation(records[b]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the pq-gram index in five minutes.
+//
+// Builds two small trees, compares them with the pq-gram distance, then
+// walks through the paper's application scenario: a document is edited
+// while an inverse log is recorded, and the persistent index is updated
+// from the log alone -- no intermediate versions, no rebuild.
+//
+// Run:  build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/distance.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "tree/tree_builder.h"
+
+using namespace pqidx;
+
+int main() {
+  const PqShape shape{3, 3};  // the paper's default: 3,3-grams
+
+  // --- 1. Trees and the pq-gram distance ---------------------------------
+  // Trees are written in a compact notation: label(child,child,...).
+  Tree t0 = ParseTreeNotation("a(b,c(e,f),d)").value();
+  Tree similar = ParseTreeNotation("a(b,c(e,g),d)").value();   // one leaf off
+  Tree different = ParseTreeNotation("x(y(z),w)").value();
+
+  std::printf("T0        = %s\n", ToNotation(t0).c_str());
+  std::printf("similar   = %s   dist = %.3f\n", ToNotation(similar).c_str(),
+              PqGramDistance(t0, similar, shape));
+  std::printf("different = %s          dist = %.3f\n",
+              ToNotation(different).c_str(),
+              PqGramDistance(t0, different, shape));
+
+  // --- 2. A persistent index ---------------------------------------------
+  PqGramIndex index = BuildIndex(t0, shape);
+  std::printf("\nindex of T0: %lld pq-grams, %lld distinct label-tuples\n",
+              static_cast<long long>(index.size()),
+              static_cast<long long>(index.distinct()));
+
+  // --- 3. Edit the document, recording the inverse log -------------------
+  Tree doc = t0.Clone();
+  EditLog log;
+  LabelId x = doc.mutable_dict()->Intern("x");
+
+  // Rename the 'c' node, delete 'b', wrap 'e','f' under a new node.
+  NodeId c = doc.child(doc.root(), 1);
+  ApplyAndLog(EditOperation::Rename(c, x), &doc, &log);
+  ApplyAndLog(EditOperation::Delete(doc.child(doc.root(), 0)), &doc, &log);
+  ApplyAndLog(
+      EditOperation::Insert(doc.AllocateId(),
+                            doc.mutable_dict()->Intern("wrap"), c, 0, 2),
+      &doc, &log);
+  std::printf("\nafter %d edits: %s\n", log.size(), ToNotation(doc).c_str());
+
+  // --- 4. Incremental maintenance (Algorithm 1) --------------------------
+  // Inputs: the old index, the resulting tree, the inverse log. The old
+  // tree T0 is no longer needed.
+  UpdateTimings timings;
+  Status status = UpdateIndex(&index, doc, log, &timings);
+  if (!status.ok()) {
+    std::printf("update failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("updated index: %lld pq-grams (Delta+ %lld, Delta- %lld)\n",
+              static_cast<long long>(index.size()),
+              static_cast<long long>(timings.delta_plus_pqgrams),
+              static_cast<long long>(timings.delta_minus_pqgrams));
+
+  // --- 5. Verify against a rebuild ----------------------------------------
+  bool equal = index == BuildIndex(doc, shape);
+  std::printf("incremental == rebuilt: %s\n", equal ? "yes" : "NO");
+  return equal ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The library does not use exceptions (Google C++ style); logic errors are
+// programming bugs and abort the process with a diagnostic. Recoverable
+// failures (parsing, I/O, invalid user input) are reported through Status
+// instead (see common/status.h).
+
+#ifndef PQIDX_COMMON_CHECK_H_
+#define PQIDX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a file/line diagnostic when `condition` is false. Active in
+// all build modes: index corruption is far more expensive than the branch.
+#define PQIDX_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PQIDX_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+// CHECK with an extra human-readable message.
+#define PQIDX_CHECK_MSG(condition, msg)                                    \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PQIDX_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define PQIDX_DCHECK(condition) \
+  do {                          \
+  } while (false)
+#else
+#define PQIDX_DCHECK(condition) PQIDX_CHECK(condition)
+#endif
+
+#endif  // PQIDX_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#include "common/fingerprint.h"
+
+namespace pqidx {
+namespace {
+
+// 2^61 - 1, a Mersenne prime: reduction needs no division.
+constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+// Fixed base for the polynomial; coprime with the modulus and large enough
+// that short labels spread across the field.
+constexpr uint64_t kBase = 0x1fffffffffffffe7ULL % kMersenne61;
+
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t sum = lo + hi;
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
+
+}  // namespace
+
+LabelHash KarpRabinFingerprint(std::string_view label) {
+  uint64_t hash = 0;
+  uint64_t power = 1;
+  for (unsigned char c : label) {
+    // + 1 so that trailing NULs and the empty string are distinguished.
+    hash = (hash + MulMod(power, static_cast<uint64_t>(c) + 1)) % kMersenne61;
+    power = MulMod(power, kBase);
+  }
+  // Mix in the length to separate prefixes, then shift into [1, 2^61-1] so
+  // that no real label collides with kNullLabelHash (= 0).
+  hash = (hash + MulMod(power, label.size() + 1)) % kMersenne61;
+  return hash + 1;
+}
+
+PqGramFingerprint FingerprintLabelTuple(const LabelHash* labels, int count) {
+  TupleFingerprinter fp;
+  for (int i = 0; i < count; ++i) {
+    fp.Add(labels[i]);
+  }
+  return fp.Finish();
+}
+
+}  // namespace pqidx

@@ -1,0 +1,73 @@
+// Fingerprint hashing for labels and pq-gram label-tuples.
+//
+// The paper (Section 3.2) stores hashed labels instead of variable-length
+// label strings, using a Karp-Rabin fingerprint function [Karp & Rabin,
+// IBM JRD 1987] that maps a label to a fixed-length value that is unique
+// with high probability. The only operation ever performed on labels by the
+// index is an equality check, so fingerprints suffice.
+//
+// Two layers are provided:
+//  * KarpRabinFingerprint: polynomial fingerprint of a byte string modulo a
+//    61-bit Mersenne prime. Used to hash label strings.
+//  * TupleFingerprint*: mixes a sequence of label hashes (the p+q labels of
+//    a pq-gram) into one 64-bit key, the `pqg` column of the index relation.
+
+#ifndef PQIDX_COMMON_FINGERPRINT_H_
+#define PQIDX_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pqidx {
+
+// Hash of one node label. The null label * hashes to kNullLabelHash.
+using LabelHash = uint64_t;
+
+// Hash of a full pq-gram label-tuple (the index key).
+using PqGramFingerprint = uint64_t;
+
+// Fingerprint of the null node label `*`. Real labels never hash to this
+// value (KarpRabinFingerprint maps into [1, 2^61-1]).
+inline constexpr LabelHash kNullLabelHash = 0;
+
+// Returns the Karp-Rabin polynomial fingerprint of `label`:
+//   h(l) = (sum_i l[i] * b^i) mod (2^61 - 1), offset into [1, 2^61-1].
+// Deterministic across runs so persisted indexes remain valid.
+LabelHash KarpRabinFingerprint(std::string_view label);
+
+// Incremental mixer for a pq-gram label-tuple. Order-sensitive: the tuples
+// (a,b) and (b,a) get different fingerprints. Based on a 64-bit
+// multiply-xor mix (splitmix64 finalizer) chained over the labels.
+class TupleFingerprinter {
+ public:
+  TupleFingerprinter() = default;
+
+  // Mixes in the next label hash of the tuple.
+  void Add(LabelHash h) {
+    state_ = Mix(state_ ^ Mix(h + kGolden));
+  }
+
+  // Returns the fingerprint of the labels added so far.
+  PqGramFingerprint Finish() const { return Mix(state_ + kGolden); }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint64_t state_ = 0x243f6a8885a308d3ULL;
+};
+
+// Convenience: fingerprints the label-tuple `labels[0..count-1]`.
+PqGramFingerprint FingerprintLabelTuple(const LabelHash* labels, int count);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_FINGERPRINT_H_

@@ -1,0 +1,96 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace pqidx {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four words via splitmix64, as recommended by the xoshiro
+  // authors; guarantees a nonzero state.
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  PQIDX_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  PQIDX_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits scaled into [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int Rng::WeightedPick(const std::vector<double>& weights) {
+  PQIDX_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  PQIDX_CHECK(total > 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::Zipf(int n, double s) {
+  PQIDX_CHECK(n > 0);
+  // Inverse-CDF on the (truncated) continuous approximation; adequate for
+  // workload skew, not for statistical studies.
+  double u = NextDouble();
+  if (s == 1.0) s = 1.0000001;
+  double h = (std::pow(static_cast<double>(n), 1.0 - s) - 1.0) / (1.0 - s);
+  double x = std::pow(u * h * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+  int k = static_cast<int>(x);
+  if (k < 0) k = 0;
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,123 @@
+#include "common/serde.h"
+
+#include <cstdio>
+
+namespace pqidx {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutSignedVarint(int64_t v) {
+  uint64_t zigzag =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint(zigzag);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+Status ByteReader::GetU8(uint8_t* out) {
+  if (pos_ >= data_.size()) return DataLossError("truncated input (u8)");
+  *out = static_cast<uint8_t>(data_[pos_++]);
+  return Status::Ok();
+}
+
+Status ByteReader::GetU32(uint32_t* out) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b;
+    PQIDX_RETURN_IF_ERROR(GetU8(&b));
+    v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status ByteReader::GetU64(uint64_t* out) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t b;
+    PQIDX_RETURN_IF_ERROR(GetU8(&b));
+    v |= static_cast<uint64_t>(b) << (8 * i);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status ByteReader::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) return DataLossError("varint too long");
+    uint8_t b;
+    PQIDX_RETURN_IF_ERROR(GetU8(&b));
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status ByteReader::GetSignedVarint(int64_t* out) {
+  uint64_t zigzag;
+  PQIDX_RETURN_IF_ERROR(GetVarint(&zigzag));
+  *out = static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  return Status::Ok();
+}
+
+Status ByteReader::GetString(std::string* out) {
+  uint64_t len;
+  PQIDX_RETURN_IF_ERROR(GetVarint(&len));
+  if (len > remaining()) return DataLossError("truncated input (string)");
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status WriteFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open for write: " + path);
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open for read: " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return IoError("read error: " + path);
+  return Status::Ok();
+}
+
+}  // namespace pqidx

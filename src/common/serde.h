@@ -1,0 +1,69 @@
+// Binary serialization primitives used by the persistent index and the tree
+// store: little-endian fixed-width integers, LEB128 varints, and
+// length-prefixed strings, over an in-memory buffer or a file.
+
+#ifndef PQIDX_COMMON_SERDE_H_
+#define PQIDX_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pqidx {
+
+// Append-only byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  // Unsigned LEB128.
+  void PutVarint(uint64_t v);
+  // Zig-zag + LEB128 for signed values.
+  void PutSignedVarint(int64_t v);
+  // Varint length prefix followed by the raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Sequential byte source over a borrowed buffer. All getters return a
+// non-OK status on truncated or malformed input; the cursor position is
+// unspecified after a failure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetSignedVarint(int64_t* out);
+  Status GetString(std::string* out);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Writes `data` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, std::string_view data);
+
+// Reads the whole file at `path` into `*out`.
+Status ReadFile(const std::string& path, std::string* out);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_SERDE_H_

@@ -1,0 +1,119 @@
+// Status and StatusOr: exception-free error propagation.
+//
+// Library code reports recoverable failures (malformed XML, bad edit
+// operations, I/O errors) by returning Status or StatusOr<T>. Callers must
+// consult ok() before using a StatusOr value; accessing the value of a
+// failed StatusOr aborts.
+
+#ifndef PQIDX_COMMON_STATUS_H_
+#define PQIDX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace pqidx {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kDataLoss,
+  kIoError,
+};
+
+// Returns a short stable name for `code`, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// Value type describing the outcome of an operation. Cheap to copy in the
+// OK case; carries a message otherwise.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status IoError(std::string message);
+
+// Union of a Status and a T. Either holds a value (and status().ok()) or an
+// error status. Move-friendly; `value()` aborts if not ok.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return some_value;` and `return some_error();` from the same function.
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT
+    PQIDX_CHECK_MSG(!std::get<Status>(data_).ok(),
+                    "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    PQIDX_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    PQIDX_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    PQIDX_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+// Propagates a non-OK status to the caller.
+#define PQIDX_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::pqidx::Status pqidx_status_tmp_ = (expr);     \
+    if (!pqidx_status_tmp_.ok()) {                  \
+      return pqidx_status_tmp_;                     \
+    }                                               \
+  } while (false)
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace pqidx {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  PQIDX_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PQIDX_CHECK_MSG(!shutting_down_, "Schedule after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  // Chunk to keep queue overhead negligible for large counts.
+  int64_t chunks = std::min<int64_t>(count, num_threads() * 4);
+  if (chunks <= 0) return;
+  int64_t per_chunk = (count + chunks - 1) / chunks;
+  for (int64_t begin = 0; begin < count; begin += per_chunk) {
+    int64_t end = std::min(begin + per_chunk, count);
+    Schedule([begin, end, &fn] {
+      for (int64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pqidx

@@ -1,0 +1,58 @@
+// A small fixed-size thread pool for embarrassingly parallel work
+// (collection indexing, bulk distance computation). Tasks are void
+// closures; Wait() blocks until the queue drains. No work stealing, no
+// priorities -- the workloads here are uniform batches.
+
+#ifndef PQIDX_COMMON_THREAD_POOL_H_
+#define PQIDX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pqidx {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  // Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw (the library is exception-free)
+  // and must not enqueue into the pool they run on while Wait() is
+  // pending completion accounting -- plain fan-out/fan-in only.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  // Convenience fan-out: runs fn(i) for i in [0, count) across the pool
+  // and waits for completion.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_THREAD_POOL_H_

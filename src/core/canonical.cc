@@ -1,0 +1,134 @@
+#include "core/canonical.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/distance.h"
+
+namespace pqidx {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Bottom-up canonical fingerprints for every node of the tree.
+// Iterative post-order (trees can be deep).
+std::unordered_map<NodeId, uint64_t> AllCanonicalFingerprints(
+    const Tree& tree) {
+  std::unordered_map<NodeId, uint64_t> fp;
+  if (tree.root() == kNullNodeId) return fp;
+  struct Frame {
+    NodeId node;
+    size_t child = 0;
+  };
+  std::vector<Frame> stack{{tree.root()}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto kids = tree.children(frame.node);
+    if (frame.child < kids.size()) {
+      stack.push_back({kids[frame.child++]});
+      continue;
+    }
+    // Children done: combine their fingerprints order-independently by
+    // sorting them first.
+    std::vector<uint64_t> child_fps;
+    child_fps.reserve(kids.size());
+    for (NodeId c : kids) child_fps.push_back(fp.at(c));
+    std::sort(child_fps.begin(), child_fps.end());
+    uint64_t hash = Mix(tree.LabelHashOf(frame.node) ^
+                        0x9e3779b97f4a7c15ULL * (child_fps.size() + 1));
+    for (uint64_t child_fp : child_fps) {
+      hash = Mix(hash ^ Mix(child_fp + 0x9e3779b97f4a7c15ULL));
+    }
+    fp.emplace(frame.node, hash);
+    stack.pop_back();
+  }
+  return fp;
+}
+
+// Sorted-children comparator under precomputed fingerprints.
+struct CanonicalLess {
+  const Tree* tree;
+  const std::unordered_map<NodeId, uint64_t>* fp;
+
+  bool operator()(NodeId a, NodeId b) const {
+    LabelHash la = tree->LabelHashOf(a);
+    LabelHash lb = tree->LabelHashOf(b);
+    if (la != lb) return la < lb;
+    // Equal fingerprints mean equal unordered subtrees: their relative
+    // order cannot change the profile, so no further tie-break is needed.
+    return fp->at(a) < fp->at(b);
+  }
+};
+
+}  // namespace
+
+uint64_t CanonicalSubtreeFingerprint(const Tree& tree, NodeId n) {
+  PQIDX_CHECK(tree.Contains(n));
+  return AllCanonicalFingerprints(tree).at(n);
+}
+
+std::vector<NodeId> CanonicalChildOrder(const Tree& tree, NodeId n) {
+  PQIDX_CHECK(tree.Contains(n));
+  auto fp = AllCanonicalFingerprints(tree);
+  auto kids = tree.children(n);
+  std::vector<NodeId> sorted(kids.begin(), kids.end());
+  std::sort(sorted.begin(), sorted.end(), CanonicalLess{&tree, &fp});
+  return sorted;
+}
+
+PqGramIndex BuildCanonicalIndex(const Tree& tree, const PqShape& shape) {
+  PQIDX_CHECK(shape.Valid());
+  PqGramIndex index(shape);
+  if (tree.root() == kNullNodeId) return index;
+  auto fp = AllCanonicalFingerprints(tree);
+  CanonicalLess less{&tree, &fp};
+
+  const int p = shape.p;
+  const int q = shape.q;
+  std::vector<LabelHash> labels(static_cast<size_t>(p) + q,
+                                kNullLabelHash);
+  // Pre-order over the canonical view; the p-part (ancestor chain) is
+  // order-independent, so only the q-part windows change.
+  tree.PreOrder([&](NodeId anchor) {
+    NodeId cur = anchor;
+    for (int j = p - 1; j >= 0; --j) {
+      labels[j] = cur == kNullNodeId ? kNullLabelHash
+                                     : tree.LabelHashOf(cur);
+      if (cur != kNullNodeId) cur = tree.parent(cur);
+    }
+    auto kids = tree.children(anchor);
+    if (kids.empty()) {
+      for (int j = 0; j < q; ++j) labels[p + j] = kNullLabelHash;
+      index.Add(FingerprintLabelTuple(labels.data(), p + q));
+      return;
+    }
+    std::vector<NodeId> sorted(kids.begin(), kids.end());
+    std::sort(sorted.begin(), sorted.end(), less);
+    const int f = static_cast<int>(sorted.size());
+    for (int r = 0; r < f + q - 1; ++r) {
+      for (int j = 0; j < q; ++j) {
+        int pos = r - q + 1 + j;
+        labels[p + j] = (pos < 0 || pos >= f)
+                            ? kNullLabelHash
+                            : tree.LabelHashOf(sorted[pos]);
+      }
+      index.Add(FingerprintLabelTuple(labels.data(), p + q));
+    }
+  });
+  return index;
+}
+
+double CanonicalPqGramDistance(const Tree& a, const Tree& b,
+                               const PqShape& shape) {
+  return PqGramDistance(BuildCanonicalIndex(a, shape),
+                        BuildCanonicalIndex(b, shape));
+}
+
+}  // namespace pqidx

@@ -1,0 +1,55 @@
+// Canonical-order pq-grams: approximate matching for *unordered* trees.
+//
+// The pq-gram distance is defined over ordered trees: permuting siblings
+// changes the q-part windows and therefore the distance, even though for
+// data-centric XML (attribute-like children, bibliography fields) sibling
+// order often carries no meaning. The follow-up work on windowed pq-grams
+// (Augsten et al., ICDE'08) addresses this; here we implement the
+// canonical-order variant of that idea: children are visited in a
+// deterministic order that depends only on the subtree *content* -- sorted
+// by (label hash, canonical subtree fingerprint) -- so any two trees that
+// are equal up to sibling permutations produce identical profiles, while
+// the pq-grams otherwise keep their shape and cost.
+//
+// The canonical index is built with the same machinery and compared with
+// the same bag distance as the ordered one. It is NOT incrementally
+// maintainable by the delta/update algorithms: a single edit can reorder
+// a whole child list in canonical space, which breaks the locality the
+// paper's Theorems rely on. Rebuild per document version, or keep the
+// ordered index for maintenance and the canonical one for unordered
+// queries.
+
+#ifndef PQIDX_CORE_CANONICAL_H_
+#define PQIDX_CORE_CANONICAL_H_
+
+#include <vector>
+
+#include "core/pqgram.h"
+#include "core/pqgram_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Content fingerprint of the subtree rooted at `n`: label plus the
+// *sorted* multiset of child fingerprints, so it is invariant under
+// sibling permutations. Two subtrees get equal fingerprints iff they are
+// equal as unordered labeled trees (up to hash collisions).
+uint64_t CanonicalSubtreeFingerprint(const Tree& tree, NodeId n);
+
+// The canonical sibling order of every node: children sorted by
+// (label hash, canonical fingerprint). Returns, per node id, the sorted
+// child vector (indexed like the tree's arena; helper for tests).
+std::vector<NodeId> CanonicalChildOrder(const Tree& tree, NodeId n);
+
+// Builds the pq-gram index over the canonically ordered view of `tree`
+// (the tree itself is not modified).
+PqGramIndex BuildCanonicalIndex(const Tree& tree, const PqShape& shape);
+
+// Distance over canonical indexes: 0 for trees equal up to sibling
+// permutations.
+double CanonicalPqGramDistance(const Tree& a, const Tree& b,
+                               const PqShape& shape);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_CANONICAL_H_

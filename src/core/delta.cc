@@ -1,0 +1,196 @@
+#include "core/delta.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+// Inserts Q-rows [from, to] of node `n` (clamped to the rows that exist).
+// For a leaf the single all-null row 0 is inserted regardless of the
+// requested range (the paper's Q^{k..m}(leaf) = (*..*) special case).
+int64_t AddQRowRange(const Tree& tree, NodeId n, int from, int to,
+                     const PqShape& shape, DeltaStore* store) {
+  int64_t added = 0;
+  if (tree.IsLeaf(n)) {
+    if (store->FindQRow(n, 0) == nullptr) {
+      store->InsertQRow(n, MakeQRow(tree, n, 0, shape));
+      ++added;
+    }
+    return added;
+  }
+  int max_row = tree.fanout(n) + shape.q - 2;
+  from = std::max(from, 0);
+  to = std::min(to, max_row);
+  for (int r = from; r <= to; ++r) {
+    if (store->FindQRow(n, r) == nullptr) {
+      store->InsertQRow(n, MakeQRow(tree, n, r, shape));
+      ++added;
+    }
+  }
+  return added;
+}
+
+int64_t AddAllQRows(const Tree& tree, NodeId n, const PqShape& shape,
+                    DeltaStore* store) {
+  return AddQRowRange(tree, n, 0, tree.fanout(n) + shape.q - 2, shape,
+                      store);
+}
+
+void AddPRow(const Tree& tree, NodeId n, const PqShape& shape,
+             DeltaStore* store) {
+  if (store->FindPRow(n) == nullptr) {
+    store->InsertPRow(MakePRow(tree, n, shape));
+  }
+}
+
+}  // namespace
+
+PRow MakePRow(const Tree& tree, NodeId n, const PqShape& shape) {
+  PRow row;
+  row.anchor = n;
+  row.parent = tree.parent(n);
+  row.sib_pos = tree.SiblingIndex(n);
+  row.fanout = tree.fanout(n);
+  row.ids.assign(static_cast<size_t>(shape.p), kNullNodeId);
+  row.labels.assign(static_cast<size_t>(shape.p), kNullLabelHash);
+  NodeId cur = n;
+  for (int j = shape.p - 1; j >= 0 && cur != kNullNodeId; --j) {
+    row.ids[j] = cur;
+    row.labels[j] = tree.LabelHashOf(cur);
+    cur = tree.parent(cur);
+  }
+  return row;
+}
+
+QRow MakeQRow(const Tree& tree, NodeId n, int row, const PqShape& shape) {
+  QRow out;
+  out.row = row;
+  out.ids.assign(static_cast<size_t>(shape.q), kNullNodeId);
+  out.labels.assign(static_cast<size_t>(shape.q), kNullLabelHash);
+  if (tree.IsLeaf(n)) {
+    PQIDX_CHECK(row == 0);
+    return out;
+  }
+  int f = tree.fanout(n);
+  PQIDX_CHECK(row >= 0 && row <= f + shape.q - 2);
+  for (int j = 0; j < shape.q; ++j) {
+    int pos = row - shape.q + 1 + j;
+    if (pos >= 0 && pos < f) {
+      NodeId c = tree.child(n, pos);
+      out.ids[j] = c;
+      out.labels[j] = tree.LabelHashOf(c);
+    }
+  }
+  return out;
+}
+
+// Follows Algorithm 2's relational reading: select the rows that exist in
+// Tn for the operation's node references, without first checking that the
+// operation as a whole is applicable. This yields a *superset* of the
+// paper's Definition 4 delta when a later log operation has shrunk the
+// context (e.g. an INS whose adopted-child range exceeds the fanout in Tn
+// still fetches the children that do exist). The superset is required for
+// correctness -- Definition 4's empty delta loses pq-grams from Delta+ in
+// exactly that case -- and is harmless: extra pq-grams lie in the
+// invariant set C_n, pass through every update step with their content
+// untouched, and cancel between lambda(Delta+) and lambda(Delta-) in the
+// final bag update (see DESIGN.md, "Clamped delta semantics").
+int64_t ComputeDelta(const Tree& tn, const EditOperation& inverse_op,
+                     DeltaStore* store) {
+  const PqShape& shape = store->shape();
+  int64_t added = 0;
+  std::vector<NodeId> descendants;
+  switch (inverse_op.kind) {
+    case EditOpKind::kRename:
+    case EditOpKind::kDelete: {
+      NodeId n = inverse_op.node;
+      // Node vanished from Tn (a later operation deleted it): nothing to
+      // select; the later operation's delta covers the region.
+      if (!tn.Contains(n) || n == tn.root()) return 0;
+      NodeId v = tn.parent(n);
+      int k = tn.SiblingIndex(n);
+      AddPRow(tn, v, shape, store);
+      added += AddQRowRange(tn, v, k, k + shape.q - 1, shape, store);
+      tn.DescendantsWithin(n, shape.p - 1, &descendants);
+      for (NodeId x : descendants) {
+        AddPRow(tn, x, shape, store);
+        added += AddAllQRows(tn, x, shape, store);
+      }
+      break;
+    }
+    case EditOpKind::kInsert: {
+      NodeId v = inverse_op.parent;
+      if (!tn.Contains(v)) return 0;
+      if (inverse_op.node >= 1 && tn.Contains(inverse_op.node)) {
+        // The id to insert is still alive in Tn: only possible when node
+        // ids are recycled, which the log discipline forbids.
+        return 0;
+      }
+      AddPRow(tn, v, shape, store);
+      if (!inverse_op.anchored) {
+        // Positional selection, clamped to what exists in Tn. Only exact
+        // when no later log operation shuffled v's child list; logs
+        // recorded through InverseOn always carry id anchors instead.
+        int k = inverse_op.position;
+        int count = inverse_op.count;
+        added +=
+            AddQRowRange(tn, v, k, k + count + shape.q - 2, shape, store);
+        int clamped_count = std::min(count, std::max(0, tn.fanout(v) - k));
+        for (int i = 0; i < clamped_count; ++i) {
+          tn.DescendantsWithin(tn.child(v, k + i), shape.p - 2,
+                               &descendants);
+        }
+      } else if (inverse_op.adopted_ids.empty()) {
+        // Leaf insertion: the affected rows are the windows spanning the
+        // insertion gap, located through the recorded neighbor ids (their
+        // Tn positions are authoritative; the recorded position is not).
+        if (tn.IsLeaf(v)) {
+          added += AddQRowRange(tn, v, 0, 0, shape, store);
+        } else {
+          const NodeId left = inverse_op.left_neighbor;
+          const NodeId right = inverse_op.right_neighbor;
+          int lo = -1, hi = -1;
+          auto note_edge = [&](int edge) {
+            lo = lo < 0 ? edge : std::min(lo, edge);
+            hi = hi < 0 ? edge : std::max(hi, edge);
+          };
+          if (left == kNullNodeId) {
+            note_edge(0);
+          } else if (tn.Contains(left) && tn.parent(left) == v) {
+            note_edge(tn.SiblingIndex(left) + 1);
+          }
+          if (right == kNullNodeId) {
+            note_edge(tn.fanout(v));
+          } else if (tn.Contains(right) && tn.parent(right) == v) {
+            note_edge(tn.SiblingIndex(right));
+          }
+          // Both neighbors gone from v: the operations that removed them
+          // cover the region, nothing to select here.
+          if (lo >= 0) {
+            added += AddQRowRange(tn, v, lo, hi + shape.q - 2, shape, store);
+          }
+        }
+      } else {
+        // Adopting insertion: the affected rows are the windows touching
+        // an adopted child (the node set C of Lemma 1), located by id.
+        // Children that a later operation removed from v are covered by
+        // that operation's delta.
+        for (NodeId c : inverse_op.adopted_ids) {
+          if (!tn.Contains(c) || tn.parent(c) != v) continue;
+          int pos = tn.SiblingIndex(c);
+          added += AddQRowRange(tn, v, pos, pos + shape.q - 1, shape, store);
+          tn.DescendantsWithin(c, shape.p - 2, &descendants);
+        }
+      }
+      for (NodeId x : descendants) {
+        AddPRow(tn, x, shape, store);
+        added += AddAllQRows(tn, x, shape, store);
+      }
+      break;
+    }
+  }
+  return added;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,52 @@
+// The delta function (paper Definition 4, Lemma 1, Table 1, Algorithm 2).
+//
+// delta(Tn, e-bar) computes the pq-grams of Tn that the (forward) edit
+// operation introduced -- equivalently, the pq-grams that applying the
+// inverse operation e-bar to Tn would destroy -- and stores them in the
+// (P, Q) table pair:
+//
+//   REN(n,l') / DEL(n):  P(v) o Q^{k..k}(v)  u  P(x) o Q(x)
+//                        for all x in desc_{p-1}(n),
+//                        v = parent(n), n the k-th child of v;
+//   INS(n,v,k,count):    P(v) o Q^{k..m}(v)  u  P(x) o Q(x)
+//                        for all x in desc_{p-2}(c_k .. c_{k+count-1}).
+//
+// When e-bar's node references are partially stale on Tn (a later log
+// operation changed the region), the selections are evaluated against what
+// exists in Tn -- Algorithm 2's relational reading -- rather than
+// Definition 4's all-or-nothing "empty if undefined". This matters: an
+// INS whose adopted-child range exceeds the fanout in Tn must still fetch
+// the surviving children, or Theorem 1's union misses pq-grams (see
+// DESIGN.md, "Clamped delta semantics", for the counterexample and why the
+// resulting superset is harmless). Operations whose target node or parent
+// no longer exists in Tn select nothing.
+//
+// Following Algorithm 2, the anchor P-rows are inserted even when the
+// corresponding Q-row selection is empty (leaf insertion with small q):
+// they carry no pq-grams but later update steps read them.
+
+#ifndef PQIDX_CORE_DELTA_H_
+#define PQIDX_CORE_DELTA_H_
+
+#include "core/delta_store.h"
+#include "edit/edit_operation.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Adds delta(tn, inverse_op) to `store` (set semantics; rows already
+// present are skipped). Returns the number of pq-grams (Q-rows) added.
+int64_t ComputeDelta(const Tree& tn, const EditOperation& inverse_op,
+                     DeltaStore* store);
+
+// Builds the P-row of `n` as of `tree` (ancestor chain, parent, sibling
+// position, fanout). Shared with tests.
+PRow MakePRow(const Tree& tree, NodeId n, const PqShape& shape);
+
+// Builds Q-row `row` of `n` as of `tree`. For a leaf, only row 0 (all
+// nulls) exists.
+QRow MakeQRow(const Tree& tree, NodeId n, int row, const PqShape& shape);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_DELTA_H_

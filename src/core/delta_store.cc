@@ -1,0 +1,226 @@
+#include "core/delta_store.h"
+
+#include <algorithm>
+
+namespace pqidx {
+
+const PRow* DeltaStore::FindPRow(NodeId anchor) const {
+  auto it = p_rows_.find(anchor);
+  return it == p_rows_.end() ? nullptr : &it->second;
+}
+
+void DeltaStore::InsertPRow(PRow row) {
+  PQIDX_CHECK(row.anchor != kNullNodeId);
+  PQIDX_CHECK(static_cast<int>(row.ids.size()) == shape_.p &&
+              static_cast<int>(row.labels.size()) == shape_.p);
+  PQIDX_CHECK(row.ids[shape_.p - 1] == row.anchor);
+  auto [it, inserted] = p_rows_.emplace(row.anchor, row);
+  if (!inserted) {
+    PQIDX_CHECK_MSG(it->second == row,
+                    "conflicting p-row for the same anchor");
+    return;
+  }
+  IndexChain(it->second);
+  if (row.parent != kNullNodeId) {
+    parent_index_[row.parent].insert(row.anchor);
+  }
+}
+
+void DeltaStore::ErasePRow(NodeId anchor) {
+  auto it = p_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != p_rows_.end(), "erase of absent p-row");
+  UnindexChain(it->second);
+  if (it->second.parent != kNullNodeId) {
+    auto pit = parent_index_.find(it->second.parent);
+    if (pit != parent_index_.end()) {
+      pit->second.erase(anchor);
+      if (pit->second.empty()) parent_index_.erase(pit);
+    }
+  }
+  p_rows_.erase(it);
+}
+
+void DeltaStore::ReplacePRowChain(NodeId anchor, std::vector<NodeId> ids,
+                                  std::vector<LabelHash> labels) {
+  auto it = p_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != p_rows_.end(), "chain update of absent p-row");
+  PQIDX_CHECK(static_cast<int>(ids.size()) == shape_.p &&
+              static_cast<int>(labels.size()) == shape_.p);
+  PQIDX_CHECK(ids[shape_.p - 1] == anchor);
+  UnindexChain(it->second);
+  it->second.ids = std::move(ids);
+  it->second.labels = std::move(labels);
+  IndexChain(it->second);
+}
+
+void DeltaStore::SetPRowLabel(NodeId anchor, int pos, LabelHash label) {
+  auto it = p_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != p_rows_.end(), "label update of absent p-row");
+  PQIDX_CHECK(pos >= 0 && pos < shape_.p);
+  it->second.labels[pos] = label;
+}
+
+void DeltaStore::SetPRowParentAndPos(NodeId anchor, NodeId parent,
+                                     int sib_pos) {
+  auto it = p_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != p_rows_.end(), "parent update of absent p-row");
+  if (it->second.parent != parent) {
+    if (it->second.parent != kNullNodeId) {
+      auto pit = parent_index_.find(it->second.parent);
+      if (pit != parent_index_.end()) {
+        pit->second.erase(anchor);
+        if (pit->second.empty()) parent_index_.erase(pit);
+      }
+    }
+    if (parent != kNullNodeId) parent_index_[parent].insert(anchor);
+    it->second.parent = parent;
+  }
+  it->second.sib_pos = sib_pos;
+}
+
+void DeltaStore::SetPRowFanout(NodeId anchor, int fanout) {
+  auto it = p_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != p_rows_.end(), "fanout update of absent p-row");
+  PQIDX_CHECK(fanout >= 0);
+  it->second.fanout = fanout;
+}
+
+std::vector<NodeId> DeltaStore::PRowAnchorsContaining(NodeId id) const {
+  auto it = chain_index_.find(id);
+  if (it == chain_index_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<NodeId> DeltaStore::ChildAnchorsOf(NodeId v) const {
+  auto it = parent_index_.find(v);
+  if (it == parent_index_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+const std::map<int, QRow>* DeltaStore::QRowsOf(NodeId anchor) const {
+  auto it = q_rows_.find(anchor);
+  return it == q_rows_.end() ? nullptr : &it->second;
+}
+
+const QRow* DeltaStore::FindQRow(NodeId anchor, int row) const {
+  auto it = q_rows_.find(anchor);
+  if (it == q_rows_.end()) return nullptr;
+  auto rit = it->second.find(row);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+void DeltaStore::InsertQRow(NodeId anchor, QRow row) {
+  PQIDX_CHECK(anchor != kNullNodeId);
+  PQIDX_CHECK(static_cast<int>(row.ids.size()) == shape_.q &&
+              static_cast<int>(row.labels.size()) == shape_.q);
+  auto [it, inserted] = q_rows_[anchor].emplace(row.row, row);
+  if (!inserted) {
+    PQIDX_CHECK_MSG(it->second == row,
+                    "conflicting q-row for the same (anchor, row)");
+    return;
+  }
+  ++q_row_count_;
+}
+
+void DeltaStore::EraseQRow(NodeId anchor, int row) {
+  auto it = q_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != q_rows_.end(), "erase of absent q-row (anchor)");
+  size_t erased = it->second.erase(row);
+  PQIDX_CHECK_MSG(erased == 1, "erase of absent q-row (row)");
+  q_row_count_ -= static_cast<int64_t>(erased);
+  if (it->second.empty()) q_rows_.erase(it);
+}
+
+void DeltaStore::EraseAllQRows(NodeId anchor) {
+  auto it = q_rows_.find(anchor);
+  if (it == q_rows_.end()) return;
+  q_row_count_ -= static_cast<int64_t>(it->second.size());
+  q_rows_.erase(it);
+}
+
+void DeltaStore::SetQRowEntry(NodeId anchor, int row, int col, NodeId id,
+                              LabelHash label) {
+  auto it = q_rows_.find(anchor);
+  PQIDX_CHECK_MSG(it != q_rows_.end(), "entry update of absent q-row");
+  auto rit = it->second.find(row);
+  PQIDX_CHECK_MSG(rit != it->second.end(), "entry update of absent q-row");
+  PQIDX_CHECK(col >= 0 && col < shape_.q);
+  rit->second.ids[col] = id;
+  rit->second.labels[col] = label;
+}
+
+void DeltaStore::RenumberQRows(NodeId anchor, int from_row, int delta) {
+  if (delta == 0) return;
+  auto it = q_rows_.find(anchor);
+  if (it == q_rows_.end()) return;
+  std::map<int, QRow>& rows = it->second;
+  std::vector<QRow> moved;
+  for (auto rit = rows.lower_bound(from_row); rit != rows.end();) {
+    moved.push_back(std::move(rit->second));
+    rit = rows.erase(rit);
+  }
+  for (QRow& row : moved) {
+    row.row += delta;
+    PQIDX_CHECK(row.row >= 0);
+    bool inserted = rows.emplace(row.row, std::move(row)).second;
+    PQIDX_CHECK_MSG(inserted, "q-row renumbering collision");
+  }
+}
+
+void DeltaStore::IndexChain(const PRow& row) {
+  for (NodeId id : row.ids) {
+    if (id != kNullNodeId) chain_index_[id].insert(row.anchor);
+  }
+}
+
+void DeltaStore::UnindexChain(const PRow& row) {
+  for (NodeId id : row.ids) {
+    if (id == kNullNodeId) continue;
+    auto it = chain_index_.find(id);
+    if (it == chain_index_.end()) continue;
+    it->second.erase(row.anchor);
+    if (it->second.empty()) chain_index_.erase(it);
+  }
+}
+
+void DeltaStore::CheckConsistency() const {
+  // Every chain entry is indexed, and every index entry is backed by a row.
+  int64_t q_count = 0;
+  for (const auto& [anchor, rows] : q_rows_) {
+    q_count += static_cast<int64_t>(rows.size());
+    for (const auto& [row_idx, row] : rows) {
+      PQIDX_CHECK(row.row == row_idx);
+      PQIDX_CHECK(static_cast<int>(row.ids.size()) == shape_.q);
+    }
+  }
+  PQIDX_CHECK(q_count == q_row_count_);
+  for (const auto& [anchor, row] : p_rows_) {
+    PQIDX_CHECK(row.anchor == anchor);
+    PQIDX_CHECK(row.ids[shape_.p - 1] == anchor);
+    for (NodeId id : row.ids) {
+      if (id == kNullNodeId) continue;
+      auto it = chain_index_.find(id);
+      PQIDX_CHECK(it != chain_index_.end() && it->second.contains(anchor));
+    }
+    if (row.parent != kNullNodeId) {
+      auto it = parent_index_.find(row.parent);
+      PQIDX_CHECK(it != parent_index_.end() && it->second.contains(anchor));
+    }
+  }
+  for (const auto& [id, anchors] : chain_index_) {
+    for (NodeId anchor : anchors) {
+      auto it = p_rows_.find(anchor);
+      PQIDX_CHECK(it != p_rows_.end());
+      PQIDX_CHECK(std::find(it->second.ids.begin(), it->second.ids.end(),
+                            id) != it->second.ids.end());
+    }
+  }
+  for (const auto& [parent, anchors] : parent_index_) {
+    for (NodeId anchor : anchors) {
+      auto it = p_rows_.find(anchor);
+      PQIDX_CHECK(it != p_rows_.end() && it->second.parent == parent);
+    }
+  }
+}
+
+}  // namespace pqidx

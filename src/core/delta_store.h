@@ -1,0 +1,184 @@
+// The paper's temporary table pair (P, Q) (Section 8.1), which holds the
+// pq-grams of the delta while the incremental update runs.
+//
+// A pq-gram is stored factored: its p-part once per anchor node (table P)
+// and one row per q-part window (table Q); the join P |x| Q on the anchor
+// reconstructs the pq-grams (Equation 31). P-parts shared by many pq-grams
+// are therefore stored and updated once.
+//
+// Rows carry full node-id chains next to the hashed label chains (a strict
+// superset of the paper's (anchId, sibPos, parId, ppart) columns, see
+// DESIGN.md): the profile update function can then locate the node an edit
+// operation refers to by id instead of by position arithmetic. Each P-row
+// also tracks the anchor's fanout in the current intermediate tree, which
+// resolves the leaf/non-leaf transitions during updates (a node whose last
+// child is deleted anchors the special all-null q-part afterwards).
+//
+// A P-row with no matching Q-rows represents no pq-grams (the join is
+// empty) but is legal and necessary: Algorithm 2 inserts P(v) even when
+// the Q^{k..m}(v) selection is empty, and later update steps read it.
+//
+// Indexes maintained:
+//   * P by anchor (primary);
+//   * inverted index node id -> P-rows whose chain contains the id (drives
+//     the changePParts selections of Algorithm 4);
+//   * parent id -> child anchors (drives sibling-position shifts);
+//   * Q by (anchor, row) with ordered rows per anchor (drives the
+//     Q^{k..m}(v) range selections and renumbering).
+
+#ifndef PQIDX_CORE_DELTA_STORE_H_
+#define PQIDX_CORE_DELTA_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "core/pqgram.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// One row of table P: the p-part of all pq-grams anchored at `anchor`,
+// plus the anchor's structural bookkeeping in the current intermediate
+// tree.
+struct PRow {
+  NodeId anchor = kNullNodeId;
+  NodeId parent = kNullNodeId;  // kNullNodeId for the root
+  int sib_pos = 0;              // 0-based position under `parent`
+  int fanout = 0;               // anchor's fanout
+  std::vector<NodeId> ids;        // size p; ids[p-1] == anchor
+  std::vector<LabelHash> labels;  // size p
+
+  friend bool operator==(const PRow& a, const PRow& b) = default;
+};
+
+// One row of table Q: window `row` of the anchor's q-matrix.
+struct QRow {
+  int row = 0;                    // 0-based window index
+  std::vector<NodeId> ids;        // size q
+  std::vector<LabelHash> labels;  // size q
+
+  friend bool operator==(const QRow& a, const QRow& b) = default;
+};
+
+class DeltaStore {
+ public:
+  explicit DeltaStore(PqShape shape) : shape_(shape) {
+    PQIDX_CHECK(shape.Valid());
+  }
+
+  DeltaStore(const DeltaStore&) = delete;
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  const PqShape& shape() const { return shape_; }
+
+  // --- P table --------------------------------------------------------------
+
+  // Returns the row anchored at `anchor`, or nullptr.
+  const PRow* FindPRow(NodeId anchor) const;
+
+  // Set-semantics insert: a second insert for the same anchor must carry an
+  // identical row (deltas of different log operations are snapshots of the
+  // same tree); a contradicting row aborts.
+  void InsertPRow(PRow row);
+
+  void ErasePRow(NodeId anchor);
+
+  // Replaces the id/label chain of an existing row (re-indexes).
+  void ReplacePRowChain(NodeId anchor, std::vector<NodeId> ids,
+                        std::vector<LabelHash> labels);
+
+  // Updates the label of chain entry `pos` (ids unchanged, e.g. rename).
+  void SetPRowLabel(NodeId anchor, int pos, LabelHash label);
+
+  void SetPRowParentAndPos(NodeId anchor, NodeId parent, int sib_pos);
+  void SetPRowFanout(NodeId anchor, int fanout);
+
+  // Anchors whose chain contains `id` (including `id` itself when it has a
+  // row). Unordered.
+  std::vector<NodeId> PRowAnchorsContaining(NodeId id) const;
+
+  // Anchors whose P-row has parent == v. Unordered.
+  std::vector<NodeId> ChildAnchorsOf(NodeId v) const;
+
+  int64_t p_row_count() const { return static_cast<int64_t>(p_rows_.size()); }
+
+  // --- Q table --------------------------------------------------------------
+
+  // Rows of `anchor`, ordered by row index; nullptr if none.
+  const std::map<int, QRow>* QRowsOf(NodeId anchor) const;
+
+  const QRow* FindQRow(NodeId anchor, int row) const;
+
+  // Set-semantics insert (same contract as InsertPRow).
+  void InsertQRow(NodeId anchor, QRow row);
+
+  void EraseQRow(NodeId anchor, int row);
+  void EraseAllQRows(NodeId anchor);
+
+  // Updates column `col` of an existing row.
+  void SetQRowEntry(NodeId anchor, int row, int col, NodeId id,
+                    LabelHash label);
+
+  // Adds `delta` to the row index of every row of `anchor` with
+  // row >= from_row.
+  void RenumberQRows(NodeId anchor, int from_row, int delta);
+
+  int64_t q_row_count() const { return q_row_count_; }
+
+  // --- lambda: pq-grams of the store -----------------------------------------
+
+  // Join P |x| Q: emits fn(const PqGramView&) per pq-gram. Anchors without
+  // a P-row contribute nothing (and indicate a bug; checked).
+  template <typename Fn>
+  void ForEachPqGram(Fn&& fn) const {
+    const int p = shape_.p;
+    const int q = shape_.q;
+    std::vector<NodeId> ids(static_cast<size_t>(p) + q);
+    std::vector<LabelHash> labels(static_cast<size_t>(p) + q);
+    for (const auto& [anchor, rows] : q_rows_) {
+      if (rows.empty()) continue;
+      auto pit = p_rows_.find(anchor);
+      PQIDX_CHECK_MSG(pit != p_rows_.end(),
+                      "q-rows without a matching p-part");
+      const PRow& prow = pit->second;
+      for (int j = 0; j < p; ++j) {
+        ids[j] = prow.ids[j];
+        labels[j] = prow.labels[j];
+      }
+      for (const auto& [row, qrow] : rows) {
+        for (int j = 0; j < q; ++j) {
+          ids[p + j] = qrow.ids[j];
+          labels[p + j] = qrow.labels[j];
+        }
+        PqGramView view{anchor, row, ids.data(), labels.data()};
+        fn(static_cast<const PqGramView&>(view));
+      }
+    }
+  }
+
+  // Number of pq-grams represented (= number of joinable Q rows).
+  int64_t CountPqGrams() const { return q_row_count_; }
+
+  // Verifies index integrity (inverted indexes match row contents).
+  // Aborts on violation; intended for tests.
+  void CheckConsistency() const;
+
+ private:
+  void IndexChain(const PRow& row);
+  void UnindexChain(const PRow& row);
+
+  PqShape shape_;
+  std::unordered_map<NodeId, PRow> p_rows_;
+  std::unordered_map<NodeId, std::map<int, QRow>> q_rows_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> chain_index_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> parent_index_;
+  int64_t q_row_count_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_DELTA_STORE_H_

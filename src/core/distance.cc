@@ -1,0 +1,33 @@
+#include "core/distance.h"
+
+namespace pqidx {
+
+double PqGramDistance(const PqGramIndex& a, const PqGramIndex& b) {
+  PQIDX_CHECK_MSG(a.shape() == b.shape(),
+                  "pq-gram distance requires equal shapes");
+  int64_t union_size = a.size() + b.size();  // |I1 ⊎ I2|
+  if (union_size == 0) return 0.0;           // two empty trees
+  int64_t intersection = BagIntersectionSize(a, b);
+  return 1.0 - 2.0 * static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double PqGramDistance(const Tree& a, const Tree& b, const PqShape& shape) {
+  return PqGramDistance(BuildIndex(a, shape), BuildIndex(b, shape));
+}
+
+double PqGramContainment(const PqGramIndex& part, const PqGramIndex& whole) {
+  PQIDX_CHECK_MSG(part.shape() == whole.shape(),
+                  "pq-gram containment requires equal shapes");
+  if (part.size() == 0) return 1.0;
+  return static_cast<double>(BagIntersectionSize(part, whole)) /
+         static_cast<double>(part.size());
+}
+
+double PqGramContainment(const Tree& part, const Tree& whole,
+                         const PqShape& shape) {
+  return PqGramContainment(BuildIndex(part, shape),
+                           BuildIndex(whole, shape));
+}
+
+}  // namespace pqidx

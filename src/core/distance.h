@@ -1,0 +1,37 @@
+// The pq-gram distance (paper Section 3.2, after Augsten et al., VLDB'05):
+//
+//   dist(T, T') = 1 - 2 * |I(T) bag-intersect I(T')| / |I(T) bag-union I(T')|
+//
+// A pseudo-metric in [0, 1]: 0 for trees with identical indexes, 1 for
+// trees sharing no pq-grams. It approximates (and for unit costs lower
+// bounds the effect of) the tree edit distance: few edit operations touch
+// few pq-grams.
+
+#ifndef PQIDX_CORE_DISTANCE_H_
+#define PQIDX_CORE_DISTANCE_H_
+
+#include "core/pqgram_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Distance between two prebuilt indexes. Shapes must match. O(min distinct
+// sizes) expected time.
+double PqGramDistance(const PqGramIndex& a, const PqGramIndex& b);
+
+// Convenience: builds both indexes (the expensive part, per the paper's
+// Section 9.1) and compares them.
+double PqGramDistance(const Tree& a, const Tree& b, const PqShape& shape);
+
+// Containment score |I(part) bag-intersect I(whole)| / |I(part)| in
+// [0, 1]: how much of `part`'s pq-gram bag also occurs in `whole`. Near 1
+// when `part` appears (approximately) as a fragment of `whole`, even if
+// `whole` is much larger -- the asymmetric counterpart of the distance
+// for sub-document search. 1.0 for an empty `part` bag.
+double PqGramContainment(const PqGramIndex& part, const PqGramIndex& whole);
+double PqGramContainment(const Tree& part, const Tree& whole,
+                         const PqShape& shape);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_DISTANCE_H_

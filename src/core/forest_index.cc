@@ -1,0 +1,113 @@
+#include "core/forest_index.h"
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "core/incremental.h"
+
+namespace pqidx {
+
+void ForestIndex::AddTree(TreeId id, const Tree& tree) {
+  AddIndex(id, BuildIndex(tree, shape_));
+}
+
+void ForestIndex::AddIndex(TreeId id, PqGramIndex index) {
+  PQIDX_CHECK_MSG(index.shape() == shape_,
+                  "index shape does not match forest shape");
+  indexes_.insert_or_assign(id, std::move(index));
+}
+
+bool ForestIndex::RemoveTree(TreeId id) { return indexes_.erase(id) > 0; }
+
+const PqGramIndex* ForestIndex::Find(TreeId id) const {
+  auto it = indexes_.find(id);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+Status ForestIndex::ApplyLog(TreeId id, const Tree& tn, const EditLog& log) {
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) {
+    return NotFoundError("no index for tree " + std::to_string(id));
+  }
+  return UpdateIndex(&it->second, tn, log);
+}
+
+std::vector<LookupResult> ForestIndex::Lookup(const PqGramIndex& query,
+                                              double tau) const {
+  std::vector<LookupResult> results;
+  for (const auto& [id, index] : indexes_) {
+    double d = PqGramDistance(query, index);
+    if (d <= tau) results.push_back({id, d});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const LookupResult& a, const LookupResult& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.tree_id < b.tree_id);
+            });
+  return results;
+}
+
+std::vector<LookupResult> ForestIndex::Lookup(const Tree& query,
+                                              double tau) const {
+  return Lookup(BuildIndex(query, shape_), tau);
+}
+
+std::vector<LookupResult> ForestIndex::TopK(const PqGramIndex& query,
+                                            int k) const {
+  std::vector<LookupResult> all = Lookup(query, 1.0);
+  if (k < static_cast<int>(all.size())) {
+    all.resize(static_cast<size_t>(k < 0 ? 0 : k));
+  }
+  return all;
+}
+
+std::vector<LookupResult> ForestIndex::TopK(const Tree& query,
+                                            int k) const {
+  return TopK(BuildIndex(query, shape_), k);
+}
+
+std::vector<TreeId> ForestIndex::TreeIds() const {
+  std::vector<TreeId> ids;
+  ids.reserve(indexes_.size());
+  for (const auto& [id, index] : indexes_) ids.push_back(id);
+  return ids;
+}
+
+int64_t ForestIndex::SerializedBytes() const {
+  ByteWriter writer;
+  Serialize(&writer);
+  return static_cast<int64_t>(writer.data().size());
+}
+
+void ForestIndex::Serialize(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(shape_.p));
+  writer->PutU8(static_cast<uint8_t>(shape_.q));
+  writer->PutVarint(indexes_.size());
+  for (const auto& [id, index] : indexes_) {
+    writer->PutVarint(static_cast<uint64_t>(id));
+    index.Serialize(writer);
+  }
+}
+
+StatusOr<ForestIndex> ForestIndex::Deserialize(ByteReader* reader) {
+  uint8_t p, q;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&p));
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&q));
+  if (p < 1 || q < 1) return DataLossError("bad forest index shape");
+  ForestIndex forest(PqShape{p, q});
+  uint64_t count;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id;
+    PQIDX_RETURN_IF_ERROR(reader->GetVarint(&id));
+    StatusOr<PqGramIndex> index = PqGramIndex::Deserialize(reader);
+    PQIDX_RETURN_IF_ERROR(index.status());
+    if (!(index->shape() == forest.shape_)) {
+      return DataLossError("per-tree index shape mismatch");
+    }
+    forest.AddIndex(static_cast<TreeId>(id), *std::move(index));
+  }
+  return forest;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,88 @@
+// The forest-level pq-gram index and approximate lookup (paper Sections
+// 3.2 and 9.1).
+//
+// Stores one PqGramIndex per tree of a forest -- the paper's relation
+// (treeId, pqg, cnt) -- and answers approximate lookups: all trees whose
+// pq-gram distance to a query tree is below a threshold. With the index
+// precomputed, a lookup touches only the (small) per-tree bags; without
+// it, every lookup has to recompute every profile, which the paper shows
+// dominates the cost.
+
+#ifndef PQIDX_CORE_FOREST_INDEX_H_
+#define PQIDX_CORE_FOREST_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Identifier of a tree within a forest.
+using TreeId = int32_t;
+
+struct LookupResult {
+  TreeId tree_id;
+  double distance;
+};
+
+class ForestIndex {
+ public:
+  explicit ForestIndex(PqShape shape = PqShape{}) : shape_(shape) {
+    PQIDX_CHECK(shape.Valid());
+  }
+
+  const PqShape& shape() const { return shape_; }
+  int size() const { return static_cast<int>(indexes_.size()); }
+
+  // Indexes `tree` under `id`, replacing any previous index for `id`.
+  void AddTree(TreeId id, const Tree& tree);
+
+  // Adopts a prebuilt index (shape must match).
+  void AddIndex(TreeId id, PqGramIndex index);
+
+  // Returns true if `id` was present.
+  bool RemoveTree(TreeId id);
+
+  // The index of `id`, or nullptr.
+  const PqGramIndex* Find(TreeId id) const;
+
+  // Incrementally maintains the index of `id` from the resulting tree and
+  // the log of inverse edit operations (Algorithm 1).
+  Status ApplyLog(TreeId id, const Tree& tn, const EditLog& log);
+
+  // Approximate lookup: all trees T with dist(query, T) <= tau, most
+  // similar first. `query` must have this forest's shape.
+  std::vector<LookupResult> Lookup(const PqGramIndex& query,
+                                   double tau) const;
+  std::vector<LookupResult> Lookup(const Tree& query, double tau) const;
+
+  // The k most similar trees (fewer if the forest is smaller), most
+  // similar first; ties broken by tree id.
+  std::vector<LookupResult> TopK(const PqGramIndex& query, int k) const;
+  std::vector<LookupResult> TopK(const Tree& query, int k) const;
+
+  // All indexed tree ids, ascending.
+  std::vector<TreeId> TreeIds() const;
+
+  int64_t SerializedBytes() const;
+  void Serialize(ByteWriter* writer) const;
+  static StatusOr<ForestIndex> Deserialize(ByteReader* reader);
+
+  friend bool operator==(const ForestIndex& a, const ForestIndex& b) {
+    return a.shape_ == b.shape_ && a.indexes_ == b.indexes_;
+  }
+
+ private:
+  PqShape shape_;
+  std::map<TreeId, PqGramIndex> indexes_;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_FOREST_INDEX_H_

@@ -1,0 +1,95 @@
+#include "core/incremental.h"
+
+#include <chrono>
+
+#include "core/delta.h"
+#include "core/profile_updater.h"
+
+namespace pqidx {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void CollectLambda(const DeltaStore& store, const PqShape& shape,
+                   PqGramIndex* out) {
+  store.ForEachPqGram([&](const PqGramView& view) {
+    out->Add(FingerprintLabelTuple(view.labels, shape.tuple_size()));
+  });
+}
+
+}  // namespace
+
+Status ComputeIndexDeltas(const Tree& tn, const EditLog& log,
+                          const PqShape& shape, PqGramIndex* plus,
+                          PqGramIndex* minus, UpdateTimings* timings) {
+  PQIDX_CHECK(plus != nullptr && minus != nullptr);
+  PQIDX_CHECK(plus->shape() == shape && minus->shape() == shape);
+  if (tn.root() == kNullNodeId) {
+    return InvalidArgumentError("cannot update the index of an empty tree");
+  }
+  auto total_start = std::chrono::steady_clock::now();
+  UpdateTimings local;
+  DeltaStore store(shape);
+
+  // Step 1: Delta+ = union_k delta(Tn, e-bar_k), evaluated on Tn only.
+  auto start = std::chrono::steady_clock::now();
+  for (const EditOperation& op : log.inverse_ops()) {
+    ComputeDelta(tn, op, &store);
+  }
+  local.delta_plus_s = SecondsSince(start);
+  local.delta_plus_pqgrams = store.CountPqGrams();
+
+  // Step 2: I+ = lambda(Delta+).
+  start = std::chrono::steady_clock::now();
+  CollectLambda(store, shape, plus);
+  local.lambda_plus_s = SecondsSince(start);
+
+  // Step 3: Delta- by applying U for e-bar_n, ..., e-bar_1.
+  start = std::chrono::steady_clock::now();
+  ProfileUpdater updater(&store, &tn.dict());
+  const std::vector<EditOperation>& ops = log.inverse_ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    updater.Apply(*it);
+  }
+  local.delta_minus_s = SecondsSince(start);
+  local.delta_minus_pqgrams = store.CountPqGrams();
+
+  // Step 4: I- = lambda(Delta-).
+  start = std::chrono::steady_clock::now();
+  CollectLambda(store, shape, minus);
+  local.lambda_minus_s = SecondsSince(start);
+
+  local.total_s = SecondsSince(total_start);
+  if (timings != nullptr) *timings = local;
+  return Status::Ok();
+}
+
+Status UpdateIndex(PqGramIndex* index, const Tree& tn, const EditLog& log,
+                   UpdateTimings* timings) {
+  PQIDX_CHECK(index != nullptr);
+  const PqShape shape = index->shape();
+  PqGramIndex plus(shape);
+  PqGramIndex minus(shape);
+  UpdateTimings local;
+  PQIDX_RETURN_IF_ERROR(
+      ComputeIndexDeltas(tn, log, shape, &plus, &minus, &local));
+
+  // Step 5: In = I0 \ lambda(Delta-) bag-union lambda(Delta+).
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& [fp, count] : minus.counts()) {
+    index->Remove(fp, count);
+  }
+  for (const auto& [fp, count] : plus.counts()) {
+    index->Add(fp, count);
+  }
+  local.apply_s = SecondsSince(start);
+  local.total_s += local.apply_s;
+  if (timings != nullptr) *timings = local;
+  return Status::Ok();
+}
+
+}  // namespace pqidx

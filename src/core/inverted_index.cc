@@ -1,0 +1,191 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+
+#include "core/incremental.h"
+
+namespace pqidx {
+
+InvertedForestIndex::InvertedForestIndex(const ForestIndex& forest)
+    : shape_(forest.shape()) {
+  for (TreeId id : forest.TreeIds()) {
+    AddIndex(id, *forest.Find(id));
+  }
+}
+
+void InvertedForestIndex::AddIndex(TreeId id, const PqGramIndex& index) {
+  PQIDX_CHECK_MSG(index.shape() == shape_,
+                  "index shape does not match inverted index shape");
+  RemoveTree(id);
+  for (const auto& [fp, count] : index.counts()) {
+    Status status = AdjustPosting(fp, id, count);
+    PQIDX_CHECK(status.ok());
+  }
+  tree_sizes_[id] = index.size();
+}
+
+void InvertedForestIndex::AddTree(TreeId id, const Tree& tree) {
+  AddIndex(id, BuildIndex(tree, shape_));
+}
+
+bool InvertedForestIndex::RemoveTree(TreeId id) {
+  auto it = tree_sizes_.find(id);
+  if (it == tree_sizes_.end()) return false;
+  tree_sizes_.erase(it);
+  // Sweep the postings; removal is rare relative to lookups.
+  for (auto pit = postings_.begin(); pit != postings_.end();) {
+    std::vector<Posting>& list = pit->second;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].tree_id == id) {
+        list[i] = list.back();
+        list.pop_back();
+        --posting_entries_;
+        break;
+      }
+    }
+    pit = list.empty() ? postings_.erase(pit) : std::next(pit);
+  }
+  return true;
+}
+
+Status InvertedForestIndex::AdjustPosting(PqGramFingerprint fp, TreeId id,
+                                          int64_t delta) {
+  if (delta == 0) return Status::Ok();
+  std::vector<Posting>& list = postings_[fp];
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].tree_id != id) continue;
+    list[i].count += delta;
+    if (list[i].count < 0) {
+      return FailedPreconditionError(
+          "posting count would become negative (stale delta?)");
+    }
+    if (list[i].count == 0) {
+      list[i] = list.back();
+      list.pop_back();
+      --posting_entries_;
+      if (list.empty()) postings_.erase(fp);
+    }
+    return Status::Ok();
+  }
+  if (delta < 0) {
+    return FailedPreconditionError(
+        "removing a pq-gram tuple the tree does not have");
+  }
+  list.push_back({id, delta});
+  ++posting_entries_;
+  return Status::Ok();
+}
+
+Status InvertedForestIndex::UpdateTree(TreeId id, const PqGramIndex& plus,
+                                       const PqGramIndex& minus) {
+  auto it = tree_sizes_.find(id);
+  if (it == tree_sizes_.end()) {
+    return NotFoundError("unknown tree in inverted index");
+  }
+  PQIDX_CHECK(plus.shape() == shape_ && minus.shape() == shape_);
+  for (const auto& [fp, count] : minus.counts()) {
+    PQIDX_RETURN_IF_ERROR(AdjustPosting(fp, id, -count));
+  }
+  for (const auto& [fp, count] : plus.counts()) {
+    PQIDX_RETURN_IF_ERROR(AdjustPosting(fp, id, count));
+  }
+  it->second += plus.size() - minus.size();
+  PQIDX_CHECK(it->second >= 0);
+  return Status::Ok();
+}
+
+Status InvertedForestIndex::ApplyLog(TreeId id, const Tree& tn,
+                                     const EditLog& log) {
+  if (!tree_sizes_.contains(id)) {
+    return NotFoundError("unknown tree in inverted index");
+  }
+  PqGramIndex plus(shape_);
+  PqGramIndex minus(shape_);
+  PQIDX_RETURN_IF_ERROR(
+      ComputeIndexDeltas(tn, log, shape_, &plus, &minus, nullptr));
+  return UpdateTree(id, plus, minus);
+}
+
+std::vector<LookupResult> InvertedForestIndex::Lookup(
+    const PqGramIndex& query, double tau) const {
+  PQIDX_CHECK_MSG(query.shape() == shape_,
+                  "query shape does not match inverted index shape");
+  // Accumulate bag-intersection sizes over the query's postings only.
+  std::unordered_map<TreeId, int64_t> intersection;
+  for (const auto& [fp, qcount] : query.counts()) {
+    auto it = postings_.find(fp);
+    if (it == postings_.end()) continue;
+    for (const Posting& posting : it->second) {
+      intersection[posting.tree_id] += std::min(qcount, posting.count);
+    }
+  }
+  std::vector<LookupResult> results;
+  auto consider = [&](TreeId id, int64_t shared) {
+    int64_t union_size = query.size() + tree_sizes_.at(id);
+    double distance =
+        union_size == 0
+            ? 0.0
+            : 1.0 - 2.0 * static_cast<double>(shared) /
+                        static_cast<double>(union_size);
+    if (distance <= tau) results.push_back({id, distance});
+  };
+  if (tau >= 1.0) {
+    // Distance 1 trees (no shared tuple) qualify too: visit everything.
+    for (const auto& [id, size] : tree_sizes_) {
+      auto it = intersection.find(id);
+      consider(id, it == intersection.end() ? 0 : it->second);
+    }
+  } else {
+    for (const auto& [id, shared] : intersection) {
+      consider(id, shared);
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const LookupResult& a, const LookupResult& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.tree_id < b.tree_id);
+            });
+  return results;
+}
+
+std::vector<LookupResult> InvertedForestIndex::Lookup(const Tree& query,
+                                                      double tau) const {
+  return Lookup(BuildIndex(query, shape_), tau);
+}
+
+std::vector<LookupResult> InvertedForestIndex::TopK(
+    const PqGramIndex& query, int k) const {
+  std::vector<LookupResult> all = Lookup(query, 1.0);
+  if (k < static_cast<int>(all.size())) {
+    all.resize(static_cast<size_t>(k < 0 ? 0 : k));
+  }
+  return all;
+}
+
+int64_t InvertedForestIndex::TreeBagSize(TreeId id) const {
+  auto it = tree_sizes_.find(id);
+  return it == tree_sizes_.end() ? -1 : it->second;
+}
+
+void InvertedForestIndex::CheckConsistency() const {
+  std::unordered_map<TreeId, int64_t> totals;
+  int64_t entries = 0;
+  for (const auto& [fp, list] : postings_) {
+    PQIDX_CHECK(!list.empty());
+    entries += static_cast<int64_t>(list.size());
+    std::unordered_map<TreeId, int> seen;
+    for (const Posting& posting : list) {
+      PQIDX_CHECK(posting.count > 0);
+      PQIDX_CHECK(++seen[posting.tree_id] == 1);
+      PQIDX_CHECK(tree_sizes_.contains(posting.tree_id));
+      totals[posting.tree_id] += posting.count;
+    }
+  }
+  PQIDX_CHECK(entries == posting_entries_);
+  for (const auto& [id, size] : tree_sizes_) {
+    auto it = totals.find(id);
+    PQIDX_CHECK((it == totals.end() ? 0 : it->second) == size);
+  }
+}
+
+}  // namespace pqidx

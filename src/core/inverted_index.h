@@ -1,0 +1,92 @@
+// Inverted postings over a forest's pq-gram label-tuples: a lookup
+// accelerator beyond the paper.
+//
+// The plain ForestIndex::Lookup intersects the query bag with every tree's
+// bag, so a lookup costs the sum of all distinct-tuple counts in the
+// forest. This index inverts the relation (treeId, pqg, cnt) into
+// pqg -> [(treeId, cnt)] postings: a lookup only touches the postings of
+// the query's own tuples, i.e. work proportional to the actual overlap --
+// dissimilar trees are never visited. Results are identical to the scan.
+//
+// The structure stays incrementally maintainable: UpdateTree consumes the
+// same lambda(Delta+) / lambda(Delta-) bags that Algorithm 1 produces.
+
+#ifndef PQIDX_CORE_INVERTED_INDEX_H_
+#define PQIDX_CORE_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class InvertedForestIndex {
+ public:
+  explicit InvertedForestIndex(PqShape shape = PqShape{}) : shape_(shape) {
+    PQIDX_CHECK(shape.Valid());
+  }
+
+  // Builds the postings from an existing forest index.
+  explicit InvertedForestIndex(const ForestIndex& forest);
+
+  const PqShape& shape() const { return shape_; }
+  int size() const { return static_cast<int>(tree_sizes_.size()); }
+
+  // Adds / replaces a tree's bag.
+  void AddIndex(TreeId id, const PqGramIndex& index);
+  void AddTree(TreeId id, const Tree& tree);
+  bool RemoveTree(TreeId id);
+
+  // Incremental maintenance: applies the I+ / I- bags of one updateIndex
+  // run (paper Algorithm 1) to tree `id`. Equivalent to re-adding the
+  // updated bag, but touches only the changed postings.
+  Status UpdateTree(TreeId id, const PqGramIndex& plus,
+                    const PqGramIndex& minus);
+
+  // Convenience: runs ComputeIndexDeltas on (tn, log) and applies them.
+  Status ApplyLog(TreeId id, const Tree& tn, const EditLog& log);
+
+  // Approximate lookup; same results as ForestIndex::Lookup, most similar
+  // first. For tau >= 1 every indexed tree qualifies by definition.
+  std::vector<LookupResult> Lookup(const PqGramIndex& query,
+                                   double tau) const;
+  std::vector<LookupResult> Lookup(const Tree& query, double tau) const;
+
+  // The k most similar trees, most similar first (ties by tree id).
+  std::vector<LookupResult> TopK(const PqGramIndex& query, int k) const;
+
+  // |I(id)|, or -1 if the tree is unknown.
+  int64_t TreeBagSize(TreeId id) const;
+
+  int64_t posting_entries() const { return posting_entries_; }
+  int64_t distinct_tuples() const {
+    return static_cast<int64_t>(postings_.size());
+  }
+
+  // Verifies postings/tree-size consistency. Aborts on violation; tests.
+  void CheckConsistency() const;
+
+ private:
+  struct Posting {
+    TreeId tree_id;
+    int64_t count;
+  };
+
+  // Adds `delta` (may be negative) to the (fp, id) posting, creating or
+  // erasing entries as needed.
+  Status AdjustPosting(PqGramFingerprint fp, TreeId id, int64_t delta);
+
+  PqShape shape_;
+  std::unordered_map<PqGramFingerprint, std::vector<Posting>> postings_;
+  std::unordered_map<TreeId, int64_t> tree_sizes_;  // |I(T)| per tree
+  int64_t posting_entries_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_INVERTED_INDEX_H_

@@ -1,0 +1,68 @@
+#include "core/join.h"
+
+#include <algorithm>
+
+#include "core/distance.h"
+
+namespace pqidx {
+namespace {
+
+void SortPairs(std::vector<JoinResult>* results) {
+  std::sort(results->begin(), results->end(),
+            [](const JoinResult& a, const JoinResult& b) {
+              return a.left < b.left ||
+                     (a.left == b.left && a.right < b.right);
+            });
+}
+
+}  // namespace
+
+std::vector<JoinResult> NestedLoopJoin(const ForestIndex& left,
+                                       const ForestIndex& right,
+                                       double tau) {
+  PQIDX_CHECK(left.shape() == right.shape());
+  std::vector<JoinResult> results;
+  for (TreeId l : left.TreeIds()) {
+    const PqGramIndex* lbag = left.Find(l);
+    for (TreeId r : right.TreeIds()) {
+      double d = PqGramDistance(*lbag, *right.Find(r));
+      if (d <= tau) results.push_back({l, r, d});
+    }
+  }
+  SortPairs(&results);
+  return results;
+}
+
+std::vector<JoinResult> IndexJoin(const ForestIndex& left,
+                                  const InvertedForestIndex& right,
+                                  double tau) {
+  PQIDX_CHECK(left.shape() == right.shape());
+  std::vector<JoinResult> results;
+  for (TreeId l : left.TreeIds()) {
+    for (const LookupResult& hit : right.Lookup(*left.Find(l), tau)) {
+      results.push_back({l, hit.tree_id, hit.distance});
+    }
+  }
+  SortPairs(&results);
+  return results;
+}
+
+std::vector<JoinResult> IndexJoin(const ForestIndex& left,
+                                  const ForestIndex& right, double tau) {
+  InvertedForestIndex inverted(right);
+  return IndexJoin(left, inverted, tau);
+}
+
+std::vector<JoinResult> SelfJoin(const ForestIndex& forest, double tau) {
+  InvertedForestIndex inverted(forest);
+  std::vector<JoinResult> results;
+  for (TreeId l : forest.TreeIds()) {
+    for (const LookupResult& hit : inverted.Lookup(*forest.Find(l), tau)) {
+      if (hit.tree_id > l) results.push_back({l, hit.tree_id, hit.distance});
+    }
+  }
+  SortPairs(&results);
+  return results;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,47 @@
+// Approximate joins between forests (the application context of the
+// paper's Section 2: approximate XML joins a la Guha et al.).
+//
+// An approximate join of forests F1 and F2 under threshold tau returns
+// every pair (T1, T2) with pq-gram distance <= tau. The naive evaluation
+// compares all |F1| x |F2| bag pairs; the index-based evaluation probes
+// the inverted postings of one side with the bags of the other, touching
+// only pairs that share at least one pq-gram -- dissimilar pairs cost
+// nothing. Results are identical.
+
+#ifndef PQIDX_CORE_JOIN_H_
+#define PQIDX_CORE_JOIN_H_
+
+#include <vector>
+
+#include "core/forest_index.h"
+#include "core/inverted_index.h"
+
+namespace pqidx {
+
+struct JoinResult {
+  TreeId left;
+  TreeId right;
+  double distance;
+};
+
+// Nested-loop reference evaluation: all pairs, O(|F1|·|F2|) bag
+// intersections. Shapes must match. Pairs ordered by (left, right).
+std::vector<JoinResult> NestedLoopJoin(const ForestIndex& left,
+                                       const ForestIndex& right,
+                                       double tau);
+
+// Index-based evaluation: builds (or reuses) inverted postings over
+// `right` and probes them with every bag of `left`. Same result set as
+// NestedLoopJoin, same order.
+std::vector<JoinResult> IndexJoin(const ForestIndex& left,
+                                  const InvertedForestIndex& right,
+                                  double tau);
+std::vector<JoinResult> IndexJoin(const ForestIndex& left,
+                                  const ForestIndex& right, double tau);
+
+// Self-join: all unordered pairs (a < b) within one forest under tau.
+std::vector<JoinResult> SelfJoin(const ForestIndex& forest, double tau);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_JOIN_H_

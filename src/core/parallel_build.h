@@ -1,0 +1,39 @@
+// Parallel collection indexing: builds the per-tree bags of a forest (or
+// the distances of one query against many bags) across a thread pool.
+// Profile computation is read-only over each tree and dominates indexing
+// cost (paper Section 9.1), so the batch parallelizes perfectly.
+//
+// Thread-safety note: the trees' shared LabelDict is only *read* here
+// (all labels were interned at construction), which is safe; interning
+// while a parallel build runs is not.
+
+#ifndef PQIDX_CORE_PARALLEL_BUILD_H_
+#define PQIDX_CORE_PARALLEL_BUILD_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/forest_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Builds a forest index over `trees` with ids 0..n-1 using `num_threads`
+// workers.
+ForestIndex BuildForestIndexParallel(const std::vector<Tree>& trees,
+                                     const PqShape& shape, int num_threads);
+
+// As above with explicit (id, tree) pairs.
+ForestIndex BuildForestIndexParallel(
+    const std::vector<std::pair<TreeId, const Tree*>>& trees,
+    const PqShape& shape, int num_threads);
+
+// Distances of `query` against every tree bag of `forest`, in TreeIds()
+// order, computed across `num_threads` workers.
+std::vector<double> AllDistancesParallel(const ForestIndex& forest,
+                                         const PqGramIndex& query,
+                                         int num_threads);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_PARALLEL_BUILD_H_

@@ -1,0 +1,30 @@
+#include "core/pqgram.h"
+
+namespace pqidx {
+
+std::string PqGramToString(const PqGram& gram, const LabelDict& dict) {
+  // Build a reverse map hash -> label id lazily; dictionaries are small
+  // relative to debugging needs.
+  std::string out = "(";
+  for (size_t i = 0; i < gram.ids.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (gram.ids[i] == kNullNodeId) {
+      out.push_back('*');
+      continue;
+    }
+    out += std::to_string(gram.ids[i]);
+    out.push_back(':');
+    const std::string* found = nullptr;
+    for (LabelId l = 0; l < dict.size(); ++l) {
+      if (dict.Hash(l) == gram.labels[i]) {
+        found = &dict.LabelString(l);
+        break;
+      }
+    }
+    out += found != nullptr ? *found : "?";
+  }
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace pqidx

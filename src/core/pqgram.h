@@ -1,0 +1,83 @@
+// pq-gram primitives (paper Definition 1).
+//
+// For a tree T extended with null nodes (p-1 null ancestors above the root,
+// q-1 null children before and after the children of every non-leaf, q null
+// children under every leaf), a pq-gram with anchor node a consists of
+//  * the p-part: a's p-1 ancestors and a itself, and
+//  * the q-part: q contiguous (extended) children of a.
+//
+// A node a with fanout f > 0 anchors f+q-1 pq-grams (the q-wide windows
+// over its null-padded child sequence); a leaf anchors exactly one pq-gram
+// whose q-part is all nulls. We address the pq-grams of an anchor by their
+// 0-based window index `row`: row r covers child positions [r-q+1, r]
+// (positions outside [0, f) are nulls); a leaf's single pq-gram has row 0.
+//
+// A pq-gram is identified by its nodes (ids and labels); rows are
+// addressing, not identity.
+
+#ifndef PQIDX_CORE_PQGRAM_H_
+#define PQIDX_CORE_PQGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// The (p, q) configuration of an index. The paper's experiments use 3,3
+// (default) and 1,2.
+struct PqShape {
+  int p = 3;
+  int q = 3;
+
+  bool Valid() const { return p >= 1 && q >= 1; }
+  int tuple_size() const { return p + q; }
+
+  friend bool operator==(const PqShape& a, const PqShape& b) = default;
+};
+
+// A materialized pq-gram: node ids and label hashes in linear encoding
+// (a_{p-1}, ..., a_1, a, c_i, ..., c_{i+q-1}). Null nodes have id
+// kNullNodeId and label kNullLabelHash. Used by tests, reference
+// implementations, and debugging; the index itself only stores
+// fingerprints.
+struct PqGram {
+  std::vector<NodeId> ids;        // size p+q
+  std::vector<LabelHash> labels;  // size p+q
+
+  // The anchor is the last node of the p-part.
+  NodeId anchor(const PqShape& shape) const { return ids[shape.p - 1]; }
+
+  PqGramFingerprint Fingerprint() const {
+    return FingerprintLabelTuple(labels.data(),
+                                 static_cast<int>(labels.size()));
+  }
+
+  // Identity of a pq-gram is its node content (paper: two nodes are equal
+  // iff identifier and label match).
+  friend bool operator==(const PqGram& a, const PqGram& b) = default;
+  friend auto operator<=>(const PqGram& a, const PqGram& b) = default;
+};
+
+// Borrowed view of one pq-gram during an enumeration (profile pass or
+// delta-store join): the anchor node, the 0-based window row, and the
+// linear encoding (p-part then q-part) as parallel id/label-hash arrays of
+// length shape.tuple_size(). The arrays are only valid during the callback.
+struct PqGramView {
+  NodeId anchor;
+  int row;
+  const NodeId* ids;
+  const LabelHash* labels;
+};
+
+// Renders a pq-gram as "(*,*,1:a,2:b,*,*)" given the owning tree's
+// dictionary (labels are resolved from `dict` by re-hashing, so unknown
+// hashes render as "?").
+std::string PqGramToString(const PqGram& gram, const LabelDict& dict);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_PQGRAM_H_

@@ -1,0 +1,109 @@
+#include "core/pqgram_index.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/profile.h"
+
+namespace pqidx {
+
+void PqGramIndex::Add(PqGramFingerprint fp, int64_t n) {
+  PQIDX_CHECK(n >= 0);
+  if (n == 0) return;
+  counts_[fp] += n;
+  size_ += n;
+}
+
+void PqGramIndex::Remove(PqGramFingerprint fp, int64_t n) {
+  PQIDX_CHECK(n >= 0);
+  if (n == 0) return;
+  auto it = counts_.find(fp);
+  PQIDX_CHECK_MSG(it != counts_.end() && it->second >= n,
+                  "bag removal of absent pq-gram label-tuple");
+  it->second -= n;
+  size_ -= n;
+  if (it->second == 0) counts_.erase(it);
+}
+
+int64_t PqGramIndex::SerializedBytes() const {
+  ByteWriter writer;
+  Serialize(&writer);
+  return static_cast<int64_t>(writer.data().size());
+}
+
+void PqGramIndex::Serialize(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(shape_.p));
+  writer->PutU8(static_cast<uint8_t>(shape_.q));
+  writer->PutVarint(counts_.size());
+  // Sorted by fingerprint: equal bags serialize to identical bytes
+  // regardless of hash-table iteration order (reproducible files).
+  std::vector<std::pair<PqGramFingerprint, int64_t>> entries(
+      counts_.begin(), counts_.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [fp, count] : entries) {
+    writer->PutU64(fp);
+    writer->PutVarint(static_cast<uint64_t>(count));
+  }
+}
+
+StatusOr<PqGramIndex> PqGramIndex::Deserialize(ByteReader* reader) {
+  uint8_t p, q;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&p));
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&q));
+  if (p < 1 || q < 1) return DataLossError("bad pq-gram shape");
+  PqGramIndex index(PqShape{p, q});
+  uint64_t entries;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&entries));
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint64_t fp, count;
+    PQIDX_RETURN_IF_ERROR(reader->GetU64(&fp));
+    PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
+    if (count == 0) return DataLossError("zero count in serialized index");
+    index.Add(fp, static_cast<int64_t>(count));
+  }
+  return index;
+}
+
+IndexStats ComputeIndexStats(const PqGramIndex& index) {
+  IndexStats stats;
+  stats.size = index.size();
+  stats.distinct = index.distinct();
+  for (const auto& [fp, count] : index.counts()) {
+    stats.max_count = std::max(stats.max_count, count);
+    if (count == 1) ++stats.singletons;
+  }
+  stats.dedup_ratio =
+      stats.distinct > 0
+          ? static_cast<double>(stats.size) / stats.distinct
+          : 1.0;
+  return stats;
+}
+
+std::string IndexStats::ToString() const {
+  return std::to_string(size) + " pq-grams, " + std::to_string(distinct) +
+         " distinct (dedup " + std::to_string(dedup_ratio) + "x), max count " +
+         std::to_string(max_count) + ", " + std::to_string(singletons) +
+         " singletons";
+}
+
+PqGramIndex BuildIndex(const Tree& tree, const PqShape& shape) {
+  PqGramIndex index(shape);
+  ForEachPqGram(tree, shape, [&](const PqGramView& view) {
+    index.Add(FingerprintLabelTuple(view.labels, shape.tuple_size()));
+  });
+  return index;
+}
+
+int64_t BagIntersectionSize(const PqGramIndex& a, const PqGramIndex& b) {
+  const PqGramIndex& small = a.distinct() <= b.distinct() ? a : b;
+  const PqGramIndex& large = a.distinct() <= b.distinct() ? b : a;
+  int64_t total = 0;
+  for (const auto& [fp, count] : small.counts()) {
+    int64_t other = large.Count(fp);
+    total += count < other ? count : other;
+  }
+  return total;
+}
+
+}  // namespace pqidx

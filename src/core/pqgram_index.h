@@ -1,0 +1,100 @@
+// The pq-gram index of one tree (paper Definition 3).
+//
+// The index is the *bag* of label-tuples of the tree's pq-grams: while a
+// pq-gram is unique within a tree, different pq-grams may carry identical
+// label-tuples, so the index stores (fingerprint, count) pairs -- the
+// paper's (treeId, pqg, cnt) relation restricted to one tree. Only label
+// information survives into the index; node identities live in profiles
+// and deltas.
+
+#ifndef PQIDX_CORE_PQGRAM_INDEX_H_
+#define PQIDX_CORE_PQGRAM_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/fingerprint.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "core/pqgram.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class PqGramIndex {
+ public:
+  explicit PqGramIndex(PqShape shape = PqShape{}) : shape_(shape) {
+    PQIDX_CHECK(shape.Valid());
+  }
+
+  const PqShape& shape() const { return shape_; }
+
+  // Bag cardinality |I| (pq-grams counted with multiplicity).
+  int64_t size() const { return size_; }
+  // Number of distinct label-tuples.
+  int64_t distinct() const { return static_cast<int64_t>(counts_.size()); }
+  bool empty() const { return size_ == 0; }
+
+  // Multiplicity of `fp` in the bag (0 if absent).
+  int64_t Count(PqGramFingerprint fp) const {
+    auto it = counts_.find(fp);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // Bag insertion of `n` occurrences of `fp`.
+  void Add(PqGramFingerprint fp, int64_t n = 1);
+
+  // Bag removal of `n` occurrences. The incremental maintenance math
+  // guarantees presence (Lemma 2: lambda(Delta-) is a sub-bag of I0);
+  // removing more occurrences than present aborts.
+  void Remove(PqGramFingerprint fp, int64_t n = 1);
+
+  // Iteration over (fingerprint, count).
+  const std::unordered_map<PqGramFingerprint, int64_t>& counts() const {
+    return counts_;
+  }
+
+  // Serialized size in bytes (what the paper's Figure 14 (left) compares
+  // against the document size).
+  int64_t SerializedBytes() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static StatusOr<PqGramIndex> Deserialize(ByteReader* reader);
+
+  friend bool operator==(const PqGramIndex& a, const PqGramIndex& b) {
+    return a.shape_ == b.shape_ && a.size_ == b.size_ &&
+           a.counts_ == b.counts_;
+  }
+
+ private:
+  PqShape shape_;
+  std::unordered_map<PqGramFingerprint, int64_t> counts_;
+  int64_t size_ = 0;
+};
+
+// Introspection summary of a bag: how much deduplication the
+// fingerprint/count representation buys and how skewed the tuple
+// multiplicities are (Figure 14 (left) attributes the index's sub-linear
+// growth to exactly this duplication).
+struct IndexStats {
+  int64_t size = 0;          // bag cardinality
+  int64_t distinct = 0;      // distinct label-tuples
+  double dedup_ratio = 1.0;  // size / distinct (>= 1)
+  int64_t max_count = 0;     // most frequent tuple's multiplicity
+  int64_t singletons = 0;    // tuples with count == 1
+
+  std::string ToString() const;
+};
+
+IndexStats ComputeIndexStats(const PqGramIndex& index);
+
+// Builds the index of `tree` from scratch (one profile pass).
+PqGramIndex BuildIndex(const Tree& tree, const PqShape& shape);
+
+// |I1 bag-intersect I2| = sum over tuples of min(count1, count2).
+int64_t BagIntersectionSize(const PqGramIndex& a, const PqGramIndex& b);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_PQGRAM_INDEX_H_

@@ -1,0 +1,89 @@
+#include "core/profile.h"
+
+#include <algorithm>
+
+namespace pqidx {
+
+std::vector<PqGram> ComputeProfile(const Tree& tree, const PqShape& shape) {
+  std::vector<PqGram> out;
+  ForEachPqGram(tree, shape, [&](const PqGramView& view) {
+    PqGram gram;
+    gram.ids.assign(view.ids, view.ids + shape.tuple_size());
+    gram.labels.assign(view.labels, view.labels + shape.tuple_size());
+    out.push_back(std::move(gram));
+  });
+  return out;
+}
+
+std::set<PqGram> ComputeProfileSet(const Tree& tree, const PqShape& shape) {
+  std::set<PqGram> out;
+  ForEachPqGram(tree, shape, [&](const PqGramView& view) {
+    PqGram gram;
+    gram.ids.assign(view.ids, view.ids + shape.tuple_size());
+    gram.labels.assign(view.labels, view.labels + shape.tuple_size());
+    bool inserted = out.insert(std::move(gram)).second;
+    PQIDX_CHECK_MSG(inserted, "profile enumerated a duplicate pq-gram");
+  });
+  return out;
+}
+
+std::vector<PqGram> ComputeProfileBruteForce(const Tree& tree,
+                                             const PqShape& shape) {
+  PQIDX_CHECK(shape.Valid());
+  std::vector<PqGram> out;
+  if (tree.root() == kNullNodeId) return out;
+  const int p = shape.p;
+  const int q = shape.q;
+
+  std::vector<NodeId> all_nodes;
+  tree.PreOrder([&](NodeId n) { all_nodes.push_back(n); });
+
+  for (NodeId anchor : all_nodes) {
+    // Extended ancestor chain: p entries ending at the anchor.
+    std::vector<NodeId> chain;
+    for (NodeId cur = anchor; cur != kNullNodeId; cur = tree.parent(cur)) {
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    std::vector<NodeId> ppart(static_cast<size_t>(p), kNullNodeId);
+    for (int j = 0; j < p; ++j) {
+      int idx = static_cast<int>(chain.size()) - p + j;
+      if (idx >= 0) ppart[j] = chain[idx];
+    }
+    // Extended child sequence (Definition 1): q-1 nulls on each side of a
+    // non-leaf's children; q nulls under a leaf.
+    std::vector<NodeId> extended;
+    if (tree.IsLeaf(anchor)) {
+      extended.assign(static_cast<size_t>(q), kNullNodeId);
+    } else {
+      extended.assign(static_cast<size_t>(q) - 1, kNullNodeId);
+      for (NodeId c : tree.children(anchor)) extended.push_back(c);
+      extended.insert(extended.end(), static_cast<size_t>(q) - 1,
+                      kNullNodeId);
+    }
+    for (size_t start = 0; start + q <= extended.size(); ++start) {
+      PqGram gram;
+      gram.ids = ppart;
+      gram.ids.insert(gram.ids.end(), extended.begin() + start,
+                      extended.begin() + start + q);
+      gram.labels.reserve(gram.ids.size());
+      for (NodeId id : gram.ids) {
+        gram.labels.push_back(id == kNullNodeId ? kNullLabelHash
+                                                : tree.LabelHashOf(id));
+      }
+      out.push_back(std::move(gram));
+    }
+  }
+  return out;
+}
+
+int64_t ProfileSize(const Tree& tree, const PqShape& shape) {
+  int64_t total = 0;
+  tree.PreOrder([&](NodeId n) {
+    int f = tree.fanout(n);
+    total += f == 0 ? 1 : f + shape.q - 1;
+  });
+  return total;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,96 @@
+// pq-gram profile computation (paper Definition 2).
+//
+// The profile of a tree is the set of all its pq-grams. ForEachPqGram
+// enumerates them in a single O(|T|·(p+q)) pass without materializing
+// anything; ComputeProfile materializes them for tests and reference
+// computations; ComputeProfileBruteForce is an intentionally naive
+// implementation straight from Definition 1, used to cross-validate the
+// fast path.
+
+#ifndef PQIDX_CORE_PROFILE_H_
+#define PQIDX_CORE_PROFILE_H_
+
+#include <set>
+#include <vector>
+
+#include "core/pqgram.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Invokes `fn(const PqGramView&)` for every pq-gram of `tree` (see
+// PqGramView in core/pqgram.h). Empty trees
+// produce nothing.
+template <typename Fn>
+void ForEachPqGram(const Tree& tree, const PqShape& shape, Fn&& fn);
+
+// Materializes the profile (set semantics; every enumerated pq-gram is
+// distinct by construction).
+std::vector<PqGram> ComputeProfile(const Tree& tree, const PqShape& shape);
+
+// As ComputeProfile, but as an ordered set keyed by node content. Useful
+// for the set algebra in tests (P_j \ P_i etc.).
+std::set<PqGram> ComputeProfileSet(const Tree& tree, const PqShape& shape);
+
+// Reference implementation following Definition 1 literally: explicitly
+// null-extends each node's ancestor chain and child list. Quadratic-ish
+// constants; tests only.
+std::vector<PqGram> ComputeProfileBruteForce(const Tree& tree,
+                                             const PqShape& shape);
+
+// Number of pq-grams of `tree` without enumerating them:
+// sum over nodes (leaf ? 1 : fanout + q - 1).
+int64_t ProfileSize(const Tree& tree, const PqShape& shape);
+
+// --- implementation ---------------------------------------------------------
+
+template <typename Fn>
+void ForEachPqGram(const Tree& tree, const PqShape& shape, Fn&& fn) {
+  PQIDX_CHECK(shape.Valid());
+  if (tree.root() == kNullNodeId) return;
+  const int p = shape.p;
+  const int q = shape.q;
+  std::vector<NodeId> ids(static_cast<size_t>(p) + q, kNullNodeId);
+  std::vector<LabelHash> labels(static_cast<size_t>(p) + q, kNullLabelHash);
+
+  tree.PreOrder([&](NodeId anchor) {
+    // p-part: walk the ancestor chain; ids[p-1] is the anchor.
+    NodeId cur = anchor;
+    for (int j = p - 1; j >= 0; --j) {
+      ids[j] = cur;
+      labels[j] = cur == kNullNodeId ? kNullLabelHash : tree.LabelHashOf(cur);
+      if (cur != kNullNodeId) cur = tree.parent(cur);
+    }
+    PqGramView view{anchor, 0, ids.data(), labels.data()};
+    auto kids = tree.children(anchor);
+    if (kids.empty()) {
+      for (int j = 0; j < q; ++j) {
+        ids[p + j] = kNullNodeId;
+        labels[p + j] = kNullLabelHash;
+      }
+      view.row = 0;
+      fn(static_cast<const PqGramView&>(view));
+      return;
+    }
+    const int f = static_cast<int>(kids.size());
+    // Row r covers child positions [r-q+1, r].
+    for (int r = 0; r < f + q - 1; ++r) {
+      for (int j = 0; j < q; ++j) {
+        int pos = r - q + 1 + j;
+        if (pos < 0 || pos >= f) {
+          ids[p + j] = kNullNodeId;
+          labels[p + j] = kNullLabelHash;
+        } else {
+          ids[p + j] = kids[pos];
+          labels[p + j] = tree.LabelHashOf(kids[pos]);
+        }
+      }
+      view.row = r;
+      fn(static_cast<const PqGramView&>(view));
+    }
+  });
+}
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_PROFILE_H_

@@ -1,0 +1,317 @@
+#include "core/profile_updater.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+// A sequence of (id, label) pairs: a stretch of an (extended) child list
+// from which q-wide windows are cut.
+struct NodeSeq {
+  std::vector<NodeId> ids;
+  std::vector<LabelHash> labels;
+
+  void Push(NodeId id, LabelHash label) {
+    ids.push_back(id);
+    labels.push_back(label);
+  }
+  void PushNulls(int n) {
+    for (int i = 0; i < n; ++i) Push(kNullNodeId, kNullLabelHash);
+  }
+  void Append(const NodeSeq& other) {
+    ids.insert(ids.end(), other.ids.begin(), other.ids.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  }
+  int size() const { return static_cast<int>(ids.size()); }
+};
+
+// Returns the position of `id` in `ids`; aborts if absent.
+int FindIdOrDie(const std::vector<NodeId>& ids, NodeId id) {
+  auto it = std::find(ids.begin(), ids.end(), id);
+  PQIDX_CHECK_MSG(it != ids.end(), "node id not found in row");
+  return static_cast<int>(it - ids.begin());
+}
+
+}  // namespace
+
+const QRow& ProfileUpdater::QRowOrDie(NodeId anchor, int row) const {
+  const QRow* qrow = store_->FindQRow(anchor, row);
+  PQIDX_CHECK_MSG(qrow != nullptr,
+                  "q-row required by the update function is missing");
+  return *qrow;
+}
+
+void ProfileUpdater::Apply(const EditOperation& op) {
+  switch (op.kind) {
+    case EditOpKind::kRename:
+      ApplyRename(op);
+      break;
+    case EditOpKind::kDelete:
+      ApplyDelete(op);
+      break;
+    case EditOpKind::kInsert:
+      ApplyInsert(op);
+      break;
+  }
+}
+
+// U for e-bar = REN(n, l'): relabel n everywhere it occurs -- in the q-rows
+// of its parent that cover its position, and in every stored p-part chain
+// that passes through n (Algorithm 3 lines 2-7).
+void ProfileUpdater::ApplyRename(const EditOperation& op) {
+  const int q = store_->shape().q;
+  const NodeId n = op.node;
+  const LabelHash new_hash = dict_->Hash(op.label);
+
+  const PRow* pn = store_->FindPRow(n);
+  PQIDX_CHECK_MSG(pn != nullptr, "rename: anchor p-row missing");
+  const NodeId v = pn->parent;
+  const int k = pn->sib_pos;
+  PQIDX_CHECK_MSG(v != kNullNodeId, "rename: edit operations never touch the root");
+
+  // Q side: rows k .. k+q-1 of Q(v) are exactly the windows containing n.
+  for (int r = k; r <= k + q - 1; ++r) {
+    const QRow& row = QRowOrDie(v, r);
+    int col = FindIdOrDie(row.ids, n);
+    store_->SetQRowEntry(v, r, col, n, new_hash);
+  }
+  // P side: changePParts(P, n, .., p-1) -- every chain containing n.
+  for (NodeId anchor : store_->PRowAnchorsContaining(n)) {
+    const PRow* pa = store_->FindPRow(anchor);
+    store_->SetPRowLabel(anchor, FindIdOrDie(pa->ids, n), new_hash);
+  }
+}
+
+// U for e-bar = DEL(n): splice n's children into its parent v. The q-rows
+// of v around n's position merge with Q(n) (the paper's
+// Q^{k..k}(v) // Q(n) diagonal replacement), chains drop n, and sibling
+// positions / row numbers shift by fanout(n) - 1.
+void ProfileUpdater::ApplyDelete(const EditOperation& op) {
+  const int p = store_->shape().p;
+  const int q = store_->shape().q;
+  const NodeId n = op.node;
+
+  const PRow* pn_ptr = store_->FindPRow(n);
+  PQIDX_CHECK_MSG(pn_ptr != nullptr, "delete: anchor p-row missing");
+  const PRow pn = *pn_ptr;  // copied: the row is erased below
+  const NodeId v = pn.parent;
+  const int k = pn.sib_pos;
+  const int fn = pn.fanout;
+  PQIDX_CHECK_MSG(v != kNullNodeId, "delete: edit operations never touch the root");
+
+  // Gather n's child diagonal d_0..d_{fn-1}: column q-1 of Q(n) row i is
+  // child position i.
+  NodeSeq mid;
+  for (int i = 0; i < fn; ++i) {
+    const QRow& row = QRowOrDie(n, i);
+    mid.Push(row.ids[q - 1], row.labels[q - 1]);
+  }
+  // Context around position k in Q(v).
+  NodeSeq left, right;
+  if (q >= 2) {
+    const QRow& lrow = QRowOrDie(v, k);
+    for (int j = 0; j <= q - 2; ++j) left.Push(lrow.ids[j], lrow.labels[j]);
+    const QRow& rrow = QRowOrDie(v, k + q - 1);
+    for (int j = 1; j <= q - 1; ++j) {
+      right.Push(rrow.ids[j], rrow.labels[j]);
+    }
+  }
+
+  const PRow* pv = store_->FindPRow(v);
+  PQIDX_CHECK_MSG(pv != nullptr, "delete: parent p-row missing");
+  const int fv_new = pv->fanout + fn - 1;
+  PQIDX_CHECK(fv_new >= 0);
+  store_->SetPRowFanout(v, fv_new);
+
+  // Replace the windows of v that contained n.
+  for (int r = k; r <= k + q - 1; ++r) store_->EraseQRow(v, r);
+  store_->EraseAllQRows(n);
+  store_->RenumberQRows(v, k + q, fn - 1);
+  if (fv_new == 0) {
+    // v becomes a leaf: the special all-null q-part (paper's
+    // A // (*..*) = (*..*) case, decided here by the tracked fanout).
+    PQIDX_CHECK(fn == 0 && k == 0);
+    QRow null_row;
+    null_row.row = 0;
+    null_row.ids.assign(static_cast<size_t>(q), kNullNodeId);
+    null_row.labels.assign(static_cast<size_t>(q), kNullLabelHash);
+    store_->InsertQRow(v, std::move(null_row));
+  } else {
+    NodeSeq s = left;
+    s.Append(mid);
+    s.Append(right);
+    for (int o = 0; o + q <= s.size(); ++o) {
+      QRow row;
+      row.row = k + o;
+      row.ids.assign(s.ids.begin() + o, s.ids.begin() + o + q);
+      row.labels.assign(s.labels.begin() + o, s.labels.begin() + o + q);
+      store_->InsertQRow(v, std::move(row));
+    }
+  }
+
+  // changePParts: drop n from every chain through it. The replacement
+  // ancestors come from n's own chain: s = (*, a_{p-1}, ..., a_1).
+  NodeSeq tmpl;
+  tmpl.PushNulls(1);
+  for (int j = 0; j <= p - 2; ++j) tmpl.Push(pn.ids[j], pn.labels[j]);
+  for (NodeId anchor : store_->PRowAnchorsContaining(n)) {
+    if (anchor == n) continue;
+    const PRow* pa = store_->FindPRow(anchor);
+    int pos = FindIdOrDie(pa->ids, n);
+    int dd = (p - 1) - pos;  // distance from n to this anchor
+    std::vector<NodeId> ids(tmpl.ids.begin() + dd, tmpl.ids.end());
+    std::vector<LabelHash> labels(tmpl.labels.begin() + dd,
+                                  tmpl.labels.end());
+    ids.insert(ids.end(), pa->ids.end() - dd, pa->ids.end());
+    labels.insert(labels.end(), pa->labels.end() - dd, pa->labels.end());
+    store_->ReplacePRowChain(anchor, std::move(ids), std::move(labels));
+  }
+
+  // Structural bookkeeping: n's children become children of v at position
+  // k; later siblings of n shift by fn - 1.
+  const std::vector<NodeId> v_children = store_->ChildAnchorsOf(v);
+  const std::vector<NodeId> n_children = store_->ChildAnchorsOf(n);
+  for (NodeId c : v_children) {
+    if (c == n) continue;
+    const PRow* pc = store_->FindPRow(c);
+    if (pc->sib_pos > k) {
+      store_->SetPRowParentAndPos(c, v, pc->sib_pos + fn - 1);
+    }
+  }
+  for (NodeId c : n_children) {
+    const PRow* pc = store_->FindPRow(c);
+    store_->SetPRowParentAndPos(c, v, k + pc->sib_pos);
+  }
+  store_->ErasePRow(n);
+}
+
+// U for e-bar = INS(n, v, k, count): insert n under v at position k,
+// adopting the `count` children at positions [k, k+count). The affected
+// windows of v collapse into q windows around n, n receives its own q-rows
+// over the adopted children, and chains gain n between v and each adopted
+// child.
+void ProfileUpdater::ApplyInsert(const EditOperation& op) {
+  const int q = store_->shape().q;
+  const NodeId n = op.node;
+  const NodeId v = op.parent;
+  const int k = op.position;
+  const int count = op.count;
+  const LabelHash new_hash = dict_->Hash(op.label);
+
+  const PRow* pv = store_->FindPRow(v);
+  PQIDX_CHECK_MSG(pv != nullptr, "insert: parent p-row missing");
+  const int fv_old = pv->fanout;
+  PQIDX_CHECK_MSG(k >= 0 && count >= 0 && k + count <= fv_old,
+                  "insert: child range incoherent with tracked fanout");
+  const std::vector<NodeId> pv_ids = pv->ids;  // copied before mutations
+  const std::vector<LabelHash> pv_labels = pv->labels;
+
+  // Gather moved-children diagonal and the window context.
+  NodeSeq mid;
+  for (int i = 0; i < count; ++i) {
+    const QRow& row = QRowOrDie(v, k + i);
+    mid.Push(row.ids[q - 1], row.labels[q - 1]);
+  }
+  NodeSeq left, right;
+  if (fv_old > 0 && q >= 2) {
+    const QRow& lrow = QRowOrDie(v, k);
+    for (int j = 0; j <= q - 2; ++j) left.Push(lrow.ids[j], lrow.labels[j]);
+    const QRow& rrow = QRowOrDie(v, k + count + q - 2);
+    for (int j = 1; j <= q - 1; ++j) {
+      right.Push(rrow.ids[j], rrow.labels[j]);
+    }
+  } else {
+    left.PushNulls(q - 1);
+    right.PushNulls(q - 1);
+  }
+
+  // Replace the affected windows of v.
+  if (fv_old == 0) {
+    PQIDX_CHECK(k == 0 && count == 0);
+    store_->EraseQRow(v, 0);  // the all-null leaf row
+  } else {
+    for (int r = k; r <= k + count + q - 2; ++r) store_->EraseQRow(v, r);
+  }
+  store_->RenumberQRows(v, k + count + q - 1, 1 - count);
+  NodeSeq s = left;
+  s.Push(n, new_hash);
+  s.Append(right);
+  for (int o = 0; o + q <= s.size(); ++o) {
+    QRow row;
+    row.row = k + o;
+    row.ids.assign(s.ids.begin() + o, s.ids.begin() + o + q);
+    row.labels.assign(s.labels.begin() + o, s.labels.begin() + o + q);
+    store_->InsertQRow(v, std::move(row));
+  }
+
+  // n's own q-rows: windows over the adopted children (all-null when n is
+  // inserted as a leaf).
+  if (count == 0) {
+    QRow null_row;
+    null_row.row = 0;
+    null_row.ids.assign(static_cast<size_t>(q), kNullNodeId);
+    null_row.labels.assign(static_cast<size_t>(q), kNullLabelHash);
+    store_->InsertQRow(n, std::move(null_row));
+  } else {
+    NodeSeq sn;
+    sn.PushNulls(q - 1);
+    sn.Append(mid);
+    sn.PushNulls(q - 1);
+    for (int o = 0; o + q <= sn.size(); ++o) {
+      QRow row;
+      row.row = o;
+      row.ids.assign(sn.ids.begin() + o, sn.ids.begin() + o + q);
+      row.labels.assign(sn.labels.begin() + o, sn.labels.begin() + o + q);
+      store_->InsertQRow(n, std::move(row));
+    }
+  }
+
+  // changePParts: insert n between v and each adopted child in every chain
+  // through that child (including the child's own anchor row).
+  for (int i = 0; i < count; ++i) {
+    NodeId c = mid.ids[i];
+    PQIDX_CHECK(c != kNullNodeId);
+    for (NodeId anchor : store_->PRowAnchorsContaining(c)) {
+      const PRow* pa = store_->FindPRow(anchor);
+      int pc = FindIdOrDie(pa->ids, c);
+      if (pc == 0) continue;  // n lands above the chain window
+      PQIDX_CHECK_MSG(pa->ids[pc - 1] == v,
+                      "insert: chain does not pass through the parent");
+      std::vector<NodeId> ids(pa->ids.begin() + 1, pa->ids.begin() + pc);
+      std::vector<LabelHash> labels(pa->labels.begin() + 1,
+                                    pa->labels.begin() + pc);
+      ids.push_back(n);
+      labels.push_back(new_hash);
+      ids.insert(ids.end(), pa->ids.begin() + pc, pa->ids.end());
+      labels.insert(labels.end(), pa->labels.begin() + pc,
+                    pa->labels.end());
+      store_->ReplacePRowChain(anchor, std::move(ids), std::move(labels));
+    }
+  }
+
+  // Structural bookkeeping.
+  const std::vector<NodeId> v_children = store_->ChildAnchorsOf(v);
+  for (NodeId c : v_children) {
+    const PRow* pc = store_->FindPRow(c);
+    if (pc->sib_pos >= k && pc->sib_pos < k + count) {
+      store_->SetPRowParentAndPos(c, n, pc->sib_pos - k);
+    } else if (pc->sib_pos >= k + count) {
+      store_->SetPRowParentAndPos(c, v, pc->sib_pos - count + 1);
+    }
+  }
+  // New p-row for n, derived from v's chain.
+  PRow pn;
+  pn.anchor = n;
+  pn.parent = v;
+  pn.sib_pos = k;
+  pn.fanout = count;
+  pn.ids.assign(pv_ids.begin() + 1, pv_ids.end());
+  pn.ids.push_back(n);
+  pn.labels.assign(pv_labels.begin() + 1, pv_labels.end());
+  pn.labels.push_back(new_hash);
+  store_->InsertPRow(std::move(pn));
+  store_->SetPRowFanout(v, fv_old - count + 1);
+}
+
+}  // namespace pqidx

@@ -1,0 +1,55 @@
+// The profile update function U (paper Definition 5, Table 1, Algorithms
+// 3-4).
+//
+// U(P, Q, e-bar) rewrites the delta tables in place: the pq-grams that the
+// operation reversed by e-bar introduced (the "new" pq-grams,
+// delta(Tj, e-bar)) are replaced by the pq-grams the operation destroyed
+// (the "old" pq-grams, delta(Ti, e), where Ti = e-bar(Tj)); every other
+// row is left untouched except for positional bookkeeping (row numbers and
+// sibling positions shift when siblings appear or disappear). The tree is
+// never accessed: everything is derived from the rows themselves, which is
+// exactly what makes maintenance without intermediate tree versions
+// possible (Theorem 2).
+//
+// Applied once per log entry, from the last operation to the first
+// (Algorithm 1 line 4), this turns the stored Delta+ into Delta-.
+
+#ifndef PQIDX_CORE_PROFILE_UPDATER_H_
+#define PQIDX_CORE_PROFILE_UPDATER_H_
+
+#include "core/delta_store.h"
+#include "edit/edit_operation.h"
+#include "tree/label_dict.h"
+
+namespace pqidx {
+
+class ProfileUpdater {
+ public:
+  // `store` must outlive the updater; `dict` resolves the label hashes of
+  // rename/insert labels.
+  ProfileUpdater(DeltaStore* store, const LabelDict* dict)
+      : store_(store), dict_(dict) {
+    PQIDX_CHECK(store != nullptr && dict != nullptr);
+  }
+
+  // Applies U for one inverse-log operation. The store must be coherent
+  // with the intermediate tree the operation applies to (guaranteed when
+  // operations are applied in log order e-bar_n .. e-bar_1 over a store
+  // initialized with Delta+; Lemma 7). Violations abort.
+  void Apply(const EditOperation& op);
+
+ private:
+  void ApplyRename(const EditOperation& op);
+  void ApplyDelete(const EditOperation& op);
+  void ApplyInsert(const EditOperation& op);
+
+  // Reads column `col` of row (anchor, row); the row must exist.
+  const QRow& QRowOrDie(NodeId anchor, int row) const;
+
+  DeltaStore* store_;
+  const LabelDict* dict_;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_PROFILE_UPDATER_H_

@@ -1,0 +1,89 @@
+#include "core/record_index.h"
+
+#include "core/join.h"
+
+namespace pqidx {
+namespace {
+
+RecordPredicate DefaultPredicate(const Tree& doc) {
+  NodeId root = doc.root();
+  return [root](const Tree& tree, NodeId n) {
+    return tree.parent(n) == root;
+  };
+}
+
+}  // namespace
+
+std::vector<NodeId> SelectRecordRoots(const Tree& doc,
+                                      const RecordPredicate& predicate) {
+  std::vector<NodeId> records;
+  if (doc.root() == kNullNodeId) return records;
+  // Document-order walk that does not descend into selected records.
+  std::vector<NodeId> stack{doc.root()};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (n != doc.root() && predicate(doc, n)) {
+      records.push_back(n);
+      continue;  // records do not nest
+    }
+    auto kids = doc.children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return records;
+}
+
+Tree ExtractRecord(const Tree& doc, NodeId record_root) {
+  PQIDX_CHECK(doc.Contains(record_root));
+  Tree record(doc.dict_ptr());
+  record.CreateRoot(doc.label(record_root));
+  struct Frame {
+    NodeId src;
+    NodeId dst;
+    size_t child = 0;
+  };
+  std::vector<Frame> stack{{record_root, record.root()}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto kids = doc.children(frame.src);
+    if (frame.child < kids.size()) {
+      NodeId next = kids[frame.child++];
+      stack.push_back({next, record.AddChild(frame.dst, doc.label(next))});
+      continue;
+    }
+    stack.pop_back();
+  }
+  return record;
+}
+
+ForestIndex BuildRecordIndex(const Tree& doc, const PqShape& shape,
+                             const RecordPredicate& predicate) {
+  const RecordPredicate& pred =
+      predicate ? predicate : DefaultPredicate(doc);
+  ForestIndex forest(shape);
+  for (NodeId record_root : SelectRecordRoots(doc, pred)) {
+    // Build the bag without materializing a copy: the record's pq-grams
+    // are the subtree's pq-grams with the ancestor chain cut at the
+    // record root, which is what ExtractRecord's standalone tree yields.
+    forest.AddTree(static_cast<TreeId>(record_root),
+                   ExtractRecord(doc, record_root));
+  }
+  return forest;
+}
+
+std::vector<std::pair<std::pair<NodeId, NodeId>, double>>
+FindSimilarRecordPairs(const Tree& doc, const PqShape& shape, double tau,
+                       const RecordPredicate& predicate) {
+  ForestIndex forest = BuildRecordIndex(doc, shape, predicate);
+  std::vector<std::pair<std::pair<NodeId, NodeId>, double>> pairs;
+  for (const JoinResult& hit : SelfJoin(forest, tau)) {
+    pairs.push_back({{static_cast<NodeId>(hit.left),
+                      static_cast<NodeId>(hit.right)},
+                     hit.distance});
+  }
+  return pairs;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,51 @@
+// Record-level indexing: treat selected subtrees of one large document as
+// the units of similarity search.
+//
+// Flat archives (DBLP-style bibliographies, log files, product catalogs)
+// are one huge tree whose *records* -- the root's subtrees, or any
+// predicate-selected subtrees -- are what users actually match against
+// each other. This module extracts record subtrees as standalone trees
+// (keyed by their root's node id in the host document) and builds a
+// forest index over them, enabling record-granular approximate lookups,
+// joins, and duplicate detection on top of the ordinary machinery.
+
+#ifndef PQIDX_CORE_RECORD_INDEX_H_
+#define PQIDX_CORE_RECORD_INDEX_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/forest_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Selects the record roots of `doc`. The default picks every child of the
+// document root (the DBLP shape).
+using RecordPredicate = std::function<bool(const Tree&, NodeId)>;
+
+// Returns the node ids of all record roots in document order: nodes for
+// which `predicate` holds; descendants of a selected node are not visited
+// (records do not nest).
+std::vector<NodeId> SelectRecordRoots(const Tree& doc,
+                                      const RecordPredicate& predicate);
+
+// Copies the subtree rooted at `record_root` into a standalone tree
+// (sharing the document's label dictionary; fresh pre-order node ids).
+Tree ExtractRecord(const Tree& doc, NodeId record_root);
+
+// Builds a forest index whose TreeIds are the record roots' node ids in
+// `doc`. With a null predicate, every child of the root is a record.
+ForestIndex BuildRecordIndex(const Tree& doc, const PqShape& shape,
+                             const RecordPredicate& predicate = nullptr);
+
+// All record pairs of `doc` within pq-gram distance `tau` (left < right,
+// ids = record-root node ids): record-level duplicate detection.
+std::vector<std::pair<std::pair<NodeId, NodeId>, double>>
+FindSimilarRecordPairs(const Tree& doc, const PqShape& shape, double tau,
+                       const RecordPredicate& predicate = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_RECORD_INDEX_H_

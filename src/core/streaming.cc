@@ -1,0 +1,127 @@
+#include "core/streaming.h"
+
+#include "common/serde.h"
+#include "xml/xml_scanner.h"
+
+namespace pqidx {
+
+void StreamingIndexBuilder::Open(std::string_view label) {
+  Open(KarpRabinFingerprint(label));
+}
+
+void StreamingIndexBuilder::Open(LabelHash label_hash) {
+  PQIDX_CHECK_MSG(!(finished_root_ && stack_.empty()),
+                  "document already has a closed root");
+  if (!stack_.empty()) {
+    // The parent's window row ending at this child is now complete.
+    EmitWindow(stack_.back(), label_hash);
+    OpenElement& parent = stack_.back();
+    if (shape_.q > 1) {
+      parent.window.erase(parent.window.begin());
+      parent.window.push_back(label_hash);
+    }
+    ++parent.fanout;
+  }
+  OpenElement element;
+  element.label = label_hash;
+  element.window.assign(static_cast<size_t>(shape_.q) - 1, kNullLabelHash);
+  stack_.push_back(std::move(element));
+}
+
+void StreamingIndexBuilder::Close() {
+  PQIDX_CHECK_MSG(!stack_.empty(), "Close without a matching Open");
+  OpenElement& element = stack_.back();
+  if (element.fanout == 0) {
+    // Leaf: the single all-null q-part.
+    EmitWindow(element, kNullLabelHash);
+  } else {
+    // Trailing windows: the last q-1 rows, each one more null.
+    for (int j = 1; j <= shape_.q - 1; ++j) {
+      EmitWindow(element, kNullLabelHash);
+      element.window.erase(element.window.begin());
+      element.window.push_back(kNullLabelHash);
+    }
+  }
+  stack_.pop_back();
+  if (stack_.empty()) finished_root_ = true;
+}
+
+void StreamingIndexBuilder::EmitWindow(const OpenElement& element,
+                                       LabelHash next) {
+  TupleFingerprinter fp;
+  // p-part: the ancestor chain ending at the anchor (= `element`, which
+  // is on top of the stack when called).
+  int depth = static_cast<int>(stack_.size());
+  for (int j = depth - shape_.p; j < depth; ++j) {
+    fp.Add(j < 0 ? kNullLabelHash : stack_[static_cast<size_t>(j)].label);
+  }
+  // q-part: the trailing window plus the next child (or null padding).
+  for (LabelHash h : element.window) fp.Add(h);
+  fp.Add(next);
+  index_.Add(fp.Finish());
+}
+
+PqGramIndex StreamingIndexBuilder::Finish() && {
+  PQIDX_CHECK_MSG(stack_.empty(), "unclosed elements at Finish");
+  PQIDX_CHECK_MSG(finished_root_, "empty document at Finish");
+  return std::move(index_);
+}
+
+namespace {
+
+// Adapts XML events to the builder, applying the ParseXml mapping
+// (attributes as "@name" children, text as leaves).
+class IndexingHandler : public XmlEventHandler {
+ public:
+  IndexingHandler(const XmlParseOptions& options,
+                  StreamingIndexBuilder* builder)
+      : options_(options), builder_(builder) {}
+
+  Status OnOpen(std::string_view name) override {
+    builder_->Open(name);
+    return Status::Ok();
+  }
+  Status OnAttribute(std::string_view name,
+                     std::string_view value) override {
+    if (options_.include_attributes) {
+      builder_->Open("@" + std::string(name));
+      builder_->Leaf(value);
+      builder_->Close();
+    }
+    return Status::Ok();
+  }
+  Status OnText(std::string_view text) override {
+    if (options_.include_text) builder_->Leaf(text);
+    return Status::Ok();
+  }
+  Status OnClose(std::string_view name) override {
+    (void)name;
+    builder_->Close();
+    return Status::Ok();
+  }
+
+ private:
+  const XmlParseOptions& options_;
+  StreamingIndexBuilder* builder_;
+};
+
+}  // namespace
+
+StatusOr<PqGramIndex> BuildIndexFromXml(std::string_view xml,
+                                        const PqShape& shape,
+                                        const XmlParseOptions& options) {
+  StreamingIndexBuilder builder(shape);
+  IndexingHandler handler(options, &builder);
+  PQIDX_RETURN_IF_ERROR(ScanXml(xml, &handler));
+  return std::move(builder).Finish();
+}
+
+StatusOr<PqGramIndex> BuildIndexFromXmlFile(const std::string& path,
+                                            const PqShape& shape,
+                                            const XmlParseOptions& options) {
+  std::string content;
+  PQIDX_RETURN_IF_ERROR(ReadFile(path, &content));
+  return BuildIndexFromXml(content, shape, options);
+}
+
+}  // namespace pqidx

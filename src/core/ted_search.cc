@@ -1,0 +1,81 @@
+#include "core/ted_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.h"
+#include "ted/zhang_shasha.h"
+
+namespace pqidx {
+namespace {
+
+std::vector<TedSearchHit> VerifyAndRank(
+    const std::vector<std::pair<TreeId, const Tree*>>& collection,
+    const std::vector<std::pair<double, size_t>>& candidates,
+    const Tree& query, int k, TedSearchStats* stats) {
+  std::vector<TedSearchHit> hits;
+  hits.reserve(candidates.size());
+  for (const auto& [pq_distance, index] : candidates) {
+    const auto& [id, tree] = collection[index];
+    hits.push_back({id, TreeEditDistance(query, *tree), pq_distance});
+    if (stats != nullptr) ++stats->verified;
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const TedSearchHit& a, const TedSearchHit& b) {
+              return a.ted < b.ted ||
+                     (a.ted == b.ted && a.tree_id < b.tree_id);
+            });
+  if (static_cast<int>(hits.size()) > k) {
+    hits.resize(static_cast<size_t>(k < 0 ? 0 : k));
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::vector<TedSearchHit> TedTopK(
+    const std::vector<std::pair<TreeId, const Tree*>>& collection,
+    const Tree& query, int k, const PqShape& shape, double oversample,
+    TedSearchStats* stats) {
+  PQIDX_CHECK(oversample >= 1.0);
+  if (stats != nullptr) {
+    *stats = TedSearchStats{static_cast<int>(collection.size()), 0};
+  }
+  if (k <= 0 || collection.empty()) return {};
+
+  PqGramIndex query_bag = BuildIndex(query, shape);
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ranked.emplace_back(
+        PqGramDistance(query_bag, BuildIndex(*collection[i].second, shape)),
+        i);
+  }
+  size_t budget = std::min(
+      collection.size(),
+      static_cast<size_t>(std::ceil(static_cast<double>(k) * oversample)));
+  std::partial_sort(ranked.begin(), ranked.begin() + budget, ranked.end());
+  ranked.resize(budget);
+  return VerifyAndRank(collection, ranked, query, k, stats);
+}
+
+std::vector<TedSearchHit> TedTopKExhaustive(
+    const std::vector<std::pair<TreeId, const Tree*>>& collection,
+    const Tree& query, int k, const PqShape& shape,
+    TedSearchStats* stats) {
+  if (stats != nullptr) {
+    *stats = TedSearchStats{static_cast<int>(collection.size()), 0};
+  }
+  if (k <= 0 || collection.empty()) return {};
+  PqGramIndex query_bag = BuildIndex(query, shape);
+  std::vector<std::pair<double, size_t>> all;
+  all.reserve(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    all.emplace_back(
+        PqGramDistance(query_bag, BuildIndex(*collection[i].second, shape)),
+        i);
+  }
+  return VerifyAndRank(collection, all, query, k, stats);
+}
+
+}  // namespace pqidx

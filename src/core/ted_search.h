@@ -1,0 +1,54 @@
+// Filter-and-verify search for the exact tree edit distance.
+//
+// The pq-gram distance exists to make TED-flavored search affordable: it
+// is cheap, index-backed, and correlates strongly with TED (see
+// bench_ablation_pq), while Zhang-Shasha verification is quadratic per
+// pair. The classic pipeline ranks the collection by pq-gram distance and
+// verifies only the best candidates:
+//
+//   * TedTopKExhaustive: verifies every tree -- exact, the baseline.
+//   * TedTopK: verifies ceil(k * oversample) pq-gram-ranked candidates --
+//     usually exact in practice, but the pq-gram distance is an
+//     approximation, not a bound, so a true top-k member can in principle
+//     be ranked out; raise `oversample` (or use the exhaustive variant)
+//     when exactness is mandatory.
+
+#ifndef PQIDX_CORE_TED_SEARCH_H_
+#define PQIDX_CORE_TED_SEARCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/forest_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct TedSearchHit {
+  TreeId tree_id;
+  int ted;              // exact tree edit distance to the query
+  double pq_distance;   // the filter score
+};
+
+struct TedSearchStats {
+  int collection_size = 0;
+  int verified = 0;  // Zhang-Shasha invocations
+};
+
+// The `k` collection trees with the smallest exact TED to `query`,
+// ascending by TED (ties by tree id). Verifies only the
+// ceil(k * oversample) best trees under the pq-gram distance.
+std::vector<TedSearchHit> TedTopK(
+    const std::vector<std::pair<TreeId, const Tree*>>& collection,
+    const Tree& query, int k, const PqShape& shape, double oversample = 3.0,
+    TedSearchStats* stats = nullptr);
+
+// Exact baseline: verifies the whole collection.
+std::vector<TedSearchHit> TedTopKExhaustive(
+    const std::vector<std::pair<TreeId, const Tree*>>& collection,
+    const Tree& query, int k, const PqShape& shape,
+    TedSearchStats* stats = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_TED_SEARCH_H_

@@ -1,0 +1,97 @@
+#include "edit/edit_log.h"
+
+namespace pqidx {
+
+Status EditLog::UndoAll(Tree* tree) const {
+  for (auto it = inverse_ops_.rbegin(); it != inverse_ops_.rend(); ++it) {
+    PQIDX_RETURN_IF_ERROR(it->ApplyTo(tree));
+  }
+  return Status::Ok();
+}
+
+void EditLog::Serialize(ByteWriter* writer) const {
+  writer->PutVarint(inverse_ops_.size());
+  for (const EditOperation& op : inverse_ops_) {
+    writer->PutU8(static_cast<uint8_t>(op.kind));
+    writer->PutVarint(static_cast<uint64_t>(op.node));
+    if (op.kind == EditOpKind::kInsert) {
+      writer->PutVarint(static_cast<uint64_t>(op.parent));
+      writer->PutVarint(static_cast<uint64_t>(op.position));
+      writer->PutVarint(static_cast<uint64_t>(op.count));
+      writer->PutU8(op.anchored ? 1 : 0);
+      if (op.anchored) {
+        writer->PutVarint(op.adopted_ids.size());
+        for (NodeId c : op.adopted_ids) {
+          writer->PutVarint(static_cast<uint64_t>(c));
+        }
+        writer->PutVarint(static_cast<uint64_t>(op.left_neighbor));
+        writer->PutVarint(static_cast<uint64_t>(op.right_neighbor));
+      }
+    }
+    if (op.kind != EditOpKind::kDelete) {
+      writer->PutVarint(static_cast<uint64_t>(op.label));
+    }
+  }
+}
+
+StatusOr<EditLog> EditLog::Deserialize(ByteReader* reader) {
+  uint64_t count;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
+  EditLog log;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t kind_raw;
+    PQIDX_RETURN_IF_ERROR(reader->GetU8(&kind_raw));
+    if (kind_raw > static_cast<uint8_t>(EditOpKind::kRename)) {
+      return DataLossError("bad edit operation kind");
+    }
+    EditOperation op;
+    op.kind = static_cast<EditOpKind>(kind_raw);
+    uint64_t tmp;
+    PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+    op.node = static_cast<NodeId>(tmp);
+    if (op.kind == EditOpKind::kInsert) {
+      PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+      op.parent = static_cast<NodeId>(tmp);
+      PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+      op.position = static_cast<int>(tmp);
+      PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+      op.count = static_cast<int>(tmp);
+      uint8_t anchored;
+      PQIDX_RETURN_IF_ERROR(reader->GetU8(&anchored));
+      if (anchored > 1) return DataLossError("bad anchored flag");
+      op.anchored = anchored != 0;
+      if (op.anchored) {
+        uint64_t adopted_count;
+        PQIDX_RETURN_IF_ERROR(reader->GetVarint(&adopted_count));
+        if (adopted_count > reader->remaining()) {
+          return DataLossError("truncated adopted-id list");
+        }
+        op.adopted_ids.reserve(adopted_count);
+        for (uint64_t j = 0; j < adopted_count; ++j) {
+          PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+          op.adopted_ids.push_back(static_cast<NodeId>(tmp));
+        }
+        PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+        op.left_neighbor = static_cast<NodeId>(tmp);
+        PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+        op.right_neighbor = static_cast<NodeId>(tmp);
+      }
+    }
+    if (op.kind != EditOpKind::kDelete) {
+      PQIDX_RETURN_IF_ERROR(reader->GetVarint(&tmp));
+      op.label = static_cast<LabelId>(tmp);
+    }
+    log.Append(op);
+  }
+  return log;
+}
+
+Status ApplyAndLog(const EditOperation& op, Tree* tree, EditLog* log) {
+  StatusOr<EditOperation> inverse = op.InverseOn(*tree);
+  PQIDX_RETURN_IF_ERROR(inverse.status());
+  PQIDX_RETURN_IF_ERROR(op.ApplyTo(tree));
+  log->Append(*inverse);
+  return Status::Ok();
+}
+
+}  // namespace pqidx

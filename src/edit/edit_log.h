@@ -1,0 +1,64 @@
+// Edit logs: the sequence of *inverse* edit operations that the
+// incremental index maintenance consumes.
+//
+// If T0 is transformed into Tn by forward operations (e1, ..., en), the log
+// L = (ē1, ..., ēn) holds the inverse operations; applying ēn, ēn-1, ...,
+// ē1 to Tn reconstructs T0 (paper Section 3.1).
+//
+// Identifier discipline (see DESIGN.md): node ids are unique within a log's
+// lifetime -- an id removed by a forward DEL is only ever re-introduced by
+// that operation's own inverse, never by an unrelated later INS. Logs
+// recorded through ApplyAndLog satisfy this by construction because fresh
+// inserts draw ids from Tree::AllocateId().
+
+#ifndef PQIDX_EDIT_EDIT_LOG_H_
+#define PQIDX_EDIT_EDIT_LOG_H_
+
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "edit/edit_operation.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class EditLog {
+ public:
+  EditLog() = default;
+
+  // inverse(i), 0-based: ē_{i+1} in the paper's numbering.
+  const EditOperation& inverse(int i) const { return inverse_ops_[i]; }
+  const std::vector<EditOperation>& inverse_ops() const {
+    return inverse_ops_;
+  }
+  int size() const { return static_cast<int>(inverse_ops_.size()); }
+  bool empty() const { return inverse_ops_.empty(); }
+  void Clear() { inverse_ops_.clear(); }
+
+  // Appends the inverse of a forward operation. Used by ApplyAndLog.
+  void Append(EditOperation inverse_op) {
+    inverse_ops_.push_back(inverse_op);
+  }
+
+  // Applies the log to `tree` (ēn first, ē1 last), i.e. rolls Tn back to
+  // T0. Fails (possibly after partial application) if any inverse
+  // operation is undefined, which indicates a log/tree mismatch.
+  Status UndoAll(Tree* tree) const;
+
+  void Serialize(ByteWriter* writer) const;
+  static StatusOr<EditLog> Deserialize(ByteReader* reader);
+
+  friend bool operator==(const EditLog& a, const EditLog& b) = default;
+
+ private:
+  std::vector<EditOperation> inverse_ops_;
+};
+
+// Applies the forward operation `op` to `tree` and, on success, appends its
+// inverse to `log`. The one-stop way to keep a tree and its log in sync.
+Status ApplyAndLog(const EditOperation& op, Tree* tree, EditLog* log);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_EDIT_LOG_H_

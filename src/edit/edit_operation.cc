@@ -1,0 +1,86 @@
+#include "edit/edit_operation.h"
+
+namespace pqidx {
+
+Status EditOperation::ApplyTo(Tree* tree) const {
+  switch (kind) {
+    case EditOpKind::kInsert:
+      return tree->ApplyInsert(node, label, parent, position, count);
+    case EditOpKind::kDelete:
+      return tree->ApplyDelete(node);
+    case EditOpKind::kRename:
+      return tree->ApplyRename(node, label);
+  }
+  return InvalidArgumentError("unknown edit operation kind");
+}
+
+bool EditOperation::IsDefinedOn(const Tree& tree) const {
+  switch (kind) {
+    case EditOpKind::kInsert:
+      return node >= 1 && !tree.Contains(node) && tree.Contains(parent) &&
+             position >= 0 && count >= 0 &&
+             position + count <= tree.fanout(parent);
+    case EditOpKind::kDelete:
+      return tree.Contains(node) && node != tree.root();
+    case EditOpKind::kRename:
+      return tree.Contains(node) && tree.label(node) != label;
+  }
+  return false;
+}
+
+StatusOr<EditOperation> EditOperation::InverseOn(const Tree& tree) const {
+  if (!IsDefinedOn(tree)) {
+    return FailedPreconditionError("operation is not defined on this tree");
+  }
+  switch (kind) {
+    case EditOpKind::kInsert:
+      return Delete(node);
+    case EditOpKind::kDelete: {
+      NodeId v = tree.parent(node);
+      int k = tree.SiblingIndex(node);
+      EditOperation inverse =
+          Insert(node, tree.label(node), v, k, tree.fanout(node));
+      // Id anchors (see edit_operation.h): the adopted children are
+      // node's children; the gap neighbors are node's siblings, all
+      // unaffected by the deletion itself.
+      inverse.anchored = true;
+      auto kids = tree.children(node);
+      inverse.adopted_ids.assign(kids.begin(), kids.end());
+      inverse.left_neighbor = k > 0 ? tree.child(v, k - 1) : kNullNodeId;
+      inverse.right_neighbor =
+          k + 1 < tree.fanout(v) ? tree.child(v, k + 1) : kNullNodeId;
+      return inverse;
+    }
+    case EditOpKind::kRename:
+      return Rename(node, tree.label(node));
+  }
+  return InvalidArgumentError("unknown edit operation kind");
+}
+
+bool EditOperation::References(NodeId n) const {
+  if (n == kNullNodeId) return false;
+  if (node == n || parent == n) return true;
+  if (left_neighbor == n || right_neighbor == n) return true;
+  for (NodeId c : adopted_ids) {
+    if (c == n) return true;
+  }
+  return false;
+}
+
+std::string EditOperation::ToString(const LabelDict& dict) const {
+  switch (kind) {
+    case EditOpKind::kInsert:
+      return "INS(" + std::to_string(node) + ":" + dict.LabelString(label) +
+             ", v=" + std::to_string(parent) +
+             ", k=" + std::to_string(position) +
+             ", count=" + std::to_string(count) + ")";
+    case EditOpKind::kDelete:
+      return "DEL(" + std::to_string(node) + ")";
+    case EditOpKind::kRename:
+      return "REN(" + std::to_string(node) + ", " + dict.LabelString(label) +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace pqidx

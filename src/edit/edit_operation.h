@@ -1,0 +1,100 @@
+// Tree edit operations (paper Section 3.1, after Zhang & Shasha [20]).
+//
+//  * INS(n, v, k, count): insert node n as child of v at 0-based position
+//    k, adopting the `count` children of v at positions [k, k+count).
+//    (The paper writes INS(n, v, k, m) with 1-based k and m = k+count-1.)
+//  * DEL(n): delete n, splicing its children into its parent.
+//  * REN(n, l'): change n's label to l' (l' must differ from the current
+//    label).
+//
+// Every operation knows how to apply itself to a Tree and how to compute
+// its inverse relative to the tree it is about to be applied to.
+
+#ifndef PQIDX_EDIT_EDIT_OPERATION_H_
+#define PQIDX_EDIT_EDIT_OPERATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+enum class EditOpKind : uint8_t { kInsert, kDelete, kRename };
+
+struct EditOperation {
+  EditOpKind kind = EditOpKind::kRename;
+  // Target node: the inserted / deleted / renamed node n.
+  NodeId node = kNullNodeId;
+  // Insert only: parent v, 0-based position k, number of adopted children.
+  NodeId parent = kNullNodeId;
+  int position = 0;
+  int count = 0;
+  // Insert: label of the new node. Rename: the new label.
+  LabelId label = kNullLabelId;
+
+  // Id anchors, recorded for INS operations that enter a log as the
+  // inverse of a DEL (set by InverseOn; `anchored` is then true):
+  //  * adopted_ids: the children the insert adopts (the node set C of the
+  //    paper's Lemma 1), as of the tree the operation applies to;
+  //  * left_neighbor / right_neighbor: the siblings adjacent to the
+  //    insertion window (kNullNodeId at the ends).
+  // Sibling *positions* recorded in a log go stale on Tn when later
+  // operations shuffle the same child list; the delta function locates the
+  // affected rows through these ids instead (see core/delta.h). Operations
+  // without anchors fall back to positional selection.
+  bool anchored = false;
+  std::vector<NodeId> adopted_ids;
+  NodeId left_neighbor = kNullNodeId;
+  NodeId right_neighbor = kNullNodeId;
+
+  static EditOperation Insert(NodeId n, LabelId label, NodeId v, int k,
+                              int count) {
+    EditOperation op;
+    op.kind = EditOpKind::kInsert;
+    op.node = n;
+    op.parent = v;
+    op.position = k;
+    op.count = count;
+    op.label = label;
+    return op;
+  }
+  static EditOperation Delete(NodeId n) {
+    EditOperation op;
+    op.kind = EditOpKind::kDelete;
+    op.node = n;
+    return op;
+  }
+  static EditOperation Rename(NodeId n, LabelId label) {
+    EditOperation op;
+    op.kind = EditOpKind::kRename;
+    op.node = n;
+    op.label = label;
+    return op;
+  }
+
+  // Applies this operation to `tree`. Returns a non-OK status (leaving the
+  // tree unchanged) when the operation is not defined on `tree`.
+  Status ApplyTo(Tree* tree) const;
+
+  // True iff ApplyTo would succeed on `tree`.
+  bool IsDefinedOn(const Tree& tree) const;
+
+  // Computes the inverse operation relative to `tree`, which must be the
+  // tree this operation is *about to be applied to* (paper Section 3.1:
+  // the inverse of DEL(n) needs n's label, position and fanout in T_i).
+  StatusOr<EditOperation> InverseOn(const Tree& tree) const;
+
+  // Human-readable rendering, e.g. "DEL(7)" or "REN(3, b)".
+  std::string ToString(const LabelDict& dict) const;
+
+  // True if this operation mentions `n` as its target, parent, or anchor.
+  bool References(NodeId n) const;
+
+  friend bool operator==(const EditOperation& a, const EditOperation& b) =
+      default;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_EDIT_OPERATION_H_

@@ -1,0 +1,89 @@
+#include "edit/edit_script.h"
+
+#include <string>
+
+namespace pqidx {
+namespace {
+
+// Returns a uniformly random alive node, or kNullNodeId if `tree` is empty.
+// Rejection-samples the id space and falls back to a scan when the space is
+// sparse (heavily deleted trees).
+NodeId RandomAliveNode(const Tree& tree, Rng* rng) {
+  if (tree.size() == 0) return kNullNodeId;
+  NodeId bound = tree.id_bound();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    NodeId candidate = static_cast<NodeId>(rng->Uniform(1, bound - 1));
+    if (tree.Contains(candidate)) return candidate;
+  }
+  std::vector<NodeId> alive;
+  alive.reserve(tree.size());
+  for (NodeId n = 1; n < bound; ++n) {
+    if (tree.Contains(n)) alive.push_back(n);
+  }
+  return alive[rng->NextBounded(alive.size())];
+}
+
+// Returns a random alive non-root node, or kNullNodeId if none exists.
+NodeId RandomEditableNode(const Tree& tree, Rng* rng) {
+  if (tree.size() <= 1) return kNullNodeId;
+  for (;;) {
+    NodeId n = RandomAliveNode(tree, rng);
+    if (n != tree.root()) return n;
+  }
+}
+
+LabelId PickLabel(Tree* tree, Rng* rng, const EditScriptOptions& options) {
+  LabelDict* dict = tree->mutable_dict();
+  if (dict->size() > 1 && rng->Bernoulli(options.reuse_label_probability)) {
+    return static_cast<LabelId>(rng->Uniform(1, dict->size() - 1));
+  }
+  return dict->Intern("gen_" + std::to_string(rng->NextBounded(1u << 30)));
+}
+
+}  // namespace
+
+int GenerateEditScript(Tree* tree, Rng* rng, int num_ops,
+                       const EditScriptOptions& options, EditLog* log,
+                       std::vector<EditOperation>* forward_ops) {
+  PQIDX_CHECK(tree->size() >= 1);
+  const std::vector<double> weights = {options.insert_weight,
+                                       options.delete_weight,
+                                       options.rename_weight};
+  int applied = 0;
+  while (applied < num_ops) {
+    EditOperation op;
+    int kind = rng->WeightedPick(weights);
+    if (tree->size() <= 1) kind = 0;  // only insertion is possible
+    switch (kind) {
+      case 0: {  // insert
+        NodeId v = RandomAliveNode(*tree, rng);
+        int f = tree->fanout(v);
+        int k = static_cast<int>(rng->Uniform(0, f));
+        int max_count = std::min(f - k, options.max_adopted_children);
+        int count = static_cast<int>(rng->Uniform(0, max_count));
+        op = EditOperation::Insert(tree->AllocateId(),
+                                   PickLabel(tree, rng, options), v, k,
+                                   count);
+        break;
+      }
+      case 1: {  // delete
+        op = EditOperation::Delete(RandomEditableNode(*tree, rng));
+        break;
+      }
+      default: {  // rename
+        NodeId n = RandomEditableNode(*tree, rng);
+        LabelId label = PickLabel(tree, rng, options);
+        if (label == tree->label(n)) continue;  // REN requires l != l'
+        op = EditOperation::Rename(n, label);
+        break;
+      }
+    }
+    Status status = ApplyAndLog(op, tree, log);
+    PQIDX_CHECK_MSG(status.ok(), status.ToString().c_str());
+    if (forward_ops != nullptr) forward_ops->push_back(op);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,45 @@
+// Random edit script generation for experiments and property tests.
+//
+// Mirrors the paper's evaluation setup: a document is mutated by a sequence
+// of random structure and value changes while the inverse log is recorded,
+// and the index is then maintained incrementally from that log.
+
+#ifndef PQIDX_EDIT_EDIT_SCRIPT_H_
+#define PQIDX_EDIT_EDIT_SCRIPT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "edit/edit_log.h"
+#include "edit/edit_operation.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct EditScriptOptions {
+  // Relative frequencies of the operation kinds.
+  double insert_weight = 1.0;
+  double delete_weight = 1.0;
+  double rename_weight = 1.0;
+  // Labels of inserted / renamed nodes are drawn from the labels already in
+  // the dictionary with this probability, otherwise a fresh label is
+  // interned. Reusing labels makes deltas collide with existing pq-grams,
+  // the interesting case for index maintenance.
+  double reuse_label_probability = 0.8;
+  // Upper bound on the number of children an inserted node adopts.
+  int max_adopted_children = 4;
+};
+
+// Applies `num_ops` random valid edit operations to `tree`, appending their
+// inverses to `log` and (when non-null) the forward operations to
+// `forward_ops`. The root is never edited (paper assumption). Returns the
+// number of operations actually applied (always num_ops unless the tree
+// shrinks to a bare root and only renames remain possible, which still
+// succeeds, so in practice: num_ops).
+int GenerateEditScript(Tree* tree, Rng* rng, int num_ops,
+                       const EditScriptOptions& options, EditLog* log,
+                       std::vector<EditOperation>* forward_ops = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_EDIT_SCRIPT_H_

@@ -1,0 +1,198 @@
+#include "edit/log_optimizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pqidx {
+namespace {
+
+// A pending (not yet finalized) op in the output that a later op on the
+// same node may merge with or cancel.
+struct Pending {
+  size_t output_index;
+  // For a pending REN chain: the node's label before the first rename, so
+  // that a chain ending on the original label can be dropped entirely.
+  // For a pending INS: the inserted node's parent.
+  LabelId original_label = kNullLabelId;
+};
+
+class SequenceOptimizer {
+ public:
+  // Simulates the sequence directly on `*base` and rolls every change
+  // back before Run() returns.
+  SequenceOptimizer(Tree* base, LogOptimizerStats* stats)
+      : sim_(base), stats_(stats) {}
+
+  std::vector<EditOperation> Run(std::vector<EditOperation> ops) {
+    if (stats_ != nullptr) stats_->input_ops = static_cast<int>(ops.size());
+    for (const EditOperation& op : ops) {
+      Process(op);
+    }
+    // Restore the caller's tree.
+    for (auto it = rollback_.rbegin(); it != rollback_.rend(); ++it) {
+      Status status = it->ApplyTo(sim_);
+      PQIDX_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
+    std::vector<EditOperation> result;
+    result.reserve(out_.size());
+    for (size_t i = 0; i < out_.size(); ++i) {
+      if (!tombstone_[i]) result.push_back(out_[i]);
+    }
+    if (stats_ != nullptr) {
+      stats_->output_ops = static_cast<int>(result.size());
+    }
+    return result;
+  }
+
+ private:
+  void Process(const EditOperation& op) {
+    switch (op.kind) {
+      case EditOpKind::kRename:
+        ProcessRename(op);
+        break;
+      case EditOpKind::kDelete:
+        ProcessDelete(op);
+        break;
+      case EditOpKind::kInsert:
+        ProcessInsert(op);
+        break;
+    }
+    // Keep the simulation in lockstep with the *original* sequence; all
+    // rewrites preserve its semantics.
+    StatusOr<EditOperation> inverse = op.InverseOn(*sim_);
+    PQIDX_CHECK_MSG(inverse.ok(), inverse.status().ToString().c_str());
+    Status status = op.ApplyTo(sim_);
+    PQIDX_CHECK_MSG(status.ok(), status.ToString().c_str());
+    rollback_.push_back(*inverse);
+  }
+
+  void ProcessRename(const EditOperation& op) {
+    if (auto it = pending_ins_.find(op.node); it != pending_ins_.end()) {
+      // INS(n, ..); REN(n, b)  ->  INS(n with label b, ..).
+      // Renames commute with every intervening operation (nothing reads
+      // labels), so adjacency is not required.
+      out_[it->second.output_index].label = op.label;
+      if (stats_ != nullptr) ++stats_->merged_renames;
+      return;
+    }
+    if (auto it = pending_ren_.find(op.node); it != pending_ren_.end()) {
+      if (op.label == it->second.original_label) {
+        // The chain restores the original label: a no-op overall.
+        tombstone_[it->second.output_index] = true;
+        pending_ren_.erase(it);
+        if (stats_ != nullptr) ++stats_->dropped_noop_renames;
+        return;
+      }
+      out_[it->second.output_index].label = op.label;
+      if (stats_ != nullptr) ++stats_->merged_renames;
+      return;
+    }
+    Pending pending;
+    pending.output_index = Emit(op);
+    pending.original_label = sim_->label(op.node);
+    pending_ren_.emplace(op.node, pending);
+  }
+
+  void ProcessDelete(const EditOperation& op) {
+    // REN(n, ..); DEL(n)  ->  DEL(n): drop the rename.
+    if (auto it = pending_ren_.find(op.node); it != pending_ren_.end()) {
+      tombstone_[it->second.output_index] = true;
+      pending_ren_.erase(it);
+      if (stats_ != nullptr) ++stats_->merged_renames;
+    }
+    // Deleting n splices its children into parent(n): both child lists are
+    // restructured. Invalidate before the cancellation check so a
+    // cancelled insert is not later resurrected by a stale entry.
+    NodeId parent = sim_->parent(op.node);
+    if (auto it = pending_ins_.find(op.node); it != pending_ins_.end()) {
+      // INS(n, ..); DEL(n)  ->  nothing. Valid because any intervening
+      // structural change involving n or its sibling positions would have
+      // invalidated the pending insert.
+      tombstone_[it->second.output_index] = true;
+      pending_ins_.erase(it);
+      if (stats_ != nullptr) ++stats_->cancelled_insert_delete;
+      TouchChildList(parent);
+      TouchChildList(op.node);
+      return;
+    }
+    TouchChildList(parent);
+    TouchChildList(op.node);
+    Emit(op);
+  }
+
+  void ProcessInsert(const EditOperation& op) {
+    TouchChildList(op.parent);
+    TouchChildList(op.node);
+    Pending pending;
+    pending.output_index = Emit(op);
+    pending_ins_.emplace(op.node, pending);
+  }
+
+  // A structural change to `w`'s child list invalidates pending inserts
+  // that positioned themselves relative to it (as parent or as the
+  // inserted node). Pending renames are unaffected: they commute with
+  // structure.
+  void TouchChildList(NodeId w) {
+    if (w == kNullNodeId) return;
+    for (auto it = pending_ins_.begin(); it != pending_ins_.end();) {
+      const EditOperation& ins = out_[it->second.output_index];
+      if (ins.parent == w || ins.node == w) {
+        it = pending_ins_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t Emit(const EditOperation& op) {
+    out_.push_back(op);
+    tombstone_.push_back(false);
+    return out_.size() - 1;
+  }
+
+  Tree* sim_;
+  LogOptimizerStats* stats_;
+  std::vector<EditOperation> rollback_;
+  std::vector<EditOperation> out_;
+  std::vector<bool> tombstone_;
+  std::unordered_map<NodeId, Pending> pending_ren_;
+  std::unordered_map<NodeId, Pending> pending_ins_;
+};
+
+}  // namespace
+
+std::vector<EditOperation> OptimizeOpSequence(Tree* base,
+                                              std::vector<EditOperation> ops,
+                                              LogOptimizerStats* stats) {
+  SequenceOptimizer optimizer(base, stats);
+  return optimizer.Run(std::move(ops));
+}
+
+std::vector<EditOperation> OptimizeOpSequence(const Tree& base,
+                                              std::vector<EditOperation> ops,
+                                              LogOptimizerStats* stats) {
+  Tree clone = base.Clone();
+  return OptimizeOpSequence(&clone, std::move(ops), stats);
+}
+
+EditLog OptimizeLog(Tree* tn, const EditLog& log, LogOptimizerStats* stats) {
+  // The log applies ēn..ē1; bring it into application order, rewrite, and
+  // restore the log convention.
+  std::vector<EditOperation> seq(log.inverse_ops().rbegin(),
+                                 log.inverse_ops().rend());
+  std::vector<EditOperation> optimized =
+      OptimizeOpSequence(tn, std::move(seq), stats);
+  EditLog result;
+  for (auto it = optimized.rbegin(); it != optimized.rend(); ++it) {
+    result.Append(*it);
+  }
+  return result;
+}
+
+EditLog OptimizeLog(const Tree& tn, const EditLog& log,
+                    LogOptimizerStats* stats) {
+  Tree clone = tn.Clone();
+  return OptimizeLog(&clone, log, stats);
+}
+
+}  // namespace pqidx

@@ -1,0 +1,65 @@
+// Log preprocessing: eliminates redundant edit operations.
+//
+// The paper's future-work section (Section 10) observes that later edit
+// operations in a log may undo earlier ones and proposes preprocessing the
+// log before the incremental index update. This module implements the
+// conservative peephole rewrites that are valid without access to any
+// intermediate tree version:
+//
+//   REN(n,a) ; REN(n,b)        ->  REN(n,b)
+//   REN(n,a) ; DEL(n)          ->  DEL(n)
+//   INS(n,..); REN(n,b)        ->  INS(n,..) with label b
+//   INS(n,v,k,c) ; DEL(n)      ->  (nothing)   (insert immediately undone)
+//
+// plus removal of no-op renames (REN to the label the node already has at
+// that point in the sequence), which requires simulating the sequence on
+// the tree it applies to.
+//
+// Sequences are in *application order*. An EditLog is applied ēn..ē1, so
+// OptimizeLog reverses it, rewrites, and reverses back.
+
+#ifndef PQIDX_EDIT_LOG_OPTIMIZER_H_
+#define PQIDX_EDIT_LOG_OPTIMIZER_H_
+
+#include <vector>
+
+#include "edit/edit_log.h"
+#include "edit/edit_operation.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct LogOptimizerStats {
+  int input_ops = 0;
+  int output_ops = 0;
+  int merged_renames = 0;
+  int cancelled_insert_delete = 0;
+  int dropped_noop_renames = 0;
+};
+
+// Rewrites `ops` (in application order against `base`) into an equivalent,
+// typically shorter sequence. The result applied to `base` produces
+// exactly the same tree as the input sequence.
+//
+// The rewriting simulates the sequence to resolve labels and parents; the
+// `Tree*` variants run the simulation directly on the caller's tree and
+// roll it back before returning (O(|ops|) total), while the `const Tree&`
+// variants work on a clone (O(|tree|) extra, but never touch the input).
+std::vector<EditOperation> OptimizeOpSequence(
+    const Tree& base, std::vector<EditOperation> ops,
+    LogOptimizerStats* stats = nullptr);
+std::vector<EditOperation> OptimizeOpSequence(
+    Tree* base, std::vector<EditOperation> ops,
+    LogOptimizerStats* stats = nullptr);
+
+// Optimizes an inverse log that applies to `tn` (the resulting tree).
+// Undoing the optimized log from Tn yields the same T0; feeding it to the
+// incremental index update yields the same index.
+EditLog OptimizeLog(const Tree& tn, const EditLog& log,
+                    LogOptimizerStats* stats = nullptr);
+EditLog OptimizeLog(Tree* tn, const EditLog& log,
+                    LogOptimizerStats* stats = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_LOG_OPTIMIZER_H_

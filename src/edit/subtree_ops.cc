@@ -1,0 +1,101 @@
+#include "edit/subtree_ops.h"
+
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+// Collects the subtree rooted at `n` in post-order.
+void PostOrder(const Tree& tree, NodeId n, std::vector<NodeId>* out) {
+  for (NodeId c : tree.children(n)) {
+    PostOrder(tree, c, out);
+  }
+  out->push_back(n);
+}
+
+// Copies `src_node` of `pattern` (and descendants) under (`parent`, `k`) of
+// `tree` via logged leaf insertions.
+Status CopySubtree(const Tree& pattern, NodeId src_node, NodeId parent,
+                   int k, Tree* tree, EditLog* log, NodeId* new_root) {
+  LabelId label = tree->mutable_dict()->Intern(
+      pattern.dict().LabelString(pattern.label(src_node)));
+  NodeId fresh = tree->AllocateId();
+  PQIDX_RETURN_IF_ERROR(ApplyAndLog(
+      EditOperation::Insert(fresh, label, parent, k, /*count=*/0), tree,
+      log));
+  if (new_root != nullptr) *new_root = fresh;
+  int i = 0;
+  for (NodeId c : pattern.children(src_node)) {
+    PQIDX_RETURN_IF_ERROR(
+        CopySubtree(pattern, c, fresh, i, tree, log, nullptr));
+    ++i;
+  }
+  return Status::Ok();
+}
+
+// True if `candidate` is `n` or a descendant of `n`.
+bool InSubtree(const Tree& tree, NodeId n, NodeId candidate) {
+  for (NodeId cur = candidate; cur != kNullNodeId; cur = tree.parent(cur)) {
+    if (cur == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DeleteSubtree(NodeId n, Tree* tree, EditLog* log) {
+  if (!tree->Contains(n)) return NotFoundError("subtree root not in tree");
+  if (n == tree->root()) {
+    return FailedPreconditionError("cannot delete the root subtree");
+  }
+  std::vector<NodeId> order;
+  PostOrder(*tree, n, &order);
+  for (NodeId x : order) {
+    PQIDX_RETURN_IF_ERROR(ApplyAndLog(EditOperation::Delete(x), tree, log));
+  }
+  return Status::Ok();
+}
+
+Status InsertSubtree(const Tree& pattern, NodeId parent, int k, Tree* tree,
+                     EditLog* log, NodeId* new_root) {
+  if (pattern.root() == kNullNodeId) {
+    return InvalidArgumentError("empty pattern tree");
+  }
+  if (!tree->Contains(parent)) {
+    return NotFoundError("insert parent not in tree");
+  }
+  if (k < 0 || k > tree->fanout(parent)) {
+    return OutOfRangeError("insert position out of bounds");
+  }
+  return CopySubtree(pattern, pattern.root(), parent, k, tree, log,
+                     new_root);
+}
+
+Status MoveSubtree(NodeId n, NodeId parent, int k, Tree* tree, EditLog* log,
+                   NodeId* new_root) {
+  if (!tree->Contains(n) || !tree->Contains(parent)) {
+    return NotFoundError("move endpoints not in tree");
+  }
+  if (InSubtree(*tree, n, parent)) {
+    return FailedPreconditionError("cannot move a subtree into itself");
+  }
+  // Snapshot the shape before detaching.
+  Tree pattern(tree->dict_ptr());
+  pattern.CreateRoot(tree->label(n));
+  std::vector<std::pair<NodeId, NodeId>> stack{{n, pattern.root()}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId c : tree->children(src)) {
+      NodeId copy = pattern.AddChild(dst, tree->label(c));
+      stack.emplace_back(c, copy);
+    }
+  }
+  PQIDX_RETURN_IF_ERROR(DeleteSubtree(n, tree, log));
+  if (k > tree->fanout(parent)) {
+    return OutOfRangeError("move position out of bounds");
+  }
+  return InsertSubtree(pattern, parent, k, tree, log, new_root);
+}
+
+}  // namespace pqidx

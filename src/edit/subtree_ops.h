@@ -1,0 +1,40 @@
+// Subtree-level edit operations expanded into node edit operations.
+//
+// The paper handles the node operations rename, delete, and insert, and
+// notes (Section 10) that operations on subtrees -- subtree deletion,
+// insertion, and move -- are simulated by sequences of node edit
+// operations. These helpers produce such sequences, applying them through
+// ApplyAndLog so the inverse log remains consistent and directly usable by
+// the incremental index update.
+
+#ifndef PQIDX_EDIT_SUBTREE_OPS_H_
+#define PQIDX_EDIT_SUBTREE_OPS_H_
+
+#include "common/status.h"
+#include "edit/edit_log.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Deletes the whole subtree rooted at `n` (which must not be the root) as a
+// post-order sequence of DEL operations, so every deleted node is a leaf at
+// deletion time. Appends |subtree| inverses to `log`.
+Status DeleteSubtree(NodeId n, Tree* tree, EditLog* log);
+
+// Inserts a copy of `pattern` (a whole tree) under `parent` at 0-based
+// position `k` as a pre-order sequence of leaf INS operations. Fresh node
+// ids are allocated from `tree`. On success stores the id of the new
+// subtree root in `*new_root` (may be null).
+Status InsertSubtree(const Tree& pattern, NodeId parent, int k, Tree* tree,
+                     EditLog* log, NodeId* new_root = nullptr);
+
+// Moves the subtree rooted at `n` to become the child of `parent` at
+// position `k` (positions evaluated after the subtree is detached).
+// Simulated as delete + re-insert, so the moved nodes receive fresh ids.
+// `parent` must not be inside the moved subtree.
+Status MoveSubtree(NodeId n, NodeId parent, int k, Tree* tree, EditLog* log,
+                   NodeId* new_root = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_SUBTREE_OPS_H_

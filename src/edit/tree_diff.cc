@@ -1,0 +1,138 @@
+#include "edit/tree_diff.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ted/zhang_shasha.h"
+
+namespace pqidx {
+namespace {
+
+// Pre-order interval numbering of a tree: `v` is in the subtree of `u` iff
+// tin[u] <= tin[v] <= tout[u].
+struct PreOrderIntervals {
+  std::unordered_map<NodeId, int> tin;
+  std::unordered_map<NodeId, int> tout;
+
+  explicit PreOrderIntervals(const Tree& tree) {
+    int clock = 0;
+    Number(tree, tree.root(), &clock);
+  }
+
+  bool InSubtree(NodeId root, NodeId v) const {
+    int t = tin.at(v);
+    return tin.at(root) <= t && t <= tout.at(root);
+  }
+
+ private:
+  int Number(const Tree& tree, NodeId n, int* clock) {
+    int enter = (*clock)++;
+    tin.emplace(n, enter);
+    int leave = enter;
+    for (NodeId c : tree.children(n)) {
+      leave = Number(tree, c, clock);
+    }
+    tout.emplace(n, leave);
+    return leave;
+  }
+};
+
+}  // namespace
+
+TreeDiff ComputeEditScript(const Tree& from, const Tree& to) {
+  PQIDX_CHECK(from.root() != kNullNodeId && to.root() != kNullNodeId);
+  TreeEditResult ted = RootPreservingEditMapping(from, to);
+
+  std::unordered_map<NodeId, NodeId> cur_of_to;  // to node -> current node
+  std::unordered_map<NodeId, NodeId> to_of_cur;  // current node -> to node
+  std::unordered_set<NodeId> from_mapped;
+  for (auto [u, v] : ted.mapping) {
+    cur_of_to.emplace(v, u);
+    to_of_cur.emplace(u, v);
+    from_mapped.insert(u);
+  }
+  PQIDX_CHECK_MSG(cur_of_to.count(to.root()) == 1 &&
+                      cur_of_to.at(to.root()) == from.root(),
+                  "root-preserving mapping must pair the roots");
+
+  TreeDiff diff;
+  diff.distance = ted.distance;
+  Tree work = from.Clone();
+  LabelDict* dict = work.mutable_dict();
+  auto apply = [&](const EditOperation& op) {
+    Status status = op.ApplyTo(&work);
+    PQIDX_CHECK_MSG(status.ok(), status.ToString().c_str());
+    diff.operations.push_back(op);
+  };
+
+  // 1. Renames: mapped pairs whose labels differ.
+  for (auto [u, v] : ted.mapping) {
+    if (from.LabelString(u) != to.LabelString(v)) {
+      apply(EditOperation::Rename(u, dict->Intern(to.LabelString(v))));
+    }
+  }
+  // 2. Deletions: unmapped `from` nodes (order irrelevant; DEL splices).
+  std::vector<NodeId> doomed;
+  from.PreOrder([&](NodeId u) {
+    if (!from_mapped.contains(u)) doomed.push_back(u);
+  });
+  for (NodeId u : doomed) {
+    apply(EditOperation::Delete(u));
+  }
+  // 3. Insertions: unmapped `to` nodes in pre-order. At each step the
+  // working tree equals `to` with the not-yet-inserted nodes spliced out,
+  // so the children the new node must adopt are exactly the current
+  // children of its parent whose `to`-correspondents lie in its subtree
+  // -- a consecutive run.
+  PreOrderIntervals to_intervals(to);
+  std::vector<NodeId> to_preorder;
+  to.PreOrder([&](NodeId v) { to_preorder.push_back(v); });
+  for (NodeId v : to_preorder) {
+    if (cur_of_to.contains(v)) continue;
+    NodeId p_cur = cur_of_to.at(to.parent(v));
+    int k = 0;
+    int count = 0;
+    int position = 0;
+    for (NodeId c : work.children(p_cur)) {
+      NodeId tv = to_of_cur.at(c);
+      if (to_intervals.InSubtree(v, tv)) {
+        if (count == 0) k = position;
+        PQIDX_CHECK_MSG(position == k + count,
+                        "adopted children are not consecutive");
+        ++count;
+      } else if (to_intervals.tin.at(tv) < to_intervals.tin.at(v)) {
+        PQIDX_CHECK_MSG(count == 0,
+                        "left-of-subtree child after the subtree run");
+      }
+      ++position;
+    }
+    if (count == 0) {
+      // Pure leaf insertion: it goes after every current child whose
+      // correspondent precedes v in document order.
+      k = 0;
+      for (NodeId c : work.children(p_cur)) {
+        if (to_intervals.tin.at(to_of_cur.at(c)) < to_intervals.tin.at(v)) {
+          ++k;
+        }
+      }
+    }
+    NodeId fresh = work.AllocateId();
+    apply(EditOperation::Insert(fresh, dict->Intern(to.LabelString(v)),
+                                p_cur, k, count));
+    cur_of_to.emplace(v, fresh);
+    to_of_cur.emplace(fresh, v);
+  }
+
+  PQIDX_CHECK_MSG(static_cast<int>(diff.operations.size()) == ted.distance,
+                  "script length must equal the mapping cost");
+  return diff;
+}
+
+Status ApplyDiff(const TreeDiff& diff, Tree* from, EditLog* log) {
+  for (const EditOperation& op : diff.operations) {
+    PQIDX_RETURN_IF_ERROR(ApplyAndLog(op, from, log));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pqidx

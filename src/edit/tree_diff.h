@@ -1,0 +1,52 @@
+// Change detection: derive an optimal edit script between two document
+// versions.
+//
+// The paper's incremental maintenance consumes a log of edit operations.
+// When no log was recorded -- the change-detection scenario of its related
+// work (Cobena et al. [4], Lee et al. [12]) where only the two versions
+// exist -- this module reconstructs one: an optimal *root-preserving*
+// Zhang-Shasha edit mapping (the paper's model never edits the root) is
+// turned into a minimal sequence of INS / DEL / REN operations
+// that transforms `from` into a tree isomorphic to `to` (same shape and
+// labels; nodes inserted by the script receive fresh ids from `from`'s id
+// space). Applying the script through ApplyAndLog yields exactly the
+// inverse log the pq-gram index update needs.
+//
+// The script length equals the cost of the best root-preserving
+// mapping, which is within 2 of the unconstrained tree edit distance.
+
+#ifndef PQIDX_EDIT_TREE_DIFF_H_
+#define PQIDX_EDIT_TREE_DIFF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "edit/edit_log.h"
+#include "edit/edit_operation.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct TreeDiff {
+  // Operations in application order; they apply to the `from` tree the
+  // diff was computed for (or an id-identical clone).
+  std::vector<EditOperation> operations;
+  // Cost of the best root-preserving script; equals operations.size()
+  // and exceeds the unconstrained tree edit distance by at most 2.
+  int distance = 0;
+};
+
+// Computes an optimal edit script transforming `from` into a tree
+// isomorphic to `to`. New labels from `to` are interned into `from`'s
+// dictionary. O(|from|·|to|·min(depth,leaves)^2): change detection is for
+// documents, not for 10^7-node archives.
+TreeDiff ComputeEditScript(const Tree& from, const Tree& to);
+
+// Applies `diff` to `from` (which must be the tree the diff was computed
+// from), appending the inverse operations to `log` -- ready for
+// UpdateIndex.
+Status ApplyDiff(const TreeDiff& diff, Tree* from, EditLog* log);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_EDIT_TREE_DIFF_H_

@@ -1,0 +1,134 @@
+#include "storage/document_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "core/incremental.h"
+#include "edit/tree_diff.h"
+#include "storage/tree_store.h"
+
+namespace pqidx {
+namespace {
+
+Status EnsureDirectory(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return IoError("cannot create directory: " + path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::Create(
+    const std::string& directory, PqShape shape) {
+  PQIDX_RETURN_IF_ERROR(EnsureDirectory(directory));
+  std::unique_ptr<DocumentStore> store(new DocumentStore(directory));
+  if (FileExists(store->IndexPath())) {
+    return FailedPreconditionError("store already exists in " + directory);
+  }
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Create(store->IndexPath(), shape);
+  PQIDX_RETURN_IF_ERROR(index.status());
+  store->index_ = std::move(index).value();
+  return store;
+}
+
+StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    const std::string& directory) {
+  std::unique_ptr<DocumentStore> store(new DocumentStore(directory));
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Open(store->IndexPath());
+  PQIDX_RETURN_IF_ERROR(index.status());
+  store->index_ = std::move(index).value();
+  for (TreeId id : store->index_->TreeIds()) {
+    store->next_id_ = std::max(store->next_id_, id + 1);
+    if (!FileExists(store->TreePath(id))) {
+      return DataLossError("missing tree file for document " +
+                           std::to_string(id));
+    }
+  }
+  return store;
+}
+
+StatusOr<TreeId> DocumentStore::Ingest(const Tree& doc) {
+  if (doc.root() == kNullNodeId) {
+    return InvalidArgumentError("cannot ingest an empty document");
+  }
+  TreeId id = next_id_;
+  // Tree file first: a leftover file without an index entry is inert,
+  // while an index entry without its tree would break Checkout.
+  PQIDX_RETURN_IF_ERROR(SaveTree(doc, TreePath(id)));
+  Status status = index_->AddTree(id, doc);
+  if (!status.ok()) {
+    std::remove(TreePath(id).c_str());
+    return status;
+  }
+  ++next_id_;
+  return id;
+}
+
+StatusOr<Tree> DocumentStore::Checkout(TreeId id) const {
+  if (index_->TreeBagSize(id) < 0) {
+    return NotFoundError("no document with id " + std::to_string(id));
+  }
+  return LoadTree(TreePath(id));
+}
+
+Status DocumentStore::Commit(TreeId id, const Tree& tn,
+                             const EditLog& log) {
+  if (index_->TreeBagSize(id) < 0) {
+    return NotFoundError("no document with id " + std::to_string(id));
+  }
+  // Index first (atomic via the pager WAL), then the tree file. A crash
+  // between the two leaves an index describing the new version with the
+  // old tree on disk; Verify() detects it and CommitVersion can repair.
+  PQIDX_RETURN_IF_ERROR(index_->ApplyLog(id, tn, log));
+  return SaveTree(tn, TreePath(id));
+}
+
+Status DocumentStore::CommitVersion(TreeId id, const Tree& new_version) {
+  StatusOr<Tree> current = Checkout(id);
+  PQIDX_RETURN_IF_ERROR(current.status());
+  TreeDiff diff = ComputeEditScript(*current, new_version);
+  EditLog log;
+  PQIDX_RETURN_IF_ERROR(ApplyDiff(diff, &current.value(), &log));
+  return Commit(id, *current, log);
+}
+
+Status DocumentStore::Remove(TreeId id) {
+  PQIDX_RETURN_IF_ERROR(index_->RemoveTree(id));
+  if (std::remove(TreePath(id).c_str()) != 0) {
+    return IoError("cannot remove tree file for document " +
+                   std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<LookupResult>> DocumentStore::Lookup(
+    const Tree& query, double tau) const {
+  return index_->Lookup(BuildIndex(query, index_->shape()), tau);
+}
+
+Status DocumentStore::Verify() const {
+  for (TreeId id : index_->TreeIds()) {
+    StatusOr<Tree> tree = Checkout(id);
+    PQIDX_RETURN_IF_ERROR(tree.status());
+    StatusOr<PqGramIndex> stored = index_->MaterializeIndex(id);
+    PQIDX_RETURN_IF_ERROR(stored.status());
+    if (!(*stored == BuildIndex(*tree, index_->shape()))) {
+      return DataLossError("index out of sync for document " +
+                           std::to_string(id));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pqidx

@@ -1,0 +1,98 @@
+// DocumentStore: the paper's application scenario (Figure 1) packaged as
+// one component.
+//
+// A store is a directory holding a crash-safe persistent index
+// (`index.db`, see PersistentForestIndex) and one binary tree file per
+// document (`tree_<id>.bin`). The workflow:
+//
+//   1. Ingest(doc)              -- assign an id, persist document + index
+//   2. tree = Checkout(id)      -- load the current version
+//   3. ...edit `tree` through ApplyAndLog, recording the inverse log...
+//   4. Commit(id, tree, log)    -- persist the new version and maintain
+//                                  the index incrementally from the log
+//   5. Lookup(query, tau)       -- approximate search over the collection
+//
+// CommitVersion(id, new_version) covers the no-log case by
+// reconstructing a minimal edit script (tree diff) internally.
+//
+// Node ids are session-scoped: Checkout assigns pre-order ids, and the
+// log passed to Commit must be recorded against that checkout. The index
+// itself stores only label-tuple fingerprints, so id renumbering across
+// sessions is invisible to it.
+
+#ifndef PQIDX_STORAGE_DOCUMENT_STORE_H_
+#define PQIDX_STORAGE_DOCUMENT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "edit/edit_log.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class DocumentStore {
+ public:
+  // Creates a new store in `directory` (created if missing; must not
+  // already contain a store).
+  static StatusOr<std::unique_ptr<DocumentStore>> Create(
+      const std::string& directory, PqShape shape);
+
+  // Opens an existing store.
+  static StatusOr<std::unique_ptr<DocumentStore>> Open(
+      const std::string& directory);
+
+  const PqShape& shape() const { return index_->shape(); }
+  int size() const { return index_->size(); }
+  std::vector<TreeId> DocumentIds() const { return index_->TreeIds(); }
+
+  // Adds a document; returns its assigned id.
+  StatusOr<TreeId> Ingest(const Tree& doc);
+
+  // Loads the current version of document `id` (fresh pre-order node
+  // ids; edit and Commit against exactly this tree).
+  StatusOr<Tree> Checkout(TreeId id) const;
+
+  // Persists `tn` as the new version of `id` and maintains the index
+  // from `log` (the inverse operations recorded while editing the
+  // checkout). The index is updated before the tree file is replaced;
+  // a crash in between is repaired on Open (the tree file is
+  // re-synchronized from its content hash).
+  Status Commit(TreeId id, const Tree& tn, const EditLog& log);
+
+  // As Commit when no log exists: diffs the stored version against
+  // `new_version` and derives the log internally.
+  Status CommitVersion(TreeId id, const Tree& new_version);
+
+  // Removes a document and its index entries.
+  Status Remove(TreeId id);
+
+  // Approximate lookup over the collection.
+  StatusOr<std::vector<LookupResult>> Lookup(const Tree& query,
+                                             double tau) const;
+
+  // Verifies that every document's stored index matches its stored tree.
+  // O(collection); tests and `fsck`-style checks.
+  Status Verify() const;
+
+ private:
+  explicit DocumentStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string IndexPath() const { return directory_ + "/index.db"; }
+  std::string TreePath(TreeId id) const {
+    return directory_ + "/tree_" + std::to_string(id) + ".bin";
+  }
+
+  std::string directory_;
+  std::unique_ptr<PersistentForestIndex> index_;
+  TreeId next_id_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_DOCUMENT_STORE_H_

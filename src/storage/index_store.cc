@@ -1,0 +1,62 @@
+#include "storage/index_store.h"
+
+#include "common/serde.h"
+
+namespace pqidx {
+namespace {
+
+constexpr uint32_t kMagic = 0x50514758;     // "PQGX"
+constexpr uint32_t kLogMagic = 0x50514c47;  // "PQLG"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveForestIndex(const ForestIndex& forest, const std::string& path) {
+  ByteWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU32(kVersion);
+  forest.Serialize(&writer);
+  return WriteFile(path, writer.data());
+}
+
+StatusOr<ForestIndex> LoadForestIndex(const std::string& path) {
+  std::string data;
+  PQIDX_RETURN_IF_ERROR(ReadFile(path, &data));
+  ByteReader reader(data);
+  uint32_t magic, version;
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kMagic) return DataLossError("not a pqidx index file: " + path);
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kVersion) {
+    return DataLossError("unsupported index file version");
+  }
+  StatusOr<ForestIndex> forest = ForestIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(forest.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes in index file");
+  return forest;
+}
+
+Status SaveEditLog(const EditLog& log, const std::string& path) {
+  ByteWriter writer;
+  writer.PutU32(kLogMagic);
+  writer.PutU32(kVersion);
+  log.Serialize(&writer);
+  return WriteFile(path, writer.data());
+}
+
+StatusOr<EditLog> LoadEditLog(const std::string& path) {
+  std::string data;
+  PQIDX_RETURN_IF_ERROR(ReadFile(path, &data));
+  ByteReader reader(data);
+  uint32_t magic, version;
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kLogMagic) return DataLossError("not a pqidx log file: " + path);
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kVersion) return DataLossError("unsupported log file version");
+  StatusOr<EditLog> log = EditLog::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(log.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes in log file");
+  return log;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,33 @@
+// On-disk persistence for forest indexes.
+//
+// The pq-gram index is persistent (paper abstract): it outlives the
+// process and is maintained incrementally instead of being rebuilt. Files
+// carry a magic tag and format version so stale or foreign files are
+// rejected instead of misread.
+
+#ifndef PQIDX_STORAGE_INDEX_STORE_H_
+#define PQIDX_STORAGE_INDEX_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "edit/edit_log.h"
+
+namespace pqidx {
+
+// Writes `forest` to `path`, replacing any existing file.
+Status SaveForestIndex(const ForestIndex& forest, const std::string& path);
+
+// Reads a forest index previously written by SaveForestIndex.
+StatusOr<ForestIndex> LoadForestIndex(const std::string& path);
+
+// Edit logs as files: ship a recorded inverse log next to the document it
+// applies to (node ids in the log are only meaningful relative to that
+// exact tree, e.g. one stored with SaveTree).
+Status SaveEditLog(const EditLog& log, const std::string& path);
+StatusOr<EditLog> LoadEditLog(const std::string& path);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_INDEX_STORE_H_

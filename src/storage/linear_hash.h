@@ -1,0 +1,95 @@
+// On-disk linear hashing [Litwin 1980]: the index relation
+// (treeId, pqg, cnt) as a durable hash table that grows one bucket split
+// at a time -- no global rehash ever -- so incremental index updates
+// touch only the few pages holding the affected tuples.
+//
+// Layout (all pages owned by a Pager):
+//  * one meta page: level, split pointer, bucket/entry counts, overflow
+//    free list, and the ids of the directory pages;
+//  * directory pages: arrays of bucket-head page ids;
+//  * bucket pages: a header (overflow link, entry count) followed by
+//    fixed-size entries {tree u32, fingerprint u64, count i64}; full
+//    buckets chain into overflow pages, which splits dissolve.
+//
+// Keys are (tree, fingerprint) pairs; values are positive counts.
+// AddDelta() with a negative delta decrements and removes entries that
+// reach zero. Durability and atomicity come from the pager's WAL: a
+// sequence of mutations becomes atomic by calling Pager::Commit() once.
+
+#ifndef PQIDX_STORAGE_LINEAR_HASH_H_
+#define PQIDX_STORAGE_LINEAR_HASH_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace pqidx {
+
+class LinearHashTable {
+ public:
+  // The table lives inside `pager`'s file; `pager` must outlive it.
+  explicit LinearHashTable(Pager* pager) : pager_(pager) {
+    PQIDX_CHECK(pager != nullptr);
+  }
+
+  // Formats a fresh table whose meta lives in `meta_page` (an allocated
+  // page the caller reserves for this table).
+  Status Create(PageId meta_page);
+
+  // Attaches to a table previously created at `meta_page`.
+  Status Attach(PageId meta_page);
+
+  // Returns the count stored for (tree, fp), 0 if absent.
+  StatusOr<int64_t> Get(uint32_t tree, uint64_t fp);
+
+  // Adds `delta` to the count of (tree, fp), inserting or removing the
+  // entry as needed. Fails if the result would be negative.
+  Status AddDelta(uint32_t tree, uint64_t fp, int64_t delta);
+
+  // Invokes fn(tree, fp, count) for every entry (unspecified order).
+  Status ForEach(
+      const std::function<void(uint32_t, uint64_t, int64_t)>& fn);
+
+  uint64_t entry_count() const { return entry_count_; }
+  uint32_t bucket_count() const { return bucket_count_; }
+
+  // Verifies meta/bucket invariants (entry counts, chain structure,
+  // entries hashed to the right bucket). Aborts on violation; tests.
+  void CheckConsistency();
+
+ private:
+  static constexpr uint32_t kInitialBuckets = 4;
+
+  // Bucket index for a key hash under the current level/split state.
+  uint32_t BucketFor(uint64_t hash) const;
+
+  StatusOr<PageId> BucketHead(uint32_t bucket);
+  Status SetBucketHead(uint32_t bucket, PageId page);
+  Status EnsureDirectoryFor(uint32_t bucket);
+
+  StatusOr<PageId> AllocateBucketPage();
+  Status FreeBucketPage(PageId id);
+
+  // Splits the bucket at the split pointer and advances it.
+  Status SplitOne();
+  // Current load factor threshold check.
+  bool ShouldSplit() const;
+
+  Status LoadMeta();
+  Status StoreMeta();
+
+  Pager* pager_;
+  PageId meta_page_ = 0;
+  // Cached meta fields (persisted by StoreMeta).
+  uint32_t level_ = 0;
+  uint32_t next_split_ = 0;
+  uint32_t bucket_count_ = 0;
+  uint64_t entry_count_ = 0;
+  PageId free_head_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_LINEAR_HASH_H_

@@ -1,0 +1,366 @@
+#include "storage/pager.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace pqidx {
+namespace {
+
+constexpr uint32_t kWalMagic = 0x50515741;   // "PQWA"
+constexpr uint32_t kSealMagic = 0x53454121;  // "SEA!"
+
+uint64_t Fnv1a(const uint8_t* data, size_t size, uint64_t seed = 0) {
+  uint64_t hash = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+Status SyncFile(std::FILE* file) {
+  if (std::fflush(file) != 0 || fsync(fileno(file)) != 0) {
+    return IoError("fsync failed");
+  }
+  return Status::Ok();
+}
+
+// Little helpers for raw binary file records.
+bool WriteRaw(std::FILE* file, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, file) == size;
+}
+bool ReadRaw(std::FILE* file, void* data, size_t size) {
+  return std::fread(data, 1, size, file) == size;
+}
+
+}  // namespace
+
+Pager::Pager(int pool_pages) : pool_capacity_(std::max(pool_pages, 8)) {}
+
+Pager::~Pager() {
+  if (file_ != nullptr) {
+    Close().ok();  // best effort; Close commits nothing on its own
+  }
+}
+
+bool Pager::WriteRawChecked(std::FILE* file, const void* data,
+                            size_t size) {
+  if (fail_after_writes_ >= 0) {
+    if (fail_after_writes_ == 0) return false;  // injected failure
+    --fail_after_writes_;
+  }
+  return WriteRaw(file, data, size);
+}
+
+Status Pager::PoisonedError() const {
+  return FailedPreconditionError(
+      "pager poisoned by a failed commit; reopen to recover");
+}
+
+Status Pager::Open(const std::string& path, bool create) {
+  PQIDX_CHECK(file_ == nullptr);
+  path_ = path;
+  poisoned_ = false;
+  fail_after_writes_ = -1;
+  file_ = std::fopen(path.c_str(), create ? "wb+" : "rb+");
+  if (file_ == nullptr) {
+    return IoError("cannot open page file: " + path);
+  }
+  if (create) {
+    std::remove(WalPath().c_str());
+    page_count_ = 0;
+  } else {
+    PQIDX_RETURN_IF_ERROR(ReplayOrDiscardWal());
+    if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
+    long size = std::ftell(file_);
+    if (size < 0 || size % kPageSize != 0) {
+      return DataLossError("page file size is not a multiple of the page "
+                           "size: " + path);
+    }
+    page_count_ = static_cast<PageId>(size / kPageSize);
+  }
+  committed_page_count_ = page_count_;
+  return Status::Ok();
+}
+
+Status Pager::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::fclose(file_);
+  file_ = nullptr;
+  pool_.clear();
+  lru_.clear();
+  return Status::Ok();
+}
+
+StatusOr<PageId> Pager::AllocatePage() {
+  PQIDX_CHECK(file_ != nullptr);
+  if (poisoned_) return PoisonedError();
+  PageId id = page_count_++;
+  StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/false);
+  PQIDX_RETURN_IF_ERROR(frame.status());
+  (*frame)->dirty = true;
+  std::memset((*frame)->data.data(), 0, kPageSize);
+  return id;
+}
+
+StatusOr<const uint8_t*> Pager::ReadPage(PageId id) {
+  if (poisoned_) return PoisonedError();
+  if (id >= page_count_) return OutOfRangeError("page id out of range");
+  StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/true);
+  PQIDX_RETURN_IF_ERROR(frame.status());
+  return static_cast<const uint8_t*>((*frame)->data.data());
+}
+
+StatusOr<uint8_t*> Pager::MutablePage(PageId id) {
+  if (poisoned_) return PoisonedError();
+  if (id >= page_count_) return OutOfRangeError("page id out of range");
+  StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/true);
+  PQIDX_RETURN_IF_ERROR(frame.status());
+  (*frame)->dirty = true;
+  return (*frame)->data.data();
+}
+
+StatusOr<Pager::Frame*> Pager::GetFrame(PageId id, bool fetch_from_disk) {
+  auto it = pool_.find(id);
+  if (it != pool_.end()) {
+    ++cache_hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+    return &it->second;
+  }
+  ++cache_misses_;
+  PQIDX_RETURN_IF_ERROR(EvictIfNeeded());
+  Frame& frame = pool_[id];
+  frame.data.assign(kPageSize, 0);
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  if (fetch_from_disk && id < committed_page_count_) {
+    Status status = ReadFromFile(id, frame.data.data());
+    if (!status.ok()) {
+      lru_.erase(frame.lru_pos);
+      pool_.erase(id);
+      return status;
+    }
+  }
+  return &frame;
+}
+
+Status Pager::EvictIfNeeded() {
+  if (static_cast<int>(pool_.size()) < pool_capacity_) return Status::Ok();
+  // Evict the least recently used *clean* page. Dirty pages must survive
+  // until the next Commit, so the pool may temporarily exceed capacity
+  // under write-heavy transactions.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto fit = pool_.find(*it);
+    PQIDX_CHECK(fit != pool_.end());
+    if (!fit->second.dirty) {
+      lru_.erase(std::next(it).base());
+      pool_.erase(fit);
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Status Pager::ReadFromFile(PageId id, uint8_t* out) {
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return IoError("seek failed");
+  }
+  if (!ReadRaw(file_, out, kPageSize)) {
+    return IoError("short page read");
+  }
+  return Status::Ok();
+}
+
+Status Pager::WriteFrameToFile(PageId id, const Frame& frame) {
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return IoError("seek failed");
+  }
+  if (!WriteRawChecked(file_, frame.data.data(), kPageSize)) {
+    return IoError("short page write");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<PageId>> Pager::WriteWal() {
+  std::vector<PageId> dirty;
+  for (const auto& [id, frame] : pool_) {
+    if (frame.dirty) dirty.push_back(id);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  if (dirty.empty() && page_count_ == committed_page_count_) {
+    return dirty;  // nothing to do
+  }
+  std::FILE* wal = std::fopen(WalPath().c_str(), "wb");
+  if (wal == nullptr) return IoError("cannot create WAL");
+  bool ok = WriteRawChecked(wal, &kWalMagic, sizeof(kWalMagic));
+  for (PageId id : dirty) {
+    const Frame& frame = pool_.at(id);
+    uint64_t checksum = Fnv1a(frame.data.data(), kPageSize, id);
+    ok = ok && WriteRawChecked(wal, &id, sizeof(id)) &&
+         WriteRawChecked(wal, &checksum, sizeof(checksum)) &&
+         WriteRawChecked(wal, frame.data.data(), kPageSize);
+  }
+  uint32_t num_records = static_cast<uint32_t>(dirty.size());
+  uint64_t seal_checksum =
+      Fnv1a(reinterpret_cast<const uint8_t*>(&num_records),
+            sizeof(num_records), page_count_);
+  ok = ok && WriteRawChecked(wal, &kSealMagic, sizeof(kSealMagic)) &&
+       WriteRawChecked(wal, &num_records, sizeof(num_records)) &&
+       WriteRawChecked(wal, &page_count_, sizeof(page_count_)) &&
+       WriteRawChecked(wal, &seal_checksum, sizeof(seal_checksum));
+  Status sync = SyncFile(wal);
+  std::fclose(wal);
+  if (!ok || !sync.ok()) return IoError("WAL write failed");
+  return dirty;
+}
+
+Status Pager::ApplyDirtyInPlace(const std::vector<PageId>& dirty,
+                                int limit) {
+  int written = 0;
+  for (PageId id : dirty) {
+    if (limit >= 0 && written >= limit) break;
+    PQIDX_RETURN_IF_ERROR(WriteFrameToFile(id, pool_.at(id)));
+    ++written;
+  }
+  return Status::Ok();
+}
+
+Status Pager::Commit() {
+  PQIDX_CHECK(file_ != nullptr);
+  if (poisoned_) return PoisonedError();
+  StatusOr<std::vector<PageId>> dirty = WriteWal();
+  if (!dirty.ok()) {
+    // The WAL never sealed: nothing durable happened, but the sidecar
+    // file is in an unknown state. Poison; reopen discards the torn WAL.
+    poisoned_ = true;
+    return dirty.status();
+  }
+  if (dirty->empty() && page_count_ == committed_page_count_) {
+    return Status::Ok();
+  }
+  Status applied = ApplyDirtyInPlace(*dirty, /*limit=*/-1);
+  Status synced = applied.ok() ? SyncFile(file_) : applied;
+  if (!synced.ok()) {
+    // The WAL is sealed, the main file may be torn: durable but not
+    // usable in-process. Poison; reopen replays the WAL.
+    poisoned_ = true;
+    return synced;
+  }
+  std::remove(WalPath().c_str());
+  for (PageId id : *dirty) {
+    pool_.at(id).dirty = false;
+  }
+  committed_page_count_ = page_count_;
+  ++commits_;
+  return Status::Ok();
+}
+
+Status Pager::Rollback() {
+  PQIDX_CHECK(file_ != nullptr);
+  pool_.clear();
+  lru_.clear();
+  page_count_ = committed_page_count_;
+  return Status::Ok();
+}
+
+Status Pager::CommitWithCrash(CrashPoint point) {
+  PQIDX_CHECK(file_ != nullptr);
+  StatusOr<std::vector<PageId>> dirty = WriteWal();
+  PQIDX_RETURN_IF_ERROR(dirty.status());
+  if (point == CrashPoint::kDuringInPlace) {
+    PQIDX_RETURN_IF_ERROR(ApplyDirtyInPlace(*dirty, /*limit=*/1));
+    (void)SyncFile(file_);
+  }
+  // Simulate process death: drop all volatile state without cleanup.
+  std::fclose(file_);
+  file_ = nullptr;
+  pool_.clear();
+  lru_.clear();
+  return Status::Ok();
+}
+
+Status Pager::ReplayOrDiscardWal() {
+  std::FILE* wal = std::fopen(WalPath().c_str(), "rb");
+  if (wal == nullptr) return Status::Ok();  // no WAL: clean shutdown
+
+  struct Record {
+    PageId id;
+    std::vector<uint8_t> data;
+  };
+  std::vector<Record> records;
+  bool sealed = false;
+  uint32_t sealed_page_count = 0;
+
+  uint32_t magic = 0;
+  if (ReadRaw(wal, &magic, sizeof(magic)) && magic == kWalMagic) {
+    for (;;) {
+      uint32_t id_or_seal;
+      if (!ReadRaw(wal, &id_or_seal, sizeof(id_or_seal))) break;
+      if (id_or_seal == kSealMagic) {
+        uint32_t num_records, new_page_count;
+        uint64_t seal_checksum;
+        if (!ReadRaw(wal, &num_records, sizeof(num_records)) ||
+            !ReadRaw(wal, &new_page_count, sizeof(new_page_count)) ||
+            !ReadRaw(wal, &seal_checksum, sizeof(seal_checksum))) {
+          break;
+        }
+        if (num_records == records.size() &&
+            seal_checksum ==
+                Fnv1a(reinterpret_cast<const uint8_t*>(&num_records),
+                      sizeof(num_records), new_page_count)) {
+          sealed = true;
+          sealed_page_count = new_page_count;
+        }
+        break;
+      }
+      Record record;
+      record.id = id_or_seal;
+      record.data.resize(kPageSize);
+      uint64_t checksum;
+      if (!ReadRaw(wal, &checksum, sizeof(checksum)) ||
+          !ReadRaw(wal, record.data.data(), kPageSize) ||
+          checksum != Fnv1a(record.data.data(), kPageSize, record.id)) {
+        break;  // torn tail
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  std::fclose(wal);
+
+  if (sealed) {
+    // The transaction was durable: finish applying it.
+    for (const Record& record : records) {
+      if (std::fseek(file_, static_cast<long>(record.id) * kPageSize,
+                     SEEK_SET) != 0 ||
+          !WriteRaw(file_, record.data.data(), kPageSize)) {
+        return IoError("WAL replay write failed");
+      }
+    }
+    // Pages allocated but never dirtied materialize as zero pages.
+    if (sealed_page_count > 0) {
+      long want = static_cast<long>(sealed_page_count) * kPageSize;
+      if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
+      long have = std::ftell(file_);
+      if (have < want) {
+        std::vector<uint8_t> zeros(kPageSize, 0);
+        while (have < want) {
+          if (!WriteRaw(file_, zeros.data(), kPageSize)) {
+            return IoError("WAL replay extend failed");
+          }
+          have += kPageSize;
+        }
+      }
+    }
+    PQIDX_RETURN_IF_ERROR(SyncFile(file_));
+  }
+  // Sealed and applied, or unsealed and discarded: either way, drop it.
+  std::remove(WalPath().c_str());
+  return Status::Ok();
+}
+
+}  // namespace pqidx

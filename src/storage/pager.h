@@ -1,0 +1,135 @@
+// Page-oriented file access with a small buffer pool and write-ahead
+// logging: the storage substrate under the persistent index.
+//
+// The file is an array of fixed-size pages. Reads go through an LRU
+// buffer pool; writes mark pages dirty in the pool. Commit() makes all
+// changes since the previous commit durable and atomic:
+//
+//   1. full images of every dirty page are appended to a sidecar WAL
+//      file (<path>.wal) and fsync'ed, then sealed with a commit record;
+//   2. the dirty pages are written in place and fsync'ed;
+//   3. the WAL is truncated.
+//
+// Open() replays a sealed WAL left behind by a crash between (1) and (3)
+// and discards an unsealed one, so the main file always reflects the
+// last successful Commit(). Page images in the WAL carry checksums;
+// torn WAL tails are detected and ignored.
+
+#ifndef PQIDX_STORAGE_PAGER_H_
+#define PQIDX_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pqidx {
+
+inline constexpr int kPageSize = 4096;
+using PageId = uint32_t;
+
+class Pager {
+ public:
+  // `pool_pages` bounds the buffer pool (minimum 8).
+  explicit Pager(int pool_pages = 256);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Opens (or with `create` initializes) the page file at `path`,
+  // replaying or discarding any leftover WAL.
+  Status Open(const std::string& path, bool create);
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  // Number of pages in the file (including pages appended since the last
+  // commit).
+  PageId page_count() const { return page_count_; }
+
+  // Appends a zeroed page and returns its id.
+  StatusOr<PageId> AllocatePage();
+
+  // Returns a borrowed pointer to the page's bytes, valid until the next
+  // Pager call. `Read` misses fetch from disk.
+  StatusOr<const uint8_t*> ReadPage(PageId id);
+  // As ReadPage, but marks the page dirty; changes become durable at the
+  // next Commit.
+  StatusOr<uint8_t*> MutablePage(PageId id);
+
+  // Durably and atomically applies all changes since the last Commit.
+  Status Commit();
+
+  // Drops uncommitted changes (dirty pool pages and pages allocated
+  // since the last commit).
+  Status Rollback();
+
+  // --- test hooks -----------------------------------------------------------
+
+  // Runs steps (1)-(2) of Commit() but "crashes" at the configured point,
+  // leaving the files exactly as a real crash would. The pager becomes
+  // unusable; reopen to recover.
+  enum class CrashPoint {
+    kAfterWalSeal,    // WAL sealed, main file untouched
+    kDuringInPlace,   // WAL sealed, only the first dirty page written
+  };
+  Status CommitWithCrash(CrashPoint point);
+
+  // Simulates an I/O failure: the next `after` raw file writes succeed,
+  // then every write fails until the pager is reopened. A Commit that
+  // fails mid-transaction poisons the pager (the in-memory pool, the WAL
+  // and the file may disagree); every subsequent operation then fails
+  // with FAILED_PRECONDITION and the caller must reopen, which recovers
+  // to the last durable state.
+  void InjectWriteFailureAfter(int after) { fail_after_writes_ = after; }
+
+  bool poisoned() const { return poisoned_; }
+
+  int64_t commits() const { return commits_; }
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  std::string WalPath() const { return path_ + ".wal"; }
+
+  // Raw write with the failure-injection hook.
+  bool WriteRawChecked(std::FILE* file, const void* data, size_t size);
+  Status PoisonedError() const;
+
+  StatusOr<Frame*> GetFrame(PageId id, bool fetch_from_disk);
+  Status EvictIfNeeded();
+  Status WriteFrameToFile(PageId id, const Frame& frame);
+  Status ReadFromFile(PageId id, uint8_t* out);
+
+  // WAL: gather dirty pages, write + seal; returns the dirty page ids.
+  StatusOr<std::vector<PageId>> WriteWal();
+  Status ApplyDirtyInPlace(const std::vector<PageId>& dirty, int limit);
+  Status ReplayOrDiscardWal();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  PageId page_count_ = 0;
+  PageId committed_page_count_ = 0;
+  int pool_capacity_;
+  std::unordered_map<PageId, Frame> pool_;
+  std::list<PageId> lru_;  // front = most recent
+  int64_t commits_ = 0;
+  int fail_after_writes_ = -1;  // < 0: no injection
+  bool poisoned_ = false;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_PAGER_H_

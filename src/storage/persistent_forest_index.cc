@@ -1,0 +1,369 @@
+#include "storage/persistent_forest_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/incremental.h"
+
+namespace pqidx {
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x50515046;  // "PQPF"
+constexpr uint32_t kStoreVersion = 1;
+
+// Store meta (page 0) layout.
+constexpr int kMagicOff = 0;
+constexpr int kVersionOff = 4;
+constexpr int kShapePOff = 8;
+constexpr int kShapeQOff = 9;
+constexpr int kHashMetaOff = 12;
+constexpr int kCatalogHeadOff = 16;
+
+// Catalog page layout.
+constexpr int kCatNextOff = 0;
+constexpr int kCatCountOff = 4;
+constexpr int kCatEntriesOff = 8;
+constexpr int kCatEntrySize = 12;  // tree u32 + size i64
+constexpr int kCatPerPage = (kPageSize - kCatEntriesOff) / kCatEntrySize;
+
+template <typename T>
+T Load(const uint8_t* page, int offset) {
+  T value;
+  std::memcpy(&value, page + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void Store(uint8_t* page, int offset, T value) {
+  std::memcpy(page + offset, &value, sizeof(T));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PersistentForestIndex>>
+PersistentForestIndex::Create(const std::string& path, PqShape shape,
+                              int pool_pages) {
+  PQIDX_CHECK(shape.Valid());
+  std::unique_ptr<PersistentForestIndex> store(
+      new PersistentForestIndex(pool_pages));
+  PQIDX_RETURN_IF_ERROR(store->InitializeNew(path, shape));
+  return store;
+}
+
+StatusOr<std::unique_ptr<PersistentForestIndex>>
+PersistentForestIndex::Open(const std::string& path, int pool_pages) {
+  std::unique_ptr<PersistentForestIndex> store(
+      new PersistentForestIndex(pool_pages));
+  PQIDX_RETURN_IF_ERROR(store->OpenExisting(path));
+  return store;
+}
+
+Status PersistentForestIndex::InitializeNew(const std::string& path,
+                                            PqShape shape) {
+  shape_ = shape;
+  PQIDX_RETURN_IF_ERROR(pager_.Open(path, /*create=*/true));
+  StatusOr<PageId> meta = pager_.AllocatePage();
+  PQIDX_RETURN_IF_ERROR(meta.status());
+  PQIDX_CHECK(*meta == 0);
+  StatusOr<PageId> hash_meta = pager_.AllocatePage();
+  PQIDX_RETURN_IF_ERROR(hash_meta.status());
+  StatusOr<PageId> catalog = pager_.AllocatePage();
+  PQIDX_RETURN_IF_ERROR(catalog.status());
+  catalog_head_ = *catalog;
+  {
+    StatusOr<uint8_t*> page = pager_.MutablePage(0);
+    PQIDX_RETURN_IF_ERROR(page.status());
+    Store(*page, kMagicOff, kStoreMagic);
+    Store(*page, kVersionOff, kStoreVersion);
+    Store(*page, kShapePOff, static_cast<uint8_t>(shape.p));
+    Store(*page, kShapeQOff, static_cast<uint8_t>(shape.q));
+    Store(*page, kHashMetaOff, static_cast<uint32_t>(*hash_meta));
+    Store(*page, kCatalogHeadOff, static_cast<uint32_t>(catalog_head_));
+  }
+  PQIDX_RETURN_IF_ERROR(table_.Create(*hash_meta));
+  return pager_.Commit();
+}
+
+Status PersistentForestIndex::OpenExisting(const std::string& path) {
+  PQIDX_RETURN_IF_ERROR(pager_.Open(path, /*create=*/false));
+  if (pager_.page_count() == 0) {
+    return DataLossError("empty index file: " + path);
+  }
+  StatusOr<const uint8_t*> page = pager_.ReadPage(0);
+  PQIDX_RETURN_IF_ERROR(page.status());
+  if (Load<uint32_t>(*page, kMagicOff) != kStoreMagic) {
+    return DataLossError("not a pqidx persistent index: " + path);
+  }
+  if (Load<uint32_t>(*page, kVersionOff) != kStoreVersion) {
+    return DataLossError("unsupported persistent index version");
+  }
+  shape_.p = Load<uint8_t>(*page, kShapePOff);
+  shape_.q = Load<uint8_t>(*page, kShapeQOff);
+  if (!shape_.Valid()) return DataLossError("bad index shape");
+  PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
+  catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
+  PQIDX_RETURN_IF_ERROR(table_.Attach(hash_meta));
+  return LoadCatalog();
+}
+
+Status PersistentForestIndex::LoadCatalog() {
+  catalog_.clear();
+  for (PageId page_id = catalog_head_; page_id != 0;) {
+    StatusOr<const uint8_t*> page = pager_.ReadPage(page_id);
+    PQIDX_RETURN_IF_ERROR(page.status());
+    int count = Load<uint16_t>(*page, kCatCountOff);
+    if (count > kCatPerPage) return DataLossError("corrupt catalog page");
+    for (int slot = 0; slot < count; ++slot) {
+      int off = kCatEntriesOff + slot * kCatEntrySize;
+      TreeId id = static_cast<TreeId>(Load<uint32_t>(*page, off));
+      catalog_[id] = Load<int64_t>(*page, off + 4);
+    }
+    page_id = Load<uint32_t>(*page, kCatNextOff);
+  }
+  return Status::Ok();
+}
+
+Status PersistentForestIndex::StoreCatalog() {
+  auto it = catalog_.begin();
+  PageId page_id = catalog_head_;
+  PageId prev = 0;
+  while (page_id != 0 || it != catalog_.end()) {
+    if (page_id == 0) {
+      // Extend the chain.
+      StatusOr<PageId> fresh = pager_.AllocatePage();
+      PQIDX_RETURN_IF_ERROR(fresh.status());
+      StatusOr<uint8_t*> prev_page = pager_.MutablePage(prev);
+      PQIDX_RETURN_IF_ERROR(prev_page.status());
+      Store(*prev_page, kCatNextOff, static_cast<uint32_t>(*fresh));
+      page_id = *fresh;
+    }
+    StatusOr<uint8_t*> page = pager_.MutablePage(page_id);
+    PQIDX_RETURN_IF_ERROR(page.status());
+    int count = 0;
+    while (it != catalog_.end() && count < kCatPerPage) {
+      int off = kCatEntriesOff + count * kCatEntrySize;
+      Store(*page, off, static_cast<uint32_t>(it->first));
+      Store(*page, off + 4, it->second);
+      ++it;
+      ++count;
+    }
+    Store(*page, kCatCountOff, static_cast<uint16_t>(count));
+    prev = page_id;
+    page_id = Load<uint32_t>(*page, kCatNextOff);
+  }
+  // Zero out any trailing chain pages left from a larger catalog.
+  while (page_id != 0) {
+    StatusOr<uint8_t*> page = pager_.MutablePage(page_id);
+    PQIDX_RETURN_IF_ERROR(page.status());
+    Store(*page, kCatCountOff, uint16_t{0});
+    page_id = Load<uint32_t>(*page, kCatNextOff);
+  }
+  return Status::Ok();
+}
+
+Status PersistentForestIndex::CommitOrCrash() {
+  if (crash_armed_) {
+    crash_armed_ = false;
+    return pager_.CommitWithCrash(crash_point_);
+  }
+  return pager_.Commit();
+}
+
+// Discards uncommitted page changes and restores the in-memory caches
+// (catalog, linear-hash meta) from the committed state.
+Status PersistentForestIndex::RollbackAndReload(Status cause) {
+  pager_.Rollback();
+  StatusOr<const uint8_t*> page = pager_.ReadPage(0);
+  if (page.ok()) {
+    catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
+    PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
+    table_.Attach(hash_meta).ok();
+  }
+  LoadCatalog().ok();
+  return cause;
+}
+
+std::vector<TreeId> PersistentForestIndex::TreeIds() const {
+  std::vector<TreeId> ids;
+  ids.reserve(catalog_.size());
+  for (const auto& [id, size] : catalog_) ids.push_back(id);
+  return ids;
+}
+
+int64_t PersistentForestIndex::TreeBagSize(TreeId id) const {
+  auto it = catalog_.find(id);
+  return it == catalog_.end() ? -1 : it->second;
+}
+
+Status PersistentForestIndex::AddIndex(TreeId id,
+                                       const PqGramIndex& index) {
+  if (!(index.shape() == shape_)) {
+    return InvalidArgumentError("index shape does not match the store");
+  }
+  if (catalog_.contains(id)) {
+    return FailedPreconditionError("tree already in the store");
+  }
+  for (const auto& [fp, count] : index.counts()) {
+    Status status = table_.AddDelta(static_cast<uint32_t>(id), fp, count);
+    if (!status.ok()) return RollbackAndReload(status);
+  }
+  catalog_[id] = index.size();
+  Status stored = StoreCatalog();
+  if (!stored.ok()) return RollbackAndReload(stored);
+  return CommitOrCrash();
+}
+
+Status PersistentForestIndex::AddTree(TreeId id, const Tree& tree) {
+  return AddIndex(id, BuildIndex(tree, shape_));
+}
+
+Status PersistentForestIndex::BulkAdd(
+    const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags) {
+  for (const auto& [id, bag] : bags) {
+    if (!(bag->shape() == shape_)) {
+      return InvalidArgumentError("index shape does not match the store");
+    }
+    if (catalog_.contains(id)) {
+      return FailedPreconditionError("tree " + std::to_string(id) +
+                                     " already in the store");
+    }
+  }
+  for (const auto& [id, bag] : bags) {
+    for (const auto& [fp, count] : bag->counts()) {
+      Status status = table_.AddDelta(static_cast<uint32_t>(id), fp, count);
+      if (!status.ok()) return RollbackAndReload(status);
+    }
+    catalog_[id] = bag->size();
+  }
+  Status stored = StoreCatalog();
+  if (!stored.ok()) return RollbackAndReload(stored);
+  return CommitOrCrash();
+}
+
+Status PersistentForestIndex::RemoveTree(TreeId id) {
+  if (!catalog_.contains(id)) {
+    return NotFoundError("tree not in the store");
+  }
+  // Collect the tree's keys (full sweep), then delete them.
+  std::vector<std::pair<uint64_t, int64_t>> doomed;
+  PQIDX_RETURN_IF_ERROR(table_.ForEach(
+      [&](uint32_t tree, uint64_t fp, int64_t count) {
+        if (tree == static_cast<uint32_t>(id)) doomed.emplace_back(fp, count);
+      }));
+  for (const auto& [fp, count] : doomed) {
+    Status status =
+        table_.AddDelta(static_cast<uint32_t>(id), fp, -count);
+    if (!status.ok()) return RollbackAndReload(status);
+  }
+  catalog_.erase(id);
+  PQIDX_RETURN_IF_ERROR(StoreCatalog());
+  return CommitOrCrash();
+}
+
+Status PersistentForestIndex::UpdateTree(TreeId id, const PqGramIndex& plus,
+                                         const PqGramIndex& minus) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return NotFoundError("tree not in the store");
+  if (!(plus.shape() == shape_) || !(minus.shape() == shape_)) {
+    return InvalidArgumentError("delta shape does not match the store");
+  }
+  for (const auto& [fp, count] : minus.counts()) {
+    Status status =
+        table_.AddDelta(static_cast<uint32_t>(id), fp, -count);
+    if (!status.ok()) return RollbackAndReload(status);
+  }
+  for (const auto& [fp, count] : plus.counts()) {
+    Status status = table_.AddDelta(static_cast<uint32_t>(id), fp, count);
+    if (!status.ok()) return RollbackAndReload(status);
+  }
+  it->second += plus.size() - minus.size();
+  PQIDX_CHECK(it->second >= 0);
+  Status stored = StoreCatalog();
+  if (!stored.ok()) return RollbackAndReload(stored);
+  return CommitOrCrash();
+}
+
+Status PersistentForestIndex::ApplyLog(TreeId id, const Tree& tn,
+                                       const EditLog& log) {
+  if (!catalog_.contains(id)) return NotFoundError("tree not in the store");
+  PqGramIndex plus(shape_);
+  PqGramIndex minus(shape_);
+  PQIDX_RETURN_IF_ERROR(
+      ComputeIndexDeltas(tn, log, shape_, &plus, &minus, nullptr));
+  return UpdateTree(id, plus, minus);
+}
+
+StatusOr<double> PersistentForestIndex::Distance(TreeId id,
+                                                 const PqGramIndex& query) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return NotFoundError("tree not in the store");
+  PQIDX_CHECK(query.shape() == shape_);
+  int64_t intersection = 0;
+  for (const auto& [fp, qcount] : query.counts()) {
+    StatusOr<int64_t> stored = table_.Get(static_cast<uint32_t>(id), fp);
+    PQIDX_RETURN_IF_ERROR(stored.status());
+    intersection += std::min(qcount, *stored);
+  }
+  int64_t union_size = query.size() + it->second;
+  if (union_size == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+StatusOr<std::vector<LookupResult>> PersistentForestIndex::Lookup(
+    const PqGramIndex& query, double tau) {
+  std::vector<LookupResult> results;
+  for (const auto& [id, size] : catalog_) {
+    StatusOr<double> distance = Distance(id, query);
+    PQIDX_RETURN_IF_ERROR(distance.status());
+    if (*distance <= tau) results.push_back({id, *distance});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const LookupResult& a, const LookupResult& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.tree_id < b.tree_id);
+            });
+  return results;
+}
+
+StatusOr<PqGramIndex> PersistentForestIndex::MaterializeIndex(TreeId id) {
+  if (!catalog_.contains(id)) return NotFoundError("tree not in the store");
+  PqGramIndex index(shape_);
+  PQIDX_RETURN_IF_ERROR(table_.ForEach(
+      [&](uint32_t tree, uint64_t fp, int64_t count) {
+        if (tree == static_cast<uint32_t>(id)) index.Add(fp, count);
+      }));
+  return index;
+}
+
+Status PersistentForestIndex::CompactInto(const std::string& path) {
+  StatusOr<std::unique_ptr<PersistentForestIndex>> fresh =
+      Create(path, shape_);
+  PQIDX_RETURN_IF_ERROR(fresh.status());
+  // Materialize per tree so each AddIndex commits atomically.
+  for (const auto& [id, size] : catalog_) {
+    StatusOr<PqGramIndex> bag = MaterializeIndex(id);
+    PQIDX_RETURN_IF_ERROR(bag.status());
+    PQIDX_RETURN_IF_ERROR((*fresh)->AddIndex(id, *bag));
+  }
+  return Status::Ok();
+}
+
+void PersistentForestIndex::CheckConsistency() {
+  table_.CheckConsistency();
+  std::map<TreeId, int64_t> totals;
+  Status status = table_.ForEach(
+      [&](uint32_t tree, uint64_t fp, int64_t count) {
+        (void)fp;
+        totals[static_cast<TreeId>(tree)] += count;
+      });
+  PQIDX_CHECK(status.ok());
+  for (const auto& [id, size] : catalog_) {
+    auto it = totals.find(id);
+    PQIDX_CHECK((it == totals.end() ? 0 : it->second) == size);
+    if (it != totals.end()) totals.erase(it);
+  }
+  PQIDX_CHECK_MSG(totals.empty(), "orphaned tuples outside the catalog");
+}
+
+}  // namespace pqidx

@@ -1,0 +1,124 @@
+// A durable, incrementally maintainable forest index: the paper's
+// "persistent index" made literal.
+//
+// The index relation (treeId, pqg, cnt) lives in an on-disk linear hash
+// table inside one page file; a catalog tracks each tree's bag size |I(T)|
+// and the index shape. Every public mutation is committed atomically
+// through the pager's WAL, so the file survives crashes at any point, and
+// an incremental update (paper Algorithm 1) dirties only the pages that
+// hold the affected tuples -- the on-disk analogue of the paper's "update
+// the index instead of rebuilding it".
+//
+// Lookups evaluate the pq-gram distance by point-probing the query's
+// tuples against each cataloged tree, never scanning the table. For
+// RAM-sized forests the in-memory ForestIndex / InvertedForestIndex are
+// faster; this store is for durability and for bags larger than memory.
+
+#ifndef PQIDX_STORAGE_PERSISTENT_FOREST_INDEX_H_
+#define PQIDX_STORAGE_PERSISTENT_FOREST_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "storage/linear_hash.h"
+#include "storage/pager.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class PersistentForestIndex {
+ public:
+  // Creates a fresh index file at `path` (replacing any existing file).
+  static StatusOr<std::unique_ptr<PersistentForestIndex>> Create(
+      const std::string& path, PqShape shape, int pool_pages = 256);
+
+  // Opens an existing index file, recovering from a crashed commit if a
+  // write-ahead log is present.
+  static StatusOr<std::unique_ptr<PersistentForestIndex>> Open(
+      const std::string& path, int pool_pages = 256);
+
+  const PqShape& shape() const { return shape_; }
+  int size() const { return static_cast<int>(catalog_.size()); }
+  std::vector<TreeId> TreeIds() const;
+
+  // |I(id)|, or -1 if unknown.
+  int64_t TreeBagSize(TreeId id) const;
+
+  // Registers a tree's bag. Fails if `id` is already cataloged.
+  Status AddIndex(TreeId id, const PqGramIndex& index);
+  Status AddTree(TreeId id, const Tree& tree);
+
+  // Registers many bags under one commit (one WAL transaction, one fsync
+  // pair): the fast path for initial ingest. All-or-nothing.
+  Status BulkAdd(
+      const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags);
+
+  // Removes a tree and reclaims its tuples (full table sweep; removal is
+  // the rare operation in this workload).
+  Status RemoveTree(TreeId id);
+
+  // Incremental maintenance: applies the lambda(Delta+) / lambda(Delta-)
+  // bags of one updateIndex run, atomically.
+  Status UpdateTree(TreeId id, const PqGramIndex& plus,
+                    const PqGramIndex& minus);
+
+  // Convenience: derives the bags from (tn, log) via ComputeIndexDeltas.
+  Status ApplyLog(TreeId id, const Tree& tn, const EditLog& log);
+
+  // pq-gram distance between `query` and the stored tree `id`.
+  StatusOr<double> Distance(TreeId id, const PqGramIndex& query);
+
+  // Approximate lookup over all cataloged trees, most similar first.
+  StatusOr<std::vector<LookupResult>> Lookup(const PqGramIndex& query,
+                                             double tau);
+
+  // Materializes tree `id`'s bag (table sweep; diagnostics and tests).
+  StatusOr<PqGramIndex> MaterializeIndex(TreeId id);
+
+  // Rewrites the live contents into a fresh, minimal file at `path`
+  // (free-listed and overflow pages from past churn are not carried
+  // over). The source store is not modified.
+  Status CompactInto(const std::string& path);
+
+  // Aborts on structural inconsistency (catalog vs. table); tests.
+  void CheckConsistency();
+
+  const Pager& pager() const { return pager_; }
+
+  // Test hook: run a mutation and crash mid-commit (see Pager).
+  Status CrashNextCommit(Pager::CrashPoint point) {
+    crash_point_ = point;
+    crash_armed_ = true;
+    return Status::Ok();
+  }
+
+ private:
+  explicit PersistentForestIndex(int pool_pages) : pager_(pool_pages) {}
+
+  Status InitializeNew(const std::string& path, PqShape shape);
+  Status OpenExisting(const std::string& path);
+
+  Status LoadCatalog();
+  Status StoreCatalog();
+  Status CommitOrCrash();
+  Status RollbackAndReload(Status cause);
+
+  Pager pager_;
+  LinearHashTable table_{&pager_};
+  PqShape shape_;
+  PageId catalog_head_ = 0;
+  std::map<TreeId, int64_t> catalog_;  // tree -> |I(T)|
+  bool crash_armed_ = false;
+  Pager::CrashPoint crash_point_ = Pager::CrashPoint::kAfterWalSeal;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_PERSISTENT_FOREST_INDEX_H_

@@ -1,0 +1,91 @@
+#include "storage/tree_store.h"
+
+#include <memory>
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+constexpr uint32_t kMagic = 0x50515452;  // "PQTR"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+void SerializeTree(const Tree& tree, ByteWriter* writer) {
+  tree.dict().Serialize(writer);
+  writer->PutVarint(static_cast<uint64_t>(tree.size()));
+  // Pre-order (label, fanout) pairs fully determine the shape.
+  tree.PreOrder([&](NodeId n) {
+    writer->PutVarint(static_cast<uint64_t>(tree.label(n)));
+    writer->PutVarint(static_cast<uint64_t>(tree.fanout(n)));
+  });
+}
+
+StatusOr<Tree> DeserializeTree(ByteReader* reader) {
+  StatusOr<LabelDict> dict = LabelDict::Deserialize(reader);
+  PQIDX_RETURN_IF_ERROR(dict.status());
+  auto shared_dict = std::make_shared<LabelDict>(std::move(dict).value());
+  uint64_t node_count;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&node_count));
+  Tree tree(shared_dict);
+  if (node_count == 0) return tree;
+
+  // Rebuild in pre-order: a stack of (node, remaining fanout).
+  struct Frame {
+    NodeId node;
+    uint64_t remaining;
+  };
+  std::vector<Frame> stack;
+  uint64_t seen = 0;
+  while (seen < node_count) {
+    uint64_t label, fanout;
+    PQIDX_RETURN_IF_ERROR(reader->GetVarint(&label));
+    PQIDX_RETURN_IF_ERROR(reader->GetVarint(&fanout));
+    if (label >= static_cast<uint64_t>(shared_dict->size())) {
+      return DataLossError("label id out of range in serialized tree");
+    }
+    NodeId n;
+    if (stack.empty()) {
+      if (seen != 0) return DataLossError("serialized tree has two roots");
+      n = tree.CreateRoot(static_cast<LabelId>(label));
+    } else {
+      n = tree.AddChild(stack.back().node, static_cast<LabelId>(label));
+      if (--stack.back().remaining == 0) stack.pop_back();
+    }
+    ++seen;
+    if (fanout > 0) stack.push_back({n, fanout});
+  }
+  if (!stack.empty()) return DataLossError("truncated serialized tree");
+  return tree;
+}
+
+int64_t TreeSerializedBytes(const Tree& tree) {
+  ByteWriter writer;
+  SerializeTree(tree, &writer);
+  return static_cast<int64_t>(writer.data().size());
+}
+
+Status SaveTree(const Tree& tree, const std::string& path) {
+  ByteWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU32(kVersion);
+  SerializeTree(tree, &writer);
+  return WriteFile(path, writer.data());
+}
+
+StatusOr<Tree> LoadTree(const std::string& path) {
+  std::string data;
+  PQIDX_RETURN_IF_ERROR(ReadFile(path, &data));
+  ByteReader reader(data);
+  uint32_t magic, version;
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kMagic) return DataLossError("not a pqidx tree file: " + path);
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kVersion) return DataLossError("unsupported tree file version");
+  StatusOr<Tree> tree = DeserializeTree(&reader);
+  PQIDX_RETURN_IF_ERROR(tree.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes in tree file");
+  return tree;
+}
+
+}  // namespace pqidx

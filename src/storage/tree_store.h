@@ -1,0 +1,32 @@
+// On-disk persistence for trees (document + label dictionary).
+//
+// Pre-order encoding with per-node (label id, fanout) varints plus the
+// interned dictionary; node ids are reassigned densely in pre-order on
+// load. Used by examples and by the index-size experiment (Figure 14
+// left), where the serialized document size is the baseline the index size
+// is compared against.
+
+#ifndef PQIDX_STORAGE_TREE_STORE_H_
+#define PQIDX_STORAGE_TREE_STORE_H_
+
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// In-memory encoding (shared with SaveTree / Figure 14's size probe).
+void SerializeTree(const Tree& tree, ByteWriter* writer);
+StatusOr<Tree> DeserializeTree(ByteReader* reader);
+
+// Serialized size of `tree` in bytes.
+int64_t TreeSerializedBytes(const Tree& tree);
+
+Status SaveTree(const Tree& tree, const std::string& path);
+StatusOr<Tree> LoadTree(const std::string& path);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_TREE_STORE_H_

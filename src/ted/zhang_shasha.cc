@@ -1,0 +1,237 @@
+#include "ted/zhang_shasha.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace pqidx {
+namespace {
+
+// Post-order view of a tree: for each node (1-based post-order position i)
+// the label hash, the originating node id, and l(i), the post-order
+// position of the leftmost leaf descendant. `keyroots` are the positions
+// with a left sibling, plus the root (Zhang & Shasha, Section 3).
+struct PostOrderView {
+  std::vector<LabelHash> labels;  // 1-based
+  std::vector<NodeId> node_ids;   // 1-based
+  std::vector<int> lld;           // 1-based
+  std::vector<int> keyroots;      // ascending
+
+  int size() const { return static_cast<int>(labels.size()) - 1; }
+};
+
+PostOrderView BuildView(const Tree& tree) {
+  PostOrderView view;
+  view.labels.assign(1, kNullLabelHash);
+  view.node_ids.assign(1, kNullNodeId);
+  view.lld.assign(1, 0);
+  // Iterative post-order with explicit stack: (node, next child index).
+  struct Frame {
+    NodeId node;
+    size_t child = 0;
+    int lld = 0;  // filled when first child returns
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root()});
+  std::vector<bool> has_left_sibling_at_pos(1, false);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto kids = tree.children(frame.node);
+    if (frame.child < kids.size()) {
+      NodeId next = kids[frame.child];
+      ++frame.child;
+      stack.push_back({next});
+      continue;
+    }
+    // All children done: assign this node's post-order position.
+    int pos = static_cast<int>(view.labels.size());
+    view.labels.push_back(
+        KarpRabinFingerprint(tree.LabelString(frame.node)));
+    view.node_ids.push_back(frame.node);
+    view.lld.push_back(frame.lld == 0 ? pos : frame.lld);
+    has_left_sibling_at_pos.push_back(tree.SiblingIndex(frame.node) > 0);
+    stack.pop_back();
+    if (!stack.empty() && stack.back().lld == 0) {
+      // First completed child propagates its leftmost leaf upward.
+      stack.back().lld = view.lld[pos];
+    }
+  }
+  for (int i = 1; i <= view.size(); ++i) {
+    if (has_left_sibling_at_pos[i] || i == view.size()) {
+      view.keyroots.push_back(i);
+    }
+  }
+  return view;
+}
+
+class ZhangShasha {
+ public:
+  ZhangShasha(const PostOrderView& a, const PostOrderView& b)
+      : a_(a),
+        b_(b),
+        treedist_(static_cast<size_t>(a.size()) + 1,
+                  std::vector<int>(static_cast<size_t>(b.size()) + 1, 0)) {}
+
+  int Run() {
+    for (int i : a_.keyroots) {
+      for (int j : b_.keyroots) {
+        std::vector<std::vector<int>> fd;
+        ComputeForestDist(i, j, &fd, /*record_treedist=*/true);
+      }
+    }
+    return treedist_[a_.size()][b_.size()];
+  }
+
+  // Reconstructs an optimal mapping as (post-order in a, post-order in b)
+  // pairs. Run() must have been called.
+  std::vector<std::pair<int, int>> Backtrace() {
+    std::vector<std::pair<int, int>> mapping;
+    BacktraceBox(a_.size(), b_.size(), -1, -1, &mapping);
+    return mapping;
+  }
+
+  // Cost and mapping of the best *root-preserving* script: the roots are
+  // paired unconditionally and the child forests aligned optimally
+  // underneath (the forest distance of the top box plus the root rename).
+  // Run() must have been called.
+  int ConstrainedDistance() {
+    std::vector<std::vector<int>> fd;
+    ComputeForestDist(a_.size(), b_.size(), &fd,
+                      /*record_treedist=*/false);
+    int rename =
+        a_.labels[a_.size()] == b_.labels[b_.size()] ? 0 : 1;
+    return fd[a_.size() - a_.lld[a_.size()]][b_.size() - b_.lld[b_.size()]] +
+           rename;
+  }
+
+  std::vector<std::pair<int, int>> BacktraceConstrained() {
+    std::vector<std::pair<int, int>> mapping;
+    mapping.emplace_back(a_.size(), b_.size());
+    BacktraceBox(a_.size(), b_.size(),
+                 a_.size() - a_.lld[a_.size()],
+                 b_.size() - b_.lld[b_.size()], &mapping);
+    return mapping;
+  }
+
+ private:
+  // Fills the forest-distance matrix for the subtree pair (i, j):
+  // fd[x][y] = distance between the forests a[li..li+x-1], b[lj..lj+y-1].
+  // When `record_treedist` is set, permanent tree distances discovered
+  // along the way are written to treedist_ (the forward pass); the
+  // backtrace recomputes matrices read-only.
+  void ComputeForestDist(int i, int j, std::vector<std::vector<int>>* fd_out,
+                         bool record_treedist) {
+    int li = a_.lld[i];
+    int lj = b_.lld[j];
+    int rows = i - li + 2;
+    int cols = j - lj + 2;
+    std::vector<std::vector<int>>& fd = *fd_out;
+    fd.assign(rows, std::vector<int>(cols, 0));
+    for (int x = 1; x < rows; ++x) fd[x][0] = fd[x - 1][0] + 1;
+    for (int y = 1; y < cols; ++y) fd[0][y] = fd[0][y - 1] + 1;
+    for (int x = 1; x < rows; ++x) {
+      int ai = li + x - 1;
+      for (int y = 1; y < cols; ++y) {
+        int bj = lj + y - 1;
+        if (a_.lld[ai] == li && b_.lld[bj] == lj) {
+          int rename = a_.labels[ai] == b_.labels[bj] ? 0 : 1;
+          fd[x][y] = std::min({fd[x - 1][y] + 1, fd[x][y - 1] + 1,
+                               fd[x - 1][y - 1] + rename});
+          if (record_treedist) treedist_[ai][bj] = fd[x][y];
+        } else {
+          int xa = a_.lld[ai] - li;
+          int yb = b_.lld[bj] - lj;
+          fd[x][y] = std::min({fd[x - 1][y] + 1, fd[x][y - 1] + 1,
+                               fd[xa][yb] + treedist_[ai][bj]});
+        }
+      }
+    }
+  }
+
+  // Walks the decision path of the subtree problem (i, j) starting at
+  // forest coordinates (start_x, start_y) -- or the full subtree pair when
+  // negative -- emitting matched pairs and recursing into nested boxes.
+  void BacktraceBox(int i, int j, int start_x, int start_y,
+                    std::vector<std::pair<int, int>>* out) {
+    std::vector<std::vector<int>> fd;
+    ComputeForestDist(i, j, &fd, /*record_treedist=*/false);
+    int li = a_.lld[i];
+    int lj = b_.lld[j];
+    int x = start_x >= 0 ? start_x : i - li + 1;
+    int y = start_y >= 0 ? start_y : j - lj + 1;
+    while (x > 0 && y > 0) {
+      int ai = li + x - 1;
+      int bj = lj + y - 1;
+      if (a_.lld[ai] == li && b_.lld[bj] == lj) {
+        int rename = a_.labels[ai] == b_.labels[bj] ? 0 : 1;
+        if (fd[x][y] == fd[x - 1][y - 1] + rename) {
+          out->emplace_back(ai, bj);
+          --x;
+          --y;
+        } else if (fd[x][y] == fd[x - 1][y] + 1) {
+          --x;  // delete ai
+        } else {
+          PQIDX_DCHECK(fd[x][y] == fd[x][y - 1] + 1);
+          --y;  // insert bj
+        }
+      } else {
+        if (fd[x][y] == fd[x - 1][y] + 1) {
+          --x;
+        } else if (fd[x][y] == fd[x][y - 1] + 1) {
+          --y;
+        } else {
+          int xa = a_.lld[ai] - li;
+          int yb = b_.lld[bj] - lj;
+          PQIDX_DCHECK(fd[x][y] == fd[xa][yb] + treedist_[ai][bj]);
+          BacktraceBox(ai, bj, -1, -1, out);
+          x = xa;
+          y = yb;
+        }
+      }
+    }
+    // Leftover prefix: pure deletions or insertions, no pairs.
+  }
+
+  const PostOrderView& a_;
+  const PostOrderView& b_;
+  std::vector<std::vector<int>> treedist_;
+};
+
+}  // namespace
+
+int TreeEditDistance(const Tree& t1, const Tree& t2) {
+  PQIDX_CHECK(t1.root() != kNullNodeId && t2.root() != kNullNodeId);
+  PostOrderView a = BuildView(t1);
+  PostOrderView b = BuildView(t2);
+  return ZhangShasha(a, b).Run();
+}
+
+TreeEditResult TreeEditDistanceWithMapping(const Tree& t1, const Tree& t2) {
+  PQIDX_CHECK(t1.root() != kNullNodeId && t2.root() != kNullNodeId);
+  PostOrderView a = BuildView(t1);
+  PostOrderView b = BuildView(t2);
+  ZhangShasha zs(a, b);
+  TreeEditResult result;
+  result.distance = zs.Run();
+  for (auto [pa, pb] : zs.Backtrace()) {
+    result.mapping.emplace_back(a.node_ids[pa], b.node_ids[pb]);
+  }
+  return result;
+}
+
+TreeEditResult RootPreservingEditMapping(const Tree& t1, const Tree& t2) {
+  PQIDX_CHECK(t1.root() != kNullNodeId && t2.root() != kNullNodeId);
+  PostOrderView a = BuildView(t1);
+  PostOrderView b = BuildView(t2);
+  ZhangShasha zs(a, b);
+  zs.Run();  // fills the tree-distance table the backtrace reads
+  TreeEditResult result;
+  result.distance = zs.ConstrainedDistance();
+  for (auto [pa, pb] : zs.BacktraceConstrained()) {
+    result.mapping.emplace_back(a.node_ids[pa], b.node_ids[pb]);
+  }
+  return result;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,52 @@
+// Exact tree edit distance after Zhang & Shasha, "Simple fast algorithms
+// for the editing distance between trees and related problems", SIAM J.
+// Comput. 18(6), 1989 -- reference [20] of the paper and the distance that
+// the pq-gram distance approximates.
+//
+// Unit cost model: insert = delete = 1, rename = 1 when labels differ.
+// Complexity O(|T1|·|T2|·min(depth,leaves)^2) time, O(|T1|·|T2|) space;
+// intended for validation, ablation studies, and change detection on
+// small to medium trees.
+
+#ifndef PQIDX_TED_ZHANG_SHASHA_H_
+#define PQIDX_TED_ZHANG_SHASHA_H_
+
+#include <utility>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// An optimal edit mapping together with its cost. The mapping is a set of
+// (node of t1, node of t2) pairs that is one-to-one and preserves both the
+// ancestor and the left-to-right sibling order; unmapped t1 nodes are
+// deleted, unmapped t2 nodes inserted, mapped pairs with different labels
+// renamed. For the unit cost model an optimal mapping always pairs the
+// two roots.
+struct TreeEditResult {
+  int distance = 0;
+  std::vector<std::pair<NodeId, NodeId>> mapping;
+};
+
+// Returns the exact tree edit distance between `t1` and `t2`. Both trees
+// must be non-empty. Labels are compared via their dictionary strings, so
+// the trees may use different dictionaries.
+int TreeEditDistance(const Tree& t1, const Tree& t2);
+
+// As TreeEditDistance, but also reconstructs an optimal edit mapping by
+// backtracking through the dynamic program. Note: Zhang-Shasha's model
+// permits editing the roots, so the optimal mapping may leave a root
+// unmapped (it is never the case that *both* roots are unmapped under
+// unit costs).
+TreeEditResult TreeEditDistanceWithMapping(const Tree& t1, const Tree& t2);
+
+// An optimal mapping among those that pair the two roots -- the edit
+// model of the paper, where the root is never edited (Section 3.1).
+// `distance` is the cost of the best root-preserving script, which can
+// exceed TreeEditDistance by at most 2.
+TreeEditResult RootPreservingEditMapping(const Tree& t1, const Tree& t2);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TED_ZHANG_SHASHA_H_

@@ -1,0 +1,227 @@
+#include "tree/generators.h"
+
+#include <string>
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+// Short word pool for pseudo-text content (author names, titles, ...).
+constexpr const char* kWords[] = {
+    "data",    "tree",   "index",  "query",   "xml",     "join",
+    "stream",  "graph",  "cache",  "storage", "pattern", "update",
+    "edit",    "gram",   "lookup", "distance", "system", "model",
+    "search",  "log",
+};
+constexpr int kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string RandomWord(Rng* rng) {
+  return kWords[rng->NextBounded(kNumWords)];
+}
+
+std::string RandomName(Rng* rng) {
+  return RandomWord(rng) + "_" + std::to_string(rng->NextBounded(5000));
+}
+
+}  // namespace
+
+Tree GenerateRandomTree(std::shared_ptr<LabelDict> dict, Rng* rng,
+                        const RandomTreeOptions& options) {
+  PQIDX_CHECK(options.num_nodes >= 1);
+  if (dict == nullptr) dict = std::make_shared<LabelDict>();
+  // Pre-intern the alphabet: L0, L1, ...
+  std::vector<LabelId> alphabet;
+  alphabet.reserve(options.alphabet_size);
+  for (int i = 0; i < options.alphabet_size; ++i) {
+    alphabet.push_back(dict->Intern("L" + std::to_string(i)));
+  }
+  auto pick_label = [&]() {
+    return alphabet[rng->Zipf(options.alphabet_size, options.zipf_exponent)];
+  };
+
+  Tree tree(dict);
+  std::vector<NodeId> attachable{tree.CreateRoot(pick_label())};
+  std::vector<int> fanouts{0};
+  while (tree.size() < options.num_nodes) {
+    size_t slot = rng->NextBounded(attachable.size());
+    NodeId parent = attachable[slot];
+    NodeId child = tree.AddChild(parent, pick_label());
+    ++fanouts[slot];
+    if (options.max_fanout > 0 && fanouts[slot] >= options.max_fanout) {
+      attachable[slot] = attachable.back();
+      fanouts[slot] = fanouts.back();
+      attachable.pop_back();
+      fanouts.pop_back();
+    }
+    attachable.push_back(child);
+    fanouts.push_back(0);
+  }
+  return tree;
+}
+
+Tree GenerateXmarkLike(std::shared_ptr<LabelDict> dict, Rng* rng,
+                       int approx_nodes) {
+  if (dict == nullptr) dict = std::make_shared<LabelDict>();
+  Tree tree(dict);
+  NodeId site = tree.CreateRoot("site");
+
+  // The XMark document has six top-level sections; items/people/auctions
+  // carry the bulk of the nodes. Budget the remaining nodes over the
+  // repeating record types in roughly XMark's proportions.
+  NodeId regions = tree.AddChild(site, "regions");
+  std::vector<NodeId> region_nodes;
+  for (const char* r :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    region_nodes.push_back(tree.AddChild(regions, r));
+  }
+  NodeId categories = tree.AddChild(site, "categories");
+  NodeId catgraph = tree.AddChild(site, "catgraph");
+  NodeId people = tree.AddChild(site, "people");
+  NodeId open_auctions = tree.AddChild(site, "open_auctions");
+  NodeId closed_auctions = tree.AddChild(site, "closed_auctions");
+
+  auto add_item = [&](NodeId region) {
+    NodeId item = tree.AddChild(region, "item");
+    tree.AddChild(item, "location");
+    tree.AddChild(item, "quantity");
+    tree.AddChild(item, "name");
+    tree.AddChild(item, "payment");
+    NodeId desc = tree.AddChild(item, "description");
+    NodeId text = tree.AddChild(desc, "text");
+    int words = 1 + static_cast<int>(rng->NextBounded(4));
+    for (int w = 0; w < words; ++w) tree.AddChild(text, RandomWord(rng));
+    tree.AddChild(item, "shipping");
+    NodeId mailbox = tree.AddChild(item, "mailbox");
+    if (rng->Bernoulli(0.4)) {
+      NodeId mail = tree.AddChild(mailbox, "mail");
+      tree.AddChild(mail, "from");
+      tree.AddChild(mail, "to");
+      tree.AddChild(mail, "date");
+    }
+  };
+  auto add_person = [&]() {
+    NodeId person = tree.AddChild(people, "person");
+    tree.AddChild(person, RandomName(rng));
+    tree.AddChild(person, "emailaddress");
+    if (rng->Bernoulli(0.5)) tree.AddChild(person, "phone");
+    if (rng->Bernoulli(0.3)) {
+      NodeId address = tree.AddChild(person, "address");
+      tree.AddChild(address, "street");
+      tree.AddChild(address, "city");
+      tree.AddChild(address, "country");
+      tree.AddChild(address, "zipcode");
+    }
+    if (rng->Bernoulli(0.4)) {
+      NodeId watches = tree.AddChild(person, "watches");
+      int n = 1 + static_cast<int>(rng->NextBounded(3));
+      for (int w = 0; w < n; ++w) tree.AddChild(watches, "watch");
+    }
+  };
+  auto add_open_auction = [&]() {
+    NodeId auction = tree.AddChild(open_auctions, "open_auction");
+    tree.AddChild(auction, "initial");
+    tree.AddChild(auction, "reserve");
+    int bids = 1 + static_cast<int>(rng->NextBounded(5));
+    for (int b = 0; b < bids; ++b) {
+      NodeId bid = tree.AddChild(auction, "bidder");
+      tree.AddChild(bid, "date");
+      tree.AddChild(bid, "increase");
+      tree.AddChild(bid, "personref");
+    }
+    tree.AddChild(auction, "itemref");
+    tree.AddChild(auction, "seller");
+    tree.AddChild(auction, "quantity");
+    tree.AddChild(auction, "type");
+    tree.AddChild(auction, "interval");
+  };
+  auto add_closed_auction = [&]() {
+    NodeId auction = tree.AddChild(closed_auctions, "closed_auction");
+    tree.AddChild(auction, "seller");
+    tree.AddChild(auction, "buyer");
+    tree.AddChild(auction, "itemref");
+    tree.AddChild(auction, "price");
+    tree.AddChild(auction, "date");
+    tree.AddChild(auction, "quantity");
+    tree.AddChild(auction, "type");
+  };
+  auto add_category = [&]() {
+    NodeId cat = tree.AddChild(categories, "category");
+    tree.AddChild(cat, "name");
+    NodeId desc = tree.AddChild(cat, "description");
+    tree.AddChild(desc, "text");
+    NodeId edge = tree.AddChild(catgraph, "edge");
+    tree.AddChild(edge, "from");
+    tree.AddChild(edge, "to");
+  };
+
+  while (tree.size() < approx_nodes) {
+    // Proportions loosely follow the XMark generator: items dominate,
+    // followed by people and auctions.
+    switch (rng->WeightedPick({4.0, 2.5, 2.0, 1.0, 0.5})) {
+      case 0:
+        add_item(region_nodes[rng->NextBounded(region_nodes.size())]);
+        break;
+      case 1:
+        add_person();
+        break;
+      case 2:
+        add_open_auction();
+        break;
+      case 3:
+        add_closed_auction();
+        break;
+      default:
+        add_category();
+        break;
+    }
+  }
+  return tree;
+}
+
+Tree GenerateDblpLike(std::shared_ptr<LabelDict> dict, Rng* rng,
+                      int num_records) {
+  if (dict == nullptr) dict = std::make_shared<LabelDict>();
+  Tree tree(dict);
+  NodeId dblp = tree.CreateRoot("dblp");
+  for (int i = 0; i < num_records; ++i) {
+    const char* kind;
+    switch (rng->WeightedPick({5.0, 4.0, 1.0, 0.5, 0.3})) {
+      case 0:
+        kind = "article";
+        break;
+      case 1:
+        kind = "inproceedings";
+        break;
+      case 2:
+        kind = "book";
+        break;
+      case 3:
+        kind = "phdthesis";
+        break;
+      default:
+        kind = "www";
+        break;
+    }
+    NodeId rec = tree.AddChild(dblp, kind);
+    int authors = 1 + static_cast<int>(rng->NextBounded(4));
+    for (int a = 0; a < authors; ++a) {
+      NodeId author = tree.AddChild(rec, "author");
+      tree.AddChild(author, RandomName(rng));
+    }
+    NodeId title = tree.AddChild(rec, "title");
+    tree.AddChild(title, RandomWord(rng) + " " + RandomWord(rng));
+    NodeId year = tree.AddChild(rec, "year");
+    tree.AddChild(year, std::to_string(1970 + rng->NextBounded(56)));
+    if (rng->Bernoulli(0.7)) {
+      NodeId venue = tree.AddChild(
+          rec, std::string(kind) == "article" ? "journal" : "booktitle");
+      tree.AddChild(venue, RandomWord(rng));
+    }
+    if (rng->Bernoulli(0.5)) tree.AddChild(rec, "pages");
+    if (rng->Bernoulli(0.4)) tree.AddChild(rec, "ee");
+    if (rng->Bernoulli(0.3)) tree.AddChild(rec, "url");
+  }
+  return tree;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,54 @@
+// Workload generators.
+//
+// The paper evaluates on (a) synthetic XML produced by the XMark benchmark
+// generator `xmlgen` and (b) the real DBLP bibliography (211 MB, ~11M
+// nodes). Neither resource ships with this repository, so the generators
+// here synthesize structurally equivalent documents (see DESIGN.md,
+// "Substitutions"):
+//
+//  * GenerateXmarkLike: an auction-site document following the XMark schema
+//    outline (site / regions / people / open_auctions / closed_auctions /
+//    catgraph / categories), moderately deep with mixed fanout.
+//  * GenerateDblpLike: a bibliography with a huge-fanout root over many
+//    small publication records -- the structural signature of DBLP that the
+//    paper's scaling experiments depend on.
+//  * GenerateRandomTree: uniform random tree shapes with a configurable
+//    label alphabet, for property tests.
+
+#ifndef PQIDX_TREE_GENERATORS_H_
+#define PQIDX_TREE_GENERATORS_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct RandomTreeOptions {
+  int num_nodes = 50;
+  // Labels are drawn Zipfian from an alphabet of this size.
+  int alphabet_size = 8;
+  double zipf_exponent = 1.1;
+  // Maximum fanout per node; 0 means unbounded (uniform attachment).
+  int max_fanout = 0;
+};
+
+// Generates a uniformly attached random tree with `options.num_nodes` nodes.
+// Node ids are 1..num_nodes in creation order.
+Tree GenerateRandomTree(std::shared_ptr<LabelDict> dict, Rng* rng,
+                        const RandomTreeOptions& options);
+
+// Generates an XMark-like auction document with approximately
+// `approx_nodes` nodes (always at least the fixed schema skeleton).
+Tree GenerateXmarkLike(std::shared_ptr<LabelDict> dict, Rng* rng,
+                       int approx_nodes);
+
+// Generates a DBLP-like bibliography with `num_records` publication
+// records under a single root (roughly 8-14 nodes per record).
+Tree GenerateDblpLike(std::shared_ptr<LabelDict> dict, Rng* rng,
+                      int num_records);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TREE_GENERATORS_H_

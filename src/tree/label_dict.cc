@@ -1,0 +1,54 @@
+#include "tree/label_dict.h"
+
+namespace pqidx {
+
+LabelDict::LabelDict() {
+  strings_.push_back("*");
+  hashes_.push_back(kNullLabelHash);
+}
+
+LabelId LabelDict::Intern(std::string_view label) {
+  auto it = by_string_.find(std::string(label));
+  if (it != by_string_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(strings_.size());
+  strings_.emplace_back(label);
+  hashes_.push_back(KarpRabinFingerprint(label));
+  by_string_.emplace(std::string(label), id);
+  return id;
+}
+
+LabelId LabelDict::Find(std::string_view label) const {
+  auto it = by_string_.find(std::string(label));
+  if (it == by_string_.end()) return kNullLabelId;
+  return it->second;
+}
+
+const std::string& LabelDict::LabelString(LabelId id) const {
+  PQIDX_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size());
+  return strings_[id];
+}
+
+void LabelDict::Serialize(ByteWriter* writer) const {
+  // Slot 0 (the null label) is implicit.
+  writer->PutVarint(strings_.size() - 1);
+  for (size_t i = 1; i < strings_.size(); ++i) {
+    writer->PutString(strings_[i]);
+  }
+}
+
+StatusOr<LabelDict> LabelDict::Deserialize(ByteReader* reader) {
+  uint64_t count;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
+  LabelDict dict;
+  std::string label;
+  for (uint64_t i = 0; i < count; ++i) {
+    PQIDX_RETURN_IF_ERROR(reader->GetString(&label));
+    LabelId id = dict.Intern(label);
+    if (static_cast<uint64_t>(id) != i + 1) {
+      return DataLossError("duplicate label in serialized dictionary");
+    }
+  }
+  return dict;
+}
+
+}  // namespace pqidx

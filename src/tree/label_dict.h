@@ -1,0 +1,73 @@
+// Label dictionary: interns label strings into dense LabelId values and
+// caches their Karp-Rabin fingerprints.
+//
+// Trees store LabelId (4 bytes) per node instead of strings; the index and
+// the delta tables work with LabelHash fingerprints. A dictionary is shared
+// by all trees of a forest so that equal labels in different documents get
+// equal ids and hashes.
+
+#ifndef PQIDX_TREE_LABEL_DICT_H_
+#define PQIDX_TREE_LABEL_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace pqidx {
+
+// Dense identifier of an interned label. kNullLabelId denotes the null
+// label `*` of extended trees; real labels have ids >= 1.
+using LabelId = int32_t;
+inline constexpr LabelId kNullLabelId = 0;
+
+class LabelDict {
+ public:
+  // Constructs a dictionary containing only the null label.
+  LabelDict();
+
+  LabelDict(const LabelDict&) = delete;
+  LabelDict& operator=(const LabelDict&) = delete;
+  LabelDict(LabelDict&&) = default;
+  LabelDict& operator=(LabelDict&&) = default;
+
+  // Returns the id of `label`, interning it on first use.
+  LabelId Intern(std::string_view label);
+
+  // Returns the id of `label` or kNullLabelId if it was never interned.
+  // (The null label itself is represented by the empty dictionary slot and
+  // cannot be interned as a string.)
+  LabelId Find(std::string_view label) const;
+
+  // Returns the label string for `id`. `id` must be valid; the null label
+  // renders as "*".
+  const std::string& LabelString(LabelId id) const;
+
+  // Returns the Karp-Rabin fingerprint of `id`'s label. O(1) (cached).
+  LabelHash Hash(LabelId id) const {
+    PQIDX_DCHECK(id >= 0 && static_cast<size_t>(id) < hashes_.size());
+    return hashes_[id];
+  }
+
+  // Number of labels including the null label.
+  int size() const { return static_cast<int>(strings_.size()); }
+
+  // Serialization, used by the tree store.
+  void Serialize(ByteWriter* writer) const;
+  static StatusOr<LabelDict> Deserialize(ByteReader* reader);
+
+ private:
+  std::vector<std::string> strings_;   // indexed by LabelId
+  std::vector<LabelHash> hashes_;      // indexed by LabelId
+  std::unordered_map<std::string, LabelId> by_string_;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TREE_LABEL_DICT_H_

@@ -1,0 +1,87 @@
+#include "tree/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pqidx {
+
+TreeStats ComputeTreeStats(const Tree& tree, int top_k) {
+  TreeStats stats;
+  if (tree.root() == kNullNodeId) return stats;
+
+  std::unordered_map<LabelId, int> label_counts;
+  // Depth per node computed iteratively along the pre-order walk.
+  std::unordered_map<NodeId, int> depth;
+  int64_t depth_sum = 0;
+  int64_t fanout_sum = 0;
+
+  tree.PreOrder([&](NodeId n) {
+    ++stats.nodes;
+    int d = n == tree.root() ? 0 : depth.at(tree.parent(n)) + 1;
+    depth.emplace(n, d);
+    stats.depth = std::max(stats.depth, d);
+    depth_sum += d;
+    ++stats.depth_histogram[d];
+
+    int f = tree.fanout(n);
+    ++stats.fanout_histogram[f];
+    stats.max_fanout = std::max(stats.max_fanout, f);
+    if (f == 0) {
+      ++stats.leaves;
+    } else {
+      ++stats.internal;
+      fanout_sum += f;
+    }
+    ++label_counts[tree.label(n)];
+  });
+
+  stats.avg_depth = static_cast<double>(depth_sum) / stats.nodes;
+  stats.avg_fanout =
+      stats.internal > 0
+          ? static_cast<double>(fanout_sum) / stats.internal
+          : 0.0;
+  stats.distinct_labels = static_cast<int>(label_counts.size());
+
+  std::vector<std::pair<std::string, int>> labels;
+  labels.reserve(label_counts.size());
+  for (const auto& [label, count] : label_counts) {
+    labels.emplace_back(tree.dict().LabelString(label), count);
+  }
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) {
+              return a.second > b.second ||
+                     (a.second == b.second && a.first < b.first);
+            });
+  if (static_cast<int>(labels.size()) > top_k) labels.resize(top_k);
+  stats.top_labels = std::move(labels);
+  return stats;
+}
+
+int64_t ProfileSizeFromStats(const TreeStats& stats, const PqShape& shape) {
+  int64_t total = 0;
+  for (const auto& [fanout, count] : stats.fanout_histogram) {
+    int64_t per_node = fanout == 0 ? 1 : fanout + shape.q - 1;
+    total += per_node * count;
+  }
+  return total;
+}
+
+std::string TreeStats::ToString() const {
+  std::string out;
+  out += "nodes: " + std::to_string(nodes) + " (" +
+         std::to_string(leaves) + " leaves, " + std::to_string(internal) +
+         " internal)\n";
+  out += "depth: max " + std::to_string(depth) + ", avg " +
+         std::to_string(avg_depth) + "\n";
+  out += "fanout: max " + std::to_string(max_fanout) + ", avg " +
+         std::to_string(avg_fanout) + " (internal nodes)\n";
+  out += "distinct labels: " + std::to_string(distinct_labels) + "\n";
+  out += "top labels:";
+  for (const auto& [label, count] : top_labels) {
+    out += " " + label + "(" + std::to_string(count) + ")";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,49 @@
+// Structural statistics of a tree: the workload characteristics (size,
+// depth, fanout, label distribution) that determine pq-gram profile size
+// and index behaviour. Used by the CLI, the benchmarks' workload
+// descriptions, and tests that validate the generators' shapes.
+
+#ifndef PQIDX_TREE_STATS_H_
+#define PQIDX_TREE_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pqgram.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct TreeStats {
+  int nodes = 0;
+  int leaves = 0;
+  int internal = 0;
+  int depth = 0;           // root = depth 0; max over nodes
+  int max_fanout = 0;
+  double avg_fanout = 0;   // over internal nodes
+  double avg_depth = 0;    // over all nodes
+  int distinct_labels = 0;
+
+  // fanout -> number of nodes with that fanout (0 = leaves).
+  std::map<int, int> fanout_histogram;
+  // depth -> number of nodes at that depth.
+  std::map<int, int> depth_histogram;
+  // The most frequent labels, descending by count (ties by label).
+  std::vector<std::pair<std::string, int>> top_labels;
+
+  // Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+// Computes the statistics of `tree` in one pass. `top_k` bounds the
+// top_labels list.
+TreeStats ComputeTreeStats(const Tree& tree, int top_k = 10);
+
+// Number of pq-grams per (p,q) shape derived from the fanout histogram
+// alone (equals ProfileSize without touching the tree again).
+int64_t ProfileSizeFromStats(const TreeStats& stats, const PqShape& shape);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TREE_STATS_H_

@@ -1,0 +1,185 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+
+namespace pqidx {
+
+Tree::Tree(std::shared_ptr<LabelDict> dict) : dict_(std::move(dict)) {
+  PQIDX_CHECK(dict_ != nullptr);
+  nodes_.resize(1);  // slot 0 unused: kNullNodeId
+}
+
+Tree Tree::Clone() const {
+  Tree copy(dict_);
+  copy.nodes_ = nodes_;
+  copy.root_ = root_;
+  copy.next_id_ = next_id_;
+  copy.alive_count_ = alive_count_;
+  return copy;
+}
+
+void Tree::Reserve(NodeId n) {
+  if (static_cast<size_t>(n) >= nodes_.size()) {
+    nodes_.resize(static_cast<size_t>(n) + 1);
+  }
+  if (n >= next_id_) next_id_ = n + 1;
+}
+
+NodeId Tree::CreateRoot(LabelId label) {
+  PQIDX_CHECK_MSG(root_ == kNullNodeId, "root already exists");
+  NodeId id = next_id_++;
+  Reserve(id);
+  NodeData& node = nodes_[id];
+  node.label = label;
+  node.parent = kNullNodeId;
+  node.sibling_index = 0;
+  node.alive = true;
+  root_ = id;
+  ++alive_count_;
+  return id;
+}
+
+NodeId Tree::AddChild(NodeId parent, LabelId label) {
+  PQIDX_CHECK(Contains(parent));
+  NodeId id = next_id_++;
+  Reserve(id);
+  NodeData& node = nodes_[id];
+  node.label = label;
+  node.parent = parent;
+  node.alive = true;
+  NodeData& par = nodes_[parent];
+  node.sibling_index = static_cast<int32_t>(par.children.size());
+  par.children.push_back(id);
+  ++alive_count_;
+  return id;
+}
+
+Status Tree::ApplyInsert(NodeId n, LabelId label, NodeId v, int k,
+                         int count) {
+  if (n < 1) return InvalidArgumentError("insert: invalid node id");
+  if (!Contains(v)) return InvalidArgumentError("insert: parent not in tree");
+  if (static_cast<size_t>(n) < nodes_.size() && nodes_[n].alive) {
+    return FailedPreconditionError("insert: node id already in use");
+  }
+  NodeData& par = nodes_[v];
+  int f = static_cast<int>(par.children.size());
+  if (k < 0 || count < 0 || k + count > f) {
+    return OutOfRangeError("insert: child range out of bounds");
+  }
+  Reserve(n);
+  // Reserve() may reallocate nodes_, so re-fetch the parent reference.
+  NodeData& parent_node = nodes_[v];
+  NodeData& node = nodes_[n];
+  node.label = label;
+  node.parent = v;
+  node.sibling_index = k;
+  node.alive = true;
+  node.children.assign(parent_node.children.begin() + k,
+                       parent_node.children.begin() + k + count);
+  for (int i = 0; i < count; ++i) {
+    NodeData& adopted = nodes_[node.children[i]];
+    adopted.parent = n;
+    adopted.sibling_index = i;
+  }
+  parent_node.children.erase(parent_node.children.begin() + k,
+                             parent_node.children.begin() + k + count);
+  parent_node.children.insert(parent_node.children.begin() + k, n);
+  for (size_t i = static_cast<size_t>(k) + 1; i < parent_node.children.size();
+       ++i) {
+    nodes_[parent_node.children[i]].sibling_index = static_cast<int32_t>(i);
+  }
+  ++alive_count_;
+  return Status::Ok();
+}
+
+Status Tree::ApplyDelete(NodeId n) {
+  if (!Contains(n)) return NotFoundError("delete: node not in tree");
+  if (n == root_) return FailedPreconditionError("delete: cannot delete root");
+  NodeData& node = nodes_[n];
+  NodeData& par = nodes_[node.parent];
+  int k = node.sibling_index;
+  PQIDX_DCHECK(par.children[k] == n);
+  std::vector<NodeId> grandchildren = std::move(node.children);
+  node.children.clear();
+  for (NodeId c : grandchildren) {
+    nodes_[c].parent = node.parent;
+  }
+  par.children.erase(par.children.begin() + k);
+  par.children.insert(par.children.begin() + k, grandchildren.begin(),
+                      grandchildren.end());
+  for (size_t i = static_cast<size_t>(k); i < par.children.size(); ++i) {
+    nodes_[par.children[i]].sibling_index = static_cast<int32_t>(i);
+  }
+  node.alive = false;
+  node.parent = kNullNodeId;
+  --alive_count_;
+  return Status::Ok();
+}
+
+Status Tree::ApplyRename(NodeId n, LabelId label) {
+  if (!Contains(n)) return NotFoundError("rename: node not in tree");
+  NodeData& node = nodes_[n];
+  if (node.label == label) {
+    return FailedPreconditionError("rename: label unchanged");
+  }
+  node.label = label;
+  return Status::Ok();
+}
+
+NodeId Tree::Ancestor(NodeId n, int k) const {
+  PQIDX_DCHECK(Contains(n));
+  NodeId cur = n;
+  for (int i = 0; i < k && cur != kNullNodeId; ++i) {
+    cur = nodes_[cur].parent;
+  }
+  return cur;
+}
+
+void Tree::DescendantsWithin(NodeId n, int d,
+                             std::vector<NodeId>* out) const {
+  if (d < 0) return;
+  PQIDX_DCHECK(Contains(n));
+  size_t frontier_begin = out->size();
+  out->push_back(n);
+  for (int depth = 0; depth < d; ++depth) {
+    size_t frontier_end = out->size();
+    if (frontier_begin == frontier_end) break;
+    for (size_t i = frontier_begin; i < frontier_end; ++i) {
+      const NodeData& node = nodes_[(*out)[i]];
+      out->insert(out->end(), node.children.begin(), node.children.end());
+    }
+    frontier_begin = frontier_end;
+  }
+}
+
+void Tree::CheckConsistency() const {
+  int counted = 0;
+  for (NodeId n = 1; static_cast<size_t>(n) < nodes_.size(); ++n) {
+    const NodeData& node = nodes_[n];
+    if (!node.alive) {
+      PQIDX_CHECK(node.children.empty());
+      continue;
+    }
+    ++counted;
+    if (n == root_) {
+      PQIDX_CHECK(node.parent == kNullNodeId);
+    } else {
+      PQIDX_CHECK(Contains(node.parent));
+      const NodeData& par = nodes_[node.parent];
+      PQIDX_CHECK(node.sibling_index >= 0 &&
+                  static_cast<size_t>(node.sibling_index) <
+                      par.children.size());
+      PQIDX_CHECK(par.children[node.sibling_index] == n);
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      NodeId c = node.children[i];
+      PQIDX_CHECK(Contains(c));
+      PQIDX_CHECK(nodes_[c].parent == n);
+      PQIDX_CHECK(nodes_[c].sibling_index == static_cast<int32_t>(i));
+    }
+  }
+  PQIDX_CHECK(counted == alive_count_);
+  if (alive_count_ > 0) PQIDX_CHECK(Contains(root_));
+}
+
+}  // namespace pqidx

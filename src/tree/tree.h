@@ -1,0 +1,195 @@
+// Ordered labeled tree: the hierarchical-data substrate of the paper.
+//
+// A node is an (identifier, label) pair (paper Section 3.1). Identifiers
+// are externally meaningful: edit logs reference nodes by id, and ids stay
+// stable across edit operations. Siblings are ordered; every node knows its
+// parent and its position among its siblings, so the navigation primitives
+// used by the delta function (parent, k-th child, sibling position, fanout,
+// descendants within distance d) are all O(1) or output-sensitive.
+//
+// Structural mutation happens exclusively through the three standard tree
+// edit operations of Zhang & Shasha [20] (ApplyInsert / ApplyDelete /
+// ApplyRename), mirroring the paper's INS / DEL / REN semantics, plus
+// AddChild for initial construction. Positions are 0-based in this API; the
+// paper uses 1-based positions.
+
+#ifndef PQIDX_TREE_TREE_H_
+#define PQIDX_TREE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "common/status.h"
+#include "tree/label_dict.h"
+
+namespace pqidx {
+
+// Node identifier, unique and stable within a tree. kNullNodeId denotes
+// "no node" (the null node of extended trees); real ids are >= 1.
+using NodeId = int32_t;
+inline constexpr NodeId kNullNodeId = 0;
+
+class Tree {
+ public:
+  // Creates an empty tree whose labels live in `dict` (shared with the
+  // other trees of a forest).
+  explicit Tree(std::shared_ptr<LabelDict> dict);
+
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  // Deep copy sharing the same label dictionary.
+  Tree Clone() const;
+
+  // --- Construction -------------------------------------------------------
+
+  // Creates the root node. Must be called exactly once, before any other
+  // construction. Returns the root id.
+  NodeId CreateRoot(LabelId label);
+  NodeId CreateRoot(std::string_view label) {
+    return CreateRoot(dict_->Intern(label));
+  }
+
+  // Appends a new node with `label` as the last child of `parent` and
+  // returns its id. `parent` must be alive.
+  NodeId AddChild(NodeId parent, LabelId label);
+  NodeId AddChild(NodeId parent, std::string_view label) {
+    return AddChild(parent, dict_->Intern(label));
+  }
+
+  // Returns an id that is not and has never been used in this tree.
+  NodeId AllocateId() { return next_id_++; }
+
+  // --- Edit operations (paper Section 3.1) --------------------------------
+
+  // INS(n, v, k, m): inserts node `n` with `label` as the child of `v` at
+  // 0-based position `k`, adopting the `count` existing children of `v` at
+  // positions [k, k+count) as the children of `n` (order preserved).
+  // Fails if `n` is in use, `v` is not alive, or the range is invalid.
+  Status ApplyInsert(NodeId n, LabelId label, NodeId v, int k, int count);
+
+  // DEL(n): removes `n`, splicing its children into its parent at n's
+  // position (order preserved). Fails on the root or unknown nodes.
+  Status ApplyDelete(NodeId n);
+
+  // REN(n, label): replaces n's label. Fails if the label is unchanged
+  // (the paper requires l != l') or `n` is not alive.
+  Status ApplyRename(NodeId n, LabelId label);
+
+  // --- Navigation ----------------------------------------------------------
+
+  NodeId root() const { return root_; }
+  bool Contains(NodeId n) const {
+    // Ids from AllocateId() may exceed the arena until they are inserted.
+    return n >= 1 && static_cast<size_t>(n) < nodes_.size() &&
+           nodes_[n].alive;
+  }
+
+  LabelId label(NodeId n) const { return NodeRef(n).label; }
+  LabelHash LabelHashOf(NodeId n) const { return dict_->Hash(label(n)); }
+  const std::string& LabelString(NodeId n) const {
+    return dict_->LabelString(label(n));
+  }
+
+  // Parent of `n`, or kNullNodeId for the root.
+  NodeId parent(NodeId n) const { return NodeRef(n).parent; }
+
+  // Children of `n`, in sibling order.
+  std::span<const NodeId> children(NodeId n) const {
+    const NodeData& node = NodeRef(n);
+    return {node.children.data(), node.children.size()};
+  }
+
+  int fanout(NodeId n) const {
+    return static_cast<int>(NodeRef(n).children.size());
+  }
+  bool IsLeaf(NodeId n) const { return NodeRef(n).children.empty(); }
+
+  // i-th child (0-based). Requires 0 <= i < fanout(n).
+  NodeId child(NodeId n, int i) const {
+    const NodeData& node = NodeRef(n);
+    PQIDX_DCHECK(i >= 0 && static_cast<size_t>(i) < node.children.size());
+    return node.children[i];
+  }
+
+  // 0-based position of `n` among its siblings (0 for the root). O(1).
+  int SiblingIndex(NodeId n) const { return NodeRef(n).sibling_index; }
+
+  // Ancestor of `n` at distance `k` (k = 0 returns n); kNullNodeId if the
+  // path leaves the tree above the root.
+  NodeId Ancestor(NodeId n, int k) const;
+
+  // Appends `n` and all its descendants within distance `d` to `*out`, in
+  // BFS order (n first). d = 0 appends just n; negative d appends nothing.
+  void DescendantsWithin(NodeId n, int d, std::vector<NodeId>* out) const;
+
+  // Number of alive nodes.
+  int size() const { return alive_count_; }
+  // Upper bound (exclusive) on node ids ever used.
+  NodeId id_bound() const { return next_id_; }
+
+  const LabelDict& dict() const { return *dict_; }
+  LabelDict* mutable_dict() { return dict_.get(); }
+  const std::shared_ptr<LabelDict>& dict_ptr() const { return dict_; }
+
+  // Pre-order (document order) traversal; `visit(id)` is called for every
+  // alive node starting at the root. No-op on an empty tree.
+  template <typename Visitor>
+  void PreOrder(Visitor&& visit) const {
+    if (root_ == kNullNodeId) return;
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      visit(n);
+      const NodeData& node = NodeRef(n);
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+
+  // Verifies all internal invariants (parent/child symmetry, sibling
+  // indexes, alive counts). Aborts on violation. Intended for tests.
+  void CheckConsistency() const;
+
+ private:
+  struct NodeData {
+    LabelId label = kNullLabelId;
+    NodeId parent = kNullNodeId;
+    int32_t sibling_index = 0;
+    bool alive = false;
+    std::vector<NodeId> children;
+  };
+
+  const NodeData& NodeRef(NodeId n) const {
+    PQIDX_DCHECK(Contains(n));
+    return nodes_[n];
+  }
+  NodeData& MutableNodeRef(NodeId n) {
+    PQIDX_DCHECK(Contains(n));
+    return nodes_[n];
+  }
+
+  // Ensures the arena covers id `n`.
+  void Reserve(NodeId n);
+
+  std::shared_ptr<LabelDict> dict_;
+  std::vector<NodeData> nodes_;  // indexed by NodeId; slot 0 unused
+  NodeId root_ = kNullNodeId;
+  NodeId next_id_ = 1;
+  int alive_count_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TREE_TREE_H_

@@ -1,0 +1,144 @@
+#include "tree/tree_builder.h"
+
+#include <cctype>
+
+namespace pqidx {
+namespace {
+
+// Recursive-descent parser over the notation grammar.
+class NotationParser {
+ public:
+  NotationParser(std::string_view input, Tree* tree)
+      : input_(input), tree_(tree) {}
+
+  Status Parse() {
+    SkipSpace();
+    std::string label;
+    PQIDX_RETURN_IF_ERROR(ReadLabel(&label));
+    NodeId root = tree_->CreateRoot(label);
+    PQIDX_RETURN_IF_ERROR(ParseChildren(root));
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return InvalidArgumentError("trailing characters in tree notation");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ReadLabel(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '(' || c == ')' || c == ',' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return InvalidArgumentError("expected a label");
+    out->assign(input_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  // Parses an optional parenthesized child list under `parent`.
+  Status ParseChildren(NodeId parent) {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '(') return Status::Ok();
+    ++pos_;  // consume '('
+    for (;;) {
+      std::string label;
+      PQIDX_RETURN_IF_ERROR(ReadLabel(&label));
+      NodeId child = tree_->AddChild(parent, label);
+      PQIDX_RETURN_IF_ERROR(ParseChildren(child));
+      SkipSpace();
+      if (pos_ >= input_.size()) {
+        return InvalidArgumentError("unterminated child list");
+      }
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == ')') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return InvalidArgumentError("expected ',' or ')' in child list");
+    }
+  }
+
+  std::string_view input_;
+  Tree* tree_;
+  size_t pos_ = 0;
+};
+
+void RenderNode(const Tree& tree, NodeId n, bool with_ids, std::string* out) {
+  out->append(tree.LabelString(n));
+  if (with_ids) {
+    out->push_back('#');
+    out->append(std::to_string(n));
+  }
+  auto kids = tree.children(n);
+  if (kids.empty()) return;
+  out->push_back('(');
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    RenderNode(tree, kids[i], with_ids, out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseTreeNotation(std::string_view notation,
+                                 std::shared_ptr<LabelDict> dict) {
+  if (dict == nullptr) dict = std::make_shared<LabelDict>();
+  Tree tree(std::move(dict));
+  NotationParser parser(notation, &tree);
+  PQIDX_RETURN_IF_ERROR(parser.Parse());
+  return tree;
+}
+
+std::string ToNotation(const Tree& tree) {
+  std::string out;
+  if (tree.root() != kNullNodeId) {
+    RenderNode(tree, tree.root(), /*with_ids=*/false, &out);
+  }
+  return out;
+}
+
+bool TreesIsomorphic(const Tree& a, const Tree& b) {
+  if (a.size() != b.size()) return false;
+  if (a.root() == kNullNodeId) return b.root() == kNullNodeId;
+  if (b.root() == kNullNodeId) return false;
+  std::vector<std::pair<NodeId, NodeId>> stack{{a.root(), b.root()}};
+  while (!stack.empty()) {
+    auto [na, nb] = stack.back();
+    stack.pop_back();
+    if (a.LabelString(na) != b.LabelString(nb)) return false;
+    auto ka = a.children(na);
+    auto kb = b.children(nb);
+    if (ka.size() != kb.size()) return false;
+    for (size_t i = 0; i < ka.size(); ++i) {
+      stack.emplace_back(ka[i], kb[i]);
+    }
+  }
+  return true;
+}
+
+std::string ToNotationWithIds(const Tree& tree) {
+  std::string out;
+  if (tree.root() != kNullNodeId) {
+    RenderNode(tree, tree.root(), /*with_ids=*/true, &out);
+  }
+  return out;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,40 @@
+// Compact textual tree notation for tests, examples, and debugging.
+//
+// Grammar:  tree  := label [ '(' tree (',' tree)* ')' ]
+//           label := [^(),\s]+  (surrounding whitespace ignored)
+//
+// Example: "a(b,c(e,f),d)" is the tree T0 of Figure 2 in the paper.
+
+#ifndef PQIDX_TREE_TREE_BUILDER_H_
+#define PQIDX_TREE_TREE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Parses `notation` into a tree over `dict` (a fresh dictionary is created
+// when null). Node ids are assigned in pre-order starting at 1.
+StatusOr<Tree> ParseTreeNotation(std::string_view notation,
+                                 std::shared_ptr<LabelDict> dict = nullptr);
+
+// Renders `tree` in the notation accepted by ParseTreeNotation.
+std::string ToNotation(const Tree& tree);
+
+// Renders `tree` with node ids, e.g. "a#1(b#2,c#3)". Useful in test
+// failure messages.
+std::string ToNotationWithIds(const Tree& tree);
+
+// True iff the trees are isomorphic as ordered labeled trees: same shape
+// and the same label *strings* position by position (node ids and
+// dictionaries may differ). Robust against labels containing notation
+// metacharacters, unlike comparing ToNotation() strings.
+bool TreesIsomorphic(const Tree& a, const Tree& b);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_TREE_TREE_BUILDER_H_

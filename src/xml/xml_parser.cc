@@ -1,0 +1,372 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "xml/xml_scanner.h"
+
+namespace pqidx {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+// Tokenizes the document and drives an XmlEventHandler. Iterative over
+// nesting (explicit open-element stack), so document depth is bounded by
+// memory, not by the call stack.
+class Scanner {
+ public:
+  Scanner(std::string_view input, XmlEventHandler* handler)
+      : in_(input), handler_(handler) {}
+
+  Status Scan() {
+    PQIDX_RETURN_IF_ERROR(SkipProlog());
+    if (AtEnd() || Peek() != '<') {
+      return InvalidArgumentError("expected root element");
+    }
+    PQIDX_RETURN_IF_ERROR(ScanElementTag());
+    // Content loop over the open-element stack.
+    while (!open_.empty()) {
+      if (AtEnd()) {
+        return InvalidArgumentError("unterminated element: " + open_.back());
+      }
+      char c = Peek();
+      if (c == '<') {
+        if (LookingAt("</")) {
+          PQIDX_RETURN_IF_ERROR(FlushText());
+          pos_ += 2;
+          std::string close_name;
+          PQIDX_RETURN_IF_ERROR(ReadName(&close_name));
+          if (close_name != open_.back()) {
+            return InvalidArgumentError("mismatched end tag: expected " +
+                                        open_.back() + ", got " +
+                                        close_name);
+          }
+          SkipWhitespace();
+          PQIDX_RETURN_IF_ERROR(Expect('>'));
+          PQIDX_RETURN_IF_ERROR(handler_->OnClose(close_name));
+          open_.pop_back();
+          continue;
+        }
+        if (LookingAt("<![CDATA[")) {
+          size_t end = in_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) {
+            return InvalidArgumentError("unterminated CDATA section");
+          }
+          text_.append(in_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        StatusOr<bool> skipped = SkipMarkupDecl();
+        PQIDX_RETURN_IF_ERROR(skipped.status());
+        if (*skipped) continue;
+        PQIDX_RETURN_IF_ERROR(FlushText());
+        PQIDX_RETURN_IF_ERROR(ScanElementTag());
+        continue;
+      }
+      if (c == '&') {
+        PQIDX_RETURN_IF_ERROR(DecodeEntity(&text_));
+        continue;
+      }
+      text_.push_back(c);
+      ++pos_;
+    }
+    SkipMisc();
+    if (!AtEnd()) return InvalidArgumentError("content after root element");
+    return Status::Ok();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return InvalidArgumentError(std::string("expected '") + c +
+                                  "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  // Skips one comment / PI / DOCTYPE construct starting at '<'. Returns
+  // true if something was skipped.
+  StatusOr<bool> SkipMarkupDecl() {
+    if (LookingAt("<!--")) {
+      size_t end = in_.find("-->", pos_ + 4);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated comment");
+      }
+      pos_ = end + 3;
+      return true;
+    }
+    if (LookingAt("<?")) {
+      size_t end = in_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated processing instruction");
+      }
+      pos_ = end + 2;
+      return true;
+    }
+    if (LookingAt("<!DOCTYPE")) {
+      // Skip to the matching '>', tolerating one bracketed internal subset.
+      int depth = 0;
+      for (size_t i = pos_; i < in_.size(); ++i) {
+        if (in_[i] == '[') ++depth;
+        if (in_[i] == ']') --depth;
+        if (in_[i] == '>' && depth == 0) {
+          pos_ = i + 1;
+          return true;
+        }
+      }
+      return InvalidArgumentError("unterminated DOCTYPE");
+    }
+    return false;
+  }
+
+  Status SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '<') return Status::Ok();
+      StatusOr<bool> skipped = SkipMarkupDecl();
+      PQIDX_RETURN_IF_ERROR(skipped.status());
+      if (!*skipped) return Status::Ok();
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '<') return;
+      StatusOr<bool> skipped = SkipMarkupDecl();
+      if (!skipped.ok() || !*skipped) return;
+    }
+  }
+
+  Status ReadName(std::string* out) {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return InvalidArgumentError("expected a name at offset " +
+                                  std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    out->assign(in_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  // Decodes an entity starting at '&'; appends to *out.
+  Status DecodeEntity(std::string* out) {
+    size_t end = in_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 12) {
+      return InvalidArgumentError("unterminated entity reference");
+    }
+    std::string_view body = in_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    if (body == "lt") {
+      out->push_back('<');
+    } else if (body == "gt") {
+      out->push_back('>');
+    } else if (body == "amp") {
+      out->push_back('&');
+    } else if (body == "apos") {
+      out->push_back('\'');
+    } else if (body == "quot") {
+      out->push_back('"');
+    } else if (!body.empty() && body[0] == '#') {
+      int base = 10;
+      std::string_view digits = body.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return InvalidArgumentError("bad char reference");
+      unsigned long code = 0;
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return InvalidArgumentError("bad char reference");
+        }
+        code = code * base + static_cast<unsigned long>(digit);
+        if (code > 0x10FFFF) return InvalidArgumentError("bad char reference");
+      }
+      AppendUtf8(static_cast<uint32_t>(code), out);
+    } else {
+      return InvalidArgumentError("unknown entity: " + std::string(body));
+    }
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ScanAttributeValue(std::string* out) {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return InvalidArgumentError("expected quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    out->clear();
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        PQIDX_RETURN_IF_ERROR(DecodeEntity(out));
+      } else {
+        out->push_back(Peek());
+        ++pos_;
+      }
+    }
+    return Expect(quote);
+  }
+
+  // Emits accumulated text (trimmed) if it is not whitespace-only.
+  Status FlushText() {
+    size_t begin = text_.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) {
+      text_.clear();
+      return Status::Ok();
+    }
+    size_t end = text_.find_last_not_of(" \t\r\n");
+    Status status = handler_->OnText(
+        std::string_view(text_).substr(begin, end - begin + 1));
+    text_.clear();
+    return status;
+  }
+
+  // Scans one start tag (with attributes); pushes onto the open stack
+  // unless self-closing.
+  Status ScanElementTag() {
+    PQIDX_RETURN_IF_ERROR(Expect('<'));
+    std::string name;
+    PQIDX_RETURN_IF_ERROR(ReadName(&name));
+    PQIDX_RETURN_IF_ERROR(handler_->OnOpen(name));
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return InvalidArgumentError("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      std::string attr_name;
+      PQIDX_RETURN_IF_ERROR(ReadName(&attr_name));
+      SkipWhitespace();
+      PQIDX_RETURN_IF_ERROR(Expect('='));
+      SkipWhitespace();
+      std::string value;
+      PQIDX_RETURN_IF_ERROR(ScanAttributeValue(&value));
+      PQIDX_RETURN_IF_ERROR(handler_->OnAttribute(attr_name, value));
+    }
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return handler_->OnClose(name);
+    }
+    PQIDX_RETURN_IF_ERROR(Expect('>'));
+    open_.push_back(std::move(name));
+    return Status::Ok();
+  }
+
+  std::string_view in_;
+  XmlEventHandler* handler_;
+  size_t pos_ = 0;
+  std::string text_;
+  std::vector<std::string> open_;
+};
+
+// Builds a Tree from the event stream (the ParseXml mapping).
+class TreeBuildingHandler : public XmlEventHandler {
+ public:
+  TreeBuildingHandler(const XmlParseOptions& options, Tree* tree)
+      : options_(options), tree_(tree) {}
+
+  Status OnOpen(std::string_view name) override {
+    NodeId self = path_.empty() ? tree_->CreateRoot(name)
+                                : tree_->AddChild(path_.back(), name);
+    path_.push_back(self);
+    return Status::Ok();
+  }
+
+  Status OnAttribute(std::string_view name, std::string_view value) override {
+    if (options_.include_attributes) {
+      NodeId attr = tree_->AddChild(path_.back(), "@" + std::string(name));
+      tree_->AddChild(attr, value);
+    }
+    return Status::Ok();
+  }
+
+  Status OnText(std::string_view text) override {
+    if (options_.include_text && !path_.empty()) {
+      tree_->AddChild(path_.back(), text);
+    }
+    return Status::Ok();
+  }
+
+  Status OnClose(std::string_view name) override {
+    (void)name;
+    path_.pop_back();
+    return Status::Ok();
+  }
+
+ private:
+  const XmlParseOptions& options_;
+  Tree* tree_;
+  std::vector<NodeId> path_;
+};
+
+}  // namespace
+
+Status ScanXml(std::string_view xml, XmlEventHandler* handler) {
+  Scanner scanner(xml, handler);
+  return scanner.Scan();
+}
+
+StatusOr<Tree> ParseXml(std::string_view xml,
+                        std::shared_ptr<LabelDict> dict,
+                        const XmlParseOptions& options) {
+  if (dict == nullptr) dict = std::make_shared<LabelDict>();
+  Tree tree(std::move(dict));
+  TreeBuildingHandler handler(options, &tree);
+  PQIDX_RETURN_IF_ERROR(ScanXml(xml, &handler));
+  return tree;
+}
+
+StatusOr<Tree> ParseXmlFile(const std::string& path,
+                            std::shared_ptr<LabelDict> dict,
+                            const XmlParseOptions& options) {
+  std::string content;
+  PQIDX_RETURN_IF_ERROR(ReadFile(path, &content));
+  return ParseXml(content, std::move(dict), options);
+}
+
+}  // namespace pqidx

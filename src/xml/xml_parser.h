@@ -1,0 +1,49 @@
+// Minimal non-validating XML parser producing pqidx trees.
+//
+// The paper evaluates the index on XML documents (XMark, DBLP); this parser
+// turns an XML byte string into the ordered labeled tree model of
+// tree/tree.h:
+//
+//  * an element becomes a node labeled with the element name;
+//  * an attribute name="value" becomes a child node "@name" with a single
+//    child holding the value (document order: attributes first);
+//  * a non-whitespace text run becomes a leaf labeled with the trimmed
+//    text.
+//
+// Supported syntax: elements, attributes, character data, CDATA sections,
+// comments, processing instructions, XML declaration, DOCTYPE (skipped),
+// and the five predefined entities plus decimal/hex character references.
+// Not supported (returns an error or skips): external entities, namespaces
+// beyond treating prefixed names as plain labels.
+
+#ifndef PQIDX_XML_XML_PARSER_H_
+#define PQIDX_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct XmlParseOptions {
+  // Model attributes as "@name" children (paper-style full document trees).
+  bool include_attributes = true;
+  // Model text content as leaf nodes.
+  bool include_text = true;
+};
+
+// Parses `xml` into a tree over `dict` (fresh dictionary when null).
+StatusOr<Tree> ParseXml(std::string_view xml,
+                        std::shared_ptr<LabelDict> dict = nullptr,
+                        const XmlParseOptions& options = {});
+
+// Convenience: reads and parses the file at `path`.
+StatusOr<Tree> ParseXmlFile(const std::string& path,
+                            std::shared_ptr<LabelDict> dict = nullptr,
+                            const XmlParseOptions& options = {});
+
+}  // namespace pqidx
+
+#endif  // PQIDX_XML_XML_PARSER_H_

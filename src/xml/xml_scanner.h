@@ -1,0 +1,39 @@
+// SAX-style XML event scanning: the tokenizer behind ParseXml, exposed so
+// consumers that do not need a materialized tree (e.g. the streaming
+// index builder) can process documents in O(depth) memory.
+//
+// Dialect and mappings are identical to xml/xml_parser.h: elements,
+// attributes, character data (entities and CDATA decoded, whitespace-only
+// runs dropped, text trimmed), comments / PIs / DOCTYPE skipped.
+
+#ifndef PQIDX_XML_XML_SCANNER_H_
+#define PQIDX_XML_XML_SCANNER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pqidx {
+
+// Event callbacks. Any non-OK return aborts the scan and is propagated.
+class XmlEventHandler {
+ public:
+  virtual ~XmlEventHandler() = default;
+
+  // Start tag. The element's attributes are reported immediately after
+  // OnOpen, before any content events.
+  virtual Status OnOpen(std::string_view name) = 0;
+  virtual Status OnAttribute(std::string_view name,
+                             std::string_view value) = 0;
+  // A trimmed, non-empty text run in document order.
+  virtual Status OnText(std::string_view text) = 0;
+  virtual Status OnClose(std::string_view name) = 0;
+};
+
+// Scans `xml`, invoking `handler` in document order. Returns the first
+// syntax error or handler error.
+Status ScanXml(std::string_view xml, XmlEventHandler* handler);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_XML_XML_SCANNER_H_

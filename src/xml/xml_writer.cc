@@ -1,0 +1,168 @@
+#include "xml/xml_writer.h"
+
+#include <cctype>
+#include <vector>
+
+namespace pqidx {
+namespace {
+
+bool IsXmlName(const std::string& s) {
+  if (s.empty()) return false;
+  char first = s[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':' || c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EscapeInto(const std::string& s, bool in_attribute, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// True if `n` encodes an attribute: "@name" with exactly one leaf child.
+bool IsAttributeNode(const Tree& tree, NodeId n) {
+  const std::string& label = tree.LabelString(n);
+  if (label.size() < 2 || label[0] != '@') return false;
+  auto kids = tree.children(n);
+  return kids.size() == 1 && tree.IsLeaf(kids[0]);
+}
+
+// Iterative writer (documents can be arbitrarily deep): an explicit stack
+// of frames, each visited twice -- once to emit the start tag and push
+// content, once to emit the end tag.
+class Writer {
+ public:
+  Writer(const Tree& tree, const XmlWriteOptions& options)
+      : tree_(tree), options_(options) {}
+
+  std::string Run() {
+    if (tree_.root() != kNullNodeId) {
+      stack_.push_back({tree_.root(), /*depth=*/0, /*closing=*/false});
+      while (!stack_.empty()) {
+        Frame frame = stack_.back();
+        stack_.pop_back();
+        if (frame.closing) {
+          EmitEndTag(frame);
+        } else {
+          EmitNode(frame);
+        }
+      }
+      if (options_.indent && !out_.empty() && out_.back() != '\n') {
+        out_.push_back('\n');
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Frame {
+    NodeId node;
+    int depth;  // < 0: inline mode (inside mixed content)
+    bool closing;
+  };
+
+  void Indent(int depth) {
+    if (!options_.indent || depth < 0) return;
+    if (!out_.empty() && out_.back() != '\n') out_.push_back('\n');
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  // True if any non-attribute child of `n` is text (not a valid name).
+  bool HasTextContent(NodeId n) const {
+    for (NodeId c : tree_.children(n)) {
+      if (!IsAttributeNode(tree_, c) && !IsXmlName(tree_.LabelString(c))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void EmitNode(const Frame& frame) {
+    const std::string& label = tree_.LabelString(frame.node);
+    if (!IsXmlName(label)) {
+      // Text leaf.
+      EscapeInto(label, /*in_attribute=*/false, &out_);
+      return;
+    }
+    Indent(frame.depth);
+    out_.push_back('<');
+    out_.append(label);
+    std::vector<NodeId> content;
+    for (NodeId c : tree_.children(frame.node)) {
+      if (IsAttributeNode(tree_, c)) {
+        out_.push_back(' ');
+        out_.append(tree_.LabelString(c).substr(1));
+        out_.append("=\"");
+        EscapeInto(tree_.LabelString(tree_.children(c)[0]),
+                   /*in_attribute=*/true, &out_);
+        out_.push_back('"');
+      } else {
+        content.push_back(c);
+      }
+    }
+    if (content.empty()) {
+      out_.append("/>");
+      return;
+    }
+    out_.push_back('>');
+    // Mixed or text content stays inline to round-trip exactly.
+    bool inline_content = !options_.indent || frame.depth < 0 ||
+                          HasTextContent(frame.node);
+    int child_depth = inline_content ? -1 : frame.depth + 1;
+    // Push the end tag first, then the children in reverse so they pop
+    // in document order.
+    stack_.push_back(
+        {frame.node, inline_content ? -1 : frame.depth, /*closing=*/true});
+    for (auto it = content.rbegin(); it != content.rend(); ++it) {
+      stack_.push_back({*it, child_depth, /*closing=*/false});
+    }
+  }
+
+  void EmitEndTag(const Frame& frame) {
+    if (frame.depth >= 0) Indent(frame.depth);
+    out_.append("</");
+    out_.append(tree_.LabelString(frame.node));
+    out_.push_back('>');
+  }
+
+  const Tree& tree_;
+  const XmlWriteOptions& options_;
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+std::string WriteXml(const Tree& tree, const XmlWriteOptions& options) {
+  Writer writer(tree, options);
+  return writer.Run();
+}
+
+}  // namespace pqidx

@@ -1,0 +1,30 @@
+// Serializes a pqidx tree back to XML, inverting the ParseXml mapping:
+//
+//  * nodes whose label is a valid XML name become elements;
+//  * nodes labeled "@name" with a single leaf child become attributes;
+//  * leaf nodes whose label is not a valid XML name become text content.
+//
+// Round-trip guarantee: for any tree produced by ParseXml (with default
+// options), ParseXml(WriteXml(tree)) reconstructs an isomorphic tree.
+
+#ifndef PQIDX_XML_XML_WRITER_H_
+#define PQIDX_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace pqidx {
+
+struct XmlWriteOptions {
+  // Pretty-print with 2-space indentation (text-bearing elements are kept
+  // on one line so text round-trips without whitespace damage).
+  bool indent = false;
+};
+
+// Renders `tree` as an XML document (no XML declaration).
+std::string WriteXml(const Tree& tree, const XmlWriteOptions& options = {});
+
+}  // namespace pqidx
+
+#endif  // PQIDX_XML_XML_WRITER_H_

@@ -1,0 +1,144 @@
+// Tests for canonical-order pq-grams (unordered tree matching).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/canonical.h"
+#include "core/distance.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Builds a copy of `tree` with every child list permuted (fresh ids).
+Tree PermutedCopy(const Tree& tree, Rng* rng) {
+  Tree copy(tree.dict_ptr());
+  copy.CreateRoot(tree.label(tree.root()));
+  struct Item {
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<Item> stack{{tree.root(), copy.root()}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    auto kids = tree.children(src);
+    std::vector<NodeId> order(kids.begin(), kids.end());
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng->NextBounded(i)]);
+    }
+    for (NodeId c : order) {
+      stack.push_back({c, copy.AddChild(dst, tree.label(c))});
+    }
+  }
+  return copy;
+}
+
+TEST(CanonicalTest, FingerprintInvariantUnderPermutation) {
+  Tree a = MustParse("r(x(a,b),y,z(c))");
+  Tree b = MustParse("r(z(c),x(b,a),y)");
+  EXPECT_EQ(CanonicalSubtreeFingerprint(a, a.root()),
+            CanonicalSubtreeFingerprint(b, b.root()));
+  Tree c = MustParse("r(z(c),x(b,a),w)");  // different leaf label
+  EXPECT_NE(CanonicalSubtreeFingerprint(a, a.root()),
+            CanonicalSubtreeFingerprint(c, c.root()));
+}
+
+TEST(CanonicalTest, FingerprintSeesDepth) {
+  // Same label multiset, different nesting.
+  Tree a = MustParse("r(a(b),c)");
+  Tree b = MustParse("r(a,b(c))");
+  EXPECT_NE(CanonicalSubtreeFingerprint(a, a.root()),
+            CanonicalSubtreeFingerprint(b, b.root()));
+}
+
+TEST(CanonicalTest, ChildOrderSortsByLabel) {
+  Tree tree = MustParse("r(c,a,b)");
+  std::vector<NodeId> order = CanonicalChildOrder(tree, tree.root());
+  ASSERT_EQ(order.size(), 3u);
+  // Sorted by label hash: verify it is *some* deterministic permutation
+  // of the children that is stable across identical trees.
+  Tree again = MustParse("r(b,a,c)");
+  std::vector<NodeId> order2 = CanonicalChildOrder(again, again.root());
+  std::vector<std::string> labels1, labels2;
+  for (NodeId n : order) labels1.push_back(tree.LabelString(n));
+  for (NodeId n : order2) labels2.push_back(again.LabelString(n));
+  EXPECT_EQ(labels1, labels2);
+}
+
+TEST(CanonicalTest, IndexInvariantUnderSiblingPermutations) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree tree = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(60)),
+         .alphabet_size = 5});
+    Tree permuted = PermutedCopy(tree, &rng);
+    for (PqShape shape : {PqShape{1, 2}, PqShape{2, 3}, PqShape{3, 3}}) {
+      EXPECT_EQ(BuildCanonicalIndex(tree, shape),
+                BuildCanonicalIndex(permuted, shape))
+          << ToNotation(tree) << " vs " << ToNotation(permuted);
+      EXPECT_DOUBLE_EQ(CanonicalPqGramDistance(tree, permuted, shape), 0.0);
+    }
+  }
+}
+
+TEST(CanonicalTest, OrderedDistanceSeesPermutationsCanonicalDoesNot) {
+  Rng rng(2);
+  PqShape shape{3, 3};
+  double ordered_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 50});
+    Tree permuted = PermutedCopy(tree, &rng);
+    ordered_total += PqGramDistance(tree, permuted, shape);
+    EXPECT_DOUBLE_EQ(CanonicalPqGramDistance(tree, permuted, shape), 0.0);
+  }
+  EXPECT_GT(ordered_total, 0.5);  // ordered distance reacts to shuffles
+}
+
+TEST(CanonicalTest, StillSensitiveToRealChanges) {
+  Rng rng(3);
+  PqShape shape{3, 3};
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 50});
+    Tree edited = tree.Clone();
+    EditLog log;
+    GenerateEditScript(&edited, &rng, 8, EditScriptOptions{}, &log);
+    EXPECT_GT(CanonicalPqGramDistance(tree, edited, shape), 0.0);
+  }
+}
+
+TEST(CanonicalTest, CanonicalMatchesOrderedOnCanonicallySortedTree) {
+  // For a tree already in canonical order the two indexes coincide.
+  Tree tree = MustParse("r(a,b,c(a,b))");
+  PqShape shape{2, 2};
+  // Build a canonically-ordered copy and compare ordered vs canonical.
+  Rng rng(4);
+  Tree copy = PermutedCopy(tree, &rng);
+  EXPECT_EQ(BuildCanonicalIndex(copy, shape).size(),
+            BuildIndex(copy, shape).size());
+}
+
+TEST(CanonicalTest, SingleNodeAndChains) {
+  for (PqShape shape : {PqShape{1, 1}, PqShape{3, 3}}) {
+    Tree single = MustParse("a");
+    EXPECT_EQ(BuildCanonicalIndex(single, shape),
+              BuildIndex(single, shape));
+    // Chains have no sibling freedom: canonical == ordered.
+    Tree chain = MustParse("a(b(c(d)))");
+    EXPECT_EQ(BuildCanonicalIndex(chain, shape), BuildIndex(chain, shape));
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,244 @@
+// Tests for src/common: status, fingerprints, random, serde.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace pqidx {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllErrorConstructorsSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(FingerprintTest, DeterministicAndLabelSensitive) {
+  EXPECT_EQ(KarpRabinFingerprint("article"), KarpRabinFingerprint("article"));
+  EXPECT_NE(KarpRabinFingerprint("article"), KarpRabinFingerprint("Article"));
+  EXPECT_NE(KarpRabinFingerprint("ab"), KarpRabinFingerprint("ba"));
+}
+
+TEST(FingerprintTest, EmptyAndNullDistinct) {
+  // No real label may collide with the null-label hash.
+  EXPECT_NE(KarpRabinFingerprint(""), kNullLabelHash);
+  EXPECT_NE(KarpRabinFingerprint("*"), kNullLabelHash);
+}
+
+TEST(FingerprintTest, PrefixesDistinct) {
+  EXPECT_NE(KarpRabinFingerprint("ab"), KarpRabinFingerprint("abc"));
+  EXPECT_NE(KarpRabinFingerprint("a"),
+            KarpRabinFingerprint(std::string_view("a\0", 2)));
+}
+
+TEST(FingerprintTest, NoCollisionsOnSmallCorpus) {
+  std::set<LabelHash> seen;
+  for (int i = 0; i < 20000; ++i) {
+    seen.insert(KarpRabinFingerprint("label_" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(TupleFingerprintTest, OrderSensitive) {
+  LabelHash a = KarpRabinFingerprint("a");
+  LabelHash b = KarpRabinFingerprint("b");
+  LabelHash t1[] = {a, b};
+  LabelHash t2[] = {b, a};
+  EXPECT_NE(FingerprintLabelTuple(t1, 2), FingerprintLabelTuple(t2, 2));
+}
+
+TEST(TupleFingerprintTest, LengthSensitive) {
+  LabelHash a = KarpRabinFingerprint("a");
+  LabelHash t1[] = {a};
+  LabelHash t2[] = {a, kNullLabelHash};
+  EXPECT_NE(FingerprintLabelTuple(t1, 1), FingerprintLabelTuple(t2, 2));
+}
+
+TEST(TupleFingerprintTest, IncrementalMatchesBatch) {
+  LabelHash t[] = {KarpRabinFingerprint("x"), kNullLabelHash,
+                   KarpRabinFingerprint("y")};
+  TupleFingerprinter fp;
+  for (LabelHash h : t) fp.Add(h);
+  EXPECT_EQ(fp.Finish(), FingerprintLabelTuple(t, 3));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t u = rng.Uniform(-5, 5);
+    EXPECT_GE(u, -5);
+    EXPECT_LE(u, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, WeightedPickRespectsZeroWeights) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    int pick = rng.WeightedPick({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(13);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    int z = rng.Zipf(100, 1.2);
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, 100);
+    if (z < 10) ++low;
+  }
+  EXPECT_GT(low, 1000);  // heavy head
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(SerdeTest, RoundTripPrimitives) {
+  ByteWriter w;
+  w.PutU8(250);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutVarint(128);
+  w.PutVarint(uint64_t{1} << 62);
+  w.PutSignedVarint(-1);
+  w.PutSignedVarint(1LL << 40);
+  w.PutString("hello");
+  w.PutString("");
+
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t s64;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 250);
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  for (uint64_t want : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                        uint64_t{1} << 62}) {
+    ASSERT_TRUE(r.GetVarint(&u64).ok());
+    EXPECT_EQ(u64, want);
+  }
+  ASSERT_TRUE(r.GetSignedVarint(&s64).ok());
+  EXPECT_EQ(s64, -1);
+  ASSERT_TRUE(r.GetSignedVarint(&s64).ok());
+  EXPECT_EQ(s64, 1LL << 40);
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedInputsFail) {
+  ByteReader r1(std::string_view("\x01"));
+  uint32_t u32;
+  EXPECT_FALSE(r1.GetU32(&u32).ok());
+
+  // Varint with continuation bit but no next byte.
+  ByteReader r2(std::string_view("\xff"));
+  uint64_t u64;
+  EXPECT_FALSE(r2.GetVarint(&u64).ok());
+
+  // String length longer than the remaining bytes.
+  ByteWriter w;
+  w.PutVarint(100);
+  w.PutU8('x');
+  ByteReader r3(w.data());
+  std::string s;
+  EXPECT_FALSE(r3.GetString(&s).ok());
+}
+
+TEST(SerdeTest, OverlongVarintRejected) {
+  std::string bad(11, '\x80');
+  ByteReader r(bad);
+  uint64_t v;
+  EXPECT_FALSE(r.GetVarint(&v).ok());
+}
+
+TEST(SerdeTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/pqidx_serde_test.bin";
+  std::string payload = "binary\0data", read_back;
+  payload.push_back('\xff');
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  ASSERT_TRUE(ReadFile(path, &read_back).ok());
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(SerdeTest, MissingFileFails) {
+  std::string out;
+  EXPECT_FALSE(ReadFile("/nonexistent/pqidx/file", &out).ok());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,169 @@
+// Direct unit tests for the (P, Q) delta store: index maintenance,
+// dedup semantics, renumbering, and the join.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/delta_store.h"
+#include "test_util.h"
+
+namespace pqidx {
+namespace {
+
+PRow MakeP(NodeId anchor, NodeId parent, int sib_pos, int fanout,
+           std::vector<NodeId> ids) {
+  PRow row;
+  row.anchor = anchor;
+  row.parent = parent;
+  row.sib_pos = sib_pos;
+  row.fanout = fanout;
+  row.ids = std::move(ids);
+  row.labels.resize(row.ids.size());
+  for (size_t i = 0; i < row.ids.size(); ++i) {
+    row.labels[i] = row.ids[i] == kNullNodeId
+                        ? kNullLabelHash
+                        : static_cast<LabelHash>(row.ids[i]) * 1000;
+  }
+  return row;
+}
+
+QRow MakeQ(int row_idx, std::vector<NodeId> ids) {
+  QRow row;
+  row.row = row_idx;
+  row.ids = std::move(ids);
+  row.labels.resize(row.ids.size());
+  for (size_t i = 0; i < row.ids.size(); ++i) {
+    row.labels[i] = row.ids[i] == kNullNodeId
+                        ? kNullLabelHash
+                        : static_cast<LabelHash>(row.ids[i]) * 1000;
+  }
+  return row;
+}
+
+TEST(DeltaStoreTest, PRowInsertFindErase) {
+  DeltaStore store(PqShape{2, 2});
+  store.InsertPRow(MakeP(5, 3, 1, 2, {3, 5}));
+  ASSERT_NE(store.FindPRow(5), nullptr);
+  EXPECT_EQ(store.FindPRow(5)->parent, 3);
+  EXPECT_EQ(store.p_row_count(), 1);
+  // Duplicate identical insert is a no-op.
+  store.InsertPRow(MakeP(5, 3, 1, 2, {3, 5}));
+  EXPECT_EQ(store.p_row_count(), 1);
+  store.ErasePRow(5);
+  EXPECT_EQ(store.FindPRow(5), nullptr);
+  store.CheckConsistency();
+}
+
+TEST(DeltaStoreTest, ConflictingPRowAborts) {
+  DeltaStore store(PqShape{2, 2});
+  store.InsertPRow(MakeP(5, 3, 1, 2, {3, 5}));
+  EXPECT_DEATH(store.InsertPRow(MakeP(5, 3, 2, 2, {3, 5})),
+               "conflicting p-row");
+}
+
+TEST(DeltaStoreTest, ChainIndexTracksContainment) {
+  DeltaStore store(PqShape{3, 1});
+  store.InsertPRow(MakeP(5, 3, 0, 1, {1, 3, 5}));
+  store.InsertPRow(MakeP(7, 5, 0, 0, {3, 5, 7}));
+  store.InsertPRow(MakeP(9, 1, 1, 0, {kNullNodeId, 1, 9}));
+  auto anchors_of = [&](NodeId id) {
+    auto v = store.PRowAnchorsContaining(id);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(anchors_of(5), (std::vector<NodeId>{5, 7}));
+  EXPECT_EQ(anchors_of(3), (std::vector<NodeId>{5, 7}));
+  EXPECT_EQ(anchors_of(1), (std::vector<NodeId>{5, 9}));
+  EXPECT_TRUE(anchors_of(42).empty());
+  EXPECT_TRUE(anchors_of(kNullNodeId).empty());
+
+  // Chain replacement re-indexes.
+  PRow replacement = MakeP(7, 5, 0, 0, {1, 5, 7});
+  store.ReplacePRowChain(7, replacement.ids, replacement.labels);
+  EXPECT_EQ(anchors_of(3), (std::vector<NodeId>{5}));
+  EXPECT_EQ(anchors_of(1), (std::vector<NodeId>{5, 7, 9}));
+  store.CheckConsistency();
+}
+
+TEST(DeltaStoreTest, ParentIndexAndReparenting) {
+  DeltaStore store(PqShape{1, 1});
+  store.InsertPRow(MakeP(2, 1, 0, 0, {2}));
+  store.InsertPRow(MakeP(3, 1, 1, 0, {3}));
+  auto children_of = [&](NodeId v) {
+    auto c = store.ChildAnchorsOf(v);
+    std::sort(c.begin(), c.end());
+    return c;
+  };
+  EXPECT_EQ(children_of(1), (std::vector<NodeId>{2, 3}));
+  store.SetPRowParentAndPos(3, 9, 0);
+  EXPECT_EQ(children_of(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(children_of(9), (std::vector<NodeId>{3}));
+  EXPECT_EQ(store.FindPRow(3)->sib_pos, 0);
+  store.CheckConsistency();
+}
+
+TEST(DeltaStoreTest, QRowLifecycleAndRenumbering) {
+  DeltaStore store(PqShape{1, 2});
+  store.InsertPRow(MakeP(1, kNullNodeId, 0, 3, {1}));
+  store.InsertQRow(1, MakeQ(0, {kNullNodeId, 2}));
+  store.InsertQRow(1, MakeQ(1, {2, 3}));
+  store.InsertQRow(1, MakeQ(2, {3, 4}));
+  store.InsertQRow(1, MakeQ(3, {4, kNullNodeId}));
+  EXPECT_EQ(store.q_row_count(), 4);
+  ASSERT_NE(store.FindQRow(1, 2), nullptr);
+  EXPECT_EQ(store.FindQRow(1, 2)->ids[0], 3);
+
+  // Shift rows >= 2 up by 2 (e.g. a sibling expansion).
+  store.RenumberQRows(1, 2, 2);
+  EXPECT_EQ(store.FindQRow(1, 2), nullptr);
+  ASSERT_NE(store.FindQRow(1, 4), nullptr);
+  EXPECT_EQ(store.FindQRow(1, 4)->ids[0], 3);
+  EXPECT_EQ(store.FindQRow(1, 5)->ids[0], 4);
+  EXPECT_EQ(store.q_row_count(), 4);
+
+  // And back down.
+  store.RenumberQRows(1, 3, -2);
+  ASSERT_NE(store.FindQRow(1, 2), nullptr);
+  EXPECT_EQ(store.FindQRow(1, 2)->ids[0], 3);
+
+  store.EraseQRow(1, 2);
+  EXPECT_EQ(store.q_row_count(), 3);
+  store.EraseAllQRows(1);
+  EXPECT_EQ(store.q_row_count(), 0);
+  store.CheckConsistency();
+}
+
+TEST(DeltaStoreTest, SetQRowEntryUpdatesInPlace) {
+  DeltaStore store(PqShape{1, 2});
+  store.InsertQRow(9, MakeQ(0, {5, 6}));
+  store.SetQRowEntry(9, 0, 1, 7, 7000);
+  EXPECT_EQ(store.FindQRow(9, 0)->ids[1], 7);
+  EXPECT_EQ(store.FindQRow(9, 0)->labels[1], 7000u);
+}
+
+TEST(DeltaStoreTest, JoinEmitsPqGrams) {
+  DeltaStore store(PqShape{2, 2});
+  store.InsertPRow(MakeP(5, 1, 0, 2, {1, 5}));
+  store.InsertQRow(5, MakeQ(0, {kNullNodeId, 6}));
+  store.InsertQRow(5, MakeQ(1, {6, 7}));
+  // A p-row with no q-rows contributes nothing.
+  store.InsertPRow(MakeP(9, 1, 1, 0, {1, 9}));
+
+  std::set<PqGram> grams = pqidx::testing::StoreToSet(store);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(store.CountPqGrams(), 2);
+  PqGram first = *grams.begin();
+  EXPECT_EQ(first.ids.size(), 4u);
+  EXPECT_EQ(first.ids[0], 1);
+  EXPECT_EQ(first.ids[1], 5);
+}
+
+TEST(DeltaStoreTest, JoinWithoutPRowAborts) {
+  DeltaStore store(PqShape{1, 1});
+  store.InsertQRow(5, MakeQ(0, {6}));
+  EXPECT_DEATH(pqidx::testing::StoreToSet(store), "without a matching");
+}
+
+}  // namespace
+}  // namespace pqidx

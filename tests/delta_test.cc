@@ -1,0 +1,267 @@
+// Tests for the delta function (Definition 4, Lemma 1 / Table 1,
+// Algorithm 2): delta(Tj, e-bar) computed on the single tree Tj must equal
+// the brute-force profile difference P_j \ P_i with T_i = e-bar(T_j).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/delta.h"
+#include "core/delta_store.h"
+#include "core/profile.h"
+#include "edit/edit_script.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+using ::pqidx::testing::DescribeDiff;
+using ::pqidx::testing::SetMinus;
+using ::pqidx::testing::StoreToSet;
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Checks delta(tj, op) == P(tj) \ P(op(tj)) for one operation and shape.
+void CheckDelta(const Tree& tj, const EditOperation& op,
+                const PqShape& shape) {
+  ASSERT_TRUE(op.IsDefinedOn(tj));
+  Tree ti = tj.Clone();
+  ASSERT_TRUE(op.ApplyTo(&ti).ok());
+
+  DeltaStore store(shape);
+  ComputeDelta(tj, op, &store);
+  store.CheckConsistency();
+  std::set<PqGram> got = StoreToSet(store);
+  std::set<PqGram> want =
+      SetMinus(ComputeProfileSet(tj, shape), ComputeProfileSet(ti, shape));
+  EXPECT_EQ(got, want) << "op " << op.ToString(tj.dict()) << " shape ("
+                       << shape.p << "," << shape.q << ") on tree "
+                       << ToNotationWithIds(tj) << "\n"
+                       << DescribeDiff(got, want, tj.dict());
+}
+
+TEST(DeltaTest, VanishedNodeYieldsEmptyDelta) {
+  Tree tree = MustParse("a(b,c)");
+  DeltaStore store(PqShape{3, 3});
+  // DEL / REN of an unknown node: nothing to select on Tn.
+  EXPECT_EQ(ComputeDelta(tree, EditOperation::Delete(99), &store), 0);
+  EXPECT_EQ(ComputeDelta(tree, EditOperation::Rename(99, 1), &store), 0);
+  // INS under an unknown parent.
+  EXPECT_EQ(
+      ComputeDelta(tree, EditOperation::Insert(99, 1, 98, 0, 0), &store), 0);
+  EXPECT_EQ(store.CountPqGrams(), 0);
+  EXPECT_EQ(store.p_row_count(), 0);
+}
+
+TEST(DeltaTest, ClampedSemanticsFetchExistingRows) {
+  // Operations that are not applicable to Tn as a whole still select the
+  // rows that exist (Algorithm 2's relational reading); see DESIGN.md,
+  // "Clamped delta semantics". The selected pq-grams are always pq-grams
+  // of Tn.
+  Tree tree = MustParse("a(b,c)");
+  PqShape shape{2, 2};
+  std::set<PqGram> profile = ComputeProfileSet(tree, shape);
+
+  // REN to the label the node already has: fetches everything around b.
+  NodeId b = tree.child(tree.root(), 0);
+  {
+    DeltaStore store(shape);
+    EXPECT_GT(
+        ComputeDelta(tree, EditOperation::Rename(b, tree.label(b)), &store),
+        0);
+    for (const PqGram& g : StoreToSet(store)) {
+      EXPECT_TRUE(profile.contains(g));
+    }
+  }
+  // INS whose adopted-child range exceeds the fanout: clamps to the
+  // children that exist instead of returning nothing.
+  {
+    DeltaStore store(shape);
+    LabelId x = tree.mutable_dict()->Intern("x");
+    EXPECT_GT(ComputeDelta(
+                  tree, EditOperation::Insert(tree.AllocateId(), x,
+                                              tree.root(), 1, 5),
+                  &store),
+              0);
+    std::set<PqGram> got = StoreToSet(store);
+    for (const PqGram& g : got) {
+      EXPECT_TRUE(profile.contains(g));
+    }
+    // The window containing the surviving child c must be fetched.
+    bool saw_c = false;
+    NodeId c = tree.child(tree.root(), 1);
+    for (const PqGram& g : got) {
+      saw_c |= std::find(g.ids.begin(), g.ids.end(), c) != g.ids.end();
+    }
+    EXPECT_TRUE(saw_c);
+  }
+}
+
+TEST(DeltaTest, RenameDeltaIsAllPqGramsContainingNode) {
+  // Lemma 1: for REN(n, l), g in delta iff n in N(g).
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  PqShape shape{3, 3};
+  NodeId c = tree.child(tree.root(), 1);
+  LabelId x = tree.mutable_dict()->Intern("x");
+  DeltaStore store(shape);
+  ComputeDelta(tree, EditOperation::Rename(c, x), &store);
+  std::set<PqGram> got = StoreToSet(store);
+  int containing = 0;
+  for (const PqGram& g : ComputeProfileSet(tree, shape)) {
+    bool has_c = std::find(g.ids.begin(), g.ids.end(), c) != g.ids.end();
+    if (has_c) {
+      ++containing;
+      EXPECT_TRUE(got.contains(g));
+    } else {
+      EXPECT_FALSE(got.contains(g));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(got.size()), containing);
+}
+
+TEST(DeltaTest, PaperExample5DeltaPlus) {
+  // Example 5 / Figure 12: T2 with reverse operations
+  // e-bar1 = DEL(n7), e-bar2 = INS((n3,b), n1, 2, 3) (1-based), 3,3-grams.
+  // Delta2+ has 9 distinct pq-grams.
+  auto dict = std::make_shared<LabelDict>();
+  Tree t2(dict);
+  NodeId n1 = t2.CreateRoot("a");
+  t2.AddChild(n1, "c");                    // n2
+  t2.AddChild(n1, "e");                    // n5
+  NodeId n6 = t2.AddChild(n1, "f");
+  t2.AddChild(n1, "c");                    // n4 (labels per Example 5)
+  NodeId n7 = t2.AddChild(n6, "g");
+  // Fix document order: n7 was appended, it is the only child of n6.
+  ASSERT_EQ(t2.SiblingIndex(n7), 0);
+
+  PqShape shape{3, 3};
+  DeltaStore store(shape);
+  LabelId b_label = dict->Intern("b");
+  NodeId n3 = t2.AllocateId();
+  ComputeDelta(t2, EditOperation::Delete(n7), &store);
+  // Paper (1-based): INS((n3,b), n1, 2, 3) -> 0-based position 1, count 2.
+  ComputeDelta(t2, EditOperation::Insert(n3, b_label, n1, 1, 2), &store);
+  EXPECT_EQ(store.CountPqGrams(), 9);
+
+  // Compare the label-tuples against the paper's lambda(Delta2+).
+  auto h = [&](const char* l) { return KarpRabinFingerprint(l); };
+  const LabelHash A = h("a"), C = h("c"), E = h("e"), F = h("f"), G = h("g"),
+                  N = kNullLabelHash;
+  std::set<std::vector<LabelHash>> want = {
+      {N, N, A, N, C, E}, {N, N, A, C, E, F}, {N, N, A, E, F, C},
+      {N, N, A, F, C, N}, {N, A, E, N, N, N}, {N, A, F, N, N, G},
+      {N, A, F, N, G, N}, {N, A, F, G, N, N}, {A, F, G, N, N, N}};
+  std::set<std::vector<LabelHash>> got;
+  for (const PqGram& g : StoreToSet(store)) got.insert(g.labels);
+  EXPECT_EQ(got, want);
+}
+
+class DeltaPropertyTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(DeltaPropertyTest, MatchesBruteForceOnRandomOps) {
+  const PqShape shape = GetParam();
+  Rng rng(5000 + shape.p * 100 + shape.q);
+  for (int trial = 0; trial < 30; ++trial) {
+    int nodes = 1 + static_cast<int>(rng.NextBounded(40));
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = nodes});
+    // Draw a random valid operation (via the script generator so the op
+    // distribution matches the workloads) but check it *without* applying.
+    Tree scratch = tree.Clone();
+    EditLog log;
+    std::vector<EditOperation> forward;
+    GenerateEditScript(&scratch, &rng, 1, EditScriptOptions{}, &log,
+                       &forward);
+    CheckDelta(tree, forward[0], shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, DeltaPropertyTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+TEST(DeltaTest, EdgeCaseLeafInsertIntoLeafParent) {
+  // Inserting the first child under a leaf flips the parent's q-part from
+  // the special all-null row to real windows.
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tree = MustParse("a(b)");
+    NodeId b = tree.child(tree.root(), 0);
+    LabelId x = tree.mutable_dict()->Intern("x");
+    CheckDelta(tree, EditOperation::Insert(tree.AllocateId(), x, b, 0, 0),
+               shape);
+  }
+}
+
+TEST(DeltaTest, EdgeCaseDeleteOnlyChild) {
+  // Deleting a leaf that is an only child makes the parent a leaf.
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tree = MustParse("a(b(c))");
+    NodeId b = tree.child(tree.root(), 0);
+    CheckDelta(tree, EditOperation::Delete(tree.child(b, 0)), shape);
+  }
+}
+
+TEST(DeltaTest, EdgeCaseAdoptAllChildren) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tree = MustParse("a(b,c,d)");
+    LabelId x = tree.mutable_dict()->Intern("x");
+    CheckDelta(tree,
+               EditOperation::Insert(tree.AllocateId(), x, tree.root(), 0, 3),
+               shape);
+  }
+}
+
+TEST(DeltaTest, EdgeCaseGapInsertBetweenSiblings) {
+  // count = 0 in the middle: only the paper's Q^{k..k-1} gap windows.
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tree = MustParse("a(b,c,d)");
+    LabelId x = tree.mutable_dict()->Intern("x");
+    CheckDelta(tree,
+               EditOperation::Insert(tree.AllocateId(), x, tree.root(), 1, 0),
+               shape);
+    CheckDelta(tree,
+               EditOperation::Insert(tree.AllocateId(), x, tree.root(), 3, 0),
+               shape);
+  }
+}
+
+TEST(DeltaTest, EdgeCaseDeleteDeepChain) {
+  // Descendants beyond distance p-1 are untouched.
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tree = MustParse("a(b(c(d(e(f(g))))))");
+    NodeId b = tree.child(tree.root(), 0);
+    CheckDelta(tree, EditOperation::Delete(b), shape);
+    LabelId x = tree.mutable_dict()->Intern("x");
+    CheckDelta(tree, EditOperation::Rename(b, x), shape);
+  }
+}
+
+TEST(DeltaTest, SetSemanticsAcrossOverlappingOps) {
+  // Two operations near each other share pq-grams; the union must not
+  // double count.
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  PqShape shape{2, 2};
+  NodeId c = tree.child(tree.root(), 1);
+  LabelId x = tree.mutable_dict()->Intern("x");
+  DeltaStore store(shape);
+  ComputeDelta(tree, EditOperation::Rename(c, x), &store);
+  int64_t after_first = store.CountPqGrams();
+  ComputeDelta(tree, EditOperation::Delete(c), &store);
+  // DEL(c) affects the same pq-grams as REN(c) for equal shapes.
+  EXPECT_EQ(store.CountPqGrams(), after_first);
+  store.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,195 @@
+// Focused tests for the pq-gram distance, including values derived from
+// the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/canonical.h"
+#include "core/distance.h"
+#include "core/pqgram_index.h"
+#include "core/profile.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(DistancePaperTest, Example5TreesDistance) {
+  // The paper's running example (labels reconstructed from Example 5's
+  // lambda sets): T0 = a(c,b(e,f),c), T2 = a(c,e,f(g),c). Both profiles
+  // have 13 pq-grams (Example 1); the deltas of Example 5 show 9 tuples
+  // leaving and 9 entering, so the bags share 13 - 9 = 4 tuples and
+  //   dist = 1 - 2*4 / (13+13) = 9/13.
+  Tree t0 = MustParse("a(c,b(e,f),c)");
+  Tree t2 = MustParse("a(c,e,f(g),c)");
+  const PqShape shape{3, 3};
+  EXPECT_EQ(ProfileSize(t0, shape), 13);
+  EXPECT_EQ(ProfileSize(t2, shape), 13);
+  EXPECT_DOUBLE_EQ(PqGramDistance(t0, t2, shape), 9.0 / 13.0);
+}
+
+TEST(DistanceTest, HandComputedSmallCase) {
+  // 1,1-grams of a(b,c): {(a,b),(a,c),(b,*),(c,*)}; of a(b,x):
+  // {(a,b),(a,x),(b,*),(x,*)}. Shared 2 of 4+4.
+  Tree t1 = MustParse("a(b,c)");
+  Tree t2 = MustParse("a(b,x)");
+  EXPECT_DOUBLE_EQ(PqGramDistance(t1, t2, PqShape{1, 1}), 1.0 - 4.0 / 8.0);
+}
+
+TEST(DistanceTest, DuplicateTuplesCountWithMultiplicity) {
+  // Bag semantics: a(b,b,b) vs a(b): the leaf tuple (a,b,*) has count 3
+  // vs 1 -> intersection contributes min(3,1) = 1.
+  Tree t1 = MustParse("a(b,b,b)");
+  Tree t2 = MustParse("a(b)");
+  PqShape shape{2, 1};
+  PqGramIndex i1 = BuildIndex(t1, shape);
+  PqGramIndex i2 = BuildIndex(t2, shape);
+  // t1: root windows (b),(b),(b); leaves (a,b,*)x3 -> |I1| = 6.
+  EXPECT_EQ(i1.size(), 6);
+  EXPECT_EQ(i2.size(), 2);
+  // Shared: (*,a,b) root window min(3,1)=1; (a,b,*) leaf min(3,1)=1.
+  EXPECT_EQ(BagIntersectionSize(i1, i2), 2);
+  EXPECT_DOUBLE_EQ(PqGramDistance(i1, i2), 1.0 - 4.0 / 8.0);
+}
+
+TEST(DistanceTest, RenameLocality) {
+  // Renaming a leaf deep in the tree disturbs few pq-grams; renaming the
+  // child of the root with a large subtree disturbs more for p > 1.
+  Tree base = MustParse("r(a(b(c,d),e),f)");
+  Tree leaf_renamed = MustParse("r(a(b(c,X),e),f)");
+  Tree inner_renamed = MustParse("r(X(b(c,d),e),f)");
+  PqShape shape{3, 3};
+  double leaf_dist = PqGramDistance(base, leaf_renamed, shape);
+  double inner_dist = PqGramDistance(base, inner_renamed, shape);
+  EXPECT_GT(leaf_dist, 0.0);
+  EXPECT_GT(inner_dist, leaf_dist);
+}
+
+TEST(DistanceTest, LargerPSpreadsStructuralSensitivity) {
+  // A rename near the root touches all pq-grams whose p-part crosses it:
+  // deeper p-parts -> more affected tuples -> larger distance.
+  Tree base = MustParse("r(a(b(c(d(e)))))");
+  Tree renamed = MustParse("r(X(b(c(d(e)))))");
+  double d1 = PqGramDistance(base, renamed, PqShape{1, 2});
+  double d3 = PqGramDistance(base, renamed, PqShape{3, 2});
+  EXPECT_LT(d1, d3);
+}
+
+TEST(DistanceTest, TriangleLikeBehaviorOnEditPaths) {
+  // Along an edit path T0 -> T1 -> T2, dist(T0,T2) stays in the same
+  // ballpark as dist(T0,T1)+dist(T1,T2) (the pq-gram distance is a
+  // pseudo-metric on bags: the bag symmetric difference IS a metric, so
+  // the normalized form satisfies a weak triangle property on these
+  // workloads).
+  Rng rng(1);
+  PqShape shape{2, 2};
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 60});
+    Tree t1 = t0.Clone();
+    EditLog log;
+    GenerateEditScript(&t1, &rng, 5, EditScriptOptions{}, &log);
+    Tree t2 = t1.Clone();
+    GenerateEditScript(&t2, &rng, 5, EditScriptOptions{}, &log);
+    double d01 = PqGramDistance(t0, t1, shape);
+    double d12 = PqGramDistance(t1, t2, shape);
+    double d02 = PqGramDistance(t0, t2, shape);
+    EXPECT_LE(d02, 2.0 * (d01 + d12) + 1e-9);
+  }
+}
+
+TEST(DistanceTest, EmptyIntersectionIsExactlyOne) {
+  Rng rng(2);
+  auto dict = std::make_shared<LabelDict>();
+  Tree a(dict);
+  a.CreateRoot("left_only");
+  a.AddChild(a.root(), "l1");
+  Tree b(dict);
+  b.CreateRoot("right_only");
+  b.AddChild(b.root(), "r1");
+  EXPECT_DOUBLE_EQ(PqGramDistance(a, b, PqShape{2, 2}), 1.0);
+}
+
+TEST(DistanceTest, ShapeMattersForIdenticalComparisons) {
+  // Identical trees are at distance 0 under every shape; the shape only
+  // changes the resolution for different trees.
+  Rng rng(3);
+  Tree t = GenerateXmarkLike(nullptr, &rng, 100);
+  for (int p = 1; p <= 3; ++p) {
+    for (int q = 1; q <= 3; ++q) {
+      EXPECT_DOUBLE_EQ(PqGramDistance(t, t, PqShape{p, q}), 0.0);
+    }
+  }
+}
+
+TEST(DistanceTest, CanonicalAndOrderedAgreeOnOrderFreeEdits) {
+  // Renames do not involve sibling order: both distances move together.
+  Rng rng(4);
+  PqShape shape{3, 3};
+  Tree base = GenerateDblpLike(nullptr, &rng, 40);
+  Tree edited = base.Clone();
+  EditLog log;
+  EditScriptOptions options;
+  options.insert_weight = 0.0;
+  options.delete_weight = 0.0;
+  GenerateEditScript(&edited, &rng, 10, options, &log);
+  double ordered = PqGramDistance(base, edited, shape);
+  double canonical = CanonicalPqGramDistance(base, edited, shape);
+  EXPECT_GT(ordered, 0.0);
+  EXPECT_GT(canonical, 0.0);
+  EXPECT_NEAR(ordered, canonical, 0.25 * ordered + 0.05);
+}
+
+TEST(ContainmentTest, FragmentOfLargeDocumentScoresHigh) {
+  // A record copied out of a big document: symmetric distance is large
+  // (sizes differ wildly) but containment stays high.
+  Rng rng(5);
+  PqShape shape{2, 2};
+  Tree doc = GenerateDblpLike(nullptr, &rng, 300);
+  // Extract one record by rebuilding it as a standalone tree.
+  NodeId rec = doc.child(doc.root(), 123);
+  Tree record(doc.dict_ptr());
+  record.CreateRoot(doc.label(rec));
+  std::vector<std::pair<NodeId, NodeId>> stack{{rec, record.root()}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId c : doc.children(src)) {
+      stack.emplace_back(c, record.AddChild(dst, doc.label(c)));
+    }
+  }
+  double containment = PqGramContainment(record, doc, shape);
+  double distance = PqGramDistance(record, doc, shape);
+  EXPECT_GT(containment, 0.6);  // most of the record's grams occur in doc
+  EXPECT_GT(distance, 0.9);     // the symmetric distance is useless here
+  // An unrelated fragment is not contained.
+  Rng other(6);
+  Tree foreign = GenerateXmarkLike(nullptr, &other, 40);
+  EXPECT_LT(PqGramContainment(foreign, doc, shape), 0.2);
+}
+
+TEST(ContainmentTest, BasicProperties) {
+  Tree whole = MustParse("a(b,c(e,f),d)");
+  PqShape shape{2, 2};
+  // Everything is contained in itself.
+  EXPECT_DOUBLE_EQ(PqGramContainment(whole, whole, shape), 1.0);
+  // Containment is asymmetric.
+  Tree part = MustParse("c(e,f)");
+  double p_in_w = PqGramContainment(part, whole, shape);
+  double w_in_p = PqGramContainment(whole, part, shape);
+  EXPECT_GT(p_in_w, w_in_p);
+  // Range.
+  EXPECT_GE(p_in_w, 0.0);
+  EXPECT_LE(p_in_w, 1.0);
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,224 @@
+// Tests for the DocumentStore collection manager.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "edit/edit_script.h"
+#include "storage/document_store.h"
+#include "storage/tree_store.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+std::string StoreDir(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Removes a leftover store directory from a previous test run.
+void WipeStoreDir(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::remove((dir + "/" + name).c_str());
+  }
+  closedir(d);
+  rmdir(dir.c_str());
+}
+
+using StorePtr = std::unique_ptr<DocumentStore>;
+
+StorePtr MustCreate(const std::string& name, PqShape shape = PqShape{3, 3}) {
+  WipeStoreDir(StoreDir(name));
+  StatusOr<StorePtr> store = DocumentStore::Create(StoreDir(name), shape);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+TEST(DocumentStoreTest, IngestCheckoutRoundTrip) {
+  Rng rng(1);
+  StorePtr store = MustCreate("ds_basic");
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 150);
+  StatusOr<TreeId> id = store->Ingest(doc);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(store->size(), 1);
+
+  StatusOr<Tree> loaded = store->Checkout(*id);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(ToNotation(*loaded), ToNotation(doc));
+  EXPECT_TRUE(store->Verify().ok());
+}
+
+TEST(DocumentStoreTest, EditSessionWorkflow) {
+  Rng rng(2);
+  StorePtr store = MustCreate("ds_edit");
+  Tree original = GenerateDblpLike(nullptr, &rng, 30);
+  StatusOr<TreeId> id = store->Ingest(original);
+  ASSERT_TRUE(id.ok());
+
+  // Checkout, edit with logging, commit.
+  StatusOr<Tree> session = store->Checkout(*id);
+  ASSERT_TRUE(session.ok());
+  EditLog log;
+  GenerateEditScript(&session.value(), &rng, 20, EditScriptOptions{}, &log);
+  ASSERT_TRUE(store->Commit(*id, *session, log).ok());
+  ASSERT_TRUE(store->Verify().ok());
+
+  // The committed version is what the next checkout sees.
+  StatusOr<Tree> reloaded = store->Checkout(*id);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(ToNotation(*reloaded), ToNotation(*session));
+}
+
+TEST(DocumentStoreTest, CommitVersionWithoutLog) {
+  Rng rng(3);
+  StorePtr store = MustCreate("ds_version");
+  Tree v1 = GenerateXmarkLike(nullptr, &rng, 120);
+  StatusOr<TreeId> id = store->Ingest(v1);
+  ASSERT_TRUE(id.ok());
+
+  // An externally produced new version (no log available).
+  Tree v2 = v1.Clone();
+  EditLog scratch;
+  GenerateEditScript(&v2, &rng, 10, EditScriptOptions{}, &scratch);
+  ASSERT_TRUE(store->CommitVersion(*id, v2).ok());
+  ASSERT_TRUE(store->Verify().ok());
+  StatusOr<Tree> reloaded = store->Checkout(*id);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(ToNotation(*reloaded), ToNotation(v2));
+}
+
+TEST(DocumentStoreTest, LookupAcrossCollection) {
+  Rng rng(4);
+  auto dict = std::make_shared<LabelDict>();
+  StorePtr store = MustCreate("ds_lookup");
+  std::vector<Tree> docs;
+  for (int i = 0; i < 6; ++i) {
+    docs.push_back(GenerateXmarkLike(dict, &rng, 150));
+    ASSERT_TRUE(store->Ingest(docs.back()).ok());
+  }
+  StatusOr<std::vector<LookupResult>> hits = store->Lookup(docs[2], 0.3);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].tree_id, 2);
+  EXPECT_DOUBLE_EQ((*hits)[0].distance, 0.0);
+}
+
+TEST(DocumentStoreTest, PersistsAcrossReopen) {
+  Rng rng(5);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 20);
+  TreeId id;
+  {
+    StorePtr store = MustCreate("ds_reopen");
+    StatusOr<TreeId> ingested = store->Ingest(doc);
+    ASSERT_TRUE(ingested.ok());
+    id = *ingested;
+  }
+  StatusOr<StorePtr> reopened = DocumentStore::Open(StoreDir("ds_reopen"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 1);
+  EXPECT_TRUE((*reopened)->Verify().ok());
+  // New ingests continue the id sequence.
+  StatusOr<TreeId> next = (*reopened)->Ingest(doc);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, id + 1);
+}
+
+TEST(DocumentStoreTest, RemoveDeletesDocumentAndIndex) {
+  Rng rng(6);
+  StorePtr store = MustCreate("ds_remove");
+  Tree doc = GenerateDblpLike(nullptr, &rng, 10);
+  StatusOr<TreeId> id = store->Ingest(doc);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store->Remove(*id).ok());
+  EXPECT_EQ(store->size(), 0);
+  EXPECT_FALSE(store->Checkout(*id).ok());
+  EXPECT_FALSE(store->Remove(*id).ok());
+  EXPECT_TRUE(store->Verify().ok());
+}
+
+TEST(DocumentStoreTest, ErrorsOnInvalidUse) {
+  StorePtr store = MustCreate("ds_errors");
+  Tree empty(std::make_shared<LabelDict>());
+  EXPECT_FALSE(store->Ingest(empty).ok());
+  EXPECT_FALSE(store->Checkout(42).ok());
+  EditLog log;
+  Tree doc = ParseTreeNotation("a(b)").value();
+  EXPECT_FALSE(store->Commit(42, doc, log).ok());
+  EXPECT_FALSE(store->CommitVersion(42, doc).ok());
+  // Creating over an existing store is rejected.
+  EXPECT_FALSE(DocumentStore::Create(StoreDir("ds_errors"), PqShape{3, 3})
+                   .ok());
+  // Opening a non-store directory is rejected.
+  EXPECT_FALSE(DocumentStore::Open(StoreDir("ds_nonexistent")).ok());
+}
+
+TEST(DocumentStoreTest, VerifyDetectsIndexDocumentMismatch) {
+  // A crash between the index commit and the tree-file replacement leaves
+  // the index describing a version the tree file does not contain;
+  // Verify must flag it.
+  Rng rng(8);
+  StorePtr store = MustCreate("ds_verify");
+  Tree doc = GenerateDblpLike(nullptr, &rng, 15);
+  StatusOr<TreeId> id = store->Ingest(doc);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store->Verify().ok());
+
+  // Simulate the torn commit: replace the stored tree file with a
+  // different document while the index still describes the original.
+  Tree other = GenerateDblpLike(nullptr, &rng, 15);
+  ASSERT_TRUE(
+      SaveTree(other, StoreDir("ds_verify") + "/tree_0.bin").ok());
+  Status status = store->Verify();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(DocumentStoreTest, OpenRejectsMissingTreeFile) {
+  Rng rng(9);
+  {
+    StorePtr store = MustCreate("ds_missing_tree");
+    Tree doc = GenerateDblpLike(nullptr, &rng, 5);
+    ASSERT_TRUE(store->Ingest(doc).ok());
+  }
+  std::remove((StoreDir("ds_missing_tree") + "/tree_0.bin").c_str());
+  EXPECT_FALSE(DocumentStore::Open(StoreDir("ds_missing_tree")).ok());
+}
+
+TEST(DocumentStoreTest, ManyDocumentsManySessions) {
+  Rng rng(7);
+  StorePtr store = MustCreate("ds_stress", PqShape{2, 3});
+  std::vector<TreeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    Tree doc = GenerateRandomTree(
+        nullptr, &rng, {.num_nodes = 20 + static_cast<int>(
+                                         rng.NextBounded(60))});
+    StatusOr<TreeId> id = store->Ingest(doc);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (TreeId id : ids) {
+      StatusOr<Tree> session = store->Checkout(id);
+      ASSERT_TRUE(session.ok());
+      EditLog log;
+      GenerateEditScript(&session.value(), &rng, 8, EditScriptOptions{},
+                         &log);
+      ASSERT_TRUE(store->Commit(id, *session, log).ok());
+    }
+  }
+  EXPECT_TRUE(store->Verify().ok());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,215 @@
+// Cross-module edge cases that the per-module suites do not pin:
+// extreme values, degenerate shapes, huge-fanout (DBLP-shaped) scenarios,
+// and interactions between the unordered and record-level features.
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <memory>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "core/canonical.h"
+#include "core/distance.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "core/profile.h"
+#include "core/record_index.h"
+#include "edit/edit_log.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(SerdeEdgeTest, SignedVarintExtremes) {
+  ByteWriter w;
+  for (int64_t v : {INT64_MIN, INT64_MIN + 1, int64_t{-1}, int64_t{0},
+                    int64_t{1}, INT64_MAX - 1, INT64_MAX}) {
+    w.PutSignedVarint(v);
+  }
+  ByteReader r(w.data());
+  for (int64_t want : {INT64_MIN, INT64_MIN + 1, int64_t{-1}, int64_t{0},
+                       int64_t{1}, INT64_MAX - 1, INT64_MAX}) {
+    int64_t got;
+    ASSERT_TRUE(r.GetSignedVarint(&got).ok());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(SerdeEdgeTest, StringsWithEmbeddedNulsRoundTrip) {
+  ByteWriter w;
+  std::string payload("a\0b\0c", 5);
+  w.PutString(payload);
+  ByteReader r(w.data());
+  std::string got;
+  ASSERT_TRUE(r.GetString(&got).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ProfileEdgeTest, AnchorRowCountGrid) {
+  // Per-anchor pq-gram counts: leaf -> 1, fanout f -> f+q-1, across a
+  // fanout x q grid.
+  auto dict = std::make_shared<LabelDict>();
+  for (int f = 0; f <= 6; ++f) {
+    Tree tree(dict);
+    NodeId root = tree.CreateRoot("r");
+    for (int i = 0; i < f; ++i) tree.AddChild(root, "c");
+    for (int q = 1; q <= 4; ++q) {
+      int64_t expected_root_rows = f == 0 ? 1 : f + q - 1;
+      // Total = root rows + one per leaf child.
+      EXPECT_EQ(ProfileSize(tree, PqShape{2, q}), expected_root_rows + f)
+          << "f=" << f << " q=" << q;
+    }
+  }
+}
+
+TEST(IncrementalEdgeTest, HugeFanoutRootOperations) {
+  // DBLP shape: thousands of children under one root; operations at the
+  // far left, middle, and far right of the child list, plus record-level
+  // churn, all maintained incrementally.
+  Rng rng(1);
+  const PqShape shape{3, 3};
+  Tree doc = GenerateDblpLike(nullptr, &rng, 2000);
+  PqGramIndex index = BuildIndex(doc, shape);
+  Tree tn = doc.Clone();
+  EditLog log;
+  NodeId root = tn.root();
+  LabelId x = tn.mutable_dict()->Intern("retracted");
+
+  // Leftmost record renamed, middle record deleted, a new record wrapped
+  // around the two rightmost.
+  ASSERT_TRUE(
+      ApplyAndLog(EditOperation::Rename(tn.child(root, 0), x), &tn, &log)
+          .ok());
+  ASSERT_TRUE(
+      ApplyAndLog(EditOperation::Delete(tn.child(root, 1000)), &tn, &log)
+          .ok());
+  int f = tn.fanout(root);
+  ASSERT_TRUE(ApplyAndLog(EditOperation::Insert(tn.AllocateId(), x, root,
+                                                f - 2, 2),
+                          &tn, &log)
+                  .ok());
+  ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+  EXPECT_EQ(index, BuildIndex(tn, shape));
+}
+
+TEST(IncrementalEdgeTest, EveryChildOfRootDeleted) {
+  // Shrink a star to a bare root: the final state is a single leaf.
+  const PqShape shape{2, 2};
+  Tree t0 = MustParse("r(a,b,c,d,e,f,g,h)");
+  Tree tn = t0.Clone();
+  EditLog log;
+  while (tn.fanout(tn.root()) > 0) {
+    ASSERT_TRUE(
+        ApplyAndLog(EditOperation::Delete(tn.child(tn.root(), 0)), &tn,
+                    &log)
+            .ok());
+  }
+  PqGramIndex index = BuildIndex(t0, shape);
+  ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+  EXPECT_EQ(index, BuildIndex(tn, shape));
+  EXPECT_EQ(index.size(), 1);  // a bare root anchors one all-null gram
+}
+
+TEST(IncrementalEdgeTest, GrowBareRootIntoStar) {
+  const PqShape shape{2, 2};
+  Tree t0 = MustParse("r");
+  Tree tn = t0.Clone();
+  EditLog log;
+  LabelId c = tn.mutable_dict()->Intern("c");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(ApplyAndLog(EditOperation::Insert(
+                                tn.AllocateId(), c, tn.root(),
+                                tn.fanout(tn.root()), 0),
+                            &tn, &log)
+                    .ok());
+  }
+  PqGramIndex index = BuildIndex(t0, shape);
+  ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+  EXPECT_EQ(index, BuildIndex(tn, shape));
+}
+
+TEST(CanonicalEdgeTest, RecordDedupAcrossFieldOrder) {
+  // Two records with identical fields in different order: invisible to
+  // the ordered self-join, found by comparing canonical bags.
+  Tree doc = MustParse(
+      "dblp(article(author(a),title(t),year(y)),"
+      "article(year(y),author(a),title(t)),"
+      "article(author(zz),title(qq)))");
+  const PqShape shape{2, 2};
+  auto ordered_pairs = FindSimilarRecordPairs(doc, shape, 0.01);
+  EXPECT_TRUE(ordered_pairs.empty());  // field order differs
+
+  std::vector<NodeId> records =
+      SelectRecordRoots(doc, [&](const Tree& t, NodeId n) {
+        return t.parent(n) == doc.root();
+      });
+  ASSERT_EQ(records.size(), 3u);
+  Tree r0 = ExtractRecord(doc, records[0]);
+  Tree r1 = ExtractRecord(doc, records[1]);
+  Tree r2 = ExtractRecord(doc, records[2]);
+  EXPECT_DOUBLE_EQ(CanonicalPqGramDistance(r0, r1, shape), 0.0);
+  EXPECT_GT(CanonicalPqGramDistance(r0, r2, shape), 0.5);
+}
+
+TEST(TreeEdgeTest, AllocateIdNeverCollides) {
+  Rng rng(2);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 30});
+  for (int i = 0; i < 100; ++i) {
+    NodeId fresh = tree.AllocateId();
+    EXPECT_FALSE(tree.Contains(fresh));
+    // Use some of them so the arena grows interleaved with allocation.
+    if (i % 3 == 0) {
+      ASSERT_TRUE(
+          tree.ApplyInsert(fresh, tree.label(tree.root()), tree.root(), 0, 0)
+              .ok());
+    }
+  }
+  tree.CheckConsistency();
+}
+
+TEST(TreeEdgeTest, CloneAfterHeavyChurnIsIndependent) {
+  Rng rng(3);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 50});
+  EditLog log;
+  GenerateEditScript(&tree, &rng, 80, EditScriptOptions{}, &log);
+  Tree snapshot = tree.Clone();
+  std::string before = ToNotationWithIds(snapshot);
+  GenerateEditScript(&tree, &rng, 40, EditScriptOptions{}, &log);
+  EXPECT_EQ(ToNotationWithIds(snapshot), before);
+  snapshot.CheckConsistency();
+}
+
+TEST(IndexEdgeTest, ShapeExtremes) {
+  // Large p on a shallow tree: p-parts are mostly nulls but distances
+  // still behave.
+  Tree a = MustParse("r(x,y)");
+  Tree b = MustParse("r(x,z)");
+  for (int p : {1, 4, 8}) {
+    PqShape shape{p, 2};
+    double d = PqGramDistance(a, b, shape);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_DOUBLE_EQ(PqGramDistance(a, a, shape), 0.0);
+  }
+}
+
+TEST(IndexEdgeTest, SingleNodeTreesCompareByRootLabelOnly) {
+  Tree a = MustParse("same");
+  Tree b = MustParse("same");
+  Tree c = MustParse("different");
+  PqShape shape{3, 3};
+  EXPECT_DOUBLE_EQ(PqGramDistance(a, b, shape), 0.0);
+  EXPECT_DOUBLE_EQ(PqGramDistance(a, c, shape), 1.0);
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,180 @@
+// Tests for edit operations, inverse computation, and edit logs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "edit/edit_log.h"
+#include "edit/edit_operation.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(EditOperationTest, RenameApplyAndInverse) {
+  Tree tree = MustParse("a(b,c)");
+  NodeId b = tree.child(tree.root(), 0);
+  LabelId x = tree.mutable_dict()->Intern("x");
+  EditOperation op = EditOperation::Rename(b, x);
+  ASSERT_TRUE(op.IsDefinedOn(tree));
+
+  StatusOr<EditOperation> inv = op.InverseOn(tree);
+  ASSERT_TRUE(inv.ok());
+  ASSERT_TRUE(op.ApplyTo(&tree).ok());
+  EXPECT_EQ(tree.LabelString(b), "x");
+  ASSERT_TRUE(inv->ApplyTo(&tree).ok());
+  EXPECT_EQ(tree.LabelString(b), "b");
+}
+
+TEST(EditOperationTest, DeleteInverseReconstructs) {
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  std::string before = ToNotationWithIds(tree);
+  NodeId c = tree.child(tree.root(), 1);
+  EditOperation op = EditOperation::Delete(c);
+  StatusOr<EditOperation> inv = op.InverseOn(tree);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->kind, EditOpKind::kInsert);
+  EXPECT_EQ(inv->node, c);
+  EXPECT_EQ(inv->position, 1);
+  EXPECT_EQ(inv->count, 2);
+
+  ASSERT_TRUE(op.ApplyTo(&tree).ok());
+  ASSERT_TRUE(inv->ApplyTo(&tree).ok());
+  EXPECT_EQ(ToNotationWithIds(tree), before);
+}
+
+TEST(EditOperationTest, InsertInverseIsDelete) {
+  Tree tree = MustParse("a(b,c)");
+  std::string before = ToNotationWithIds(tree);
+  LabelId x = tree.mutable_dict()->Intern("x");
+  EditOperation op =
+      EditOperation::Insert(tree.AllocateId(), x, tree.root(), 0, 2);
+  StatusOr<EditOperation> inv = op.InverseOn(tree);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->kind, EditOpKind::kDelete);
+  ASSERT_TRUE(op.ApplyTo(&tree).ok());
+  EXPECT_EQ(ToNotation(tree), "a(x(b,c))");
+  ASSERT_TRUE(inv->ApplyTo(&tree).ok());
+  EXPECT_EQ(ToNotationWithIds(tree), before);
+}
+
+TEST(EditOperationTest, UndefinedOperations) {
+  Tree tree = MustParse("a(b)");
+  NodeId b = tree.child(tree.root(), 0);
+  EXPECT_FALSE(EditOperation::Delete(tree.root()).IsDefinedOn(tree));
+  EXPECT_FALSE(EditOperation::Delete(999).IsDefinedOn(tree));
+  EXPECT_FALSE(EditOperation::Rename(b, tree.label(b)).IsDefinedOn(tree));
+  // Inserting an id already in the tree is undefined.
+  EXPECT_FALSE(
+      EditOperation::Insert(b, tree.label(b), tree.root(), 0, 0)
+          .IsDefinedOn(tree));
+  // InverseOn of an undefined operation reports the error.
+  EXPECT_FALSE(EditOperation::Delete(999).InverseOn(tree).ok());
+}
+
+TEST(EditOperationTest, ToStringRendersAllKinds) {
+  Tree tree = MustParse("a(b)");
+  LabelId x = tree.mutable_dict()->Intern("x");
+  EXPECT_EQ(EditOperation::Delete(7).ToString(tree.dict()), "DEL(7)");
+  EXPECT_EQ(EditOperation::Rename(3, x).ToString(tree.dict()), "REN(3, x)");
+  EXPECT_EQ(EditOperation::Insert(9, x, 1, 2, 3).ToString(tree.dict()),
+            "INS(9:x, v=1, k=2, count=3)");
+}
+
+TEST(EditLogTest, ApplyAndLogThenUndoRestoresOriginal) {
+  Rng rng(11);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 40});
+  std::string original = ToNotationWithIds(tree);
+
+  EditLog log;
+  GenerateEditScript(&tree, &rng, 60, EditScriptOptions{}, &log);
+  EXPECT_EQ(log.size(), 60);
+  EXPECT_NE(ToNotationWithIds(tree), original);
+
+  ASSERT_TRUE(log.UndoAll(&tree).ok());
+  EXPECT_EQ(ToNotationWithIds(tree), original);
+  tree.CheckConsistency();
+}
+
+TEST(EditLogTest, UndoFailsOnMismatchedTree) {
+  Tree tree = MustParse("a(b)");
+  EditLog log;
+  log.Append(EditOperation::Delete(999));  // references a non-existent node
+  EXPECT_FALSE(log.UndoAll(&tree).ok());
+}
+
+TEST(EditLogTest, SerializationRoundTrip) {
+  Rng rng(13);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 25});
+  EditLog log;
+  GenerateEditScript(&tree, &rng, 30, EditScriptOptions{}, &log);
+
+  ByteWriter w;
+  log.Serialize(&w);
+  ByteReader r(w.data());
+  StatusOr<EditLog> copy = EditLog::Deserialize(&r);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, log);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(EditLogTest, DeserializeRejectsGarbage) {
+  ByteWriter w;
+  w.PutVarint(1);
+  w.PutU8(99);  // invalid kind
+  ByteReader r(w.data());
+  EXPECT_FALSE(EditLog::Deserialize(&r).ok());
+}
+
+TEST(EditScriptTest, ScriptsOnTinyTreesStayValid) {
+  Rng rng(17);
+  auto tree_or = ParseTreeNotation("a");
+  Tree tree = std::move(tree_or).value();
+  EditLog log;
+  int applied = GenerateEditScript(&tree, &rng, 50, EditScriptOptions{}, &log);
+  EXPECT_EQ(applied, 50);
+  tree.CheckConsistency();
+  ASSERT_TRUE(log.UndoAll(&tree).ok());
+  EXPECT_EQ(ToNotation(tree), "a");
+}
+
+TEST(EditScriptTest, ForwardOpsRecordedMatchLog) {
+  Rng rng(19);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 30});
+  Tree original = tree.Clone();
+  EditLog log;
+  std::vector<EditOperation> forward;
+  GenerateEditScript(&tree, &rng, 40, EditScriptOptions{}, &log, &forward);
+  ASSERT_EQ(static_cast<int>(forward.size()), log.size());
+
+  // Replaying the forward script on the original produces the same tree.
+  for (const EditOperation& op : forward) {
+    ASSERT_TRUE(op.ApplyTo(&original).ok());
+  }
+  EXPECT_EQ(ToNotationWithIds(original), ToNotationWithIds(tree));
+}
+
+TEST(EditScriptTest, DeleteHeavyScriptsShrinkTree) {
+  Rng rng(23);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 100});
+  EditLog log;
+  EditScriptOptions options;
+  options.insert_weight = 0.0;
+  options.rename_weight = 0.0;
+  GenerateEditScript(&tree, &rng, 99, options, &log);
+  EXPECT_EQ(tree.size(), 1);  // everything but the root deleted
+  tree.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace pqidx

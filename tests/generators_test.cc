@@ -1,0 +1,96 @@
+// Tests for the workload generators (random / XMark-like / DBLP-like).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "tree/generators.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+namespace {
+
+TEST(RandomTreeTest, SizeAndConsistency) {
+  Rng rng(1);
+  RandomTreeOptions options;
+  options.num_nodes = 200;
+  Tree tree = GenerateRandomTree(nullptr, &rng, options);
+  tree.CheckConsistency();
+  EXPECT_EQ(tree.size(), 200);
+}
+
+TEST(RandomTreeTest, SingleNode) {
+  Rng rng(2);
+  RandomTreeOptions options;
+  options.num_nodes = 1;
+  Tree tree = GenerateRandomTree(nullptr, &rng, options);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_TRUE(tree.IsLeaf(tree.root()));
+}
+
+TEST(RandomTreeTest, MaxFanoutRespected) {
+  Rng rng(3);
+  RandomTreeOptions options;
+  options.num_nodes = 500;
+  options.max_fanout = 3;
+  Tree tree = GenerateRandomTree(nullptr, &rng, options);
+  tree.PreOrder([&](NodeId n) { EXPECT_LE(tree.fanout(n), 3); });
+}
+
+TEST(RandomTreeTest, DeterministicFromSeed) {
+  RandomTreeOptions options;
+  options.num_nodes = 50;
+  Rng rng1(77), rng2(77);
+  Tree t1 = GenerateRandomTree(nullptr, &rng1, options);
+  Tree t2 = GenerateRandomTree(nullptr, &rng2, options);
+  std::string n1, n2;
+  t1.PreOrder([&](NodeId n) { n1 += t1.LabelString(n) + ","; });
+  t2.PreOrder([&](NodeId n) { n2 += t2.LabelString(n) + ","; });
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(XmarkLikeTest, ApproximatesRequestedSize) {
+  Rng rng(4);
+  Tree tree = GenerateXmarkLike(nullptr, &rng, 5000);
+  tree.CheckConsistency();
+  EXPECT_GE(tree.size(), 5000);
+  EXPECT_LT(tree.size(), 5400);  // overshoot bounded by one record
+  EXPECT_EQ(tree.LabelString(tree.root()), "site");
+  EXPECT_EQ(tree.fanout(tree.root()), 6);  // the six XMark sections
+}
+
+TEST(XmarkLikeTest, SharedDictionaryAcrossDocuments) {
+  auto dict = std::make_shared<LabelDict>();
+  Rng rng(5);
+  Tree t1 = GenerateXmarkLike(dict, &rng, 500);
+  Tree t2 = GenerateXmarkLike(dict, &rng, 500);
+  EXPECT_EQ(t1.label(t1.root()), t2.label(t2.root()));
+}
+
+TEST(DblpLikeTest, RecordCountAndShape) {
+  Rng rng(6);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 1000);
+  tree.CheckConsistency();
+  EXPECT_EQ(tree.LabelString(tree.root()), "dblp");
+  // The structural signature: a flat, huge-fanout root.
+  EXPECT_EQ(tree.fanout(tree.root()), 1000);
+  // Records average roughly 8-14 nodes.
+  EXPECT_GT(tree.size(), 8000);
+  EXPECT_LT(tree.size(), 15000);
+}
+
+TEST(DblpLikeTest, RecordsAreShallow) {
+  Rng rng(7);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 50);
+  int max_depth = 0;
+  tree.PreOrder([&](NodeId n) {
+    int depth = 0;
+    for (NodeId c = n; c != tree.root(); c = tree.parent(c)) ++depth;
+    max_depth = std::max(max_depth, depth);
+  });
+  EXPECT_LE(max_depth, 3);  // dblp / record / field / text
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,82 @@
+// Golden-byte tests: lock the serialized formats. If one of these fails,
+// either bump the format version (and keep reading the old one) or revert
+// the accidental change -- silently breaking existing files is not an
+// option for a persistent index.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fingerprint.h"
+#include "common/serde.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "storage/tree_store.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+std::string ToHex(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+// The paper's example tree under the default 3,3 shape, stored as tree id
+// 7. Pinned bytes were produced by this library and must never change
+// within format version 1.
+TEST(GoldenFormatTest, ForestIndexBytes) {
+  Tree tree = ParseTreeNotation("a(b,c(e,f),d)").value();
+  ForestIndex forest(PqShape{3, 3});
+  forest.AddTree(7, tree);
+  ByteWriter writer;
+  forest.Serialize(&writer);
+  EXPECT_EQ(
+      ToHex(writer.data()),
+      "0303010703030d03a8302ea16e1c100124593c4b94483514019fc3c29bf1627e31"
+      "017f98fcaf829d1843017245df7f06e1df4301396cc5e6351ab58001f87f745b5c"
+      "09408701d320116c8e51998c01fb3bf7f05b795aa7013e9463fff5a595bd01c6ed"
+      "ddb0dbb375d40126a17e596fceafd701a95b0840cf6d92d801");
+}
+
+TEST(GoldenFormatTest, TreeBytes) {
+  Tree tree = ParseTreeNotation("a(b,c(e,f),d)").value();
+  ByteWriter writer;
+  SerializeTree(tree, &writer);
+  EXPECT_EQ(ToHex(writer.data()),
+            "0601610162016301650166016406010302000302040005000600");
+}
+
+TEST(GoldenFormatTest, KarpRabinValuesStable) {
+  // The label fingerprint function feeds every persisted fingerprint;
+  // pin a few values.
+  EXPECT_EQ(KarpRabinFingerprint(""), 2ull);
+  EXPECT_EQ(KarpRabinFingerprint("a"), 51ull);
+  EXPECT_EQ(KarpRabinFingerprint("article"),
+            KarpRabinFingerprint(std::string("article")));
+}
+
+TEST(GoldenFormatTest, SerializationIsDeterministic) {
+  // Equal bags serialize identically regardless of construction order.
+  PqGramIndex forward(PqShape{2, 2});
+  PqGramIndex backward(PqShape{2, 2});
+  for (int i = 0; i < 200; ++i) {
+    forward.Add(static_cast<PqGramFingerprint>(i * 977 + 13), i % 5 + 1);
+  }
+  for (int i = 199; i >= 0; --i) {
+    backward.Add(static_cast<PqGramFingerprint>(i * 977 + 13), i % 5 + 1);
+  }
+  ByteWriter w1, w2;
+  forward.Serialize(&w1);
+  backward.Serialize(&w2);
+  EXPECT_EQ(w1.data(), w2.data());
+}
+
+}  // namespace
+}  // namespace pqidx

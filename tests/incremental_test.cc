@@ -1,0 +1,287 @@
+// End-to-end tests of the incremental index maintenance (Algorithm 1,
+// Theorems 1-2, Lemma 2): the headline property is
+//
+//   updateIndex(I(T0), Tn, log) == BuildIndex(Tn)
+//
+// for random trees, random edit scripts, and every index shape, checked
+// together with the intermediate set identities
+//
+//   Delta+ == P_n \ C_n   and   Delta- == P_0 \ C_n     (Definition 6)
+//
+// where C_n is the intersection of all intermediate profiles.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/delta.h"
+#include "core/delta_store.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "core/profile.h"
+#include "core/profile_updater.h"
+#include "edit/edit_script.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+using ::pqidx::testing::DescribeDiff;
+using ::pqidx::testing::SetIntersect;
+using ::pqidx::testing::SetMinus;
+using ::pqidx::testing::StoreToSet;
+
+struct Scenario {
+  Tree t0;
+  Tree tn;
+  EditLog log;
+  std::vector<std::set<PqGram>> intermediate_profiles;  // filled on demand
+};
+
+// Applies `num_ops` random operations to a copy of `t0`, recording the log
+// and (optionally, per shape) every intermediate profile.
+Scenario MakeScenario(Tree t0, Rng* rng, int num_ops,
+                      const EditScriptOptions& options) {
+  Tree tn = t0.Clone();
+  Scenario s{std::move(t0), std::move(tn), EditLog{}, {}};
+  GenerateEditScript(&s.tn, rng, num_ops, options, &s.log);
+  return s;
+}
+
+// Checks Algorithm 1 and the Delta set identities for one scenario/shape.
+void CheckIncremental(const Scenario& s, const PqShape& shape,
+                      bool check_deltas) {
+  // Headline: incremental update == rebuild.
+  PqGramIndex index = BuildIndex(s.t0, shape);
+  UpdateTimings timings;
+  Status status = UpdateIndex(&index, s.tn, s.log, &timings);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  PqGramIndex rebuilt = BuildIndex(s.tn, shape);
+  ASSERT_EQ(index, rebuilt)
+      << "shape (" << shape.p << "," << shape.q << "), log size "
+      << s.log.size() << "\n  T0: " << ToNotationWithIds(s.t0)
+      << "\n  Tn: " << ToNotationWithIds(s.tn);
+
+  if (!check_deltas) return;
+
+  // Recompute all intermediate profiles by undoing the log step by step.
+  std::vector<std::set<PqGram>> profiles;  // profiles[i] = P_i
+  {
+    Tree cur = s.tn.Clone();
+    profiles.resize(s.log.size() + 1);
+    profiles[s.log.size()] = ComputeProfileSet(cur, shape);
+    for (int i = s.log.size() - 1; i >= 0; --i) {
+      ASSERT_TRUE(s.log.inverse(i).ApplyTo(&cur).ok());
+      profiles[i] = ComputeProfileSet(cur, shape);
+    }
+    ASSERT_EQ(profiles[0], ComputeProfileSet(s.t0, shape));
+  }
+  std::set<PqGram> c_n = profiles[0];
+  for (const auto& p : profiles) c_n = SetIntersect(c_n, p);
+
+  // Delta+ = union_k delta(Tn, e-bar_k). Under the clamped Algorithm 2
+  // semantics (see DESIGN.md) this is a superset of the paper's
+  // P_n \ C_n; the surplus lies in C_n.
+  DeltaStore store(shape);
+  for (const EditOperation& op : s.log.inverse_ops()) {
+    ComputeDelta(s.tn, op, &store);
+  }
+  std::set<PqGram> delta_plus = StoreToSet(store);
+  std::set<PqGram> want_plus = SetMinus(profiles[s.log.size()], c_n);
+  std::set<PqGram> plus_extras = SetMinus(delta_plus, want_plus);
+  ASSERT_TRUE(SetMinus(want_plus, delta_plus).empty())
+      << "Delta+ misses required pq-grams\n"
+      << DescribeDiff(delta_plus, want_plus, s.tn.dict());
+  for (const PqGram& g : plus_extras) {
+    ASSERT_TRUE(c_n.contains(g))
+        << "Delta+ surplus outside C_n: " << PqGramToString(g, s.tn.dict());
+  }
+
+  // Delta- = U(...U(Delta+, e-bar_n)..., e-bar_1): a superset of
+  // P_0 \ C_n whose surplus is exactly the Delta+ surplus (so that the
+  // two cancel in the index update).
+  ProfileUpdater updater(&store, &s.tn.dict());
+  for (int i = s.log.size() - 1; i >= 0; --i) {
+    updater.Apply(s.log.inverse(i));
+  }
+  store.CheckConsistency();
+  std::set<PqGram> delta_minus = StoreToSet(store);
+  std::set<PqGram> want_minus = SetMinus(profiles[0], c_n);
+  ASSERT_TRUE(SetMinus(want_minus, delta_minus).empty())
+      << "Delta- misses required pq-grams\n"
+      << DescribeDiff(delta_minus, want_minus, s.tn.dict());
+  std::set<PqGram> minus_extras = SetMinus(delta_minus, want_minus);
+  ASSERT_EQ(minus_extras, plus_extras)
+      << "Delta-/Delta+ surpluses do not cancel\n"
+      << DescribeDiff(minus_extras, plus_extras, s.tn.dict());
+}
+
+TEST(IncrementalTest, EmptyLogIsIdentity) {
+  Rng rng(1);
+  Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 20});
+  PqGramIndex index = BuildIndex(t0, PqShape{3, 3});
+  PqGramIndex before = index;
+  EditLog empty;
+  ASSERT_TRUE(UpdateIndex(&index, t0, empty, nullptr).ok());
+  EXPECT_EQ(index, before);
+}
+
+TEST(IncrementalTest, EmptyTreeRejected) {
+  Tree empty(std::make_shared<LabelDict>());
+  PqGramIndex index(PqShape{2, 2});
+  EditLog log;
+  EXPECT_FALSE(UpdateIndex(&index, empty, log).ok());
+}
+
+TEST(IncrementalTest, SingleOperationAllKinds) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Rng rng(100 + shape.p * 10 + shape.q);
+    for (int trial = 0; trial < 6; ++trial) {
+      Scenario s = MakeScenario(
+          GenerateRandomTree(nullptr, &rng, {.num_nodes = 15}), &rng, 1,
+          EditScriptOptions{});
+      CheckIncremental(s, shape, /*check_deltas=*/true);
+    }
+  }
+}
+
+class IncrementalPropertyTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(IncrementalPropertyTest, RandomScriptsMatchRebuildWithDeltas) {
+  const PqShape shape = GetParam();
+  Rng rng(77000 + shape.p * 100 + shape.q);
+  for (int trial = 0; trial < 10; ++trial) {
+    int nodes = 1 + static_cast<int>(rng.NextBounded(30));
+    int ops = 1 + static_cast<int>(rng.NextBounded(25));
+    Scenario s =
+        MakeScenario(GenerateRandomTree(nullptr, &rng, {.num_nodes = nodes}),
+                     &rng, ops, EditScriptOptions{});
+    CheckIncremental(s, shape, /*check_deltas=*/true);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, LongScriptsMatchRebuild) {
+  const PqShape shape = GetParam();
+  Rng rng(88000 + shape.p * 100 + shape.q);
+  for (int trial = 0; trial < 3; ++trial) {
+    Scenario s = MakeScenario(
+        GenerateRandomTree(nullptr, &rng, {.num_nodes = 60}), &rng, 200,
+        EditScriptOptions{});
+    CheckIncremental(s, shape, /*check_deltas=*/false);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, DeleteHeavyScripts) {
+  const PqShape shape = GetParam();
+  Rng rng(99000 + shape.p * 100 + shape.q);
+  EditScriptOptions options;
+  options.delete_weight = 3.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Scenario s = MakeScenario(
+        GenerateRandomTree(nullptr, &rng, {.num_nodes = 40}), &rng, 45,
+        options);
+    CheckIncremental(s, shape, /*check_deltas=*/false);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, InsertHeavyScriptsFromTinyTree) {
+  const PqShape shape = GetParam();
+  Rng rng(111000 + shape.p * 100 + shape.q);
+  EditScriptOptions options;
+  options.insert_weight = 4.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto t0 = ParseTreeNotation("root");
+    Scenario s = MakeScenario(std::move(t0).value(), &rng, 60, options);
+    CheckIncremental(s, shape, /*check_deltas=*/false);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, RenameOnlyScripts) {
+  const PqShape shape = GetParam();
+  Rng rng(122000 + shape.p * 100 + shape.q);
+  EditScriptOptions options;
+  options.insert_weight = 0.0;
+  options.delete_weight = 0.0;
+  // A tiny alphabet provokes rename chains that restore earlier labels.
+  options.reuse_label_probability = 1.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Scenario s = MakeScenario(
+        GenerateRandomTree(nullptr, &rng,
+                           {.num_nodes = 20, .alphabet_size = 3}),
+        &rng, 30, options);
+    CheckIncremental(s, shape, /*check_deltas=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, IncrementalPropertyTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+TEST(IncrementalTest, RepeatedEditsOnSameRegion) {
+  // Operations stacked on the same nodes exercise the coherence of the
+  // delta tables across many U steps.
+  for (const PqShape& shape : AllTestShapes()) {
+    auto t0_or = ParseTreeNotation("a(b(c,d),e)");
+    Tree t0 = std::move(t0_or).value();
+    Tree tn = t0.Clone();
+    EditLog log;
+    LabelId x = tn.mutable_dict()->Intern("x");
+    LabelId y = tn.mutable_dict()->Intern("y");
+    NodeId b = tn.child(tn.root(), 0);
+
+    // rename b twice, wrap b's children, delete the wrapper, delete b.
+    ASSERT_TRUE(ApplyAndLog(EditOperation::Rename(b, x), &tn, &log).ok());
+    ASSERT_TRUE(ApplyAndLog(EditOperation::Rename(b, y), &tn, &log).ok());
+    NodeId w = tn.AllocateId();
+    ASSERT_TRUE(
+        ApplyAndLog(EditOperation::Insert(w, x, b, 0, 2), &tn, &log).ok());
+    ASSERT_TRUE(ApplyAndLog(EditOperation::Delete(w), &tn, &log).ok());
+    ASSERT_TRUE(ApplyAndLog(EditOperation::Delete(b), &tn, &log).ok());
+
+    PqGramIndex index = BuildIndex(t0, shape);
+    ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+    EXPECT_EQ(index, BuildIndex(tn, shape));
+  }
+}
+
+TEST(IncrementalTest, TimingsAreReported) {
+  Rng rng(5);
+  Scenario s = MakeScenario(
+      GenerateRandomTree(nullptr, &rng, {.num_nodes = 200}), &rng, 50,
+      EditScriptOptions{});
+  PqGramIndex index = BuildIndex(s.t0, PqShape{3, 3});
+  UpdateTimings timings;
+  ASSERT_TRUE(UpdateIndex(&index, s.tn, s.log, &timings).ok());
+  EXPECT_GT(timings.delta_plus_pqgrams, 0);
+  EXPECT_GT(timings.delta_minus_pqgrams, 0);
+  EXPECT_GE(timings.total_s, 0.0);
+  EXPECT_GE(timings.delta_plus_s, 0.0);
+}
+
+TEST(IncrementalTest, ComputeIndexDeltasMatchesProfileDifference) {
+  Rng rng(6);
+  PqShape shape{3, 3};
+  Scenario s = MakeScenario(
+      GenerateRandomTree(nullptr, &rng, {.num_nodes = 30}), &rng, 10,
+      EditScriptOptions{});
+  PqGramIndex plus(shape), minus(shape);
+  ASSERT_TRUE(
+      ComputeIndexDeltas(s.tn, s.log, shape, &plus, &minus, nullptr).ok());
+  // I0 \ I- u I+ == In at the bag level.
+  PqGramIndex index = BuildIndex(s.t0, shape);
+  for (const auto& [fp, count] : minus.counts()) index.Remove(fp, count);
+  for (const auto& [fp, count] : plus.counts()) index.Add(fp, count);
+  EXPECT_EQ(index, BuildIndex(s.tn, shape));
+}
+
+}  // namespace
+}  // namespace pqidx

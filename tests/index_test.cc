@@ -1,0 +1,270 @@
+// Tests for the pq-gram index, the pq-gram distance, the forest index with
+// approximate lookup, and index/tree persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/distance.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "storage/index_store.h"
+#include "storage/tree_store.h"
+#include "ted/zhang_shasha.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(PqGramIndexTest, BagSemantics) {
+  PqGramIndex index(PqShape{2, 2});
+  index.Add(42, 2);
+  index.Add(42);
+  index.Add(7);
+  EXPECT_EQ(index.size(), 4);
+  EXPECT_EQ(index.distinct(), 2);
+  EXPECT_EQ(index.Count(42), 3);
+  index.Remove(42, 2);
+  EXPECT_EQ(index.Count(42), 1);
+  index.Remove(42);
+  EXPECT_EQ(index.Count(42), 0);
+  EXPECT_EQ(index.distinct(), 1);
+  EXPECT_EQ(index.size(), 1);
+}
+
+TEST(PqGramIndexTest, BuildCountsDuplicateTuples) {
+  // Example 3: in T0 the tuple (*,a,b,*,*,*) occurs twice, anchored at the
+  // two leaves with equal labels under the root.
+  Tree tree = MustParse("a(b,c,b)");
+  PqGramIndex index = BuildIndex(tree, PqShape{2, 2});
+  // Leaves "b" at positions 0 and 2 anchor identical label tuples.
+  int64_t max_count = 0;
+  for (const auto& [fp, count] : index.counts()) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(max_count, 2);
+  EXPECT_EQ(index.size(), 7);  // root fanout 3 -> 4 windows; 3 leaf grams
+}
+
+TEST(PqGramIndexTest, SerializationRoundTrip) {
+  Rng rng(1);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 60});
+  PqGramIndex index = BuildIndex(tree, PqShape{3, 3});
+  ByteWriter w;
+  index.Serialize(&w);
+  ByteReader r(w.data());
+  StatusOr<PqGramIndex> copy = PqGramIndex::Deserialize(&r);
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  EXPECT_EQ(*copy, index);
+  EXPECT_EQ(index.SerializedBytes(), static_cast<int64_t>(w.data().size()));
+}
+
+TEST(DistanceTest, IdenticalTreesAtZero) {
+  Tree a = MustParse("a(b,c(e,f),d)");
+  Tree b = MustParse("a(b,c(e,f),d)");
+  EXPECT_DOUBLE_EQ(PqGramDistance(a, b, PqShape{2, 3}), 0.0);
+}
+
+TEST(DistanceTest, DisjointTreesAtOne) {
+  Tree a = MustParse("a(b)");
+  Tree b = MustParse("x(y)");
+  EXPECT_DOUBLE_EQ(PqGramDistance(a, b, PqShape{2, 2}), 1.0);
+}
+
+TEST(DistanceTest, RangeAndSymmetry) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree a = GenerateRandomTree(nullptr, &rng, {.num_nodes = 20});
+    Tree b = GenerateRandomTree(nullptr, &rng, {.num_nodes = 25});
+    double d1 = PqGramDistance(a, b, PqShape{3, 3});
+    double d2 = PqGramDistance(b, a, PqShape{3, 3});
+    EXPECT_DOUBLE_EQ(d1, d2);
+    EXPECT_GE(d1, 0.0);
+    EXPECT_LE(d1, 1.0);
+  }
+}
+
+TEST(DistanceTest, GrowsWithEditCount) {
+  // More edit operations -> (weakly) larger pq-gram distance on average.
+  Rng rng(3);
+  PqShape shape{3, 3};
+  double few_total = 0, many_total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 150});
+    Tree few = t0.Clone(), many = t0.Clone();
+    EditLog log;
+    GenerateEditScript(&few, &rng, 2, EditScriptOptions{}, &log);
+    GenerateEditScript(&many, &rng, 60, EditScriptOptions{}, &log);
+    few_total += PqGramDistance(t0, few, shape);
+    many_total += PqGramDistance(t0, many, shape);
+  }
+  EXPECT_LT(few_total, many_total);
+}
+
+TEST(DistanceTest, SmallTedImpliesSmallPqGramDistance) {
+  // The pq-gram distance approximates the tree edit distance: one edit
+  // operation touches at most a bounded number of pq-grams.
+  Rng rng(4);
+  PqShape shape{2, 2};
+  for (int trial = 0; trial < 6; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 120,
+                                                 .max_fanout = 4});
+    Tree t1 = t0.Clone();
+    EditLog log;
+    GenerateEditScript(&t1, &rng, 1, EditScriptOptions{}, &log);
+    EXPECT_LE(PqGramDistance(t0, t1, shape), 0.4);
+    EXPECT_LE(TreeEditDistance(t0, t1), 1);
+  }
+}
+
+TEST(DistanceTest, MismatchedShapesAbort) {
+  Tree a = MustParse("a(b)");
+  PqGramIndex i22 = BuildIndex(a, PqShape{2, 2});
+  PqGramIndex i33 = BuildIndex(a, PqShape{3, 3});
+  EXPECT_DEATH(PqGramDistance(i22, i33), "equal shapes");
+}
+
+TEST(ForestIndexTest, LookupFindsPerturbedDocuments) {
+  Rng rng(5);
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex forest(PqShape{3, 3});
+
+  // Ten base documents; document 0 gets a lightly edited twin as id 100.
+  Tree base0 = GenerateXmarkLike(dict, &rng, 300);
+  Tree twin = base0.Clone();
+  EditLog log;
+  GenerateEditScript(&twin, &rng, 3, EditScriptOptions{}, &log);
+  forest.AddTree(0, base0);
+  forest.AddTree(100, twin);
+  for (TreeId id = 1; id < 10; ++id) {
+    forest.AddTree(id, GenerateXmarkLike(dict, &rng, 300));
+  }
+  EXPECT_EQ(forest.size(), 11);
+
+  std::vector<LookupResult> hits = forest.Lookup(base0, 0.3);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].tree_id, 0);  // exact match first
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+  EXPECT_EQ(hits[1].tree_id, 100);  // the twin next
+}
+
+TEST(ForestIndexTest, AddRemoveFind) {
+  ForestIndex forest(PqShape{2, 2});
+  Tree a = MustParse("a(b)");
+  forest.AddTree(7, a);
+  EXPECT_NE(forest.Find(7), nullptr);
+  EXPECT_EQ(forest.Find(8), nullptr);
+  EXPECT_TRUE(forest.RemoveTree(7));
+  EXPECT_FALSE(forest.RemoveTree(7));
+  EXPECT_EQ(forest.Find(7), nullptr);
+}
+
+TEST(ForestIndexTest, ApplyLogMaintainsIndex) {
+  Rng rng(6);
+  ForestIndex forest(PqShape{3, 3});
+  Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 80});
+  forest.AddTree(1, t0);
+
+  Tree tn = t0.Clone();
+  EditLog log;
+  GenerateEditScript(&tn, &rng, 20, EditScriptOptions{}, &log);
+  ASSERT_TRUE(forest.ApplyLog(1, tn, log).ok());
+  EXPECT_EQ(*forest.Find(1), BuildIndex(tn, PqShape{3, 3}));
+
+  EXPECT_FALSE(forest.ApplyLog(99, tn, log).ok());  // unknown tree
+}
+
+TEST(ForestIndexTest, PersistenceRoundTrip) {
+  Rng rng(7);
+  ForestIndex forest(PqShape{3, 3});
+  auto dict = std::make_shared<LabelDict>();
+  for (TreeId id = 0; id < 5; ++id) {
+    forest.AddTree(id, GenerateDblpLike(dict, &rng, 20));
+  }
+  std::string path = ::testing::TempDir() + "/pqidx_forest.idx";
+  ASSERT_TRUE(SaveForestIndex(forest, path).ok());
+  StatusOr<ForestIndex> loaded = LoadForestIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, forest);
+}
+
+TEST(ForestIndexTest, LoadRejectsCorruptFiles) {
+  std::string path = ::testing::TempDir() + "/pqidx_bogus.idx";
+  ASSERT_TRUE(WriteFile(path, "not an index").ok());
+  EXPECT_FALSE(LoadForestIndex(path).ok());
+  EXPECT_FALSE(LoadForestIndex("/nonexistent/path.idx").ok());
+}
+
+TEST(TreeStoreTest, TreeRoundTrip) {
+  Rng rng(8);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 30);
+  std::string path = ::testing::TempDir() + "/pqidx_tree.bin";
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  StatusOr<Tree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ToNotation(*loaded), ToNotation(tree));
+  loaded->CheckConsistency();
+}
+
+TEST(TreeStoreTest, SerializedBytesTracksSize) {
+  Rng rng(9);
+  Tree small = GenerateDblpLike(nullptr, &rng, 10);
+  Tree large = GenerateDblpLike(nullptr, &rng, 200);
+  EXPECT_LT(TreeSerializedBytes(small), TreeSerializedBytes(large));
+}
+
+TEST(TreeStoreTest, LoadRejectsTruncation) {
+  Rng rng(10);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 5);
+  std::string path = ::testing::TempDir() + "/pqidx_tree_trunc.bin";
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFile(path, &data).ok());
+  ASSERT_TRUE(WriteFile(path, std::string_view(data).substr(
+                                  0, data.size() / 2))
+                  .ok());
+  EXPECT_FALSE(LoadTree(path).ok());
+}
+
+TEST(IndexStatsTest, SummarizesDeduplication) {
+  Tree tree = MustParse("a(b,b,b,c)");
+  PqGramIndex index = BuildIndex(tree, PqShape{2, 1});
+  IndexStats stats = ComputeIndexStats(index);
+  EXPECT_EQ(stats.size, index.size());
+  EXPECT_EQ(stats.distinct, index.distinct());
+  EXPECT_GT(stats.dedup_ratio, 1.0);
+  EXPECT_EQ(stats.max_count, 3);  // the three b leaves/windows
+  EXPECT_GE(stats.singletons, 1);
+  EXPECT_NE(stats.ToString().find("pq-grams"), std::string::npos);
+}
+
+TEST(IndexStatsTest, EmptyIndex) {
+  PqGramIndex empty(PqShape{2, 2});
+  IndexStats stats = ComputeIndexStats(empty);
+  EXPECT_EQ(stats.size, 0);
+  EXPECT_EQ(stats.distinct, 0);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio, 1.0);
+}
+
+TEST(IndexSizeTest, IndexSmallerThanDocument) {
+  // Figure 14 (left): the index is significantly smaller than the tree.
+  Rng rng(11);
+  Tree tree = GenerateXmarkLike(nullptr, &rng, 20000);
+  int64_t doc_bytes = TreeSerializedBytes(tree);
+  for (PqShape shape : {PqShape{1, 2}, PqShape{3, 3}}) {
+    PqGramIndex index = BuildIndex(tree, shape);
+    EXPECT_LT(index.SerializedBytes(), doc_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

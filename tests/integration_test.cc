@@ -1,0 +1,135 @@
+// End-to-end integration tests: XML documents -> forest index ->
+// approximate lookup -> logged edits -> incremental maintenance ->
+// persistence, crossing every module boundary the way the paper's
+// application scenario (Figure 1) does.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "core/distance.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "edit/edit_script.h"
+#include "edit/log_optimizer.h"
+#include "storage/index_store.h"
+#include "storage/tree_store.h"
+#include "tree/generators.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pqidx {
+namespace {
+
+TEST(IntegrationTest, XmlCorpusLifecycle) {
+  Rng rng(2026);
+  const PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+
+  // 1. Generate a small corpus, serialize to XML, re-parse (simulating
+  //    ingest from documents on disk), and index it.
+  ForestIndex forest(shape);
+  std::vector<Tree> documents;
+  for (int i = 0; i < 8; ++i) {
+    Tree generated = GenerateXmarkLike(dict, &rng, 250);
+    std::string xml = WriteXml(generated);
+    StatusOr<Tree> parsed = ParseXml(xml, dict);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    forest.AddTree(i, *parsed);
+    documents.push_back(std::move(parsed).value());
+  }
+
+  // 2. A lookup of document 3 finds itself at distance 0.
+  std::vector<LookupResult> hits = forest.Lookup(documents[3], 0.5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].tree_id, 3);
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+
+  // 3. Document 3 evolves; its index is maintained from the log only.
+  EditLog log;
+  GenerateEditScript(&documents[3], &rng, 25, EditScriptOptions{}, &log);
+  ASSERT_TRUE(forest.ApplyLog(3, documents[3], log).ok());
+  EXPECT_EQ(*forest.Find(3), BuildIndex(documents[3], shape));
+
+  // 4. Persistence round-trip preserves everything.
+  std::string path = ::testing::TempDir() + "/pqidx_integration.idx";
+  ASSERT_TRUE(SaveForestIndex(forest, path).ok());
+  StatusOr<ForestIndex> loaded = LoadForestIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, forest);
+
+  // 5. The reloaded index answers the same lookups.
+  std::vector<LookupResult> hits2 = loaded->Lookup(documents[3], 0.5);
+  ASSERT_FALSE(hits2.empty());
+  EXPECT_EQ(hits2[0].tree_id, 3);
+}
+
+TEST(IntegrationTest, LongEvolutionWithPeriodicVerification) {
+  // One document, many update rounds; the incrementally maintained index
+  // must track the rebuilt index at every checkpoint.
+  Rng rng(7);
+  const PqShape shape{2, 3};
+  Tree doc = GenerateDblpLike(nullptr, &rng, 60);
+  PqGramIndex index = BuildIndex(doc, shape);
+  for (int round = 0; round < 12; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 15, EditScriptOptions{}, &log);
+    ASSERT_TRUE(UpdateIndex(&index, doc, log).ok());
+    ASSERT_EQ(index, BuildIndex(doc, shape)) << "round " << round;
+  }
+}
+
+TEST(IntegrationTest, OptimizedLogsAcrossRounds) {
+  Rng rng(8);
+  const PqShape shape{3, 3};
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 300);
+  PqGramIndex index = BuildIndex(doc, shape);
+  EditScriptOptions options;
+  options.reuse_label_probability = 1.0;
+  for (int round = 0; round < 6; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 40, options, &log);
+    EditLog optimized = OptimizeLog(doc, log);
+    ASSERT_TRUE(UpdateIndex(&index, doc, optimized).ok());
+    ASSERT_EQ(index, BuildIndex(doc, shape)) << "round " << round;
+  }
+}
+
+TEST(IntegrationTest, DistanceConsistentAcrossMaintenancePaths) {
+  // dist(T, T') computed from incrementally maintained indexes equals the
+  // distance from freshly built ones.
+  Rng rng(9);
+  const PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+  Tree a = GenerateXmarkLike(dict, &rng, 200);
+  Tree b = a.Clone();
+  PqGramIndex ia = BuildIndex(a, shape);
+  PqGramIndex ib = ia;  // identical twin to start
+
+  EditLog log;
+  GenerateEditScript(&b, &rng, 12, EditScriptOptions{}, &log);
+  ASSERT_TRUE(UpdateIndex(&ib, b, log).ok());
+
+  double incremental_dist = PqGramDistance(ia, ib);
+  double rebuilt_dist = PqGramDistance(a, b, shape);
+  EXPECT_DOUBLE_EQ(incremental_dist, rebuilt_dist);
+  EXPECT_GT(incremental_dist, 0.0);
+  EXPECT_LT(incremental_dist, 0.5);  // 12 edits on 200 nodes stay similar
+}
+
+TEST(IntegrationTest, TreePersistenceFeedsIndexPipeline) {
+  Rng rng(10);
+  const PqShape shape{3, 3};
+  Tree doc = GenerateDblpLike(nullptr, &rng, 40);
+  std::string path = ::testing::TempDir() + "/pqidx_integration_tree.bin";
+  ASSERT_TRUE(SaveTree(doc, path).ok());
+  StatusOr<Tree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+  // Indexes built from the original and the round-tripped tree agree.
+  EXPECT_EQ(BuildIndex(doc, shape), BuildIndex(*loaded, shape));
+}
+
+}  // namespace
+}  // namespace pqidx

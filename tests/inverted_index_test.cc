@@ -1,0 +1,170 @@
+// Tests for the inverted-postings lookup accelerator: result equivalence
+// with the scanning ForestIndex, incremental maintenance, and posting
+// bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "core/inverted_index.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+void ExpectSameResults(const std::vector<LookupResult>& a,
+                       const std::vector<LookupResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tree_id, b[i].tree_id) << "position " << i;
+    EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance) << "position " << i;
+  }
+}
+
+TEST(InvertedIndexTest, MatchesScanOnSmallForest) {
+  ForestIndex forest(PqShape{2, 2});
+  forest.AddTree(1, MustParse("a(b,c)"));
+  forest.AddTree(2, MustParse("a(b,x)"));
+  forest.AddTree(3, MustParse("z(w)"));
+  InvertedForestIndex inverted(forest);
+  inverted.CheckConsistency();
+
+  Tree query = MustParse("a(b,c)");
+  for (double tau : {0.0, 0.3, 0.7, 1.0}) {
+    ExpectSameResults(inverted.Lookup(query, tau),
+                      forest.Lookup(query, tau));
+  }
+}
+
+TEST(InvertedIndexTest, TauOneReturnsEverything) {
+  ForestIndex forest(PqShape{2, 2});
+  forest.AddTree(1, MustParse("a(b)"));
+  forest.AddTree(2, MustParse("x(y)"));  // shares nothing with the query
+  InvertedForestIndex inverted(forest);
+  EXPECT_EQ(inverted.Lookup(MustParse("a(b)"), 1.0).size(), 2u);
+  EXPECT_EQ(inverted.Lookup(MustParse("a(b)"), 0.99).size(), 1u);
+}
+
+TEST(InvertedIndexTest, MatchesScanOnRandomForest) {
+  Rng rng(1);
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex forest(PqShape{3, 3});
+  for (TreeId id = 0; id < 30; ++id) {
+    forest.AddTree(id, GenerateXmarkLike(dict, &rng, 150));
+  }
+  InvertedForestIndex inverted(forest);
+  inverted.CheckConsistency();
+  EXPECT_EQ(inverted.size(), 30);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree query = GenerateXmarkLike(dict, &rng, 150);
+    for (double tau : {0.2, 0.5, 0.9, 1.0}) {
+      ExpectSameResults(inverted.Lookup(query, tau),
+                        forest.Lookup(query, tau));
+    }
+  }
+}
+
+TEST(InvertedIndexTest, AddReplaceRemove) {
+  InvertedForestIndex inverted(PqShape{2, 2});
+  Tree a = MustParse("a(b,c)");
+  inverted.AddTree(7, a);
+  EXPECT_EQ(inverted.size(), 1);
+  EXPECT_EQ(inverted.TreeBagSize(7),
+            BuildIndex(a, PqShape{2, 2}).size());
+  // Replacing updates postings instead of accumulating.
+  Tree b = MustParse("x(y)");
+  inverted.AddTree(7, b);
+  inverted.CheckConsistency();
+  EXPECT_EQ(inverted.TreeBagSize(7), BuildIndex(b, PqShape{2, 2}).size());
+  EXPECT_TRUE(inverted.RemoveTree(7));
+  EXPECT_FALSE(inverted.RemoveTree(7));
+  EXPECT_EQ(inverted.size(), 0);
+  EXPECT_EQ(inverted.posting_entries(), 0);
+  EXPECT_EQ(inverted.TreeBagSize(7), -1);
+}
+
+TEST(InvertedIndexTest, IncrementalUpdateMatchesRebuild) {
+  Rng rng(2);
+  const PqShape shape{3, 3};
+  Tree doc = GenerateDblpLike(nullptr, &rng, 50);
+  InvertedForestIndex inverted(shape);
+  inverted.AddTree(1, doc);
+
+  for (int round = 0; round < 5; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 20, EditScriptOptions{}, &log);
+    ASSERT_TRUE(inverted.ApplyLog(1, doc, log).ok());
+    inverted.CheckConsistency();
+
+    InvertedForestIndex rebuilt(shape);
+    rebuilt.AddTree(1, doc);
+    EXPECT_EQ(inverted.TreeBagSize(1), rebuilt.TreeBagSize(1));
+    EXPECT_EQ(inverted.posting_entries(), rebuilt.posting_entries());
+    EXPECT_EQ(inverted.distinct_tuples(), rebuilt.distinct_tuples());
+  }
+}
+
+TEST(InvertedIndexTest, UpdateUnknownTreeFails) {
+  InvertedForestIndex inverted(PqShape{2, 2});
+  Tree doc = MustParse("a(b)");
+  EditLog log;
+  EXPECT_FALSE(inverted.ApplyLog(42, doc, log).ok());
+  PqGramIndex empty(PqShape{2, 2});
+  EXPECT_FALSE(inverted.UpdateTree(42, empty, empty).ok());
+}
+
+TEST(InvertedIndexTest, StaleDeltaRejected) {
+  InvertedForestIndex inverted(PqShape{2, 2});
+  Tree doc = MustParse("a(b)");
+  inverted.AddTree(1, doc);
+  // A minus-bag removing a tuple the tree never had.
+  PqGramIndex plus(PqShape{2, 2});
+  PqGramIndex minus(PqShape{2, 2});
+  minus.Add(0xdeadbeef, 1);
+  EXPECT_FALSE(inverted.UpdateTree(1, plus, minus).ok());
+}
+
+TEST(InvertedIndexTest, LookupAfterMixedMaintenance) {
+  // Full lifecycle: adds, incremental updates, removals -- lookups always
+  // agree with a scan over freshly built indexes.
+  Rng rng(3);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{3, 3};
+  std::vector<Tree> docs;
+  InvertedForestIndex inverted(shape);
+  for (TreeId id = 0; id < 10; ++id) {
+    docs.push_back(GenerateXmarkLike(dict, &rng, 120));
+    inverted.AddTree(id, docs.back());
+  }
+  // Evolve half the documents incrementally.
+  for (TreeId id = 0; id < 5; ++id) {
+    EditLog log;
+    GenerateEditScript(&docs[id], &rng, 10, EditScriptOptions{}, &log);
+    ASSERT_TRUE(inverted.ApplyLog(id, docs[id], log).ok());
+  }
+  inverted.RemoveTree(7);
+  inverted.CheckConsistency();
+
+  ForestIndex scan(shape);
+  for (TreeId id = 0; id < 10; ++id) {
+    if (id == 7) continue;
+    scan.AddTree(id, docs[id]);
+  }
+  Tree query = docs[2].Clone();
+  ExpectSameResults(inverted.Lookup(query, 0.8), scan.Lookup(query, 0.8));
+}
+
+}  // namespace
+}  // namespace pqidx

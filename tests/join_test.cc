@@ -1,0 +1,152 @@
+// Tests for approximate joins and top-k lookups.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/join.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+void ExpectSameJoin(const std::vector<JoinResult>& a,
+                    const std::vector<JoinResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].left, b[i].left);
+    EXPECT_EQ(a[i].right, b[i].right);
+    EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(JoinTest, SmallDeterministicJoin) {
+  PqShape shape{2, 2};
+  ForestIndex left(shape), right(shape);
+  left.AddTree(1, MustParse("a(b,c)"));
+  left.AddTree(2, MustParse("x(y)"));
+  right.AddTree(10, MustParse("a(b,c)"));
+  right.AddTree(11, MustParse("a(b,z)"));
+  right.AddTree(12, MustParse("q(r,s)"));
+
+  // dist(a(b,c), a(b,z)) for 2,2-grams: 2 of 5 tuples shared -> 0.6.
+  std::vector<JoinResult> pairs = NestedLoopJoin(left, right, 0.7);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].left, 1);
+  EXPECT_EQ(pairs[0].right, 10);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 0.0);
+  EXPECT_EQ(pairs[1].left, 1);
+  EXPECT_EQ(pairs[1].right, 11);
+  EXPECT_DOUBLE_EQ(pairs[1].distance, 0.6);
+  ExpectSameJoin(pairs, IndexJoin(left, right, 0.7));
+  // A tighter threshold keeps only the exact match.
+  EXPECT_EQ(IndexJoin(left, right, 0.5).size(), 1u);
+}
+
+TEST(JoinTest, IndexJoinMatchesNestedLoopOnRandomForests) {
+  Rng rng(1);
+  PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex left(shape), right(shape);
+  // Half the right side derives from left documents (real match pairs).
+  std::vector<Tree> docs;
+  for (TreeId id = 0; id < 12; ++id) {
+    docs.push_back(GenerateXmarkLike(dict, &rng, 120));
+    left.AddTree(id, docs.back());
+  }
+  for (TreeId id = 0; id < 12; ++id) {
+    if (id % 2 == 0) {
+      Tree twin = docs[id].Clone();
+      EditLog log;
+      GenerateEditScript(&twin, &rng, 4, EditScriptOptions{}, &log);
+      right.AddTree(100 + id, twin);
+    } else {
+      right.AddTree(100 + id, GenerateXmarkLike(dict, &rng, 120));
+    }
+  }
+  for (double tau : {0.2, 0.5, 0.9, 1.0}) {
+    ExpectSameJoin(NestedLoopJoin(left, right, tau),
+                   IndexJoin(left, right, tau));
+  }
+  // The perturbed twins are found at a moderate threshold.
+  std::vector<JoinResult> pairs = IndexJoin(left, right, 0.35);
+  int twins_found = 0;
+  for (const JoinResult& pair : pairs) {
+    if (pair.right == 100 + pair.left && pair.left % 2 == 0) ++twins_found;
+  }
+  EXPECT_EQ(twins_found, 6);
+}
+
+TEST(JoinTest, SelfJoinFindsDuplicatePairsOnce) {
+  PqShape shape{2, 2};
+  ForestIndex forest(shape);
+  forest.AddTree(1, MustParse("a(b,c)"));
+  forest.AddTree(2, MustParse("a(b,c)"));
+  forest.AddTree(3, MustParse("z(w)"));
+  std::vector<JoinResult> pairs = SelfJoin(forest, 0.1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].left, 1);
+  EXPECT_EQ(pairs[0].right, 2);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 0.0);
+}
+
+TEST(JoinTest, EmptyForestsJoinToNothing) {
+  PqShape shape{2, 2};
+  ForestIndex left(shape), right(shape);
+  left.AddTree(1, MustParse("a"));
+  EXPECT_TRUE(NestedLoopJoin(left, right, 1.0).empty());
+  EXPECT_TRUE(IndexJoin(left, right, 1.0).empty());
+  EXPECT_TRUE(SelfJoin(right, 1.0).empty());
+}
+
+TEST(TopKTest, ReturnsClosestKInOrder) {
+  Rng rng(2);
+  PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex forest(shape);
+  Tree base = GenerateXmarkLike(dict, &rng, 150);
+  forest.AddTree(0, base);
+  for (TreeId id = 1; id <= 8; ++id) {
+    Tree variant = base.Clone();
+    EditLog log;
+    GenerateEditScript(&variant, &rng, id * 5, EditScriptOptions{}, &log);
+    forest.AddTree(id, variant);
+  }
+  std::vector<LookupResult> top3 = forest.TopK(base, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].tree_id, 0);
+  EXPECT_DOUBLE_EQ(top3[0].distance, 0.0);
+  EXPECT_LE(top3[0].distance, top3[1].distance);
+  EXPECT_LE(top3[1].distance, top3[2].distance);
+
+  // The inverted index returns the same ranking.
+  InvertedForestIndex inverted(forest);
+  std::vector<LookupResult> inv3 = inverted.TopK(BuildIndex(base, shape), 3);
+  ASSERT_EQ(inv3.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(inv3[i].tree_id, top3[i].tree_id);
+    EXPECT_DOUBLE_EQ(inv3[i].distance, top3[i].distance);
+  }
+}
+
+TEST(TopKTest, KLargerThanForest) {
+  PqShape shape{2, 2};
+  ForestIndex forest(shape);
+  forest.AddTree(1, MustParse("a(b)"));
+  forest.AddTree(2, MustParse("x(y)"));
+  Tree query = MustParse("a(b)");
+  EXPECT_EQ(forest.TopK(query, 10).size(), 2u);
+  EXPECT_TRUE(forest.TopK(query, 0).empty());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,171 @@
+// Tests for the on-disk linear hash table: CRUD, deltas, growth across
+// many splits, overflow chains, and persistence across reopen.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/linear_hash.h"
+#include "storage/pager.h"
+
+namespace pqidx {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  explicit Fixture(const std::string& name, int pool_pages = 64)
+      : pager(pool_pages) {
+    path = TempPath(name);
+    PQIDX_CHECK(pager.Open(path, /*create=*/true).ok());
+    StatusOr<PageId> meta = pager.AllocatePage();
+    PQIDX_CHECK(meta.ok());
+    meta_page = *meta;
+    PQIDX_CHECK(table.Create(meta_page).ok());
+  }
+
+  std::string path;
+  Pager pager;
+  LinearHashTable table{&pager};
+  PageId meta_page = 0;
+};
+
+TEST(LinearHashTest, GetMissingIsZero) {
+  Fixture f("lh_missing.db");
+  EXPECT_EQ(f.table.Get(1, 42).value(), 0);
+  EXPECT_EQ(f.table.entry_count(), 0u);
+}
+
+TEST(LinearHashTest, InsertUpdateDelete) {
+  Fixture f("lh_crud.db");
+  ASSERT_TRUE(f.table.AddDelta(1, 42, 3).ok());
+  EXPECT_EQ(f.table.Get(1, 42).value(), 3);
+  ASSERT_TRUE(f.table.AddDelta(1, 42, 2).ok());
+  EXPECT_EQ(f.table.Get(1, 42).value(), 5);
+  ASSERT_TRUE(f.table.AddDelta(1, 42, -5).ok());
+  EXPECT_EQ(f.table.Get(1, 42).value(), 0);
+  EXPECT_EQ(f.table.entry_count(), 0u);
+  f.table.CheckConsistency();
+}
+
+TEST(LinearHashTest, NegativeResultRejected) {
+  Fixture f("lh_negative.db");
+  ASSERT_TRUE(f.table.AddDelta(1, 42, 3).ok());
+  EXPECT_FALSE(f.table.AddDelta(1, 42, -4).ok());
+  EXPECT_FALSE(f.table.AddDelta(2, 7, -1).ok());  // absent key
+  EXPECT_EQ(f.table.Get(1, 42).value(), 3);
+}
+
+TEST(LinearHashTest, KeysAreTreeScoped) {
+  Fixture f("lh_scope.db");
+  ASSERT_TRUE(f.table.AddDelta(1, 42, 10).ok());
+  ASSERT_TRUE(f.table.AddDelta(2, 42, 20).ok());
+  EXPECT_EQ(f.table.Get(1, 42).value(), 10);
+  EXPECT_EQ(f.table.Get(2, 42).value(), 20);
+  EXPECT_EQ(f.table.Get(3, 42).value(), 0);
+}
+
+TEST(LinearHashTest, GrowsAcrossManySplits) {
+  Fixture f("lh_growth.db");
+  Rng rng(1);
+  std::map<std::pair<uint32_t, uint64_t>, int64_t> model;
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    uint32_t tree = static_cast<uint32_t>(rng.NextBounded(8));
+    uint64_t fp = rng.Next();
+    int64_t count = 1 + static_cast<int64_t>(rng.NextBounded(9));
+    ASSERT_TRUE(f.table.AddDelta(tree, fp, count).ok());
+    model[{tree, fp}] += count;
+  }
+  EXPECT_EQ(f.table.entry_count(), model.size());
+  EXPECT_GT(f.table.bucket_count(), 4u);  // must have split many times
+  f.table.CheckConsistency();
+  // Spot-check and full-check.
+  Rng probe(2);
+  for (int i = 0; i < 500; ++i) {
+    auto it = model.begin();
+    std::advance(it, probe.NextBounded(model.size()));
+    EXPECT_EQ(f.table.Get(it->first.first, it->first.second).value(),
+              it->second);
+  }
+  std::map<std::pair<uint32_t, uint64_t>, int64_t> scanned;
+  ASSERT_TRUE(f.table
+                  .ForEach([&](uint32_t tree, uint64_t fp, int64_t count) {
+                    scanned[{tree, fp}] = count;
+                  })
+                  .ok());
+  EXPECT_EQ(scanned, model);
+}
+
+TEST(LinearHashTest, ChurnWithDeletions) {
+  Fixture f("lh_churn.db");
+  Rng rng(3);
+  std::map<std::pair<uint32_t, uint64_t>, int64_t> model;
+  for (int step = 0; step < 30000; ++step) {
+    uint32_t tree = static_cast<uint32_t>(rng.NextBounded(4));
+    uint64_t fp = rng.NextBounded(2000);  // small key space: collisions
+    auto key = std::make_pair(tree, fp);
+    if (rng.Bernoulli(0.35) && model.contains(key)) {
+      int64_t remove = 1 + static_cast<int64_t>(
+                               rng.NextBounded(model[key]));
+      ASSERT_TRUE(f.table.AddDelta(tree, fp, -remove).ok());
+      model[key] -= remove;
+      if (model[key] == 0) model.erase(key);
+    } else {
+      int64_t add = 1 + static_cast<int64_t>(rng.NextBounded(5));
+      ASSERT_TRUE(f.table.AddDelta(tree, fp, add).ok());
+      model[key] += add;
+    }
+  }
+  f.table.CheckConsistency();
+  EXPECT_EQ(f.table.entry_count(), model.size());
+  for (const auto& [key, count] : model) {
+    ASSERT_EQ(f.table.Get(key.first, key.second).value(), count);
+  }
+}
+
+TEST(LinearHashTest, PersistsAcrossReopen) {
+  std::string path;
+  PageId meta_page;
+  std::map<uint64_t, int64_t> model;
+  {
+    Fixture f("lh_reopen.db");
+    path = f.path;
+    meta_page = f.meta_page;
+    Rng rng(4);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t fp = rng.Next();
+      ASSERT_TRUE(f.table.AddDelta(9, fp, 7).ok());
+      model[fp] = 7;
+    }
+    ASSERT_TRUE(f.pager.Commit().ok());
+    ASSERT_TRUE(f.pager.Close().ok());
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(path, /*create=*/false).ok());
+  LinearHashTable table(&pager);
+  ASSERT_TRUE(table.Attach(meta_page).ok());
+  EXPECT_EQ(table.entry_count(), model.size());
+  table.CheckConsistency();
+  Rng probe(5);
+  for (int i = 0; i < 200; ++i) {
+    auto it = model.begin();
+    std::advance(it, probe.NextBounded(model.size()));
+    EXPECT_EQ(table.Get(9, it->first).value(), it->second);
+  }
+}
+
+TEST(LinearHashTest, AttachRejectsWrongPage) {
+  Fixture f("lh_badmeta.db");
+  StatusOr<PageId> other = f.pager.AllocatePage();
+  ASSERT_TRUE(other.ok());
+  LinearHashTable table(&f.pager);
+  EXPECT_FALSE(table.Attach(*other).ok());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,196 @@
+// Tests for the log optimizer (the paper's Section 10 preprocessing):
+// optimized sequences must be semantically identical to the originals, and
+// the incremental index update must be unaffected.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "edit/log_optimizer.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Applies `ops` in order to a clone of `base` and returns the result.
+Tree ApplyAll(const Tree& base, const std::vector<EditOperation>& ops) {
+  Tree tree = base.Clone();
+  for (const EditOperation& op : ops) {
+    Status status = op.ApplyTo(&tree);
+    EXPECT_TRUE(status.ok()) << status.ToString() << " applying "
+                             << op.ToString(base.dict());
+  }
+  return tree;
+}
+
+TEST(LogOptimizerTest, MergesRenameChains) {
+  Tree base = MustParse("a(b,c)");
+  NodeId b = base.child(base.root(), 0);
+  LabelId x = base.mutable_dict()->Intern("x");
+  LabelId y = base.mutable_dict()->Intern("y");
+  std::vector<EditOperation> ops = {EditOperation::Rename(b, x),
+                                    EditOperation::Rename(b, y)};
+  LogOptimizerStats stats;
+  std::vector<EditOperation> optimized =
+      OptimizeOpSequence(base, ops, &stats);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_EQ(optimized[0], EditOperation::Rename(b, y));
+  EXPECT_EQ(stats.merged_renames, 1);
+  EXPECT_EQ(ToNotationWithIds(ApplyAll(base, optimized)),
+            ToNotationWithIds(ApplyAll(base, ops)));
+}
+
+TEST(LogOptimizerTest, DropsRenameChainRestoringOriginalLabel) {
+  Tree base = MustParse("a(b,c)");
+  NodeId b = base.child(base.root(), 0);
+  LabelId x = base.mutable_dict()->Intern("x");
+  LabelId orig = base.label(b);
+  std::vector<EditOperation> ops = {EditOperation::Rename(b, x),
+                                    EditOperation::Rename(b, orig)};
+  LogOptimizerStats stats;
+  std::vector<EditOperation> optimized =
+      OptimizeOpSequence(base, ops, &stats);
+  EXPECT_TRUE(optimized.empty());
+  EXPECT_EQ(stats.dropped_noop_renames, 1);
+}
+
+TEST(LogOptimizerTest, CancelsInsertThenDelete) {
+  Tree base = MustParse("a(b,c,d)");
+  LabelId x = base.mutable_dict()->Intern("x");
+  NodeId n = base.AllocateId();
+  std::vector<EditOperation> ops = {
+      EditOperation::Insert(n, x, base.root(), 1, 2),
+      EditOperation::Delete(n)};
+  LogOptimizerStats stats;
+  std::vector<EditOperation> optimized =
+      OptimizeOpSequence(base, ops, &stats);
+  EXPECT_TRUE(optimized.empty());
+  EXPECT_EQ(stats.cancelled_insert_delete, 1);
+}
+
+TEST(LogOptimizerTest, MergesRenameIntoInsert) {
+  Tree base = MustParse("a(b)");
+  LabelId x = base.mutable_dict()->Intern("x");
+  LabelId y = base.mutable_dict()->Intern("y");
+  NodeId n = base.AllocateId();
+  std::vector<EditOperation> ops = {
+      EditOperation::Insert(n, x, base.root(), 0, 0),
+      EditOperation::Rename(n, y)};
+  std::vector<EditOperation> optimized = OptimizeOpSequence(base, ops);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_EQ(optimized[0].label, y);
+  EXPECT_EQ(ToNotation(ApplyAll(base, optimized)), "a(y,b)");
+}
+
+TEST(LogOptimizerTest, DropsRenameBeforeDelete) {
+  Tree base = MustParse("a(b)");
+  NodeId b = base.child(base.root(), 0);
+  LabelId x = base.mutable_dict()->Intern("x");
+  std::vector<EditOperation> ops = {EditOperation::Rename(b, x),
+                                    EditOperation::Delete(b)};
+  std::vector<EditOperation> optimized = OptimizeOpSequence(base, ops);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_EQ(optimized[0], EditOperation::Delete(b));
+}
+
+TEST(LogOptimizerTest, InterveningStructureBlocksCancellation) {
+  // INS(n); INS(m under n); DEL(n): the pair must NOT cancel (m's insert
+  // references n).
+  Tree base = MustParse("a(b)");
+  LabelId x = base.mutable_dict()->Intern("x");
+  NodeId n = base.AllocateId();
+  NodeId m = n + 1;
+  std::vector<EditOperation> ops = {
+      EditOperation::Insert(n, x, base.root(), 0, 0),
+      EditOperation::Insert(m, x, n, 0, 0), EditOperation::Delete(n)};
+  std::vector<EditOperation> optimized = OptimizeOpSequence(base, ops);
+  EXPECT_EQ(optimized.size(), 3u);
+  EXPECT_EQ(ToNotationWithIds(ApplyAll(base, optimized)),
+            ToNotationWithIds(ApplyAll(base, ops)));
+}
+
+TEST(LogOptimizerTest, SiblingChurnBlocksCancellation) {
+  // INS(n at pos 0); INS(m at pos 2 of the same parent); DEL(n): removing
+  // the pair would shift m's position.
+  Tree base = MustParse("a(b,c)");
+  LabelId x = base.mutable_dict()->Intern("x");
+  NodeId n = base.AllocateId();
+  NodeId m = n + 1;
+  std::vector<EditOperation> ops = {
+      EditOperation::Insert(n, x, base.root(), 0, 0),
+      EditOperation::Insert(m, x, base.root(), 2, 0),
+      EditOperation::Delete(n)};
+  std::vector<EditOperation> optimized = OptimizeOpSequence(base, ops);
+  EXPECT_EQ(optimized.size(), 3u);
+  EXPECT_EQ(ToNotationWithIds(ApplyAll(base, optimized)),
+            ToNotationWithIds(ApplyAll(base, ops)));
+}
+
+TEST(LogOptimizerTest, RandomSequencesPreserveSemantics) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree base = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(30)),
+         .alphabet_size = 3});
+    Tree scratch = base.Clone();
+    EditLog log;
+    std::vector<EditOperation> forward;
+    EditScriptOptions options;
+    options.reuse_label_probability = 1.0;  // provoke rename collapses
+    GenerateEditScript(&scratch, &rng, 40, options, &log, &forward);
+
+    LogOptimizerStats stats;
+    std::vector<EditOperation> optimized =
+        OptimizeOpSequence(base, forward, &stats);
+    EXPECT_LE(optimized.size(), forward.size());
+    EXPECT_EQ(stats.input_ops, 40);
+    EXPECT_EQ(ToNotationWithIds(ApplyAll(base, optimized)),
+              ToNotationWithIds(scratch));
+  }
+}
+
+TEST(LogOptimizerTest, OptimizedLogYieldsSameIncrementalIndex) {
+  Rng rng(43);
+  PqShape shape{3, 3};
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng,
+                                 {.num_nodes = 25, .alphabet_size = 3});
+    Tree tn = t0.Clone();
+    EditLog log;
+    EditScriptOptions options;
+    options.reuse_label_probability = 1.0;
+    GenerateEditScript(&tn, &rng, 30, options, &log);
+
+    LogOptimizerStats stats;
+    EditLog optimized = OptimizeLog(tn, log, &stats);
+    EXPECT_LE(optimized.size(), log.size());
+
+    // The optimized log still undoes Tn to T0.
+    Tree undo = tn.Clone();
+    ASSERT_TRUE(optimized.UndoAll(&undo).ok());
+    EXPECT_EQ(ToNotationWithIds(undo), ToNotationWithIds(t0));
+
+    // And drives the incremental update to the same index.
+    PqGramIndex via_original = BuildIndex(t0, shape);
+    PqGramIndex via_optimized = via_original;
+    ASSERT_TRUE(UpdateIndex(&via_original, tn, log).ok());
+    ASSERT_TRUE(UpdateIndex(&via_optimized, tn, optimized).ok());
+    EXPECT_EQ(via_original, via_optimized);
+    EXPECT_EQ(via_optimized, BuildIndex(tn, shape));
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,141 @@
+// Systematic two-operation compositions: every ordered pair of operation
+// kinds (INS/DEL/REN x INS/DEL/REN), targeted at the same region of a
+// small tree, across all index shapes. The random property tests cover
+// these statistically; this grid pins each interaction deterministically
+// so a regression names the exact pair that broke.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "test_util.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+
+// The fixture tree: ids in pre-order.
+//   r#1 ( a#2 ( b#3, c#4 ), d#5, e#6 ( f#7 ) )
+constexpr const char* kBase = "r(a(b,c),d,e(f))";
+
+struct OpMaker {
+  const char* name;
+  // Builds the forward operation against the current tree state.
+  EditOperation (*make)(Tree* tree);
+};
+
+EditOperation MakeInsert(Tree* tree) {
+  // Wrap the first two children of node 2 (or insert a leaf if node 2 is
+  // gone or short on children).
+  NodeId target = tree->Contains(2) ? 2 : tree->root();
+  int count = std::min(2, tree->fanout(target));
+  return EditOperation::Insert(tree->AllocateId(),
+                               tree->mutable_dict()->Intern("w"), target, 0,
+                               count);
+}
+
+EditOperation MakeDelete(Tree* tree) {
+  // Delete node 2 if alive, else the root's first child.
+  NodeId victim = tree->Contains(2) ? 2 : tree->child(tree->root(), 0);
+  return EditOperation::Delete(victim);
+}
+
+EditOperation MakeRename(Tree* tree) {
+  NodeId victim = tree->Contains(2) ? 2 : tree->child(tree->root(), 0);
+  LabelId x = tree->mutable_dict()->Intern("x");
+  if (tree->label(victim) == x) x = tree->mutable_dict()->Intern("y");
+  return EditOperation::Rename(victim, x);
+}
+
+const std::vector<OpMaker>& Makers() {
+  static const std::vector<OpMaker> makers = {
+      {"INS", &MakeInsert}, {"DEL", &MakeDelete}, {"REN", &MakeRename}};
+  return makers;
+}
+
+class OpCompositionTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(OpCompositionTest, AllOrderedPairs) {
+  const PqShape shape = GetParam();
+  for (const OpMaker& first : Makers()) {
+    for (const OpMaker& second : Makers()) {
+      Tree t0 = ParseTreeNotation(kBase).value();
+      Tree tn = t0.Clone();
+      EditLog log;
+      EditOperation op1 = first.make(&tn);
+      ASSERT_TRUE(ApplyAndLog(op1, &tn, &log).ok())
+          << first.name << " then " << second.name;
+      EditOperation op2 = second.make(&tn);
+      ASSERT_TRUE(ApplyAndLog(op2, &tn, &log).ok())
+          << first.name << " then " << second.name;
+
+      PqGramIndex index = BuildIndex(t0, shape);
+      ASSERT_TRUE(UpdateIndex(&index, tn, log).ok())
+          << first.name << " then " << second.name;
+      ASSERT_EQ(index, BuildIndex(tn, shape))
+          << first.name << " then " << second.name << " under shape ("
+          << shape.p << "," << shape.q << "), Tn = "
+          << ToNotationWithIds(tn);
+    }
+  }
+}
+
+TEST_P(OpCompositionTest, SelfInverseSequences) {
+  // op followed by its exact inverse: the log must reduce to a no-op at
+  // the index level (Delta+ and Delta- cancel exactly).
+  const PqShape shape = GetParam();
+  for (const OpMaker& maker : Makers()) {
+    Tree t0 = ParseTreeNotation(kBase).value();
+    Tree tn = t0.Clone();
+    EditLog log;
+    EditOperation op = maker.make(&tn);
+    StatusOr<EditOperation> inverse = op.InverseOn(tn);
+    ASSERT_TRUE(inverse.ok());
+    ASSERT_TRUE(ApplyAndLog(op, &tn, &log).ok());
+    ASSERT_TRUE(ApplyAndLog(*inverse, &tn, &log).ok());
+    ASSERT_EQ(ToNotationWithIds(tn), ToNotationWithIds(t0)) << maker.name;
+
+    PqGramIndex index = BuildIndex(t0, shape);
+    PqGramIndex before = index;
+    ASSERT_TRUE(UpdateIndex(&index, tn, log).ok()) << maker.name;
+    ASSERT_EQ(index, before) << maker.name;
+  }
+}
+
+TEST_P(OpCompositionTest, TripleStacksOnOneNode) {
+  // Three consecutive operations funneled through the same node id:
+  // rename, wrap (insert above), then delete the wrapper.
+  const PqShape shape = GetParam();
+  Tree t0 = ParseTreeNotation(kBase).value();
+  Tree tn = t0.Clone();
+  EditLog log;
+  LabelId x = tn.mutable_dict()->Intern("x");
+  ASSERT_TRUE(ApplyAndLog(EditOperation::Rename(2, x), &tn, &log).ok());
+  NodeId wrapper = tn.AllocateId();
+  ASSERT_TRUE(ApplyAndLog(
+                  EditOperation::Insert(wrapper, x, tn.root(), 0, 2), &tn,
+                  &log)
+                  .ok());
+  ASSERT_TRUE(ApplyAndLog(EditOperation::Delete(wrapper), &tn, &log).ok());
+
+  PqGramIndex index = BuildIndex(t0, shape);
+  ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+  ASSERT_EQ(index, BuildIndex(tn, shape));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, OpCompositionTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,110 @@
+// Tests for the thread pool and parallel collection indexing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/distance.h"
+#include "core/parallel_build.h"
+#include "tree/generators.h"
+
+namespace pqidx {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing scheduled
+  pool.Schedule([] {});
+  pool.Wait();
+  pool.Wait();  // repeated waits are fine
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  pool.ParallelFor(0, [&](int64_t) { FAIL(); });  // empty range: no calls
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor waits
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelBuildTest, MatchesSequentialBuild) {
+  Rng rng(1);
+  const PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+  std::vector<Tree> trees;
+  for (int i = 0; i < 20; ++i) {
+    trees.push_back(GenerateXmarkLike(dict, &rng, 200));
+  }
+  ForestIndex sequential(shape);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    sequential.AddTree(static_cast<TreeId>(i), trees[i]);
+  }
+  for (int threads : {1, 2, 4}) {
+    ForestIndex parallel = BuildForestIndexParallel(trees, shape, threads);
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
+}
+
+TEST(ParallelBuildTest, ExplicitIdsPreserved) {
+  Rng rng(2);
+  const PqShape shape{2, 2};
+  Tree a = GenerateDblpLike(nullptr, &rng, 5);
+  Tree b = GenerateDblpLike(nullptr, &rng, 5);
+  std::vector<std::pair<TreeId, const Tree*>> refs = {{7, &a}, {42, &b}};
+  ForestIndex forest = BuildForestIndexParallel(refs, shape, 2);
+  EXPECT_NE(forest.Find(7), nullptr);
+  EXPECT_NE(forest.Find(42), nullptr);
+  EXPECT_EQ(forest.Find(0), nullptr);
+}
+
+TEST(ParallelBuildTest, AllDistancesParallelMatchesSequential) {
+  Rng rng(3);
+  const PqShape shape{3, 3};
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < 15; ++id) {
+    forest.AddTree(id, GenerateXmarkLike(dict, &rng, 150));
+  }
+  Tree query = GenerateXmarkLike(dict, &rng, 150);
+  PqGramIndex query_index = BuildIndex(query, shape);
+  std::vector<double> parallel =
+      AllDistancesParallel(forest, query_index, 4);
+  std::vector<TreeId> ids = forest.TreeIds();
+  ASSERT_EQ(parallel.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i],
+                     PqGramDistance(query_index, *forest.Find(ids[i])));
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

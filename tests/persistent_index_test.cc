@@ -1,0 +1,284 @@
+// Tests for the durable forest index: correctness against the in-memory
+// index, incremental maintenance on disk, crash recovery, and catalog
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "edit/edit_script.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+using StorePtr = std::unique_ptr<PersistentForestIndex>;
+
+StorePtr MustCreate(const std::string& name, PqShape shape) {
+  StatusOr<StorePtr> store =
+      PersistentForestIndex::Create(TempPath(name), shape);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+StorePtr MustOpen(const std::string& name) {
+  StatusOr<StorePtr> store = PersistentForestIndex::Open(TempPath(name));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+TEST(PersistentIndexTest, CreateAddLookupReopen) {
+  const PqShape shape{3, 3};
+  Rng rng(1);
+  auto dict = std::make_shared<LabelDict>();
+  Tree a = GenerateXmarkLike(dict, &rng, 200);
+  Tree b = GenerateXmarkLike(dict, &rng, 200);
+  {
+    StorePtr store = MustCreate("pfi_basic.db", shape);
+    ASSERT_TRUE(store->AddTree(1, a).ok());
+    ASSERT_TRUE(store->AddTree(2, b).ok());
+    store->CheckConsistency();
+    EXPECT_EQ(store->size(), 2);
+    EXPECT_EQ(store->TreeBagSize(1), BuildIndex(a, shape).size());
+  }
+  StorePtr store = MustOpen("pfi_basic.db");
+  EXPECT_EQ(store->shape(), shape);
+  EXPECT_EQ(store->size(), 2);
+  store->CheckConsistency();
+
+  // Distances match the in-memory index exactly.
+  ForestIndex memory(shape);
+  memory.AddTree(1, a);
+  memory.AddTree(2, b);
+  PqGramIndex query = BuildIndex(a, shape);
+  auto on_disk = store->Lookup(query, 1.0);
+  ASSERT_TRUE(on_disk.ok());
+  auto in_memory = memory.Lookup(query, 1.0);
+  ASSERT_EQ(on_disk->size(), in_memory.size());
+  for (size_t i = 0; i < in_memory.size(); ++i) {
+    EXPECT_EQ((*on_disk)[i].tree_id, in_memory[i].tree_id);
+    EXPECT_DOUBLE_EQ((*on_disk)[i].distance, in_memory[i].distance);
+  }
+}
+
+TEST(PersistentIndexTest, DuplicateAddRejected) {
+  StorePtr store = MustCreate("pfi_dup.db", PqShape{2, 2});
+  Tree a = ParseTreeNotation("a(b)").value();
+  ASSERT_TRUE(store->AddTree(1, a).ok());
+  EXPECT_FALSE(store->AddTree(1, a).ok());
+  EXPECT_EQ(store->size(), 1);
+}
+
+TEST(PersistentIndexTest, IncrementalUpdateMatchesRebuild) {
+  const PqShape shape{3, 3};
+  Rng rng(2);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 80);
+  StorePtr store = MustCreate("pfi_update.db", shape);
+  ASSERT_TRUE(store->AddTree(5, doc).ok());
+
+  for (int round = 0; round < 6; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 25, EditScriptOptions{}, &log);
+    ASSERT_TRUE(store->ApplyLog(5, doc, log).ok()) << "round " << round;
+    store->CheckConsistency();
+    StatusOr<PqGramIndex> materialized = store->MaterializeIndex(5);
+    ASSERT_TRUE(materialized.ok());
+    ASSERT_EQ(*materialized, BuildIndex(doc, shape)) << "round " << round;
+  }
+}
+
+TEST(PersistentIndexTest, UpdatesSurviveReopen) {
+  const PqShape shape{2, 3};
+  Rng rng(3);
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 300);
+  {
+    StorePtr store = MustCreate("pfi_persist.db", shape);
+    ASSERT_TRUE(store->AddTree(1, doc).ok());
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 30, EditScriptOptions{}, &log);
+    ASSERT_TRUE(store->ApplyLog(1, doc, log).ok());
+  }
+  StorePtr store = MustOpen("pfi_persist.db");
+  StatusOr<PqGramIndex> materialized = store->MaterializeIndex(1);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(*materialized, BuildIndex(doc, shape));
+}
+
+TEST(PersistentIndexTest, RemoveTreeReclaimsTuples) {
+  const PqShape shape{2, 2};
+  Rng rng(4);
+  StorePtr store = MustCreate("pfi_remove.db", shape);
+  Tree a = GenerateDblpLike(nullptr, &rng, 20);
+  Tree b = GenerateDblpLike(nullptr, &rng, 20);
+  ASSERT_TRUE(store->AddTree(1, a).ok());
+  ASSERT_TRUE(store->AddTree(2, b).ok());
+  ASSERT_TRUE(store->RemoveTree(1).ok());
+  EXPECT_FALSE(store->RemoveTree(1).ok());
+  store->CheckConsistency();  // no orphaned tuples
+  EXPECT_EQ(store->size(), 1);
+  EXPECT_EQ(store->TreeBagSize(1), -1);
+  StatusOr<PqGramIndex> remaining = store->MaterializeIndex(2);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(*remaining, BuildIndex(b, shape));
+}
+
+TEST(PersistentIndexTest, StaleDeltaRolledBackAtomically) {
+  const PqShape shape{2, 2};
+  StorePtr store = MustCreate("pfi_stale.db", shape);
+  Tree a = ParseTreeNotation("a(b,c)").value();
+  ASSERT_TRUE(store->AddTree(1, a).ok());
+  int64_t size_before = store->TreeBagSize(1);
+
+  // A minus-bag referencing tuples the tree does not have must fail and
+  // leave the store exactly as it was (including partially applied
+  // removals being rolled back).
+  PqGramIndex plus(shape);
+  plus.Add(111, 1);
+  PqGramIndex minus(shape);
+  minus.Add(0xdeadbeefdeadbeefULL, 1);
+  EXPECT_FALSE(store->UpdateTree(1, plus, minus).ok());
+  store->CheckConsistency();
+  EXPECT_EQ(store->TreeBagSize(1), size_before);
+  StatusOr<PqGramIndex> materialized = store->MaterializeIndex(1);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(*materialized, BuildIndex(a, shape));
+}
+
+TEST(PersistentIndexTest, CrashDuringUpdateRecoversDurably) {
+  const PqShape shape{3, 3};
+  Rng rng(5);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 40);
+  {
+    StorePtr store = MustCreate("pfi_crash.db", shape);
+    ASSERT_TRUE(store->AddTree(1, doc).ok());
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 15, EditScriptOptions{}, &log);
+    // The commit's WAL is sealed, then the process "dies" before the
+    // in-place writes finish: the update is durable.
+    ASSERT_TRUE(
+        store->CrashNextCommit(Pager::CrashPoint::kDuringInPlace).ok());
+    ASSERT_TRUE(store->ApplyLog(1, doc, log).ok());
+  }
+  StorePtr store = MustOpen("pfi_crash.db");
+  store->CheckConsistency();
+  StatusOr<PqGramIndex> materialized = store->MaterializeIndex(1);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(*materialized, BuildIndex(doc, shape));
+}
+
+TEST(PersistentIndexTest, ManyTreesSpillCatalogAcrossPages) {
+  const PqShape shape{1, 1};
+  Rng rng(6);
+  StorePtr store = MustCreate("pfi_manytrees.db", shape);
+  const int kTrees = 800;  // > 340 catalog entries per page
+  for (TreeId id = 0; id < kTrees; ++id) {
+    Tree t = GenerateRandomTree(nullptr, &rng, {.num_nodes = 3});
+    ASSERT_TRUE(store->AddTree(id, t).ok());
+  }
+  EXPECT_EQ(store->size(), kTrees);
+  // Reopen and verify the catalog round-trips.
+  std::string path = TempPath("pfi_manytrees.db");
+  StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), kTrees);
+  (*reopened)->CheckConsistency();
+}
+
+TEST(PersistentIndexTest, BulkAddIsOneTransaction) {
+  const PqShape shape{2, 2};
+  Rng rng(9);
+  StorePtr store = MustCreate("pfi_bulk.db", shape);
+  std::vector<PqGramIndex> bags;
+  std::vector<Tree> trees;
+  for (int i = 0; i < 10; ++i) {
+    trees.push_back(GenerateDblpLike(nullptr, &rng, 10));
+    bags.push_back(BuildIndex(trees.back(), shape));
+  }
+  std::vector<std::pair<TreeId, const PqGramIndex*>> refs;
+  for (size_t i = 0; i < bags.size(); ++i) {
+    refs.emplace_back(static_cast<TreeId>(i), &bags[i]);
+  }
+  int64_t commits_before = store->pager().commits();
+  ASSERT_TRUE(store->BulkAdd(refs).ok());
+  EXPECT_EQ(store->pager().commits(), commits_before + 1);
+  EXPECT_EQ(store->size(), 10);
+  store->CheckConsistency();
+  for (size_t i = 0; i < bags.size(); ++i) {
+    StatusOr<PqGramIndex> loaded =
+        store->MaterializeIndex(static_cast<TreeId>(i));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(*loaded, bags[i]);
+  }
+  // Duplicate ids anywhere reject the whole batch atomically.
+  std::vector<std::pair<TreeId, const PqGramIndex*>> dup = {
+      {100, &bags[0]}, {3, &bags[1]}};
+  EXPECT_FALSE(store->BulkAdd(dup).ok());
+  EXPECT_EQ(store->size(), 10);
+  EXPECT_EQ(store->TreeBagSize(100), -1);
+  store->CheckConsistency();
+}
+
+TEST(PersistentIndexTest, CompactShrinksChurnedStore) {
+  const PqShape shape{2, 2};
+  Rng rng(8);
+  std::string path = TempPath("pfi_compact_src.db");
+  {
+    StatusOr<StorePtr> store = PersistentForestIndex::Create(path, shape);
+    ASSERT_TRUE(store.ok());
+    // Grow with many trees, then remove most of them.
+    for (TreeId id = 0; id < 40; ++id) {
+      Tree t = GenerateDblpLike(nullptr, &rng, 15);
+      ASSERT_TRUE((*store)->AddTree(id, t).ok());
+    }
+    for (TreeId id = 0; id < 38; ++id) {
+      ASSERT_TRUE((*store)->RemoveTree(id).ok());
+    }
+    std::string compact_path = TempPath("pfi_compact_dst.db");
+    ASSERT_TRUE((*store)->CompactInto(compact_path).ok());
+
+    StatusOr<StorePtr> compacted = PersistentForestIndex::Open(compact_path);
+    ASSERT_TRUE(compacted.ok());
+    (*compacted)->CheckConsistency();
+    EXPECT_EQ((*compacted)->size(), 2);
+    for (TreeId id : {38, 39}) {
+      StatusOr<PqGramIndex> a = (*store)->MaterializeIndex(id);
+      StatusOr<PqGramIndex> b = (*compacted)->MaterializeIndex(id);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+    }
+    EXPECT_LT((*compacted)->pager().page_count(),
+              (*store)->pager().page_count());
+  }
+}
+
+TEST(PersistentIndexTest, OpenRejectsGarbage) {
+  std::string path = TempPath("pfi_garbage.db");
+  std::string page(static_cast<size_t>(kPageSize), 'x');
+  ASSERT_TRUE(WriteFile(path, page).ok());
+  EXPECT_FALSE(PersistentForestIndex::Open(path).ok());
+  EXPECT_FALSE(PersistentForestIndex::Open(TempPath("missing.db")).ok());
+}
+
+TEST(PersistentIndexTest, UnknownTreeOperationsFail) {
+  StorePtr store = MustCreate("pfi_unknown.db", PqShape{2, 2});
+  PqGramIndex query(PqShape{2, 2});
+  EXPECT_FALSE(store->Distance(9, query).ok());
+  EXPECT_FALSE(store->MaterializeIndex(9).ok());
+  EXPECT_FALSE(store->RemoveTree(9).ok());
+  Tree doc = ParseTreeNotation("a").value();
+  EditLog log;
+  EXPECT_FALSE(store->ApplyLog(9, doc, log).ok());
+}
+
+}  // namespace
+}  // namespace pqidx

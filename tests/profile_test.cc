@@ -1,0 +1,181 @@
+// Tests for pq-gram profile computation (Definitions 1-2), including the
+// paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "core/pqgram.h"
+#include "core/profile.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Builds the paper's Figure 2 tree T0 (ids n1..n6 in pre-order):
+//   n1=a ( n2=b, n3=c ( n5=e, n6=f ), n4=d )
+// Note the id order: the paper numbers children of the root before the
+// grandchildren, so parse pre-order and translate.
+Tree PaperT0() {
+  // Pre-order parsing assigns: a=1, b=2, c=3, e=4, f=5, d=6. The paper's
+  // ids are n4=d, n5=e, n6=f; only the *labels* matter for profile
+  // contents, and id-sensitive tests below map ids explicitly.
+  return MustParse("a(b,c(e,f),d)");
+}
+
+TEST(ProfileTest, PaperExample1ProfileSize) {
+  // Example 1: the total number of 3,3-grams of T0 is 13.
+  Tree t0 = PaperT0();
+  EXPECT_EQ(ProfileSize(t0, PqShape{3, 3}), 13);
+  EXPECT_EQ(ComputeProfile(t0, PqShape{3, 3}).size(), 13u);
+}
+
+TEST(ProfileTest, SingleNodeTree) {
+  Tree tree = MustParse("a");
+  for (const PqShape& shape : AllTestShapes()) {
+    std::vector<PqGram> profile = ComputeProfile(tree, shape);
+    ASSERT_EQ(profile.size(), 1u);
+    // p-part: nulls + root; q-part: all nulls.
+    EXPECT_EQ(profile[0].ids[shape.p - 1], tree.root());
+    for (int j = 0; j < shape.p - 1; ++j) {
+      EXPECT_EQ(profile[0].ids[j], kNullNodeId);
+    }
+    for (int j = 0; j < shape.q; ++j) {
+      EXPECT_EQ(profile[0].ids[shape.p + j], kNullNodeId);
+    }
+  }
+}
+
+TEST(ProfileTest, AnchorCountsPerNode) {
+  // A node with fanout f anchors f+q-1 pq-grams; a leaf anchors one.
+  Tree tree = MustParse("a(b,c,d,e)");
+  PqShape shape{2, 3};
+  std::vector<PqGram> profile = ComputeProfile(tree, shape);
+  int root_anchored = 0, leaf_anchored = 0;
+  for (const PqGram& g : profile) {
+    if (g.anchor(shape) == tree.root()) {
+      ++root_anchored;
+    } else {
+      ++leaf_anchored;
+    }
+  }
+  EXPECT_EQ(root_anchored, 4 + 3 - 1);
+  EXPECT_EQ(leaf_anchored, 4);
+}
+
+TEST(ProfileTest, PaperExample2ProfileOfT0) {
+  // Example 2 lists P0 for p=q=3 as node tuples. Translate the paper's
+  // ids (n4=d, n5=e, n6=f) to ours (d=6, e=4, f=5).
+  Tree t0 = PaperT0();
+  auto grams = ComputeProfileSet(t0, PqShape{3, 3});
+  ASSERT_EQ(grams.size(), 13u);
+
+  auto has = [&](std::vector<NodeId> ids) {
+    PqGram probe;
+    probe.ids = ids;
+    probe.labels.reserve(ids.size());
+    for (NodeId id : ids) {
+      probe.labels.push_back(id == kNullNodeId ? kNullLabelHash
+                                               : t0.LabelHashOf(id));
+    }
+    return grams.contains(probe);
+  };
+  const NodeId n1 = 1, n2 = 2, n3 = 3, n4 = 6, n5 = 4, n6 = 5, _ = 0;
+  // The 13 tuples of Example 2 (paper order).
+  EXPECT_TRUE(has({_, _, n1, _, _, n2}));
+  EXPECT_TRUE(has({_, _, n1, _, n2, n3}));
+  EXPECT_TRUE(has({_, _, n1, n2, n3, n4}));
+  EXPECT_TRUE(has({_, _, n1, n3, n4, _}));
+  EXPECT_TRUE(has({_, _, n1, n4, _, _}));
+  EXPECT_TRUE(has({_, n1, n2, _, _, _}));
+  EXPECT_TRUE(has({_, n1, n3, _, _, n5}));
+  EXPECT_TRUE(has({_, n1, n3, _, n5, n6}));
+  EXPECT_TRUE(has({_, n1, n3, n5, n6, _}));
+  EXPECT_TRUE(has({_, n1, n3, n6, _, _}));
+  EXPECT_TRUE(has({n1, n3, n5, _, _, _}));
+  EXPECT_TRUE(has({n1, n3, n6, _, _, _}));
+  EXPECT_TRUE(has({_, n1, n4, _, _, _}));
+}
+
+TEST(ProfileTest, ProfileSizeMatchesEnumerationEverywhere) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree tree = GenerateRandomTree(
+        nullptr, &rng, {.num_nodes = 1 + static_cast<int>(rng.NextBounded(80))});
+    for (const PqShape& shape : AllTestShapes()) {
+      EXPECT_EQ(ProfileSize(tree, shape),
+                static_cast<int64_t>(ComputeProfile(tree, shape).size()));
+    }
+  }
+}
+
+class ProfileEquivalenceTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(ProfileEquivalenceTest, FastPathMatchesBruteForce) {
+  const PqShape shape = GetParam();
+  Rng rng(1000 + shape.p * 10 + shape.q);
+  for (int trial = 0; trial < 20; ++trial) {
+    int nodes = 1 + static_cast<int>(rng.NextBounded(60));
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = nodes});
+    std::vector<PqGram> fast = ComputeProfile(tree, shape);
+    std::vector<PqGram> brute = ComputeProfileBruteForce(tree, shape);
+    std::sort(fast.begin(), fast.end());
+    std::sort(brute.begin(), brute.end());
+    ASSERT_EQ(fast, brute) << "shape (" << shape.p << "," << shape.q
+                           << ") tree " << ToNotationWithIds(tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ProfileEquivalenceTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+TEST(ProfileTest, DeepChainTree) {
+  // Chains exercise the null-padded p-part beyond the root.
+  Tree tree = MustParse("a(b(c(d(e(f)))))");
+  PqShape shape{4, 2};
+  std::vector<PqGram> fast = ComputeProfile(tree, shape);
+  std::vector<PqGram> brute = ComputeProfileBruteForce(tree, shape);
+  std::sort(fast.begin(), fast.end());
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(fast, brute);
+  EXPECT_EQ(fast.size(), 11u);  // 5 non-leaves x (1+2-1) rows + 1 leaf ... 5*2+1
+}
+
+TEST(ProfileTest, ViewRowsMatchWindowSemantics) {
+  Tree tree = MustParse("a(b,c,d)");
+  PqShape shape{1, 2};
+  // Row r of the root covers child positions [r-1, r].
+  std::vector<std::pair<int, std::vector<NodeId>>> rows;
+  ForEachPqGram(tree, shape, [&](const PqGramView& view) {
+    if (view.anchor != tree.root()) return;
+    rows.emplace_back(view.row,
+                      std::vector<NodeId>(view.ids + 1, view.ids + 3));
+  });
+  NodeId b = tree.child(tree.root(), 0), c = tree.child(tree.root(), 1),
+         d = tree.child(tree.root(), 2);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::pair<int, std::vector<NodeId>>{0, {0, b}}));
+  EXPECT_EQ(rows[1], (std::pair<int, std::vector<NodeId>>{1, {b, c}}));
+  EXPECT_EQ(rows[2], (std::pair<int, std::vector<NodeId>>{2, {c, d}}));
+  EXPECT_EQ(rows[3], (std::pair<int, std::vector<NodeId>>{3, {d, 0}}));
+}
+
+}  // namespace
+}  // namespace pqidx

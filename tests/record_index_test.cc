@@ -1,0 +1,103 @@
+// Tests for record-level indexing of one large document.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/record_index.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(RecordIndexTest, DefaultRecordsAreRootChildren) {
+  Tree doc = MustParse("dblp(article(t1),book(t2),article(t3))");
+  ForestIndex forest = BuildRecordIndex(doc, PqShape{2, 2});
+  EXPECT_EQ(forest.size(), 3);
+  // Record ids are the node ids of the root's children.
+  for (NodeId c : doc.children(doc.root())) {
+    EXPECT_NE(forest.Find(static_cast<TreeId>(c)), nullptr);
+  }
+}
+
+TEST(RecordIndexTest, PredicateSelectsByLabel) {
+  Tree doc = MustParse("lib(shelf(book(a),book(b)),shelf(book(c)))");
+  LabelId book = doc.mutable_dict()->Find("book");
+  ASSERT_NE(book, kNullLabelId);
+  auto pred = [book](const Tree& t, NodeId n) {
+    return t.label(n) == book;
+  };
+  std::vector<NodeId> records = SelectRecordRoots(doc, pred);
+  EXPECT_EQ(records.size(), 3u);
+  for (NodeId r : records) {
+    EXPECT_EQ(doc.LabelString(r), "book");
+  }
+}
+
+TEST(RecordIndexTest, RecordsDoNotNest) {
+  // A record-labeled node inside a record is not re-selected.
+  Tree doc = MustParse("r(rec(x,rec(y)),z)");
+  LabelId rec = doc.mutable_dict()->Find("rec");
+  auto pred = [rec](const Tree& t, NodeId n) { return t.label(n) == rec; };
+  std::vector<NodeId> records = SelectRecordRoots(doc, pred);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(doc.parent(records[0]), doc.root());
+}
+
+TEST(RecordIndexTest, ExtractRecordCopiesSubtree) {
+  Tree doc = MustParse("r(a(b,c(d)),e)");
+  NodeId a = doc.child(doc.root(), 0);
+  Tree record = ExtractRecord(doc, a);
+  EXPECT_EQ(ToNotation(record), "a(b,c(d))");
+  record.CheckConsistency();
+  // The host document is untouched.
+  EXPECT_EQ(ToNotation(doc), "r(a(b,c(d)),e)");
+}
+
+TEST(RecordIndexTest, FindsDuplicateRecords) {
+  Tree doc = MustParse(
+      "dblp(article(author(smith),title(trees)),"
+      "book(author(jones),title(xml)),"
+      "article(author(smith),title(trees)))");
+  auto pairs = FindSimilarRecordPairs(doc, PqShape{2, 2}, 0.05);
+  ASSERT_EQ(pairs.size(), 1u);
+  auto [ids, distance] = pairs[0];
+  EXPECT_DOUBLE_EQ(distance, 0.0);
+  EXPECT_EQ(doc.LabelString(ids.first), "article");
+  EXPECT_EQ(doc.LabelString(ids.second), "article");
+  EXPECT_NE(ids.first, ids.second);
+}
+
+TEST(RecordIndexTest, GeneratedBibliographyScale) {
+  Rng rng(1);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 200);
+  ForestIndex forest = BuildRecordIndex(doc, PqShape{2, 3});
+  EXPECT_EQ(forest.size(), 200);
+  // Looking up an extracted record finds itself exactly.
+  NodeId some_record = doc.child(doc.root(), 57);
+  Tree record = ExtractRecord(doc, some_record);
+  std::vector<LookupResult> hits = forest.Lookup(record, 0.0);
+  ASSERT_FALSE(hits.empty());
+  bool found_self = false;
+  for (const LookupResult& hit : hits) {
+    found_self |= hit.tree_id == static_cast<TreeId>(some_record);
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(RecordIndexTest, EmptySelections) {
+  Tree doc = MustParse("only");
+  EXPECT_EQ(BuildRecordIndex(doc, PqShape{2, 2}).size(), 0);
+  auto never = [](const Tree&, NodeId) { return false; };
+  EXPECT_TRUE(SelectRecordRoots(doc, never).empty());
+  EXPECT_TRUE(FindSimilarRecordPairs(doc, PqShape{2, 2}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,121 @@
+// Regression tests for scenarios that exposed gaps between the paper's
+// formal Definition 4 / Theorem 1 and a correct implementation (see
+// DESIGN.md, "Clamped delta semantics"). Both were found by randomized
+// fuzzing of updateIndex == rebuild and are pinned here explicitly.
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "test_util.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+
+// Applies forward ops via ApplyAndLog and checks the incremental update
+// against a rebuild for every shape.
+void CheckScenario(const Tree& t0, const std::vector<EditOperation>& ops) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree tn = t0.Clone();
+    EditLog log;
+    for (const EditOperation& op : ops) {
+      ASSERT_TRUE(ApplyAndLog(op, &tn, &log).ok())
+          << op.ToString(t0.dict());
+    }
+    PqGramIndex index = BuildIndex(t0, shape);
+    ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+    ASSERT_EQ(index, BuildIndex(tn, shape))
+        << "shape (" << shape.p << "," << shape.q << ")";
+  }
+}
+
+TEST(RegressionTest, LaterDeleteShrinksInsertRangeOfEarlierInverse) {
+  // Counterexample 1 (DESIGN.md): node 2 has children (4, 9); 9 has
+  // child 11. DEL(9) splices 11 (and a prior insert 13) under 2, then
+  // DEL(13) shrinks 2's fanout to 2. The log's INS(9, v=2, k=1, count=2)
+  // is undefined on Tn by Definition 4; returning an empty delta loses
+  // the pq-gram (2,(11)) from Delta+.
+  Tree t0 = ParseTreeNotation("r(a,b(c),d)").value();  // r=1,a=2,b=3,c=4,d=5
+  NodeId b = t0.child(t0.root(), 1);
+  Tree work = t0.Clone();
+  LabelId x = work.mutable_dict()->Intern("x");
+  NodeId extra = work.AllocateId();
+
+  std::vector<EditOperation> ops = {
+      // Insert a sibling after b's subtree region, then delete b (its
+      // child moves up), then delete the inserted sibling: the region
+      // that INS(b,..) adopted no longer exists at the recorded width.
+      EditOperation::Insert(extra, x, work.root(), 2, 0),
+      EditOperation::Delete(b),
+      EditOperation::Delete(extra),
+  };
+  CheckScenario(t0, ops);
+}
+
+TEST(RegressionTest, LaterDeleteShiftsPositionsOfEarlierInverse) {
+  // Counterexample 2 (DESIGN.md): positions recorded in the log go stale
+  // when a later operation deletes an earlier sibling. Forward script:
+  //   DEL(8)  -- children of 5 become (6, 9, 10)
+  //   REN(2)  -- unrelated noise
+  //   DEL(6)  -- children of 5 shift left: (9, 10)
+  // The inverse INS(8, v=5, k=1, count=2) refers to positions 1..2, but
+  // on Tn the adopted children (9, 10) sit at positions 0..1. A purely
+  // positional (even clamped) selection fetches the wrong window; the
+  // id-anchored selection fetches (9) and (10).
+  Tree t0 =
+      ParseTreeNotation("n1(n2(n3,n7),n4,n5(n6,n8(n9,n10(n11(n12)))))")
+          .value();
+  // Pre-order ids: n1=1, n2=2, n3=3, n7=4, n4=5, n5=6, n6=7, n8=8, n9=9,
+  // n10=10, n11=11, n12=12.
+  Tree probe = t0.Clone();
+  LabelId g = probe.mutable_dict()->Intern("gen");
+  std::vector<EditOperation> ops = {
+      EditOperation::Delete(8),       // n8: children n9, n10 splice up
+      EditOperation::Rename(2, g),    // unrelated
+      EditOperation::Delete(7),       // n6: shifts n9, n10 left
+  };
+  CheckScenario(t0, ops);
+}
+
+TEST(RegressionTest, InterleavedInsertDeleteOnSameParent) {
+  // Dense structural churn on one child list: inserts and deletes whose
+  // inverse positions all refer to different intermediate configurations.
+  Tree t0 = ParseTreeNotation("r(a,b,c,d,e)").value();
+  Tree work = t0.Clone();
+  LabelId x = work.mutable_dict()->Intern("x");
+  NodeId r = work.root();
+  NodeId i1 = work.AllocateId();
+  NodeId i2 = i1 + 1;
+  std::vector<EditOperation> ops = {
+      EditOperation::Insert(i1, x, r, 1, 2),  // wrap b, c
+      EditOperation::Delete(work.child(r, 0)),  // delete a
+      EditOperation::Insert(i2, x, r, 0, 3),    // wrap i1-subtree, d
+      EditOperation::Delete(i1),                // unwrap b, c
+      EditOperation::Delete(i2),                // unwrap everything
+  };
+  CheckScenario(t0, ops);
+}
+
+TEST(RegressionTest, RenameRestoredByLaterRename) {
+  // REN whose inverse is "undefined" on Tn because a later rename
+  // restored the original label (Definition 4 would return an empty
+  // delta; the clamped semantics fetch the rows, which then cancel).
+  Tree t0 = ParseTreeNotation("r(a(b,c),d)").value();
+  Tree probe = t0.Clone();
+  LabelId x = probe.mutable_dict()->Intern("x");
+  LabelId a_label = t0.label(t0.child(t0.root(), 0));
+  NodeId a = t0.child(t0.root(), 0);
+  std::vector<EditOperation> ops = {
+      EditOperation::Rename(a, x),
+      EditOperation::Delete(t0.child(t0.root(), 1)),  // noise: delete d
+      EditOperation::Rename(a, a_label),              // restore label
+  };
+  CheckScenario(t0, ops);
+}
+
+}  // namespace
+}  // namespace pqidx

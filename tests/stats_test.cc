@@ -1,0 +1,93 @@
+// Tests for tree statistics.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/profile.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/stats.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(TreeStatsTest, SmallTreeByHand) {
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.nodes, 6);
+  EXPECT_EQ(stats.leaves, 4);
+  EXPECT_EQ(stats.internal, 2);
+  EXPECT_EQ(stats.depth, 2);
+  EXPECT_EQ(stats.max_fanout, 3);
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 2.5);  // (3 + 2) / 2
+  EXPECT_DOUBLE_EQ(stats.avg_depth, (0 + 1 + 1 + 1 + 2 + 2) / 6.0);
+  EXPECT_EQ(stats.distinct_labels, 6);
+  EXPECT_EQ(stats.fanout_histogram.at(0), 4);
+  EXPECT_EQ(stats.fanout_histogram.at(2), 1);
+  EXPECT_EQ(stats.fanout_histogram.at(3), 1);
+  EXPECT_EQ(stats.depth_histogram.at(1), 3);
+}
+
+TEST(TreeStatsTest, SingleNode) {
+  Tree tree = MustParse("only");
+  TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.nodes, 1);
+  EXPECT_EQ(stats.leaves, 1);
+  EXPECT_EQ(stats.internal, 0);
+  EXPECT_EQ(stats.depth, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 0.0);
+}
+
+TEST(TreeStatsTest, TopLabelsRankedByFrequency) {
+  Tree tree = MustParse("r(a,a,a,b,b,c)");
+  TreeStats stats = ComputeTreeStats(tree, /*top_k=*/2);
+  ASSERT_EQ(stats.top_labels.size(), 2u);
+  EXPECT_EQ(stats.top_labels[0].first, "a");
+  EXPECT_EQ(stats.top_labels[0].second, 3);
+  EXPECT_EQ(stats.top_labels[1].first, "b");
+  EXPECT_EQ(stats.top_labels[1].second, 2);
+}
+
+TEST(TreeStatsTest, ProfileSizeFromStatsMatchesDirectComputation) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree tree = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(80))});
+    TreeStats stats = ComputeTreeStats(tree);
+    for (const PqShape& shape : pqidx::testing::AllTestShapes()) {
+      EXPECT_EQ(ProfileSizeFromStats(stats, shape),
+                ProfileSize(tree, shape));
+    }
+  }
+}
+
+TEST(TreeStatsTest, GeneratorsHaveExpectedSignatures) {
+  Rng rng(2);
+  // DBLP-like: flat and wide.
+  TreeStats dblp = ComputeTreeStats(GenerateDblpLike(nullptr, &rng, 500));
+  EXPECT_LE(dblp.depth, 3);
+  EXPECT_EQ(dblp.max_fanout, 500);
+  // XMark-like: deeper, bounded fanout.
+  TreeStats xmark =
+      ComputeTreeStats(GenerateXmarkLike(nullptr, &rng, 3000));
+  EXPECT_GE(xmark.depth, 4);
+  EXPECT_LT(xmark.max_fanout, 3000);
+}
+
+TEST(TreeStatsTest, ToStringMentionsKeyNumbers) {
+  Tree tree = MustParse("a(b,c)");
+  std::string rendered = ComputeTreeStats(tree).ToString();
+  EXPECT_NE(rendered.find("nodes: 3"), std::string::npos);
+  EXPECT_NE(rendered.find("max 1"), std::string::npos);  // depth
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,144 @@
+// Tests for the streaming index builder: event-level construction and
+// exact equivalence with parse-then-build over XML.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/pqgram_index.h"
+#include "core/streaming.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+
+// Replays `tree` into a builder via Open/Close events.
+PqGramIndex BuildViaEvents(const Tree& tree, const PqShape& shape) {
+  StreamingIndexBuilder builder(shape);
+  struct Frame {
+    NodeId node;
+    size_t child = 0;
+  };
+  std::vector<Frame> stack{{tree.root()}};
+  builder.Open(tree.LabelString(tree.root()));
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto kids = tree.children(frame.node);
+    if (frame.child < kids.size()) {
+      NodeId next = kids[frame.child++];
+      builder.Open(tree.LabelString(next));
+      stack.push_back({next});
+      continue;
+    }
+    builder.Close();
+    stack.pop_back();
+  }
+  return std::move(builder).Finish();
+}
+
+TEST(StreamingTest, SingleNode) {
+  for (const PqShape& shape : AllTestShapes()) {
+    StreamingIndexBuilder builder(shape);
+    builder.Leaf("root");
+    PqGramIndex streamed = std::move(builder).Finish();
+    Tree tree = ParseTreeNotation("root").value();
+    EXPECT_EQ(streamed, BuildIndex(tree, shape));
+  }
+}
+
+TEST(StreamingTest, PaperExampleTree) {
+  Tree tree = ParseTreeNotation("a(b,c(e,f),d)").value();
+  for (const PqShape& shape : AllTestShapes()) {
+    EXPECT_EQ(BuildViaEvents(tree, shape), BuildIndex(tree, shape))
+        << "shape (" << shape.p << "," << shape.q << ")";
+  }
+}
+
+TEST(StreamingTest, EventReplayMatchesBuildOnRandomTrees) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree tree = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(80))});
+    for (const PqShape& shape : AllTestShapes()) {
+      ASSERT_EQ(BuildViaEvents(tree, shape), BuildIndex(tree, shape))
+          << "shape (" << shape.p << "," << shape.q << ") tree "
+          << ToNotation(tree);
+    }
+  }
+}
+
+TEST(StreamingTest, XmlStreamingMatchesParseThenBuild) {
+  Rng rng(2);
+  const PqShape shape{3, 3};
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree doc = GenerateXmarkLike(nullptr, &rng, 400);
+    std::string xml = WriteXml(doc);
+    StatusOr<PqGramIndex> streamed = BuildIndexFromXml(xml, shape);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    StatusOr<Tree> parsed = ParseXml(xml);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*streamed, BuildIndex(*parsed, shape));
+  }
+}
+
+TEST(StreamingTest, XmlWithAttributesAndText) {
+  const char* xml =
+      "<library genre=\"db\"><book id=\"1\"><title>Tree "
+      "Patterns</title></book><note>mixed <b/> content</note></library>";
+  for (const PqShape& shape : {PqShape{1, 2}, PqShape{3, 3}}) {
+    StatusOr<PqGramIndex> streamed = BuildIndexFromXml(xml, shape);
+    ASSERT_TRUE(streamed.ok());
+    StatusOr<Tree> parsed = ParseXml(xml);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*streamed, BuildIndex(*parsed, shape));
+  }
+  // Options are honored identically.
+  XmlParseOptions bare;
+  bare.include_attributes = false;
+  bare.include_text = false;
+  StatusOr<PqGramIndex> streamed = BuildIndexFromXml(xml, PqShape{2, 2}, bare);
+  ASSERT_TRUE(streamed.ok());
+  StatusOr<Tree> parsed = ParseXml(xml, nullptr, bare);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*streamed, BuildIndex(*parsed, PqShape{2, 2}));
+}
+
+TEST(StreamingTest, MalformedXmlReportsError) {
+  EXPECT_FALSE(BuildIndexFromXml("<a><b></a>", PqShape{2, 2}).ok());
+  EXPECT_FALSE(BuildIndexFromXml("", PqShape{2, 2}).ok());
+  EXPECT_FALSE(
+      BuildIndexFromXmlFile("/nonexistent.xml", PqShape{2, 2}).ok());
+}
+
+TEST(StreamingTest, DeepDocumentUsesConstantStackPerLevel) {
+  // A 50k-deep chain: the scanner and builder are iterative, so this
+  // must not overflow the call stack.
+  std::string xml;
+  const int kDepth = 50000;
+  for (int i = 0; i < kDepth; ++i) xml += "<d>";
+  for (int i = 0; i < kDepth; ++i) xml += "</d>";
+  StatusOr<PqGramIndex> streamed = BuildIndexFromXml(xml, PqShape{3, 3});
+  ASSERT_TRUE(streamed.ok());
+  // A chain of f=1 nodes: q windows per non-leaf (3), one for the leaf.
+  EXPECT_EQ(streamed->size(), (kDepth - 1) * 3 + 1);
+}
+
+TEST(StreamingTest, MisuseAborts) {
+  StreamingIndexBuilder builder(PqShape{2, 2});
+  EXPECT_DEATH(StreamingIndexBuilder(PqShape{2, 2}).Close(),
+               "Close without");
+  builder.Leaf("a");
+  EXPECT_DEATH(builder.Open("b"), "closed root");
+  StreamingIndexBuilder open_builder(PqShape{2, 2});
+  open_builder.Open("a");
+  EXPECT_DEATH(std::move(open_builder).Finish(), "unclosed");
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,121 @@
+// Tests for subtree-level operations expanded into node edit sequences
+// (paper Section 10), including their interaction with the incremental
+// index update.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/subtree_ops.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(SubtreeOpsTest, DeleteSubtreeRemovesAllNodes) {
+  Tree tree = MustParse("a(b(c,d(e)),f)");
+  NodeId b = tree.child(tree.root(), 0);
+  EditLog log;
+  ASSERT_TRUE(DeleteSubtree(b, &tree, &log).ok());
+  EXPECT_EQ(ToNotation(tree), "a(f)");
+  EXPECT_EQ(log.size(), 4);  // b, c, d, e
+  tree.CheckConsistency();
+
+  // The log undoes the whole subtree deletion.
+  ASSERT_TRUE(log.UndoAll(&tree).ok());
+  EXPECT_EQ(ToNotation(tree), "a(b(c,d(e)),f)");
+}
+
+TEST(SubtreeOpsTest, DeleteSubtreeValidation) {
+  Tree tree = MustParse("a(b)");
+  EditLog log;
+  EXPECT_FALSE(DeleteSubtree(tree.root(), &tree, &log).ok());
+  EXPECT_FALSE(DeleteSubtree(999, &tree, &log).ok());
+}
+
+TEST(SubtreeOpsTest, InsertSubtreeCopiesPattern) {
+  Tree tree = MustParse("a(x,y)");
+  Tree pattern = MustParse("s(t,u(v))");
+  EditLog log;
+  NodeId new_root = kNullNodeId;
+  ASSERT_TRUE(InsertSubtree(pattern, tree.root(), 1, &tree, &log, &new_root)
+                  .ok());
+  EXPECT_EQ(ToNotation(tree), "a(x,s(t,u(v)),y)");
+  EXPECT_EQ(tree.LabelString(new_root), "s");
+  EXPECT_EQ(log.size(), 4);
+  tree.CheckConsistency();
+
+  ASSERT_TRUE(log.UndoAll(&tree).ok());
+  EXPECT_EQ(ToNotation(tree), "a(x,y)");
+}
+
+TEST(SubtreeOpsTest, InsertSubtreeValidation) {
+  Tree tree = MustParse("a(x)");
+  Tree pattern = MustParse("s");
+  Tree empty(std::make_shared<LabelDict>());
+  EditLog log;
+  EXPECT_FALSE(InsertSubtree(empty, tree.root(), 0, &tree, &log).ok());
+  EXPECT_FALSE(InsertSubtree(pattern, 999, 0, &tree, &log).ok());
+  EXPECT_FALSE(InsertSubtree(pattern, tree.root(), 5, &tree, &log).ok());
+  EXPECT_FALSE(InsertSubtree(pattern, tree.root(), -1, &tree, &log).ok());
+}
+
+TEST(SubtreeOpsTest, MoveSubtreePreservesShape) {
+  Tree tree = MustParse("a(b(c,d),e(f))");
+  NodeId b = tree.child(tree.root(), 0);
+  NodeId e = tree.child(tree.root(), 1);
+  EditLog log;
+  ASSERT_TRUE(MoveSubtree(b, e, 1, &tree, &log).ok());
+  EXPECT_EQ(ToNotation(tree), "a(e(f,b(c,d)))");
+  tree.CheckConsistency();
+
+  ASSERT_TRUE(log.UndoAll(&tree).ok());
+  EXPECT_EQ(ToNotation(tree), "a(b(c,d),e(f))");
+}
+
+TEST(SubtreeOpsTest, MoveIntoOwnSubtreeRejected) {
+  Tree tree = MustParse("a(b(c))");
+  NodeId b = tree.child(tree.root(), 0);
+  NodeId c = tree.child(b, 0);
+  EditLog log;
+  EXPECT_FALSE(MoveSubtree(b, c, 0, &tree, &log).ok());
+  EXPECT_FALSE(MoveSubtree(b, b, 0, &tree, &log).ok());
+  EXPECT_EQ(ToNotation(tree), "a(b(c))");  // untouched
+}
+
+TEST(SubtreeOpsTest, IncrementalUpdateOverSubtreeOps) {
+  // Subtree operations produce plain node-op logs, so the incremental
+  // index maintenance applies unchanged (paper Section 10).
+  Rng rng(1);
+  PqShape shape{3, 3};
+  Tree t0 = GenerateXmarkLike(nullptr, &rng, 400);
+  Tree tn = t0.Clone();
+  EditLog log;
+
+  // Delete one subtree, move another, insert a new one.
+  NodeId victim = tn.child(tn.child(tn.root(), 3), 0);  // a person
+  ASSERT_TRUE(DeleteSubtree(victim, &tn, &log).ok());
+  NodeId auctions = tn.child(tn.root(), 4);
+  if (tn.fanout(auctions) > 0) {
+    ASSERT_TRUE(MoveSubtree(tn.child(auctions, 0), tn.root(), 0, &tn, &log)
+                    .ok());
+  }
+  Tree pattern = MustParse("annotation(author,description(text))");
+  ASSERT_TRUE(InsertSubtree(pattern, tn.root(), 2, &tn, &log).ok());
+
+  PqGramIndex index = BuildIndex(t0, shape);
+  ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+  EXPECT_EQ(index, BuildIndex(tn, shape));
+  EXPECT_GT(log.size(), 5);
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,136 @@
+// Tests for filter-and-verify exact-TED search, plus the edit-log file
+// round trip.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/ted_search.h"
+#include "edit/edit_script.h"
+#include "storage/index_store.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+std::vector<std::pair<TreeId, const Tree*>> Refs(
+    const std::vector<Tree>& trees) {
+  std::vector<std::pair<TreeId, const Tree*>> refs;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    refs.emplace_back(static_cast<TreeId>(i), &trees[i]);
+  }
+  return refs;
+}
+
+TEST(TedSearchTest, ExhaustiveFindsExactNeighbors) {
+  Rng rng(1);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 2};
+  Tree base = GenerateRandomTree(dict, &rng, {.num_nodes = 30});
+  std::vector<Tree> collection;
+  // Variants at controlled edit counts: 1, 3, 6, ... edits.
+  for (int i = 0; i < 6; ++i) {
+    Tree variant = base.Clone();
+    EditLog log;
+    GenerateEditScript(&variant, &rng, 1 + i * 3, EditScriptOptions{}, &log);
+    collection.push_back(std::move(variant));
+  }
+  TedSearchStats stats;
+  std::vector<TedSearchHit> hits =
+      TedTopKExhaustive(Refs(collection), base, 3, shape, &stats);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(stats.verified, 6);
+  // Ascending TED, and each TED is the true Zhang-Shasha value.
+  EXPECT_LE(hits[0].ted, hits[1].ted);
+  EXPECT_LE(hits[1].ted, hits[2].ted);
+  EXPECT_LE(hits[0].ted, 1);  // the 1-edit variant (or a tie) wins
+}
+
+TEST(TedSearchTest, FilteredMatchesExhaustiveWithFullOversample) {
+  Rng rng(2);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{3, 3};
+  std::vector<Tree> collection;
+  for (int i = 0; i < 12; ++i) {
+    collection.push_back(
+        GenerateRandomTree(dict, &rng, {.num_nodes = 25}));
+  }
+  Tree query = GenerateRandomTree(dict, &rng, {.num_nodes = 25});
+  // Oversample covering the whole collection == exhaustive.
+  std::vector<TedSearchHit> filtered =
+      TedTopK(Refs(collection), query, 4, shape, /*oversample=*/100.0);
+  std::vector<TedSearchHit> exhaustive =
+      TedTopKExhaustive(Refs(collection), query, 4, shape);
+  ASSERT_EQ(filtered.size(), exhaustive.size());
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(filtered[i].tree_id, exhaustive[i].tree_id);
+    EXPECT_EQ(filtered[i].ted, exhaustive[i].ted);
+  }
+}
+
+TEST(TedSearchTest, FilterPrunesVerificationWork) {
+  Rng rng(3);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{3, 3};
+  Tree base = GenerateXmarkLike(dict, &rng, 120);
+  std::vector<Tree> collection;
+  // One close neighbor hidden among unrelated documents.
+  for (int i = 0; i < 19; ++i) {
+    collection.push_back(GenerateXmarkLike(dict, &rng, 120));
+  }
+  Tree twin = base.Clone();
+  EditLog log;
+  GenerateEditScript(&twin, &rng, 2, EditScriptOptions{}, &log);
+  collection.push_back(std::move(twin));  // id 19
+
+  TedSearchStats stats;
+  std::vector<TedSearchHit> hits =
+      TedTopK(Refs(collection), base, 1, shape, /*oversample=*/3.0, &stats);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].tree_id, 19);
+  EXPECT_LE(hits[0].ted, 2);
+  EXPECT_LE(stats.verified, 3);  // only the oversampled candidates
+  EXPECT_EQ(stats.collection_size, 20);
+}
+
+TEST(TedSearchTest, DegenerateInputs) {
+  std::vector<std::pair<TreeId, const Tree*>> empty;
+  Tree query = ParseTreeNotation("a").value();
+  EXPECT_TRUE(TedTopK(empty, query, 3, PqShape{2, 2}).empty());
+  Tree single = ParseTreeNotation("a(b)").value();
+  std::vector<std::pair<TreeId, const Tree*>> one = {{5, &single}};
+  EXPECT_TRUE(TedTopK(one, query, 0, PqShape{2, 2}).empty());
+  std::vector<TedSearchHit> hits = TedTopK(one, query, 10, PqShape{2, 2});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].tree_id, 5);
+  EXPECT_EQ(hits[0].ted, 1);
+}
+
+TEST(EditLogFileTest, SaveLoadRoundTrip) {
+  Rng rng(4);
+  Tree doc = GenerateRandomTree(nullptr, &rng, {.num_nodes = 30});
+  EditLog log;
+  GenerateEditScript(&doc, &rng, 25, EditScriptOptions{}, &log);
+  std::string path = ::testing::TempDir() + "/pqidx_log_test.bin";
+  ASSERT_TRUE(SaveEditLog(log, path).ok());
+  StatusOr<EditLog> loaded = LoadEditLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, log);
+}
+
+TEST(EditLogFileTest, RejectsWrongFiles) {
+  std::string path = ::testing::TempDir() + "/pqidx_log_bogus.bin";
+  ASSERT_TRUE(WriteFile(path, "garbage").ok());
+  EXPECT_FALSE(LoadEditLog(path).ok());
+  // An index file is not a log file.
+  ForestIndex forest(PqShape{2, 2});
+  std::string index_path = ::testing::TempDir() + "/pqidx_log_idx.bin";
+  ASSERT_TRUE(SaveForestIndex(forest, index_path).ok());
+  EXPECT_FALSE(LoadEditLog(index_path).ok());
+  EXPECT_FALSE(LoadEditLog("/nonexistent/log.bin").ok());
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,112 @@
+// Tests for the Zhang-Shasha tree edit distance baseline.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "edit/edit_log.h"
+#include "edit/edit_script.h"
+#include "ted/zhang_shasha.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+int Ted(std::string_view a, std::string_view b) {
+  Tree ta = MustParse(a);
+  Tree tb = MustParse(b);
+  return TreeEditDistance(ta, tb);
+}
+
+TEST(TedTest, IdenticalTreesHaveZeroDistance) {
+  EXPECT_EQ(Ted("a", "a"), 0);
+  EXPECT_EQ(Ted("a(b,c(e,f),d)", "a(b,c(e,f),d)"), 0);
+}
+
+TEST(TedTest, SingleRename) {
+  EXPECT_EQ(Ted("a", "b"), 1);
+  EXPECT_EQ(Ted("a(b,c)", "a(b,x)"), 1);
+  EXPECT_EQ(Ted("a(b(c))", "a(x(c))"), 1);
+}
+
+TEST(TedTest, SingleInsertOrDelete) {
+  EXPECT_EQ(Ted("a(b,c)", "a(b)"), 1);
+  EXPECT_EQ(Ted("a(b)", "a(b,c)"), 1);
+  EXPECT_EQ(Ted("a(b(c))", "a(c)"), 1);      // delete b
+  EXPECT_EQ(Ted("a(b,c)", "a(x(b,c))"), 1);  // insert x
+}
+
+TEST(TedTest, ClassicExample) {
+  // Zhang & Shasha's running example: distance 2
+  // (f(d(a,c(b)),e) vs f(c(d(a,b)),e)).
+  EXPECT_EQ(Ted("f(d(a,c(b)),e)", "f(c(d(a,b)),e)"), 2);
+}
+
+TEST(TedTest, CompletelyDifferentTrees) {
+  // Best script renames both nodes.
+  EXPECT_EQ(Ted("a(b)", "x(y)"), 2);
+  // Chain vs siblings: the mapping cannot keep both b and c (ancestor
+  // order would be violated), so one delete plus one insert is optimal.
+  EXPECT_EQ(Ted("a(b(c))", "a(b,c)"), 2);
+}
+
+TEST(TedTest, Symmetry) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree a = GenerateRandomTree(nullptr, &rng, {.num_nodes = 12});
+    Tree b = GenerateRandomTree(nullptr, &rng, {.num_nodes = 12});
+    EXPECT_EQ(TreeEditDistance(a, b), TreeEditDistance(b, a));
+  }
+}
+
+TEST(TedTest, BoundedBySizes) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree a = GenerateRandomTree(nullptr, &rng, {.num_nodes = 10});
+    Tree b = GenerateRandomTree(nullptr, &rng, {.num_nodes = 14});
+    int d = TreeEditDistance(a, b);
+    EXPECT_GE(d, b.size() - a.size());
+    EXPECT_LE(d, a.size() + b.size());
+  }
+}
+
+TEST(TedTest, EditScriptLengthIsUpperBound) {
+  // TED(T0, Tn) <= number of applied edit operations.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 15});
+    Tree tn = t0.Clone();
+    EditLog log;
+    int ops = 1 + static_cast<int>(rng.NextBounded(6));
+    GenerateEditScript(&tn, &rng, ops, EditScriptOptions{}, &log);
+    EXPECT_LE(TreeEditDistance(t0, tn), ops);
+  }
+}
+
+TEST(TedTest, TriangleInequalityOnSamples) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    Tree a = GenerateRandomTree(nullptr, &rng, {.num_nodes = 8});
+    Tree b = GenerateRandomTree(nullptr, &rng, {.num_nodes = 8});
+    Tree c = GenerateRandomTree(nullptr, &rng, {.num_nodes = 8});
+    EXPECT_LE(TreeEditDistance(a, c),
+              TreeEditDistance(a, b) + TreeEditDistance(b, c));
+  }
+}
+
+TEST(TedTest, CrossDictionaryComparison) {
+  // The two trees may use different dictionaries; labels compare by value.
+  Tree a = MustParse("a(b,c)");
+  Tree b = MustParse("a(b,c)");
+  EXPECT_NE(a.dict_ptr().get(), b.dict_ptr().get());
+  EXPECT_EQ(TreeEditDistance(a, b), 0);
+}
+
+}  // namespace
+}  // namespace pqidx

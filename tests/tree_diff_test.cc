@@ -1,0 +1,234 @@
+// Tests for the edit mapping (Zhang-Shasha backtrace) and the derived
+// edit scripts (change detection).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/incremental.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "edit/tree_diff.h"
+#include "ted/zhang_shasha.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Checks that `mapping` is a valid edit mapping between t1 and t2
+// (one-to-one, ancestor-order preserving, sibling-order preserving) and
+// that its cost equals `distance`. When `optimal` is set the distance
+// must equal the unconstrained tree edit distance.
+void CheckMappingValid(const Tree& t1, const Tree& t2,
+                       const TreeEditResult& result, bool optimal = true) {
+  std::set<NodeId> used1, used2;
+  for (auto [u, v] : result.mapping) {
+    ASSERT_TRUE(t1.Contains(u));
+    ASSERT_TRUE(t2.Contains(v));
+    ASSERT_TRUE(used1.insert(u).second) << "node mapped twice in t1";
+    ASSERT_TRUE(used2.insert(v).second) << "node mapped twice in t2";
+  }
+  // Ancestor preservation (pairwise).
+  auto is_ancestor = [](const Tree& t, NodeId a, NodeId d) {
+    for (NodeId cur = t.parent(d); cur != kNullNodeId; cur = t.parent(cur)) {
+      if (cur == a) return true;
+    }
+    return false;
+  };
+  for (auto [u1, v1] : result.mapping) {
+    for (auto [u2, v2] : result.mapping) {
+      EXPECT_EQ(is_ancestor(t1, u1, u2), is_ancestor(t2, v1, v2));
+    }
+  }
+  // Cost = renames + deletes + inserts.
+  int renames = 0;
+  for (auto [u, v] : result.mapping) {
+    if (t1.LabelString(u) != t2.LabelString(v)) ++renames;
+  }
+  int cost = renames + (t1.size() - static_cast<int>(result.mapping.size())) +
+             (t2.size() - static_cast<int>(result.mapping.size()));
+  EXPECT_EQ(cost, result.distance);
+  if (optimal) {
+    EXPECT_EQ(result.distance, TreeEditDistance(t1, t2));
+  } else {
+    EXPECT_GE(result.distance, TreeEditDistance(t1, t2));
+    EXPECT_LE(result.distance, TreeEditDistance(t1, t2) + 2);
+  }
+}
+
+TEST(MappingTest, IdenticalTreesMapEverything) {
+  Tree a = MustParse("a(b,c(e,f),d)");
+  Tree b = MustParse("a(b,c(e,f),d)");
+  TreeEditResult result = TreeEditDistanceWithMapping(a, b);
+  EXPECT_EQ(result.distance, 0);
+  EXPECT_EQ(result.mapping.size(), 6u);
+  CheckMappingValid(a, b, result);
+}
+
+TEST(MappingTest, ClassicExample) {
+  Tree a = MustParse("f(d(a,c(b)),e)");
+  Tree b = MustParse("f(c(d(a,b)),e)");
+  TreeEditResult result = TreeEditDistanceWithMapping(a, b);
+  EXPECT_EQ(result.distance, 2);
+  CheckMappingValid(a, b, result);
+}
+
+TEST(MappingTest, RootPreservingMappingPairsRoots) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree a = GenerateRandomTree(nullptr, &rng, {.num_nodes = 10});
+    Tree b = GenerateRandomTree(nullptr, &rng, {.num_nodes = 10});
+    TreeEditResult result = RootPreservingEditMapping(a, b);
+    bool roots_paired = false;
+    for (auto [u, v] : result.mapping) {
+      if (u == a.root()) {
+        roots_paired = v == b.root();
+        break;
+      }
+    }
+    EXPECT_TRUE(roots_paired);
+    CheckMappingValid(a, b, result, /*optimal=*/false);
+
+    // The unconstrained mapping may leave a root unmapped but must never
+    // leave both unmapped, and is optimal.
+    TreeEditResult unconstrained = TreeEditDistanceWithMapping(a, b);
+    bool a_root_mapped = false, b_root_mapped = false;
+    for (auto [u, v] : unconstrained.mapping) {
+      a_root_mapped |= u == a.root();
+      b_root_mapped |= v == b.root();
+    }
+    EXPECT_TRUE(a_root_mapped || b_root_mapped);
+    CheckMappingValid(a, b, unconstrained);
+  }
+}
+
+TEST(MappingTest, RandomPairsProduceValidOptimalMappings) {
+  Rng rng(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree a = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(25)),
+         .alphabet_size = 4});
+    Tree b = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(25)),
+         .alphabet_size = 4});
+    CheckMappingValid(a, b, TreeEditDistanceWithMapping(a, b));
+  }
+}
+
+TEST(TreeDiffTest, IdenticalTreesGiveEmptyScript) {
+  Tree a = MustParse("a(b,c)");
+  Tree b = MustParse("a(b,c)");
+  TreeDiff diff = ComputeEditScript(a, b);
+  EXPECT_EQ(diff.distance, 0);
+  EXPECT_TRUE(diff.operations.empty());
+}
+
+TEST(TreeDiffTest, SingleOperations) {
+  struct Case {
+    const char* from;
+    const char* to;
+    int distance;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"a(b,c)", "a(b,x)", 1},          // rename
+           {"a(b,c(e,f),d)", "a(b,e,f,d)", 1},  // delete internal
+           {"a(b,c)", "a(x(b,c))", 1},       // insert wrapping
+           {"a(b)", "a(b,c)", 1},            // insert leaf
+           {"a(b,c)", "a(c)", 1},            // delete leaf
+       }) {
+    Tree from = MustParse(c.from);
+    Tree to = MustParse(c.to);
+    TreeDiff diff = ComputeEditScript(from, to);
+    EXPECT_EQ(diff.distance, c.distance) << c.from << " -> " << c.to;
+    Tree work = from.Clone();
+    for (const EditOperation& op : diff.operations) {
+      ASSERT_TRUE(op.ApplyTo(&work).ok());
+    }
+    EXPECT_EQ(ToNotation(work), c.to);
+  }
+}
+
+TEST(TreeDiffTest, ScriptReachesTargetOnRandomPairs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree from = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(30)),
+         .alphabet_size = 5});
+    Tree to = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(30)),
+         .alphabet_size = 5});
+    TreeDiff diff = ComputeEditScript(from, to);
+    EXPECT_GE(diff.distance, TreeEditDistance(from, to));
+    EXPECT_LE(diff.distance, TreeEditDistance(from, to) + 2);
+    Tree work = from.Clone();
+    EditLog log;
+    ASSERT_TRUE(ApplyDiff(diff, &work, &log).ok());
+    ASSERT_EQ(ToNotation(work), ToNotation(to))
+        << "from " << ToNotation(from);
+    // The recorded log undoes the script.
+    ASSERT_TRUE(log.UndoAll(&work).ok());
+    EXPECT_EQ(ToNotationWithIds(work), ToNotationWithIds(from));
+  }
+}
+
+TEST(TreeDiffTest, ScriptOfPerturbedTreeIsShort) {
+  // A few random edits must yield a script no longer than the edit count.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree from = GenerateRandomTree(nullptr, &rng, {.num_nodes = 40});
+    Tree to = from.Clone();
+    EditLog scratch;
+    int ops = 1 + static_cast<int>(rng.NextBounded(6));
+    GenerateEditScript(&to, &rng, ops, EditScriptOptions{}, &scratch);
+    TreeDiff diff = ComputeEditScript(from, to);
+    EXPECT_LE(diff.distance, ops);
+  }
+}
+
+TEST(TreeDiffTest, DiffLogDrivesIncrementalIndexUpdate) {
+  // The change-detection pipeline end to end: two versions, no log ->
+  // diff -> inverse log -> incremental index maintenance.
+  Rng rng(5);
+  for (const PqShape shape : {PqShape{3, 3}, PqShape{1, 2}}) {
+    Tree v1 = GenerateXmarkLike(nullptr, &rng, 200);
+    Tree v2_shape = GenerateXmarkLike(v1.dict_ptr(), &rng, 200);
+
+    PqGramIndex index = BuildIndex(v1, shape);
+    TreeDiff diff = ComputeEditScript(v1, v2_shape);
+    EditLog log;
+    ASSERT_TRUE(ApplyDiff(diff, &v1, &log).ok());  // v1 becomes ~v2
+    ASSERT_TRUE(UpdateIndex(&index, v1, log).ok());
+    EXPECT_EQ(index, BuildIndex(v1, shape));
+    // And the maintained index matches the other version's index, since
+    // the trees are isomorphic.
+    EXPECT_EQ(index.size(), BuildIndex(v2_shape, shape).size());
+  }
+}
+
+TEST(TreeDiffTest, CrossDictionaryDiff) {
+  Tree from = MustParse("a(b,c)");
+  Tree to = MustParse("a(d(b),c)");  // separate dictionary
+  TreeDiff diff = ComputeEditScript(from, to);
+  EXPECT_EQ(diff.distance, 1);
+  Tree work = from.Clone();
+  for (const EditOperation& op : diff.operations) {
+    ASSERT_TRUE(op.ApplyTo(&work).ok());
+  }
+  EXPECT_EQ(ToNotation(work), "a(d(b),c)");
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,262 @@
+// Tests for the ordered labeled tree substrate and the textual notation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "tree/label_dict.h"
+#include "tree/tree.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(LabelDictTest, InternIsIdempotent) {
+  LabelDict dict;
+  LabelId a = dict.Intern("alpha");
+  LabelId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.LabelString(a), "alpha");
+  EXPECT_EQ(dict.size(), 3);  // null + 2
+}
+
+TEST(LabelDictTest, NullLabelProperties) {
+  LabelDict dict;
+  EXPECT_EQ(dict.LabelString(kNullLabelId), "*");
+  EXPECT_EQ(dict.Hash(kNullLabelId), kNullLabelHash);
+  EXPECT_EQ(dict.Find("never_interned"), kNullLabelId);
+}
+
+TEST(LabelDictTest, HashMatchesKarpRabin) {
+  LabelDict dict;
+  LabelId a = dict.Intern("some-label");
+  EXPECT_EQ(dict.Hash(a), KarpRabinFingerprint("some-label"));
+}
+
+TEST(LabelDictTest, SerializationRoundTrip) {
+  LabelDict dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  dict.Intern("");
+  ByteWriter w;
+  dict.Serialize(&w);
+  ByteReader r(w.data());
+  StatusOr<LabelDict> copy = LabelDict::Deserialize(&r);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->size(), dict.size());
+  EXPECT_EQ(copy->Find("b"), dict.Find("b"));
+  EXPECT_EQ(copy->Hash(copy->Find("b")), dict.Hash(dict.Find("b")));
+}
+
+TEST(TreeTest, BuildAndNavigate) {
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  tree.CheckConsistency();
+  EXPECT_EQ(tree.size(), 6);
+  NodeId root = tree.root();
+  EXPECT_EQ(tree.LabelString(root), "a");
+  EXPECT_EQ(tree.fanout(root), 3);
+  NodeId c = tree.child(root, 1);
+  EXPECT_EQ(tree.LabelString(c), "c");
+  EXPECT_EQ(tree.parent(c), root);
+  EXPECT_EQ(tree.SiblingIndex(c), 1);
+  EXPECT_EQ(tree.fanout(c), 2);
+  EXPECT_TRUE(tree.IsLeaf(tree.child(c, 0)));
+  EXPECT_EQ(tree.parent(root), kNullNodeId);
+}
+
+TEST(TreeTest, NotationRoundTrip) {
+  for (const char* notation :
+       {"a", "a(b)", "a(b,c(e,f),d)", "x(x(x(x)))", "r(a,a,a,a)"}) {
+    Tree tree = MustParse(notation);
+    EXPECT_EQ(ToNotation(tree), notation);
+  }
+}
+
+TEST(TreeTest, NotationErrors) {
+  EXPECT_FALSE(ParseTreeNotation("").ok());
+  EXPECT_FALSE(ParseTreeNotation("a(b").ok());
+  EXPECT_FALSE(ParseTreeNotation("a(b,)").ok());
+  EXPECT_FALSE(ParseTreeNotation("a)b").ok());
+  EXPECT_FALSE(ParseTreeNotation("a b").ok());
+  EXPECT_FALSE(ParseTreeNotation("(a)").ok());
+}
+
+TEST(TreeTest, AncestorWalk) {
+  Tree tree = MustParse("a(b(c(d)))");
+  NodeId d = tree.child(tree.child(tree.child(tree.root(), 0), 0), 0);
+  EXPECT_EQ(tree.Ancestor(d, 0), d);
+  EXPECT_EQ(tree.Ancestor(d, 3), tree.root());
+  EXPECT_EQ(tree.Ancestor(d, 4), kNullNodeId);
+  EXPECT_EQ(tree.Ancestor(d, 10), kNullNodeId);
+}
+
+TEST(TreeTest, DescendantsWithin) {
+  Tree tree = MustParse("a(b(c,d(e)),f)");
+  std::vector<NodeId> out;
+  NodeId b = tree.child(tree.root(), 0);
+  tree.DescendantsWithin(b, 0, &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  tree.DescendantsWithin(b, 1, &out);
+  EXPECT_EQ(out.size(), 3u);  // b, c, d
+  out.clear();
+  tree.DescendantsWithin(b, 5, &out);
+  EXPECT_EQ(out.size(), 4u);  // whole subtree
+  out.clear();
+  tree.DescendantsWithin(b, -1, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TreeTest, PreOrderVisitsDocumentOrder) {
+  Tree tree = MustParse("a(b(c),d,e(f,g))");
+  std::vector<std::string> labels;
+  tree.PreOrder([&](NodeId n) { labels.push_back(tree.LabelString(n)); });
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g"}));
+}
+
+TEST(TreeTest, ApplyRename) {
+  Tree tree = MustParse("a(b)");
+  NodeId b = tree.child(tree.root(), 0);
+  LabelId x = tree.mutable_dict()->Intern("x");
+  EXPECT_TRUE(tree.ApplyRename(b, x).ok());
+  EXPECT_EQ(tree.LabelString(b), "x");
+  // Rename to the same label is undefined (paper: l != l').
+  EXPECT_FALSE(tree.ApplyRename(b, x).ok());
+  // Rename of a non-existent node fails.
+  EXPECT_FALSE(tree.ApplyRename(999, x).ok());
+  tree.CheckConsistency();
+}
+
+TEST(TreeTest, ApplyDeleteSplicesChildren) {
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  NodeId c = tree.child(tree.root(), 1);
+  ASSERT_TRUE(tree.ApplyDelete(c).ok());
+  tree.CheckConsistency();
+  EXPECT_EQ(ToNotation(tree), "a(b,e,f,d)");
+  EXPECT_EQ(tree.size(), 5);
+  EXPECT_FALSE(tree.Contains(c));
+  // Sibling indexes are maintained.
+  EXPECT_EQ(tree.SiblingIndex(tree.child(tree.root(), 3)), 3);
+}
+
+TEST(TreeTest, ApplyDeleteRootFails) {
+  Tree tree = MustParse("a(b)");
+  EXPECT_FALSE(tree.ApplyDelete(tree.root()).ok());
+  EXPECT_FALSE(tree.ApplyDelete(12345).ok());
+}
+
+TEST(TreeTest, ApplyInsertAdoptsRange) {
+  Tree tree = MustParse("a(b,e,f,d)");
+  LabelId c = tree.mutable_dict()->Intern("c");
+  NodeId n = tree.AllocateId();
+  ASSERT_TRUE(tree.ApplyInsert(n, c, tree.root(), 1, 2).ok());
+  tree.CheckConsistency();
+  EXPECT_EQ(ToNotation(tree), "a(b,c(e,f),d)");
+  EXPECT_EQ(tree.parent(n), tree.root());
+  EXPECT_EQ(tree.SiblingIndex(n), 1);
+  EXPECT_EQ(tree.fanout(n), 2);
+}
+
+TEST(TreeTest, ApplyInsertLeaf) {
+  Tree tree = MustParse("a(b)");
+  LabelId x = tree.mutable_dict()->Intern("x");
+  NodeId n = tree.AllocateId();
+  ASSERT_TRUE(tree.ApplyInsert(n, x, tree.child(tree.root(), 0), 0, 0).ok());
+  EXPECT_EQ(ToNotation(tree), "a(b(x))");
+  tree.CheckConsistency();
+}
+
+TEST(TreeTest, ApplyInsertValidation) {
+  Tree tree = MustParse("a(b,c)");
+  LabelId x = tree.mutable_dict()->Intern("x");
+  // Reusing a live id fails.
+  EXPECT_FALSE(tree.ApplyInsert(tree.root(), x, tree.root(), 0, 0).ok());
+  // Unknown parent fails.
+  EXPECT_FALSE(tree.ApplyInsert(tree.AllocateId(), x, 999, 0, 0).ok());
+  // Out-of-bounds child range fails.
+  EXPECT_FALSE(tree.ApplyInsert(tree.AllocateId(), x, tree.root(), 1, 2).ok());
+  EXPECT_FALSE(tree.ApplyInsert(tree.AllocateId(), x, tree.root(), 3, 0).ok());
+  EXPECT_FALSE(tree.ApplyInsert(tree.AllocateId(), x, tree.root(), -1, 0).ok());
+  tree.CheckConsistency();
+}
+
+TEST(TreeTest, InsertDeleteInverseRestoresShape) {
+  Tree tree = MustParse("a(b,c(e,f),d)");
+  std::string before = ToNotationWithIds(tree);
+  NodeId n = tree.AllocateId();
+  LabelId x = tree.mutable_dict()->Intern("x");
+  ASSERT_TRUE(tree.ApplyInsert(n, x, tree.root(), 0, 2).ok());
+  ASSERT_TRUE(tree.ApplyDelete(n).ok());
+  EXPECT_EQ(ToNotationWithIds(tree), before);
+  tree.CheckConsistency();
+}
+
+TEST(TreeTest, CloneIsDeepAndIndependent) {
+  Tree tree = MustParse("a(b,c)");
+  Tree copy = tree.Clone();
+  ASSERT_TRUE(tree.ApplyDelete(tree.child(tree.root(), 0)).ok());
+  EXPECT_EQ(ToNotation(copy), "a(b,c)");
+  EXPECT_EQ(ToNotation(tree), "a(c)");
+  copy.CheckConsistency();
+}
+
+TEST(TreeTest, TreesIsomorphicComparesContentNotIds) {
+  Tree a = MustParse("a(b,c(e,f),d)");
+  Tree b = MustParse("a(b,c(e,f),d)");   // separate dictionary
+  EXPECT_TRUE(TreesIsomorphic(a, b));
+  EXPECT_TRUE(TreesIsomorphic(a, a));
+
+  Tree label_diff = MustParse("a(b,c(e,x),d)");
+  EXPECT_FALSE(TreesIsomorphic(a, label_diff));
+  Tree shape_diff = MustParse("a(b,c(e(f)),d)");
+  EXPECT_FALSE(TreesIsomorphic(a, shape_diff));
+  Tree order_diff = MustParse("a(c(e,f),b,d)");
+  EXPECT_FALSE(TreesIsomorphic(a, order_diff));
+
+  // Ids differ after churn but content-equal trees still compare equal.
+  Tree churned = MustParse("a(b,x,d)");
+  NodeId x = churned.child(churned.root(), 1);
+  LabelId c_label = churned.mutable_dict()->Intern("c");
+  ASSERT_TRUE(churned.ApplyRename(x, c_label).ok());
+  churned.AddChild(x, "e");
+  churned.AddChild(x, "f");
+  EXPECT_TRUE(TreesIsomorphic(a, churned));
+}
+
+TEST(TreeTest, SiblingIndexMaintainedUnderChurn) {
+  Rng rng(42);
+  Tree tree = MustParse("r");
+  LabelId l = tree.mutable_dict()->Intern("n");
+  // Random inserts and deletes, verifying consistency throughout.
+  std::vector<NodeId> alive{tree.root()};
+  for (int step = 0; step < 300; ++step) {
+    if (rng.Bernoulli(0.6) || alive.size() <= 1) {
+      NodeId parent = alive[rng.NextBounded(alive.size())];
+      int f = tree.fanout(parent);
+      int k = static_cast<int>(rng.Uniform(0, f));
+      int count = static_cast<int>(rng.Uniform(0, f - k));
+      NodeId n = tree.AllocateId();
+      ASSERT_TRUE(tree.ApplyInsert(n, l, parent, k, count).ok());
+      alive.push_back(n);
+    } else {
+      size_t idx = 1 + rng.NextBounded(alive.size() - 1);
+      ASSERT_TRUE(tree.ApplyDelete(alive[idx]).ok());
+      alive[idx] = alive.back();
+      alive.pop_back();
+    }
+  }
+  tree.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace pqidx

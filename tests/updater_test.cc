@@ -1,0 +1,257 @@
+// Tests for the profile update function U (Definition 5, Algorithm 3).
+//
+// Two levels of validation, both against brute-force profile algebra:
+//  * minimal input:  U(delta(Tj, e-bar), e-bar) == delta(Ti, e)
+//  * full input:     U(P_j, e-bar) == P_i                     (Equation 10)
+// plus the paper's worked Example 5 and targeted edge cases (leaf
+// transitions, q = 1, p = 1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/delta.h"
+#include "core/delta_store.h"
+#include "core/profile.h"
+#include "core/profile_updater.h"
+#include "edit/edit_script.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+using ::pqidx::testing::AllTestShapes;
+using ::pqidx::testing::DescribeDiff;
+using ::pqidx::testing::SetMinus;
+using ::pqidx::testing::StoreToSet;
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Seeds `store` with the complete profile of `tree` as (P,Q) rows.
+void FillStoreWithProfile(const Tree& tree, DeltaStore* store) {
+  tree.PreOrder([&](NodeId n) {
+    store->InsertPRow(MakePRow(tree, n, store->shape()));
+    int rows = tree.IsLeaf(n) ? 1 : tree.fanout(n) + store->shape().q - 1;
+    for (int r = 0; r < rows; ++r) {
+      store->InsertQRow(n, MakeQRow(tree, n, r, store->shape()));
+    }
+  });
+}
+
+// Checks both update-function contracts for forward operation `e` on tree
+// `ti` (so tj = e(ti), e_bar = inverse of e).
+void CheckUpdater(const Tree& ti, const EditOperation& e,
+                  const PqShape& shape) {
+  ASSERT_TRUE(e.IsDefinedOn(ti));
+  StatusOr<EditOperation> e_bar_or = e.InverseOn(ti);
+  ASSERT_TRUE(e_bar_or.ok());
+  const EditOperation e_bar = *e_bar_or;
+  Tree tj = ti.Clone();
+  ASSERT_TRUE(e.ApplyTo(&tj).ok());
+
+  std::set<PqGram> pi = ComputeProfileSet(ti, shape);
+  std::set<PqGram> pj = ComputeProfileSet(tj, shape);
+
+  // Contract 1: minimal input.
+  {
+    DeltaStore store(shape);
+    ComputeDelta(tj, e_bar, &store);
+    ProfileUpdater updater(&store, &tj.dict());
+    updater.Apply(e_bar);
+    store.CheckConsistency();
+    std::set<PqGram> got = StoreToSet(store);
+    std::set<PqGram> want = SetMinus(pi, pj);  // delta(Ti, e)
+    EXPECT_EQ(got, want)
+        << "minimal-input U, op " << e.ToString(ti.dict()) << " shape ("
+        << shape.p << "," << shape.q << ") on " << ToNotationWithIds(ti)
+        << "\n"
+        << DescribeDiff(got, want, ti.dict());
+  }
+  // Contract 2: full profile input (Equation 10).
+  {
+    DeltaStore store(shape);
+    FillStoreWithProfile(tj, &store);
+    ProfileUpdater updater(&store, &tj.dict());
+    updater.Apply(e_bar);
+    store.CheckConsistency();
+    std::set<PqGram> got = StoreToSet(store);
+    EXPECT_EQ(got, pi) << "full-profile U, op " << e.ToString(ti.dict())
+                       << " shape (" << shape.p << "," << shape.q << ") on "
+                       << ToNotationWithIds(ti) << "\n"
+                       << DescribeDiff(got, pi, ti.dict());
+  }
+}
+
+TEST(UpdaterTest, PaperExample5DeltaMinus) {
+  // Continue Example 5: apply U for e-bar2 then e-bar1 to Delta2+ and
+  // compare against the paper's lambda(Delta2-).
+  auto dict = std::make_shared<LabelDict>();
+  Tree t2(dict);
+  NodeId n1 = t2.CreateRoot("a");
+  t2.AddChild(n1, "c");
+  t2.AddChild(n1, "e");
+  NodeId n6 = t2.AddChild(n1, "f");
+  t2.AddChild(n1, "c");
+  NodeId n7 = t2.AddChild(n6, "g");
+
+  PqShape shape{3, 3};
+  DeltaStore store(shape);
+  EditOperation e_bar1 = EditOperation::Delete(n7);
+  EditOperation e_bar2 =
+      EditOperation::Insert(t2.AllocateId(), dict->Intern("b"), n1, 1, 2);
+  ComputeDelta(t2, e_bar1, &store);
+  ComputeDelta(t2, e_bar2, &store);
+
+  ProfileUpdater updater(&store, dict.get());
+  updater.Apply(e_bar2);
+  updater.Apply(e_bar1);
+  store.CheckConsistency();
+
+  auto h = [&](const char* l) { return KarpRabinFingerprint(l); };
+  const LabelHash A = h("a"), B = h("b"), C = h("c"), E = h("e"),
+                  F = h("f"), N = kNullLabelHash;
+  std::set<std::vector<LabelHash>> want = {
+      {N, N, A, N, C, B}, {N, N, A, C, B, C}, {N, N, A, B, C, N},
+      {N, A, B, N, N, E}, {N, A, B, N, E, F}, {N, A, B, E, F, N},
+      {N, A, B, F, N, N}, {A, B, E, N, N, N}, {A, B, F, N, N, N}};
+  std::set<std::vector<LabelHash>> got;
+  for (const PqGram& g : StoreToSet(store)) got.insert(g.labels);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(store.CountPqGrams(), 9);
+}
+
+class UpdaterPropertyTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(UpdaterPropertyTest, SingleStepMatchesBruteForce) {
+  const PqShape shape = GetParam();
+  Rng rng(9000 + shape.p * 100 + shape.q);
+  for (int trial = 0; trial < 25; ++trial) {
+    int nodes = 1 + static_cast<int>(rng.NextBounded(35));
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = nodes});
+    Tree scratch = tree.Clone();
+    EditLog log;
+    std::vector<EditOperation> forward;
+    GenerateEditScript(&scratch, &rng, 1, EditScriptOptions{}, &log,
+                       &forward);
+    CheckUpdater(tree, forward[0], shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, UpdaterPropertyTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+TEST(UpdaterTest, LeafTransitionsAllShapes) {
+  for (const PqShape& shape : AllTestShapes()) {
+    // Forward DEL of an only-child leaf: the parent becomes a leaf; the
+    // inverse INS must restore the all-null q-part. (The q = 1 variant is
+    // the case the tracked fanout disambiguates; see DESIGN.md.)
+    {
+      Tree ti = MustParse("a(b(c),d)");
+      NodeId b = ti.child(ti.root(), 0);
+      CheckUpdater(ti, EditOperation::Delete(ti.child(b, 0)), shape);
+    }
+    // Forward INS of a first child under a leaf.
+    {
+      Tree ti = MustParse("a(b,d)");
+      NodeId b = ti.child(ti.root(), 0);
+      LabelId x = ti.mutable_dict()->Intern("x");
+      CheckUpdater(ti, EditOperation::Insert(ti.AllocateId(), x, b, 0, 0),
+                   shape);
+    }
+  }
+}
+
+TEST(UpdaterTest, RootChildStructuralOps) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree ti = MustParse("a(b(e,f),c,d)");
+    LabelId x = ti.mutable_dict()->Intern("x");
+    // Adopt a middle range of the root's children.
+    CheckUpdater(ti, EditOperation::Insert(ti.AllocateId(), x, ti.root(), 1,
+                                           2),
+                 shape);
+    // Delete a non-leaf child of the root.
+    CheckUpdater(ti, EditOperation::Delete(ti.child(ti.root(), 0)), shape);
+    // Rename a child of the root.
+    CheckUpdater(ti, EditOperation::Rename(ti.child(ti.root(), 2), x),
+                 shape);
+  }
+}
+
+TEST(UpdaterTest, DeepChainDeleteAndInsert) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree ti = MustParse("a(b(c(d(e(f)))))");
+    NodeId c = ti.child(ti.child(ti.root(), 0), 0);
+    CheckUpdater(ti, EditOperation::Delete(c), shape);
+    LabelId x = ti.mutable_dict()->Intern("x");
+    CheckUpdater(ti, EditOperation::Insert(ti.AllocateId(), x, c, 0, 1),
+                 shape);
+  }
+}
+
+class FullProfileChainTest : public ::testing::TestWithParam<PqShape> {};
+
+TEST_P(FullProfileChainTest, RecursiveUpdateRecoversOriginalProfile) {
+  // Equation 10 iterated over whole logs: seeding the store with the FULL
+  // profile of Tn and applying U for e-bar_n .. e-bar_1 must yield the
+  // full profile of T0 -- the strongest single check of the update
+  // function, exercising every row of the table at every step.
+  const PqShape shape = GetParam();
+  Rng rng(31000 + shape.p * 100 + shape.q);
+  for (int trial = 0; trial < 8; ++trial) {
+    Tree t0 = GenerateRandomTree(
+        nullptr, &rng,
+        {.num_nodes = 1 + static_cast<int>(rng.NextBounded(25)),
+         .alphabet_size = 4});
+    Tree tn = t0.Clone();
+    EditLog log;
+    int ops = 1 + static_cast<int>(rng.NextBounded(15));
+    GenerateEditScript(&tn, &rng, ops, EditScriptOptions{}, &log);
+
+    DeltaStore store(shape);
+    FillStoreWithProfile(tn, &store);
+    ProfileUpdater updater(&store, &tn.dict());
+    for (int i = log.size() - 1; i >= 0; --i) {
+      updater.Apply(log.inverse(i));
+    }
+    store.CheckConsistency();
+    std::set<PqGram> got = StoreToSet(store);
+    std::set<PqGram> want = ComputeProfileSet(t0, shape);
+    ASSERT_EQ(got, want) << "shape (" << shape.p << "," << shape.q
+                         << "), " << ops << " ops\n"
+                         << DescribeDiff(got, want, t0.dict());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, FullProfileChainTest,
+    ::testing::ValuesIn(pqidx::testing::AllTestShapes()),
+    [](const ::testing::TestParamInfo<PqShape>& info) {
+      return "p" + std::to_string(info.param.p) + "q" +
+             std::to_string(info.param.q);
+    });
+
+TEST(UpdaterTest, WideFanoutMiddleOps) {
+  for (const PqShape& shape : AllTestShapes()) {
+    Tree ti = MustParse("a(c0,c1,c2,c3,c4,c5,c6,c7)");
+    LabelId x = ti.mutable_dict()->Intern("x");
+    CheckUpdater(ti, EditOperation::Insert(ti.AllocateId(), x, ti.root(), 3,
+                                           0),
+                 shape);
+    CheckUpdater(ti, EditOperation::Delete(ti.child(ti.root(), 4)), shape);
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,117 @@
+// Direct tests of the SAX-style XML event scanner (event ordering,
+// handler error propagation).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xml/xml_scanner.h"
+
+namespace pqidx {
+namespace {
+
+// Records events as strings like "open:a", "attr:k=v", "text:t",
+// "close:a".
+class RecordingHandler : public XmlEventHandler {
+ public:
+  Status OnOpen(std::string_view name) override {
+    events.push_back("open:" + std::string(name));
+    return Status::Ok();
+  }
+  Status OnAttribute(std::string_view name, std::string_view value) override {
+    events.push_back("attr:" + std::string(name) + "=" + std::string(value));
+    return Status::Ok();
+  }
+  Status OnText(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+    return Status::Ok();
+  }
+  Status OnClose(std::string_view name) override {
+    events.push_back("close:" + std::string(name));
+    return Status::Ok();
+  }
+
+  std::vector<std::string> events;
+};
+
+TEST(XmlScannerTest, EventOrder) {
+  RecordingHandler handler;
+  ASSERT_TRUE(
+      ScanXml("<a k=\"1\">hi<b/>there</a>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"open:a", "attr:k=1", "text:hi",
+                                      "open:b", "close:b", "text:there",
+                                      "close:a"}));
+}
+
+TEST(XmlScannerTest, SelfClosingRoot) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ScanXml("<only/>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"open:only", "close:only"}));
+}
+
+TEST(XmlScannerTest, WhitespaceTextSuppressed) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ScanXml("<a>\n   <b/>\t </a>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"open:a", "open:b", "close:b",
+                                      "close:a"}));
+}
+
+TEST(XmlScannerTest, TextIsTrimmedButInnerSpacePreserved) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ScanXml("<a>  two words  </a>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"open:a", "text:two words",
+                                      "close:a"}));
+}
+
+TEST(XmlScannerTest, MultipleAttributesInOrder) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ScanXml("<a x='1' y=\"2\" z='3'/>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"open:a", "attr:x=1", "attr:y=2",
+                                      "attr:z=3", "close:a"}));
+}
+
+TEST(XmlScannerTest, EntityInAttributeValue) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ScanXml("<a k=\"x &amp; y\"/>", &handler).ok());
+  EXPECT_EQ(handler.events[1], "attr:k=x & y");
+}
+
+// A handler whose error stops the scan immediately.
+class FailingHandler : public RecordingHandler {
+ public:
+  explicit FailingHandler(std::string trigger)
+      : trigger_(std::move(trigger)) {}
+  Status OnOpen(std::string_view name) override {
+    if (name == trigger_) return InvalidArgumentError("handler rejected");
+    return RecordingHandler::OnOpen(name);
+  }
+
+ private:
+  std::string trigger_;
+};
+
+TEST(XmlScannerTest, HandlerErrorsPropagate) {
+  FailingHandler handler("bad");
+  Status status = ScanXml("<a><ok/><bad><nested/></bad></a>", &handler);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "handler rejected");
+  // Nothing after the failing element was delivered.
+  EXPECT_EQ(handler.events.back(), "close:ok");
+}
+
+TEST(XmlScannerTest, SyntaxErrorsNameTheProblem) {
+  RecordingHandler handler;
+  Status status = ScanXml("<a><b></c></a>", &handler);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mismatched end tag"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,157 @@
+// Tests for the XML parser and writer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pqidx {
+namespace {
+
+Tree MustParseXml(std::string_view xml, const XmlParseOptions& options = {}) {
+  StatusOr<Tree> tree = ParseXml(xml, nullptr, options);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+TEST(XmlParserTest, SimpleElements) {
+  Tree tree = MustParseXml("<a><b/><c><e/><f/></c><d/></a>");
+  EXPECT_EQ(ToNotation(tree), "a(b,c(e,f),d)");
+  tree.CheckConsistency();
+}
+
+TEST(XmlParserTest, TextContentBecomesLeaves) {
+  Tree tree = MustParseXml("<title>Approximate Lookups</title>");
+  ASSERT_EQ(tree.fanout(tree.root()), 1);
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 0)),
+            "Approximate Lookups");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextIgnored) {
+  Tree tree = MustParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(ToNotation(tree), "a(b,c)");
+}
+
+TEST(XmlParserTest, AttributesBecomeAtChildren) {
+  Tree tree = MustParseXml("<a x=\"1\" y='two'><b/></a>");
+  EXPECT_EQ(ToNotation(tree), "a(@x(1),@y(two),b)");
+}
+
+TEST(XmlParserTest, AttributesCanBeDisabled) {
+  XmlParseOptions options;
+  options.include_attributes = false;
+  Tree tree = MustParseXml("<a x=\"1\"><b/></a>", options);
+  EXPECT_EQ(ToNotation(tree), "a(b)");
+}
+
+TEST(XmlParserTest, TextCanBeDisabled) {
+  XmlParseOptions options;
+  options.include_text = false;
+  Tree tree = MustParseXml("<a>hello<b/>world</a>", options);
+  EXPECT_EQ(ToNotation(tree), "a(b)");
+}
+
+TEST(XmlParserTest, EntitiesAndCharRefs) {
+  Tree tree = MustParseXml("<a>&lt;x&gt; &amp; &#65;&#x42;</a>");
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 0)), "<x> & AB");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  Tree tree = MustParseXml("<a><![CDATA[<raw> & data]]></a>");
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 0)), "<raw> & data");
+}
+
+TEST(XmlParserTest, PrologCommentsAndPI) {
+  Tree tree = MustParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE a [<!ELEMENT a ANY>]>\n"
+      "<!-- comment -->\n"
+      "<a><!-- inner --><b/><?pi data?></a>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(ToNotation(tree), "a(b)");
+}
+
+TEST(XmlParserTest, MixedContentOrderPreserved) {
+  Tree tree = MustParseXml("<p>one<b/>two</p>");
+  ASSERT_EQ(tree.fanout(tree.root()), 3);
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 0)), "one");
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 1)), "b");
+  EXPECT_EQ(tree.LabelString(tree.child(tree.root(), 2)), "two");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("no markup").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a foo></a>").ok());
+  EXPECT_FALSE(ParseXml("<a foo=bar></a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a><!-- unterminated</a>").ok());
+}
+
+TEST(XmlWriterTest, ElementsRoundTrip) {
+  const char* xml = "<a><b/><c><e/><f/></c><d/></a>";
+  Tree tree = MustParseXml(xml);
+  EXPECT_EQ(WriteXml(tree), xml);
+}
+
+TEST(XmlWriterTest, AttributesAndTextRoundTrip) {
+  Tree tree = MustParseXml("<a x=\"1\"><b>hello &amp; more</b></a>");
+  std::string out = WriteXml(tree);
+  Tree reparsed = MustParseXml(out);
+  EXPECT_EQ(ToNotation(reparsed), ToNotation(tree));
+}
+
+TEST(XmlWriterTest, EscapingInTextAndAttributes) {
+  Tree tree(std::make_shared<LabelDict>());
+  NodeId root = tree.CreateRoot("a");
+  NodeId attr = tree.AddChild(root, "@k");
+  tree.AddChild(attr, "va\"l<ue");
+  tree.AddChild(root, "te<x>t & more");
+  std::string out = WriteXml(tree);
+  Tree reparsed = MustParseXml(out);
+  EXPECT_EQ(ToNotation(reparsed), ToNotation(tree));
+}
+
+TEST(XmlWriterTest, IndentedOutputReparsesEquivalently) {
+  Tree tree = MustParseXml("<a x=\"1\"><b><c/></b><d>text here</d></a>");
+  XmlWriteOptions options;
+  options.indent = true;
+  std::string pretty = WriteXml(tree, options);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Tree reparsed = MustParseXml(pretty);
+  EXPECT_EQ(ToNotation(reparsed), ToNotation(tree));
+}
+
+TEST(XmlWriterTest, DeepDocumentDoesNotOverflowStack) {
+  // 50k-deep chain: the writer is iterative.
+  auto dict = std::make_shared<LabelDict>();
+  Tree tree(dict);
+  NodeId cur = tree.CreateRoot("d");
+  for (int i = 0; i < 50000; ++i) cur = tree.AddChild(cur, "d");
+  std::string xml = WriteXml(tree);
+  // 50000 wrappers of <d>...</d> plus the innermost <d/>.
+  EXPECT_EQ(xml.size(), 50000u * 7 + 4);
+  Tree reparsed = MustParseXml(xml);
+  EXPECT_EQ(reparsed.size(), tree.size());
+}
+
+TEST(XmlRoundTripTest, GeneratedTreeSurvivesWriteParse) {
+  // Writer/parser round-trip on an XMark-like document.
+  Rng rng(1);
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 400);
+  std::string xml = WriteXml(doc);
+  Tree reparsed = MustParseXml(xml);
+  EXPECT_EQ(ToNotation(reparsed), ToNotation(doc));
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,411 @@
+// pqidx command-line tool: build, query, and incrementally maintain
+// pq-gram indexes over XML documents.
+//
+//   pqidx build  <index-file> [-p P] [-q Q] <doc.xml>...
+//       Parses the documents (tree ids are assigned in argument order,
+//       starting at 0) and writes the forest index.
+//
+//   pqidx info   <index-file>
+//       Prints per-tree and total index statistics.
+//
+//   pqidx lookup <index-file> <query.xml> [tau]
+//       Approximate lookup: all indexed trees within pq-gram distance tau
+//       (default 0.5) of the query document, most similar first.
+//
+//   pqidx update <index-file> <tree-id> <old.xml> <new.xml>
+//       Diffs the two versions (optimal root-preserving edit script),
+//       replays the script to record the inverse log, and maintains the
+//       index incrementally -- the tree is never re-indexed from scratch.
+//
+//   pqidx dist   <a.xml> <b.xml> [-p P] [-q Q] [--ted] [--canonical]
+//       pq-gram distance between two documents; --ted adds the exact tree
+//       edit distance (slow for large documents), --canonical adds the
+//       sibling-order-invariant canonical distance.
+//
+//   pqidx topk   <index-file> <query.xml> <k>
+//       The k most similar indexed trees.
+//
+//   pqidx diff   <old.xml> <new.xml>
+//       Prints a minimal edit script transforming old into new.
+//
+//   pqidx stats  <doc.xml>
+//       Structural statistics and per-shape pq-gram profile sizes.
+//
+//   pqidx join   <left-index> <right-index> [tau]
+//       Approximate join: all pairs within pq-gram distance tau
+//       (default 0.5). Use the same index file twice for a self-join.
+//
+//   pqidx store <subcommand> ...
+//       Manage a durable document store (crash-safe paged index plus the
+//       documents themselves):
+//         store create <dir> [-p P] [-q Q]
+//         store ingest <dir> <doc.xml>...
+//         store commit <dir> <id> <new.xml>   (diff-driven incremental)
+//         store lookup <dir> <query.xml> [tau]
+//         store ls     <dir>
+//         store verify <dir>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/distance.h"
+#include "core/forest_index.h"
+#include "core/join.h"
+#include "core/incremental.h"
+#include "edit/tree_diff.h"
+#include "storage/document_store.h"
+#include "storage/index_store.h"
+#include "ted/zhang_shasha.h"
+#include "tree/stats.h"
+#include "xml/xml_parser.h"
+
+namespace pqidx {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pqidx build  <index-file> [-p P] [-q Q] <doc.xml>...\n"
+               "  pqidx info   <index-file>\n"
+               "  pqidx lookup <index-file> <query.xml> [tau]\n"
+               "  pqidx update <index-file> <tree-id> <old.xml> <new.xml>\n"
+               "  pqidx dist   <a.xml> <b.xml> [-p P] [-q Q] [--ted] "
+               "[--canonical]\n"
+               "  pqidx topk   <index-file> <query.xml> <k>\n"
+               "  pqidx diff   <old.xml> <new.xml>\n"
+               "  pqidx stats  <doc.xml>\n"
+               "  pqidx join   <left-index> <right-index> [tau]\n"
+               "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "pqidx: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Consumes -p/-q flags from args (in place); returns the shape.
+PqShape ParseShapeFlags(std::vector<std::string>* args) {
+  PqShape shape{3, 3};
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == "-p" && i + 1 < args->size()) {
+      shape.p = std::atoi((*args)[++i].c_str());
+    } else if ((*args)[i] == "-q" && i + 1 < args->size()) {
+      shape.q = std::atoi((*args)[++i].c_str());
+    } else {
+      rest.push_back((*args)[i]);
+    }
+  }
+  *args = rest;
+  if (!shape.Valid()) {
+    std::fprintf(stderr, "pqidx: p and q must be >= 1; using 3,3\n");
+    shape = PqShape{3, 3};
+  }
+  return shape;
+}
+
+int CmdBuild(std::vector<std::string> args) {
+  PqShape shape = ParseShapeFlags(&args);
+  if (args.size() < 2) return Usage();
+  const std::string index_path = args[0];
+  ForestIndex forest(shape);
+  auto dict = std::make_shared<LabelDict>();
+  for (size_t i = 1; i < args.size(); ++i) {
+    StatusOr<Tree> tree = ParseXmlFile(args[i], dict);
+    if (!tree.ok()) return Fail(tree.status());
+    TreeId id = static_cast<TreeId>(i - 1);
+    forest.AddTree(id, *tree);
+    std::printf("tree %-4d %-40s %d nodes, %lld pq-grams\n", id,
+                args[i].c_str(), tree->size(),
+                static_cast<long long>(forest.Find(id)->size()));
+  }
+  if (Status s = SaveForestIndex(forest, index_path); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s (%d trees, %lld bytes, %d,%d-grams)\n",
+              index_path.c_str(), forest.size(),
+              static_cast<long long>(forest.SerializedBytes()), shape.p,
+              shape.q);
+  return 0;
+}
+
+int CmdInfo(std::vector<std::string> args) {
+  if (args.size() != 1) return Usage();
+  StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
+  if (!forest.ok()) return Fail(forest.status());
+  std::printf("%s: %d trees, %d,%d-grams, %lld bytes\n", args[0].c_str(),
+              forest->size(), forest->shape().p, forest->shape().q,
+              static_cast<long long>(forest->SerializedBytes()));
+  for (TreeId id : forest->TreeIds()) {
+    const PqGramIndex* index = forest->Find(id);
+    std::printf("  tree %-4d %10lld pq-grams, %10lld distinct tuples\n", id,
+                static_cast<long long>(index->size()),
+                static_cast<long long>(index->distinct()));
+  }
+  return 0;
+}
+
+int CmdLookup(std::vector<std::string> args) {
+  if (args.size() < 2 || args.size() > 3) return Usage();
+  double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
+  StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
+  if (!forest.ok()) return Fail(forest.status());
+  StatusOr<Tree> query = ParseXmlFile(args[1]);
+  if (!query.ok()) return Fail(query.status());
+  std::vector<LookupResult> hits = forest->Lookup(*query, tau);
+  if (hits.empty()) {
+    std::printf("no tree within distance %.3f\n", tau);
+    return 0;
+  }
+  for (const LookupResult& hit : hits) {
+    std::printf("tree %-4d dist %.4f\n", hit.tree_id, hit.distance);
+  }
+  return 0;
+}
+
+int CmdUpdate(std::vector<std::string> args) {
+  if (args.size() != 4) return Usage();
+  const std::string index_path = args[0];
+  const TreeId id = static_cast<TreeId>(std::atoi(args[1].c_str()));
+  StatusOr<ForestIndex> forest = LoadForestIndex(index_path);
+  if (!forest.ok()) return Fail(forest.status());
+  if (forest->Find(id) == nullptr) {
+    return Fail(NotFoundError("no tree with id " + args[1] + " in index"));
+  }
+  auto dict = std::make_shared<LabelDict>();
+  StatusOr<Tree> old_tree = ParseXmlFile(args[2], dict);
+  if (!old_tree.ok()) return Fail(old_tree.status());
+  StatusOr<Tree> new_tree = ParseXmlFile(args[3], dict);
+  if (!new_tree.ok()) return Fail(new_tree.status());
+
+  TreeDiff diff = ComputeEditScript(*old_tree, *new_tree);
+  EditLog log;
+  if (Status s = ApplyDiff(diff, &old_tree.value(), &log); !s.ok()) {
+    return Fail(s);
+  }
+  UpdateTimings timings;
+  // old_tree has been transformed into (an id-stable copy of) new_tree.
+  Tree& tn = old_tree.value();
+  PqGramIndex index = *forest->Find(id);
+  if (Status s = UpdateIndex(&index, tn, log, &timings); !s.ok()) {
+    return Fail(s);
+  }
+  forest->AddIndex(id, std::move(index));
+  if (Status s = SaveForestIndex(*forest, index_path); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("tree %d: %d edit operations reconstructed, index updated "
+              "in %.4fs (Delta+ %lld, Delta- %lld)\n",
+              id, diff.distance, timings.total_s,
+              static_cast<long long>(timings.delta_plus_pqgrams),
+              static_cast<long long>(timings.delta_minus_pqgrams));
+  return 0;
+}
+
+int CmdDist(std::vector<std::string> args) {
+  bool with_ted = false;
+  bool with_canonical = false;
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg == "--ted") {
+      with_ted = true;
+    } else if (arg == "--canonical") {
+      with_canonical = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  PqShape shape = ParseShapeFlags(&rest);
+  if (rest.size() != 2) return Usage();
+  auto dict = std::make_shared<LabelDict>();
+  StatusOr<Tree> a = ParseXmlFile(rest[0], dict);
+  if (!a.ok()) return Fail(a.status());
+  StatusOr<Tree> b = ParseXmlFile(rest[1], dict);
+  if (!b.ok()) return Fail(b.status());
+  std::printf("pq-gram distance (%d,%d): %.4f\n", shape.p, shape.q,
+              PqGramDistance(*a, *b, shape));
+  if (with_canonical) {
+    std::printf("canonical (unordered):   %.4f\n",
+                CanonicalPqGramDistance(*a, *b, shape));
+  }
+  if (with_ted) {
+    std::printf("tree edit distance:      %d\n", TreeEditDistance(*a, *b));
+  }
+  return 0;
+}
+
+int CmdTopK(std::vector<std::string> args) {
+  if (args.size() != 3) return Usage();
+  StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
+  if (!forest.ok()) return Fail(forest.status());
+  StatusOr<Tree> query = ParseXmlFile(args[1]);
+  if (!query.ok()) return Fail(query.status());
+  int k = std::atoi(args[2].c_str());
+  for (const LookupResult& hit : forest->TopK(*query, k)) {
+    std::printf("tree %-4d dist %.4f\n", hit.tree_id, hit.distance);
+  }
+  return 0;
+}
+
+int CmdDiff(std::vector<std::string> args) {
+  if (args.size() != 2) return Usage();
+  auto dict = std::make_shared<LabelDict>();
+  StatusOr<Tree> old_tree = ParseXmlFile(args[0], dict);
+  if (!old_tree.ok()) return Fail(old_tree.status());
+  StatusOr<Tree> new_tree = ParseXmlFile(args[1], dict);
+  if (!new_tree.ok()) return Fail(new_tree.status());
+  TreeDiff diff = ComputeEditScript(*old_tree, *new_tree);
+  std::printf("%d operations (node ids refer to %s in pre-order):\n",
+              diff.distance, args[0].c_str());
+  for (const EditOperation& op : diff.operations) {
+    std::printf("  %s\n", op.ToString(*dict).c_str());
+  }
+  return 0;
+}
+
+int CmdStats(std::vector<std::string> args) {
+  if (args.size() != 1) return Usage();
+  StatusOr<Tree> tree = ParseXmlFile(args[0]);
+  if (!tree.ok()) return Fail(tree.status());
+  TreeStats stats = ComputeTreeStats(*tree);
+  std::printf("%s", stats.ToString().c_str());
+  std::printf("pq-gram profile sizes: 1,2 -> %lld   2,3 -> %lld   3,3 -> "
+              "%lld\n",
+              static_cast<long long>(
+                  ProfileSizeFromStats(stats, PqShape{1, 2})),
+              static_cast<long long>(
+                  ProfileSizeFromStats(stats, PqShape{2, 3})),
+              static_cast<long long>(
+                  ProfileSizeFromStats(stats, PqShape{3, 3})));
+  return 0;
+}
+
+int CmdJoin(std::vector<std::string> args) {
+  if (args.size() < 2 || args.size() > 3) return Usage();
+  double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
+  StatusOr<ForestIndex> left = LoadForestIndex(args[0]);
+  if (!left.ok()) return Fail(left.status());
+  if (args[0] == args[1]) {
+    for (const JoinResult& pair : SelfJoin(*left, tau)) {
+      std::printf("%-4d %-4d dist %.4f\n", pair.left, pair.right,
+                  pair.distance);
+    }
+    return 0;
+  }
+  StatusOr<ForestIndex> right = LoadForestIndex(args[1]);
+  if (!right.ok()) return Fail(right.status());
+  if (!(left->shape() == right->shape())) {
+    return Fail(InvalidArgumentError("index shapes differ"));
+  }
+  for (const JoinResult& pair : IndexJoin(*left, *right, tau)) {
+    std::printf("%-4d %-4d dist %.4f\n", pair.left, pair.right,
+                pair.distance);
+  }
+  return 0;
+}
+
+int CmdStore(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  std::string sub = args[0];
+  args.erase(args.begin());
+  if (sub == "create") {
+    PqShape shape = ParseShapeFlags(&args);
+    if (args.size() != 1) return Usage();
+    StatusOr<std::unique_ptr<DocumentStore>> store =
+        DocumentStore::Create(args[0], shape);
+    if (!store.ok()) return Fail(store.status());
+    std::printf("created store %s (%d,%d-grams)\n", args[0].c_str(),
+                shape.p, shape.q);
+    return 0;
+  }
+  if (args.empty()) return Usage();
+  const std::string dir = args[0];
+  StatusOr<std::unique_ptr<DocumentStore>> store = DocumentStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+
+  if (sub == "ingest") {
+    if (args.size() < 2) return Usage();
+    for (size_t i = 1; i < args.size(); ++i) {
+      StatusOr<Tree> doc = ParseXmlFile(args[i]);
+      if (!doc.ok()) return Fail(doc.status());
+      StatusOr<TreeId> id = (*store)->Ingest(*doc);
+      if (!id.ok()) return Fail(id.status());
+      std::printf("doc %-4d %-40s %d nodes\n", *id, args[i].c_str(),
+                  doc->size());
+    }
+    return 0;
+  }
+  if (sub == "commit") {
+    if (args.size() != 3) return Usage();
+    TreeId id = static_cast<TreeId>(std::atoi(args[1].c_str()));
+    StatusOr<Tree> current = (*store)->Checkout(id);
+    if (!current.ok()) return Fail(current.status());
+    StatusOr<Tree> next =
+        ParseXmlFile(args[2], current->dict_ptr());
+    if (!next.ok()) return Fail(next.status());
+    if (Status s = (*store)->CommitVersion(id, *next); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("doc %d updated incrementally from %s\n", id,
+                args[2].c_str());
+    return 0;
+  }
+  if (sub == "lookup") {
+    if (args.size() < 2 || args.size() > 3) return Usage();
+    double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
+    StatusOr<Tree> query = ParseXmlFile(args[1]);
+    if (!query.ok()) return Fail(query.status());
+    StatusOr<std::vector<LookupResult>> hits =
+        (*store)->Lookup(*query, tau);
+    if (!hits.ok()) return Fail(hits.status());
+    for (const LookupResult& hit : *hits) {
+      std::printf("doc %-4d dist %.4f\n", hit.tree_id, hit.distance);
+    }
+    if (hits->empty()) std::printf("no document within %.3f\n", tau);
+    return 0;
+  }
+  if (sub == "ls") {
+    std::printf("%s: %d documents, %d,%d-grams\n", dir.c_str(),
+                (*store)->size(), (*store)->shape().p,
+                (*store)->shape().q);
+    for (TreeId id : (*store)->DocumentIds()) {
+      std::printf("  doc %-4d\n", id);
+    }
+    return 0;
+  }
+  if (sub == "verify") {
+    if (Status s = (*store)->Verify(); !s.ok()) return Fail(s);
+    std::printf("store %s verified: every index matches its document\n",
+                dir.c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "build") return CmdBuild(std::move(args));
+  if (command == "info") return CmdInfo(std::move(args));
+  if (command == "lookup") return CmdLookup(std::move(args));
+  if (command == "update") return CmdUpdate(std::move(args));
+  if (command == "dist") return CmdDist(std::move(args));
+  if (command == "topk") return CmdTopK(std::move(args));
+  if (command == "diff") return CmdDiff(std::move(args));
+  if (command == "stats") return CmdStats(std::move(args));
+  if (command == "join") return CmdJoin(std::move(args));
+  if (command == "store") return CmdStore(std::move(args));
+  return Usage();
+}
+
+}  // namespace
+}  // namespace pqidx
+
+int main(int argc, char** argv) { return pqidx::Main(argc, argv); }
