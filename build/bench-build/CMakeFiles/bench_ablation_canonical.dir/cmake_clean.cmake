@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_canonical"
+  "../bench/bench_ablation_canonical.pdb"
+  "CMakeFiles/bench_ablation_canonical.dir/bench_ablation_canonical.cc.o"
+  "CMakeFiles/bench_ablation_canonical.dir/bench_ablation_canonical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

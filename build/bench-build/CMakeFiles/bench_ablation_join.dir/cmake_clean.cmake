@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_join"
+  "../bench/bench_ablation_join.pdb"
+  "CMakeFiles/bench_ablation_join.dir/bench_ablation_join.cc.o"
+  "CMakeFiles/bench_ablation_join.dir/bench_ablation_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_logopt"
+  "../bench/bench_ablation_logopt.pdb"
+  "CMakeFiles/bench_ablation_logopt.dir/bench_ablation_logopt.cc.o"
+  "CMakeFiles/bench_ablation_logopt.dir/bench_ablation_logopt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

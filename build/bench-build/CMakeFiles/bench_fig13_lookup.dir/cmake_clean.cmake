@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_lookup"
+  "../bench/bench_fig13_lookup.pdb"
+  "CMakeFiles/bench_fig13_lookup.dir/bench_fig13_lookup.cc.o"
+  "CMakeFiles/bench_fig13_lookup.dir/bench_fig13_lookup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

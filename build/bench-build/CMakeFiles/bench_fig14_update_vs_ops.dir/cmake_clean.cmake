@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_update_vs_ops"
+  "../bench/bench_fig14_update_vs_ops.pdb"
+  "CMakeFiles/bench_fig14_update_vs_ops.dir/bench_fig14_update_vs_ops.cc.o"
+  "CMakeFiles/bench_fig14_update_vs_ops.dir/bench_fig14_update_vs_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_update_vs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_detection.dir/change_detection.cc.o"
+  "CMakeFiles/change_detection.dir/change_detection.cc.o.d"
+  "change_detection"
+  "change_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

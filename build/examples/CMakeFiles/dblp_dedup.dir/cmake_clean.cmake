@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_dedup.dir/dblp_dedup.cc.o"
+  "CMakeFiles/dblp_dedup.dir/dblp_dedup.cc.o.d"
+  "dblp_dedup"
+  "dblp_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_index.dir/durable_index.cc.o"
+  "CMakeFiles/durable_index.dir/durable_index.cc.o.d"
+  "durable_index"
+  "durable_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

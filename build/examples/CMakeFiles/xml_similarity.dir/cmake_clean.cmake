@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_similarity.dir/xml_similarity.cc.o"
+  "CMakeFiles/xml_similarity.dir/xml_similarity.cc.o.d"
+  "xml_similarity"
+  "xml_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fingerprint.cc" "src/CMakeFiles/pqidx.dir/common/fingerprint.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/common/fingerprint.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/pqidx.dir/common/random.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/common/random.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/pqidx.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pqidx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/pqidx.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/canonical.cc" "src/CMakeFiles/pqidx.dir/core/canonical.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/canonical.cc.o.d"
+  "/root/repo/src/core/delta.cc" "src/CMakeFiles/pqidx.dir/core/delta.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/delta.cc.o.d"
+  "/root/repo/src/core/delta_store.cc" "src/CMakeFiles/pqidx.dir/core/delta_store.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/delta_store.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/pqidx.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/forest_index.cc" "src/CMakeFiles/pqidx.dir/core/forest_index.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/forest_index.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/pqidx.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/inverted_index.cc" "src/CMakeFiles/pqidx.dir/core/inverted_index.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/inverted_index.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/pqidx.dir/core/join.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/join.cc.o.d"
+  "/root/repo/src/core/parallel_build.cc" "src/CMakeFiles/pqidx.dir/core/parallel_build.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/parallel_build.cc.o.d"
+  "/root/repo/src/core/pqgram.cc" "src/CMakeFiles/pqidx.dir/core/pqgram.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/pqgram.cc.o.d"
+  "/root/repo/src/core/pqgram_index.cc" "src/CMakeFiles/pqidx.dir/core/pqgram_index.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/pqgram_index.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/CMakeFiles/pqidx.dir/core/profile.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/profile.cc.o.d"
+  "/root/repo/src/core/profile_updater.cc" "src/CMakeFiles/pqidx.dir/core/profile_updater.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/profile_updater.cc.o.d"
+  "/root/repo/src/core/record_index.cc" "src/CMakeFiles/pqidx.dir/core/record_index.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/record_index.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/CMakeFiles/pqidx.dir/core/streaming.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/streaming.cc.o.d"
+  "/root/repo/src/core/ted_search.cc" "src/CMakeFiles/pqidx.dir/core/ted_search.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/core/ted_search.cc.o.d"
+  "/root/repo/src/edit/edit_log.cc" "src/CMakeFiles/pqidx.dir/edit/edit_log.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/edit_log.cc.o.d"
+  "/root/repo/src/edit/edit_operation.cc" "src/CMakeFiles/pqidx.dir/edit/edit_operation.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/edit_operation.cc.o.d"
+  "/root/repo/src/edit/edit_script.cc" "src/CMakeFiles/pqidx.dir/edit/edit_script.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/edit_script.cc.o.d"
+  "/root/repo/src/edit/log_optimizer.cc" "src/CMakeFiles/pqidx.dir/edit/log_optimizer.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/log_optimizer.cc.o.d"
+  "/root/repo/src/edit/subtree_ops.cc" "src/CMakeFiles/pqidx.dir/edit/subtree_ops.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/subtree_ops.cc.o.d"
+  "/root/repo/src/edit/tree_diff.cc" "src/CMakeFiles/pqidx.dir/edit/tree_diff.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/edit/tree_diff.cc.o.d"
+  "/root/repo/src/storage/document_store.cc" "src/CMakeFiles/pqidx.dir/storage/document_store.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/document_store.cc.o.d"
+  "/root/repo/src/storage/index_store.cc" "src/CMakeFiles/pqidx.dir/storage/index_store.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/index_store.cc.o.d"
+  "/root/repo/src/storage/linear_hash.cc" "src/CMakeFiles/pqidx.dir/storage/linear_hash.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/linear_hash.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/pqidx.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/persistent_forest_index.cc" "src/CMakeFiles/pqidx.dir/storage/persistent_forest_index.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/persistent_forest_index.cc.o.d"
+  "/root/repo/src/storage/tree_store.cc" "src/CMakeFiles/pqidx.dir/storage/tree_store.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/storage/tree_store.cc.o.d"
+  "/root/repo/src/ted/zhang_shasha.cc" "src/CMakeFiles/pqidx.dir/ted/zhang_shasha.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/ted/zhang_shasha.cc.o.d"
+  "/root/repo/src/tree/generators.cc" "src/CMakeFiles/pqidx.dir/tree/generators.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/tree/generators.cc.o.d"
+  "/root/repo/src/tree/label_dict.cc" "src/CMakeFiles/pqidx.dir/tree/label_dict.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/tree/label_dict.cc.o.d"
+  "/root/repo/src/tree/stats.cc" "src/CMakeFiles/pqidx.dir/tree/stats.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/tree/stats.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/pqidx.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/tree/tree.cc.o.d"
+  "/root/repo/src/tree/tree_builder.cc" "src/CMakeFiles/pqidx.dir/tree/tree_builder.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/tree/tree_builder.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/pqidx.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/pqidx.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/pqidx.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_optimizer_test.dir/log_optimizer_test.cc.o"
+  "CMakeFiles/log_optimizer_test.dir/log_optimizer_test.cc.o.d"
+  "log_optimizer_test"
+  "log_optimizer_test.pdb"
+  "log_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_index_test.dir/persistent_index_test.cc.o"
+  "CMakeFiles/persistent_index_test.dir/persistent_index_test.cc.o.d"
+  "persistent_index_test"
+  "persistent_index_test.pdb"
+  "persistent_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_index_test.dir/record_index_test.cc.o"
+  "CMakeFiles/record_index_test.dir/record_index_test.cc.o.d"
+  "record_index_test"
+  "record_index_test.pdb"
+  "record_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

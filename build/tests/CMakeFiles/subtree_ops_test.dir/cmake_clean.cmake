@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_ops_test.dir/subtree_ops_test.cc.o"
+  "CMakeFiles/subtree_ops_test.dir/subtree_ops_test.cc.o.d"
+  "subtree_ops_test"
+  "subtree_ops_test.pdb"
+  "subtree_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ted_search_test.dir/ted_search_test.cc.o"
+  "CMakeFiles/ted_search_test.dir/ted_search_test.cc.o.d"
+  "ted_search_test"
+  "ted_search_test.pdb"
+  "ted_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ted_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

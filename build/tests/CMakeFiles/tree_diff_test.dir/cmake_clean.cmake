@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_diff_test.dir/tree_diff_test.cc.o"
+  "CMakeFiles/tree_diff_test.dir/tree_diff_test.cc.o.d"
+  "tree_diff_test"
+  "tree_diff_test.pdb"
+  "tree_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

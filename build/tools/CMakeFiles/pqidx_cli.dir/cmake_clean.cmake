@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqidx_cli.dir/pqidx.cc.o"
+  "CMakeFiles/pqidx_cli.dir/pqidx.cc.o.d"
+  "pqidx"
+  "pqidx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqidx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
