@@ -1,0 +1,89 @@
+// Fuzz harness for the byte-level decode surfaces built on ByteReader:
+// the LEB128/fixed-width primitives themselves and the record decoders
+// layered on them (pq-gram index, forest index, serialized trees). Every
+// outcome must be a clean Status or a valid value -- never UB, an abort,
+// or an out-of-bounds read (the sanitizers watch for all three).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/serde.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "storage/tree_store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Primitive decode loop: the input drives both the operation sequence
+  // and the bytes being decoded.
+  {
+    pqidx::ByteReader reader(input);
+    uint8_t tag;
+    while (reader.GetU8(&tag).ok()) {
+      switch (tag % 6) {
+        case 0: {
+          uint8_t v;
+          if (!reader.GetU8(&v).ok()) return 0;
+          break;
+        }
+        case 1: {
+          uint32_t v;
+          if (!reader.GetU32(&v).ok()) return 0;
+          break;
+        }
+        case 2: {
+          uint64_t v;
+          if (!reader.GetU64(&v).ok()) return 0;
+          break;
+        }
+        case 3: {
+          uint64_t v;
+          if (!reader.GetVarint(&v).ok()) return 0;
+          break;
+        }
+        case 4: {
+          int64_t v;
+          if (!reader.GetSignedVarint(&v).ok()) return 0;
+          break;
+        }
+        default: {
+          std::string s;
+          if (!reader.GetString(&s).ok()) return 0;
+          break;
+        }
+      }
+    }
+  }
+
+  // Record decoders over the raw input. Accepted values must satisfy
+  // their own invariants (checked cheaply here; aborts would surface).
+  {
+    pqidx::ByteReader reader(input);
+    pqidx::StatusOr<pqidx::PqGramIndex> index =
+        pqidx::PqGramIndex::Deserialize(&reader);
+    if (index.ok()) {
+      pqidx::ComputeIndexStats(*index);
+      index->SerializedBytes();
+    }
+  }
+  {
+    pqidx::ByteReader reader(input);
+    pqidx::StatusOr<pqidx::ForestIndex> forest =
+        pqidx::ForestIndex::Deserialize(&reader);
+    if (forest.ok()) {
+      forest->TreeIds();
+      forest->SerializedBytes();
+    }
+  }
+  {
+    pqidx::ByteReader reader(input);
+    pqidx::StatusOr<pqidx::Tree> tree = pqidx::DeserializeTree(&reader);
+    if (tree.ok()) {
+      tree->CheckConsistency();
+    }
+  }
+  return 0;
+}

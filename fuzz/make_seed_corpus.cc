@@ -1,0 +1,176 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/ from the
+// current serialization formats, so seeds stay valid when formats evolve:
+//
+//   ./build/fuzz/make_seed_corpus fuzz/corpus
+//
+// Each seed is a *valid* artifact (serialized index, well-formed XML,
+// committed hash-table image, sealed WAL): coverage-guided fuzzers
+// mutate outward from the accepting paths, which reaches far deeper than
+// random bytes, and the standalone smoke mode replays them to pin the
+// happy paths under sanitizers.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "storage/linear_hash.h"
+#include "storage/pager.h"
+#include "storage/tree_store.h"
+#include "tree/generators.h"
+#include "xml/xml_writer.h"
+
+namespace pqidx {
+namespace {
+
+Status WriteSeed(const std::string& dir, const std::string& name,
+                 std::string_view bytes) {
+  std::filesystem::create_directories(dir);
+  return WriteFile(dir + "/" + name, bytes);
+}
+
+Status MakeSerdeSeeds(const std::string& dir) {
+  Rng rng(41);
+  {
+    Tree tree = GenerateDblpLike(nullptr, &rng, 6);
+    ByteWriter writer;
+    BuildIndex(tree, PqShape{3, 3}).Serialize(&writer);
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "pqgram_index.bin", writer.data()));
+  }
+  {
+    ForestIndex forest(PqShape{2, 2});
+    for (TreeId id = 0; id < 3; ++id) {
+      forest.AddTree(id, GenerateXmarkLike(nullptr, &rng, 12));
+    }
+    ByteWriter writer;
+    forest.Serialize(&writer);
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "forest_index.bin", writer.data()));
+  }
+  {
+    Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 25});
+    ByteWriter writer;
+    SerializeTree(tree, &writer);
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "tree.bin", writer.data()));
+  }
+  {
+    // A primitive stream in the harness's tag-driven format.
+    ByteWriter writer;
+    writer.PutU8(3);  // tag: varint
+    writer.PutVarint(1u << 20);
+    writer.PutU8(5);  // tag: string
+    writer.PutString("seed");
+    writer.PutU8(2);  // tag: u64
+    writer.PutU64(0x0123456789abcdefULL);
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "primitives.bin", writer.data()));
+  }
+  return Status::Ok();
+}
+
+Status MakeXmlSeeds(const std::string& dir) {
+  Rng rng(42);
+  PQIDX_RETURN_IF_ERROR(WriteSeed(
+      dir, "generated.xml", WriteXml(GenerateXmarkLike(nullptr, &rng, 30))));
+  PQIDX_RETURN_IF_ERROR(WriteSeed(
+      dir, "features.xml",
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE doc>\n"
+      "<doc id=\"1\" kind='seed'>\n"
+      "  <!-- comment -->\n"
+      "  <a>text &amp; entities &lt;here&gt; &#65; &#x42;</a>\n"
+      "  <b><![CDATA[raw <cdata> & bytes]]></b>\n"
+      "  <empty/>\n"
+      "</doc>\n"));
+  PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "minimal.xml", "<r/>"));
+  return Status::Ok();
+}
+
+Status MakeLinearHashSeeds(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string tmp = dir + "/.tmp_lh.pages";
+  {
+    Pager pager(64);
+    PQIDX_RETURN_IF_ERROR(pager.Open(tmp, /*create=*/true));
+    StatusOr<PageId> meta = pager.AllocatePage();
+    PQIDX_RETURN_IF_ERROR(meta.status());
+    LinearHashTable table(&pager);
+    PQIDX_RETURN_IF_ERROR(table.Create(*meta));
+    // Enough entries to force overflow chains and at least one split.
+    for (uint32_t i = 0; i < 1500; ++i) {
+      PQIDX_RETURN_IF_ERROR(
+          table.AddDelta(i % 7, 0x9e3779b97f4a7c15ULL * i, 1 + i % 3));
+    }
+    PQIDX_RETURN_IF_ERROR(pager.Commit());
+    PQIDX_RETURN_IF_ERROR(pager.Close());
+  }
+  std::string image;
+  PQIDX_RETURN_IF_ERROR(ReadFile(tmp, &image));
+  std::remove(tmp.c_str());
+  std::remove((tmp + ".wal").c_str());
+  return WriteSeed(dir, "table.pages", image);
+}
+
+Status MakePagerSeeds(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string tmp = dir + "/.tmp_pg.pages";
+  // A commit "crashed" after the WAL seal leaves a valid sealed WAL next
+  // to a stale file: the exact state ReplayOrDiscardWal exists for.
+  {
+    Pager pager(16);
+    PQIDX_RETURN_IF_ERROR(pager.Open(tmp, /*create=*/true));
+    for (int i = 0; i < 3; ++i) {
+      StatusOr<PageId> id = pager.AllocatePage();
+      PQIDX_RETURN_IF_ERROR(id.status());
+      StatusOr<uint8_t*> page = pager.MutablePage(*id);
+      PQIDX_RETURN_IF_ERROR(page.status());
+      (*page)[0] = static_cast<uint8_t>(0x10 + i);
+      (*page)[kPageSize - 1] = static_cast<uint8_t>(0xf0 + i);
+    }
+    PQIDX_RETURN_IF_ERROR(pager.Commit());
+    StatusOr<uint8_t*> page = pager.MutablePage(1);
+    PQIDX_RETURN_IF_ERROR(page.status());
+    (*page)[7] = 0x77;
+    PQIDX_RETURN_IF_ERROR(
+        pager.CommitWithCrash(Pager::CrashPoint::kAfterWalSeal));
+  }
+  std::string file_image, wal_image;
+  PQIDX_RETURN_IF_ERROR(ReadFile(tmp, &file_image));
+  PQIDX_RETURN_IF_ERROR(ReadFile(tmp + ".wal", &wal_image));
+  std::remove(tmp.c_str());
+  std::remove((tmp + ".wal").c_str());
+
+  // Seed for the harness's WAL surface: one size byte, then the WAL.
+  PQIDX_RETURN_IF_ERROR(
+      WriteSeed(dir, "sealed_wal.bin", std::string(1, '\x02') + wal_image));
+  // Seed for the page-file surface: a committed 3-page file.
+  PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "page_file.bin", file_image));
+  return Status::Ok();
+}
+
+}  // namespace
+}  // namespace pqidx
+
+int main(int argc, char** argv) {
+  std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
+  struct Job {
+    const char* name;
+    pqidx::Status (*make)(const std::string&);
+  };
+  const Job jobs[] = {
+      {"serde", pqidx::MakeSerdeSeeds},
+      {"xml_scanner", pqidx::MakeXmlSeeds},
+      {"linear_hash", pqidx::MakeLinearHashSeeds},
+      {"pager", pqidx::MakePagerSeeds},
+  };
+  for (const Job& job : jobs) {
+    pqidx::Status status = job.make(root + "/" + job.name);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", job.name, status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/%s\n", root.c_str(), job.name);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Standalone driver for the libFuzzer-style harnesses in this directory.
+//
+// Each harness defines LLVMFuzzerTestOneInput; when clang's libFuzzer is
+// available the harness links against -fsanitize=fuzzer instead of this
+// file and explores coverage-guided inputs. This driver provides the
+// toolchain-independent short-run mode used by ctest and CI:
+//
+//   fuzz_serde [--smoke N] [path-or-dir ...]
+//
+// runs every file in the given corpus paths, then N deterministic
+// pseudo-random inputs, and exits non-zero only if a harness misbehaves
+// (sanitizers abort the process on their own).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open corpus file: %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    std::fprintf(stderr, "read error: %s\n", path.c_str());
+    return false;
+  }
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+// xorshift64*: deterministic input generator for the smoke mode, so two
+// runs of the same binary always exercise identical byte streams.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t smoke = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 && i + 1 < argc) {
+      smoke = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  size_t executed = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const std::string& file : files) {
+        if (!RunFile(file)) return 1;
+        ++executed;
+      }
+    } else {
+      if (!RunFile(path)) return 1;
+      ++executed;
+    }
+  }
+
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t i = 0; i < smoke; ++i) {
+    size_t len = static_cast<size_t>(NextRand(&state) % 2048);
+    std::vector<uint8_t> bytes(len);
+    for (size_t b = 0; b < len; ++b) {
+      bytes[b] = static_cast<uint8_t>(NextRand(&state));
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++executed;
+  }
+
+  std::printf("ran %zu inputs\n", executed);
+  return 0;
+}

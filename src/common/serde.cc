@@ -64,13 +64,23 @@ Status ByteReader::GetU64(uint64_t* out) {
 }
 
 Status ByteReader::GetVarint(uint64_t* out) {
+  // A uint64 needs at most 10 LEB128 bytes; the 10th may only carry the
+  // top bit (64 = 9*7 + 1). Both over-length encodings and a 10th byte
+  // with payload above bit 63 are malformed: without these guards the
+  // high bits would be shifted out silently (and a naive `<< shift`
+  // with shift >= 64 is UB), turning corrupt input into a wrong value
+  // instead of an error.
   uint64_t v = 0;
   int shift = 0;
   for (;;) {
     if (shift >= 64) return DataLossError("varint too long");
     uint8_t b;
     PQIDX_RETURN_IF_ERROR(GetU8(&b));
-    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    uint64_t chunk = b & 0x7f;
+    if (shift > 57 && (chunk >> (64 - shift)) != 0) {
+      return DataLossError("varint overflows 64 bits");
+    }
+    v |= chunk << shift;
     if ((b & 0x80) == 0) break;
     shift += 7;
   }

@@ -1,6 +1,7 @@
 #include "core/forest_index.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/distance.h"
 #include "core/incremental.h"
@@ -100,6 +101,11 @@ StatusOr<ForestIndex> ForestIndex::Deserialize(ByteReader* reader) {
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id;
     PQIDX_RETURN_IF_ERROR(reader->GetVarint(&id));
+    // Tree ids are int32; anything wider is corrupt, and a narrowing cast
+    // would silently collide distinct trees.
+    if (id > static_cast<uint64_t>(INT32_MAX)) {
+      return DataLossError("tree id overflows int32 in serialized forest");
+    }
     StatusOr<PqGramIndex> index = PqGramIndex::Deserialize(reader);
     PQIDX_RETURN_IF_ERROR(index.status());
     if (!(index->shape() == forest.shape_)) {

@@ -1,6 +1,7 @@
 #include "core/pqgram_index.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -55,12 +56,25 @@ StatusOr<PqGramIndex> PqGramIndex::Deserialize(ByteReader* reader) {
   PqGramIndex index(PqShape{p, q});
   uint64_t entries;
   PQIDX_RETURN_IF_ERROR(reader->GetVarint(&entries));
+  int64_t total = 0;
   for (uint64_t i = 0; i < entries; ++i) {
     uint64_t fp, count;
     PQIDX_RETURN_IF_ERROR(reader->GetU64(&fp));
     PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
     if (count == 0) return DataLossError("zero count in serialized index");
-    index.Add(fp, static_cast<int64_t>(count));
+    // Counts are int64 internally; a count above int64 max, a duplicate
+    // fingerprint pushing one tuple over it, or a bag cardinality
+    // overflowing the running total are all corrupt input, and must fail
+    // here rather than trip the (abort-on-failure) bag invariants.
+    if (count > static_cast<uint64_t>(INT64_MAX)) {
+      return DataLossError("count overflows int64 in serialized index");
+    }
+    int64_t n = static_cast<int64_t>(count);
+    if (__builtin_add_overflow(total, n, &total) ||
+        index.Count(fp) > INT64_MAX - n) {
+      return DataLossError("total pq-gram count overflows int64");
+    }
+    index.Add(fp, n);
   }
   return index;
 }

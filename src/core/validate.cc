@@ -1,0 +1,128 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+
+namespace pqidx {
+namespace {
+
+std::string FpToString(PqGramFingerprint fp) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+// Bounded bag diff: the first few fingerprints whose multiplicities
+// disagree, rendered as "fp: got g, want w".
+std::string DescribeBagDiff(const PqGramIndex& got, const PqGramIndex& want,
+                            int limit = 5) {
+  std::set<PqGramFingerprint> keys;
+  for (const auto& [fp, count] : got.counts()) keys.insert(fp);
+  for (const auto& [fp, count] : want.counts()) keys.insert(fp);
+  std::string out;
+  int shown = 0, mismatched = 0;
+  for (PqGramFingerprint fp : keys) {
+    if (got.Count(fp) == want.Count(fp)) continue;
+    ++mismatched;
+    if (shown >= limit) continue;
+    out += (shown == 0 ? "" : "; ") + FpToString(fp) + ": got " +
+           std::to_string(got.Count(fp)) + ", want " +
+           std::to_string(want.Count(fp));
+    ++shown;
+  }
+  if (mismatched > shown) {
+    out += " (+" + std::to_string(mismatched - shown) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ValidatePqGramIndex(const PqGramIndex& index) {
+  if (!index.shape().Valid()) {
+    return FailedPreconditionError("pq-gram index has an invalid shape");
+  }
+  int64_t total = 0;
+  for (const auto& [fp, count] : index.counts()) {
+    if (count <= 0) {
+      return FailedPreconditionError("non-positive count " +
+                                     std::to_string(count) +
+                                     " for fingerprint " + FpToString(fp));
+    }
+    if (__builtin_add_overflow(total, count, &total)) {
+      return FailedPreconditionError("bag cardinality overflows int64");
+    }
+  }
+  if (total != index.size()) {
+    return FailedPreconditionError(
+        "size() = " + std::to_string(index.size()) +
+        " does not match the sum of counts " + std::to_string(total));
+  }
+  if (index.distinct() != static_cast<int64_t>(index.counts().size())) {
+    return FailedPreconditionError("distinct() disagrees with the bag");
+  }
+  return Status::Ok();
+}
+
+Status ValidateIndexAgainstTree(const PqGramIndex& index, const Tree& tree) {
+  PQIDX_RETURN_IF_ERROR(ValidatePqGramIndex(index));
+  PqGramIndex rebuilt = BuildIndex(tree, index.shape());
+  if (index == rebuilt) return Status::Ok();
+  return FailedPreconditionError(
+      "maintained index diverges from a from-scratch rebuild (shape " +
+      std::to_string(index.shape().p) + "," +
+      std::to_string(index.shape().q) + "): " +
+      DescribeBagDiff(index, rebuilt));
+}
+
+Status ValidateForestIndex(const ForestIndex& forest) {
+  for (TreeId id : forest.TreeIds()) {
+    const PqGramIndex* index = forest.Find(id);
+    if (index == nullptr) {
+      return FailedPreconditionError("TreeIds lists tree " +
+                                     std::to_string(id) +
+                                     " but Find returns null");
+    }
+    if (!(index->shape() == forest.shape())) {
+      return FailedPreconditionError(
+          "tree " + std::to_string(id) +
+          " is indexed with a shape different from the forest's");
+    }
+    Status status = ValidatePqGramIndex(*index);
+    if (!status.ok()) {
+      return FailedPreconditionError("tree " + std::to_string(id) + ": " +
+                                     status.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateForestAgainstTrees(
+    const ForestIndex& forest,
+    const std::vector<std::pair<TreeId, const Tree*>>& trees) {
+  PQIDX_RETURN_IF_ERROR(ValidateForestIndex(forest));
+  if (static_cast<size_t>(forest.size()) != trees.size()) {
+    return FailedPreconditionError(
+        "forest indexes " + std::to_string(forest.size()) + " trees, " +
+        std::to_string(trees.size()) + " expected");
+  }
+  for (const auto& [id, tree] : trees) {
+    const PqGramIndex* index = forest.Find(id);
+    if (index == nullptr) {
+      return FailedPreconditionError("no index for tree " +
+                                     std::to_string(id));
+    }
+    Status status = ValidateIndexAgainstTree(*index, *tree);
+    if (!status.ok()) {
+      return FailedPreconditionError("tree " + std::to_string(id) + ": " +
+                                     status.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pqidx

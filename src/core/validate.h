@@ -1,0 +1,45 @@
+// Debug invariant validators: cross-check an incrementally maintained
+// index against a from-scratch rebuild of the same tree (the paper's
+// headline identity In = I0 \ lambda(Delta-) u+ lambda(Delta+), Theorems
+// 1-2), plus the internal bag invariants every PqGramIndex must satisfy.
+//
+// Validators return Status instead of aborting so tests can assert on
+// them and fuzz/stress harnesses can call them on arbitrary states; the
+// failure message carries a bounded diff of the first mismatching
+// fingerprints for diagnosis. These checks are O(tree) per call --
+// intended for tests and debug sweeps, not production hot paths.
+
+#ifndef PQIDX_CORE_VALIDATE_H_
+#define PQIDX_CORE_VALIDATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+// Internal bag invariants: every stored count is positive and size()
+// equals the sum of the counts.
+Status ValidatePqGramIndex(const PqGramIndex& index);
+
+// Full cross-check: `index` must equal BuildIndex(tree, index.shape())
+// as a bag. This is the Theorem 1/2 oracle the incremental-maintenance
+// tests run after every UpdateIndex.
+Status ValidateIndexAgainstTree(const PqGramIndex& index, const Tree& tree);
+
+// Per-tree shape agreement plus internal invariants of every bag.
+Status ValidateForestIndex(const ForestIndex& forest);
+
+// The forest must index exactly `trees` (same ids), and each per-tree
+// bag must match a rebuild of its tree.
+Status ValidateForestAgainstTrees(
+    const ForestIndex& forest,
+    const std::vector<std::pair<TreeId, const Tree*>>& trees);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_VALIDATE_H_

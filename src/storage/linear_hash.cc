@@ -1,5 +1,6 @@
 #include "storage/linear_hash.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -66,6 +67,26 @@ Entry LoadEntry(const uint8_t* page, int slot) {
           Load<int64_t>(page, off + 12)};
 }
 
+// Validates the entry count of a bucket page image read from disk. A
+// corrupt count would otherwise index entries past the 4 KiB page.
+Status CheckedBucketCount(const uint8_t* page, int* count) {
+  int n = Load<uint16_t>(page, kBucketCountOff);
+  if (n > kEntriesPerPage) {
+    return DataLossError("bucket page entry count exceeds page capacity");
+  }
+  *count = n;
+  return Status::Ok();
+}
+
+// Guards chain walks against cyclic next-pointers in corrupt files: a
+// chain can never have more pages than the file itself.
+Status CheckChainStep(const Pager& pager, uint64_t* steps) {
+  if (++*steps > pager.page_count()) {
+    return DataLossError("bucket overflow chain cycle");
+  }
+  return Status::Ok();
+}
+
 void StoreEntry(uint8_t* page, int slot, const Entry& entry) {
   int off = kBucketEntriesOff + slot * kEntrySize;
   Store(page, off, entry.tree);
@@ -114,6 +135,19 @@ Status LinearHashTable::LoadMeta() {
   bucket_count_ = Load<uint32_t>(*meta, kMetaBucketCountOff);
   entry_count_ = Load<uint64_t>(*meta, kMetaEntryCountOff);
   free_head_ = Load<uint32_t>(*meta, kMetaFreeHeadOff);
+  // Reject meta images that violate the linear-hash state equations
+  // before any field is used: an oversized level would shift out of
+  // range in BucketFor, and an inconsistent bucket count would walk
+  // directory slots that never existed.
+  uint64_t round_size = uint64_t{kInitialBuckets} << std::min(level_, 32u);
+  if (level_ > 27 ||
+      next_split_ >= round_size ||
+      bucket_count_ != round_size + next_split_ ||
+      bucket_count_ >
+          static_cast<uint64_t>(kMaxDirPages) * kBucketsPerDirPage ||
+      free_head_ >= pager_->page_count()) {
+    return DataLossError("corrupt linear hash meta page");
+  }
   return Status::Ok();
 }
 
@@ -211,10 +245,13 @@ Status LinearHashTable::FreeBucketPage(PageId id) {
 StatusOr<int64_t> LinearHashTable::Get(uint32_t tree, uint64_t fp) {
   StatusOr<PageId> head = BucketHead(BucketFor(KeyHash(tree, fp)));
   PQIDX_RETURN_IF_ERROR(head.status());
+  uint64_t steps = 0;
   for (PageId page = *head; page != 0;) {
+    PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
     StatusOr<const uint8_t*> data = pager_->ReadPage(page);
     PQIDX_RETURN_IF_ERROR(data.status());
-    int count = Load<uint16_t>(*data, kBucketCountOff);
+    int count;
+    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*data, &count));
     for (int slot = 0; slot < count; ++slot) {
       Entry entry = LoadEntry(*data, slot);
       if (entry.tree == tree && entry.fp == fp) return entry.count;
@@ -236,10 +273,13 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
   PageId found_page = 0;
   int found_slot = -1;
   PageId last_page = 0, prev_of_last = 0;
+  uint64_t steps = 0;
   for (PageId page = *head, prev = 0; page != 0;) {
+    PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
     StatusOr<const uint8_t*> data = pager_->ReadPage(page);
     PQIDX_RETURN_IF_ERROR(data.status());
-    int count = Load<uint16_t>(*data, kBucketCountOff);
+    int count;
+    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*data, &count));
     if (found_page == 0) {
       for (int slot = 0; slot < count; ++slot) {
         Entry entry = LoadEntry(*data, slot);
@@ -275,8 +315,14 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
     // Remove: move the chain's very last entry into the hole.
     StatusOr<uint8_t*> last = pager_->MutablePage(last_page);
     PQIDX_RETURN_IF_ERROR(last.status());
-    int last_count = Load<uint16_t>(*last, kBucketCountOff);
-    PQIDX_CHECK(last_count > 0);
+    int last_count;
+    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*last, &last_count));
+    if (last_count == 0) {
+      // The key was found, so the chain holds at least one entry; an
+      // empty tail page means a corrupt chain (tails are unlinked when
+      // they empty), not a logic error.
+      return DataLossError("empty tail page in a non-empty bucket chain");
+    }
     Entry filler = LoadEntry(*last, last_count - 1);
     Store(*last, kBucketCountOff, static_cast<uint16_t>(last_count - 1));
     if (!(last_page == found_page && found_slot == last_count - 1)) {
@@ -301,10 +347,13 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
     return FailedPreconditionError(
         "decrement of an absent pq-gram tuple");
   }
+  steps = 0;
   for (PageId page = *head; page != 0;) {
+    PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
     StatusOr<const uint8_t*> read = pager_->ReadPage(page);
     PQIDX_RETURN_IF_ERROR(read.status());
-    int count = Load<uint16_t>(*read, kBucketCountOff);
+    int count;
+    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*read, &count));
     PageId next = Load<uint32_t>(*read, kBucketNextOff);
     if (count < kEntriesPerPage) {
       StatusOr<uint8_t*> data = pager_->MutablePage(page);
@@ -354,10 +403,13 @@ Status LinearHashTable::SplitOne() {
   std::vector<PageId> chain;
   StatusOr<PageId> head = BucketHead(source);
   PQIDX_RETURN_IF_ERROR(head.status());
+  uint64_t steps = 0;
   for (PageId page = *head; page != 0;) {
+    PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
     StatusOr<const uint8_t*> data = pager_->ReadPage(page);
     PQIDX_RETURN_IF_ERROR(data.status());
-    int count = Load<uint16_t>(*data, kBucketCountOff);
+    int count;
+    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*data, &count));
     for (int slot = 0; slot < count; ++slot) {
       entries.push_back(LoadEntry(*data, slot));
     }
@@ -396,10 +448,13 @@ Status LinearHashTable::SplitOne() {
     StatusOr<PageId> bucket_head = BucketHead(bucket);
     PQIDX_RETURN_IF_ERROR(bucket_head.status());
     PageId page = *bucket_head;
+    uint64_t append_steps = 0;
     for (;;) {
+      PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &append_steps));
       StatusOr<const uint8_t*> read = pager_->ReadPage(page);
       PQIDX_RETURN_IF_ERROR(read.status());
-      int count = Load<uint16_t>(*read, kBucketCountOff);
+      int count;
+      PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*read, &count));
       PageId next = Load<uint32_t>(*read, kBucketNextOff);
       if (count < kEntriesPerPage) {
         StatusOr<uint8_t*> data = pager_->MutablePage(page);
@@ -439,10 +494,13 @@ Status LinearHashTable::ForEach(
   for (uint32_t bucket = 0; bucket < bucket_count_; ++bucket) {
     StatusOr<PageId> head = BucketHead(bucket);
     PQIDX_RETURN_IF_ERROR(head.status());
+    uint64_t steps = 0;
     for (PageId page = *head; page != 0;) {
+      PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
       StatusOr<const uint8_t*> data = pager_->ReadPage(page);
       PQIDX_RETURN_IF_ERROR(data.status());
-      int count = Load<uint16_t>(*data, kBucketCountOff);
+      int count;
+      PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*data, &count));
       PageId next = Load<uint32_t>(*data, kBucketNextOff);
       // Copy out before invoking fn: the callback may touch the pager and
       // invalidate the borrowed page pointer.
@@ -466,7 +524,9 @@ void LinearHashTable::CheckConsistency() {
     StatusOr<PageId> head = BucketHead(bucket);
     PQIDX_CHECK(head.ok());
     PQIDX_CHECK(*head != 0);
+    uint64_t steps = 0;
     for (PageId page = *head; page != 0;) {
+      PQIDX_CHECK(++steps <= pager_->page_count());  // cycle guard
       StatusOr<const uint8_t*> data = pager_->ReadPage(page);
       PQIDX_CHECK(data.ok());
       int count = Load<uint16_t>(*data, kBucketCountOff);

@@ -80,6 +80,10 @@ Status Pager::Open(const std::string& path, bool create) {
       return DataLossError("page file size is not a multiple of the page "
                            "size: " + path);
     }
+    if (size / kPageSize > static_cast<long>(UINT32_MAX)) {
+      return DataLossError("page file exceeds the 32-bit page id space: " +
+                           path);
+    }
     page_count_ = static_cast<PageId>(size / kPageSize);
   }
   committed_page_count_ = page_count_;
@@ -333,8 +337,14 @@ Status Pager::ReplayOrDiscardWal() {
   std::fclose(wal);
 
   if (sealed) {
-    // The transaction was durable: finish applying it.
+    // The transaction was durable: finish applying it. A record id at or
+    // beyond the sealed page count can only come from corruption the
+    // per-record checksums missed; refuse to seek the main file to an
+    // arbitrary offset on its say-so.
     for (const Record& record : records) {
+      if (record.id >= sealed_page_count) {
+        return DataLossError("WAL record beyond sealed page count");
+      }
       if (std::fseek(file_, static_cast<long>(record.id) * kPageSize,
                      SEEK_SET) != 0 ||
           !WriteRaw(file_, record.data.data(), kPageSize)) {

@@ -226,6 +226,75 @@ TEST(SerdeTest, OverlongVarintRejected) {
   EXPECT_FALSE(r.GetVarint(&v).ok());
 }
 
+TEST(SerdeTest, MaxVarintRoundTrips) {
+  ByteWriter w;
+  w.PutVarint(~uint64_t{0});
+  EXPECT_EQ(w.data().size(), 10u);  // canonical 10-byte encoding
+  ByteReader r(w.data());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, ~uint64_t{0});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintOverflowBitsRejected) {
+  // Ten bytes whose tenth carries payload above bit 63: decoding must
+  // fail instead of silently dropping the high bits.
+  std::string bad(9, '\xff');
+  bad.push_back('\x02');  // bit 64
+  ByteReader r(bad);
+  uint64_t v;
+  Status status = r.GetVarint(&v);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+
+  // Same but with every overflow payload bit set.
+  std::string worse(9, '\xff');
+  worse.push_back('\x7e');
+  ByteReader r2(worse);
+  EXPECT_FALSE(r2.GetVarint(&v).ok());
+}
+
+TEST(SerdeTest, TenBytePatternsNeverCrash) {
+  // Exhaustive final-byte sweep over a maximal prefix: every outcome must
+  // be a clean Status (value or error), never UB or a wrong silent value.
+  for (int last = 0; last < 256; ++last) {
+    std::string buf(9, '\xff');
+    buf.push_back(static_cast<char>(last));
+    ByteReader r(buf);
+    uint64_t v;
+    Status status = r.GetVarint(&v);
+    bool has_overflow_payload = (last & 0x7e) != 0;
+    bool continues = (last & 0x80) != 0;
+    if (continues || has_overflow_payload) {
+      EXPECT_FALSE(status.ok()) << "last byte " << last;
+    } else {
+      EXPECT_TRUE(status.ok()) << "last byte " << last;
+    }
+  }
+}
+
+TEST(SerdeTest, SignedVarintTruncationFails) {
+  ByteWriter w;
+  w.PutSignedVarint(-123456789);
+  for (size_t keep = 0; keep + 1 < w.data().size(); ++keep) {
+    ByteReader r(std::string_view(w.data()).substr(0, keep));
+    int64_t v;
+    EXPECT_FALSE(r.GetSignedVarint(&v).ok()) << "prefix " << keep;
+  }
+}
+
+TEST(SerdeTest, HugeStringLengthPrefixFails) {
+  // Length prefix of UINT64_MAX with a few bytes of payload: must error,
+  // not allocate or read out of bounds.
+  ByteWriter w;
+  w.PutVarint(~uint64_t{0});
+  w.PutU8('x');
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_FALSE(r.GetString(&s).ok());
+}
+
 TEST(SerdeTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/pqidx_serde_test.bin";
   std::string payload = "binary\0data", read_back;

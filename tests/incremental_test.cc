@@ -22,6 +22,7 @@
 #include "core/pqgram_index.h"
 #include "core/profile.h"
 #include "core/profile_updater.h"
+#include "core/validate.h"
 #include "edit/edit_script.h"
 #include "test_util.h"
 #include "tree/generators.h"
@@ -66,6 +67,10 @@ void CheckIncremental(const Scenario& s, const PqShape& shape,
       << "shape (" << shape.p << "," << shape.q << "), log size "
       << s.log.size() << "\n  T0: " << ToNotationWithIds(s.t0)
       << "\n  Tn: " << ToNotationWithIds(s.tn);
+  // The validator is the independent oracle for the same identity; it
+  // must agree with the direct comparison above.
+  Status validated = ValidateIndexAgainstTree(index, s.tn);
+  ASSERT_TRUE(validated.ok()) << validated.ToString();
 
   if (!check_deltas) return;
 
@@ -250,6 +255,8 @@ TEST(IncrementalTest, RepeatedEditsOnSameRegion) {
     PqGramIndex index = BuildIndex(t0, shape);
     ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
     EXPECT_EQ(index, BuildIndex(tn, shape));
+    Status validated = ValidateIndexAgainstTree(index, tn);
+    EXPECT_TRUE(validated.ok()) << validated.ToString();
   }
 }
 

@@ -1,9 +1,13 @@
-// Tests for the thread pool and parallel collection indexing.
+// Tests for the thread pool and parallel collection indexing, including
+// TSan-targeted stress cases (many tiny tasks, waiters racing schedulers,
+// concurrent parallel builds). Under -DPQIDX_SANITIZE=thread these are
+// the primary race detectors for ThreadPool and parallel_build.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -54,6 +58,110 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor waits
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolStressTest, ManySmallTasksManyRounds) {
+  // Thousands of near-empty tasks maximize contention on the queue lock
+  // and the in-flight counter; repeated Wait() rounds catch notify/wait
+  // ordering bugs that a single drain hides.
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      pool.Schedule([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(sum.load(), int64_t{50} * 199 * 200 / 2);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentWaiters) {
+  // Several external threads Wait() while tasks drain: every waiter must
+  // observe the fully drained queue, and the all-done broadcast must not
+  // race the last decrement.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < 4; ++w) {
+      waiters.emplace_back([&pool] { pool.Wait(); });
+    }
+    for (std::thread& t : waiters) t.join();
+    EXPECT_EQ(done.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolStressTest, ExternalSchedulersRaceWait) {
+  // Producers on their own threads hammer Schedule while the owner
+  // thread repeatedly Waits: exercises the Schedule/Wait handshake from
+  // outside the pool (the supported fan-out pattern, concurrently).
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.Schedule(
+            [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  // Wait() concurrently with production: each call returns at some
+  // transient quiescent point, which must be race-free even if more work
+  // arrives right after.
+  while (executed.load() < kProducers * kPerProducer) {
+    pool.Wait();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolStressTest, ParallelForHighFanoutTinyBodies) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<uint8_t>> hits(10000);
+  for (int round = 0; round < 5; ++round) {
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(static_cast<int64_t>(hits.size()), [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelBuildStressTest, ConcurrentForestBuilds) {
+  // Two full parallel builds over the same (const) trees on separate
+  // pools, racing each other: flushes out any hidden shared mutable
+  // state in BuildIndex / ForestIndex assembly.
+  Rng rng(11);
+  const PqShape shape{2, 2};
+  auto dict = std::make_shared<LabelDict>();
+  std::vector<Tree> trees;
+  for (int i = 0; i < 12; ++i) {
+    trees.push_back(GenerateDblpLike(dict, &rng, 40));
+  }
+  ForestIndex sequential(shape);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    sequential.AddTree(static_cast<TreeId>(i), trees[i]);
+  }
+  std::vector<ForestIndex> results(3, ForestIndex(shape));
+  std::vector<std::thread> builders;
+  for (int b = 0; b < 3; ++b) {
+    builders.emplace_back([&trees, &results, b] {
+      results[static_cast<size_t>(b)] =
+          BuildForestIndexParallel(trees, PqShape{2, 2}, 3);
+    });
+  }
+  for (std::thread& t : builders) t.join();
+  for (const ForestIndex& result : results) {
+    EXPECT_EQ(result, sequential);
+  }
 }
 
 TEST(ParallelBuildTest, MatchesSequentialBuild) {

@@ -1,0 +1,134 @@
+// Tests for the debug invariant validators (core/validate.h): they must
+// accept freshly built and incrementally maintained indexes and reject
+// states that violate the rebuild identity, with a usable diagnostic.
+
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/incremental.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+TEST(ValidateTest, FreshIndexValidates) {
+  Rng rng(1);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 40});
+  PqGramIndex index = BuildIndex(tree, PqShape{3, 3});
+  EXPECT_TRUE(ValidatePqGramIndex(index).ok());
+  EXPECT_TRUE(ValidateIndexAgainstTree(index, tree).ok());
+}
+
+TEST(ValidateTest, EmptyIndexValidatesInternally) {
+  PqGramIndex index(PqShape{2, 2});
+  EXPECT_TRUE(ValidatePqGramIndex(index).ok());
+}
+
+TEST(ValidateTest, DivergedBagRejectedWithDiagnostic) {
+  Rng rng(2);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 20});
+  PqGramIndex index = BuildIndex(tree, PqShape{3, 3});
+  index.Add(PqGramFingerprint{0x1234}, 2);  // bag no longer matches the tree
+  Status status = ValidateIndexAgainstTree(index, tree);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("diverges"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("got 2, want 0"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateTest, MissingPqGramRejected) {
+  Rng rng(3);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 20});
+  PqGramIndex index = BuildIndex(tree, PqShape{2, 2});
+  // Remove one occurrence of some fingerprint present in the bag.
+  PqGramFingerprint victim = index.counts().begin()->first;
+  index.Remove(victim, 1);
+  EXPECT_FALSE(ValidateIndexAgainstTree(index, tree).ok());
+}
+
+TEST(ValidateTest, ShapeMismatchDetectedAgainstTree) {
+  Rng rng(4);
+  Tree tree = GenerateRandomTree(nullptr, &rng, {.num_nodes = 15});
+  PqGramIndex index = BuildIndex(tree, PqShape{1, 2});
+  // Same tree, different shape: the rebuild uses index.shape(), so a
+  // (1,2) bag validates against the tree under (1,2) but a (3,3) bag of
+  // a *different* tree does not validate here.
+  EXPECT_TRUE(ValidateIndexAgainstTree(index, tree).ok());
+  Tree other = GenerateRandomTree(nullptr, &rng, {.num_nodes = 16});
+  EXPECT_FALSE(ValidateIndexAgainstTree(index, other).ok());
+}
+
+TEST(ValidateTest, IncrementallyMaintainedIndexValidates) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t0 = GenerateRandomTree(nullptr, &rng, {.num_nodes = 25});
+    Tree tn = t0.Clone();
+    EditLog log;
+    GenerateEditScript(&tn, &rng, 15, EditScriptOptions{}, &log);
+    PqGramIndex index = BuildIndex(t0, PqShape{3, 3});
+    ASSERT_TRUE(UpdateIndex(&index, tn, log).ok());
+    Status validated = ValidateIndexAgainstTree(index, tn);
+    EXPECT_TRUE(validated.ok()) << validated.ToString();
+    // And the oracle distinguishes the pre-edit tree.
+    if (log.size() > 0 && !(BuildIndex(t0, PqShape{3, 3}) == index)) {
+      EXPECT_FALSE(ValidateIndexAgainstTree(index, t0).ok());
+    }
+  }
+}
+
+TEST(ValidateTest, ForestValidatesAndDetectsDivergence) {
+  Rng rng(6);
+  const PqShape shape{3, 3};
+  ForestIndex forest(shape);
+  std::vector<Tree> trees;
+  for (TreeId id = 0; id < 5; ++id) {
+    trees.push_back(GenerateDblpLike(nullptr, &rng, 8));
+  }
+  std::vector<std::pair<TreeId, const Tree*>> refs;
+  for (TreeId id = 0; id < 5; ++id) {
+    forest.AddTree(id, trees[static_cast<size_t>(id)]);
+    refs.emplace_back(id, &trees[static_cast<size_t>(id)]);
+  }
+  EXPECT_TRUE(ValidateForestIndex(forest).ok());
+  EXPECT_TRUE(ValidateForestAgainstTrees(forest, refs).ok());
+
+  // Swap one tree's index for another tree's bag: internal invariants
+  // still hold, but the rebuild cross-check must flag tree 0.
+  forest.AddIndex(0, BuildIndex(trees[1], shape));
+  EXPECT_TRUE(ValidateForestIndex(forest).ok());
+  Status status = ValidateForestAgainstTrees(forest, refs);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("tree 0"), std::string::npos)
+      << status.ToString();
+
+  // Cardinality mismatch.
+  forest.RemoveTree(4);
+  EXPECT_FALSE(ValidateForestAgainstTrees(forest, refs).ok());
+}
+
+TEST(ValidateTest, ForestApplyLogStaysValid) {
+  Rng rng(7);
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  Tree t0 = GenerateXmarkLike(nullptr, &rng, 30);
+  forest.AddTree(42, t0);
+  Tree tn = t0.Clone();
+  EditLog log;
+  GenerateEditScript(&tn, &rng, 12, EditScriptOptions{}, &log);
+  ASSERT_TRUE(forest.ApplyLog(42, tn, log).ok());
+  std::vector<std::pair<TreeId, const Tree*>> refs = {{42, &tn}};
+  Status validated = ValidateForestAgainstTrees(forest, refs);
+  EXPECT_TRUE(validated.ok()) << validated.ToString();
+}
+
+}  // namespace
+}  // namespace pqidx
