@@ -1,0 +1,210 @@
+// Load generator for pqidxd (src/service): N client threads fire a mixed
+// lookup/edit workload at one in-process server and report throughput,
+// latency percentiles, and -- the number this bench exists for -- the
+// group-commit batching factor edits_applied / edit_commits. With many
+// concurrent writers that factor must be well above 1: independent edits
+// of different trees ride the same WAL transaction and fsync pair.
+//
+// Not in the paper: the paper measures the index algorithms themselves;
+// this measures the serving layer built on top of them. Workload knobs:
+// PQIDX_BENCH_SCALE multiplies request counts; --json[=PATH] or
+// PQIDX_BENCH_JSON captures the metrics as BENCH_*.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/pqgram_index.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+namespace {
+
+double Percentile(std::vector<double>* sorted_in_place, double pct) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(pct / 100.0 * (v.size() - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
+}
+
+struct ClientResult {
+  std::vector<double> lookup_s;
+  std::vector<double> edit_s;
+  int failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report("service_loadgen", argc, argv);
+  const PqShape shape{2, 3};
+  const int kClients = 8;
+  const int kTreesPerClient = 8;
+  const int kRequestsPerClient = Scaled(300);
+  const int kTreeNodes = 60;
+  const std::string path = "/tmp/pqidx_bench_service.idx";
+
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Create(path, shape);
+  if (!index.ok()) {
+    std::fprintf(stderr, "create: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions options;
+  options.max_connections = kClients;
+  // A small leadership hold magnifies the batching window the same way a
+  // real disk's fsync latency would (these runs sit on tmpfs-fast SSDs).
+  options.commit_hold_us = 200;
+  Server server(index->get(), options);
+  auto listener = std::make_unique<PipeListener>();
+  PipeListener* connect_point = listener.get();
+  if (Status s = server.Start(std::move(listener)); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("pqidxd load generator (in-process pipe transport)");
+  std::printf("%d clients x %d requests, %d trees/client of ~%d nodes, "
+              "mixed ~70%% lookups / ~30%% incremental edits\n\n",
+              kClients, kRequestsPerClient, kTreesPerClient, kTreeNodes);
+
+  std::vector<ClientResult> results(kClients);
+  std::atomic<bool> ok{true};
+  WallTimer total;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+      if (!conn.ok()) { ok.store(false); return; }
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect(std::move(*conn));
+      if (!client.ok()) { ok.store(false); return; }
+      Rng rng(1000 + c);
+      auto dict = std::make_shared<LabelDict>();
+      ClientResult& r = results[static_cast<size_t>(c)];
+
+      // Each client owns a disjoint id range, so every edit is
+      // independent and the group-commit batches are pure win.
+      std::vector<PqGramIndex> bags;
+      for (int t = 0; t < kTreesPerClient; ++t) {
+        TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+        Tree tree = GenerateDblpLike(dict, &rng, kTreeNodes);
+        PqGramIndex bag = BuildIndex(tree, shape);
+        if (!(*client)->AddIndex(id, bag).ok()) ++r.failures;
+        bags.push_back(std::move(bag));
+      }
+
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int t = static_cast<int>(rng.NextBounded(kTreesPerClient));
+        TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+        PqGramIndex& bag = bags[static_cast<size_t>(t)];
+        if (rng.NextBounded(10) < 7) {
+          WallTimer timer;
+          StatusOr<std::vector<LookupResult>> hits =
+              (*client)->Lookup(bag, 0.6);
+          r.lookup_s.push_back(timer.Seconds());
+          if (!hits.ok()) ++r.failures;
+        } else {
+          // Synthesize a small independent delta: retract one tuple
+          // occurrence and add it back plus a fresh synthetic tuple.
+          PqGramIndex plus(shape);
+          PqGramIndex minus(shape);
+          if (!bag.counts().empty()) {
+            auto tuple = bag.counts().begin();
+            minus.Add(tuple->first, 1);
+            plus.Add(tuple->first, 1);
+          }
+          plus.Add(static_cast<PqGramFingerprint>(rng.Next()), 1);
+          WallTimer timer;
+          Status s = (*client)->ApplyDeltas(id, plus, minus, 1);
+          r.edit_s.push_back(timer.Seconds());
+          if (s.ok()) {
+            for (const auto& [fp, count] : plus.counts()) {
+              bag.Add(fp, count);
+            }
+            for (const auto& [fp, count] : minus.counts()) {
+              bag.Remove(fp, count);
+            }
+          } else {
+            ++r.failures;
+          }
+        }
+      }
+      (*client)->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = total.Seconds();
+  server.Stop();
+
+  std::vector<double> lookups, edits;
+  int failures = 0;
+  for (ClientResult& r : results) {
+    lookups.insert(lookups.end(), r.lookup_s.begin(), r.lookup_s.end());
+    edits.insert(edits.end(), r.edit_s.begin(), r.edit_s.end());
+    failures += r.failures;
+  }
+  ServiceStats stats = server.stats();
+  double requests = static_cast<double>(lookups.size() + edits.size());
+  double batching =
+      stats.edit_commits > 0
+          ? static_cast<double>(stats.edits_applied) / stats.edit_commits
+          : 0;
+
+  std::printf("%-28s %10.0f req/s\n", "throughput",
+              ok.load() ? requests / wall_s : 0);
+  std::printf("%-28s %10.3f ms  p95 %.3f  p99 %.3f\n", "lookup latency p50",
+              Percentile(&lookups, 50) * 1e3, Percentile(&lookups, 95) * 1e3,
+              Percentile(&lookups, 99) * 1e3);
+  std::printf("%-28s %10.3f ms  p95 %.3f  p99 %.3f\n", "edit latency p50",
+              Percentile(&edits, 50) * 1e3, Percentile(&edits, 95) * 1e3,
+              Percentile(&edits, 99) * 1e3);
+  std::printf("%-28s %10lld edits / %lld commits = %.2f edits/commit "
+              "(largest batch %lld)\n",
+              "group commit",
+              static_cast<long long>(stats.edits_applied),
+              static_cast<long long>(stats.edit_commits), batching,
+              static_cast<long long>(stats.max_batch));
+  std::printf("%-28s %10d\n", "client-visible failures", failures);
+
+  report.Add("throughput", requests / wall_s, "req/s");
+  report.Add("lookup_p50", Percentile(&lookups, 50) * 1e3, "ms");
+  report.Add("lookup_p95", Percentile(&lookups, 95) * 1e3, "ms");
+  report.Add("lookup_p99", Percentile(&lookups, 99) * 1e3, "ms");
+  report.Add("edit_p50", Percentile(&edits, 50) * 1e3, "ms");
+  report.Add("edit_p95", Percentile(&edits, 95) * 1e3, "ms");
+  report.Add("edit_p99", Percentile(&edits, 99) * 1e3, "ms");
+  report.Add("edits_applied", static_cast<double>(stats.edits_applied));
+  report.Add("edit_commits", static_cast<double>(stats.edit_commits));
+  report.Add("edits_per_commit", batching);
+  report.Add("max_batch", static_cast<double>(stats.max_batch));
+  report.Add("failures", failures);
+
+  if (!ok.load() || failures > 0) {
+    std::fprintf(stderr, "loadgen saw failures\n");
+    return 1;
+  }
+  if (stats.edit_commits > 0 && stats.max_batch < 2) {
+    // With 8 concurrent writers and a 200us hold, batches of one mean
+    // group commit is broken; fail loudly so CI notices.
+    std::fprintf(stderr, "group commit did not batch (max batch %lld)\n",
+                 static_cast<long long>(stats.max_batch));
+    return 1;
+  }
+  std::remove(path.c_str());
+  return 0;
+}

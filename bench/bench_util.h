@@ -1,6 +1,6 @@
 // Shared helpers for the paper-reproduction bench binaries: wall-clock
 // timing, workload scaling via the PQIDX_BENCH_SCALE environment variable,
-// and aligned table output.
+// aligned table output, and machine-readable JSON result capture.
 
 #ifndef PQIDX_BENCH_BENCH_UTIL_H_
 #define PQIDX_BENCH_BENCH_UTIL_H_
@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace pqidx::bench {
 
@@ -51,6 +52,88 @@ double TimeIt(Fn&& fn) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// Machine-readable bench output. Construct with the bench name and main's
+// (argc, argv); metrics accumulate via Add() and are written as JSON when
+// Write() runs (the destructor calls it too). Capture is off unless the
+// binary ran with `--json[=PATH]` or PQIDX_BENCH_JSON names a path; the
+// default path is BENCH_<name>.json in the working directory, so CI can
+// glob BENCH_*.json after a bench run.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc = 0, char** argv = nullptr)
+      : bench_name_(std::move(bench_name)) {
+    if (const char* env = std::getenv("PQIDX_BENCH_JSON")) {
+      path_ = env;
+    }
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        path_ = "BENCH_" + bench_name_ + ".json";
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  ~JsonReport() { Write(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double value,
+           const std::string& unit = "") {
+    metrics_.push_back(Metric{name, unit, value});
+  }
+
+  // Writes all metrics collected so far; returns false on I/O failure.
+  // Idempotent: later calls rewrite the file with the full metric list.
+  bool Write() {
+    if (!enabled() || metrics_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
+                 "  \"metrics\": [\n",
+                 Escaped(bench_name_).c_str(), Scale());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g, "
+                   "\"unit\": \"%s\"}%s\n",
+                   Escaped(m.name).c_str(), m.value,
+                   Escaped(m.unit).c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop controls
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+};
 
 }  // namespace pqidx::bench
 

@@ -1,0 +1,158 @@
+// The index as a service: pqidxd served in-process over the pipe
+// transport, exercised end to end through the client library.
+//
+// Four clients on their own threads share one server. Each registers a
+// few documents (AddTree ships a locally built pq-gram bag), then edits
+// them across several sessions: ApplyEdits runs the paper's Algorithm 1
+// client-side and ships only the (I+, I-) delta bags, which the server
+// folds into group commits -- concurrent edits from different clients
+// land in ONE WAL transaction, so watch the edits/commit figure at the
+// end. Lookups run concurrently against the same index the whole time.
+//
+// Run:  build/examples/service_roundtrip [clients] [sessions]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_script.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+
+namespace {
+
+constexpr int kTreesPerClient = 3;
+
+// One client's life: connect, register documents, edit them for a few
+// sessions, and between edits look its own documents back up.
+bool RunClient(PipeListener* endpoint, int client_id, int sessions) {
+  auto conn = endpoint->Connect();
+  if (!conn.ok()) return false;
+  auto client = Client::Connect(std::move(*conn));
+  if (!client.ok()) {
+    std::printf("client %d: connect failed: %s\n", client_id,
+                client.status().ToString().c_str());
+    return false;
+  }
+
+  Rng rng(100 + client_id);
+  std::vector<Tree> docs;
+  for (int t = 0; t < kTreesPerClient; ++t) {
+    const TreeId id = client_id * kTreesPerClient + t;
+    docs.push_back(GenerateDblpLike(nullptr, &rng, 40));
+    if (Status s = (*client)->AddTree(id, docs.back()); !s.ok()) {
+      std::printf("client %d: AddTree(%lld) failed: %s\n", client_id,
+                  static_cast<long long>(id), s.ToString().c_str());
+      return false;
+    }
+  }
+
+  for (int session = 0; session < sessions; ++session) {
+    for (int t = 0; t < kTreesPerClient; ++t) {
+      const TreeId id = client_id * kTreesPerClient + t;
+      EditLog log;
+      GenerateEditScript(&docs[t], &rng, 8, EditScriptOptions{}, &log);
+      if (Status s = (*client)->ApplyEdits(id, docs[t], log); !s.ok()) {
+        std::printf("client %d: ApplyEdits(%lld) failed: %s\n", client_id,
+                    static_cast<long long>(id), s.ToString().c_str());
+        return false;
+      }
+      // The edited document must come back as an exact hit (distance 0).
+      auto hits = (*client)->Lookup(docs[t], /*tau=*/0.0);
+      if (!hits.ok()) {
+        std::printf("client %d: Lookup failed: %s\n", client_id,
+                    hits.status().ToString().c_str());
+        return false;
+      }
+      bool found_self = false;
+      for (const LookupResult& hit : *hits) {
+        found_self |= hit.tree_id == id && hit.distance == 0.0;
+      }
+      if (!found_self) {
+        std::printf("client %d: tree %lld missing from its own lookup\n",
+                    client_id, static_cast<long long>(id));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int sessions = argc > 2 ? std::atoi(argv[2]) : 6;
+  const PqShape shape{2, 3};
+  const std::string path = "/tmp/pqidx_service_roundtrip.db";
+
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  auto index = PersistentForestIndex::Create(path, shape);
+  if (!index.ok()) {
+    std::printf("create failed: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // commit_hold_us widens the batching window so a short example still
+  // shows coalescing; a production server would leave it at 0 and let
+  // fsync latency do the same job.
+  ServerOptions options;
+  options.max_connections = clients;
+  options.commit_hold_us = 300;
+  Server server(index->get(), options);
+  auto listener = std::make_unique<PipeListener>();
+  PipeListener* endpoint = listener.get();
+  if (Status s = server.Start(std::move(listener)); !s.ok()) {
+    std::printf("start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pqidxd serving %s in-process, shape (%d,%d), %d clients\n",
+              path.c_str(), shape.p, shape.q, clients);
+
+  std::vector<std::thread> threads;
+  std::vector<char> ok(clients, 0);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([endpoint, c, sessions, &ok] {
+      ok[c] = RunClient(endpoint, c, sessions) ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServiceStats stats = server.stats();
+  server.Stop();
+
+  bool all_ok = true;
+  for (char c : ok) all_ok &= c != 0;
+  std::printf("%lld trees, %lld lookups, %lld edits in %lld commits "
+              "(%.2f edits/commit, largest batch %lld)\n",
+              static_cast<long long>(stats.tree_count),
+              static_cast<long long>(stats.lookups),
+              static_cast<long long>(stats.edits_applied),
+              static_cast<long long>(stats.edit_commits),
+              stats.edit_commits > 0
+                  ? static_cast<double>(stats.edits_applied) /
+                        static_cast<double>(stats.edit_commits)
+                  : 0.0,
+              static_cast<long long>(stats.max_batch));
+
+  // The persistent file holds everything the service acknowledged
+  // (aborts on catalog/table mismatch).
+  (*index)->CheckConsistency();
+  std::printf("all clients verified their documents: %s\n",
+              all_ok ? "ok" : "FAILED");
+  if (all_ok) {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Fuzz harness for the pqidxd wire protocol (src/service/wire.h): the
+// frame header decoder and every request/response payload decoder. These
+// are the bytes an index server reads from untrusted network peers, so
+// every outcome must be a clean Status or a valid value -- never UB, an
+// abort, or an allocation driven by an attacker-declared length.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/serde.h"
+#include "service/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Frame header: exactly the first kFrameHeaderSize bytes, the way the
+  // server slices them off the stream. Also feed the raw (possibly short
+  // or long) input to pin the length check itself.
+  {
+    pqidx::FrameHeader header;
+    (void)pqidx::DecodeFrameHeader(input, &header);
+    if (input.size() >= pqidx::kFrameHeaderSize) {
+      if (pqidx::DecodeFrameHeader(input.substr(0, pqidx::kFrameHeaderSize),
+                                   &header)
+              .ok()) {
+        // Accepted headers must round-trip through the encoder.
+        std::string reencoded = pqidx::EncodeFrame(header, std::string_view());
+        pqidx::FrameHeader again;
+        pqidx::Status ok = pqidx::DecodeFrameHeader(
+            std::string_view(reencoded).substr(0, pqidx::kFrameHeaderSize),
+            &again);
+        if (!ok.ok()) __builtin_trap();
+      }
+    }
+  }
+
+  // Request payload decoders over the remaining bytes (the server hands
+  // them the payload that followed an accepted header).
+  std::string_view payload =
+      input.size() > pqidx::kFrameHeaderSize
+          ? input.substr(pqidx::kFrameHeaderSize)
+          : input;
+  { (void)pqidx::LookupRequest::Decode(payload); }
+  { (void)pqidx::AddTreeRequest::Decode(payload); }
+  { (void)pqidx::ApplyEditsRequest::Decode(payload); }
+
+  // Response decoders (the client's attack surface: a malicious or
+  // corrupted server).
+  {
+    pqidx::ByteReader reader(payload);
+    pqidx::Status transported;
+    if (pqidx::DecodeStatus(&reader, &transported).ok()) {
+      (void)pqidx::LookupResponse::Decode(&reader);
+    }
+  }
+  {
+    pqidx::ByteReader reader(payload);
+    (void)pqidx::ServiceStats::Decode(&reader);
+  }
+  return 0;
+}

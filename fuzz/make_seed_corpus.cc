@@ -17,6 +17,7 @@
 #include "common/serde.h"
 #include "core/forest_index.h"
 #include "core/pqgram_index.h"
+#include "service/wire.h"
 #include "storage/linear_hash.h"
 #include "storage/pager.h"
 #include "storage/tree_store.h"
@@ -149,6 +150,93 @@ Status MakePagerSeeds(const std::string& dir) {
   return Status::Ok();
 }
 
+Status MakeWireSeeds(const std::string& dir) {
+  Rng rng(44);
+  const PqShape shape{2, 3};
+  Tree tree = GenerateDblpLike(nullptr, &rng, 8);
+  PqGramIndex bag = BuildIndex(tree, shape);
+
+  // Full frames (header + payload), the shape the harness slices.
+  {
+    LookupRequest request;
+    request.query = bag;
+    request.tau = 0.5;
+    ByteWriter writer;
+    request.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kLookup;
+    header.request_id = 1;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(
+        WriteSeed(dir, "lookup_frame.bin", EncodeFrame(header, writer.data())));
+  }
+  {
+    AddTreeRequest request;
+    request.tree_id = 7;
+    request.bag = bag;
+    ByteWriter writer;
+    request.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kAddTree;
+    header.request_id = 2;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "add_tree_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    ApplyEditsRequest request;
+    request.tree_id = 7;
+    request.plus = bag;
+    request.minus = PqGramIndex(shape);
+    request.log_ops = 3;
+    ByteWriter writer;
+    request.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kApplyEdits;
+    header.request_id = 3;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "apply_edits_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    // A response frame: status + lookup results after the header.
+    ByteWriter writer;
+    EncodeStatus(Status::Ok(), &writer);
+    LookupResponse response;
+    response.results.push_back(LookupResult{7, 0.25});
+    response.results.push_back(LookupResult{9, 0.5});
+    response.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kLookup;
+    header.flags = kFrameFlagResponse;
+    header.request_id = 1;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "lookup_response_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    ByteWriter writer;
+    EncodeStatus(Status::Ok(), &writer);
+    ServiceStats stats;
+    stats.p = shape.p;
+    stats.q = shape.q;
+    stats.tree_count = 5;
+    stats.lookups = 100;
+    stats.edits_applied = 40;
+    stats.edit_commits = 9;
+    stats.max_batch = 8;
+    stats.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kStats;
+    header.flags = kFrameFlagResponse;
+    header.request_id = 4;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "stats_response_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace pqidx
 
@@ -163,6 +251,7 @@ int main(int argc, char** argv) {
       {"xml_scanner", pqidx::MakeXmlSeeds},
       {"linear_hash", pqidx::MakeLinearHashSeeds},
       {"pager", pqidx::MakePagerSeeds},
+      {"wire", pqidx::MakeWireSeeds},
   };
   for (const Job& job : jobs) {
     pqidx::Status status = job.make(root + "/" + job.name);

@@ -24,6 +24,9 @@ enum class StatusCode {
   kOutOfRange,
   kDataLoss,
   kIoError,
+  // The operation was refused because the receiver is at capacity
+  // (service admission control); retrying later may succeed.
+  kUnavailable,
 };
 
 // Returns a short stable name for `code`, e.g. "INVALID_ARGUMENT".
@@ -62,6 +65,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status DataLossError(std::string message);
 Status IoError(std::string message);
+Status UnavailableError(std::string message);
 
 // Union of a Status and a T. Either holds a value (and status().ok()) or an
 // error status. Move-friendly; `value()` aborts if not ok.

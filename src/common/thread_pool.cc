@@ -4,6 +4,8 @@
 
 namespace pqidx {
 
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(num_threads, 1);
   workers_.reserve(n);
@@ -26,6 +28,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   PQIDX_CHECK(task != nullptr);
+  // Re-entrant scheduling from a worker of this pool races with Wait()'s
+  // completion accounting; release builds would hang, so fail loudly here.
+  PQIDX_DCHECK(current_pool_ != this);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     PQIDX_CHECK_MSG(!shutting_down_, "Schedule after shutdown");
@@ -36,6 +41,9 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // Waiting from a worker of this pool deadlocks: the waiter occupies a
+  // thread the queue needs to drain.
+  PQIDX_DCHECK(current_pool_ != this);
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
@@ -56,6 +64,7 @@ void ThreadPool::ParallelFor(int64_t count,
 }
 
 void ThreadPool::WorkerLoop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -31,10 +31,14 @@ class ThreadPool {
 
   // Enqueues a task. Tasks must not throw (the library is exception-free)
   // and must not enqueue into the pool they run on while Wait() is
-  // pending completion accounting -- plain fan-out/fan-in only.
+  // pending completion accounting -- plain fan-out/fan-in only. Debug
+  // builds enforce the no-re-entrancy rule with a check; release builds
+  // would deadlock in Wait() instead, so the rule is load-bearing.
   void Schedule(std::function<void()> task);
 
-  // Blocks until every scheduled task has finished.
+  // Blocks until every scheduled task has finished. Calling this from a
+  // worker of the same pool would self-deadlock (the waiter occupies the
+  // thread that must drain the queue); debug builds check against it.
   void Wait();
 
   // Convenience fan-out: runs fn(i) for i in [0, count) across the pool
@@ -43,6 +47,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  // The pool whose WorkerLoop is running on the current thread, if any;
+  // lets debug builds detect re-entrant Schedule/Wait calls.
+  static thread_local const ThreadPool* current_pool_;
 
   std::mutex mutex_;
   std::condition_variable work_available_;

@@ -1,0 +1,156 @@
+#include "service/client.h"
+
+#include <utility>
+
+#include "core/incremental.h"
+#include "core/pqgram.h"
+
+namespace pqidx {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(
+    std::unique_ptr<Connection> connection) {
+  std::unique_ptr<Client> client(
+      new Client(std::move(connection)));  // lint:allow-new (private ctor)
+  StatusOr<ServiceStats> stats = client->Stats();
+  PQIDX_RETURN_IF_ERROR(stats.status());
+  PqShape shape;
+  shape.p = stats->p;
+  shape.q = stats->q;
+  if (!shape.Valid()) {
+    return DataLossError("server reported an invalid index shape");
+  }
+  client->shape_ = shape;
+  return client;
+}
+
+Status Client::RoundTrip(MessageType type, std::string_view payload,
+                         std::string* response_payload) {
+  FrameHeader header;
+  header.type = type;
+  header.flags = 0;
+  header.request_id = next_request_id_++;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  PQIDX_RETURN_IF_ERROR(connection_->Send(EncodeFrame(header, payload)));
+
+  std::string bytes;
+  PQIDX_RETURN_IF_ERROR(connection_->ReceiveExact(kFrameHeaderSize, &bytes));
+  FrameHeader response;
+  PQIDX_RETURN_IF_ERROR(DecodeFrameHeader(bytes, &response));
+  if (!response.is_response()) {
+    return DataLossError("request frame received from server");
+  }
+  std::string body;
+  if (response.payload_size > 0) {
+    PQIDX_RETURN_IF_ERROR(
+        connection_->ReceiveExact(response.payload_size, &body));
+  }
+  ByteReader reader(body);
+  Status transported;
+  PQIDX_RETURN_IF_ERROR(DecodeStatus(&reader, &transported));
+  if (response.request_id == 0) {
+    // Connection-level rejection (admission control): the server never
+    // read our request.
+    if (transported.ok()) return DataLossError("rejection frame carried OK");
+    return transported;
+  }
+  if (response.request_id != header.request_id) {
+    return DataLossError("response id does not match request id");
+  }
+  if (response.type != type) {
+    return DataLossError("response type does not match request type");
+  }
+  PQIDX_RETURN_IF_ERROR(transported);
+  response_payload->assign(body, body.size() - reader.remaining(),
+                           reader.remaining());
+  return Status::Ok();
+}
+
+Status Client::Ping() {
+  std::string body;
+  return RoundTrip(MessageType::kPing, std::string_view(), &body);
+}
+
+StatusOr<std::vector<LookupResult>> Client::Lookup(const PqGramIndex& query,
+                                                   double tau) {
+  if (!(query.shape() == shape_)) {
+    return InvalidArgumentError("query shape does not match server shape");
+  }
+  LookupRequest request;
+  request.query = query;
+  request.tau = tau;
+  ByteWriter writer;
+  request.Encode(&writer);
+  std::string payload = writer.Release();
+  std::string body;
+  PQIDX_RETURN_IF_ERROR(RoundTrip(MessageType::kLookup, payload, &body));
+  ByteReader reader(body);
+  StatusOr<LookupResponse> response = LookupResponse::Decode(&reader);
+  PQIDX_RETURN_IF_ERROR(response.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after payload");
+  return std::move(response->results);
+}
+
+StatusOr<std::vector<LookupResult>> Client::Lookup(const Tree& query,
+                                                   double tau) {
+  return Lookup(BuildIndex(query, shape_), tau);
+}
+
+Status Client::AddTree(TreeId id, const Tree& tree) {
+  return AddIndex(id, BuildIndex(tree, shape_));
+}
+
+Status Client::AddIndex(TreeId id, const PqGramIndex& bag) {
+  if (!(bag.shape() == shape_)) {
+    return InvalidArgumentError("bag shape does not match server shape");
+  }
+  AddTreeRequest request;
+  request.tree_id = id;
+  request.bag = bag;
+  ByteWriter writer;
+  request.Encode(&writer);
+  std::string payload = writer.Release();
+  std::string body;
+  return RoundTrip(MessageType::kAddTree, payload, &body);
+}
+
+Status Client::ApplyEdits(TreeId id, const Tree& tn, const EditLog& log) {
+  PqGramIndex plus(shape_);
+  PqGramIndex minus(shape_);
+  PQIDX_RETURN_IF_ERROR(
+      ComputeIndexDeltas(tn, log, shape_, &plus, &minus, nullptr));
+  return ApplyDeltas(id, plus, minus, static_cast<int64_t>(log.size()));
+}
+
+Status Client::ApplyDeltas(TreeId id, const PqGramIndex& plus,
+                           const PqGramIndex& minus, int64_t log_ops) {
+  if (!(plus.shape() == shape_) || !(minus.shape() == shape_)) {
+    return InvalidArgumentError("delta shape does not match server shape");
+  }
+  ApplyEditsRequest request;
+  request.tree_id = id;
+  request.plus = plus;
+  request.minus = minus;
+  request.log_ops = log_ops;
+  ByteWriter writer;
+  request.Encode(&writer);
+  std::string payload = writer.Release();
+  std::string body;
+  return RoundTrip(MessageType::kApplyEdits, payload, &body);
+}
+
+StatusOr<ServiceStats> Client::Stats() {
+  std::string body;
+  PQIDX_RETURN_IF_ERROR(RoundTrip(MessageType::kStats, std::string_view(),
+                                  &body));
+  ByteReader reader(body);
+  StatusOr<ServiceStats> stats = ServiceStats::Decode(&reader);
+  PQIDX_RETURN_IF_ERROR(stats.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after payload");
+  return stats;
+}
+
+void Client::Close() {
+  if (connection_ != nullptr) connection_->Close();
+}
+
+}  // namespace pqidx

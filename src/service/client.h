@@ -1,0 +1,94 @@
+// The pqidxd client library: a blocking, single-connection view of the
+// service that mirrors the in-process index API (Lookup, AddTree,
+// ApplyEdits), so callers can swap a ForestIndex for a remote index with
+// the same call shapes.
+//
+// The heavy lifting stays client-side, matching the protocol's "ship
+// bags, not trees" rule: AddTree builds the pq-gram bag locally and
+// ApplyEdits runs the paper's Algorithm 1 locally (ComputeIndexDeltas) to
+// reduce (tn, log) to the (I+, I-) delta bags before anything touches the
+// wire. The server only ever validates and merges bags.
+//
+// A Client is not thread-safe: one request in flight per connection.
+// Concurrency comes from opening one connection per thread (the loadgen
+// and the stress tests do exactly that).
+
+#ifndef PQIDX_SERVICE_CLIENT_H_
+#define PQIDX_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "edit/edit_log.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "tree/tree.h"
+
+namespace pqidx {
+
+class Client {
+ public:
+  // Takes ownership of `connection` and performs a Stats round trip to
+  // learn the server's index shape (every later bag is built with it).
+  // Fails with UNAVAILABLE if the server rejected the connection at
+  // admission control.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      std::unique_ptr<Connection> connection);
+
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // The server's index shape, learned at Connect().
+  const PqShape& shape() const { return shape_; }
+
+  Status Ping();
+
+  // Approximate lookup on the server: all trees within pq-gram distance
+  // `tau` of the query, most similar first.
+  StatusOr<std::vector<LookupResult>> Lookup(const PqGramIndex& query,
+                                             double tau);
+  StatusOr<std::vector<LookupResult>> Lookup(const Tree& query, double tau);
+
+  // Registers a tree under `id`. The bag is built locally.
+  Status AddTree(TreeId id, const Tree& tree);
+  // Registers a prebuilt bag (must have the server's shape).
+  Status AddIndex(TreeId id, const PqGramIndex& bag);
+
+  // Incrementally maintains tree `id` on the server from the resulting
+  // tree and the log of inverse edit operations: computes the (I+, I-)
+  // bags locally and ships only those.
+  Status ApplyEdits(TreeId id, const Tree& tn, const EditLog& log);
+  // Lower-level variant for callers that already hold the delta bags.
+  Status ApplyDeltas(TreeId id, const PqGramIndex& plus,
+                     const PqGramIndex& minus, int64_t log_ops = 0);
+
+  StatusOr<ServiceStats> Stats();
+
+  // Shuts the connection down; everything after fails. Idempotent.
+  void Close();
+
+ private:
+  explicit Client(std::unique_ptr<Connection> connection)
+      : connection_(std::move(connection)) {}
+
+  // Sends one request frame and receives the matching response frame,
+  // returning the transported status and leaving `reader` positioned at
+  // the response body.
+  Status RoundTrip(MessageType type, std::string_view payload,
+                   std::string* response_payload);
+
+  std::unique_ptr<Connection> connection_;
+  PqShape shape_;
+  uint64_t next_request_id_ = 1;  // 0 is the connection-rejection id
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_SERVICE_CLIENT_H_

@@ -1,0 +1,366 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pqidx {
+namespace {
+
+// Response payload carrying only a status (Ping, AddTree, ApplyEdits, and
+// every error case).
+std::string StatusPayload(const Status& status) {
+  ByteWriter writer;
+  EncodeStatus(status, &writer);
+  return writer.Release();
+}
+
+}  // namespace
+
+Server::Server(PersistentForestIndex* index, ServerOptions options)
+    : index_(index), options_(options) {
+  PQIDX_CHECK(options_.max_connections >= 1);
+  PQIDX_CHECK(options_.max_write_queue >= 0);
+  PQIDX_CHECK(options_.max_group_commit >= 1);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start(std::unique_ptr<Listener> listener) {
+  PQIDX_CHECK_MSG(!started_.exchange(true), "Server started twice");
+  StatusOr<ForestIndex> replica = index_->MaterializeForest();
+  PQIDX_RETURN_IF_ERROR(replica.status());
+  replica_ = *std::move(replica);
+  listener_ = std::move(listener);
+  pool_ = std::make_unique<ThreadPool>(options_.max_connections);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  listener_->Close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (std::shared_ptr<Connection> conn = weak.lock()) conn->Close();
+    }
+  }
+  accept_thread_.join();
+  // Joining the pool drains the handlers; their connections are already
+  // shut down, so every blocked Send/ReceiveExact has returned.
+  pool_.reset();
+}
+
+ServiceStats Server::stats() const {
+  ServiceStats stats;
+  stats.p = replica_.shape().p;
+  stats.q = replica_.shape().q;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    stats.tree_count = replica_.size();
+  }
+  stats.lookups = lookups_.load();
+  stats.edits_applied = edits_applied_.load();
+  stats.edit_commits = edit_commits_.load();
+  stats.max_batch = max_batch_.load();
+  stats.rejected = rejected_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  return stats;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    StatusOr<std::unique_ptr<Connection>> accepted = listener_->Accept();
+    if (!accepted.ok()) return;  // listener closed (or broken): stop
+    std::shared_ptr<Connection> conn = std::move(accepted).value();
+    if (active_connections_.load() >= options_.max_connections) {
+      // Admission control: reject before reading anything. request_id 0
+      // marks a connection-level rejection (no request carries id 0).
+      rejected_.fetch_add(1);
+      FrameHeader header;
+      header.type = MessageType::kPing;
+      header.flags = kFrameFlagResponse;
+      header.request_id = 0;
+      std::string payload =
+          StatusPayload(UnavailableError("server at connection capacity"));
+      header.payload_size = static_cast<uint32_t>(payload.size());
+      (void)conn->Send(EncodeFrame(header, payload));
+      conn->Close();
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      std::erase_if(connections_,
+                    [](const std::weak_ptr<Connection>& w) {
+                      return w.expired();
+                    });
+      connections_.push_back(conn);
+    }
+    pool_->Schedule([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void Server::HandleConnection(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  for (;;) {
+    Status received = conn->ReceiveExact(kFrameHeaderSize, &buffer);
+    if (!received.ok()) {
+      // OUT_OF_RANGE is a clean close between frames; anything else is a
+      // torn connection. Either way this handler is done.
+      if (received.code() != StatusCode::kOutOfRange &&
+          !stopped_.load()) {
+        protocol_errors_.fetch_add(1);
+      }
+      break;
+    }
+    FrameHeader header;
+    Status decoded = DecodeFrameHeader(buffer, &header);
+    if (decoded.ok() && header.is_response()) {
+      decoded = DataLossError("response frame sent to server");
+    }
+    if (!decoded.ok()) {
+      // The stream cannot be resynchronized after a bad header: report
+      // the error on request_id 0 and drop the connection.
+      protocol_errors_.fetch_add(1);
+      FrameHeader error_header;
+      error_header.type = MessageType::kPing;
+      error_header.flags = kFrameFlagResponse;
+      error_header.request_id = 0;
+      std::string payload = StatusPayload(decoded);
+      error_header.payload_size = static_cast<uint32_t>(payload.size());
+      (void)conn->Send(EncodeFrame(error_header, payload));
+      break;
+    }
+    std::string payload;
+    if (header.payload_size > 0) {
+      Status body = conn->ReceiveExact(header.payload_size, &payload);
+      if (!body.ok()) {
+        if (!stopped_.load()) protocol_errors_.fetch_add(1);
+        break;
+      }
+    }
+    std::string response = HandleRequest(header.type, payload);
+    FrameHeader response_header;
+    response_header.type = header.type;
+    response_header.flags = kFrameFlagResponse;
+    response_header.request_id = header.request_id;
+    response_header.payload_size = static_cast<uint32_t>(response.size());
+    if (!conn->Send(EncodeFrame(response_header, response)).ok()) break;
+  }
+  conn->Close();
+  active_connections_.fetch_sub(1);
+}
+
+std::string Server::HandleRequest(MessageType type,
+                                  std::string_view payload) {
+  switch (type) {
+    case MessageType::kPing:
+      return StatusPayload(Status::Ok());
+    case MessageType::kLookup:
+      return HandleLookup(payload);
+    case MessageType::kAddTree:
+      return HandleAddTree(payload);
+    case MessageType::kApplyEdits:
+      return HandleApplyEdits(payload);
+    case MessageType::kStats:
+      return HandleStats();
+  }
+  // DecodeFrameHeader admits only the enumerated types.
+  PQIDX_CHECK_MSG(false, "unreachable message type");
+  return std::string();
+}
+
+std::string Server::HandleLookup(std::string_view payload) {
+  StatusOr<LookupRequest> request = LookupRequest::Decode(payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1);
+    return StatusPayload(request.status());
+  }
+  // ForestIndex::Lookup CHECK-fails on a shape mismatch; a remote caller
+  // must never be able to trip that, so validate here.
+  if (!(request->query.shape() == replica_.shape())) {
+    return StatusPayload(InvalidArgumentError("query shape mismatch"));
+  }
+  LookupResponse response;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    response.results = replica_.Lookup(request->query, request->tau);
+  }
+  lookups_.fetch_add(1);
+  ByteWriter writer;
+  EncodeStatus(Status::Ok(), &writer);
+  response.Encode(&writer);
+  return writer.Release();
+}
+
+std::string Server::HandleAddTree(std::string_view payload) {
+  StatusOr<AddTreeRequest> request = AddTreeRequest::Decode(payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1);
+    return StatusPayload(request.status());
+  }
+  if (!(request->bag.shape() == replica_.shape())) {
+    return StatusPayload(InvalidArgumentError("bag shape mismatch"));
+  }
+  PendingEdit edit;
+  edit.id = request->tree_id;
+  edit.is_add = true;
+  edit.add_or_plus = std::move(request->bag);
+  return StatusPayload(SubmitEdit(&edit));
+}
+
+std::string Server::HandleApplyEdits(std::string_view payload) {
+  StatusOr<ApplyEditsRequest> request = ApplyEditsRequest::Decode(payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1);
+    return StatusPayload(request.status());
+  }
+  if (!(request->plus.shape() == replica_.shape()) ||
+      !(request->minus.shape() == replica_.shape())) {
+    return StatusPayload(InvalidArgumentError("delta bag shape mismatch"));
+  }
+  PendingEdit edit;
+  edit.id = request->tree_id;
+  edit.is_add = false;
+  edit.add_or_plus = std::move(request->plus);
+  edit.minus = std::move(request->minus);
+  return StatusPayload(SubmitEdit(&edit));
+}
+
+std::string Server::HandleStats() {
+  ByteWriter writer;
+  EncodeStatus(Status::Ok(), &writer);
+  stats().Encode(&writer);
+  return writer.Release();
+}
+
+Status Server::SubmitEdit(PendingEdit* edit) {
+  std::unique_lock<std::mutex> lock(write_mutex_);
+  if (static_cast<int>(write_queue_.size()) >= options_.max_write_queue) {
+    rejected_.fetch_add(1);
+    return UnavailableError("write queue full");
+  }
+  write_queue_.push_back(edit);
+  for (;;) {
+    if (edit->done) return edit->result;
+    if (!leader_active_ && !write_queue_.empty()) {
+      // Become the group-commit leader. Optionally hold leadership so
+      // concurrent writers can pile into this batch -- the same window a
+      // slow fsync opens naturally.
+      leader_active_ = true;
+      if (options_.commit_hold_us > 0) {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.commit_hold_us));
+        lock.lock();
+      }
+      std::vector<PendingEdit*> batch;
+      while (!write_queue_.empty() &&
+             static_cast<int>(batch.size()) < options_.max_group_commit) {
+        batch.push_back(write_queue_.front());
+        write_queue_.pop_front();
+      }
+      lock.unlock();
+      CommitBatch(batch);
+      lock.lock();
+      for (PendingEdit* done : batch) done->done = true;
+      leader_active_ = false;
+      write_cv_.notify_all();
+      continue;  // our own edit is usually in `batch`; re-check
+    }
+    write_cv_.wait(lock);
+  }
+}
+
+void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
+  // Everything below runs with the index exclusively locked: the replica
+  // and the persistent store change together or not at all.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+
+  // Validate each edit against the replica (with a scratch overlay so
+  // edits earlier in the batch are visible to later ones), mirroring the
+  // checks PersistentForestIndex::ApplyBatch applies to its catalog.
+  // Crucially this proves minus is a sub-bag of the stored bag, which the
+  // storage layer's UpdateTree contract requires of its callers.
+  std::map<TreeId, PqGramIndex> scratch;
+  std::vector<PersistentForestIndex::BatchEdit> edits;
+  std::vector<size_t> edit_to_batch;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingEdit& edit = *batch[i];
+    auto it = scratch.find(edit.id);
+    const PqGramIndex* current =
+        it != scratch.end() ? &it->second : replica_.Find(edit.id);
+    if (edit.is_add) {
+      if (current != nullptr) {
+        edit.result = FailedPreconditionError("tree already indexed");
+        continue;
+      }
+      scratch.insert_or_assign(edit.id, edit.add_or_plus);
+    } else {
+      if (current == nullptr) {
+        edit.result = NotFoundError("tree not indexed");
+        continue;
+      }
+      bool sub_bag = true;
+      for (const auto& [fp, count] : edit.minus.counts()) {
+        if (current->Count(fp) < count) {
+          sub_bag = false;
+          break;
+        }
+      }
+      if (!sub_bag) {
+        edit.result = InvalidArgumentError(
+            "minus bag is not a sub-bag of the stored bag");
+        continue;
+      }
+      PqGramIndex next = *current;
+      for (const auto& [fp, count] : edit.minus.counts()) {
+        next.Remove(fp, count);
+      }
+      for (const auto& [fp, count] : edit.add_or_plus.counts()) {
+        next.Add(fp, count);
+      }
+      scratch.insert_or_assign(edit.id, std::move(next));
+    }
+    PersistentForestIndex::BatchEdit batch_edit;
+    batch_edit.id = edit.id;
+    if (edit.is_add) {
+      batch_edit.add = &edit.add_or_plus;
+    } else {
+      batch_edit.plus = &edit.add_or_plus;
+      batch_edit.minus = &edit.minus;
+    }
+    edits.push_back(batch_edit);
+    edit_to_batch.push_back(i);
+  }
+
+  if (edits.empty()) return;  // nothing valid: nothing to commit
+
+  std::vector<Status> results;
+  Status committed = index_->ApplyBatch(edits, &results);
+  int64_t applied = 0;
+  for (size_t j = 0; j < edits.size(); ++j) {
+    PendingEdit& edit = *batch[edit_to_batch[j]];
+    edit.result = results[j];
+    // The replica validation above mirrors the catalog validation inside
+    // ApplyBatch, so a staged edit can only fail with the whole batch.
+    PQIDX_DCHECK(results[j].ok() == committed.ok());
+    if (results[j].ok()) ++applied;
+  }
+  if (!committed.ok() || applied == 0) return;  // replica stays as-is
+
+  for (auto& [id, bag] : scratch) {
+    replica_.AddIndex(id, std::move(bag));
+  }
+  edits_applied_.fetch_add(applied);
+  edit_commits_.fetch_add(1);
+  int64_t seen = max_batch_.load();
+  while (applied > seen && !max_batch_.compare_exchange_weak(seen, applied)) {
+  }
+}
+
+}  // namespace pqidx

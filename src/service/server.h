@@ -1,0 +1,147 @@
+// pqidxd: a concurrent index service over one PersistentForestIndex.
+//
+// Request pipeline (docs/ARCHITECTURE.md, "The service"):
+//
+//   * thread-per-connection on the shared ThreadPool: the accept loop
+//     hands each connection to a worker, which decodes frames (wire.h)
+//     and serves them sequentially for that client;
+//   * admission control: connections beyond `max_connections` are
+//     rejected with a connection-level UNAVAILABLE frame, and edits
+//     beyond `max_write_queue` pending entries get an UNAVAILABLE
+//     response (backpressure instead of unbounded queues);
+//   * lookups run concurrently under a shared read lock against an
+//     in-memory ForestIndex replica of the store (the persistent file is
+//     the durability layer; the replica is the serving layer, kept
+//     bag-identical by applying the same I+/I- deltas);
+//   * writes go through group commit: a writer enqueues its edit and the
+//     first free writer becomes the leader, drains the queue, and
+//     applies the whole batch as ONE WAL transaction
+//     (PersistentForestIndex::ApplyBatch -- one fsync pair for the
+//     entire batch). Writers submitted while a leader is committing are
+//     coalesced into the next batch, amortizing durability cost exactly
+//     where the paper's incremental update makes the writes themselves
+//     cheap.
+//
+// Responses are sent only after the edit is durable (commit before ack).
+// Invalid edits (unknown tree, duplicate add, minus bag not a sub-bag of
+// the stored bag) fail individually with an error response and never
+// disturb the other edits of a batch.
+
+#ifndef PQIDX_SERVICE_SERVER_H_
+#define PQIDX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/forest_index.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "storage/persistent_forest_index.h"
+
+namespace pqidx {
+
+struct ServerOptions {
+  // Concurrent connections == handler threads (thread-per-connection).
+  int max_connections = 8;
+  // Pending group-commit entries before edit requests are rejected with
+  // UNAVAILABLE (admission control).
+  int max_write_queue = 256;
+  // Upper bound on edits coalesced into one WAL transaction.
+  int max_group_commit = 64;
+  // Test/bench aid: the group-commit leader holds leadership this long
+  // before draining the queue, magnifying the batching window the same
+  // way a slow fsync would. 0 in production.
+  int commit_hold_us = 0;
+};
+
+class Server {
+ public:
+  // Serves `index`, which must outlive the server and must not be used
+  // by anyone else while the server runs.
+  Server(PersistentForestIndex* index, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Builds the serving replica and starts accepting on `listener`.
+  Status Start(std::unique_ptr<Listener> listener);
+
+  // Stops accepting, interrupts every live connection, and joins all
+  // handlers. Idempotent; also run by the destructor.
+  void Stop();
+
+  ServiceStats stats() const;
+
+ private:
+  struct PendingEdit {
+    TreeId id = 0;
+    bool is_add = false;
+    PqGramIndex add_or_plus;
+    PqGramIndex minus;
+    Status result;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<Connection> conn);
+
+  // Decodes and serves one request; returns the response payload.
+  std::string HandleRequest(MessageType type, std::string_view payload);
+  std::string HandleLookup(std::string_view payload);
+  std::string HandleAddTree(std::string_view payload);
+  std::string HandleApplyEdits(std::string_view payload);
+  std::string HandleStats();
+
+  // Group commit: blocks until `edit` is durable (or rejected) and
+  // returns its result. The calling thread may serve as batch leader.
+  Status SubmitEdit(PendingEdit* edit);
+  void CommitBatch(const std::vector<PendingEdit*>& batch);
+
+  PersistentForestIndex* const index_;
+  const ServerOptions options_;
+
+  // Serving state: replica_ answers lookups under a shared lock; the
+  // group-commit leader holds it exclusively while mutating replica and
+  // store together.
+  mutable std::shared_mutex index_mutex_;
+  ForestIndex replica_;
+
+  // Group-commit queue.
+  std::mutex write_mutex_;
+  std::condition_variable write_cv_;
+  std::deque<PendingEdit*> write_queue_;
+  bool leader_active_ = false;
+
+  // Lifecycle.
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> active_connections_{0};
+  std::mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+
+  // Counters (see ServiceStats).
+  std::atomic<int64_t> lookups_{0};
+  std::atomic<int64_t> edits_applied_{0};
+  std::atomic<int64_t> edit_commits_{0};
+  std::atomic<int64_t> max_batch_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_SERVICE_SERVER_H_

@@ -1,0 +1,282 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace pqidx {
+namespace {
+
+Status EndOfStream() { return OutOfRangeError("end of stream"); }
+
+// --- pipe ---------------------------------------------------------------
+
+// One direction of a pipe: a bounded byte buffer with blocking
+// backpressure. `closed` means no more bytes will ever be appended.
+struct PipeQueue {
+  explicit PipeQueue(size_t capacity) : capacity(capacity) {}
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::string buffer;
+  size_t read_pos = 0;  // consumed prefix of `buffer`
+  size_t capacity;
+  bool closed = false;
+
+  size_t available() const { return buffer.size() - read_pos; }
+
+  void Compact() {
+    if (read_pos > 0 && read_pos >= buffer.size() / 2) {
+      buffer.erase(0, read_pos);
+      read_pos = 0;
+    }
+  }
+};
+
+class PipeConnection : public Connection {
+ public:
+  PipeConnection(std::shared_ptr<PipeQueue> read_queue,
+                 std::shared_ptr<PipeQueue> write_queue)
+      : read_queue_(std::move(read_queue)),
+        write_queue_(std::move(write_queue)) {}
+
+  ~PipeConnection() override { Close(); }
+
+  Status Send(std::string_view bytes) override {
+    PipeQueue& q = *write_queue_;
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      q.cv.wait(lock, [&q] { return q.closed || q.available() < q.capacity; });
+      if (q.closed) return IoError("pipe closed");
+      size_t room = q.capacity - q.available();
+      size_t n = std::min(room, bytes.size() - sent);
+      q.buffer.append(bytes.data() + sent, n);
+      sent += n;
+      q.cv.notify_all();
+    }
+    return Status::Ok();
+  }
+
+  Status ReceiveExact(size_t n, std::string* out) override {
+    out->clear();
+    PipeQueue& q = *read_queue_;
+    while (out->size() < n) {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      q.cv.wait(lock, [&q] { return q.closed || q.available() > 0; });
+      if (q.available() == 0) {
+        // closed and drained
+        if (out->empty()) return EndOfStream();
+        return DataLossError("stream closed mid-message");
+      }
+      size_t take = std::min(n - out->size(), q.available());
+      out->append(q.buffer, q.read_pos, take);
+      q.read_pos += take;
+      q.Compact();
+      q.cv.notify_all();
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    for (PipeQueue* q : {read_queue_.get(), write_queue_.get()}) {
+      std::lock_guard<std::mutex> lock(q->mutex);
+      q->closed = true;
+      q->cv.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<PipeQueue> read_queue_;
+  std::shared_ptr<PipeQueue> write_queue_;
+};
+
+// --- TCP ----------------------------------------------------------------
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    int one = 1;
+    // Frames are written whole; disable Nagle so small request frames
+    // are not delayed behind unacked responses.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Send(std::string_view bytes) override {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError(std::string("send: ") + std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status ReceiveExact(size_t n, std::string* out) override {
+    out->clear();
+    out->reserve(n);
+    char chunk[1 << 16];
+    while (out->size() < n) {
+      size_t want = std::min(n - out->size(), sizeof(chunk));
+      ssize_t got = ::recv(fd_, chunk, want, 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return IoError(std::string("recv: ") + std::strerror(errno));
+      }
+      if (got == 0) {
+        if (out->empty()) return EndOfStream();
+        return DataLossError("stream closed mid-message");
+      }
+      out->append(chunk, static_cast<size_t>(got));
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    // shutdown (not close) so a concurrent blocked recv/send returns;
+    // the descriptor itself is released by the destructor only.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+MakePipePair(size_t capacity) {
+  auto a_to_b = std::make_shared<PipeQueue>(capacity);
+  auto b_to_a = std::make_shared<PipeQueue>(capacity);
+  return {std::make_unique<PipeConnection>(b_to_a, a_to_b),
+          std::make_unique<PipeConnection>(a_to_b, b_to_a)};
+}
+
+StatusOr<std::unique_ptr<Connection>> PipeListener::Connect() {
+  auto [client_end, server_end] = MakePipePair(capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return UnavailableError("listener closed");
+    pending_.push_back(std::move(server_end));
+  }
+  cv_.notify_one();
+  return std::move(client_end);
+}
+
+StatusOr<std::unique_ptr<Connection>> PipeListener::Accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  if (!pending_.empty()) {
+    std::unique_ptr<Connection> conn = std::move(pending_.front());
+    pending_.pop_front();
+    return conn;
+  }
+  return UnavailableError("listener closed");
+}
+
+void PipeListener::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+StatusOr<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    Status status = IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status status =
+        IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));  // lint:allow-new
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<Connection>> TcpListener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      std::unique_ptr<Connection> conn = std::make_unique<TcpConnection>(fd);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return UnavailableError("listener closed");
+    return IoError(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+void TcpListener::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  // Unblocks a pending accept() (Linux returns EINVAL after shutdown on a
+  // listening socket); the fd is closed by the destructor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                                 uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not a numeric IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    Status status = IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  std::unique_ptr<Connection> conn = std::make_unique<TcpConnection>(fd);
+  return conn;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,115 @@
+// Byte-stream transports for pqidxd: an in-process pipe pair for
+// deterministic tests and a TCP loopback for real serving.
+//
+// A Connection is a reliable, ordered, bidirectional byte stream. Send
+// and ReceiveExact are blocking; Close() may be called from any thread
+// and unblocks both directions on both ends (the shutdown idiom), which
+// is how the server interrupts handlers at Stop(). A Connection is not
+// otherwise thread-safe: one sender and one receiver at a time.
+//
+// A clean close between frames surfaces as OUT_OF_RANGE from
+// ReceiveExact ("end of stream"); any other failure is an IO_ERROR or
+// DATA_LOSS. Listeners block in Accept() until a peer connects or
+// Close() aborts the wait.
+
+#ifndef PQIDX_SERVICE_TRANSPORT_H_
+#define PQIDX_SERVICE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pqidx {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Writes all of `bytes`, blocking as needed.
+  virtual Status Send(std::string_view bytes) = 0;
+
+  // Reads exactly `n` bytes into `*out` (replacing its contents). A close
+  // arriving before the first byte returns OUT_OF_RANGE ("end of
+  // stream"); a close mid-read returns DATA_LOSS.
+  virtual Status ReceiveExact(size_t n, std::string* out) = 0;
+
+  // Shuts the stream down in both directions; safe from any thread and
+  // idempotent. Blocked Send/ReceiveExact calls on either end return.
+  virtual void Close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Blocks until a peer connects. Fails after Close().
+  virtual StatusOr<std::unique_ptr<Connection>> Accept() = 0;
+
+  // Stops accepting; safe from any thread, unblocks a pending Accept().
+  virtual void Close() = 0;
+};
+
+// --- in-process pipe transport ------------------------------------------
+
+// Creates a connected pair of in-process stream ends. Each direction is a
+// bounded buffer (`capacity` bytes) with blocking backpressure.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+MakePipePair(size_t capacity = 1 << 20);
+
+// In-process listener: Connect() hands the server end to Accept() and
+// returns the client end.
+class PipeListener : public Listener {
+ public:
+  explicit PipeListener(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  StatusOr<std::unique_ptr<Connection>> Connect();
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override;
+  void Close() override;
+
+ private:
+  size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Connection>> pending_;
+  bool closed_ = false;
+};
+
+// --- TCP loopback transport ---------------------------------------------
+
+class TcpListener : public Listener {
+ public:
+  // Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  // port, readable from port() afterwards.
+  static StatusOr<std::unique_ptr<TcpListener>> Listen(uint16_t port);
+
+  ~TcpListener() override;
+
+  int port() const { return port_; }
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override;
+  void Close() override;
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  int port_;
+  std::mutex mutex_;
+  bool closed_ = false;
+};
+
+// Connects to a pqidxd TCP endpoint (numeric IPv4 host, e.g. 127.0.0.1).
+StatusOr<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                                 uint16_t port);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_SERVICE_TRANSPORT_H_

@@ -1,0 +1,232 @@
+#include "service/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace pqidx {
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern in a u64.
+void PutDouble(ByteWriter* writer, double v) {
+  writer->PutU64(std::bit_cast<uint64_t>(v));
+}
+
+Status GetDouble(ByteReader* reader, double* out) {
+  uint64_t bits;
+  PQIDX_RETURN_IF_ERROR(reader->GetU64(&bits));
+  *out = std::bit_cast<double>(bits);
+  return Status::Ok();
+}
+
+Status GetTreeId(ByteReader* reader, TreeId* out) {
+  int64_t wide;
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&wide));
+  if (wide < std::numeric_limits<TreeId>::min() ||
+      wide > std::numeric_limits<TreeId>::max()) {
+    return DataLossError("tree id out of range");
+  }
+  *out = static_cast<TreeId>(wide);
+  return Status::Ok();
+}
+
+Status ExpectEnd(const ByteReader& reader) {
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after payload");
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
+  PQIDX_CHECK(payload.size() <= kMaxFramePayload);
+  ByteWriter writer;
+  writer.PutU32(kWireMagic);
+  writer.PutU8(kWireVersion);
+  writer.PutU8(static_cast<uint8_t>(header.type));
+  writer.PutU8(header.flags);
+  writer.PutU8(0);  // reserved
+  writer.PutU64(header.request_id);
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string frame = writer.Release();
+  frame.append(payload);
+  return frame;
+}
+
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
+  if (bytes.size() != kFrameHeaderSize) {
+    return DataLossError("truncated frame header");
+  }
+  ByteReader reader(bytes);
+  uint32_t magic;
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kWireMagic) return DataLossError("bad frame magic");
+  uint8_t version;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&version));
+  if (version != kWireVersion) {
+    return DataLossError("unsupported wire version");
+  }
+  uint8_t type;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&type));
+  if (type < static_cast<uint8_t>(MessageType::kPing) ||
+      type > static_cast<uint8_t>(MessageType::kStats)) {
+    return DataLossError("unknown message type");
+  }
+  uint8_t flags;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&flags));
+  if ((flags & ~kFrameFlagResponse) != 0) {
+    return DataLossError("unknown frame flags");
+  }
+  uint8_t reserved;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&reserved));
+  if (reserved != 0) return DataLossError("nonzero reserved byte");
+  uint64_t request_id;
+  PQIDX_RETURN_IF_ERROR(reader.GetU64(&request_id));
+  uint32_t payload_size;
+  PQIDX_RETURN_IF_ERROR(reader.GetU32(&payload_size));
+  if (payload_size > kMaxFramePayload) {
+    return DataLossError("frame payload exceeds limit");
+  }
+  out->type = static_cast<MessageType>(type);
+  out->flags = flags;
+  out->request_id = request_id;
+  out->payload_size = payload_size;
+  return Status::Ok();
+}
+
+// --- requests -----------------------------------------------------------
+
+void LookupRequest::Encode(ByteWriter* writer) const {
+  PutDouble(writer, tau);
+  query.Serialize(writer);
+}
+
+StatusOr<LookupRequest> LookupRequest::Decode(std::string_view payload) {
+  ByteReader reader(payload);
+  LookupRequest request;
+  PQIDX_RETURN_IF_ERROR(GetDouble(&reader, &request.tau));
+  if (std::isnan(request.tau)) {
+    return InvalidArgumentError("tau must not be NaN");
+  }
+  StatusOr<PqGramIndex> query = PqGramIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(query.status());
+  request.query = *std::move(query);
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return request;
+}
+
+void AddTreeRequest::Encode(ByteWriter* writer) const {
+  writer->PutSignedVarint(tree_id);
+  bag.Serialize(writer);
+}
+
+StatusOr<AddTreeRequest> AddTreeRequest::Decode(std::string_view payload) {
+  ByteReader reader(payload);
+  AddTreeRequest request;
+  PQIDX_RETURN_IF_ERROR(GetTreeId(&reader, &request.tree_id));
+  StatusOr<PqGramIndex> bag = PqGramIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(bag.status());
+  request.bag = *std::move(bag);
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return request;
+}
+
+void ApplyEditsRequest::Encode(ByteWriter* writer) const {
+  writer->PutSignedVarint(tree_id);
+  writer->PutSignedVarint(log_ops);
+  plus.Serialize(writer);
+  minus.Serialize(writer);
+}
+
+StatusOr<ApplyEditsRequest> ApplyEditsRequest::Decode(
+    std::string_view payload) {
+  ByteReader reader(payload);
+  ApplyEditsRequest request;
+  PQIDX_RETURN_IF_ERROR(GetTreeId(&reader, &request.tree_id));
+  PQIDX_RETURN_IF_ERROR(reader.GetSignedVarint(&request.log_ops));
+  if (request.log_ops < 0) return DataLossError("negative log size");
+  StatusOr<PqGramIndex> plus = PqGramIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(plus.status());
+  request.plus = *std::move(plus);
+  StatusOr<PqGramIndex> minus = PqGramIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(minus.status());
+  request.minus = *std::move(minus);
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return request;
+}
+
+// --- responses ----------------------------------------------------------
+
+void EncodeStatus(const Status& status, ByteWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(status.code()));
+  writer->PutString(status.message());
+}
+
+Status DecodeStatus(ByteReader* reader, Status* out) {
+  uint8_t code;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return DataLossError("unknown status code");
+  }
+  std::string message;
+  PQIDX_RETURN_IF_ERROR(reader->GetString(&message));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::Ok();
+}
+
+void LookupResponse::Encode(ByteWriter* writer) const {
+  writer->PutVarint(results.size());
+  for (const LookupResult& result : results) {
+    writer->PutSignedVarint(result.tree_id);
+    PutDouble(writer, result.distance);
+  }
+}
+
+StatusOr<LookupResponse> LookupResponse::Decode(ByteReader* reader) {
+  uint64_t count;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&count));
+  // A result costs >= 9 bytes on the wire; a count the remaining bytes
+  // cannot hold is corrupt (and must not drive a huge reserve()).
+  if (count > reader->remaining() / 9 + 1) {
+    return DataLossError("lookup result count exceeds payload");
+  }
+  LookupResponse response;
+  response.results.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LookupResult result;
+    PQIDX_RETURN_IF_ERROR(GetTreeId(reader, &result.tree_id));
+    PQIDX_RETURN_IF_ERROR(GetDouble(reader, &result.distance));
+    response.results.push_back(result);
+  }
+  return response;
+}
+
+void ServiceStats::Encode(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(p));
+  writer->PutU8(static_cast<uint8_t>(q));
+  writer->PutSignedVarint(tree_count);
+  writer->PutSignedVarint(lookups);
+  writer->PutSignedVarint(edits_applied);
+  writer->PutSignedVarint(edit_commits);
+  writer->PutSignedVarint(max_batch);
+  writer->PutSignedVarint(rejected);
+  writer->PutSignedVarint(protocol_errors);
+}
+
+StatusOr<ServiceStats> ServiceStats::Decode(ByteReader* reader) {
+  ServiceStats stats;
+  uint8_t p, q;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&p));
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&q));
+  stats.p = p;
+  stats.q = q;
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.tree_count));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.lookups));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.edits_applied));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.edit_commits));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.max_batch));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.rejected));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.protocol_errors));
+  return stats;
+}
+
+}  // namespace pqidx

@@ -1,0 +1,138 @@
+// The pqidxd wire protocol: versioned, length-framed binary messages.
+//
+// Every message on a connection is one frame: a fixed 20-byte header
+// followed by `payload_size` payload bytes. Payloads are encoded with the
+// serde primitives (common/serde.h); all decode paths treat their input
+// as untrusted and report malformed, truncated, or oversized bytes with a
+// Status -- never UB or an abort (fuzz/fuzz_wire.cc holds that line).
+//
+// Frame header (little-endian, see docs/FORMATS.md):
+//
+//   off 0  u32 magic "PQRW"      off 4  u8 version (1)
+//   off 5  u8 type               off 6  u8 flags (bit 0: response)
+//   off 7  u8 reserved (0)       off 8  u64 request_id
+//   off 16 u32 payload_size      (<= kMaxFramePayload)
+//
+// The protocol never carries trees: clients reduce their work to pq-gram
+// bags (PqGramIndex) locally and ship those, so the server only ever
+// decodes the already-hardened bag format and the paper's incremental
+// update travels as the (I+, I-) delta bags of Algorithm 1.
+//
+// Response payloads start with a status (code byte + message string);
+// request-specific result bytes follow only when the status is OK. A
+// response with request_id 0 is a connection-level rejection (admission
+// control before any request was read).
+
+#ifndef PQIDX_SERVICE_WIRE_H_
+#define PQIDX_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+
+namespace pqidx {
+
+inline constexpr uint32_t kWireMagic = 0x57525150;  // "PQRW" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+// Frames larger than this are rejected before the payload is read: a
+// single bag tuple costs ~11 bytes, so 64 MiB bounds any sane request.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kPing = 1,
+  kLookup = 2,
+  kAddTree = 3,
+  kApplyEdits = 4,
+  kStats = 5,
+};
+
+inline constexpr uint8_t kFrameFlagResponse = 0x01;
+
+struct FrameHeader {
+  MessageType type = MessageType::kPing;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_size = 0;
+
+  bool is_response() const { return (flags & kFrameFlagResponse) != 0; }
+};
+
+// Serializes header + payload into one contiguous frame.
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
+
+// Strict decode of an untrusted header (exactly kFrameHeaderSize bytes):
+// rejects short input, bad magic, unknown version/type, nonzero reserved
+// bits, and oversized payload declarations.
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out);
+
+// --- request payloads ---------------------------------------------------
+
+struct LookupRequest {
+  PqGramIndex query;
+  double tau = 0;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<LookupRequest> Decode(std::string_view payload);
+};
+
+struct AddTreeRequest {
+  TreeId tree_id = 0;
+  PqGramIndex bag;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<AddTreeRequest> Decode(std::string_view payload);
+};
+
+// The (I+, I-) bags of one updateIndex run (paper Algorithm 1), computed
+// client-side from the resulting tree and the inverse-operation log.
+struct ApplyEditsRequest {
+  TreeId tree_id = 0;
+  PqGramIndex plus;
+  PqGramIndex minus;
+  int64_t log_ops = 0;  // |L|, reported for server statistics only
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<ApplyEditsRequest> Decode(std::string_view payload);
+};
+
+// --- response payloads --------------------------------------------------
+
+// Every response payload starts with this: code byte + message string.
+void EncodeStatus(const Status& status, ByteWriter* writer);
+// Outer Status: malformed bytes. `*out` receives the transported status.
+Status DecodeStatus(ByteReader* reader, Status* out);
+
+struct LookupResponse {
+  std::vector<LookupResult> results;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<LookupResponse> Decode(ByteReader* reader);
+};
+
+// Service counters exposed over the wire; the group-commit efficiency the
+// loadgen asserts on is edits_applied / edit_commits.
+struct ServiceStats {
+  int p = 0;
+  int q = 0;
+  int64_t tree_count = 0;
+  int64_t lookups = 0;
+  int64_t edits_applied = 0;   // successful AddTree + ApplyEdits requests
+  int64_t edit_commits = 0;    // WAL commits that carried those edits
+  int64_t max_batch = 0;       // largest single group-commit batch
+  int64_t rejected = 0;        // admission-control rejections
+  int64_t protocol_errors = 0;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<ServiceStats> Decode(ByteReader* reader);
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_SERVICE_WIRE_H_

@@ -240,6 +240,139 @@ Status PersistentForestIndex::BulkAdd(
   return CommitOrCrash();
 }
 
+Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
+                                         std::vector<Status>* results) {
+  results->assign(edits.size(), Status::Ok());
+
+  // Phase 1: catalog-level validation against a scratch overlay, so an
+  // add and a later update of the same tree compose within one batch.
+  std::map<TreeId, int64_t> staged_sizes;
+  auto staged_size = [&](TreeId id) -> int64_t {
+    auto it = staged_sizes.find(id);
+    if (it != staged_sizes.end()) return it->second;
+    auto cat = catalog_.find(id);
+    return cat == catalog_.end() ? -1 : cat->second;
+  };
+  std::vector<bool> staged(edits.size(), false);
+  int num_staged = 0;
+  for (size_t i = 0; i < edits.size(); ++i) {
+    const BatchEdit& edit = edits[i];
+    const bool is_add = edit.add != nullptr;
+    const bool is_update = edit.plus != nullptr && edit.minus != nullptr;
+    if (is_add == is_update) {
+      (*results)[i] =
+          InvalidArgumentError("batch edit must be an add or an update");
+      continue;
+    }
+    if (is_add) {
+      if (!(edit.add->shape() == shape_)) {
+        (*results)[i] =
+            InvalidArgumentError("index shape does not match the store");
+        continue;
+      }
+      if (staged_size(edit.id) >= 0) {
+        (*results)[i] = FailedPreconditionError(
+            "tree " + std::to_string(edit.id) + " already in the store");
+        continue;
+      }
+      staged_sizes[edit.id] = edit.add->size();
+    } else {
+      if (!(edit.plus->shape() == shape_) ||
+          !(edit.minus->shape() == shape_)) {
+        (*results)[i] =
+            InvalidArgumentError("delta shape does not match the store");
+        continue;
+      }
+      int64_t current = staged_size(edit.id);
+      if (current < 0) {
+        (*results)[i] = NotFoundError("tree not in the store");
+        continue;
+      }
+      int64_t next = current + edit.plus->size() - edit.minus->size();
+      if (next < 0) {
+        (*results)[i] =
+            InvalidArgumentError("minus bag larger than the stored bag");
+        continue;
+      }
+      staged_sizes[edit.id] = next;
+    }
+    staged[i] = true;
+    ++num_staged;
+  }
+  if (num_staged == 0) return Status::Ok();  // nothing to commit
+
+  // Phase 2: stage the tuple deltas. Any failure here (I/O, or a minus
+  // tuple the stored bag lacks) aborts the whole transaction.
+  auto fail_batch = [&](Status cause) {
+    for (size_t i = 0; i < edits.size(); ++i) {
+      if (staged[i]) (*results)[i] = cause;
+    }
+    return RollbackAndReload(std::move(cause));
+  };
+  for (size_t i = 0; i < edits.size(); ++i) {
+    if (!staged[i]) continue;
+    const BatchEdit& edit = edits[i];
+    uint32_t tree = static_cast<uint32_t>(edit.id);
+    if (edit.add != nullptr) {
+      for (const auto& [fp, count] : edit.add->counts()) {
+        Status status = table_.AddDelta(tree, fp, count);
+        if (!status.ok()) return fail_batch(std::move(status));
+      }
+    } else {
+      for (const auto& [fp, count] : edit.minus->counts()) {
+        Status status = table_.AddDelta(tree, fp, -count);
+        if (!status.ok()) return fail_batch(std::move(status));
+      }
+      for (const auto& [fp, count] : edit.plus->counts()) {
+        Status status = table_.AddDelta(tree, fp, count);
+        if (!status.ok()) return fail_batch(std::move(status));
+      }
+    }
+  }
+
+  // Phase 3: catalog + one commit.
+  for (const auto& [id, size] : staged_sizes) catalog_[id] = size;
+  Status stored = StoreCatalog();
+  if (!stored.ok()) return fail_batch(std::move(stored));
+  Status committed = CommitOrCrash();
+  if (!committed.ok()) {
+    // As in the single-op paths, a failed commit poisons the pager; the
+    // caller recovers by reopening, so no rollback is attempted here.
+    for (size_t i = 0; i < edits.size(); ++i) {
+      if (staged[i]) (*results)[i] = committed;
+    }
+  }
+  return committed;
+}
+
+StatusOr<ForestIndex> PersistentForestIndex::MaterializeForest() {
+  std::map<TreeId, PqGramIndex> bags;
+  for (const auto& [id, size] : catalog_) {
+    bags.emplace(id, PqGramIndex(shape_));
+  }
+  bool orphaned = false;
+  PQIDX_RETURN_IF_ERROR(table_.ForEach(
+      [&](uint32_t tree, uint64_t fp, int64_t count) {
+        auto it = bags.find(static_cast<TreeId>(tree));
+        if (it == bags.end()) {
+          orphaned = true;
+          return;
+        }
+        it->second.Add(fp, count);
+      }));
+  if (orphaned) {
+    return DataLossError("tuples outside the catalog; index corrupt");
+  }
+  ForestIndex forest(shape_);
+  for (auto& [id, bag] : bags) {
+    if (bag.size() != catalog_[id]) {
+      return DataLossError("bag size disagrees with the catalog");
+    }
+    forest.AddIndex(id, std::move(bag));
+  }
+  return forest;
+}
+
 Status PersistentForestIndex::RemoveTree(TreeId id) {
   if (!catalog_.contains(id)) {
     return NotFoundError("tree not in the store");

@@ -60,6 +60,33 @@ class PersistentForestIndex {
   Status BulkAdd(
       const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags);
 
+  // One edit of a group-committed batch (see ApplyBatch): either an
+  // AddIndex (`add` set) or an UpdateTree (`plus` and `minus` set).
+  struct BatchEdit {
+    TreeId id = 0;
+    const PqGramIndex* add = nullptr;
+    const PqGramIndex* plus = nullptr;
+    const PqGramIndex* minus = nullptr;
+  };
+
+  // Applies many *independent* edits under ONE WAL transaction (one
+  // fsync pair): the group-commit hook for pqidxd (src/service). Edits
+  // are applied in order; catalog-level validation failures (duplicate
+  // add, unknown tree, shape mismatch, bag size underflow) are reported
+  // per edit in `results` and leave the other edits untouched. An
+  // apply-time failure (I/O, or a minus bag that is not a sub-bag of the
+  // stored bag -- callers are expected to pre-validate that, as
+  // UpdateTree's contract already requires) rolls back the whole batch,
+  // fails every staged edit, and is returned. Nothing is committed when
+  // no edit survives validation.
+  Status ApplyBatch(const std::vector<BatchEdit>& edits,
+                    std::vector<Status>* results);
+
+  // Materializes every cataloged bag in one table sweep -- the fast way
+  // to build an in-memory serving replica of the whole store. Fails on
+  // tuples outside the catalog (index corruption).
+  StatusOr<ForestIndex> MaterializeForest();
+
   // Removes a tree and reclaims its tuples (full table sweep; removal is
   // the rare operation in this workload).
   Status RemoveTree(TreeId id);

@@ -60,6 +60,54 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, DestructorDrainsDeepQueueOnSingleWorker) {
+  // One worker, many queued tasks: destruction must run every queued task
+  // before joining, even when the queue is far deeper than the pool.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 500; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(-5, [&](int64_t) { calls.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+#ifndef NDEBUG
+TEST(ThreadPoolDeathTest, ReentrantScheduleFromWorkerIsCaught) {
+  // Scheduling into the pool a task runs on races Wait()'s completion
+  // accounting; debug builds must refuse instead of hanging.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Schedule([&pool] { pool.Schedule([] {}); });
+        pool.Wait();
+      },
+      "current_pool_");
+}
+
+TEST(ThreadPoolDeathTest, ReentrantWaitFromWorkerIsCaught) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Schedule([&pool] { pool.Wait(); });
+        pool.Wait();
+      },
+      "current_pool_");
+}
+#endif  // NDEBUG
+
 TEST(ThreadPoolStressTest, ManySmallTasksManyRounds) {
   // Thousands of near-empty tasks maximize contention on the queue lock
   // and the in-flight counter; repeated Wait() rounds catch notify/wait

@@ -1,0 +1,775 @@
+// Tests for the pqidxd service stack (src/service): wire protocol decode
+// hardening, transport semantics, single-client correctness against the
+// in-memory library, group-commit batching, admission control, and
+// multi-client stress runs over both transports. The stress cases are
+// TSan targets (see .github/workflows/ci.yml): concurrent lookups under
+// the shared read lock race the group-commit leader by design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/incremental.h"
+#include "edit/edit_script.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "storage/persistent_forest_index.h"
+#include "tree/generators.h"
+
+namespace pqidx {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+using StorePtr = std::unique_ptr<PersistentForestIndex>;
+
+StorePtr MustCreate(const std::string& name, PqShape shape) {
+  StatusOr<StorePtr> store =
+      PersistentForestIndex::Create(TempPath(name), shape);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+// --- wire protocol ------------------------------------------------------
+
+TEST(WireTest, FrameHeaderRoundTrip) {
+  FrameHeader header;
+  header.type = MessageType::kLookup;
+  header.flags = kFrameFlagResponse;
+  header.request_id = 0x0123456789abcdefULL;
+  std::string payload = "hello";
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  std::string frame = EncodeFrame(header, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+
+  FrameHeader decoded;
+  ASSERT_TRUE(DecodeFrameHeader(
+                  std::string_view(frame).substr(0, kFrameHeaderSize),
+                  &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.type, MessageType::kLookup);
+  EXPECT_TRUE(decoded.is_response());
+  EXPECT_EQ(decoded.request_id, header.request_id);
+  EXPECT_EQ(decoded.payload_size, payload.size());
+}
+
+TEST(WireTest, FrameHeaderRejectsMalformedBytes) {
+  FrameHeader valid;
+  valid.type = MessageType::kPing;
+  valid.request_id = 7;
+  std::string good =
+      EncodeFrame(valid, std::string_view()).substr(0, kFrameHeaderSize);
+  FrameHeader out;
+  ASSERT_TRUE(DecodeFrameHeader(good, &out).ok());
+
+  // Truncated and over-long inputs.
+  EXPECT_FALSE(DecodeFrameHeader(std::string_view(), &out).ok());
+  EXPECT_FALSE(DecodeFrameHeader(good.substr(0, 19), &out).ok());
+  EXPECT_FALSE(DecodeFrameHeader(good + "x", &out).ok());
+
+  // Field-level corruption: magic, version, type, flags, reserved.
+  auto corrupt = [&](size_t offset, char value) {
+    std::string bad = good;
+    bad[offset] = value;
+    return DecodeFrameHeader(bad, &out);
+  };
+  EXPECT_FALSE(corrupt(0, 'X').ok());                 // magic
+  EXPECT_FALSE(corrupt(4, 99).ok());                  // version
+  EXPECT_FALSE(corrupt(5, 0).ok());                   // type below range
+  EXPECT_FALSE(corrupt(5, 17).ok());                  // type above range
+  EXPECT_FALSE(corrupt(6, 0x02).ok());                // unknown flag bit
+  EXPECT_FALSE(corrupt(7, 1).ok());                   // reserved byte
+
+  // Declared payload beyond the limit.
+  std::string oversized = good;
+  oversized[16] = '\xff';
+  oversized[17] = '\xff';
+  oversized[18] = '\xff';
+  oversized[19] = '\xff';
+  EXPECT_FALSE(DecodeFrameHeader(oversized, &out).ok());
+}
+
+TEST(WireTest, RequestPayloadRoundTrips) {
+  const PqShape shape{2, 3};
+  Rng rng(9);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 20);
+  PqGramIndex bag = BuildIndex(tree, shape);
+
+  {
+    LookupRequest request;
+    request.query = bag;
+    request.tau = 0.75;
+    ByteWriter writer;
+    request.Encode(&writer);
+    StatusOr<LookupRequest> decoded = LookupRequest::Decode(writer.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->query, bag);
+    EXPECT_DOUBLE_EQ(decoded->tau, 0.75);
+  }
+  {
+    AddTreeRequest request;
+    request.tree_id = -12;
+    request.bag = bag;
+    ByteWriter writer;
+    request.Encode(&writer);
+    StatusOr<AddTreeRequest> decoded = AddTreeRequest::Decode(writer.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->tree_id, -12);
+    EXPECT_EQ(decoded->bag, bag);
+  }
+  {
+    ApplyEditsRequest request;
+    request.tree_id = 3;
+    request.plus = bag;
+    request.minus = PqGramIndex(shape);
+    request.log_ops = 11;
+    ByteWriter writer;
+    request.Encode(&writer);
+    StatusOr<ApplyEditsRequest> decoded =
+        ApplyEditsRequest::Decode(writer.data());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->tree_id, 3);
+    EXPECT_EQ(decoded->plus, bag);
+    EXPECT_EQ(decoded->minus.size(), 0);
+    EXPECT_EQ(decoded->log_ops, 11);
+  }
+}
+
+TEST(WireTest, RequestPayloadRejectsMalformedBytes) {
+  // Trailing bytes after a valid payload.
+  LookupRequest request;
+  request.query = PqGramIndex(PqShape{2, 2});
+  request.tau = 0.5;
+  ByteWriter writer;
+  request.Encode(&writer);
+  std::string padded = std::string(writer.data()) + "extra";
+  EXPECT_FALSE(LookupRequest::Decode(padded).ok());
+
+  // NaN tau.
+  ByteWriter nan_writer;
+  LookupRequest nan_request;
+  nan_request.query = PqGramIndex(PqShape{2, 2});
+  nan_request.tau = std::numeric_limits<double>::quiet_NaN();
+  nan_request.Encode(&nan_writer);
+  EXPECT_FALSE(LookupRequest::Decode(nan_writer.data()).ok());
+
+  // Truncated bag.
+  EXPECT_FALSE(
+      AddTreeRequest::Decode(std::string_view(padded).substr(0, 3)).ok());
+  EXPECT_FALSE(ApplyEditsRequest::Decode("\x01").ok());
+}
+
+TEST(WireTest, StatusAndResponseRoundTrips) {
+  {
+    ByteWriter writer;
+    EncodeStatus(UnavailableError("busy"), &writer);
+    ByteReader reader(writer.data());
+    Status out;
+    ASSERT_TRUE(DecodeStatus(&reader, &out).ok());
+    EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(out.message(), "busy");
+  }
+  {
+    LookupResponse response;
+    response.results.push_back(LookupResult{4, 0.125});
+    response.results.push_back(LookupResult{-2, 0.875});
+    ByteWriter writer;
+    response.Encode(&writer);
+    ByteReader reader(writer.data());
+    StatusOr<LookupResponse> decoded = LookupResponse::Decode(&reader);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->results.size(), 2u);
+    EXPECT_EQ(decoded->results[0].tree_id, 4);
+    EXPECT_DOUBLE_EQ(decoded->results[1].distance, 0.875);
+  }
+  {
+    // A result count the payload cannot hold must be rejected before any
+    // allocation is attempted.
+    ByteWriter writer;
+    writer.PutVarint(1u << 30);
+    ByteReader reader(writer.data());
+    EXPECT_FALSE(LookupResponse::Decode(&reader).ok());
+  }
+  {
+    ServiceStats stats;
+    stats.p = 2;
+    stats.q = 3;
+    stats.tree_count = 17;
+    stats.lookups = 1000;
+    stats.edits_applied = 64;
+    stats.edit_commits = 9;
+    stats.max_batch = 12;
+    stats.rejected = 2;
+    stats.protocol_errors = 1;
+    ByteWriter writer;
+    stats.Encode(&writer);
+    ByteReader reader(writer.data());
+    StatusOr<ServiceStats> decoded = ServiceStats::Decode(&reader);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->p, 2);
+    EXPECT_EQ(decoded->q, 3);
+    EXPECT_EQ(decoded->tree_count, 17);
+    EXPECT_EQ(decoded->edits_applied, 64);
+    EXPECT_EQ(decoded->edit_commits, 9);
+    EXPECT_EQ(decoded->max_batch, 12);
+  }
+}
+
+// --- transport ----------------------------------------------------------
+
+TEST(PipeTransportTest, BytesFlowBothWays) {
+  auto [a, b] = MakePipePair();
+  ASSERT_TRUE(a->Send("ping").ok());
+  std::string got;
+  ASSERT_TRUE(b->ReceiveExact(4, &got).ok());
+  EXPECT_EQ(got, "ping");
+  ASSERT_TRUE(b->Send("pong!").ok());
+  ASSERT_TRUE(a->ReceiveExact(5, &got).ok());
+  EXPECT_EQ(got, "pong!");
+}
+
+TEST(PipeTransportTest, CloseSemantics) {
+  auto [a, b] = MakePipePair();
+  ASSERT_TRUE(a->Send("xy").ok());
+  a->Close();
+  std::string got;
+  // Buffered bytes are still readable, then a clean end of stream.
+  ASSERT_TRUE(b->ReceiveExact(2, &got).ok());
+  Status end = b->ReceiveExact(1, &got);
+  EXPECT_EQ(end.code(), StatusCode::kOutOfRange);
+  // A close that cuts a message in half is data loss.
+  auto [c, d] = MakePipePair();
+  ASSERT_TRUE(c->Send("abc").ok());
+  c->Close();
+  Status torn = d->ReceiveExact(10, &got);
+  EXPECT_EQ(torn.code(), StatusCode::kDataLoss);
+}
+
+TEST(PipeTransportTest, CloseUnblocksReader) {
+  auto [a, b] = MakePipePair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->Close();
+  });
+  std::string got;
+  Status blocked = b->ReceiveExact(1, &got);
+  EXPECT_FALSE(blocked.ok());
+  closer.join();
+}
+
+TEST(PipeTransportTest, BoundedBufferAppliesBackpressure) {
+  auto [a, b] = MakePipePair(/*capacity=*/8);
+  std::string big(64, 'z');
+  std::thread sender([&a, &big] { EXPECT_TRUE(a->Send(big).ok()); });
+  std::string got;
+  ASSERT_TRUE(b->ReceiveExact(big.size(), &got).ok());
+  EXPECT_EQ(got, big);
+  sender.join();
+}
+
+TEST(PipeTransportTest, ListenerHandsOutConnectedPairs) {
+  PipeListener listener;
+  StatusOr<std::unique_ptr<Connection>> client = listener.Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<std::unique_ptr<Connection>> server = listener.Accept();
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*client)->Send("hi").ok());
+  std::string got;
+  ASSERT_TRUE((*server)->ReceiveExact(2, &got).ok());
+  EXPECT_EQ(got, "hi");
+  listener.Close();
+  EXPECT_FALSE(listener.Accept().ok());
+  EXPECT_FALSE(listener.Connect().ok());
+}
+
+// --- single-client service behavior -------------------------------------
+
+struct TestService {
+  explicit TestService(const std::string& name, PqShape shape,
+                       ServerOptions options = ServerOptions()) {
+    index = MustCreate(name, shape);
+    server = std::make_unique<Server>(index.get(), options);
+    auto listener = std::make_unique<PipeListener>();
+    connect_point = listener.get();
+    Status started = server->Start(std::move(listener));
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  std::unique_ptr<Client> MustConnect() {
+    StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+    EXPECT_TRUE(conn.ok());
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect(std::move(*conn));
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  StorePtr index;
+  std::unique_ptr<Server> server;
+  PipeListener* connect_point = nullptr;
+};
+
+TEST(ServiceTest, ConnectLearnsShapeAndPings) {
+  TestService service("svc_ping.db", PqShape{2, 3});
+  std::unique_ptr<Client> client = service.MustConnect();
+  EXPECT_EQ(client->shape(), (PqShape{2, 3}));
+  EXPECT_TRUE(client->Ping().ok());
+  StatusOr<ServiceStats> stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tree_count, 0);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, LookupMatchesInMemoryLibrary) {
+  const PqShape shape{2, 3};
+  TestService service("svc_lookup.db", shape);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(21);
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex library(shape);
+  std::vector<Tree> trees;
+  for (TreeId id = 0; id < 10; ++id) {
+    trees.push_back(GenerateXmarkLike(dict, &rng, 80));
+    ASSERT_TRUE(client->AddTree(id, trees.back()).ok());
+    library.AddTree(id, trees.back());
+  }
+
+  for (double tau : {0.0, 0.3, 0.8, 1.0}) {
+    for (TreeId id = 0; id < 3; ++id) {
+      StatusOr<std::vector<LookupResult>> remote =
+          client->Lookup(trees[static_cast<size_t>(id)], tau);
+      ASSERT_TRUE(remote.ok());
+      std::vector<LookupResult> local =
+          library.Lookup(trees[static_cast<size_t>(id)], tau);
+      ASSERT_EQ(remote->size(), local.size()) << "tau " << tau;
+      for (size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ((*remote)[i].tree_id, local[i].tree_id);
+        EXPECT_DOUBLE_EQ((*remote)[i].distance, local[i].distance);
+      }
+    }
+  }
+  service.server->Stop();
+}
+
+TEST(ServiceTest, ApplyEditsMatchesInMemoryLibrary) {
+  const PqShape shape{3, 3};
+  TestService service("svc_edits.db", shape);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(22);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 60);
+  ASSERT_TRUE(client->AddTree(1, doc).ok());
+  ForestIndex library(shape);
+  library.AddTree(1, doc);
+
+  for (int round = 0; round < 5; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 20, EditScriptOptions{}, &log);
+    ASSERT_TRUE(client->ApplyEdits(1, doc, log).ok()) << "round " << round;
+    ASSERT_TRUE(library.ApplyLog(1, doc, log).ok());
+  }
+
+  // The served index, the library, and a from-scratch rebuild agree.
+  StatusOr<std::vector<LookupResult>> remote = client->Lookup(doc, 1.0);
+  ASSERT_TRUE(remote.ok());
+  ASSERT_EQ(remote->size(), 1u);
+  EXPECT_DOUBLE_EQ((*remote)[0].distance,
+                   library.Lookup(doc, 1.0)[0].distance);
+  service.server->Stop();
+  StatusOr<PqGramIndex> on_disk = service.index->MaterializeIndex(1);
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(*on_disk, BuildIndex(doc, shape));
+}
+
+TEST(ServiceTest, InvalidEditsAreRejectedWithoutDisturbingTheIndex) {
+  const PqShape shape{2, 2};
+  TestService service("svc_invalid.db", shape);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(23);
+  Tree tree = GenerateDblpLike(nullptr, &rng, 30);
+  PqGramIndex bag = BuildIndex(tree, shape);
+  ASSERT_TRUE(client->AddIndex(5, bag).ok());
+
+  // Duplicate add.
+  Status duplicate = client->AddIndex(5, bag);
+  EXPECT_EQ(duplicate.code(), StatusCode::kFailedPrecondition);
+  // Update of an unknown tree.
+  Status unknown = client->ApplyDeltas(99, PqGramIndex(shape),
+                                       PqGramIndex(shape));
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+  // A minus bag that is not a sub-bag of the stored bag: the class of
+  // input that would abort the in-process index must come back as a
+  // plain error over the wire.
+  PqGramIndex bogus_minus(shape);
+  bogus_minus.Add(0xdeadbeefULL, 1000000);
+  Status bad_minus = client->ApplyDeltas(5, PqGramIndex(shape), bogus_minus);
+  EXPECT_EQ(bad_minus.code(), StatusCode::kInvalidArgument);
+  // Wrong-shape query never reaches the index's shape CHECK.
+  PqGramIndex wrong_shape(PqShape{3, 3});
+  EXPECT_FALSE(client->Lookup(wrong_shape, 0.5).ok());
+
+  // The stored bag is untouched by all of the above.
+  StatusOr<std::vector<LookupResult>> hits = client->Lookup(bag, 0.0);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].tree_id, 5);
+  StatusOr<ServiceStats> stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tree_count, 1);
+  service.server->Stop();
+  service.index->CheckConsistency();
+}
+
+TEST(ServiceTest, WriteQueueAdmissionControlRejects) {
+  ServerOptions options;
+  options.max_write_queue = 0;  // every edit is over capacity
+  TestService service("svc_admission.db", PqShape{2, 2}, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+  PqGramIndex bag(PqShape{2, 2});
+  bag.Add(1, 1);
+  Status rejected = client->AddIndex(1, bag);
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  StatusOr<ServiceStats> stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->rejected, 1);
+  EXPECT_EQ(stats->tree_count, 0);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, ConnectionCapAdmissionControlRejects) {
+  ServerOptions options;
+  options.max_connections = 1;
+  TestService service("svc_conncap.db", PqShape{2, 2}, options);
+  std::unique_ptr<Client> holder = service.MustConnect();
+
+  // The handler slot is occupied (holder's Stats handshake proves its
+  // handler is live), so the next connection is turned away with an
+  // UNAVAILABLE rejection frame on request id 0 before any request is
+  // read -- observe it on a raw connection without sending a byte.
+  StatusOr<std::unique_ptr<Connection>> conn =
+      service.connect_point->Connect();
+  ASSERT_TRUE(conn.ok());
+  std::string bytes;
+  ASSERT_TRUE((*conn)->ReceiveExact(kFrameHeaderSize, &bytes).ok());
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(bytes, &header).ok());
+  EXPECT_TRUE(header.is_response());
+  EXPECT_EQ(header.request_id, 0u);
+  std::string payload;
+  ASSERT_TRUE((*conn)->ReceiveExact(header.payload_size, &payload).ok());
+  ByteReader reader(payload);
+  Status transported;
+  ASSERT_TRUE(DecodeStatus(&reader, &transported).ok());
+  EXPECT_EQ(transported.code(), StatusCode::kUnavailable);
+  EXPECT_GE(service.server->stats().rejected, 1);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, MalformedFramesGetErrorResponsesNeverAborts) {
+  TestService service("svc_malformed.db", PqShape{2, 2});
+
+  // A frame with a corrupt header: the server answers with an error frame
+  // on request id 0 and drops the connection.
+  {
+    StatusOr<std::unique_ptr<Connection>> conn =
+        service.connect_point->Connect();
+    ASSERT_TRUE(conn.ok());
+    std::string garbage(kFrameHeaderSize, '\xee');
+    ASSERT_TRUE((*conn)->Send(garbage).ok());
+    std::string bytes;
+    ASSERT_TRUE((*conn)->ReceiveExact(kFrameHeaderSize, &bytes).ok());
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(bytes, &header).ok());
+    EXPECT_TRUE(header.is_response());
+    EXPECT_EQ(header.request_id, 0u);
+    std::string payload;
+    ASSERT_TRUE((*conn)->ReceiveExact(header.payload_size, &payload).ok());
+    ByteReader reader(payload);
+    Status transported;
+    ASSERT_TRUE(DecodeStatus(&reader, &transported).ok());
+    EXPECT_FALSE(transported.ok());
+  }
+
+  // A well-formed header whose payload is garbage: a per-request error
+  // response, and the connection stays usable.
+  {
+    StatusOr<std::unique_ptr<Connection>> conn =
+        service.connect_point->Connect();
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.type = MessageType::kLookup;
+    header.request_id = 42;
+    std::string junk = "not a lookup payload";
+    header.payload_size = static_cast<uint32_t>(junk.size());
+    ASSERT_TRUE((*conn)->Send(EncodeFrame(header, junk)).ok());
+    std::string bytes;
+    ASSERT_TRUE((*conn)->ReceiveExact(kFrameHeaderSize, &bytes).ok());
+    FrameHeader response;
+    ASSERT_TRUE(DecodeFrameHeader(bytes, &response).ok());
+    EXPECT_EQ(response.request_id, 42u);
+    std::string payload;
+    ASSERT_TRUE((*conn)->ReceiveExact(response.payload_size, &payload).ok());
+    ByteReader reader(payload);
+    Status transported;
+    ASSERT_TRUE(DecodeStatus(&reader, &transported).ok());
+    EXPECT_FALSE(transported.ok());
+
+    // Same connection, now a valid request.
+    FrameHeader ping;
+    ping.type = MessageType::kPing;
+    ping.request_id = 43;
+    ASSERT_TRUE((*conn)->Send(EncodeFrame(ping, std::string_view())).ok());
+    ASSERT_TRUE((*conn)->ReceiveExact(kFrameHeaderSize, &bytes).ok());
+    ASSERT_TRUE(DecodeFrameHeader(bytes, &response).ok());
+    EXPECT_EQ(response.request_id, 43u);
+    ASSERT_TRUE((*conn)->ReceiveExact(response.payload_size, &payload).ok());
+  }
+
+  StatusOr<ServiceStats> stats = [&] {
+    std::unique_ptr<Client> client = service.MustConnect();
+    return client->Stats();
+  }();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->protocol_errors, 2);
+  service.server->Stop();
+  service.index->CheckConsistency();
+}
+
+TEST(ServiceTest, GroupCommitBatchesConcurrentEdits) {
+  ServerOptions options;
+  options.max_connections = 8;
+  // Hold leadership long enough that concurrently submitted edits pile
+  // into one batch even on a fast machine.
+  options.commit_hold_us = 2000;
+  const PqShape shape{2, 2};
+  TestService service("svc_batch.db", shape, options);
+
+  constexpr int kWriters = 6;
+  constexpr int kEditsPerWriter = 20;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::unique_ptr<Client> client = service.MustConnect();
+      PqGramIndex bag(shape);
+      bag.Add(static_cast<PqGramFingerprint>(1000 + w), 2);
+      if (!client->AddIndex(static_cast<TreeId>(w), bag).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kEditsPerWriter; ++i) {
+        PqGramIndex plus(shape);
+        plus.Add(static_cast<PqGramFingerprint>(w * 1000 + i), 1);
+        if (!client->ApplyDeltas(static_cast<TreeId>(w), plus,
+                                 PqGramIndex(shape), 1)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ServiceStats stats = service.server->stats();
+  EXPECT_EQ(stats.edits_applied, kWriters * (kEditsPerWriter + 1));
+  // The whole point of group commit: strictly fewer WAL commits than
+  // edits, and at least one real batch.
+  EXPECT_LT(stats.edit_commits, stats.edits_applied);
+  EXPECT_GE(stats.max_batch, 2);
+  service.server->Stop();
+  service.index->CheckConsistency();
+}
+
+// --- multi-client stress -------------------------------------------------
+
+// Runs `kClients` concurrent clients over `connect`, each owning a
+// disjoint set of trees (so the final state is deterministic), mixing
+// lookups with incremental edits. Verifies zero protocol errors, that
+// every response matches the single-threaded library result, and that the
+// persistent file reopens clean with exactly the expected bags.
+void RunStressWorkload(TestService* service,
+                       const std::string& reopen_name) {
+  const PqShape shape = service->index->shape();
+  constexpr int kClients = 5;
+  constexpr int kTreesPerClient = 3;
+  constexpr int kRounds = 8;
+
+  // Each client applies a deterministic edit sequence; the reference
+  // library applies the same sequences single-threaded afterwards.
+  std::vector<std::vector<Tree>> final_trees(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      std::unique_ptr<Client> client = service->MustConnect();
+      Rng rng(7000 + c);
+      std::vector<Tree> trees;
+      for (int t = 0; t < kTreesPerClient; ++t) {
+        trees.push_back(GenerateDblpLike(nullptr, &rng, 40));
+        TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+        if (!client->AddTree(id, trees.back()).ok()) failures.fetch_add(1);
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (int t = 0; t < kTreesPerClient; ++t) {
+          TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+          EditLog log;
+          GenerateEditScript(&trees[static_cast<size_t>(t)], &rng, 6,
+                             EditScriptOptions{}, &log);
+          if (!client->ApplyEdits(id, trees[static_cast<size_t>(t)], log)
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+          // Interleave a lookup for own tree: it must always be found at
+          // distance 0 regardless of other clients' concurrent edits.
+          StatusOr<std::vector<LookupResult>> hits =
+              client->Lookup(trees[static_cast<size_t>(t)], 0.0);
+          if (!hits.ok()) {
+            failures.fetch_add(1);
+          } else {
+            bool found_self = false;
+            for (const LookupResult& hit : *hits) {
+              if (hit.tree_id == id && hit.distance == 0.0) {
+                found_self = true;
+              }
+            }
+            if (!found_self) failures.fetch_add(1);
+          }
+        }
+      }
+      final_trees[static_cast<size_t>(c)] = std::move(trees);
+      client->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  ServiceStats stats = service->server->stats();
+  EXPECT_EQ(stats.protocol_errors, 0);
+  EXPECT_EQ(stats.tree_count, kClients * kTreesPerClient);
+  service->server->Stop();
+
+  // The persistent index must now hold exactly what a single-threaded
+  // application of every client's edit sequence produces.
+  service->index->CheckConsistency();
+  for (int c = 0; c < kClients; ++c) {
+    for (int t = 0; t < kTreesPerClient; ++t) {
+      TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+      StatusOr<PqGramIndex> stored = service->index->MaterializeIndex(id);
+      ASSERT_TRUE(stored.ok());
+      EXPECT_EQ(*stored,
+                BuildIndex(final_trees[static_cast<size_t>(c)]
+                                      [static_cast<size_t>(t)],
+                           shape))
+          << "tree " << id;
+    }
+  }
+
+  // And it must reopen clean from disk.
+  service->index.reset();
+  StatusOr<StorePtr> reopened =
+      PersistentForestIndex::Open(TempPath(reopen_name));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  (*reopened)->CheckConsistency();
+  EXPECT_EQ((*reopened)->size(), kClients * kTreesPerClient);
+}
+
+TEST(ServiceStressTest, ConcurrentClientsOverPipe) {
+  ServerOptions options;
+  options.max_connections = 6;
+  TestService service("svc_stress_pipe.db", PqShape{2, 3}, options);
+  RunStressWorkload(&service, "svc_stress_pipe.db");
+}
+
+TEST(ServiceStressTest, ConcurrentClientsOverTcpLoopback) {
+  StatusOr<std::unique_ptr<TcpListener>> listener = TcpListener::Listen(0);
+  if (!listener.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << listener.status().ToString();
+  }
+  int port = (*listener)->port();
+
+  ServerOptions options;
+  options.max_connections = 6;
+  StorePtr index = MustCreate("svc_stress_tcp.db", PqShape{2, 3});
+  Server server(index.get(), options);
+  ASSERT_TRUE(server.Start(std::move(*listener)).ok());
+
+  constexpr int kClients = 4;
+  constexpr int kTreesPerClient = 2;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<Tree>> final_trees(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<Connection>> conn =
+          TcpConnect("127.0.0.1", static_cast<uint16_t>(port));
+      if (!conn.ok()) { failures.fetch_add(1); return; }
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect(std::move(*conn));
+      if (!client.ok()) { failures.fetch_add(1); return; }
+      Rng rng(9000 + c);
+      std::vector<Tree> trees;
+      for (int t = 0; t < kTreesPerClient; ++t) {
+        trees.push_back(GenerateXmarkLike(nullptr, &rng, 50));
+        TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+        if (!(*client)->AddTree(id, trees.back()).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+      for (int round = 0; round < 5; ++round) {
+        for (int t = 0; t < kTreesPerClient; ++t) {
+          TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+          EditLog log;
+          GenerateEditScript(&trees[static_cast<size_t>(t)], &rng, 5,
+                             EditScriptOptions{}, &log);
+          if (!(*client)
+                   ->ApplyEdits(id, trees[static_cast<size_t>(t)], log)
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+          StatusOr<std::vector<LookupResult>> hits =
+              (*client)->Lookup(trees[static_cast<size_t>(t)], 0.0);
+          if (!hits.ok()) failures.fetch_add(1);
+        }
+      }
+      final_trees[static_cast<size_t>(c)] = std::move(trees);
+      (*client)->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().protocol_errors, 0);
+  server.Stop();
+
+  index->CheckConsistency();
+  const PqShape shape{2, 3};
+  for (int c = 0; c < kClients; ++c) {
+    for (int t = 0; t < kTreesPerClient; ++t) {
+      TreeId id = static_cast<TreeId>(c * kTreesPerClient + t);
+      StatusOr<PqGramIndex> stored = index->MaterializeIndex(id);
+      ASSERT_TRUE(stored.ok());
+      EXPECT_EQ(*stored,
+                BuildIndex(final_trees[static_cast<size_t>(c)]
+                                      [static_cast<size_t>(t)],
+                           shape))
+          << "tree " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -35,6 +35,12 @@
 //       Approximate join: all pairs within pq-gram distance tau
 //       (default 0.5). Use the same index file twice for a self-join.
 //
+//   pqidx serve <index-file> [-p P] [-q Q] [--port N] [-t THREADS]
+//       Serves a persistent forest index over the pqidxd wire protocol on
+//       127.0.0.1 (an ephemeral port unless --port is given). Creates the
+//       index file with the given shape if it does not exist. Stop with
+//       SIGINT/SIGTERM; final service statistics are printed on exit.
+//
 //   pqidx store <subcommand> ...
 //       Manage a durable document store (crash-safe paged index plus the
 //       documents themselves):
@@ -45,6 +51,7 @@
 //         store ls     <dir>
 //         store verify <dir>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,8 +65,11 @@
 #include "core/join.h"
 #include "core/incremental.h"
 #include "edit/tree_diff.h"
+#include "service/server.h"
+#include "service/transport.h"
 #include "storage/document_store.h"
 #include "storage/index_store.h"
+#include "storage/persistent_forest_index.h"
 #include "ted/zhang_shasha.h"
 #include "tree/stats.h"
 #include "xml/xml_parser.h"
@@ -80,6 +90,8 @@ int Usage() {
                "  pqidx diff   <old.xml> <new.xml>\n"
                "  pqidx stats  <doc.xml>\n"
                "  pqidx join   <left-index> <right-index> [tau]\n"
+               "  pqidx serve  <index-file> [-p P] [-q Q] [--port N] "
+               "[-t THREADS]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -310,6 +322,81 @@ int CmdJoin(std::vector<std::string> args) {
   return 0;
 }
 
+int CmdServe(std::vector<std::string> args) {
+  PqShape shape = ParseShapeFlags(&args);
+  int port = 0;
+  int threads = 4;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--port" && i + 1 < args.size()) {
+      port = std::atoi(args[++i].c_str());
+    } else if (args[i] == "-t" && i + 1 < args.size()) {
+      threads = std::atoi(args[++i].c_str());
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1) {
+    return Usage();
+  }
+  const std::string& index_path = rest[0];
+
+  // Open the index, creating a fresh one if the file does not exist yet.
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Open(index_path);
+  if (!index.ok()) {
+    if (std::FILE* f = std::fopen(index_path.c_str(), "rb")) {
+      std::fclose(f);
+      return Fail(index.status());  // exists but unreadable: report that
+    }
+    index = PersistentForestIndex::Create(index_path, shape);
+    if (!index.ok()) return Fail(index.status());
+    std::printf("created %s (%d,%d-grams)\n", index_path.c_str(), shape.p,
+                shape.q);
+  }
+
+  // Handle SIGINT/SIGTERM with sigwait: block them before any server
+  // thread is spawned (threads inherit the mask), then wait synchronously.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  StatusOr<std::unique_ptr<TcpListener>> listener =
+      TcpListener::Listen(static_cast<uint16_t>(port));
+  if (!listener.ok()) return Fail(listener.status());
+  int bound_port = (*listener)->port();
+
+  ServerOptions options;
+  options.max_connections = threads;
+  Server server(index->get(), options);
+  if (Status s = server.Start(std::move(*listener)); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("pqidxd serving %s on 127.0.0.1:%d (%d,%d-grams, %d trees, "
+              "%d handler threads); stop with SIGINT\n",
+              index_path.c_str(), bound_port, (*index)->shape().p,
+              (*index)->shape().q, (*index)->size(), threads);
+  std::fflush(stdout);
+
+  int caught = 0;
+  sigwait(&signals, &caught);
+  std::printf("caught signal %d, shutting down\n", caught);
+  server.Stop();
+
+  ServiceStats stats = server.stats();
+  std::printf("served %lld lookups, %lld edits in %lld commits "
+              "(largest batch %lld), %lld rejected, %lld protocol errors\n",
+              static_cast<long long>(stats.lookups),
+              static_cast<long long>(stats.edits_applied),
+              static_cast<long long>(stats.edit_commits),
+              static_cast<long long>(stats.max_batch),
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.protocol_errors));
+  return 0;
+}
+
 int CmdStore(std::vector<std::string> args) {
   if (args.empty()) return Usage();
   std::string sub = args[0];
@@ -401,6 +488,7 @@ int Main(int argc, char** argv) {
   if (command == "diff") return CmdDiff(std::move(args));
   if (command == "stats") return CmdStats(std::move(args));
   if (command == "join") return CmdJoin(std::move(args));
+  if (command == "serve") return CmdServe(std::move(args));
   if (command == "store") return CmdStore(std::move(args));
   return Usage();
 }
