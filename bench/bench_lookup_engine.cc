@@ -1,0 +1,161 @@
+// Lookup engine benchmark: the compiled read-optimized snapshot
+// (core/lookup_engine.h) against the maintainable structures it is built
+// from -- the scanning ForestIndex and the inverted-postings
+// InvertedForestIndex -- across forest sizes, tau selectivities, and
+// scoring thread counts.
+//
+// Expected shape: the scan grows linearly with the forest; the inverted
+// index only touches overlapping postings; the engine beats both through
+// dense arenas plus the tau-derived count filter, and its parallel mode
+// splits shards across a pool. For selective tau at the 10k-tree point
+// the engine should clear 5x over the scan. TopK rides the adaptive
+// bound instead of a fixed tau.
+//
+// Run:  build/bench/bench_lookup_engine [--json[=PATH]]
+// PQIDX_BENCH_SCALE scales forest sizes; results also land in
+// BENCH_lookup_engine.json with --json for CI artifact upload.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/forest_index.h"
+#include "core/inverted_index.h"
+#include "core/lookup_engine.h"
+#include "tree/generators.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+namespace {
+
+constexpr int kQueries = 8;
+
+// Times `queries` lookups through `fn` and folds the hit count into a
+// sink so nothing is optimized away. Returns seconds for the whole batch.
+template <typename Fn>
+double TimeQueries(const std::vector<PqGramIndex>& queries, size_t* sink,
+                   Fn&& fn) {
+  return TimeIt([&] {
+    for (const PqGramIndex& query : queries) {
+      *sink += fn(query);
+      benchmark::DoNotOptimize(*sink);
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report("lookup_engine", argc, argv);
+  const PqShape shape{2, 3};
+  const int nodes_per_doc = 100;
+  const std::vector<int> forest_sizes = {Scaled(1000), Scaled(10000)};
+  const std::vector<double> taus = {0.2, 0.4, 0.6, 1.0};
+
+  PrintHeader("Lookup engine: scan vs inverted vs compiled snapshot");
+  std::printf("XMark-like docs of ~%d nodes, %d queries per cell, "
+              "(2,3)-grams\n\n",
+              nodes_per_doc, kQueries);
+
+  size_t sink = 0;
+  for (int n : forest_sizes) {
+    Rng rng(900 + n);
+    auto dict = std::make_shared<LabelDict>();
+    ForestIndex forest(shape);
+    for (TreeId id = 0; id < n; ++id) {
+      forest.AddTree(id, GenerateXmarkLike(dict, &rng, nodes_per_doc));
+    }
+    InvertedForestIndex inverted(forest);
+    std::vector<PqGramIndex> queries;
+    for (int i = 0; i < kQueries; ++i) {
+      queries.push_back(
+          BuildIndex(GenerateXmarkLike(dict, &rng, nodes_per_doc), shape));
+    }
+
+    // Snapshot compilation cost (what pqidxd pays once per group commit).
+    std::shared_ptr<const LookupEngine> engine;
+    const double build_s =
+        TimeIt([&] { engine = LookupEngine::Build(inverted, 16); });
+    std::printf("forest %6d: engine build %.4fs (%lld posting entries)\n",
+                n, build_s,
+                static_cast<long long>(engine->posting_entries()));
+    report.Add("build_s_n" + std::to_string(n), build_s, "s");
+
+    ThreadPool pool4(4);
+    ThreadPool pool8(8);
+    std::printf("%6s %10s %10s %10s %10s %10s %9s %9s\n", "tau", "scan [s]",
+                "inv [s]", "eng1 [s]", "eng4 [s]", "eng8 [s]", "vs scan",
+                "pruned%");
+    for (double tau : taus) {
+      const double scan_s = TimeQueries(queries, &sink, [&](const auto& q) {
+        return forest.Lookup(q, tau).size();
+      });
+      const double inv_s = TimeQueries(queries, &sink, [&](const auto& q) {
+        return inverted.Lookup(q, tau).size();
+      });
+      const double eng1_s = TimeQueries(queries, &sink, [&](const auto& q) {
+        return engine->Lookup(q, tau).size();
+      });
+      const double eng4_s = TimeQueries(queries, &sink, [&](const auto& q) {
+        return engine->Lookup(q, tau, &pool4).size();
+      });
+      const double eng8_s = TimeQueries(queries, &sink, [&](const auto& q) {
+        return engine->Lookup(q, tau, &pool8).size();
+      });
+
+      LookupEngineStats stats;
+      size_t engine_hits = 0, scan_hits = 0;
+      for (const PqGramIndex& query : queries) {
+        engine_hits += engine->Lookup(query, tau, nullptr, &stats).size();
+        scan_hits += forest.Lookup(query, tau).size();
+      }
+      if (engine_hits != scan_hits) {
+        std::printf("RESULT MISMATCH: engine %zu vs scan %zu at tau %.2f\n",
+                    engine_hits, scan_hits, tau);
+        return 1;
+      }
+      const double pruned_pct =
+          stats.candidates > 0
+              ? 100.0 * static_cast<double>(stats.pruned) /
+                    static_cast<double>(stats.candidates)
+              : 0.0;
+      std::printf("%6.2f %10.4f %10.4f %10.4f %10.4f %10.4f %8.1fx %8.1f\n",
+                  tau, scan_s, inv_s, eng1_s, eng4_s, eng8_s,
+                  eng1_s > 0 ? scan_s / eng1_s : 0.0, pruned_pct);
+
+      char cell_buf[48];
+      std::snprintf(cell_buf, sizeof(cell_buf), "_n%d_tau%.2f", n, tau);
+      const std::string cell = cell_buf;
+      report.Add("scan_s" + cell, scan_s, "s");
+      report.Add("inverted_s" + cell, inv_s, "s");
+      report.Add("engine_seq_s" + cell, eng1_s, "s");
+      report.Add("engine_t4_s" + cell, eng4_s, "s");
+      report.Add("engine_t8_s" + cell, eng8_s, "s");
+      report.Add("engine_speedup_vs_scan" + cell,
+                 eng1_s > 0 ? scan_s / eng1_s : 0.0, "x");
+      report.Add("pruned_pct" + cell, pruned_pct, "%");
+    }
+
+    // TopK: the adaptive bound against the forest's full-sort TopK.
+    const int k = 10;
+    const double topk_scan_s = TimeQueries(
+        queries, &sink, [&](const auto& q) { return forest.TopK(q, k).size(); });
+    const double topk_eng_s = TimeQueries(
+        queries, &sink, [&](const auto& q) { return engine->TopK(q, k).size(); });
+    std::printf("top-%d: scan %.4fs, engine %.4fs (%.1fx)\n\n", k,
+                topk_scan_s, topk_eng_s,
+                topk_eng_s > 0 ? topk_scan_s / topk_eng_s : 0.0);
+    report.Add("topk_scan_s_n" + std::to_string(n), topk_scan_s, "s");
+    report.Add("topk_engine_s_n" + std::to_string(n), topk_eng_s, "s");
+  }
+
+  std::printf("expected shape: scan linear in forest size; engine ahead of "
+              "both maintainable structures, widening for selective tau.\n");
+  return report.Write() ? 0 : 1;
+}

@@ -46,6 +46,88 @@ struct ClientResult {
   int failures = 0;
 };
 
+// Lookup-only sweep: `readers` concurrent clients hammer a read-only
+// server with lookups against an established forest. Since the server
+// scores against its epoch-published snapshot without taking index_mutex_,
+// throughput should grow with the reader count. Returns requests/second,
+// or a negative value on failure.
+double RunReaderSweep(int readers, const PqShape& shape,
+                      std::vector<double>* latencies) {
+  const int kForestTrees = 64;
+  const int kLookupsPerReader = Scaled(200);
+  const int kTreeNodes = 60;
+  const std::string path = "/tmp/pqidx_bench_service_readers.idx";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Create(path, shape);
+  if (!index.ok()) return -1;
+  ServerOptions options;
+  options.max_connections = readers + 1;
+  Server server(index->get(), options);
+  auto listener = std::make_unique<PipeListener>();
+  PipeListener* connect_point = listener.get();
+  if (!server.Start(std::move(listener)).ok()) return -1;
+
+  // One writer seeds the forest, then the sweep is pure reads.
+  Rng seed_rng(7000);
+  auto dict = std::make_shared<LabelDict>();
+  {
+    StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+    if (!conn.ok()) return -1;
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect(std::move(*conn));
+    if (!client.ok()) return -1;
+    for (TreeId id = 0; id < kForestTrees; ++id) {
+      Tree tree = GenerateDblpLike(dict, &seed_rng, kTreeNodes);
+      if (!(*client)->AddIndex(id, BuildIndex(tree, shape)).ok()) return -1;
+    }
+    (*client)->Close();
+  }
+
+  std::vector<ClientResult> results(static_cast<size_t>(readers));
+  std::atomic<bool> ok{true};
+  WallTimer total;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+      if (!conn.ok()) { ok.store(false); return; }
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect(std::move(*conn));
+      if (!client.ok()) { ok.store(false); return; }
+      Rng rng(8000 + c);
+      PqGramIndex query =
+          BuildIndex(GenerateDblpLike(dict, &rng, kTreeNodes), shape);
+      ClientResult& r = results[static_cast<size_t>(c)];
+      for (int i = 0; i < kLookupsPerReader; ++i) {
+        WallTimer timer;
+        StatusOr<std::vector<LookupResult>> hits =
+            (*client)->Lookup(query, 0.6);
+        r.lookup_s.push_back(timer.Seconds());
+        if (!hits.ok()) ++r.failures;
+      }
+      (*client)->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = total.Seconds();
+  server.Stop();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  double requests = 0;
+  for (ClientResult& r : results) {
+    if (r.failures > 0) ok.store(false);
+    requests += static_cast<double>(r.lookup_s.size());
+    latencies->insert(latencies->end(), r.lookup_s.begin(),
+                      r.lookup_s.end());
+  }
+  if (!ok.load() || wall_s <= 0) return -1;
+  return requests / wall_s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,5 +288,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::remove(path.c_str());
+
+  // Reader scaling: lookup-only throughput as concurrent readers grow.
+  // Every lookup scores a private snapshot copy, so more readers should
+  // mean more throughput, not more contention.
+  PrintHeader("lookup-only reader scaling (snapshot reads)");
+  std::printf("%10s %14s %12s %12s\n", "readers", "lookups/s", "p50 [ms]",
+              "p99 [ms]");
+  double single_reader = 0;
+  for (int readers : {1, 4, 8}) {
+    std::vector<double> latencies;
+    const double rate = RunReaderSweep(readers, shape, &latencies);
+    if (rate < 0) {
+      std::fprintf(stderr, "reader sweep failed at %d readers\n", readers);
+      return 1;
+    }
+    if (readers == 1) single_reader = rate;
+    std::printf("%10d %14.0f %12.3f %12.3f\n", readers, rate,
+                Percentile(&latencies, 50) * 1e3,
+                Percentile(&latencies, 99) * 1e3);
+    const std::string cell = "_r" + std::to_string(readers);
+    report.Add("read_throughput" + cell, rate, "req/s");
+    report.Add("read_p50" + cell, Percentile(&latencies, 50) * 1e3, "ms");
+    report.Add("read_p99" + cell, Percentile(&latencies, 99) * 1e3, "ms");
+    if (single_reader > 0) {
+      report.Add("read_scaling" + cell, rate / single_reader, "x");
+    }
+  }
   return 0;
 }

@@ -144,6 +144,11 @@ int main(int argc, char** argv) {
                         static_cast<double>(stats.edit_commits)
                   : 0.0,
               static_cast<long long>(stats.max_batch));
+  std::printf("lookup engine: snapshot epoch %lld, %lld pruned / %lld "
+              "scored candidates\n",
+              static_cast<long long>(stats.snapshot_epoch),
+              static_cast<long long>(stats.candidates_pruned),
+              static_cast<long long>(stats.candidates_scored));
 
   // The persistent file holds everything the service acknowledged
   // (aborts on catalog/table mismatch).

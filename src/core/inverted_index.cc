@@ -32,9 +32,17 @@ bool InvertedForestIndex::RemoveTree(TreeId id) {
   auto it = tree_sizes_.find(id);
   if (it == tree_sizes_.end()) return false;
   tree_sizes_.erase(it);
-  // Sweep the postings; removal is rare relative to lookups.
-  for (auto pit = postings_.begin(); pit != postings_.end();) {
+  // The reverse map names exactly this tree's distinct tuples, so
+  // removal touches only its own postings -- O(|I(T)| distinct) instead
+  // of a sweep over every posting list in the forest.
+  auto tuples_it = tree_tuples_.find(id);
+  if (tuples_it == tree_tuples_.end()) return true;  // empty bag
+  for (PqGramFingerprint fp : tuples_it->second) {
+    auto pit = postings_.find(fp);
+    PQIDX_CHECK_MSG(pit != postings_.end(),
+                    "reverse map names a tuple with no posting list");
     std::vector<Posting>& list = pit->second;
+    size_t before = list.size();
     for (size_t i = 0; i < list.size(); ++i) {
       if (list[i].tree_id == id) {
         list[i] = list.back();
@@ -43,8 +51,11 @@ bool InvertedForestIndex::RemoveTree(TreeId id) {
         break;
       }
     }
-    pit = list.empty() ? postings_.erase(pit) : std::next(pit);
+    PQIDX_CHECK_MSG(list.size() + 1 == before,
+                    "reverse map names a tuple the tree does not post");
+    if (list.empty()) postings_.erase(pit);
   }
+  tree_tuples_.erase(tuples_it);
   return true;
 }
 
@@ -64,15 +75,22 @@ Status InvertedForestIndex::AdjustPosting(PqGramFingerprint fp, TreeId id,
       list.pop_back();
       --posting_entries_;
       if (list.empty()) postings_.erase(fp);
+      auto tuples_it = tree_tuples_.find(id);
+      tuples_it->second.erase(fp);
+      if (tuples_it->second.empty()) tree_tuples_.erase(tuples_it);
     }
     return Status::Ok();
   }
   if (delta < 0) {
+    // operator[] above may have created an empty list for an unknown
+    // tuple; do not leave it behind on the error path.
+    if (list.empty()) postings_.erase(fp);
     return FailedPreconditionError(
         "removing a pq-gram tuple the tree does not have");
   }
   list.push_back({id, delta});
   ++posting_entries_;
+  tree_tuples_[id].insert(fp);
   return Status::Ok();
 }
 
@@ -139,6 +157,14 @@ std::vector<LookupResult> InvertedForestIndex::Lookup(
     for (const auto& [id, shared] : intersection) {
       consider(id, shared);
     }
+    if (query.size() == 0) {
+      // An empty query is at distance 0 from every empty tree (the scan
+      // baseline computes union 0 -> distance 0); such trees own no
+      // postings, so the intersection pass cannot reach them.
+      for (const auto& [id, size] : tree_sizes_) {
+        if (size == 0) results.push_back({id, 0.0});
+      }
+    }
   }
   std::sort(results.begin(), results.end(),
             [](const LookupResult& a, const LookupResult& b) {
@@ -169,6 +195,7 @@ int64_t InvertedForestIndex::TreeBagSize(TreeId id) const {
 
 void InvertedForestIndex::CheckConsistency() const {
   std::unordered_map<TreeId, int64_t> totals;
+  std::unordered_map<TreeId, int64_t> distinct_per_tree;
   int64_t entries = 0;
   for (const auto& [fp, list] : postings_) {
     PQIDX_CHECK(!list.empty());
@@ -179,12 +206,25 @@ void InvertedForestIndex::CheckConsistency() const {
       PQIDX_CHECK(++seen[posting.tree_id] == 1);
       PQIDX_CHECK(tree_sizes_.contains(posting.tree_id));
       totals[posting.tree_id] += posting.count;
+      ++distinct_per_tree[posting.tree_id];
+      // The reverse map names every posted (tree, tuple) pair.
+      auto tuples_it = tree_tuples_.find(posting.tree_id);
+      PQIDX_CHECK(tuples_it != tree_tuples_.end());
+      PQIDX_CHECK(tuples_it->second.contains(fp));
     }
   }
   PQIDX_CHECK(entries == posting_entries_);
   for (const auto& [id, size] : tree_sizes_) {
     auto it = totals.find(id);
     PQIDX_CHECK((it == totals.end() ? 0 : it->second) == size);
+  }
+  // ... and nothing more: per-tree distinct counts match, and no entry
+  // survives for unknown or empty trees.
+  PQIDX_CHECK(tree_tuples_.size() == distinct_per_tree.size());
+  for (const auto& [id, tuples] : tree_tuples_) {
+    auto it = distinct_per_tree.find(id);
+    PQIDX_CHECK(it != distinct_per_tree.end());
+    PQIDX_CHECK(static_cast<int64_t>(tuples.size()) == it->second);
   }
 }
 

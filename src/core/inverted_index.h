@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/forest_index.h"
@@ -27,6 +28,10 @@ namespace pqidx {
 
 class InvertedForestIndex {
  public:
+  struct Posting {
+    TreeId tree_id;
+    int64_t count;
+  };
   explicit InvertedForestIndex(PqShape shape = PqShape{}) : shape_(shape) {
     PQIDX_CHECK(shape.Valid());
   }
@@ -68,22 +73,34 @@ class InvertedForestIndex {
     return static_cast<int64_t>(postings_.size());
   }
 
-  // Verifies postings/tree-size consistency. Aborts on violation; tests.
+  // Read access for snapshot compilation (core/lookup_engine.cc) and
+  // introspection.
+  const std::unordered_map<PqGramFingerprint, std::vector<Posting>>&
+  postings() const {
+    return postings_;
+  }
+  const std::unordered_map<TreeId, int64_t>& tree_sizes() const {
+    return tree_sizes_;
+  }
+
+  // Verifies postings/tree-size/reverse-map consistency. Aborts on
+  // violation; tests.
   void CheckConsistency() const;
 
  private:
-  struct Posting {
-    TreeId tree_id;
-    int64_t count;
-  };
-
   // Adds `delta` (may be negative) to the (fp, id) posting, creating or
-  // erasing entries as needed.
+  // erasing entries as needed (reverse map maintained alongside).
   Status AdjustPosting(PqGramFingerprint fp, TreeId id, int64_t delta);
 
   PqShape shape_;
   std::unordered_map<PqGramFingerprint, std::vector<Posting>> postings_;
   std::unordered_map<TreeId, int64_t> tree_sizes_;  // |I(T)| per tree
+  // Reverse map: the distinct tuples of each tree, so RemoveTree (and
+  // AddIndex's replace path) touches only that tree's own postings
+  // instead of sweeping the whole posting table. A tree appears here iff
+  // it owns at least one posting (empty bags have no entry).
+  std::unordered_map<TreeId, std::unordered_set<PqGramFingerprint>>
+      tree_tuples_;
   int64_t posting_entries_ = 0;
 };
 

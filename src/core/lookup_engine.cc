@@ -1,0 +1,435 @@
+#include "core/lookup_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pqidx {
+namespace {
+
+// The pq-gram distance formula, exactly as PqGramDistance computes it:
+// lookup results must be bit-identical to the scanning baseline, so the
+// engine never deviates from this double arithmetic.
+inline double BagDistance(int64_t shared, int64_t union_size) {
+  return union_size == 0
+             ? 0.0
+             : 1.0 - 2.0 * static_cast<double>(shared) /
+                         static_cast<double>(union_size);
+}
+
+// Smallest integer overlap for which BagDistance(overlap, u) <= tau,
+// for tau < 1 and u > 0. Derived from shared >= (1-tau)*u/2 but settled
+// with the actual double predicate: BagDistance is monotone nonincreasing
+// in `shared`, so walking up from slightly below the algebraic bound
+// finds the exact floating-point threshold and the count filter can never
+// disagree with the final test.
+int64_t MinQualifyingOverlap(double tau, int64_t u) {
+  double need = (1.0 - tau) * 0.5 * static_cast<double>(u);
+  int64_t shared = static_cast<int64_t>(need) - 2;
+  if (shared < 0) shared = 0;
+  while (BagDistance(shared, u) > tau) ++shared;
+  return shared;
+}
+
+// "a ranks before b": the comparator of every lookup result ordering.
+inline bool RanksBefore(const LookupResult& a, const LookupResult& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.tree_id < b.tree_id);
+}
+
+}  // namespace
+
+std::shared_ptr<const LookupEngine> LookupEngine::Build(
+    const ForestIndex& forest, int num_shards) {
+  std::vector<TreeId> ids = forest.TreeIds();  // ascending
+  std::vector<int64_t> sizes;
+  sizes.reserve(ids.size());
+  std::vector<RawPosting> raw;
+  for (size_t slot = 0; slot < ids.size(); ++slot) {
+    const PqGramIndex* bag = forest.Find(ids[slot]);
+    sizes.push_back(bag->size());
+    for (const auto& [fp, count] : bag->counts()) {
+      raw.push_back({fp, static_cast<int32_t>(slot), count});
+    }
+  }
+  return Compile(forest.shape(), ids, sizes, std::move(raw), num_shards);
+}
+
+std::shared_ptr<const LookupEngine> LookupEngine::Build(
+    const InvertedForestIndex& inverted, int num_shards) {
+  std::vector<std::pair<TreeId, int64_t>> trees(
+      inverted.tree_sizes().begin(), inverted.tree_sizes().end());
+  std::sort(trees.begin(), trees.end());
+  std::vector<TreeId> ids;
+  std::vector<int64_t> sizes;
+  ids.reserve(trees.size());
+  sizes.reserve(trees.size());
+  std::unordered_map<TreeId, int32_t> slot_of;
+  slot_of.reserve(trees.size());
+  for (const auto& [id, size] : trees) {
+    slot_of.emplace(id, static_cast<int32_t>(ids.size()));
+    ids.push_back(id);
+    sizes.push_back(size);
+  }
+  std::vector<RawPosting> raw;
+  raw.reserve(static_cast<size_t>(inverted.posting_entries()));
+  for (const auto& [fp, list] : inverted.postings()) {
+    for (const InvertedForestIndex::Posting& posting : list) {
+      raw.push_back({fp, slot_of.at(posting.tree_id), posting.count});
+    }
+  }
+  return Compile(inverted.shape(), ids, sizes, std::move(raw), num_shards);
+}
+
+std::shared_ptr<const LookupEngine> LookupEngine::Compile(
+    const PqShape& shape, const std::vector<TreeId>& tree_ids,
+    const std::vector<int64_t>& tree_sizes, std::vector<RawPosting> raw,
+    int num_shards) {
+  // Private constructor; the factory idiom owns the allocation directly.
+  std::shared_ptr<LookupEngine> engine(new LookupEngine());
+  engine->shape_ = shape;
+  const int n = static_cast<int>(tree_ids.size());
+  engine->num_trees_ = n;
+  int shard_count = std::clamp(num_shards, 1, std::max(1, n));
+  engine->shards_.resize(static_cast<size_t>(shard_count));
+
+  // Contiguous slot ranges per shard; slots follow ascending tree id.
+  std::vector<int> shard_begin(static_cast<size_t>(shard_count) + 1);
+  for (int s = 0; s <= shard_count; ++s) {
+    shard_begin[s] = static_cast<int>(static_cast<int64_t>(s) * n /
+                                      shard_count);
+  }
+  std::vector<int32_t> slot_shard(static_cast<size_t>(n));
+  for (int s = 0; s < shard_count; ++s) {
+    Shard& shard = engine->shards_[static_cast<size_t>(s)];
+    for (int slot = shard_begin[s]; slot < shard_begin[s + 1]; ++slot) {
+      slot_shard[slot] = s;
+      shard.tree_ids.push_back(tree_ids[static_cast<size_t>(slot)]);
+      shard.tree_sizes.push_back(tree_sizes[static_cast<size_t>(slot)]);
+    }
+  }
+
+  // Partition the postings by shard, rebase slots, and freeze each
+  // shard's arena grouped by fingerprint (entries slot-ascending within
+  // a group, for deterministic scans).
+  std::vector<std::vector<RawPosting>> shard_raw(
+      static_cast<size_t>(shard_count));
+  for (const RawPosting& p : raw) {
+    int s = slot_shard[static_cast<size_t>(p.slot)];
+    RawPosting local = p;
+    local.slot = p.slot - shard_begin[s];
+    shard_raw[static_cast<size_t>(s)].push_back(local);
+  }
+  raw.clear();
+  raw.shrink_to_fit();
+  for (int s = 0; s < shard_count; ++s) {
+    std::vector<RawPosting>& part = shard_raw[static_cast<size_t>(s)];
+    std::sort(part.begin(), part.end(),
+              [](const RawPosting& a, const RawPosting& b) {
+                return a.fp < b.fp || (a.fp == b.fp && a.slot < b.slot);
+              });
+    Shard& shard = engine->shards_[static_cast<size_t>(s)];
+    PQIDX_CHECK_MSG(part.size() <= UINT32_MAX,
+                    "shard posting arena exceeds 32-bit offsets");
+    shard.entries.reserve(part.size());
+    shard.offsets.push_back(0);
+    for (size_t i = 0; i < part.size(); ++i) {
+      const RawPosting& p = part[i];
+      PQIDX_CHECK_MSG(p.count > 0 && p.count <= INT32_MAX,
+                      "posting count outside the engine's 32-bit layout");
+      if (shard.fps.empty() || shard.fps.back() != p.fp) {
+        if (!shard.fps.empty()) {
+          shard.offsets.push_back(static_cast<uint32_t>(i));
+        }
+        shard.fps.push_back(p.fp);
+      }
+      shard.entries.push_back({p.slot, static_cast<int32_t>(p.count)});
+    }
+    shard.offsets.push_back(static_cast<uint32_t>(part.size()));
+    if (shard.fps.empty()) shard.offsets.assign(1, 0);
+    engine->posting_entries_ += static_cast<int64_t>(part.size());
+    part.clear();
+    part.shrink_to_fit();
+  }
+  return engine;
+}
+
+std::vector<LookupEngine::QueryTuple> LookupEngine::QueryTuples(
+    const PqGramIndex& query) {
+  std::vector<QueryTuple> tuples;
+  tuples.reserve(query.counts().size());
+  for (const auto& [fp, count] : query.counts()) {
+    tuples.push_back({fp, count});
+  }
+  // Deterministic processing order (the bag map iterates in hash order).
+  std::sort(tuples.begin(), tuples.end(),
+            [](const QueryTuple& a, const QueryTuple& b) {
+              return a.fp < b.fp;
+            });
+  return tuples;
+}
+
+void LookupEngine::ScoreShard(const Shard& shard,
+                              const std::vector<QueryTuple>& tuples,
+                              int64_t query_size, double tau,
+                              std::vector<LookupResult>* out,
+                              LookupEngineStats* stats) const {
+  const size_t n = shard.tree_ids.size();
+  struct List {
+    uint32_t begin;
+    uint32_t length;
+    int64_t qcount;
+    PqGramFingerprint fp;
+  };
+  std::vector<List> lists;
+  lists.reserve(tuples.size());
+  for (const QueryTuple& t : tuples) {
+    auto it = std::lower_bound(shard.fps.begin(), shard.fps.end(), t.fp);
+    if (it == shard.fps.end() || *it != t.fp) continue;
+    size_t idx = static_cast<size_t>(it - shard.fps.begin());
+    lists.push_back({shard.offsets[idx],
+                     shard.offsets[idx + 1] - shard.offsets[idx], t.count,
+                     t.fp});
+  }
+  // Rarest posting list first: the large lists then run with the small
+  // remaining-gain bound, which is where the count filter prunes.
+  std::sort(lists.begin(), lists.end(), [](const List& a, const List& b) {
+    return a.length < b.length || (a.length == b.length && a.fp < b.fp);
+  });
+  // rest[j] = maximum further overlap attainable after list j-1: each
+  // remaining tuple contributes at most its query multiplicity.
+  std::vector<int64_t> rest(lists.size() + 1, 0);
+  for (size_t j = lists.size(); j-- > 0;) {
+    rest[j] = rest[j + 1] + lists[j].qcount;
+  }
+
+  const bool filter = tau < 1.0;
+  std::vector<int64_t> overlap(n, 0);
+  std::vector<int64_t> required(filter ? n : 0, 0);
+  std::vector<uint8_t> pruned(n, 0);
+  std::vector<int32_t> touched;
+
+  for (size_t j = 0; j < lists.size(); ++j) {
+    const List& list = lists[j];
+    const int64_t gain_after = rest[j + 1];
+    const Entry* entry = shard.entries.data() + list.begin;
+    const Entry* end = entry + list.length;
+    stats->postings_scanned += list.length;
+    for (; entry != end; ++entry) {
+      const int32_t slot = entry->slot;
+      if (pruned[static_cast<size_t>(slot)]) continue;
+      int64_t& acc = overlap[static_cast<size_t>(slot)];
+      if (acc == 0) {
+        touched.push_back(slot);
+        if (filter) {
+          required[static_cast<size_t>(slot)] = MinQualifyingOverlap(
+              tau, query_size + shard.tree_sizes[static_cast<size_t>(slot)]);
+        }
+      }
+      acc += std::min<int64_t>(list.qcount, entry->count);
+      if (filter &&
+          acc + gain_after < required[static_cast<size_t>(slot)]) {
+        pruned[static_cast<size_t>(slot)] = 1;
+        ++stats->pruned;
+      }
+    }
+  }
+  stats->candidates += static_cast<int64_t>(touched.size());
+
+  if (!filter) {
+    // tau >= 1: every tree qualifies by definition (distance <= 1), the
+    // zero-overlap ones included; score the whole shard.
+    stats->scored += static_cast<int64_t>(n);
+    for (size_t slot = 0; slot < n; ++slot) {
+      out->push_back({shard.tree_ids[slot],
+                      BagDistance(overlap[slot],
+                                  query_size + shard.tree_sizes[slot])});
+    }
+    return;
+  }
+  for (int32_t slot : touched) {
+    if (pruned[static_cast<size_t>(slot)]) continue;
+    ++stats->scored;
+    if (overlap[static_cast<size_t>(slot)] >=
+        required[static_cast<size_t>(slot)]) {
+      out->push_back(
+          {shard.tree_ids[static_cast<size_t>(slot)],
+           BagDistance(overlap[static_cast<size_t>(slot)],
+                       query_size +
+                           shard.tree_sizes[static_cast<size_t>(slot)])});
+    }
+  }
+  if (query_size == 0) {
+    // An empty query is at distance 0 from every empty tree (empty
+    // union); those trees own no postings, so the scan above cannot see
+    // them.
+    for (size_t slot = 0; slot < n; ++slot) {
+      if (shard.tree_sizes[slot] == 0) {
+        out->push_back({shard.tree_ids[slot], 0.0});
+      }
+    }
+  }
+}
+
+std::vector<LookupResult> LookupEngine::Lookup(
+    const PqGramIndex& query, double tau, ThreadPool* pool,
+    LookupEngineStats* stats) const {
+  PQIDX_CHECK_MSG(query.shape() == shape_,
+                  "query shape does not match lookup engine shape");
+  const std::vector<QueryTuple> tuples = QueryTuples(query);
+  const size_t shard_count = shards_.size();
+  std::vector<std::vector<LookupResult>> parts(shard_count);
+  std::vector<LookupEngineStats> part_stats(shard_count);
+  auto score = [&](int64_t s) {
+    ScoreShard(shards_[static_cast<size_t>(s)], tuples, query.size(), tau,
+               &parts[static_cast<size_t>(s)],
+               &part_stats[static_cast<size_t>(s)]);
+  };
+  if (pool != nullptr && shard_count > 1) {
+    pool->ParallelFor(static_cast<int64_t>(shard_count), score);
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) {
+      score(static_cast<int64_t>(s));
+    }
+  }
+  size_t total = 0;
+  for (const std::vector<LookupResult>& part : parts) total += part.size();
+  std::vector<LookupResult> results;
+  results.reserve(total);
+  for (const std::vector<LookupResult>& part : parts) {
+    results.insert(results.end(), part.begin(), part.end());
+  }
+  std::sort(results.begin(), results.end(), RanksBefore);
+  if (stats != nullptr) {
+    for (const LookupEngineStats& part : part_stats) *stats += part;
+  }
+  return results;
+}
+
+std::vector<LookupResult> LookupEngine::Lookup(
+    const Tree& query, double tau, ThreadPool* pool,
+    LookupEngineStats* stats) const {
+  return Lookup(BuildIndex(query, shape_), tau, pool, stats);
+}
+
+void LookupEngine::ScoreShardTopK(const Shard& shard,
+                                  const std::vector<QueryTuple>& tuples,
+                                  int64_t query_size, int k,
+                                  std::vector<LookupResult>* heap,
+                                  LookupEngineStats* stats) const {
+  const size_t n = shard.tree_ids.size();
+  struct List {
+    uint32_t begin;
+    uint32_t length;
+    int64_t qcount;
+    PqGramFingerprint fp;
+  };
+  std::vector<List> lists;
+  lists.reserve(tuples.size());
+  for (const QueryTuple& t : tuples) {
+    auto it = std::lower_bound(shard.fps.begin(), shard.fps.end(), t.fp);
+    if (it == shard.fps.end() || *it != t.fp) continue;
+    size_t idx = static_cast<size_t>(it - shard.fps.begin());
+    lists.push_back({shard.offsets[idx],
+                     shard.offsets[idx + 1] - shard.offsets[idx], t.count,
+                     t.fp});
+  }
+  std::sort(lists.begin(), lists.end(), [](const List& a, const List& b) {
+    return a.length < b.length || (a.length == b.length && a.fp < b.fp);
+  });
+  std::vector<int64_t> rest(lists.size() + 1, 0);
+  for (size_t j = lists.size(); j-- > 0;) {
+    rest[j] = rest[j + 1] + lists[j].qcount;
+  }
+
+  std::vector<int64_t> overlap(n, 0);
+  std::vector<uint8_t> pruned(n, 0);
+  int64_t candidates = 0;
+  for (size_t j = 0; j < lists.size(); ++j) {
+    const List& list = lists[j];
+    const int64_t gain_after = rest[j + 1];
+    const Entry* entry = shard.entries.data() + list.begin;
+    const Entry* end = entry + list.length;
+    stats->postings_scanned += list.length;
+    for (; entry != end; ++entry) {
+      const int32_t slot = entry->slot;
+      if (pruned[static_cast<size_t>(slot)]) continue;
+      int64_t& acc = overlap[static_cast<size_t>(slot)];
+      if (acc == 0) ++candidates;
+      acc += std::min<int64_t>(list.qcount, entry->count);
+      // Adaptive bound: once the heap holds k results, a candidate whose
+      // best attainable rank cannot beat the current k-th best is dead.
+      // The k-th best only improves, so the decision stays valid.
+      if (static_cast<int>(heap->size()) == k) {
+        const LookupResult& worst = heap->front();
+        LookupResult best_attainable{
+            shard.tree_ids[static_cast<size_t>(slot)],
+            BagDistance(acc + gain_after,
+                        query_size +
+                            shard.tree_sizes[static_cast<size_t>(slot)])};
+        if (!RanksBefore(best_attainable, worst)) {
+          pruned[static_cast<size_t>(slot)] = 1;
+          ++stats->pruned;
+        }
+      }
+    }
+  }
+  stats->candidates += candidates;
+
+  // TopK ranks every tree (a zero-overlap tree still has a distance), so
+  // the emit pass walks all slots, skipping only the provably beaten.
+  for (size_t slot = 0; slot < n; ++slot) {
+    if (pruned[slot]) continue;
+    ++stats->scored;
+    LookupResult candidate{
+        shard.tree_ids[slot],
+        BagDistance(overlap[slot], query_size + shard.tree_sizes[slot])};
+    if (static_cast<int>(heap->size()) < k) {
+      heap->push_back(candidate);
+      std::push_heap(heap->begin(), heap->end(), RanksBefore);
+    } else if (RanksBefore(candidate, heap->front())) {
+      std::pop_heap(heap->begin(), heap->end(), RanksBefore);
+      heap->back() = candidate;
+      std::push_heap(heap->begin(), heap->end(), RanksBefore);
+    }
+  }
+}
+
+std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
+                                             int k, ThreadPool* pool,
+                                             LookupEngineStats* stats) const {
+  PQIDX_CHECK_MSG(query.shape() == shape_,
+                  "query shape does not match lookup engine shape");
+  if (k <= 0) return {};
+  const std::vector<QueryTuple> tuples = QueryTuples(query);
+  LookupEngineStats local_stats;
+  std::vector<LookupResult> merged;
+  if (pool != nullptr && shards_.size() > 1) {
+    // Independent per-shard heaps; the global top k is a subset of the
+    // union of the per-shard top k.
+    std::vector<std::vector<LookupResult>> heaps(shards_.size());
+    std::vector<LookupEngineStats> part_stats(shards_.size());
+    pool->ParallelFor(
+        static_cast<int64_t>(shards_.size()), [&](int64_t s) {
+          ScoreShardTopK(shards_[static_cast<size_t>(s)], tuples,
+                         query.size(), k, &heaps[static_cast<size_t>(s)],
+                         &part_stats[static_cast<size_t>(s)]);
+        });
+    for (const std::vector<LookupResult>& heap : heaps) {
+      merged.insert(merged.end(), heap.begin(), heap.end());
+    }
+    for (const LookupEngineStats& part : part_stats) local_stats += part;
+  } else {
+    for (const Shard& shard : shards_) {
+      ScoreShardTopK(shard, tuples, query.size(), k, &merged,
+                     &local_stats);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), RanksBefore);
+  if (static_cast<int>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  if (stats != nullptr) *stats += local_stats;
+  return merged;
+}
+
+}  // namespace pqidx

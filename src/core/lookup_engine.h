@@ -1,0 +1,167 @@
+// Read-optimized approximate-lookup engine: an immutable, compact
+// snapshot of a forest's pq-gram postings.
+//
+// The maintainable structures (ForestIndex, InvertedForestIndex) are
+// built for cheap incremental updates: node-based maps whose postings
+// scatter across the heap. This engine compiles either of them into a
+// read-only snapshot laid out for the lookup hot path:
+//
+//   * postings live in flat arena-backed arrays -- per shard one sorted
+//     fingerprint array, a parallel offset array, and one contiguous
+//     {slot, count} entry buffer -- so accumulating a query is sequential
+//     pointer walks over dense memory, not hash-map hopping;
+//   * trees are renumbered into dense slots, making the per-lookup
+//     accumulator a flat array indexed by slot;
+//   * query tuples are processed rarest-posting-first, and a tau-derived
+//     count filter prunes candidates mid-accumulation: from
+//     dist = 1 - 2*shared/(|Q|+s), a tree with bag size s qualifies only
+//     with shared >= (1-tau)*(|Q|+s)/2, so once a candidate's overlap
+//     plus the maximum gain still attainable from the remaining (rarer
+//     processed first, so larger) lists falls below that bound, it is
+//     dropped without finishing its accumulation;
+//   * the trees are split into shards with independent posting arenas
+//     and accumulators, so large lookups score shards in parallel via
+//     ThreadPool::ParallelFor and merge at the end;
+//   * TopK tightens the pruning bound adaptively from the current k-th
+//     best result instead of a fixed tau.
+//
+// Results are bit-identical to ForestIndex::Lookup -- same distances
+// (identical double arithmetic), same ordering, same tie-breaks -- for
+// every tau including tau >= 1 (everything qualifies) and empty bags
+// (two empty bags are at distance 0). The count filter is exact: a
+// candidate is only pruned when even its maximum attainable overlap
+// fails the same floating-point test that gates the final result.
+//
+// A snapshot is immutable after Build, so concurrent lookups need no
+// locking; writers publish a fresh snapshot (see service/server.h for
+// the epoch-published shared_ptr protocol pqidxd uses).
+
+#ifndef PQIDX_CORE_LOOKUP_ENGINE_H_
+#define PQIDX_CORE_LOOKUP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/forest_index.h"
+#include "core/inverted_index.h"
+#include "core/pqgram_index.h"
+
+namespace pqidx {
+
+// Work accounting for one lookup (or one TopK). All counters are sums
+// over the shards the lookup touched.
+struct LookupEngineStats {
+  int64_t candidates = 0;        // trees reached by at least one posting
+  int64_t pruned = 0;            // dropped mid-accumulation by the filter
+  int64_t scored = 0;            // candidates that reached the final test
+  int64_t postings_scanned = 0;  // posting entries visited
+
+  LookupEngineStats& operator+=(const LookupEngineStats& other) {
+    candidates += other.candidates;
+    pruned += other.pruned;
+    scored += other.scored;
+    postings_scanned += other.postings_scanned;
+    return *this;
+  }
+};
+
+class LookupEngine {
+ public:
+  // Compiles a snapshot of `forest` split into `num_shards` shards
+  // (clamped to [1, max(1, #trees)]). Shard count trades parallelism
+  // against per-shard setup cost; results never depend on it.
+  static std::shared_ptr<const LookupEngine> Build(const ForestIndex& forest,
+                                                   int num_shards = 1);
+  static std::shared_ptr<const LookupEngine> Build(
+      const InvertedForestIndex& inverted, int num_shards = 1);
+
+  const PqShape& shape() const { return shape_; }
+  int size() const { return num_trees_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t posting_entries() const { return posting_entries_; }
+
+  // Approximate lookup: all trees T with dist(query, T) <= tau, most
+  // similar first (ties by tree id) -- bit-identical to
+  // ForestIndex::Lookup. With `pool`, shards are scored in parallel;
+  // `stats`, when non-null, receives the work counters of this call.
+  std::vector<LookupResult> Lookup(const PqGramIndex& query, double tau,
+                                   ThreadPool* pool = nullptr,
+                                   LookupEngineStats* stats = nullptr) const;
+  std::vector<LookupResult> Lookup(const Tree& query, double tau,
+                                   ThreadPool* pool = nullptr,
+                                   LookupEngineStats* stats = nullptr) const;
+
+  // The k most similar trees, most similar first (ties by tree id);
+  // identical to ForestIndex::TopK. Sequentially the pruning bound
+  // tightens from the current k-th best across shards; with `pool`,
+  // shards compute independent top-k heaps that are merged at the end.
+  std::vector<LookupResult> TopK(const PqGramIndex& query, int k,
+                                 ThreadPool* pool = nullptr,
+                                 LookupEngineStats* stats = nullptr) const;
+
+ private:
+  // One posting: tree (as a shard-local slot) and tuple multiplicity.
+  // Slots and counts are narrowed to 32 bits for density; Build checks
+  // the narrowing.
+  struct Entry {
+    int32_t slot;
+    int32_t count;
+  };
+
+  // An independent slice of the forest: dense slots, own posting arena.
+  struct Shard {
+    std::vector<TreeId> tree_ids;             // slot -> tree id (ascending)
+    std::vector<int64_t> tree_sizes;          // slot -> |I(T)|
+    std::vector<PqGramFingerprint> fps;       // sorted ascending
+    std::vector<uint32_t> offsets;            // fps.size() + 1 prefix sums
+    std::vector<Entry> entries;               // arena, grouped by fps order
+  };
+
+  // A query tuple after shape validation: fingerprint + multiplicity.
+  struct QueryTuple {
+    PqGramFingerprint fp;
+    int64_t count;
+  };
+
+  // A posting during one build: global-slot form before sharding.
+  struct RawPosting {
+    PqGramFingerprint fp;
+    int32_t slot;
+    int64_t count;
+  };
+
+  LookupEngine() = default;
+
+  static std::shared_ptr<const LookupEngine> Compile(
+      const PqShape& shape, const std::vector<TreeId>& tree_ids,
+      const std::vector<int64_t>& tree_sizes, std::vector<RawPosting> raw,
+      int num_shards);
+
+  static std::vector<QueryTuple> QueryTuples(const PqGramIndex& query);
+
+  // Scores one shard for Lookup: accumulates overlaps rarest-first with
+  // the tau-derived count filter and appends qualifying results.
+  void ScoreShard(const Shard& shard, const std::vector<QueryTuple>& tuples,
+                  int64_t query_size, double tau,
+                  std::vector<LookupResult>* out,
+                  LookupEngineStats* stats) const;
+
+  // Scores one shard for TopK into `heap` (worst-first heap of size <=
+  // k), pruning against the heap's current worst entry.
+  void ScoreShardTopK(const Shard& shard,
+                      const std::vector<QueryTuple>& tuples,
+                      int64_t query_size, int k,
+                      std::vector<LookupResult>* heap,
+                      LookupEngineStats* stats) const;
+
+  PqShape shape_;
+  int num_trees_ = 0;
+  int64_t posting_entries_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_CORE_LOOKUP_ENGINE_H_

@@ -24,6 +24,8 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   PQIDX_CHECK(options_.max_connections >= 1);
   PQIDX_CHECK(options_.max_write_queue >= 0);
   PQIDX_CHECK(options_.max_group_commit >= 1);
+  PQIDX_CHECK(options_.lookup_threads >= 0);
+  PQIDX_CHECK(options_.lookup_shards >= 0);
 }
 
 Server::~Server() { Stop(); }
@@ -33,10 +35,39 @@ Status Server::Start(std::unique_ptr<Listener> listener) {
   StatusOr<ForestIndex> replica = index_->MaterializeForest();
   PQIDX_RETURN_IF_ERROR(replica.status());
   replica_ = *std::move(replica);
+  if (options_.lookup_threads > 0) {
+    lookup_pool_ = std::make_unique<ThreadPool>(options_.lookup_threads);
+  }
+  PublishEngine();  // epoch 1: the initial snapshot of the store
   listener_ = std::move(listener);
   pool_ = std::make_unique<ThreadPool>(options_.max_connections);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+std::shared_ptr<const LookupEngine> Server::EngineSnapshot() const {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  return engine_;
+}
+
+void Server::PublishEngine() {
+  const auto start = std::chrono::steady_clock::now();
+  int shards = options_.lookup_shards;
+  if (shards == 0) {
+    shards = options_.lookup_threads > 0 ? options_.lookup_threads * 2 : 1;
+  }
+  std::shared_ptr<const LookupEngine> next =
+      LookupEngine::Build(replica_, shards);
+  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    engine_ = std::move(next);
+  }
+  snapshot_epoch_.fetch_add(1);
+  last_rebuild_us_.store(us);
+  snapshot_rebuild_us_.fetch_add(us);
 }
 
 void Server::Stop() {
@@ -68,6 +99,11 @@ ServiceStats Server::stats() const {
   stats.max_batch = max_batch_.load();
   stats.rejected = rejected_.load();
   stats.protocol_errors = protocol_errors_.load();
+  stats.snapshot_epoch = snapshot_epoch_.load();
+  stats.candidates_pruned = candidates_pruned_.load();
+  stats.candidates_scored = candidates_scored_.load();
+  stats.snapshot_rebuild_us = snapshot_rebuild_us_.load();
+  stats.last_rebuild_us = last_rebuild_us_.load();
   return stats;
 }
 
@@ -180,17 +216,21 @@ std::string Server::HandleLookup(std::string_view payload) {
     protocol_errors_.fetch_add(1);
     return StatusPayload(request.status());
   }
-  // ForestIndex::Lookup CHECK-fails on a shape mismatch; a remote caller
-  // must never be able to trip that, so validate here.
-  if (!(request->query.shape() == replica_.shape())) {
+  // LookupEngine::Lookup CHECK-fails on a shape mismatch; a remote
+  // caller must never be able to trip that, so validate here.
+  std::shared_ptr<const LookupEngine> engine = EngineSnapshot();
+  if (!(request->query.shape() == engine->shape())) {
     return StatusPayload(InvalidArgumentError("query shape mismatch"));
   }
+  // Scoring runs on the private snapshot copy with no lock held:
+  // concurrent commits publish new snapshots without ever blocking this.
+  LookupEngineStats engine_stats;
   LookupResponse response;
-  {
-    std::shared_lock<std::shared_mutex> lock(index_mutex_);
-    response.results = replica_.Lookup(request->query, request->tau);
-  }
+  response.results = engine->Lookup(request->query, request->tau,
+                                    lookup_pool_.get(), &engine_stats);
   lookups_.fetch_add(1);
+  candidates_pruned_.fetch_add(engine_stats.pruned);
+  candidates_scored_.fetch_add(engine_stats.scored);
   ByteWriter writer;
   EncodeStatus(Status::Ok(), &writer);
   response.Encode(&writer);
@@ -356,6 +396,10 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
   for (auto& [id, bag] : scratch) {
     replica_.AddIndex(id, std::move(bag));
   }
+  // Publish the batch to readers: compile a fresh snapshot from the
+  // updated replica and swap it in. Readers already scoring on the old
+  // snapshot keep their shared_ptr; new lookups see this epoch.
+  PublishEngine();
   edits_applied_.fetch_add(applied);
   edit_commits_.fetch_add(1);
   int64_t seen = max_batch_.load();

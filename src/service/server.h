@@ -9,10 +9,13 @@
 //     rejected with a connection-level UNAVAILABLE frame, and edits
 //     beyond `max_write_queue` pending entries get an UNAVAILABLE
 //     response (backpressure instead of unbounded queues);
-//   * lookups run concurrently under a shared read lock against an
-//     in-memory ForestIndex replica of the store (the persistent file is
-//     the durability layer; the replica is the serving layer, kept
-//     bag-identical by applying the same I+/I- deltas);
+//   * lookups run lock-free against an epoch-published LookupEngine
+//     snapshot (core/lookup_engine.h): readers grab the current
+//     shared_ptr<const LookupEngine> and score without touching
+//     index_mutex_, so read throughput scales with reader threads. The
+//     group-commit leader compiles a fresh snapshot from the mutable
+//     ForestIndex replica after each batch and atomically swaps it in
+//     (the replica itself is only read by the write path's validation);
 //   * writes go through group commit: a writer enqueues its edit and the
 //     first free writer becomes the leader, drains the queue, and
 //     applies the whole batch as ONE WAL transaction
@@ -44,6 +47,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/forest_index.h"
+#include "core/lookup_engine.h"
 #include "service/transport.h"
 #include "service/wire.h"
 #include "storage/persistent_forest_index.h"
@@ -62,6 +66,13 @@ struct ServerOptions {
   // before draining the queue, magnifying the batching window the same
   // way a slow fsync would. 0 in production.
   int commit_hold_us = 0;
+  // Dedicated threads for shard-parallel scoring of one lookup; 0 scores
+  // in the handler thread (throughput then comes purely from concurrent
+  // connections, which is usually the right trade for small queries).
+  int lookup_threads = 0;
+  // Shards the lookup snapshot is compiled into; 0 derives a default
+  // from lookup_threads. Results never depend on the shard count.
+  int lookup_shards = 0;
 };
 
 class Server {
@@ -108,14 +119,27 @@ class Server {
   Status SubmitEdit(PendingEdit* edit);
   void CommitBatch(const std::vector<PendingEdit*>& batch);
 
+  // The current lookup snapshot (never null after Start()).
+  std::shared_ptr<const LookupEngine> EngineSnapshot() const;
+  // Compiles a snapshot from replica_ and publishes it. The caller must
+  // hold index_mutex_ exclusively (or be single-threaded in Start()).
+  void PublishEngine();
+
   PersistentForestIndex* const index_;
   const ServerOptions options_;
 
-  // Serving state: replica_ answers lookups under a shared lock; the
-  // group-commit leader holds it exclusively while mutating replica and
-  // store together.
+  // Write-path state: replica_ is the mutable bag-level view the
+  // group-commit leader validates and mutates together with the store,
+  // both under index_mutex_ held exclusively. Lookups do NOT read it.
   mutable std::shared_mutex index_mutex_;
   ForestIndex replica_;
+
+  // Read-path state: the immutable snapshot lookups score against.
+  // engine_mutex_ only guards the pointer swap/copy (nanoseconds);
+  // scoring itself runs on a private shared_ptr copy with no lock held.
+  mutable std::mutex engine_mutex_;
+  std::shared_ptr<const LookupEngine> engine_;
+  std::unique_ptr<ThreadPool> lookup_pool_;
 
   // Group-commit queue.
   std::mutex write_mutex_;
@@ -140,6 +164,11 @@ class Server {
   std::atomic<int64_t> max_batch_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> snapshot_epoch_{0};
+  std::atomic<int64_t> candidates_pruned_{0};
+  std::atomic<int64_t> candidates_scored_{0};
+  std::atomic<int64_t> snapshot_rebuild_us_{0};
+  std::atomic<int64_t> last_rebuild_us_{0};
 };
 
 }  // namespace pqidx

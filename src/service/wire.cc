@@ -210,6 +210,11 @@ void ServiceStats::Encode(ByteWriter* writer) const {
   writer->PutSignedVarint(max_batch);
   writer->PutSignedVarint(rejected);
   writer->PutSignedVarint(protocol_errors);
+  writer->PutSignedVarint(snapshot_epoch);
+  writer->PutSignedVarint(candidates_pruned);
+  writer->PutSignedVarint(candidates_scored);
+  writer->PutSignedVarint(snapshot_rebuild_us);
+  writer->PutSignedVarint(last_rebuild_us);
 }
 
 StatusOr<ServiceStats> ServiceStats::Decode(ByteReader* reader) {
@@ -226,6 +231,12 @@ StatusOr<ServiceStats> ServiceStats::Decode(ByteReader* reader) {
   PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.max_batch));
   PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.rejected));
   PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.protocol_errors));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.snapshot_epoch));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.candidates_pruned));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.candidates_scored));
+  PQIDX_RETURN_IF_ERROR(
+      reader->GetSignedVarint(&stats.snapshot_rebuild_us));
+  PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&stats.last_rebuild_us));
   return stats;
 }
 

@@ -117,7 +117,8 @@ struct LookupResponse {
 };
 
 // Service counters exposed over the wire; the group-commit efficiency the
-// loadgen asserts on is edits_applied / edit_commits.
+// loadgen asserts on is edits_applied / edit_commits, and the lookup
+// engine's read-path health shows in candidates_pruned vs. _scored.
 struct ServiceStats {
   int p = 0;
   int q = 0;
@@ -128,6 +129,12 @@ struct ServiceStats {
   int64_t max_batch = 0;       // largest single group-commit batch
   int64_t rejected = 0;        // admission-control rejections
   int64_t protocol_errors = 0;
+  // Lookup-engine snapshot counters (core/lookup_engine.h).
+  int64_t snapshot_epoch = 0;       // snapshots published since Start()
+  int64_t candidates_pruned = 0;    // dropped by the tau count filter
+  int64_t candidates_scored = 0;    // candidates fully scored
+  int64_t snapshot_rebuild_us = 0;  // total snapshot compile time
+  int64_t last_rebuild_us = 0;      // most recent snapshot compile time
 
   void Encode(ByteWriter* writer) const;
   static StatusOr<ServiceStats> Decode(ByteReader* reader);

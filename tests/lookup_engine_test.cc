@@ -1,0 +1,324 @@
+// Tests for the read-optimized lookup engine: bit-identical equivalence
+// with ForestIndex::Lookup / InvertedForestIndex::Lookup across tau
+// sweeps (including tau >= 1 and empty bags), TopK equivalence, edit-log
+// evolution, pruning accounting, and concurrent lookups racing snapshot
+// swaps (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/forest_index.h"
+#include "core/inverted_index.h"
+#include "core/lookup_engine.h"
+#include "edit/edit_script.h"
+#include "tree/generators.h"
+#include "tree/tree_builder.h"
+
+namespace pqidx {
+namespace {
+
+constexpr double kTaus[] = {0.0, 0.1, 0.3, 0.5, 0.7, 0.9,
+                            0.99, 1.0, 1.5};
+
+Tree MustParse(std::string_view notation) {
+  StatusOr<Tree> tree = ParseTreeNotation(notation);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// Bit-identical: same ids, same order, same double bit patterns.
+void ExpectSameResults(const std::vector<LookupResult>& got,
+                       const std::vector<LookupResult>& want,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].tree_id, want[i].tree_id) << what << " position " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << what << " position " << i;
+  }
+}
+
+// Checks one engine snapshot against the scan for every tau in the sweep,
+// with 1..n shards, sequentially and through a pool.
+void ExpectEngineMatchesScan(const ForestIndex& forest,
+                             const PqGramIndex& query, ThreadPool* pool) {
+  for (int shards : {1, 3, 8}) {
+    auto engine = LookupEngine::Build(forest, shards);
+    ASSERT_EQ(engine->size(), forest.size());
+    for (double tau : kTaus) {
+      std::vector<LookupResult> want = forest.Lookup(query, tau);
+      ExpectSameResults(engine->Lookup(query, tau), want, "sequential");
+      if (pool != nullptr) {
+        ExpectSameResults(engine->Lookup(query, tau, pool), want,
+                          "parallel");
+      }
+    }
+  }
+}
+
+TEST(LookupEngineTest, MatchesScanOnSmallForest) {
+  ForestIndex forest(PqShape{2, 2});
+  forest.AddTree(1, MustParse("a(b,c)"));
+  forest.AddTree(2, MustParse("a(b,x)"));
+  forest.AddTree(3, MustParse("z(w)"));
+  InvertedForestIndex inverted(forest);
+
+  Tree query = MustParse("a(b,c)");
+  PqGramIndex bag = BuildIndex(query, PqShape{2, 2});
+  ThreadPool pool(3);
+  ExpectEngineMatchesScan(forest, bag, &pool);
+
+  // Building from the inverted postings yields the same snapshot.
+  auto from_inverted = LookupEngine::Build(inverted, 2);
+  for (double tau : kTaus) {
+    ExpectSameResults(from_inverted->Lookup(bag, tau),
+                      forest.Lookup(bag, tau), "from inverted");
+  }
+}
+
+TEST(LookupEngineTest, EmptyEngineAndEmptyBags) {
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  auto empty_engine = LookupEngine::Build(forest, 4);
+  EXPECT_EQ(empty_engine->size(), 0);
+  EXPECT_TRUE(empty_engine->Lookup(PqGramIndex(shape), 1.0).empty());
+  EXPECT_TRUE(empty_engine->TopK(PqGramIndex(shape), 5).empty());
+
+  // A forest mixing empty and non-empty bags: two empty bags are at
+  // distance 0 (union 0), an empty vs non-empty bag at distance 1.
+  forest.AddIndex(7, PqGramIndex(shape));
+  forest.AddIndex(9, PqGramIndex(shape));
+  Rng rng(3);
+  auto dict = std::make_shared<LabelDict>();
+  for (TreeId id = 0; id < 6; ++id) {
+    forest.AddTree(id, GenerateDblpLike(dict, &rng, 30));
+  }
+
+  const PqGramIndex empty_query(shape);
+  const PqGramIndex full_query =
+      BuildIndex(GenerateDblpLike(dict, &rng, 30), shape);
+  ThreadPool pool(2);
+  ExpectEngineMatchesScan(forest, empty_query, &pool);
+  ExpectEngineMatchesScan(forest, full_query, &pool);
+
+  // The empty query must find exactly the two empty-bag trees at tau 0.
+  auto engine = LookupEngine::Build(forest, 2);
+  std::vector<LookupResult> hits = engine->Lookup(empty_query, 0.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].tree_id, 7);
+  EXPECT_EQ(hits[1].tree_id, 9);
+  EXPECT_EQ(hits[0].distance, 0.0);
+
+  // The inverted index agrees on the empty-query edge case too.
+  InvertedForestIndex inverted(forest);
+  for (double tau : kTaus) {
+    ExpectSameResults(inverted.Lookup(empty_query, tau),
+                      forest.Lookup(empty_query, tau), "inverted empty");
+  }
+}
+
+TEST(LookupEngineTest, ThreeWayEquivalenceOnRandomForests) {
+  Rng rng(17);
+  auto dict = std::make_shared<LabelDict>();
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    const PqShape shape{2 + round % 2, 2 + round};
+    ForestIndex forest(shape);
+    InvertedForestIndex inverted(shape);
+    const int trees = 20 + 15 * round;
+    for (TreeId id = 0; id < trees; ++id) {
+      Tree doc = round % 2 == 0 ? GenerateXmarkLike(dict, &rng, 120)
+                                : GenerateDblpLike(dict, &rng, 80);
+      forest.AddTree(id, doc);
+      inverted.AddTree(id, doc);
+    }
+    inverted.CheckConsistency();
+
+    for (int trial = 0; trial < 4; ++trial) {
+      PqGramIndex query = BuildIndex(
+          GenerateXmarkLike(dict, &rng, 120), shape);
+      ExpectEngineMatchesScan(forest, query, &pool);
+      auto engine = LookupEngine::Build(inverted, 5);
+      for (double tau : kTaus) {
+        std::vector<LookupResult> want = forest.Lookup(query, tau);
+        ExpectSameResults(inverted.Lookup(query, tau), want, "inverted");
+        ExpectSameResults(engine->Lookup(query, tau, &pool), want,
+                          "engine from inverted");
+      }
+    }
+  }
+}
+
+TEST(LookupEngineTest, StaysEquivalentAcrossEditLogEvolution) {
+  Rng rng(29);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  InvertedForestIndex inverted(shape);
+  std::vector<Tree> docs;
+  for (TreeId id = 0; id < 12; ++id) {
+    docs.push_back(GenerateDblpLike(dict, &rng, 60));
+    forest.AddTree(id, docs.back());
+    inverted.AddTree(id, docs.back());
+  }
+
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    // Edit a few documents through the incremental path on both
+    // maintainable structures, then recompile the snapshot.
+    for (int e = 0; e < 4; ++e) {
+      const TreeId id = static_cast<TreeId>(rng.NextBounded(docs.size()));
+      EditLog log;
+      GenerateEditScript(&docs[id], &rng, 12, EditScriptOptions{}, &log);
+      ASSERT_TRUE(forest.ApplyLog(id, docs[id], log).ok());
+      ASSERT_TRUE(inverted.ApplyLog(id, docs[id], log).ok());
+    }
+    inverted.CheckConsistency();
+
+    PqGramIndex query = BuildIndex(
+        docs[rng.NextBounded(docs.size())], shape);
+    auto engine = LookupEngine::Build(inverted, 1 + round);
+    for (double tau : kTaus) {
+      std::vector<LookupResult> want = forest.Lookup(query, tau);
+      ExpectSameResults(inverted.Lookup(query, tau), want, "inverted");
+      ExpectSameResults(engine->Lookup(query, tau, &pool), want, "engine");
+    }
+  }
+}
+
+TEST(LookupEngineTest, TopKMatchesForestIndex) {
+  Rng rng(41);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < 40; ++id) {
+    forest.AddTree(id, GenerateXmarkLike(dict, &rng, 90));
+  }
+  ThreadPool pool(4);
+  for (int shards : {1, 4}) {
+    auto engine = LookupEngine::Build(forest, shards);
+    for (int trial = 0; trial < 3; ++trial) {
+      PqGramIndex query = BuildIndex(
+          GenerateXmarkLike(dict, &rng, 90), shape);
+      for (int k : {0, 1, 3, 10, 40, 100}) {
+        std::vector<LookupResult> want = forest.TopK(query, k);
+        ExpectSameResults(engine->TopK(query, k), want, "topk sequential");
+        ExpectSameResults(engine->TopK(query, k, &pool), want,
+                          "topk parallel");
+      }
+    }
+  }
+}
+
+TEST(LookupEngineTest, PruningStatsAccounting) {
+  Rng rng(53);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < 60; ++id) {
+    forest.AddTree(id, GenerateXmarkLike(dict, &rng, 100));
+  }
+  auto engine = LookupEngine::Build(forest, 4);
+  EXPECT_GT(engine->posting_entries(), 0);
+  PqGramIndex query = BuildIndex(
+      GenerateXmarkLike(dict, &rng, 100), shape);
+
+  // Selective tau: every candidate is either pruned mid-accumulation or
+  // reaches the final test; nothing is double-counted.
+  LookupEngineStats selective;
+  engine->Lookup(query, 0.2, nullptr, &selective);
+  EXPECT_GT(selective.candidates, 0);
+  EXPECT_GT(selective.postings_scanned, 0);
+  EXPECT_EQ(selective.pruned + selective.scored, selective.candidates);
+
+  // tau >= 1 admits everything: no pruning, every tree scored.
+  LookupEngineStats everything;
+  std::vector<LookupResult> all = engine->Lookup(query, 1.0, nullptr,
+                                                 &everything);
+  EXPECT_EQ(all.size(), static_cast<size_t>(forest.size()));
+  EXPECT_EQ(everything.pruned, 0);
+  EXPECT_EQ(everything.scored, forest.size());
+
+  // A tighter tau never scores more candidates than a looser one.
+  LookupEngineStats loose;
+  engine->Lookup(query, 0.8, nullptr, &loose);
+  EXPECT_LE(selective.scored, loose.scored);
+}
+
+// Named to run in the TSan CI job: readers race an engine-swapping
+// writer through the same shared_ptr slot pqidxd uses.
+TEST(LookupEngineParallelTest, ConcurrentLookupsDuringSnapshotSwaps) {
+  Rng rng(67);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  std::vector<Tree> docs;
+  for (TreeId id = 0; id < 16; ++id) {
+    docs.push_back(GenerateDblpLike(dict, &rng, 50));
+    forest.AddTree(id, docs.back());
+  }
+
+  std::mutex engine_mutex;
+  std::shared_ptr<const LookupEngine> engine = LookupEngine::Build(forest, 2);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> lookups_done{0};
+
+  // Writer: keeps editing the forest and publishing fresh snapshots.
+  std::thread writer([&] {
+    Rng wrng(71);
+    for (int round = 0; round < 40; ++round) {
+      const TreeId id = static_cast<TreeId>(wrng.NextBounded(docs.size()));
+      EditLog log;
+      GenerateEditScript(&docs[id], &wrng, 6, EditScriptOptions{}, &log);
+      ASSERT_TRUE(forest.ApplyLog(id, docs[id], log).ok());
+      auto fresh = LookupEngine::Build(forest, 1 + round % 4);
+      std::lock_guard<std::mutex> lock(engine_mutex);
+      engine = std::move(fresh);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rrng(100 + r);
+      auto query_doc = GenerateDblpLike(nullptr, &rrng, 50);
+      PqGramIndex query = BuildIndex(query_doc, shape);
+      while (!stop.load()) {
+        std::shared_ptr<const LookupEngine> snapshot;
+        {
+          std::lock_guard<std::mutex> lock(engine_mutex);
+          snapshot = engine;
+        }
+        // Scoring runs entirely on the private snapshot copy; the writer
+        // may swap (and free the previous engine) at any point.
+        std::vector<LookupResult> hits = snapshot->Lookup(query, 0.9);
+        for (size_t i = 1; i < hits.size(); ++i) {
+          ASSERT_TRUE(hits[i - 1].distance < hits[i].distance ||
+                      (hits[i - 1].distance == hits[i].distance &&
+                       hits[i - 1].tree_id < hits[i].tree_id));
+        }
+        lookups_done.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(lookups_done.load(), 0);
+
+  // After the dust settles the final snapshot matches the final forest.
+  PqGramIndex query = BuildIndex(docs[0], shape);
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "final snapshot");
+  }
+}
+
+}  // namespace
+}  // namespace pqidx

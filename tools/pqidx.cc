@@ -36,6 +36,7 @@
 //       (default 0.5). Use the same index file twice for a self-join.
 //
 //   pqidx serve <index-file> [-p P] [-q Q] [--port N] [-t THREADS]
+//               [--lookup-threads N]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
 //       index file with the given shape if it does not exist. Stop with
@@ -91,7 +92,7 @@ int Usage() {
                "  pqidx stats  <doc.xml>\n"
                "  pqidx join   <left-index> <right-index> [tau]\n"
                "  pqidx serve  <index-file> [-p P] [-q Q] [--port N] "
-               "[-t THREADS]\n"
+               "[-t THREADS] [--lookup-threads N]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -326,17 +327,21 @@ int CmdServe(std::vector<std::string> args) {
   PqShape shape = ParseShapeFlags(&args);
   int port = 0;
   int threads = 4;
+  int lookup_threads = 0;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
       port = std::atoi(args[++i].c_str());
     } else if (args[i] == "-t" && i + 1 < args.size()) {
       threads = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--lookup-threads" && i + 1 < args.size()) {
+      lookup_threads = std::atoi(args[++i].c_str());
     } else {
       rest.push_back(args[i]);
     }
   }
-  if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1) {
+  if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1 ||
+      lookup_threads < 0) {
     return Usage();
   }
   const std::string& index_path = rest[0];
@@ -370,6 +375,7 @@ int CmdServe(std::vector<std::string> args) {
 
   ServerOptions options;
   options.max_connections = threads;
+  options.lookup_threads = lookup_threads;
   Server server(index->get(), options);
   if (Status s = server.Start(std::move(*listener)); !s.ok()) {
     return Fail(s);
@@ -394,6 +400,13 @@ int CmdServe(std::vector<std::string> args) {
               static_cast<long long>(stats.max_batch),
               static_cast<long long>(stats.rejected),
               static_cast<long long>(stats.protocol_errors));
+  std::printf("lookup engine: epoch %lld, %lld candidates pruned / %lld "
+              "scored, snapshot rebuilds %lld us total (last %lld us)\n",
+              static_cast<long long>(stats.snapshot_epoch),
+              static_cast<long long>(stats.candidates_pruned),
+              static_cast<long long>(stats.candidates_scored),
+              static_cast<long long>(stats.snapshot_rebuild_us),
+              static_cast<long long>(stats.last_rebuild_us));
   return 0;
 }
 
