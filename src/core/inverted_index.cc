@@ -157,10 +157,13 @@ std::vector<LookupResult> InvertedForestIndex::Lookup(
     for (const auto& [id, shared] : intersection) {
       consider(id, shared);
     }
-    if (query.size() == 0) {
+    if (query.size() == 0 && tau >= 0.0) {
       // An empty query is at distance 0 from every empty tree (the scan
       // baseline computes union 0 -> distance 0); such trees own no
-      // postings, so the intersection pass cannot reach them.
+      // postings, so the intersection pass cannot reach them. Distance 0
+      // only qualifies for tau >= 0, matching the baseline's
+      // `distance <= tau` test (which admits nothing for negative or
+      // NaN tau).
       for (const auto& [id, size] : tree_sizes_) {
         if (size == 0) results.push_back({id, 0.0});
       }

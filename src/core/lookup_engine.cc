@@ -1,6 +1,7 @@
 #include "core/lookup_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace pqidx {
@@ -23,6 +24,11 @@ inline double BagDistance(int64_t shared, int64_t union_size) {
 // finds the exact floating-point threshold and the count filter can never
 // disagree with the final test.
 int64_t MinQualifyingOverlap(double tau, int64_t u) {
+  // Distances are never negative, so no overlap qualifies for tau < 0
+  // (or NaN). Without this guard a hostile tau would overflow the cast
+  // below (-1e308 -> need > int64) or spin the walk forever (-inf).
+  if (!(tau >= 0.0)) return std::numeric_limits<int64_t>::max();
+  // From here tau >= 0, so need <= u/2 and the cast cannot overflow.
   double need = (1.0 - tau) * 0.5 * static_cast<double>(u);
   int64_t shared = static_cast<int64_t>(need) - 2;
   if (shared < 0) shared = 0;
@@ -134,15 +140,22 @@ std::shared_ptr<const LookupEngine> LookupEngine::Compile(
     shard.offsets.push_back(0);
     for (size_t i = 0; i < part.size(); ++i) {
       const RawPosting& p = part[i];
-      PQIDX_CHECK_MSG(p.count > 0 && p.count <= INT32_MAX,
-                      "posting count outside the engine's 32-bit layout");
+      PQIDX_CHECK_MSG(p.count > 0, "nonpositive posting count");
       if (shard.fps.empty() || shard.fps.back() != p.fp) {
         if (!shard.fps.empty()) {
           shard.offsets.push_back(static_cast<uint32_t>(i));
         }
         shard.fps.push_back(p.fp);
       }
-      shard.entries.push_back({p.slot, static_cast<int32_t>(p.count)});
+      // Counts beyond int32 are legitimate (accumulated edit deltas) but
+      // rare; spill them to the side map rather than abort a build that
+      // may be publishing a live server's next snapshot.
+      if (p.count <= INT32_MAX) {
+        shard.entries.push_back({p.slot, static_cast<int32_t>(p.count)});
+      } else {
+        shard.wide_counts.emplace(static_cast<uint32_t>(i), p.count);
+        shard.entries.push_back({p.slot, kWideCount});
+      }
     }
     shard.offsets.push_back(static_cast<uint32_t>(part.size()));
     if (shard.fps.empty()) shard.offsets.assign(1, 0);
@@ -225,7 +238,9 @@ void LookupEngine::ScoreShard(const Shard& shard,
               tau, query_size + shard.tree_sizes[static_cast<size_t>(slot)]);
         }
       }
-      acc += std::min<int64_t>(list.qcount, entry->count);
+      acc += std::min<int64_t>(
+          list.qcount,
+          shard.EntryCount(static_cast<size_t>(entry - shard.entries.data())));
       if (filter &&
           acc + gain_after < required[static_cast<size_t>(slot)]) {
         pruned[static_cast<size_t>(slot)] = 1;
@@ -258,10 +273,11 @@ void LookupEngine::ScoreShard(const Shard& shard,
                            shard.tree_sizes[static_cast<size_t>(slot)])});
     }
   }
-  if (query_size == 0) {
+  if (query_size == 0 && tau >= 0.0) {
     // An empty query is at distance 0 from every empty tree (empty
     // union); those trees own no postings, so the scan above cannot see
-    // them.
+    // them. Distance 0 only qualifies for tau >= 0, exactly as the
+    // scanning baseline's `distance <= tau` test decides.
     for (size_t slot = 0; slot < n; ++slot) {
       if (shard.tree_sizes[slot] == 0) {
         out->push_back({shard.tree_ids[slot], 0.0});
@@ -275,6 +291,11 @@ std::vector<LookupResult> LookupEngine::Lookup(
     LookupEngineStats* stats) const {
   PQIDX_CHECK_MSG(query.shape() == shape_,
                   "query shape does not match lookup engine shape");
+  // Distances are never negative, so tau < 0 (or NaN) matches nothing.
+  // The scanning baseline reaches the same answer through its
+  // `distance <= tau` test; deciding it up front keeps hostile tau
+  // values (-inf, -1e308, NaN) out of the scoring machinery.
+  if (!(tau >= 0.0)) return {};
   const std::vector<QueryTuple> tuples = QueryTuples(query);
   const size_t shard_count = shards_.size();
   std::vector<std::vector<LookupResult>> parts(shard_count);
@@ -355,7 +376,9 @@ void LookupEngine::ScoreShardTopK(const Shard& shard,
       if (pruned[static_cast<size_t>(slot)]) continue;
       int64_t& acc = overlap[static_cast<size_t>(slot)];
       if (acc == 0) ++candidates;
-      acc += std::min<int64_t>(list.qcount, entry->count);
+      acc += std::min<int64_t>(
+          list.qcount,
+          shard.EntryCount(static_cast<size_t>(entry - shard.entries.data())));
       // Adaptive bound: once the heap holds k results, a candidate whose
       // best attainable rank cannot beat the current k-th best is dead.
       // The k-th best only improves, so the decision stays valid.

@@ -27,7 +27,8 @@
 //
 // Results are bit-identical to ForestIndex::Lookup -- same distances
 // (identical double arithmetic), same ordering, same tie-breaks -- for
-// every tau including tau >= 1 (everything qualifies) and empty bags
+// every tau including tau >= 1 (everything qualifies), tau < 0 or NaN
+// (distances are never negative, so nothing qualifies), and empty bags
 // (two empty bags are at distance 0). The count filter is exact: a
 // candidate is only pruned when even its maximum attainable overlap
 // fails the same floating-point test that gates the final result.
@@ -41,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -103,12 +105,18 @@ class LookupEngine {
 
  private:
   // One posting: tree (as a shard-local slot) and tuple multiplicity.
-  // Slots and counts are narrowed to 32 bits for density; Build checks
-  // the narrowing.
+  // Slots and counts are narrowed to 32 bits for density; the rare
+  // count that does not fit stores kWideCount and its exact value lives
+  // in the shard's wide_counts side map, so Compile never rejects a
+  // legitimate bag and results stay exact.
   struct Entry {
     int32_t slot;
     int32_t count;
   };
+
+  // Sentinel Entry::count for a multiplicity above INT32_MAX (real
+  // counts are always positive).
+  static constexpr int32_t kWideCount = -1;
 
   // An independent slice of the forest: dense slots, own posting arena.
   struct Shard {
@@ -117,6 +125,17 @@ class LookupEngine {
     std::vector<PqGramFingerprint> fps;       // sorted ascending
     std::vector<uint32_t> offsets;            // fps.size() + 1 prefix sums
     std::vector<Entry> entries;               // arena, grouped by fps order
+    // Exact values of kWideCount entries, keyed by arena index.
+    std::unordered_map<uint32_t, int64_t> wide_counts;
+
+    // The multiplicity of the arena entry at `index`, resolving the
+    // kWideCount indirection.
+    int64_t EntryCount(size_t index) const {
+      int32_t narrow = entries[index].count;
+      return narrow != kWideCount
+                 ? narrow
+                 : wide_counts.at(static_cast<uint32_t>(index));
+    }
   };
 
   // A query tuple after shape validation: fingerprint + multiplicity.

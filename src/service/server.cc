@@ -317,8 +317,27 @@ Status Server::SubmitEdit(PendingEdit* edit) {
 }
 
 void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
-  // Everything below runs with the index exclusively locked: the replica
-  // and the persistent store change together or not at all.
+  const int64_t applied = CommitBatchLocked(batch);
+  if (applied == 0) return;  // replica unchanged: keep the old snapshot
+  // Publish the batch to readers: compile a fresh snapshot from the
+  // updated replica and swap it in. Readers already scoring on the old
+  // snapshot keep their shared_ptr; new lookups see this epoch. This
+  // runs OUTSIDE index_mutex_: compiling is O(total postings), it only
+  // reads replica_, and the group-commit protocol makes this leader the
+  // sole replica_ mutator until the batch is acknowledged -- so stats()
+  // shared readers are never blocked behind a rebuild.
+  PublishEngine();
+  edits_applied_.fetch_add(applied);
+  edit_commits_.fetch_add(1);
+  int64_t seen = max_batch_.load();
+  while (applied > seen && !max_batch_.compare_exchange_weak(seen, applied)) {
+  }
+}
+
+int64_t Server::CommitBatchLocked(const std::vector<PendingEdit*>& batch) {
+  // Validation, commit, and replica update run with the index
+  // exclusively locked: the replica and the persistent store change
+  // together or not at all.
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
 
   // Validate each edit against the replica (with a scratch overlay so
@@ -378,7 +397,7 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
     edit_to_batch.push_back(i);
   }
 
-  if (edits.empty()) return;  // nothing valid: nothing to commit
+  if (edits.empty()) return 0;  // nothing valid: nothing to commit
 
   std::vector<Status> results;
   Status committed = index_->ApplyBatch(edits, &results);
@@ -391,20 +410,12 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
     PQIDX_DCHECK(results[j].ok() == committed.ok());
     if (results[j].ok()) ++applied;
   }
-  if (!committed.ok() || applied == 0) return;  // replica stays as-is
+  if (!committed.ok() || applied == 0) return 0;  // replica stays as-is
 
   for (auto& [id, bag] : scratch) {
     replica_.AddIndex(id, std::move(bag));
   }
-  // Publish the batch to readers: compile a fresh snapshot from the
-  // updated replica and swap it in. Readers already scoring on the old
-  // snapshot keep their shared_ptr; new lookups see this epoch.
-  PublishEngine();
-  edits_applied_.fetch_add(applied);
-  edit_commits_.fetch_add(1);
-  int64_t seen = max_batch_.load();
-  while (applied > seen && !max_batch_.compare_exchange_weak(seen, applied)) {
-  }
+  return applied;
 }
 
 }  // namespace pqidx

@@ -72,6 +72,14 @@ struct ServerOptions {
   int lookup_threads = 0;
   // Shards the lookup snapshot is compiled into; 0 derives a default
   // from lookup_threads. Results never depend on the shard count.
+  //
+  // Trade-off: the group-commit leader recompiles the whole snapshot --
+  // O(total postings) -- after every committed batch (outside
+  // index_mutex_, so concurrent lookups and stats() never wait on it),
+  // which puts snapshot compilation on the write-ack path: write
+  // latency grows with forest size, group commit amortizes it across
+  // the batch, and a committed edit is always visible to the next
+  // lookup once its response arrives (read-your-writes).
   int lookup_shards = 0;
 };
 
@@ -118,11 +126,17 @@ class Server {
   // returns its result. The calling thread may serve as batch leader.
   Status SubmitEdit(PendingEdit* edit);
   void CommitBatch(const std::vector<PendingEdit*>& batch);
+  // The store-and-replica mutation half of CommitBatch, run under
+  // index_mutex_ held exclusively; returns how many edits were applied
+  // (0 when the replica is unchanged).
+  int64_t CommitBatchLocked(const std::vector<PendingEdit*>& batch);
 
   // The current lookup snapshot (never null after Start()).
   std::shared_ptr<const LookupEngine> EngineSnapshot() const;
-  // Compiles a snapshot from replica_ and publishes it. The caller must
-  // hold index_mutex_ exclusively (or be single-threaded in Start()).
+  // Compiles a snapshot from replica_ and publishes it. Takes no lock:
+  // the caller must be the sole thread mutating replica_ for the
+  // duration (true in Start(), before handlers exist, and for the
+  // group-commit leader until its batch is acknowledged).
   void PublishEngine();
 
   PersistentForestIndex* const index_;

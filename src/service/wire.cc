@@ -104,8 +104,11 @@ StatusOr<LookupRequest> LookupRequest::Decode(std::string_view payload) {
   ByteReader reader(payload);
   LookupRequest request;
   PQIDX_RETURN_IF_ERROR(GetDouble(&reader, &request.tau));
-  if (std::isnan(request.tau)) {
-    return InvalidArgumentError("tau must not be NaN");
+  // pq-gram distances lie in [0, 1], so any meaningful threshold does
+  // too. Rejecting the rest here keeps hostile values (NaN, +/-inf,
+  // huge negatives) out of the scoring hot path entirely.
+  if (!std::isfinite(request.tau) || request.tau < 0.0) {
+    return InvalidArgumentError("tau must be finite and non-negative");
   }
   StatusOr<PqGramIndex> query = PqGramIndex::Deserialize(&reader);
   PQIDX_RETURN_IF_ERROR(query.status());

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -121,6 +123,70 @@ TEST(LookupEngineTest, EmptyEngineAndEmptyBags) {
     ExpectSameResults(inverted.Lookup(empty_query, tau),
                       forest.Lookup(empty_query, tau), "inverted empty");
   }
+}
+
+// Distances are never negative, so tau < 0 (however hostile: -inf, a
+// huge negative, NaN) matches nothing -- on every structure, without
+// hanging, aborting, or tripping UB. The forest includes an empty bag
+// and the sweep an empty query, the one pair whose distance-0 result
+// used to be appended unconditionally.
+TEST(LookupEngineTest, HostileTauMatchesScanExactly) {
+  const PqShape shape{2, 2};
+  ForestIndex forest(shape);
+  forest.AddIndex(3, PqGramIndex(shape));
+  forest.AddTree(1, MustParse("a(b,c)"));
+  forest.AddTree(2, MustParse("a(b,x)"));
+  InvertedForestIndex inverted(forest);
+  auto engine = LookupEngine::Build(forest, 2);
+  ThreadPool pool(2);
+
+  const double hostile[] = {-0.5, -1.0, -1e308,
+                            -std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::quiet_NaN()};
+  const PqGramIndex queries[] = {BuildIndex(MustParse("a(b,c)"), shape),
+                                 PqGramIndex(shape)};
+  for (const PqGramIndex& query : queries) {
+    for (double tau : hostile) {
+      EXPECT_TRUE(forest.Lookup(query, tau).empty());
+      EXPECT_TRUE(inverted.Lookup(query, tau).empty());
+      EXPECT_TRUE(engine->Lookup(query, tau).empty());
+      EXPECT_TRUE(engine->Lookup(query, tau, &pool).empty());
+    }
+  }
+}
+
+// Posting counts above INT32_MAX (legitimately reachable by
+// accumulating edit deltas) must compile -- a live server republishes
+// snapshots from such forests -- and must score exactly, not clamped.
+TEST(LookupEngineTest, CountsBeyondInt32CompileAndScoreExactly) {
+  const PqShape shape{2, 2};
+  const int64_t kWide = int64_t{3} << 31;  // > INT32_MAX
+  Tree doc = MustParse("a(b,c)");
+  PqGramIndex huge = BuildIndex(doc, shape);
+  const PqGramFingerprint fp = huge.counts().begin()->first;
+  huge.Add(fp, kWide);
+
+  ForestIndex forest(shape);
+  forest.AddIndex(1, huge);
+  forest.AddTree(2, MustParse("a(b,x)"));
+  InvertedForestIndex inverted(forest);
+
+  // The query's multiplicity for `fp` also exceeds int32, so
+  // min(qcount, count) is decided by the exact wide count: a clamp at
+  // INT32_MAX would shift the distance and fail the bit-identity check.
+  PqGramIndex query = BuildIndex(doc, shape);
+  query.Add(fp, kWide + 12345);
+
+  ThreadPool pool(2);
+  ExpectEngineMatchesScan(forest, query, &pool);
+  ExpectEngineMatchesScan(forest, BuildIndex(doc, shape), &pool);
+  auto engine = LookupEngine::Build(inverted, 2);
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "wide counts from inverted");
+  }
+  ExpectSameResults(engine->TopK(query, 2), forest.TopK(query, 2),
+                    "wide counts topk");
 }
 
 TEST(LookupEngineTest, ThreeWayEquivalenceOnRandomForests) {

@@ -157,13 +157,24 @@ TEST(WireTest, RequestPayloadRejectsMalformedBytes) {
   std::string padded = std::string(writer.data()) + "extra";
   EXPECT_FALSE(LookupRequest::Decode(padded).ok());
 
-  // NaN tau.
-  ByteWriter nan_writer;
-  LookupRequest nan_request;
-  nan_request.query = PqGramIndex(PqShape{2, 2});
-  nan_request.tau = std::numeric_limits<double>::quiet_NaN();
-  nan_request.Encode(&nan_writer);
-  EXPECT_FALSE(LookupRequest::Decode(nan_writer.data()).ok());
+  // Hostile tau: NaN, infinities, and negative values (including the
+  // -inf / huge-negative payloads that would hang or overflow a naive
+  // count filter) are all rejected at the wire boundary.
+  const double bad_taus[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             -1e308, -0.001};
+  for (double tau : bad_taus) {
+    ByteWriter bad_writer;
+    LookupRequest bad_request;
+    bad_request.query = PqGramIndex(PqShape{2, 2});
+    bad_request.tau = tau;
+    bad_request.Encode(&bad_writer);
+    StatusOr<LookupRequest> decoded = LookupRequest::Decode(bad_writer.data());
+    EXPECT_FALSE(decoded.ok()) << "tau " << tau;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << "tau " << tau;
+  }
 
   // Truncated bag.
   EXPECT_FALSE(
@@ -481,6 +492,16 @@ TEST(ServiceTest, InvalidEditsAreRejectedWithoutDisturbingTheIndex) {
   // Wrong-shape query never reaches the index's shape CHECK.
   PqGramIndex wrong_shape(PqShape{3, 3});
   EXPECT_FALSE(client->Lookup(wrong_shape, 0.5).ok());
+  // Hostile tau values come back as InvalidArgument instead of hanging
+  // or aborting a handler (the -inf case used to spin the count filter
+  // forever).
+  for (double tau : {-std::numeric_limits<double>::infinity(), -1e308,
+                     -0.5, std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    StatusOr<std::vector<LookupResult>> bad = client->Lookup(bag, tau);
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument)
+        << "tau " << tau;
+  }
 
   // The stored bag is untouched by all of the above.
   StatusOr<std::vector<LookupResult>> hits = client->Lookup(bag, 0.0);
