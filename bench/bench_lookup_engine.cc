@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/forest_index.h"
@@ -157,5 +158,9 @@ int main(int argc, char** argv) {
 
   std::printf("expected shape: scan linear in forest size; engine ahead of "
               "both maintainable structures, widening for selective tau.\n");
+  // The registry accumulated lookup_engine.* cells (builds, queries,
+  // candidate counts, latency histograms) across every run above; embed
+  // it so the BENCH json carries the full observability picture.
+  report.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
   return report.Write() ? 0 : 1;
 }

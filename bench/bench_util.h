@@ -88,6 +88,18 @@ class JsonReport {
     metrics_.push_back(Metric{name, unit, value});
   }
 
+  // Embeds `raw_json` (already-valid JSON, e.g. MetricsSnapshot::ToJson())
+  // as an extra top-level key. Later calls with the same key overwrite.
+  void AddRawSection(const std::string& key, std::string raw_json) {
+    for (RawSection& section : raw_sections_) {
+      if (section.key == key) {
+        section.json = std::move(raw_json);
+        return;
+      }
+    }
+    raw_sections_.push_back(RawSection{key, std::move(raw_json)});
+  }
+
   // Writes all metrics collected so far; returns false on I/O failure.
   // Idempotent: later calls rewrite the file with the full metric list.
   bool Write() {
@@ -108,7 +120,12 @@ class JsonReport {
                    Escaped(m.unit).c_str(),
                    i + 1 < metrics_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    for (const RawSection& section : raw_sections_) {
+      std::fprintf(f, ",\n  \"%s\": %s", Escaped(section.key).c_str(),
+                   section.json.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -118,6 +135,11 @@ class JsonReport {
     std::string name;
     std::string unit;
     double value;
+  };
+
+  struct RawSection {
+    std::string key;
+    std::string json;
   };
 
   static std::string Escaped(const std::string& s) {
@@ -133,6 +155,7 @@ class JsonReport {
   std::string bench_name_;
   std::string path_;
   std::vector<Metric> metrics_;
+  std::vector<RawSection> raw_sections_;
 };
 
 }  // namespace pqidx::bench

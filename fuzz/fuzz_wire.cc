@@ -59,5 +59,24 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     pqidx::ByteReader reader(payload);
     (void)pqidx::ServiceStats::Decode(&reader);
   }
+  {
+    // Metrics snapshots (kStatsSnapshot responses): accepted snapshots
+    // must re-encode and decode to the same samples, and exposition must
+    // not trip on hostile names or bucket layouts.
+    pqidx::ByteReader reader(payload);
+    pqidx::StatusOr<pqidx::MetricsSnapshot> snapshot =
+        pqidx::DecodeMetricsSnapshot(&reader);
+    if (snapshot.ok()) {
+      (void)snapshot->ToText();
+      (void)snapshot->ToJson();
+      pqidx::ByteWriter writer;
+      pqidx::EncodeMetricsSnapshot(*snapshot, &writer);
+      std::string bytes = writer.Release();
+      pqidx::ByteReader again(bytes);
+      pqidx::StatusOr<pqidx::MetricsSnapshot> redecoded =
+          pqidx::DecodeMetricsSnapshot(&again);
+      if (!redecoded.ok() || !(*redecoded == *snapshot)) __builtin_trap();
+    }
+  }
   return 0;
 }

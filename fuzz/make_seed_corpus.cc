@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/serde.h"
 #include "core/forest_index.h"
@@ -232,6 +233,50 @@ Status MakeWireSeeds(const std::string& dir) {
     header.request_id = 4;
     header.payload_size = static_cast<uint32_t>(writer.data().size());
     PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "stats_response_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    // A kStatsSnapshot request is an empty-payload frame; mutations of
+    // this seed exercise the server's non-empty-payload rejection.
+    FrameHeader header;
+    header.type = MessageType::kStatsSnapshot;
+    header.request_id = 5;
+    header.payload_size = 0;
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "stats_snapshot_request_frame.bin",
+                                    EncodeFrame(header, std::string_view())));
+  }
+  {
+    // A kStatsSnapshot response: status + one sample of each kind, so
+    // the fuzzer starts from an accepting path through every branch of
+    // DecodeMetricsSnapshot (including histogram bucket pairs).
+    MetricsSnapshot snapshot;
+    MetricSample lookups;
+    lookups.kind = MetricSample::Kind::kCounter;
+    lookups.name = "server.lookups";
+    lookups.value = 100;
+    snapshot.samples.push_back(lookups);
+    MetricSample epoch;
+    epoch.kind = MetricSample::Kind::kGauge;
+    epoch.name = "server.snapshot_epoch";
+    epoch.value = 9;
+    snapshot.samples.push_back(epoch);
+    MetricSample latency;
+    latency.kind = MetricSample::Kind::kHistogram;
+    latency.name = "server.lookup_us";
+    latency.count = 3;
+    latency.sum = 106;
+    latency.max = 100;
+    latency.buckets = {{1, 1}, {2, 1}, {7, 1}};
+    snapshot.samples.push_back(latency);
+    ByteWriter writer;
+    EncodeStatus(Status::Ok(), &writer);
+    EncodeMetricsSnapshot(snapshot, &writer);
+    FrameHeader header;
+    header.type = MessageType::kStatsSnapshot;
+    header.flags = kFrameFlagResponse;
+    header.request_id = 5;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "stats_snapshot_response_frame.bin",
                                     EncodeFrame(header, writer.data())));
   }
   return Status::Ok();

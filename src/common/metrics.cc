@@ -1,0 +1,340 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pqidx {
+namespace {
+
+// Names come from instrumentation call sites, but they still pass
+// through JSON exposition, so escape the two structural characters and
+// drop control bytes.
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Shared quantile walk over (bucket index, count) pairs in index order.
+int64_t QuantileFromBuckets(
+    const std::vector<std::pair<uint32_t, int64_t>>& buckets, double q) {
+  int64_t total = 0;
+  for (const auto& [index, count] : buckets) total += count;
+  if (total <= 0) return 0;
+  double want = q * static_cast<double>(total);
+  int64_t rank = want <= 1 ? 1 : static_cast<int64_t>(want);
+  if (static_cast<double>(rank) < want) ++rank;  // ceil
+  if (rank > total) rank = total;
+  int64_t seen = 0;
+  for (const auto& [index, count] : buckets) {
+    seen += count;
+    if (seen >= rank) {
+      return Histogram::BucketUpperBound(static_cast<int>(index));
+    }
+  }
+  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+}
+
+void AppendHistogramFields(const MetricSample& sample, std::string* out) {
+  out->append("count=").append(std::to_string(sample.count));
+  out->append(" sum=").append(std::to_string(sample.sum));
+  out->append(" max=").append(std::to_string(sample.max));
+  out->append(" p50=").append(std::to_string(sample.Quantile(0.50)));
+  out->append(" p95=").append(std::to_string(sample.Quantile(0.95)));
+  out->append(" p99=").append(std::to_string(sample.Quantile(0.99)));
+}
+
+}  // namespace
+
+std::atomic<bool> Metrics::enabled_{true};
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  int width = std::bit_width(static_cast<uint64_t>(value));
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  PQIDX_DCHECK(index >= 0 && index < kNumBuckets);
+  if (index == 0) return 0;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << index) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Quantile(double q) const {
+  std::vector<std::pair<uint32_t, int64_t>> buckets;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = bucket(i);
+    if (n > 0) buckets.emplace_back(static_cast<uint32_t>(i), n);
+  }
+  return QuantileFromBuckets(buckets, q);
+}
+
+int64_t MetricSample::Quantile(double q) const {
+  if (kind != Kind::kHistogram) return 0;
+  return QuantileFromBuckets(buckets, q);
+}
+
+bool MetricSample::operator==(const MetricSample& other) const {
+  return kind == other.kind && name == other.name && value == other.value &&
+         count == other.count && sum == other.sum && max == other.max &&
+         buckets == other.buckets;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const MetricSample& sample : samples) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out.append("counter ").append(sample.name).append(" ");
+        out.append(std::to_string(sample.value)).append("\n");
+        break;
+      case MetricSample::Kind::kGauge:
+        out.append("gauge ").append(sample.name).append(" ");
+        out.append(std::to_string(sample.value)).append("\n");
+        break;
+      case MetricSample::Kind::kHistogram:
+        out.append("histogram ").append(sample.name).append(" ");
+        AppendHistogramFields(sample, &out);
+        out.append("\n");
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string counters, gauges, histograms;
+  for (const MetricSample& sample : samples) {
+    std::string entry = "\"" + JsonEscaped(sample.name) + "\":";
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        if (!counters.empty()) counters.push_back(',');
+        counters.append(entry).append(std::to_string(sample.value));
+        break;
+      case MetricSample::Kind::kGauge:
+        if (!gauges.empty()) gauges.push_back(',');
+        gauges.append(entry).append(std::to_string(sample.value));
+        break;
+      case MetricSample::Kind::kHistogram: {
+        if (!histograms.empty()) histograms.push_back(',');
+        entry.append("{\"count\":").append(std::to_string(sample.count));
+        entry.append(",\"sum\":").append(std::to_string(sample.sum));
+        entry.append(",\"max\":").append(std::to_string(sample.max));
+        entry.append(",\"p50\":")
+            .append(std::to_string(sample.Quantile(0.50)));
+        entry.append(",\"p95\":")
+            .append(std::to_string(sample.Quantile(0.95)));
+        entry.append(",\"p99\":")
+            .append(std::to_string(sample.Quantile(0.99)));
+        entry.append(",\"buckets\":{");
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i > 0) entry.push_back(',');
+          entry.append("\"")
+              .append(std::to_string(Histogram::BucketUpperBound(
+                  static_cast<int>(sample.buckets[i].first))))
+              .append("\":")
+              .append(std::to_string(sample.buckets[i].second));
+        }
+        entry.append("}}");
+        histograms.append(entry);
+        break;
+      }
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out.append(counters).append("},\"gauges\":{").append(gauges);
+  out.append("},\"histograms\":{").append(histograms).append("}}");
+  return out;
+}
+
+Metrics& Metrics::Default() {
+  static Metrics instance;
+  return instance;
+}
+
+Counter* Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Metrics::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.name = name;
+    sample.value = counter->value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.name = name;
+    sample.value = gauge->value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSample sample;
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.name = name;
+    sample.count = hist->count();
+    sample.sum = hist->sum();
+    sample.max = hist->max();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      int64_t n = hist->bucket(i);
+      if (n > 0) sample.buckets.emplace_back(static_cast<uint32_t>(i), n);
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return snapshot;
+}
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->v_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->v_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, hist] : histograms_) {
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      hist->buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    hist->count_.store(0, std::memory_order_relaxed);
+    hist->sum_.store(0, std::memory_order_relaxed);
+    hist->max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t Metrics::NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SlowOpLog& SlowOpLog::Default() {
+  static SlowOpLog instance = [] {
+    int64_t threshold_us = 100 * 1000;  // 100ms
+    if (const char* env = std::getenv("PQIDX_SLOW_OP_US")) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(env, &end, 10);
+      if (end != env) threshold_us = parsed;
+    }
+    return SlowOpLog(threshold_us);
+  }();
+  return instance;
+}
+
+void SlowOpLog::Report(std::string_view op, int64_t total_us,
+                       std::string_view detail) {
+  int64_t threshold = threshold_us();
+  if (threshold <= 0 || total_us < threshold) return;
+  ForceReport(op, total_us, detail);
+}
+
+void SlowOpLog::ForceReport(std::string_view op, int64_t total_us,
+                            std::string_view detail) {
+  std::fprintf(stderr, "pqidx slow-op: %.*s %lldus %.*s\n",
+               static_cast<int>(op.size()), op.data(),
+               static_cast<long long>(total_us),
+               static_cast<int>(detail.size()), detail.data());
+  Entry entry{std::string(op), total_us, std::string(detail)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kRingCapacity) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+    next_ = (next_ + 1) % kRingCapacity;
+    ++dropped_;
+  }
+}
+
+std::vector<SlowOpLog::Entry> SlowOpLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Oldest first: once the ring wraps, next_ points at the oldest slot.
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<ptrdiff_t>(next_));
+  return out;
+}
+
+void SlowOpLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace pqidx

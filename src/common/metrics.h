@@ -1,0 +1,269 @@
+// Process-wide, lock-cheap observability registry: named counters,
+// gauges, and power-of-2-bucket latency histograms, plus a ScopedTimer
+// RAII helper and a slow-operation log.
+//
+// Design (docs/ARCHITECTURE.md, "Observability"):
+//
+//   * the hot path is wait-free: Counter::Add, Gauge::Set and
+//     Histogram::Record are relaxed atomic operations on pre-registered
+//     cells -- no locks, no allocation, no string hashing. The
+//     registry's mutex is only taken at registration time (once per
+//     call site, pointers are stable for the registry's lifetime) and
+//     when a snapshot is cut;
+//   * histograms use fixed power-of-2 buckets: value v lands in bucket
+//     bit_width(v) (0 stays in bucket 0), so bucket i > 0 covers
+//     [2^(i-1), 2^i - 1]. Quantiles report the upper bound of the
+//     bucket holding the target rank -- deterministic, and never an
+//     underestimate, which is the right bias for latency SLO checks;
+//   * exposition is deterministic: Snapshot() sorts samples by name,
+//     and ToText()/ToJson() are pure functions of the snapshot, so
+//     goldens in tests and diffs between BENCH_*.json artifacts are
+//     stable;
+//   * a global kill switch (set_enabled(false)) turns Record and the
+//     ScopedTimer clock reads into no-ops, which is how
+//     bench_service_loadgen measures the instrumentation overhead
+//     itself.
+//
+// Components instrument against Metrics::Default(); tests that need
+// golden output build their own Metrics instance instead.
+
+#ifndef PQIDX_COMMON_METRICS_H_
+#define PQIDX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pqidx {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Metrics;
+  Counter() = default;
+  std::atomic<int64_t> v_{0};
+};
+
+// Point-in-time level (queue depth, epoch, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Metrics;
+  Gauge() = default;
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed power-of-2 bucket histogram. Bucket 0 holds values <= 0;
+// bucket i in [1, kNumBuckets-2] holds [2^(i-1), 2^i - 1]; the last
+// bucket holds everything at or above 2^(kNumBuckets-2).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  // The bucket `value` lands in.
+  static int BucketIndex(int64_t value);
+  // Largest value of bucket `index` (INT64_MAX for the overflow
+  // bucket); quantiles report this bound.
+  static int64_t BucketUpperBound(int index);
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t bucket(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  // Upper bound of the bucket holding the rank-ceil(q * count) value
+  // (q in [0, 1]); 0 when the histogram is empty. Deterministic for a
+  // fixed set of recorded values.
+  int64_t Quantile(double q) const;
+
+ private:
+  friend class Metrics;
+  Histogram() = default;
+
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// One metric in a snapshot. For histograms, `buckets` holds the
+// non-empty buckets as (bucket index, count) pairs in index order.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  int64_t value = 0;  // counter/gauge value; unused for histograms
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+  std::vector<std::pair<uint32_t, int64_t>> buckets;
+
+  // Histogram quantile from the sampled buckets (same semantics as
+  // Histogram::Quantile); 0 for counters/gauges.
+  int64_t Quantile(double q) const;
+
+  bool operator==(const MetricSample& other) const;
+};
+
+// A consistent-enough point-in-time copy of a registry: samples sorted
+// by (name, kind), so exposition is deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(std::string_view name) const;
+
+  // One line per metric:
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   histogram <name> count=N sum=S max=M p50=A p95=B p99=C
+  std::string ToText() const;
+  // {"counters":{...},"gauges":{...},"histograms":{"n":{"count":...,
+  // "sum":...,"max":...,"p50":...,"p95":...,"p99":...,
+  // "buckets":{"<upper bound>":count,...}}}} -- keys sorted, no
+  // whitespace, stable across runs.
+  std::string ToJson() const;
+
+  bool operator==(const MetricsSnapshot& other) const {
+    return samples == other.samples;
+  }
+};
+
+// The registry. Lookup-or-register by name; returned pointers stay
+// valid for the registry's lifetime. Names are independent per kind
+// (but instrumentation should not reuse a name across kinds).
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // The process-wide registry every component instruments against.
+  static Metrics& Default();
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (registrations survive). Test aid;
+  // do not call while other threads are recording.
+  void Reset();
+
+  // Global instrumentation kill switch: when off, Histogram::Record via
+  // ScopedTimer and the timer's clock reads are skipped. Counters and
+  // gauges stay live (they are single relaxed adds; the switch exists
+  // to measure the timing overhead, which is where the cost is).
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Monotonic clock in microseconds (steady, comparable across calls
+  // within the process).
+  static int64_t NowUs();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  static std::atomic<bool> enabled_;
+};
+
+// Records the scope's wall time, in microseconds, into a histogram on
+// destruction. A null histogram or a disabled registry makes it a
+// no-op (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(Metrics::enabled() ? hist : nullptr),
+        start_us_(hist_ != nullptr ? Metrics::NowUs() : 0) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(Metrics::NowUs() - start_us_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Microseconds since construction (0 when disabled).
+  int64_t ElapsedUs() const {
+    return hist_ != nullptr ? Metrics::NowUs() - start_us_ : 0;
+  }
+
+ private:
+  Histogram* hist_;
+  int64_t start_us_;
+};
+
+// Slow-operation log: operations over a threshold log their phase
+// breakdown to stderr and into a bounded in-memory ring (tests read
+// the ring). The default instance's threshold comes from the
+// PQIDX_SLOW_OP_US environment variable (microseconds; default 100ms;
+// <= 0 disables).
+class SlowOpLog {
+ public:
+  static constexpr size_t kRingCapacity = 128;
+
+  struct Entry {
+    std::string op;
+    int64_t total_us = 0;
+    std::string detail;  // phase breakdown, "delta_us=12 storage_us=80 ..."
+  };
+
+  explicit SlowOpLog(int64_t threshold_us) : threshold_us_(threshold_us) {}
+
+  static SlowOpLog& Default();
+
+  int64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+  void set_threshold_us(int64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+
+  // Logs when `total_us` >= the threshold (and the threshold is > 0).
+  void Report(std::string_view op, int64_t total_us,
+              std::string_view detail);
+  // Logs unconditionally: for callers that apply their own threshold
+  // (ServerOptions::slow_op_us overrides the log's).
+  void ForceReport(std::string_view op, int64_t total_us,
+                   std::string_view detail);
+
+  std::vector<Entry> Entries() const;
+  void Clear();
+
+ private:
+  std::atomic<int64_t> threshold_us_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> ring_;  // newest appended; bounded to kRingCapacity
+  size_t next_ = 0;          // ring write position once full
+  int64_t dropped_ = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_METRICS_H_

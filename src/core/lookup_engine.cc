@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace pqidx {
 namespace {
 
@@ -40,6 +42,31 @@ int64_t MinQualifyingOverlap(double tau, int64_t u) {
 inline bool RanksBefore(const LookupResult& a, const LookupResult& b) {
   return a.distance < b.distance ||
          (a.distance == b.distance && a.tree_id < b.tree_id);
+}
+
+// Folds one query's work accounting into the "lookup_engine.*" registry
+// cells and records its latency.
+void RecordQueryMetrics(const LookupEngineStats& stats, int64_t start_us) {
+  static Counter* const m_queries =
+      Metrics::Default().counter("lookup_engine.queries");
+  static Counter* const m_candidates =
+      Metrics::Default().counter("lookup_engine.candidates");
+  static Counter* const m_pruned =
+      Metrics::Default().counter("lookup_engine.candidates_pruned");
+  static Counter* const m_scored =
+      Metrics::Default().counter("lookup_engine.candidates_scored");
+  static Counter* const m_postings =
+      Metrics::Default().counter("lookup_engine.postings_scanned");
+  static Histogram* const m_query_us =
+      Metrics::Default().histogram("lookup_engine.query_us");
+  m_queries->Increment();
+  m_candidates->Add(stats.candidates);
+  m_pruned->Add(stats.pruned);
+  m_scored->Add(stats.scored);
+  m_postings->Add(stats.postings_scanned);
+  if (Metrics::enabled()) {
+    m_query_us->Record(Metrics::NowUs() - start_us);
+  }
 }
 
 }  // namespace
@@ -90,6 +117,11 @@ std::shared_ptr<const LookupEngine> LookupEngine::Compile(
     const PqShape& shape, const std::vector<TreeId>& tree_ids,
     const std::vector<int64_t>& tree_sizes, std::vector<RawPosting> raw,
     int num_shards) {
+  static Counter* const m_builds =
+      Metrics::Default().counter("lookup_engine.builds");
+  static Histogram* const m_build_us =
+      Metrics::Default().histogram("lookup_engine.build_us");
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   // Private constructor; the factory idiom owns the allocation directly.
   std::shared_ptr<LookupEngine> engine(new LookupEngine());
   engine->shape_ = shape;
@@ -162,6 +194,10 @@ std::shared_ptr<const LookupEngine> LookupEngine::Compile(
     engine->posting_entries_ += static_cast<int64_t>(part.size());
     part.clear();
     part.shrink_to_fit();
+  }
+  m_builds->Increment();
+  if (Metrics::enabled()) {
+    m_build_us->Record(Metrics::NowUs() - start_us);
   }
   return engine;
 }
@@ -296,6 +332,7 @@ std::vector<LookupResult> LookupEngine::Lookup(
   // `distance <= tau` test; deciding it up front keeps hostile tau
   // values (-inf, -1e308, NaN) out of the scoring machinery.
   if (!(tau >= 0.0)) return {};
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   const std::vector<QueryTuple> tuples = QueryTuples(query);
   const size_t shard_count = shards_.size();
   std::vector<std::vector<LookupResult>> parts(shard_count);
@@ -320,9 +357,10 @@ std::vector<LookupResult> LookupEngine::Lookup(
     results.insert(results.end(), part.begin(), part.end());
   }
   std::sort(results.begin(), results.end(), RanksBefore);
-  if (stats != nullptr) {
-    for (const LookupEngineStats& part : part_stats) *stats += part;
-  }
+  LookupEngineStats folded;
+  for (const LookupEngineStats& part : part_stats) folded += part;
+  RecordQueryMetrics(folded, start_us);
+  if (stats != nullptr) *stats += folded;
   return results;
 }
 
@@ -423,6 +461,7 @@ std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
   PQIDX_CHECK_MSG(query.shape() == shape_,
                   "query shape does not match lookup engine shape");
   if (k <= 0) return {};
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   const std::vector<QueryTuple> tuples = QueryTuples(query);
   LookupEngineStats local_stats;
   std::vector<LookupResult> merged;
@@ -451,6 +490,7 @@ std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
   if (static_cast<int>(merged.size()) > k) {
     merged.resize(static_cast<size_t>(k));
   }
+  RecordQueryMetrics(local_stats, start_us);
   if (stats != nullptr) *stats += local_stats;
   return merged;
 }

@@ -149,6 +149,17 @@ StatusOr<ServiceStats> Client::Stats() {
   return stats;
 }
 
+StatusOr<MetricsSnapshot> Client::StatsSnapshot() {
+  std::string body;
+  PQIDX_RETURN_IF_ERROR(RoundTrip(MessageType::kStatsSnapshot,
+                                  std::string_view(), &body));
+  ByteReader reader(body);
+  StatusOr<MetricsSnapshot> snapshot = DecodeMetricsSnapshot(&reader);
+  PQIDX_RETURN_IF_ERROR(snapshot.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after payload");
+  return snapshot;
+}
+
 void Client::Close() {
   if (connection_ != nullptr) connection_->Close();
 }

@@ -71,6 +71,11 @@ class Client {
 
   StatusOr<ServiceStats> Stats();
 
+  // The server's full observability registry (kStatsSnapshot): every
+  // counter/gauge/histogram, including per-opcode latency histograms
+  // and the ApplyBatch phase split.
+  StatusOr<MetricsSnapshot> StatsSnapshot();
+
   // Shuts the connection down; everything after fails. Idempotent.
   void Close();
 

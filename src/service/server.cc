@@ -17,6 +17,26 @@ std::string StatusPayload(const Status& status) {
   return writer.Release();
 }
 
+// Registry/slow-op-log name of one opcode.
+const char* OpcodeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPing:
+      return "ping";
+    case MessageType::kLookup:
+      return "lookup";
+    case MessageType::kAddTree:
+      return "add_tree";
+    case MessageType::kApplyEdits:
+      return "apply_edits";
+    case MessageType::kStats:
+      return "stats";
+    case MessageType::kStatsSnapshot:
+      return "stats_snapshot";
+  }
+  PQIDX_CHECK_MSG(false, "unreachable message type");
+  return "";
+}
+
 }  // namespace
 
 Server::Server(PersistentForestIndex* index, ServerOptions options)
@@ -26,6 +46,25 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   PQIDX_CHECK(options_.max_group_commit >= 1);
   PQIDX_CHECK(options_.lookup_threads >= 0);
   PQIDX_CHECK(options_.lookup_shards >= 0);
+  Metrics& metrics = Metrics::Default();
+  for (uint8_t t = static_cast<uint8_t>(MessageType::kPing);
+       t <= static_cast<uint8_t>(MessageType::kStatsSnapshot); ++t) {
+    m_request_us_[t] = metrics.histogram(
+        std::string("server.") + OpcodeName(static_cast<MessageType>(t)) +
+        "_us");
+  }
+  m_batch_edits_ = metrics.histogram("server.group_commit_batch");
+  m_rebuild_us_ = metrics.histogram("server.snapshot_rebuild_us");
+  m_queue_depth_ = metrics.gauge("server.write_queue_depth");
+  m_active_connections_ = metrics.gauge("server.active_connections");
+  m_snapshot_epoch_ = metrics.gauge("server.snapshot_epoch");
+  m_lookups_ = metrics.counter("server.lookups");
+  m_edits_applied_ = metrics.counter("server.edits_applied");
+  m_edit_commits_ = metrics.counter("server.edit_commits");
+  m_rejected_ = metrics.counter("server.rejected");
+  m_protocol_errors_ = metrics.counter("server.protocol_errors");
+  slow_us_ = options_.slow_op_us != 0 ? options_.slow_op_us
+                                      : SlowOpLog::Default().threshold_us();
 }
 
 Server::~Server() { Stop(); }
@@ -68,6 +107,8 @@ void Server::PublishEngine() {
   snapshot_epoch_.fetch_add(1);
   last_rebuild_us_.store(us);
   snapshot_rebuild_us_.fetch_add(us);
+  m_snapshot_epoch_->Set(snapshot_epoch_.load());
+  if (Metrics::enabled()) m_rebuild_us_->Record(us);
 }
 
 void Server::Stop() {
@@ -116,6 +157,7 @@ void Server::AcceptLoop() {
       // Admission control: reject before reading anything. request_id 0
       // marks a connection-level rejection (no request carries id 0).
       rejected_.fetch_add(1);
+      m_rejected_->Increment();
       FrameHeader header;
       header.type = MessageType::kPing;
       header.flags = kFrameFlagResponse;
@@ -128,6 +170,7 @@ void Server::AcceptLoop() {
       continue;
     }
     active_connections_.fetch_add(1);
+    m_active_connections_->Set(active_connections_.load());
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
       std::erase_if(connections_,
@@ -150,6 +193,7 @@ void Server::HandleConnection(std::shared_ptr<Connection> conn) {
       if (received.code() != StatusCode::kOutOfRange &&
           !stopped_.load()) {
         protocol_errors_.fetch_add(1);
+        m_protocol_errors_->Increment();
       }
       break;
     }
@@ -162,6 +206,7 @@ void Server::HandleConnection(std::shared_ptr<Connection> conn) {
       // The stream cannot be resynchronized after a bad header: report
       // the error on request_id 0 and drop the connection.
       protocol_errors_.fetch_add(1);
+      m_protocol_errors_->Increment();
       FrameHeader error_header;
       error_header.type = MessageType::kPing;
       error_header.flags = kFrameFlagResponse;
@@ -175,11 +220,27 @@ void Server::HandleConnection(std::shared_ptr<Connection> conn) {
     if (header.payload_size > 0) {
       Status body = conn->ReceiveExact(header.payload_size, &payload);
       if (!body.ok()) {
-        if (!stopped_.load()) protocol_errors_.fetch_add(1);
+        if (!stopped_.load()) {
+          protocol_errors_.fetch_add(1);
+          m_protocol_errors_->Increment();
+        }
         break;
       }
     }
+    const int64_t request_start_us =
+        Metrics::enabled() ? Metrics::NowUs() : 0;
     std::string response = HandleRequest(header.type, payload);
+    if (Metrics::enabled()) {
+      const int64_t us = Metrics::NowUs() - request_start_us;
+      m_request_us_[static_cast<uint8_t>(header.type)]->Record(us);
+      if (slow_us_ > 0 && us >= slow_us_) {
+        // ForceReport: slow_us_ (ServerOptions::slow_op_us) is this
+        // server's threshold; the default log's must not re-filter.
+        SlowOpLog::Default().ForceReport(
+            std::string("server.") + OpcodeName(header.type), us,
+            "payload_bytes=" + std::to_string(payload.size()));
+      }
+    }
     FrameHeader response_header;
     response_header.type = header.type;
     response_header.flags = kFrameFlagResponse;
@@ -189,6 +250,7 @@ void Server::HandleConnection(std::shared_ptr<Connection> conn) {
   }
   conn->Close();
   active_connections_.fetch_sub(1);
+  m_active_connections_->Set(active_connections_.load());
 }
 
 std::string Server::HandleRequest(MessageType type,
@@ -204,6 +266,8 @@ std::string Server::HandleRequest(MessageType type,
       return HandleApplyEdits(payload);
     case MessageType::kStats:
       return HandleStats();
+    case MessageType::kStatsSnapshot:
+      return HandleStatsSnapshot(payload);
   }
   // DecodeFrameHeader admits only the enumerated types.
   PQIDX_CHECK_MSG(false, "unreachable message type");
@@ -214,6 +278,7 @@ std::string Server::HandleLookup(std::string_view payload) {
   StatusOr<LookupRequest> request = LookupRequest::Decode(payload);
   if (!request.ok()) {
     protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
     return StatusPayload(request.status());
   }
   // LookupEngine::Lookup CHECK-fails on a shape mismatch; a remote
@@ -229,6 +294,7 @@ std::string Server::HandleLookup(std::string_view payload) {
   response.results = engine->Lookup(request->query, request->tau,
                                     lookup_pool_.get(), &engine_stats);
   lookups_.fetch_add(1);
+  m_lookups_->Increment();
   candidates_pruned_.fetch_add(engine_stats.pruned);
   candidates_scored_.fetch_add(engine_stats.scored);
   ByteWriter writer;
@@ -241,6 +307,7 @@ std::string Server::HandleAddTree(std::string_view payload) {
   StatusOr<AddTreeRequest> request = AddTreeRequest::Decode(payload);
   if (!request.ok()) {
     protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
     return StatusPayload(request.status());
   }
   if (!(request->bag.shape() == replica_.shape())) {
@@ -257,6 +324,7 @@ std::string Server::HandleApplyEdits(std::string_view payload) {
   StatusOr<ApplyEditsRequest> request = ApplyEditsRequest::Decode(payload);
   if (!request.ok()) {
     protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
     return StatusPayload(request.status());
   }
   if (!(request->plus.shape() == replica_.shape()) ||
@@ -278,13 +346,30 @@ std::string Server::HandleStats() {
   return writer.Release();
 }
 
+std::string Server::HandleStatsSnapshot(std::string_view payload) {
+  // The request carries no body; reject anything else so a confused
+  // client fails loudly instead of having bytes silently ignored.
+  if (!payload.empty()) {
+    protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
+    return StatusPayload(
+        InvalidArgumentError("stats snapshot request carries a payload"));
+  }
+  ByteWriter writer;
+  EncodeStatus(Status::Ok(), &writer);
+  EncodeMetricsSnapshot(Metrics::Default().Snapshot(), &writer);
+  return writer.Release();
+}
+
 Status Server::SubmitEdit(PendingEdit* edit) {
   std::unique_lock<std::mutex> lock(write_mutex_);
   if (static_cast<int>(write_queue_.size()) >= options_.max_write_queue) {
     rejected_.fetch_add(1);
+    m_rejected_->Increment();
     return UnavailableError("write queue full");
   }
   write_queue_.push_back(edit);
+  m_queue_depth_->Set(static_cast<int64_t>(write_queue_.size()));
   for (;;) {
     if (edit->done) return edit->result;
     if (!leader_active_ && !write_queue_.empty()) {
@@ -304,6 +389,7 @@ Status Server::SubmitEdit(PendingEdit* edit) {
         batch.push_back(write_queue_.front());
         write_queue_.pop_front();
       }
+      m_queue_depth_->Set(static_cast<int64_t>(write_queue_.size()));
       lock.unlock();
       CommitBatch(batch);
       lock.lock();
@@ -317,7 +403,9 @@ Status Server::SubmitEdit(PendingEdit* edit) {
 }
 
 void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
-  const int64_t applied = CommitBatchLocked(batch);
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+  PersistentForestIndex::ApplyBatchTimings timings;
+  const int64_t applied = CommitBatchLocked(batch, &timings);
   if (applied == 0) return;  // replica unchanged: keep the old snapshot
   // Publish the batch to readers: compile a fresh snapshot from the
   // updated replica and swap it in. Readers already scoring on the old
@@ -329,12 +417,32 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
   PublishEngine();
   edits_applied_.fetch_add(applied);
   edit_commits_.fetch_add(1);
+  m_edits_applied_->Add(applied);
+  m_edit_commits_->Increment();
   int64_t seen = max_batch_.load();
   while (applied > seen && !max_batch_.compare_exchange_weak(seen, applied)) {
   }
+  if (Metrics::enabled()) {
+    m_batch_edits_->Record(applied);
+    const int64_t total_us = Metrics::NowUs() - start_us;
+    if (slow_us_ > 0 && total_us >= slow_us_) {
+      // The leader's phase breakdown: store apply split + snapshot
+      // publish, which together dominate a slow commit.
+      SlowOpLog::Default().ForceReport(
+          "server.commit_batch", total_us,
+          "batch=" + std::to_string(applied) +
+              " validate_us=" + std::to_string(timings.validate_us) +
+              " delta_us=" + std::to_string(timings.delta_us) +
+              " update_us=" + std::to_string(timings.update_us) +
+              " storage_us=" + std::to_string(timings.storage_us) +
+              " publish_us=" + std::to_string(last_rebuild_us_.load()));
+    }
+  }
 }
 
-int64_t Server::CommitBatchLocked(const std::vector<PendingEdit*>& batch) {
+int64_t Server::CommitBatchLocked(
+    const std::vector<PendingEdit*>& batch,
+    PersistentForestIndex::ApplyBatchTimings* timings) {
   // Validation, commit, and replica update run with the index
   // exclusively locked: the replica and the persistent store change
   // together or not at all.
@@ -400,7 +508,7 @@ int64_t Server::CommitBatchLocked(const std::vector<PendingEdit*>& batch) {
   if (edits.empty()) return 0;  // nothing valid: nothing to commit
 
   std::vector<Status> results;
-  Status committed = index_->ApplyBatch(edits, &results);
+  Status committed = index_->ApplyBatch(edits, &results, timings);
   int64_t applied = 0;
   for (size_t j = 0; j < edits.size(); ++j) {
     PendingEdit& edit = *batch[edit_to_batch[j]];

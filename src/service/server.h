@@ -70,6 +70,12 @@ struct ServerOptions {
   // in the handler thread (throughput then comes purely from concurrent
   // connections, which is usually the right trade for small queries).
   int lookup_threads = 0;
+  // Slow-op threshold in microseconds: requests and group commits at or
+  // over it log their phase breakdown through SlowOpLog::Default()
+  // (common/metrics.h). 0 inherits that log's threshold (the
+  // PQIDX_SLOW_OP_US environment variable, default 100ms); negative
+  // disables slow-op logging for this server.
+  int64_t slow_op_us = 0;
   // Shards the lookup snapshot is compiled into; 0 derives a default
   // from lookup_threads. Results never depend on the shard count.
   //
@@ -121,6 +127,7 @@ class Server {
   std::string HandleAddTree(std::string_view payload);
   std::string HandleApplyEdits(std::string_view payload);
   std::string HandleStats();
+  std::string HandleStatsSnapshot(std::string_view payload);
 
   // Group commit: blocks until `edit` is durable (or rejected) and
   // returns its result. The calling thread may serve as batch leader.
@@ -128,8 +135,11 @@ class Server {
   void CommitBatch(const std::vector<PendingEdit*>& batch);
   // The store-and-replica mutation half of CommitBatch, run under
   // index_mutex_ held exclusively; returns how many edits were applied
-  // (0 when the replica is unchanged).
-  int64_t CommitBatchLocked(const std::vector<PendingEdit*>& batch);
+  // (0 when the replica is unchanged). `timings` receives the store's
+  // ApplyBatch phase split for the slow-op log.
+  int64_t CommitBatchLocked(
+      const std::vector<PendingEdit*>& batch,
+      PersistentForestIndex::ApplyBatchTimings* timings);
 
   // The current lookup snapshot (never null after Start()).
   std::shared_ptr<const LookupEngine> EngineSnapshot() const;
@@ -183,6 +193,25 @@ class Server {
   std::atomic<int64_t> candidates_scored_{0};
   std::atomic<int64_t> snapshot_rebuild_us_{0};
   std::atomic<int64_t> last_rebuild_us_{0};
+
+  // Registry cells (common/metrics.h, "server.*"): the per-server
+  // atomics above stay authoritative for ServiceStats (a binary may run
+  // several servers); these mirror the same events into the
+  // process-wide registry, plus per-opcode latency histograms indexed
+  // by MessageType value.
+  Histogram* m_request_us_[8] = {};
+  Histogram* m_batch_edits_;
+  Histogram* m_rebuild_us_;
+  Gauge* m_queue_depth_;
+  Gauge* m_active_connections_;
+  Gauge* m_snapshot_epoch_;
+  Counter* m_lookups_;
+  Counter* m_edits_applied_;
+  Counter* m_edit_commits_;
+  Counter* m_rejected_;
+  Counter* m_protocol_errors_;
+  // Resolved slow-op threshold (<= 0: disabled).
+  int64_t slow_us_ = 0;
 };
 
 }  // namespace pqidx

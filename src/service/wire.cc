@@ -68,7 +68,7 @@ Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
   uint8_t type;
   PQIDX_RETURN_IF_ERROR(reader.GetU8(&type));
   if (type < static_cast<uint8_t>(MessageType::kPing) ||
-      type > static_cast<uint8_t>(MessageType::kStats)) {
+      type > static_cast<uint8_t>(MessageType::kStatsSnapshot)) {
     return DataLossError("unknown message type");
   }
   uint8_t flags;
@@ -218,6 +218,85 @@ void ServiceStats::Encode(ByteWriter* writer) const {
   writer->PutSignedVarint(candidates_scored);
   writer->PutSignedVarint(snapshot_rebuild_us);
   writer->PutSignedVarint(last_rebuild_us);
+}
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot,
+                           ByteWriter* writer) {
+  writer->PutVarint(snapshot.samples.size());
+  for (const MetricSample& sample : snapshot.samples) {
+    writer->PutU8(static_cast<uint8_t>(sample.kind));
+    writer->PutString(sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        writer->PutSignedVarint(sample.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        writer->PutSignedVarint(sample.count);
+        writer->PutSignedVarint(sample.sum);
+        writer->PutSignedVarint(sample.max);
+        writer->PutVarint(sample.buckets.size());
+        for (const auto& [index, count] : sample.buckets) {
+          writer->PutVarint(index);
+          writer->PutSignedVarint(count);
+        }
+        break;
+    }
+  }
+}
+
+StatusOr<MetricsSnapshot> DecodeMetricsSnapshot(ByteReader* reader) {
+  uint64_t num_samples;
+  PQIDX_RETURN_IF_ERROR(reader->GetVarint(&num_samples));
+  // A sample costs >= 3 bytes (kind, empty name, one varint); a count
+  // the payload cannot hold is corrupt and must not drive a reserve().
+  if (num_samples > reader->remaining() / 3 + 1) {
+    return DataLossError("metric sample count exceeds payload");
+  }
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(num_samples);
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    MetricSample sample;
+    uint8_t kind;
+    PQIDX_RETURN_IF_ERROR(reader->GetU8(&kind));
+    if (kind > static_cast<uint8_t>(MetricSample::Kind::kHistogram)) {
+      return DataLossError("unknown metric kind");
+    }
+    sample.kind = static_cast<MetricSample::Kind>(kind);
+    PQIDX_RETURN_IF_ERROR(reader->GetString(&sample.name));
+    if (sample.kind != MetricSample::Kind::kHistogram) {
+      PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&sample.value));
+    } else {
+      PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&sample.count));
+      PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&sample.sum));
+      PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&sample.max));
+      if (sample.count < 0) return DataLossError("negative sample count");
+      uint64_t num_buckets;
+      PQIDX_RETURN_IF_ERROR(reader->GetVarint(&num_buckets));
+      if (num_buckets > static_cast<uint64_t>(Histogram::kNumBuckets)) {
+        return DataLossError("histogram bucket count out of range");
+      }
+      sample.buckets.reserve(num_buckets);
+      uint64_t prev_index = 0;
+      for (uint64_t b = 0; b < num_buckets; ++b) {
+        uint64_t index;
+        int64_t count;
+        PQIDX_RETURN_IF_ERROR(reader->GetVarint(&index));
+        PQIDX_RETURN_IF_ERROR(reader->GetSignedVarint(&count));
+        if (index >= static_cast<uint64_t>(Histogram::kNumBuckets)) {
+          return DataLossError("histogram bucket index out of range");
+        }
+        if (b > 0 && index <= prev_index) {
+          return DataLossError("histogram bucket indices not ascending");
+        }
+        if (count <= 0) return DataLossError("non-positive bucket count");
+        prev_index = index;
+        sample.buckets.emplace_back(static_cast<uint32_t>(index), count);
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
 }
 
 StatusOr<ServiceStats> ServiceStats::Decode(ByteReader* reader) {

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "common/status.h"
 #include "core/forest_index.h"
@@ -51,6 +52,7 @@ enum class MessageType : uint8_t {
   kAddTree = 3,
   kApplyEdits = 4,
   kStats = 5,
+  kStatsSnapshot = 6,  // full metrics registry (common/metrics.h)
 };
 
 inline constexpr uint8_t kFrameFlagResponse = 0x01;
@@ -139,6 +141,17 @@ struct ServiceStats {
   void Encode(ByteWriter* writer) const;
   static StatusOr<ServiceStats> Decode(ByteReader* reader);
 };
+
+// The full observability registry for kStatsSnapshot responses: every
+// counter/gauge/histogram the process registered (common/metrics.h),
+// including per-opcode latency histograms and the ApplyBatch phase
+// split. A kStatsSnapshot *request* carries an empty payload. The
+// decoder treats its input as untrusted: sample counts are bounded by
+// the remaining bytes and histogram bucket indices by
+// Histogram::kNumBuckets.
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot,
+                           ByteWriter* writer);
+StatusOr<MetricsSnapshot> DecodeMetricsSnapshot(ByteReader* reader);
 
 }  // namespace pqidx
 

@@ -38,7 +38,17 @@ bool ReadRaw(std::FILE* file, void* data, size_t size) {
 
 }  // namespace
 
-Pager::Pager(int pool_pages) : pool_capacity_(std::max(pool_pages, 8)) {}
+Pager::Pager(int pool_pages)
+    : pool_capacity_(std::max(pool_pages, 8)),
+      m_cache_hits_(Metrics::Default().counter("pager.cache_hits")),
+      m_cache_misses_(Metrics::Default().counter("pager.cache_misses")),
+      m_commits_(Metrics::Default().counter("pager.commits")),
+      m_fsyncs_(Metrics::Default().counter("pager.fsyncs")),
+      m_wal_bytes_(Metrics::Default().counter("pager.wal_bytes")),
+      m_wal_replays_(Metrics::Default().counter("pager.wal_replays")),
+      m_wal_discards_(Metrics::Default().counter("pager.wal_discards")),
+      m_commit_us_(Metrics::Default().histogram("pager.commit_us")),
+      m_replay_us_(Metrics::Default().histogram("pager.replay_us")) {}
 
 Pager::~Pager() {
   if (file_ != nullptr) {
@@ -53,6 +63,12 @@ bool Pager::WriteRawChecked(std::FILE* file, const void* data,
     --fail_after_writes_;
   }
   return WriteRaw(file, data, size);
+}
+
+Status Pager::SyncCounted(std::FILE* file) {
+  ++fsyncs_;
+  m_fsyncs_->Increment();
+  return SyncFile(file);
 }
 
 Status Pager::PoisonedError() const {
@@ -131,12 +147,14 @@ StatusOr<Pager::Frame*> Pager::GetFrame(PageId id, bool fetch_from_disk) {
   auto it = pool_.find(id);
   if (it != pool_.end()) {
     ++cache_hits_;
+    m_cache_hits_->Increment();
     lru_.erase(it->second.lru_pos);
     lru_.push_front(id);
     it->second.lru_pos = lru_.begin();
     return &it->second;
   }
   ++cache_misses_;
+  m_cache_misses_->Increment();
   PQIDX_RETURN_IF_ERROR(EvictIfNeeded());
   Frame& frame = pool_[id];
   frame.data.assign(kPageSize, 0);
@@ -217,9 +235,17 @@ StatusOr<std::vector<PageId>> Pager::WriteWal() {
        WriteRawChecked(wal, &num_records, sizeof(num_records)) &&
        WriteRawChecked(wal, &page_count_, sizeof(page_count_)) &&
        WriteRawChecked(wal, &seal_checksum, sizeof(seal_checksum));
-  Status sync = SyncFile(wal);
+  Status sync = SyncCounted(wal);
   std::fclose(wal);
   if (!ok || !sync.ok()) return IoError("WAL write failed");
+  int64_t bytes =
+      static_cast<int64_t>(sizeof(kWalMagic)) +
+      static_cast<int64_t>(dirty.size()) *
+          (sizeof(PageId) + sizeof(uint64_t) + kPageSize) +
+      sizeof(kSealMagic) + sizeof(num_records) + sizeof(page_count_) +
+      sizeof(seal_checksum);
+  wal_bytes_ += bytes;
+  m_wal_bytes_->Add(bytes);
   return dirty;
 }
 
@@ -237,6 +263,7 @@ Status Pager::ApplyDirtyInPlace(const std::vector<PageId>& dirty,
 Status Pager::Commit() {
   PQIDX_CHECK(file_ != nullptr);
   if (poisoned_) return PoisonedError();
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   StatusOr<std::vector<PageId>> dirty = WriteWal();
   if (!dirty.ok()) {
     // The WAL never sealed: nothing durable happened, but the sidecar
@@ -248,7 +275,7 @@ Status Pager::Commit() {
     return Status::Ok();
   }
   Status applied = ApplyDirtyInPlace(*dirty, /*limit=*/-1);
-  Status synced = applied.ok() ? SyncFile(file_) : applied;
+  Status synced = applied.ok() ? SyncCounted(file_) : applied;
   if (!synced.ok()) {
     // The WAL is sealed, the main file may be torn: durable but not
     // usable in-process. Poison; reopen replays the WAL.
@@ -261,6 +288,10 @@ Status Pager::Commit() {
   }
   committed_page_count_ = page_count_;
   ++commits_;
+  m_commits_->Increment();
+  if (Metrics::enabled()) {
+    m_commit_us_->Record(Metrics::NowUs() - start_us);
+  }
   return Status::Ok();
 }
 
@@ -291,6 +322,7 @@ Status Pager::CommitWithCrash(CrashPoint point) {
 Status Pager::ReplayOrDiscardWal() {
   std::FILE* wal = std::fopen(WalPath().c_str(), "rb");
   if (wal == nullptr) return Status::Ok();  // no WAL: clean shutdown
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
 
   struct Record {
     PageId id;
@@ -366,7 +398,17 @@ Status Pager::ReplayOrDiscardWal() {
         }
       }
     }
-    PQIDX_RETURN_IF_ERROR(SyncFile(file_));
+    PQIDX_RETURN_IF_ERROR(SyncCounted(file_));
+  }
+  if (sealed) {
+    ++wal_replays_;
+    m_wal_replays_->Increment();
+    if (Metrics::enabled()) {
+      m_replay_us_->Record(Metrics::NowUs() - start_us);
+    }
+  } else {
+    ++wal_discards_;
+    m_wal_discards_->Increment();
   }
   // Sealed and applied, or unsealed and discarded: either way, drop it.
   std::remove(WalPath().c_str());

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace pqidx {
@@ -93,6 +94,15 @@ class Pager {
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_misses() const { return cache_misses_; }
 
+  // Per-instance recovery/durability accounting (also mirrored into the
+  // process-wide Metrics::Default() registry under "pager.*").
+  int64_t fsyncs() const { return fsyncs_; }
+  int64_t wal_bytes() const { return wal_bytes_; }
+  // WALs replayed (sealed -> applied) / discarded (unsealed or torn) by
+  // Open() on this instance.
+  int64_t wal_replays() const { return wal_replays_; }
+  int64_t wal_discards() const { return wal_discards_; }
+
  private:
   struct Frame {
     std::vector<uint8_t> data;
@@ -104,6 +114,8 @@ class Pager {
 
   // Raw write with the failure-injection hook.
   bool WriteRawChecked(std::FILE* file, const void* data, size_t size);
+  // fflush + fsync, counted into fsyncs_ and the registry.
+  Status SyncCounted(std::FILE* file);
   Status PoisonedError() const;
 
   StatusOr<Frame*> GetFrame(PageId id, bool fetch_from_disk);
@@ -128,6 +140,22 @@ class Pager {
   bool poisoned_ = false;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
+  int64_t fsyncs_ = 0;
+  int64_t wal_bytes_ = 0;
+  int64_t wal_replays_ = 0;
+  int64_t wal_discards_ = 0;
+
+  // Registry cells (process-wide sums across all pagers); registered
+  // once in the constructor so the hot path is a relaxed atomic add.
+  Counter* m_cache_hits_;
+  Counter* m_cache_misses_;
+  Counter* m_commits_;
+  Counter* m_fsyncs_;
+  Counter* m_wal_bytes_;
+  Counter* m_wal_replays_;
+  Counter* m_wal_discards_;
+  Histogram* m_commit_us_;
+  Histogram* m_replay_us_;
 };
 
 }  // namespace pqidx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "core/incremental.h"
 
 namespace pqidx {
@@ -241,7 +242,33 @@ Status PersistentForestIndex::BulkAdd(
 }
 
 Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
-                                         std::vector<Status>* results) {
+                                         std::vector<Status>* results,
+                                         ApplyBatchTimings* timings) {
+  static Counter* const m_batches =
+      Metrics::Default().counter("apply_batch.batches");
+  static Counter* const m_edits =
+      Metrics::Default().counter("apply_batch.edits_staged");
+  static Histogram* const m_batch_edits =
+      Metrics::Default().histogram("apply_batch.batch_edits");
+  static Histogram* const m_validate_us =
+      Metrics::Default().histogram("apply_batch.validate_us");
+  static Histogram* const m_delta_us =
+      Metrics::Default().histogram("apply_batch.delta_us");
+  static Histogram* const m_update_us =
+      Metrics::Default().histogram("apply_batch.update_us");
+  static Histogram* const m_storage_us =
+      Metrics::Default().histogram("apply_batch.storage_us");
+
+  const bool timed = Metrics::enabled();
+  ApplyBatchTimings split;
+  int64_t lap_start = timed ? Metrics::NowUs() : 0;
+  auto lap = [&](int64_t* slot) {
+    if (!timed) return;
+    int64_t now = Metrics::NowUs();
+    *slot = now - lap_start;
+    lap_start = now;
+  };
+
   results->assign(edits.size(), Status::Ok());
 
   // Phase 1: catalog-level validation against a scratch overlay, so an
@@ -299,7 +326,11 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     staged[i] = true;
     ++num_staged;
   }
-  if (num_staged == 0) return Status::Ok();  // nothing to commit
+  lap(&split.validate_us);
+  if (num_staged == 0) {
+    if (timings != nullptr) *timings = split;
+    return Status::Ok();  // nothing to commit
+  }
 
   // Phase 2: stage the tuple deltas. Any failure here (I/O, or a minus
   // tuple the stored bag lacks) aborts the whole transaction.
@@ -307,6 +338,7 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     for (size_t i = 0; i < edits.size(); ++i) {
       if (staged[i]) (*results)[i] = cause;
     }
+    if (timings != nullptr) *timings = split;
     return RollbackAndReload(std::move(cause));
   };
   for (size_t i = 0; i < edits.size(); ++i) {
@@ -330,17 +362,32 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     }
   }
 
+  lap(&split.delta_us);
+
   // Phase 3: catalog + one commit.
   for (const auto& [id, size] : staged_sizes) catalog_[id] = size;
   Status stored = StoreCatalog();
   if (!stored.ok()) return fail_batch(std::move(stored));
+  lap(&split.update_us);
   Status committed = CommitOrCrash();
+  lap(&split.storage_us);
+  if (timings != nullptr) *timings = split;
   if (!committed.ok()) {
     // As in the single-op paths, a failed commit poisons the pager; the
     // caller recovers by reopening, so no rollback is attempted here.
     for (size_t i = 0; i < edits.size(); ++i) {
       if (staged[i]) (*results)[i] = committed;
     }
+    return committed;
+  }
+  m_batches->Increment();
+  m_edits->Add(num_staged);
+  if (timed) {
+    m_batch_edits->Record(num_staged);
+    m_validate_us->Record(split.validate_us);
+    m_delta_us->Record(split.delta_us);
+    m_update_us->Record(split.update_us);
+    m_storage_us->Record(split.storage_us);
   }
   return committed;
 }

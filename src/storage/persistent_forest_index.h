@@ -69,6 +69,18 @@ class PersistentForestIndex {
     const PqGramIndex* minus = nullptr;
   };
 
+  // Wall-clock split of one ApplyBatch run, in microseconds (all zero
+  // when Metrics::enabled() is off): catalog validation, δ-phase (tuple
+  // deltas staged into the hash table -- the paper's incremental
+  // update), U-phase (catalog rewrite), and storage apply (the WAL
+  // commit: WAL write + fsync + in-place write + fsync).
+  struct ApplyBatchTimings {
+    int64_t validate_us = 0;
+    int64_t delta_us = 0;
+    int64_t update_us = 0;
+    int64_t storage_us = 0;
+  };
+
   // Applies many *independent* edits under ONE WAL transaction (one
   // fsync pair): the group-commit hook for pqidxd (src/service). Edits
   // are applied in order; catalog-level validation failures (duplicate
@@ -78,9 +90,12 @@ class PersistentForestIndex {
   // stored bag -- callers are expected to pre-validate that, as
   // UpdateTree's contract already requires) rolls back the whole batch,
   // fails every staged edit, and is returned. Nothing is committed when
-  // no edit survives validation.
+  // no edit survives validation. `timings`, when non-null, receives the
+  // phase split of this run (as far as it got); the same split also
+  // lands in the "apply_batch.*" registry histograms on success.
   Status ApplyBatch(const std::vector<BatchEdit>& edits,
-                    std::vector<Status>* results);
+                    std::vector<Status>* results,
+                    ApplyBatchTimings* timings = nullptr);
 
   // Materializes every cataloged bag in one table sweep -- the fast way
   // to build an in-memory serving replica of the whole store. Fails on
@@ -118,6 +133,9 @@ class PersistentForestIndex {
   void CheckConsistency();
 
   const Pager& pager() const { return pager_; }
+  // Test hook: mutable pager access for fault injection
+  // (Pager::InjectWriteFailureAfter).
+  Pager* mutable_pager() { return &pager_; }
 
   // Test hook: run a mutation and crash mid-commit (see Pager).
   Status CrashNextCommit(Pager::CrashPoint point) {

@@ -1,0 +1,348 @@
+// Crash and fault-injection matrix for the durable index
+// (storage/persistent_forest_index.h over storage/pager.h):
+//
+//   * every Pager::CrashPoint x many randomized ApplyBatch workloads,
+//     several commits deep, asserting that reopening recovers exactly
+//     the last durable state (full ForestIndex equality against an
+//     in-memory mirror) and that the WAL replay/discard accounting is
+//     reported correctly;
+//   * an exhaustive InjectWriteFailureAfter sweep over a fixed batch:
+//     every raw-write offset either commits the batch fully or poisons
+//     the pager and recovers to a consistent pre- or post-batch state on
+//     reopen -- never a torn mix.
+//
+// Both crash points fire after the WAL is sealed, so the crashed batch
+// is always durable: recovery replays it and the store must equal the
+// post-batch mirror.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+#include "storage/pager.h"
+#include "storage/persistent_forest_index.h"
+
+namespace pqidx {
+namespace {
+
+using StorePtr = std::unique_ptr<PersistentForestIndex>;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveStoreFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+// A random bag of `tuples` distinct fingerprints with counts in [1, 3].
+PqGramIndex RandomBag(Rng* rng, const PqShape& shape, int tuples) {
+  PqGramIndex bag(shape);
+  for (int i = 0; i < tuples; ++i) {
+    bag.Add(static_cast<PqGramFingerprint>(rng->Next()),
+            rng->Uniform(1, 3));
+  }
+  return bag;
+}
+
+// A random sub-bag of `bag`: each stored occurrence is retracted with
+// probability ~1/3 (possibly empty).
+PqGramIndex RandomSubBag(Rng* rng, const PqGramIndex& bag) {
+  PqGramIndex minus(bag.shape());
+  for (const auto& [fp, count] : bag.counts()) {
+    int64_t take = static_cast<int64_t>(rng->NextBounded(
+        static_cast<uint64_t>(count) + 1));
+    if (take > 0 && rng->Bernoulli(0.5)) minus.Add(fp, take);
+  }
+  return minus;
+}
+
+// Owns the bags a batch of BatchEdits points into, plus the expected
+// post-batch state.
+struct PlannedBatch {
+  std::vector<std::unique_ptr<PqGramIndex>> bags;
+  std::vector<PersistentForestIndex::BatchEdit> edits;
+};
+
+// Plans a randomized insert/update mix against `mirror` (which tracks
+// the expected durable state) and applies it to the mirror eagerly; the
+// caller decides whether the store commit survives.
+PlannedBatch PlanBatch(Rng* rng, ForestIndex* mirror, TreeId* next_id) {
+  PlannedBatch batch;
+  const int kEdits = static_cast<int>(rng->Uniform(1, 5));
+  std::vector<TreeId> present = mirror->TreeIds();
+  for (int e = 0; e < kEdits; ++e) {
+    const bool add = present.empty() || rng->Bernoulli(0.4);
+    PersistentForestIndex::BatchEdit edit;
+    if (add) {
+      edit.id = (*next_id)++;
+      auto bag = std::make_unique<PqGramIndex>(
+          RandomBag(rng, mirror->shape(), static_cast<int>(
+                        rng->Uniform(3, 24))));
+      mirror->AddIndex(edit.id, *bag);
+      present.push_back(edit.id);
+      edit.add = bag.get();
+      batch.bags.push_back(std::move(bag));
+    } else {
+      edit.id = present[rng->NextBounded(present.size())];
+      const PqGramIndex* current = mirror->Find(edit.id);
+      auto minus = std::make_unique<PqGramIndex>(RandomSubBag(rng, *current));
+      auto plus = std::make_unique<PqGramIndex>(
+          RandomBag(rng, mirror->shape(), static_cast<int>(
+                        rng->Uniform(0, 8))));
+      PqGramIndex updated = *current;
+      for (const auto& [fp, count] : minus->counts()) {
+        updated.Remove(fp, count);
+      }
+      for (const auto& [fp, count] : plus->counts()) updated.Add(fp, count);
+      mirror->AddIndex(edit.id, std::move(updated));  // replaces
+      edit.plus = plus.get();
+      edit.minus = minus.get();
+      batch.bags.push_back(std::move(plus));
+      batch.bags.push_back(std::move(minus));
+    }
+    batch.edits.push_back(edit);
+  }
+  return batch;
+}
+
+void ExpectStoreEquals(PersistentForestIndex* store,
+                       const ForestIndex& mirror, const std::string& label) {
+  store->CheckConsistency();
+  StatusOr<ForestIndex> materialized = store->MaterializeForest();
+  ASSERT_TRUE(materialized.ok()) << label << ": "
+                                 << materialized.status().ToString();
+  EXPECT_TRUE(*materialized == mirror) << label
+                                       << ": recovered state diverges";
+}
+
+// One randomized workload: build a store several commits deep (mixed
+// ApplyBatch / BulkAdd / RemoveTree), crash the final ApplyBatch at
+// `point`, reopen, and require exactly the post-batch state.
+void RunCrashWorkload(Pager::CrashPoint point, int workload) {
+  const PqShape shape{2, 3};
+  const std::string name =
+      "crash_matrix_" +
+      std::to_string(point == Pager::CrashPoint::kAfterWalSeal ? 0 : 1) +
+      "_" + std::to_string(workload) + ".db";
+  const std::string path = TempPath(name);
+  RemoveStoreFiles(path);
+
+  Rng rng(0xC0FFEE00 + static_cast<uint64_t>(workload) * 977 +
+          (point == Pager::CrashPoint::kDuringInPlace ? 1 : 0));
+  ForestIndex mirror(shape);
+  TreeId next_id = 0;
+  {
+    StatusOr<StorePtr> created = PersistentForestIndex::Create(path, shape);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    StorePtr store = std::move(created).value();
+
+    // Seed commit: a BulkAdd transaction so recovery must cross several
+    // earlier commits, not just one.
+    {
+      std::vector<std::unique_ptr<PqGramIndex>> bags;
+      std::vector<std::pair<TreeId, const PqGramIndex*>> refs;
+      const int seed_trees = static_cast<int>(rng.Uniform(1, 4));
+      for (int i = 0; i < seed_trees; ++i) {
+        TreeId id = next_id++;
+        bags.push_back(std::make_unique<PqGramIndex>(
+            RandomBag(&rng, shape, static_cast<int>(rng.Uniform(4, 20)))));
+        mirror.AddIndex(id, *bags.back());
+        refs.emplace_back(id, bags.back().get());
+      }
+      ASSERT_TRUE(store->BulkAdd(refs).ok());
+    }
+
+    // 1-3 committed randomized batches, with an occasional RemoveTree
+    // (its own commit) between them.
+    const int committed_batches = static_cast<int>(rng.Uniform(1, 3));
+    for (int b = 0; b < committed_batches; ++b) {
+      PlannedBatch batch = PlanBatch(&rng, &mirror, &next_id);
+      std::vector<Status> results;
+      ASSERT_TRUE(store->ApplyBatch(batch.edits, &results).ok());
+      for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.ToString();
+      if (rng.Bernoulli(0.3)) {
+        std::vector<TreeId> present = mirror.TreeIds();
+        TreeId victim = present[rng.NextBounded(present.size())];
+        if (mirror.size() > 1) {
+          ASSERT_TRUE(store->RemoveTree(victim).ok());
+          mirror.RemoveTree(victim);
+        }
+      }
+    }
+
+    // The crashed batch: armed commit dies at `point`, after the WAL
+    // seal, so the batch IS durable.
+    PlannedBatch batch = PlanBatch(&rng, &mirror, &next_id);
+    std::vector<Status> results;
+    ASSERT_TRUE(store->CrashNextCommit(point).ok());
+    ASSERT_TRUE(store->ApplyBatch(batch.edits, &results).ok());
+    // The store object is dead now (the pager dropped its file handle);
+    // it is discarded without further use, exactly like a real crash.
+  }
+
+  StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // Recovery must have replayed exactly the one sealed WAL.
+  EXPECT_EQ((*reopened)->pager().wal_replays(), 1) << "workload " << workload;
+  EXPECT_EQ((*reopened)->pager().wal_discards(), 0);
+  ExpectStoreEquals(reopened->get(), mirror,
+                    "workload " + std::to_string(workload));
+  RemoveStoreFiles(path);
+}
+
+TEST(CrashMatrixTest, AfterWalSealRecoversDurably) {
+  for (int workload = 0; workload < 50; ++workload) {
+    RunCrashWorkload(Pager::CrashPoint::kAfterWalSeal, workload);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, DuringInPlaceRecoversDurably) {
+  for (int workload = 0; workload < 50; ++workload) {
+    RunCrashWorkload(Pager::CrashPoint::kDuringInPlace, workload);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// A crash with no armed commit is just a clean close; reopening must
+// not report any WAL activity.
+TEST(CrashMatrixTest, CleanCloseReportsNoWalActivity) {
+  const PqShape shape{2, 2};
+  const std::string path = TempPath("crash_matrix_clean.db");
+  RemoveStoreFiles(path);
+  Rng rng(42);
+  {
+    StatusOr<StorePtr> store = PersistentForestIndex::Create(path, shape);
+    ASSERT_TRUE(store.ok());
+    PqGramIndex bag = RandomBag(&rng, shape, 10);
+    ASSERT_TRUE((*store)->AddIndex(1, bag).ok());
+  }
+  StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->pager().wal_replays(), 0);
+  EXPECT_EQ((*reopened)->pager().wal_discards(), 0);
+  RemoveStoreFiles(path);
+}
+
+// ---------------------------------------------------------------------------
+// InjectWriteFailureAfter sweep.
+
+// Deterministically rebuilds the sweep's base store and returns it; the
+// mirrors of the pre- and post-batch states are rebuilt alongside.
+struct SweepFixture {
+  StorePtr store;
+  ForestIndex before;
+  ForestIndex after;
+  PlannedBatch batch;
+};
+
+void BuildSweepFixture(const std::string& path, SweepFixture* fx) {
+  const PqShape shape{2, 3};
+  RemoveStoreFiles(path);
+  Rng rng(0xFA11);
+  fx->before = ForestIndex(shape);
+  TreeId next_id = 0;
+  StatusOr<StorePtr> created = PersistentForestIndex::Create(path, shape);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  fx->store = std::move(created).value();
+  for (int i = 0; i < 4; ++i) {
+    TreeId id = next_id++;
+    PqGramIndex bag = RandomBag(&rng, shape, 20);
+    fx->before.AddIndex(id, bag);
+    ASSERT_TRUE(fx->store->AddIndex(id, bag).ok());
+  }
+  // The fixed batch under test: two updates and two adds, built from the
+  // same seed every rebuild so every offset sees identical writes.
+  fx->after = fx->before;
+  fx->batch = PlanBatch(&rng, &fx->after, &next_id);
+}
+
+TEST(CrashMatrixTest, WriteFailureSweepNeverTearsABatch) {
+  const std::string path = TempPath("crash_matrix_sweep.db");
+  // Far above any plausible write count for this batch; the sweep must
+  // terminate by committing cleanly well before this cap.
+  const int kMaxOffsets = 2000;
+  int committed_at = -1;
+  for (int after = 0; after < kMaxOffsets; ++after) {
+    SweepFixture fx;
+    BuildSweepFixture(path, &fx);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    fx.store->mutable_pager()->InjectWriteFailureAfter(after);
+    std::vector<Status> results;
+    Status status = fx.store->ApplyBatch(fx.batch.edits, &results);
+
+    if (status.ok()) {
+      // The injection budget covered the whole commit: the batch is
+      // fully durable, in memory and across a reopen.
+      for (const Status& s : results) EXPECT_TRUE(s.ok()) << s.ToString();
+      ExpectStoreEquals(fx.store.get(), fx.after,
+                        "committed at offset " + std::to_string(after));
+      fx.store.reset();
+      StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      EXPECT_EQ((*reopened)->pager().wal_replays(), 0);
+      EXPECT_EQ((*reopened)->pager().wal_discards(), 0);
+      ExpectStoreEquals(reopened->get(), fx.after, "reopen after commit");
+      committed_at = after;
+      break;
+    }
+
+    // Failure path: every staged edit reports the commit failure, the
+    // pager is poisoned, and every subsequent operation refuses to run.
+    EXPECT_TRUE(fx.store->pager().poisoned()) << "offset " << after;
+    for (const Status& s : results) {
+      EXPECT_FALSE(s.ok()) << "offset " << after;
+    }
+    StatusOr<ForestIndex> blocked = fx.store->MaterializeForest();
+    ASSERT_FALSE(blocked.ok());
+    EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+    PqGramIndex probe(PqShape{2, 3});
+    probe.Add(1, 1);  // non-empty, so the lookup must probe pages
+    EXPECT_FALSE(fx.store->Lookup(probe, 1.0).ok());
+
+    // Reopen: recovery lands on exactly the pre- or post-batch state --
+    // post iff the WAL reached its seal before the injected failure --
+    // and accounts for the leftover WAL either way.
+    fx.store.reset();
+    StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+    ASSERT_TRUE(reopened.ok())
+        << "offset " << after << ": " << reopened.status().ToString();
+    const int64_t replays = (*reopened)->pager().wal_replays();
+    const int64_t discards = (*reopened)->pager().wal_discards();
+    EXPECT_EQ(replays + discards, 1)
+        << "offset " << after << ": the failed commit always leaves a WAL";
+    (*reopened)->CheckConsistency();
+    StatusOr<ForestIndex> recovered = (*reopened)->MaterializeForest();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const bool is_before = *recovered == fx.before;
+    const bool is_after = *recovered == fx.after;
+    EXPECT_TRUE(is_before || is_after)
+        << "offset " << after << " recovered to a torn state";
+    // A replayed (sealed) WAL must carry the batch; a discarded one must
+    // leave the pre-batch state.
+    if (replays == 1) {
+      EXPECT_TRUE(is_after) << "offset " << after;
+    } else {
+      EXPECT_TRUE(is_before) << "offset " << after;
+    }
+  }
+  // The sweep covered every failing offset and ended with a clean
+  // commit, so each raw write of the transaction was failed exactly once.
+  ASSERT_GE(committed_at, 1) << "sweep never reached a successful commit";
+  RemoveStoreFiles(path);
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -1,0 +1,327 @@
+// Tests for the observability registry (common/metrics.h): bucket
+// geometry, deterministic quantiles, exposition goldens, wire
+// round-trips (service/wire.h), decoder hardening, concurrent recording
+// under TSan, the instrumentation kill switch, and the slow-op log.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/serde.h"
+#include "common/thread_pool.h"
+#include "service/wire.h"
+
+namespace pqidx {
+namespace {
+
+// Keeps the global kill switch on for every test in this binary (other
+// tests in the suite assume the default) even when a test flips it.
+class MetricsTest : public ::testing::Test {
+ protected:
+  ~MetricsTest() override { Metrics::set_enabled(true); }
+};
+
+TEST_F(MetricsTest, BucketGeometry) {
+  // Bucket 0 holds <= 0; bucket i > 0 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Everything at or above 2^46 lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 46),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<int64_t>::max()),
+            Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+
+  // Every representable value round-trips: it is never above its
+  // bucket's upper bound and always above the previous bucket's.
+  for (int64_t v : {int64_t{1}, int64_t{2}, int64_t{100}, int64_t{4096},
+                    int64_t{1} << 40, int64_t{1} << 45}) {
+    int b = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+  }
+}
+
+TEST_F(MetricsTest, HistogramAccumulates) {
+  Metrics metrics;
+  Histogram* h = metrics.histogram("h");
+  EXPECT_EQ(metrics.histogram("h"), h);  // lookup-or-register is stable
+  h->Record(1);
+  h->Record(5);
+  h->Record(5);
+  h->Record(900);
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_EQ(h->sum(), 911);
+  EXPECT_EQ(h->max(), 900);
+  EXPECT_EQ(h->bucket(1), 1);   // [1,1]
+  EXPECT_EQ(h->bucket(3), 2);   // [4,7]
+  EXPECT_EQ(h->bucket(10), 1);  // [512,1023]
+}
+
+TEST_F(MetricsTest, QuantilesAreDeterministicUpperBounds) {
+  Metrics metrics;
+  Histogram* h = metrics.histogram("q");
+  EXPECT_EQ(h->Quantile(0.5), 0);  // empty
+  // 100 values of 10 (bucket [8,15]) and 1 value of 5000 ([4096,8191]).
+  for (int i = 0; i < 100; ++i) h->Record(10);
+  h->Record(5000);
+  // p50 and p95 rank inside the dense bucket; quantiles report its
+  // upper bound -- never an underestimate of the true value 10.
+  EXPECT_EQ(h->Quantile(0.5), 15);
+  EXPECT_EQ(h->Quantile(0.95), 15);
+  // p100 reaches the outlier's bucket.
+  EXPECT_EQ(h->Quantile(1.0), 8191);
+  // The same numbers fall out of the snapshot's sampled buckets.
+  MetricsSnapshot snap = metrics.Snapshot();
+  const MetricSample* s = snap.Find("q");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Quantile(0.5), 15);
+  EXPECT_EQ(s->Quantile(1.0), 8191);
+}
+
+TEST_F(MetricsTest, ExpositionGoldens) {
+  Metrics metrics;
+  metrics.counter("requests")->Add(7);
+  metrics.gauge("depth")->Set(-2);
+  Histogram* h = metrics.histogram("latency_us");
+  h->Record(3);
+  h->Record(3);
+  h->Record(100);
+
+  MetricsSnapshot snap = metrics.Snapshot();
+  // Samples are sorted by name (not grouped by kind).
+  EXPECT_EQ(snap.ToText(),
+            "gauge depth -2\n"
+            "histogram latency_us count=3 sum=106 max=100 "
+            "p50=3 p95=127 p99=127\n"
+            "counter requests 7\n");
+  EXPECT_EQ(snap.ToJson(),
+            "{\"counters\":{\"requests\":7},"
+            "\"gauges\":{\"depth\":-2},"
+            "\"histograms\":{\"latency_us\":{\"count\":3,\"sum\":106,"
+            "\"max\":100,\"p50\":3,\"p95\":127,\"p99\":127,"
+            "\"buckets\":{\"3\":2,\"127\":1}}}}");
+}
+
+TEST_F(MetricsTest, SnapshotSortedAndResettable) {
+  Metrics metrics;
+  metrics.counter("zz")->Increment();
+  metrics.counter("aa")->Increment();
+  metrics.gauge("mm")->Set(4);
+  MetricsSnapshot snap = metrics.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "aa");
+  EXPECT_EQ(snap.samples[1].name, "mm");
+  EXPECT_EQ(snap.samples[2].name, "zz");
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+
+  metrics.Reset();
+  Counter* aa = metrics.counter("aa");
+  EXPECT_EQ(aa->value(), 0);  // zeroed, registration survives
+  MetricsSnapshot after = metrics.Snapshot();
+  EXPECT_EQ(after.samples.size(), 3u);
+  EXPECT_EQ(after.Find("mm")->value, 0);
+}
+
+TEST_F(MetricsTest, WireRoundTrip) {
+  Metrics metrics;
+  metrics.counter("c")->Add(1234567);
+  metrics.gauge("g")->Set(-99);
+  Histogram* h = metrics.histogram("h");
+  h->Record(0);
+  h->Record(17);
+  h->Record(1 << 20);
+  MetricsSnapshot snap = metrics.Snapshot();
+
+  ByteWriter writer;
+  EncodeMetricsSnapshot(snap, &writer);
+  std::string bytes = writer.Release();
+  ByteReader reader(bytes);
+  StatusOr<MetricsSnapshot> decoded = DecodeMetricsSnapshot(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(*decoded, snap);
+  // Exposition of the decoded snapshot is bit-identical too.
+  EXPECT_EQ(decoded->ToText(), snap.ToText());
+  EXPECT_EQ(decoded->ToJson(), snap.ToJson());
+}
+
+TEST_F(MetricsTest, DecoderRejectsMalformedSnapshots) {
+  Metrics metrics;
+  Histogram* h = metrics.histogram("h");
+  h->Record(5);
+  ByteWriter writer;
+  EncodeMetricsSnapshot(metrics.Snapshot(), &writer);
+  const std::string good = writer.Release();
+
+  // Truncations at every prefix either fail or leave trailing garbage
+  // undetected -- but must never crash or read out of bounds.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    ByteReader reader(std::string_view(good).substr(0, cut));
+    StatusOr<MetricsSnapshot> decoded = DecodeMetricsSnapshot(&reader);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+
+  // An absurd sample count must be rejected before any allocation.
+  {
+    ByteWriter w;
+    w.PutVarint(0xffffffff);
+    std::string bytes = w.Release();
+    ByteReader reader(bytes);
+    EXPECT_FALSE(DecodeMetricsSnapshot(&reader).ok());
+  }
+  // An unknown sample kind is data loss.
+  {
+    ByteWriter w;
+    w.PutVarint(1);
+    w.PutU8(3);  // kinds stop at kHistogram=2
+    w.PutString("x");
+    w.PutVarint(0);
+    std::string bytes = w.Release();
+    ByteReader reader(bytes);
+    EXPECT_FALSE(DecodeMetricsSnapshot(&reader).ok());
+  }
+  // A bucket index beyond the histogram geometry is data loss.
+  {
+    ByteWriter w;
+    w.PutVarint(1);
+    w.PutU8(2);  // histogram
+    w.PutString("x");
+    w.PutSignedVarint(1);   // count
+    w.PutSignedVarint(5);   // sum
+    w.PutSignedVarint(5);   // max
+    w.PutVarint(1);         // one bucket
+    w.PutVarint(Histogram::kNumBuckets);  // out of range
+    w.PutSignedVarint(1);
+    std::string bytes = w.Release();
+    ByteReader reader(bytes);
+    EXPECT_FALSE(DecodeMetricsSnapshot(&reader).ok());
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentRecordingIsRaceFree) {
+  // Hammer one counter/gauge/histogram triple from pool workers while a
+  // snapshot is cut concurrently; TSan must stay quiet and the counts
+  // must add up once the pool drains.
+  Metrics metrics;
+  Counter* c = metrics.counter("hammer.count");
+  Gauge* g = metrics.gauge("hammer.gauge");
+  Histogram* h = metrics.histogram("hammer.hist");
+  const int kThreads = 8;
+  const int kPerThread = 5000;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Schedule([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Set(t);
+        h->Record(i % 1000);
+        if (i % 1024 == 0) {
+          MetricsSnapshot snap = metrics.Snapshot();
+          ASSERT_NE(snap.Find("hammer.hist"), nullptr);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += h->bucket(i);
+  }
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsAndKillSwitchSkips) {
+  Metrics metrics;
+  Histogram* h = metrics.histogram("scope_us");
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.ElapsedUs(), 0);
+  }
+  EXPECT_EQ(h->count(), 1);
+
+  Metrics::set_enabled(false);
+  {
+    ScopedTimer timer(h);
+    EXPECT_EQ(timer.ElapsedUs(), 0);  // no clock reads when disabled
+  }
+  EXPECT_EQ(h->count(), 1);  // nothing recorded
+  // Counters stay live under the kill switch (it gates timing only).
+  metrics.counter("still_live")->Increment();
+  EXPECT_EQ(metrics.counter("still_live")->value(), 1);
+  Metrics::set_enabled(true);
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 2);
+}
+
+TEST_F(MetricsTest, SlowOpLogThresholdAndRing) {
+  SlowOpLog log(/*threshold_us=*/100);
+  log.Report("fast", 99, "under threshold");
+  EXPECT_TRUE(log.Entries().empty());
+  log.Report("slow", 100, "delta_us=40 storage_us=60");
+  ASSERT_EQ(log.Entries().size(), 1u);
+  EXPECT_EQ(log.Entries()[0].op, "slow");
+  EXPECT_EQ(log.Entries()[0].total_us, 100);
+  EXPECT_EQ(log.Entries()[0].detail, "delta_us=40 storage_us=60");
+
+  // threshold <= 0 disables reporting entirely.
+  log.set_threshold_us(0);
+  log.Report("ignored", 1 << 30, "");
+  EXPECT_EQ(log.Entries().size(), 1u);
+  log.set_threshold_us(1);
+
+  // The ring is bounded: newest kRingCapacity entries survive.
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  const int kTotal = static_cast<int>(SlowOpLog::kRingCapacity) + 40;
+  for (int i = 0; i < kTotal; ++i) {
+    log.Report("op" + std::to_string(i), 10 + i, "");
+  }
+  std::vector<SlowOpLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), SlowOpLog::kRingCapacity);
+  EXPECT_EQ(entries.front().op,
+            "op" + std::to_string(kTotal -
+                                  static_cast<int>(SlowOpLog::kRingCapacity)));
+  EXPECT_EQ(entries.back().op, "op" + std::to_string(kTotal - 1));
+}
+
+TEST_F(MetricsTest, SlowOpLogConcurrentReports) {
+  SlowOpLog log(/*threshold_us=*/1);
+  ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Schedule([&log] {
+      for (int i = 0; i < 1000; ++i) {
+        log.Report("hammer", 5, "x=1");
+        if (i % 128 == 0) log.Entries();
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(log.Entries().size(), SlowOpLog::kRingCapacity);
+}
+
+}  // namespace
+}  // namespace pqidx

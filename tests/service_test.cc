@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/forest_index.h"
 #include "core/incremental.h"
@@ -767,6 +768,201 @@ void RunStressWorkload(TestService* service,
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   (*reopened)->CheckConsistency();
   EXPECT_EQ((*reopened)->size(), kClients * kTreesPerClient);
+}
+
+// --- observability (kStatsSnapshot + slow-op log) -----------------------
+
+// Counter value in a snapshot, or 0 when absent (registry cells are
+// process-wide and accumulate across servers, so tests compare deltas).
+int64_t CounterValue(const MetricsSnapshot& snap, std::string_view name) {
+  const MetricSample* sample = snap.Find(name);
+  return sample != nullptr ? sample->value : 0;
+}
+
+int64_t HistCount(const MetricsSnapshot& snap, std::string_view name) {
+  const MetricSample* sample = snap.Find(name);
+  return sample != nullptr ? sample->count : 0;
+}
+
+TEST(ServiceTest, StatsSnapshotRoundTripsOverPipe) {
+  const PqShape shape{2, 3};
+  TestService service("svc_snapshot.db", shape);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  const MetricsSnapshot before = Metrics::Default().Snapshot();
+  ServiceStats stats_before = client->Stats().value();
+
+  // A mixed workload: adds, incremental edits, lookups.
+  Rng rng(31);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 50);
+  ASSERT_TRUE(client->AddTree(1, doc).ok());
+  for (int round = 0; round < 3; ++round) {
+    EditLog log;
+    GenerateEditScript(&doc, &rng, 10, EditScriptOptions{}, &log);
+    ASSERT_TRUE(client->ApplyEdits(1, doc, log).ok());
+    ASSERT_TRUE(client->Lookup(doc, 0.8).ok());
+  }
+
+  StatusOr<MetricsSnapshot> remote = client->StatsSnapshot();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ServiceStats stats_after = client->Stats().value();
+
+  // The wire snapshot and ServiceStats mirror the same events: their
+  // deltas over the workload must agree exactly.
+  EXPECT_EQ(CounterValue(*remote, "server.lookups") -
+                CounterValue(before, "server.lookups"),
+            stats_after.lookups - stats_before.lookups);
+  EXPECT_EQ(CounterValue(*remote, "server.edits_applied") -
+                CounterValue(before, "server.edits_applied"),
+            stats_after.edits_applied - stats_before.edits_applied);
+  EXPECT_EQ(CounterValue(*remote, "server.edit_commits") -
+                CounterValue(before, "server.edit_commits"),
+            stats_after.edit_commits - stats_before.edit_commits);
+
+  // Per-opcode latency histograms moved for every opcode the workload
+  // exercised, and the store's ApplyBatch phase split came along.
+  EXPECT_GT(HistCount(*remote, "server.lookup_us") -
+                HistCount(before, "server.lookup_us"),
+            0);
+  EXPECT_GT(HistCount(*remote, "server.apply_edits_us") -
+                HistCount(before, "server.apply_edits_us"),
+            0);
+  EXPECT_GT(HistCount(*remote, "server.add_tree_us") -
+                HistCount(before, "server.add_tree_us"),
+            0);
+  EXPECT_GT(HistCount(*remote, "apply_batch.delta_us") -
+                HistCount(before, "apply_batch.delta_us"),
+            0);
+  EXPECT_GT(HistCount(*remote, "apply_batch.storage_us") -
+                HistCount(before, "apply_batch.storage_us"),
+            0);
+  // Pager durability counters are on the wire too.
+  EXPECT_GT(CounterValue(*remote, "pager.fsyncs"), 0);
+
+  service.server->Stop();
+}
+
+TEST(ServiceTest, StatsSnapshotRoundTripsOverTcp) {
+  StatusOr<std::unique_ptr<TcpListener>> listener = TcpListener::Listen(0);
+  if (!listener.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << listener.status().ToString();
+  }
+  int port = (*listener)->port();
+
+  StorePtr index = MustCreate("svc_snapshot_tcp.db", PqShape{2, 3});
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start(std::move(*listener)).ok());
+
+  StatusOr<std::unique_ptr<Connection>> conn =
+      TcpConnect("127.0.0.1", static_cast<uint16_t>(port));
+  ASSERT_TRUE(conn.ok());
+  StatusOr<std::unique_ptr<Client>> client =
+      Client::Connect(std::move(*conn));
+  ASSERT_TRUE(client.ok());
+
+  Rng rng(33);
+  Tree doc = GenerateXmarkLike(nullptr, &rng, 40);
+  ASSERT_TRUE((*client)->AddTree(7, doc).ok());
+  ASSERT_TRUE((*client)->Lookup(doc, 0.5).ok());
+
+  StatusOr<MetricsSnapshot> remote = (*client)->StatsSnapshot();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_GT(HistCount(*remote, "server.lookup_us"), 0);
+  EXPECT_GT(HistCount(*remote, "server.stats_us"), 0);  // Connect()'s probe
+  EXPECT_NE(remote->Find("server.snapshot_epoch"), nullptr);
+  // The exposition of the transported snapshot is well-formed.
+  EXPECT_NE(remote->ToJson().find("\"histograms\""), std::string::npos);
+  (*client)->Close();
+  server.Stop();
+}
+
+TEST(ServiceTest, StatsSnapshotRejectsNonEmptyPayload) {
+  TestService service("svc_snapshot_reject.db", PqShape{2, 2});
+  StatusOr<std::unique_ptr<Connection>> conn =
+      service.connect_point->Connect();
+  ASSERT_TRUE(conn.ok());
+
+  FrameHeader header;
+  header.type = MessageType::kStatsSnapshot;
+  header.request_id = 9;
+  std::string junk = "unexpected";
+  header.payload_size = static_cast<uint32_t>(junk.size());
+  ASSERT_TRUE((*conn)->Send(EncodeFrame(header, junk)).ok());
+
+  std::string bytes;
+  ASSERT_TRUE((*conn)->ReceiveExact(kFrameHeaderSize, &bytes).ok());
+  FrameHeader response;
+  ASSERT_TRUE(DecodeFrameHeader(bytes, &response).ok());
+  EXPECT_EQ(response.request_id, 9u);
+  std::string payload;
+  ASSERT_TRUE((*conn)->ReceiveExact(response.payload_size, &payload).ok());
+  ByteReader reader(payload);
+  Status transported;
+  ASSERT_TRUE(DecodeStatus(&reader, &transported).ok());
+  EXPECT_FALSE(transported.ok());
+
+  // The connection survives and a proper snapshot still works.
+  (*conn)->Close();
+  std::unique_ptr<Client> client = service.MustConnect();
+  EXPECT_TRUE(client->StatsSnapshot().ok());
+  StatusOr<ServiceStats> stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->protocol_errors, 1);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, SlowOpLogCapturesRequestAndCommitPhases) {
+  SlowOpLog::Default().Clear();
+  ServerOptions options;
+  options.slow_op_us = 1;  // log effectively everything
+  TestService service("svc_slowop.db", PqShape{2, 3}, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(35);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 40);
+  ASSERT_TRUE(client->AddTree(1, doc).ok());
+  ASSERT_TRUE(client->Lookup(doc, 0.5).ok());
+  service.server->Stop();
+
+  bool saw_commit = false;
+  bool saw_request = false;
+  for (const SlowOpLog::Entry& entry : SlowOpLog::Default().Entries()) {
+    if (entry.op == "server.commit_batch") {
+      saw_commit = true;
+      // The commit entry carries the ApplyBatch phase split.
+      EXPECT_NE(entry.detail.find("delta_us="), std::string::npos);
+      EXPECT_NE(entry.detail.find("storage_us="), std::string::npos);
+      EXPECT_NE(entry.detail.find("publish_us="), std::string::npos);
+      EXPECT_GE(entry.total_us, 1);
+    }
+    if (entry.op == "server.lookup" || entry.op == "server.add_tree") {
+      saw_request = true;
+      EXPECT_NE(entry.detail.find("payload_bytes="), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_commit) << "no server.commit_batch slow-op entry";
+  EXPECT_TRUE(saw_request) << "no per-request slow-op entry";
+  SlowOpLog::Default().Clear();
+}
+
+// A negative slow_op_us disables the server's slow-op logging entirely,
+// even though the default log would accept the entries.
+TEST(ServiceTest, SlowOpLogDisabledByNegativeThreshold) {
+  SlowOpLog::Default().Clear();
+  ServerOptions options;
+  options.slow_op_us = -1;
+  TestService service("svc_slowop_off.db", PqShape{2, 3}, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+  Rng rng(36);
+  Tree doc = GenerateDblpLike(nullptr, &rng, 30);
+  ASSERT_TRUE(client->AddTree(1, doc).ok());
+  ASSERT_TRUE(client->Lookup(doc, 0.5).ok());
+  service.server->Stop();
+  for (const SlowOpLog::Entry& entry : SlowOpLog::Default().Entries()) {
+    EXPECT_EQ(entry.op.rfind("server.", 0), std::string::npos)
+        << "slow-op logged while disabled: " << entry.op;
+  }
+  SlowOpLog::Default().Clear();
 }
 
 TEST(ServiceStressTest, ConcurrentClientsOverPipe) {

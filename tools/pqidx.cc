@@ -28,19 +28,23 @@
 //   pqidx diff   <old.xml> <new.xml>
 //       Prints a minimal edit script transforming old into new.
 //
-//   pqidx stats  <doc.xml>
-//       Structural statistics and per-shape pq-gram profile sizes.
+//   pqidx stats  <doc.xml | host:port>
+//       With a document: structural statistics and per-shape pq-gram
+//       profile sizes. With host:port: fetches a live pqidxd metrics
+//       snapshot (kStatsSnapshot) and prints the registry in text form.
 //
 //   pqidx join   <left-index> <right-index> [tau]
 //       Approximate join: all pairs within pq-gram distance tau
 //       (default 0.5). Use the same index file twice for a self-join.
 //
 //   pqidx serve <index-file> [-p P] [-q Q] [--port N] [-t THREADS]
-//               [--lookup-threads N]
+//               [--lookup-threads N] [--stats-interval SECS]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
-//       index file with the given shape if it does not exist. Stop with
-//       SIGINT/SIGTERM; final service statistics are printed on exit.
+//       index file with the given shape if it does not exist. With
+//       --stats-interval, dumps the metrics registry to stdout every
+//       SECS seconds. Stop with SIGINT/SIGTERM; final service statistics
+//       and the full registry are printed on exit.
 //
 //   pqidx store <subcommand> ...
 //       Manage a durable document store (crash-safe paged index plus the
@@ -52,12 +56,16 @@
 //         store ls     <dir>
 //         store verify <dir>
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/canonical.h"
@@ -65,7 +73,9 @@
 #include "core/forest_index.h"
 #include "core/join.h"
 #include "core/incremental.h"
+#include "common/metrics.h"
 #include "edit/tree_diff.h"
+#include "service/client.h"
 #include "service/server.h"
 #include "service/transport.h"
 #include "storage/document_store.h"
@@ -89,10 +99,10 @@ int Usage() {
                "[--canonical]\n"
                "  pqidx topk   <index-file> <query.xml> <k>\n"
                "  pqidx diff   <old.xml> <new.xml>\n"
-               "  pqidx stats  <doc.xml>\n"
+               "  pqidx stats  <doc.xml | host:port>\n"
                "  pqidx join   <left-index> <right-index> [tau]\n"
                "  pqidx serve  <index-file> [-p P] [-q Q] [--port N] "
-               "[-t THREADS] [--lookup-threads N]\n"
+               "[-t THREADS] [--lookup-threads N] [--stats-interval SECS]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -282,8 +292,31 @@ int CmdDiff(std::vector<std::string> args) {
   return 0;
 }
 
+// `pqidx stats host:port`: pulls the live metrics registry from a
+// running pqidxd (kStatsSnapshot) and prints it in exposition text form.
+int CmdRemoteStats(const std::string& endpoint) {
+  size_t colon = endpoint.rfind(':');
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (host.empty() || port < 1 || port > 65535) {
+    return Fail(InvalidArgumentError("expected host:port, got " + endpoint));
+  }
+  StatusOr<std::unique_ptr<Connection>> conn =
+      TcpConnect(host, static_cast<uint16_t>(port));
+  if (!conn.ok()) return Fail(conn.status());
+  StatusOr<std::unique_ptr<Client>> client =
+      Client::Connect(std::move(*conn));
+  if (!client.ok()) return Fail(client.status());
+  StatusOr<MetricsSnapshot> snapshot = (*client)->StatsSnapshot();
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::printf("%s", snapshot->ToText().c_str());
+  return 0;
+}
+
 int CmdStats(std::vector<std::string> args) {
   if (args.size() != 1) return Usage();
+  // host:port targets a live server; anything else is a document path.
+  if (args[0].find(':') != std::string::npos) return CmdRemoteStats(args[0]);
   StatusOr<Tree> tree = ParseXmlFile(args[0]);
   if (!tree.ok()) return Fail(tree.status());
   TreeStats stats = ComputeTreeStats(*tree);
@@ -328,6 +361,7 @@ int CmdServe(std::vector<std::string> args) {
   int port = 0;
   int threads = 4;
   int lookup_threads = 0;
+  int stats_interval = 0;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
@@ -336,12 +370,14 @@ int CmdServe(std::vector<std::string> args) {
       threads = std::atoi(args[++i].c_str());
     } else if (args[i] == "--lookup-threads" && i + 1 < args.size()) {
       lookup_threads = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--stats-interval" && i + 1 < args.size()) {
+      stats_interval = std::atoi(args[++i].c_str());
     } else {
       rest.push_back(args[i]);
     }
   }
   if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1 ||
-      lookup_threads < 0) {
+      lookup_threads < 0 || stats_interval < 0) {
     return Usage();
   }
   const std::string& index_path = rest[0];
@@ -386,9 +422,38 @@ int CmdServe(std::vector<std::string> args) {
               (*index)->shape().q, (*index)->size(), threads);
   std::fflush(stdout);
 
+  // Optional periodic registry dump: a background thread prints the
+  // process-wide metrics snapshot every --stats-interval seconds until
+  // shutdown wakes it through the condition variable.
+  std::mutex dump_mutex;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dump_thread;
+  if (stats_interval > 0) {
+    dump_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mutex);
+      while (!dump_cv.wait_for(lock, std::chrono::seconds(stats_interval),
+                               [&] { return dump_stop; })) {
+        MetricsSnapshot snapshot = Metrics::Default().Snapshot();
+        lock.unlock();
+        std::printf("--- metrics ---\n%s", snapshot.ToText().c_str());
+        std::fflush(stdout);
+        lock.lock();
+      }
+    });
+  }
+
   int caught = 0;
   sigwait(&signals, &caught);
   std::printf("caught signal %d, shutting down\n", caught);
+  if (dump_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mutex);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dump_thread.join();
+  }
   server.Stop();
 
   ServiceStats stats = server.stats();
@@ -407,6 +472,8 @@ int CmdServe(std::vector<std::string> args) {
               static_cast<long long>(stats.candidates_scored),
               static_cast<long long>(stats.snapshot_rebuild_us),
               static_cast<long long>(stats.last_rebuild_us));
+  std::printf("--- metrics ---\n%s",
+              Metrics::Default().Snapshot().ToText().c_str());
   return 0;
 }
 
