@@ -1,0 +1,219 @@
+// Write-path microbench: the two halves of a pqidxd commit, measured in
+// isolation. Section 1 times snapshot publish on a 10k-tree forest --
+// full LookupEngine::Build versus the copy-on-write ApplyDelta a
+// single-edit commit performs -- and reports the speedup (the acceptance
+// bar is >= 5x; only 1 of ~16 shards recompiles). Section 2 sweeps
+// PersistentForestIndex::ApplyBatch over batch size x edit size x staging
+// threads, showing how the parallel delta phase scales, plus BulkAdd
+// ingest serial vs pooled.
+//
+// Not in the paper: the paper's update experiments (Figs 13-14) measure
+// the algorithmic log-update; this measures the serving substrate this
+// repo builds around it. Emits BENCH_WRITE.json with --json[=PATH] or
+// PQIDX_BENCH_JSON, including the full metrics registry section.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/forest_index.h"
+#include "core/lookup_engine.h"
+#include "core/pqgram_index.h"
+#include "storage/persistent_forest_index.h"
+
+using namespace pqidx;
+using namespace pqidx::bench;
+
+namespace {
+
+PqGramIndex RandomBag(const PqShape& shape, Rng* rng, int tuples) {
+  PqGramIndex bag(shape);
+  for (int i = 0; i < tuples; ++i) {
+    bag.Add(static_cast<PqGramFingerprint>(rng->Next()), 1);
+  }
+  return bag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report("WRITE", argc, argv);
+  const PqShape shape{2, 3};
+
+  // --- Section 1: incremental vs full snapshot publish -----------------
+  // The server publishes a fresh immutable lookup snapshot after every
+  // committed batch. Pre-PR that was a full Build over the whole replica;
+  // now a single-edit commit recompiles only the one shard owning the
+  // edited tree and shares the other shards with the previous epoch.
+  const int kForestTrees = Scaled(10000);
+  const int kBagTuples = 40;
+  const int kShards = 16;
+  const int kFullReps = 3;
+  const int kIncrReps = 32;
+
+  Rng rng(42);
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < kForestTrees; ++id) {
+    forest.AddIndex(id, RandomBag(shape, &rng, kBagTuples));
+  }
+
+  std::shared_ptr<const LookupEngine> engine;
+  double full_s = 0;
+  for (int rep = 0; rep < kFullReps; ++rep) {
+    const double s = TimeIt([&] { engine = LookupEngine::Build(forest, kShards); });
+    if (rep == 0 || s < full_s) full_s = s;
+  }
+
+  double incr_s_total = 0;
+  for (int rep = 0; rep < kIncrReps; ++rep) {
+    // One single-tree edit per publish, the common interactive case.
+    TreeId id = static_cast<TreeId>(rng.NextBounded(
+        static_cast<uint64_t>(kForestTrees)));
+    forest.AddIndex(id, RandomBag(shape, &rng, kBagTuples));
+    incr_s_total += TimeIt([&] {
+      engine = LookupEngine::ApplyDelta(engine, forest, {id});
+    });
+  }
+  const double incr_s = incr_s_total / kIncrReps;
+  const double publish_speedup = incr_s > 0 ? full_s / incr_s : 0;
+
+  PrintHeader("snapshot publish: full Build vs incremental ApplyDelta");
+  std::printf("%d trees, %d shards, single-edit commits\n", kForestTrees,
+              kShards);
+  std::printf("%-32s %12.3f ms\n", "full Build (best of 3)", full_s * 1e3);
+  std::printf("%-32s %12.3f ms\n", "incremental ApplyDelta (mean)",
+              incr_s * 1e3);
+  std::printf("%-32s %11.1fx\n", "publish speedup", publish_speedup);
+  report.Add("publish_forest_trees", kForestTrees);
+  report.Add("publish_full_ms", full_s * 1e3, "ms");
+  report.Add("publish_incremental_ms", incr_s * 1e3, "ms");
+  report.Add("publish_speedup", publish_speedup, "x");
+
+  // --- Section 2: ApplyBatch staging sweep ------------------------------
+  // Batched edits against the persistent store: the delta phase
+  // (flatten, hash, region-group, net-merge) fans out across a pool; the
+  // WAL transaction and table apply stay serial. Edits/s per cell.
+  PrintHeader("ApplyBatch: batch size x edit size x staging threads");
+  const int kStoreTrees = 512;
+  const int kStoreBagTuples = 40;
+  const int kStagingThreads = 4;
+  const std::string path = "/tmp/pqidx_bench_apply_batch.idx";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  StatusOr<std::unique_ptr<PersistentForestIndex>> store =
+      PersistentForestIndex::Create(path, shape);
+  if (!store.ok()) {
+    std::fprintf(stderr, "create: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  ThreadPool pool(kStagingThreads);
+
+  // Seed via BulkAdd, timing serial vs pooled ingest on the way.
+  std::vector<PqGramIndex> seed_bags;
+  seed_bags.reserve(static_cast<size_t>(kStoreTrees));
+  for (int i = 0; i < kStoreTrees; ++i) {
+    seed_bags.push_back(RandomBag(shape, &rng, kStoreBagTuples));
+  }
+  std::vector<std::pair<TreeId, const PqGramIndex*>> refs;
+  for (int i = 0; i < kStoreTrees; ++i) {
+    refs.emplace_back(static_cast<TreeId>(i), &seed_bags[static_cast<size_t>(i)]);
+  }
+  const double ingest_pooled_s = TimeIt([&] {
+    if (Status s = (*store)->BulkAdd(refs, &pool); !s.ok()) {
+      std::fprintf(stderr, "bulk add: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  });
+  // Serial comparison point on a second store.
+  {
+    const std::string path2 = path + ".serial";
+    std::remove(path2.c_str());
+    std::remove((path2 + ".wal").c_str());
+    StatusOr<std::unique_ptr<PersistentForestIndex>> store2 =
+        PersistentForestIndex::Create(path2, shape);
+    if (store2.ok()) {
+      const double ingest_serial_s =
+          TimeIt([&] { (void)(*store2)->BulkAdd(refs, nullptr); });
+      std::printf("%-32s %12.3f ms serial, %.3f ms pooled (%d bags)\n",
+                  "BulkAdd ingest", ingest_serial_s * 1e3,
+                  ingest_pooled_s * 1e3, kStoreTrees);
+      report.Add("bulk_add_serial_ms", ingest_serial_s * 1e3, "ms");
+      report.Add("bulk_add_pooled_ms", ingest_pooled_s * 1e3, "ms");
+    }
+    std::remove(path2.c_str());
+    std::remove((path2 + ".wal").c_str());
+  }
+
+  std::printf("\n%10s %10s %10s %14s %12s\n", "batch", "tuples", "threads",
+              "edits/s", "delta [us]");
+  for (int batch_size : {1, 16, 128}) {
+    for (int edit_tuples : {4, 32}) {
+      for (int threads : {0, kStagingThreads}) {
+        const int kRounds = Scaled(8);
+        double total_s = 0;
+        int64_t total_edits = 0;
+        int64_t delta_us = 0;
+        for (int round = 0; round < kRounds; ++round) {
+          // Fresh plus-bags each round; empty minus keeps every edit a
+          // valid update without tracking store contents.
+          std::vector<PqGramIndex> plus;
+          PqGramIndex minus(shape);
+          plus.reserve(static_cast<size_t>(batch_size));
+          for (int b = 0; b < batch_size; ++b) {
+            plus.push_back(RandomBag(shape, &rng, edit_tuples));
+          }
+          std::vector<PersistentForestIndex::BatchEdit> edits;
+          for (int b = 0; b < batch_size; ++b) {
+            PersistentForestIndex::BatchEdit edit;
+            edit.id = static_cast<TreeId>(
+                (round * batch_size + b) % kStoreTrees);
+            edit.plus = &plus[static_cast<size_t>(b)];
+            edit.minus = &minus;
+            edits.push_back(edit);
+          }
+          std::vector<Status> results;
+          PersistentForestIndex::ApplyBatchTimings timings;
+          total_s += TimeIt([&] {
+            Status s = (*store)->ApplyBatch(edits, &results, &timings,
+                                            threads > 0 ? &pool : nullptr);
+            if (!s.ok()) {
+              std::fprintf(stderr, "apply: %s\n", s.ToString().c_str());
+              std::exit(1);
+            }
+          });
+          total_edits += batch_size;
+          delta_us += timings.delta_us;
+        }
+        const double edits_per_s = total_s > 0 ? total_edits / total_s : 0;
+        std::printf("%10d %10d %10d %14.0f %12lld\n", batch_size,
+                    edit_tuples, threads, edits_per_s,
+                    static_cast<long long>(delta_us / kRounds));
+        const std::string cell = "_b" + std::to_string(batch_size) + "_e" +
+                                 std::to_string(edit_tuples) + "_t" +
+                                 std::to_string(threads);
+        report.Add("apply_edits_per_s" + cell, edits_per_s, "edits/s");
+        report.Add("apply_delta_us" + cell,
+                   static_cast<double>(delta_us / kRounds), "us");
+      }
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  report.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
+
+  if (publish_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "incremental publish speedup %.1fx below the 5x bar\n",
+                 publish_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -129,6 +129,148 @@ double RunReaderSweep(int readers, const PqShape& shape,
   return requests / wall_s;
 }
 
+// One configuration of the write workload: `writers` concurrent clients,
+// each owning a disjoint tree range, fire a write_pct% edit / rest lookup
+// mix at a server configured with the given pipeline depth, staging pool,
+// and snapshot rebuild cadence. The (depth 1, staging 0, rebuild-every 1)
+// point reproduces the pre-pipelining write path exactly, so the sweep
+// doubles as the committed baseline for the write-throughput bar.
+struct WriteWorkloadConfig {
+  int writers = 4;
+  int write_pct = 90;
+  int pipeline_depth = 1;
+  int staging_threads = 0;
+  int full_rebuild_every = 1;
+};
+
+// Returns requests/second (negative on failure); appends edit latencies
+// and reports the group-commit batching factor and the total time the
+// server spent publishing snapshots through the out-params.
+double RunWriteWorkload(const WriteWorkloadConfig& cfg, const PqShape& shape,
+                        std::vector<double>* edit_latencies,
+                        double* batching_out, double* publish_s_out) {
+  const int kSeedTrees = 512;  // big enough that full rebuilds cost real time
+  const int kTreesPerWriter = 8;
+  const int kRequestsPerWriter = Scaled(150);
+  const int kTreeNodes = 50;
+  const std::string path = "/tmp/pqidx_bench_service_write.idx";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
+      PersistentForestIndex::Create(path, shape);
+  if (!index.ok()) return -1;
+  ServerOptions options;
+  options.max_connections = cfg.writers + 1;
+  options.commit_pipeline_depth = cfg.pipeline_depth;
+  options.staging_threads = cfg.staging_threads;
+  options.snapshot_full_rebuild_every = cfg.full_rebuild_every;
+  Server server(index->get(), options);
+  auto listener = std::make_unique<PipeListener>();
+  PipeListener* connect_point = listener.get();
+  if (!server.Start(std::move(listener)).ok()) return -1;
+
+  // Seed a background forest so every snapshot publish has real weight:
+  // with rebuild-every 1 each commit recompiles all of it, with the
+  // incremental path only the touched shard.
+  {
+    Rng rng(9100);
+    auto dict = std::make_shared<LabelDict>();
+    StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+    if (!conn.ok()) return -1;
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect(std::move(*conn));
+    if (!client.ok()) return -1;
+    for (TreeId id = 0; id < kSeedTrees; ++id) {
+      Tree tree = GenerateDblpLike(dict, &rng, kTreeNodes);
+      TreeId seed_id = static_cast<TreeId>(1000000 + id);
+      if (!(*client)->AddIndex(seed_id, BuildIndex(tree, shape)).ok()) {
+        return -1;
+      }
+    }
+    (*client)->Close();
+  }
+
+  std::vector<ClientResult> results(static_cast<size_t>(cfg.writers));
+  std::atomic<bool> ok{true};
+  WallTimer total;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < cfg.writers; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+      if (!conn.ok()) { ok.store(false); return; }
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect(std::move(*conn));
+      if (!client.ok()) { ok.store(false); return; }
+      Rng rng(9200 + c);
+      auto dict = std::make_shared<LabelDict>();
+      ClientResult& r = results[static_cast<size_t>(c)];
+      std::vector<PqGramIndex> bags;
+      for (int t = 0; t < kTreesPerWriter; ++t) {
+        TreeId id = static_cast<TreeId>(c * kTreesPerWriter + t);
+        Tree tree = GenerateDblpLike(dict, &rng, kTreeNodes);
+        PqGramIndex bag = BuildIndex(tree, shape);
+        if (!(*client)->AddIndex(id, bag).ok()) ++r.failures;
+        bags.push_back(std::move(bag));
+      }
+      for (int i = 0; i < kRequestsPerWriter; ++i) {
+        int t = static_cast<int>(rng.NextBounded(kTreesPerWriter));
+        TreeId id = static_cast<TreeId>(c * kTreesPerWriter + t);
+        PqGramIndex& bag = bags[static_cast<size_t>(t)];
+        if (static_cast<int>(rng.NextBounded(100)) < cfg.write_pct) {
+          PqGramIndex plus(shape);
+          PqGramIndex minus(shape);
+          if (!bag.counts().empty()) {
+            auto tuple = bag.counts().begin();
+            minus.Add(tuple->first, 1);
+            plus.Add(tuple->first, 1);
+          }
+          plus.Add(static_cast<PqGramFingerprint>(rng.Next()), 1);
+          WallTimer timer;
+          Status s = (*client)->ApplyDeltas(id, plus, minus, 1);
+          r.edit_s.push_back(timer.Seconds());
+          if (s.ok()) {
+            for (const auto& [fp, count] : plus.counts()) bag.Add(fp, count);
+            for (const auto& [fp, count] : minus.counts()) {
+              bag.Remove(fp, count);
+            }
+          } else {
+            ++r.failures;
+          }
+        } else {
+          WallTimer timer;
+          StatusOr<std::vector<LookupResult>> hits =
+              (*client)->Lookup(bag, 0.6);
+          r.lookup_s.push_back(timer.Seconds());
+          if (!hits.ok()) ++r.failures;
+        }
+      }
+      (*client)->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = total.Seconds();
+  ServiceStats stats = server.stats();
+  server.Stop();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  double requests = 0;
+  for (ClientResult& r : results) {
+    if (r.failures > 0) ok.store(false);
+    requests += static_cast<double>(r.lookup_s.size() + r.edit_s.size());
+    edit_latencies->insert(edit_latencies->end(), r.edit_s.begin(),
+                           r.edit_s.end());
+  }
+  *batching_out = stats.edit_commits > 0
+                      ? static_cast<double>(stats.edits_applied) /
+                            static_cast<double>(stats.edit_commits)
+                      : 0;
+  *publish_s_out = static_cast<double>(stats.snapshot_rebuild_us) * 1e-6;
+  if (!ok.load() || wall_s <= 0) return -1;
+  return requests / wall_s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +490,74 @@ int main(int argc, char** argv) {
   report.Add("metrics_on_throughput", rate_enabled, "req/s");
   report.Add("metrics_off_throughput", rate_disabled, "req/s");
   report.Add("metrics_overhead_pct", overhead_pct, "%");
+
+  // Write-path sweep: the same write-heavy workload (default 90% edits;
+  // --write-pct=N picks any read/write mix) against (a) the pre-pipelining
+  // configuration -- depth 1, serial staging, full snapshot rebuild per
+  // commit -- and (b) the pipelined configuration with parallel staging
+  // and incremental snapshots. (a) is the committed baseline the
+  // write-throughput acceptance bar compares against.
+  int write_pct = 90;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--write-pct=", 0) == 0) {
+      write_pct = std::atoi(arg.c_str() + 12);
+    }
+  }
+  if (write_pct < 0 || write_pct > 100) write_pct = 90;
+  PrintHeader("write-heavy workload (4 writers, " +
+              std::to_string(write_pct) + "% edits)");
+  std::printf("%-44s %12s %12s %10s %12s\n", "configuration", "req/s",
+              "edit p50", "batching", "publish [s]");
+  struct SweepPoint {
+    const char* label;
+    const char* cell;
+    WriteWorkloadConfig cfg;
+  };
+  const SweepPoint kSweep[] = {
+      // Pre-PR write path: one commit in flight, serial staging, full
+      // snapshot rebuild after every batch.
+      {"baseline: depth 1, serial, full rebuild",
+       "write_baseline",
+       {4, write_pct, 1, 0, 1}},
+      // Incremental snapshots alone: same serial commit loop, but each
+      // publish recompiles only the touched shard.
+      {"incremental snapshots only",
+       "write_incremental",
+       {4, write_pct, 1, 0, 64}},
+      // The full PR configuration: pipelined commits overlap validation
+      // and delta staging with the predecessor's WAL fsync.
+      {"pipelined: depth 2, staging 2, incremental",
+       "write_pipelined",
+       {4, write_pct, 2, 2, 64}},
+  };
+  double base_rate = 0, piped_rate = 0;
+  for (const SweepPoint& point : kSweep) {
+    std::vector<double> edit_lat;
+    double batching_factor = 0;
+    double publish_s = 0;
+    const double rate = RunWriteWorkload(point.cfg, shape, &edit_lat,
+                                         &batching_factor, &publish_s);
+    if (rate < 0) {
+      std::fprintf(stderr, "write workload failed (%s)\n", point.label);
+      return 1;
+    }
+    if (point.cfg.full_rebuild_every == 1) base_rate = rate;
+    if (point.cfg.pipeline_depth > 1) piped_rate = rate;
+    std::printf("%-44s %12.0f %10.3fms %9.2fx %12.3f\n", point.label, rate,
+                Percentile(&edit_lat, 50) * 1e3, batching_factor, publish_s);
+    const std::string cell = point.cell;
+    report.Add(cell + "_throughput", rate, "req/s");
+    report.Add(cell + "_edit_p50", Percentile(&edit_lat, 50) * 1e3, "ms");
+    report.Add(cell + "_edit_p99", Percentile(&edit_lat, 99) * 1e3, "ms");
+    report.Add(cell + "_batching", batching_factor, "x");
+  }
+  if (base_rate > 0) {
+    std::printf("%-44s %11.2fx\n", "write speedup (pipelined / baseline)",
+                piped_rate / base_rate);
+    report.Add("write_speedup", piped_rate / base_rate, "x");
+  }
+  report.Add("write_pct", write_pct, "%");
 
   // Embed the full process-wide registry so the BENCH json carries every
   // counter/gauge/histogram the run produced.

@@ -1,6 +1,7 @@
 #include "core/lookup_engine.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <utility>
 
@@ -113,6 +114,38 @@ std::shared_ptr<const LookupEngine> LookupEngine::Build(
   return Compile(inverted.shape(), ids, sizes, std::move(raw), num_shards);
 }
 
+void LookupEngine::FreezeShard(Shard* shard, std::vector<RawPosting> part) {
+  std::sort(part.begin(), part.end(),
+            [](const RawPosting& a, const RawPosting& b) {
+              return a.fp < b.fp || (a.fp == b.fp && a.slot < b.slot);
+            });
+  PQIDX_CHECK_MSG(part.size() <= UINT32_MAX,
+                  "shard posting arena exceeds 32-bit offsets");
+  shard->entries.reserve(part.size());
+  shard->offsets.push_back(0);
+  for (size_t i = 0; i < part.size(); ++i) {
+    const RawPosting& p = part[i];
+    PQIDX_CHECK_MSG(p.count > 0, "nonpositive posting count");
+    if (shard->fps.empty() || shard->fps.back() != p.fp) {
+      if (!shard->fps.empty()) {
+        shard->offsets.push_back(static_cast<uint32_t>(i));
+      }
+      shard->fps.push_back(p.fp);
+    }
+    // Counts beyond int32 are legitimate (accumulated edit deltas) but
+    // rare; spill them to the side map rather than abort a build that
+    // may be publishing a live server's next snapshot.
+    if (p.count <= INT32_MAX) {
+      shard->entries.push_back({p.slot, static_cast<int32_t>(p.count)});
+    } else {
+      shard->wide_counts.emplace(static_cast<uint32_t>(i), p.count);
+      shard->entries.push_back({p.slot, kWideCount});
+    }
+  }
+  shard->offsets.push_back(static_cast<uint32_t>(part.size()));
+  if (shard->fps.empty()) shard->offsets.assign(1, 0);
+}
+
 std::shared_ptr<const LookupEngine> LookupEngine::Compile(
     const PqShape& shape, const std::vector<TreeId>& tree_ids,
     const std::vector<int64_t>& tree_sizes, std::vector<RawPosting> raw,
@@ -136,9 +169,12 @@ std::shared_ptr<const LookupEngine> LookupEngine::Compile(
     shard_begin[s] = static_cast<int>(static_cast<int64_t>(s) * n /
                                       shard_count);
   }
+  std::vector<std::shared_ptr<Shard>> shards(
+      static_cast<size_t>(shard_count));
   std::vector<int32_t> slot_shard(static_cast<size_t>(n));
   for (int s = 0; s < shard_count; ++s) {
-    Shard& shard = engine->shards_[static_cast<size_t>(s)];
+    shards[static_cast<size_t>(s)] = std::make_shared<Shard>();
+    Shard& shard = *shards[static_cast<size_t>(s)];
     for (int slot = shard_begin[s]; slot < shard_begin[s + 1]; ++slot) {
       slot_shard[slot] = s;
       shard.tree_ids.push_back(tree_ids[static_cast<size_t>(slot)]);
@@ -161,43 +197,106 @@ std::shared_ptr<const LookupEngine> LookupEngine::Compile(
   raw.shrink_to_fit();
   for (int s = 0; s < shard_count; ++s) {
     std::vector<RawPosting>& part = shard_raw[static_cast<size_t>(s)];
-    std::sort(part.begin(), part.end(),
-              [](const RawPosting& a, const RawPosting& b) {
-                return a.fp < b.fp || (a.fp == b.fp && a.slot < b.slot);
-              });
-    Shard& shard = engine->shards_[static_cast<size_t>(s)];
-    PQIDX_CHECK_MSG(part.size() <= UINT32_MAX,
-                    "shard posting arena exceeds 32-bit offsets");
-    shard.entries.reserve(part.size());
-    shard.offsets.push_back(0);
-    for (size_t i = 0; i < part.size(); ++i) {
-      const RawPosting& p = part[i];
-      PQIDX_CHECK_MSG(p.count > 0, "nonpositive posting count");
-      if (shard.fps.empty() || shard.fps.back() != p.fp) {
-        if (!shard.fps.empty()) {
-          shard.offsets.push_back(static_cast<uint32_t>(i));
-        }
-        shard.fps.push_back(p.fp);
-      }
-      // Counts beyond int32 are legitimate (accumulated edit deltas) but
-      // rare; spill them to the side map rather than abort a build that
-      // may be publishing a live server's next snapshot.
-      if (p.count <= INT32_MAX) {
-        shard.entries.push_back({p.slot, static_cast<int32_t>(p.count)});
-      } else {
-        shard.wide_counts.emplace(static_cast<uint32_t>(i), p.count);
-        shard.entries.push_back({p.slot, kWideCount});
-      }
-    }
-    shard.offsets.push_back(static_cast<uint32_t>(part.size()));
-    if (shard.fps.empty()) shard.offsets.assign(1, 0);
     engine->posting_entries_ += static_cast<int64_t>(part.size());
-    part.clear();
-    part.shrink_to_fit();
+    FreezeShard(shards[static_cast<size_t>(s)].get(), std::move(part));
+    engine->shards_[static_cast<size_t>(s)] =
+        std::move(shards[static_cast<size_t>(s)]);
   }
   m_builds->Increment();
   if (Metrics::enabled()) {
     m_build_us->Record(Metrics::NowUs() - start_us);
+  }
+  return engine;
+}
+
+std::shared_ptr<const LookupEngine> LookupEngine::ApplyDelta(
+    const std::shared_ptr<const LookupEngine>& prev,
+    const ForestIndex& forest, const std::vector<TreeId>& changed) {
+  static Counter* const m_incremental =
+      Metrics::Default().counter("lookup_engine.incremental_builds");
+  static Counter* const m_reused =
+      Metrics::Default().counter("lookup_engine.shards_reused");
+  static Counter* const m_recompiled =
+      Metrics::Default().counter("lookup_engine.shards_recompiled");
+  static Histogram* const m_incremental_us =
+      Metrics::Default().histogram("lookup_engine.incremental_us");
+  PQIDX_CHECK_MSG(prev != nullptr, "ApplyDelta needs a previous snapshot");
+  PQIDX_CHECK_MSG(prev->shape_ == forest.shape(),
+                  "delta forest shape does not match the snapshot");
+  if (changed.empty()) return prev;
+  if (prev->num_trees_ == 0) {
+    // No shard tree-id ranges exist yet to route the delta into.
+    return Build(forest, prev->num_shards());
+  }
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+  const size_t shard_count = prev->shards_.size();
+
+  // Route every changed id to the shard whose ascending tree-id range
+  // (would) contain it: the last nonempty shard whose first id <= id,
+  // else the first nonempty shard. Ranges start contiguous (Build) and
+  // this routing keeps them disjoint and ascending, so an id already in
+  // the snapshot always routes to the shard that holds it.
+  std::vector<std::pair<TreeId, size_t>> firsts;
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (!prev->shards_[s]->tree_ids.empty()) {
+      firsts.emplace_back(prev->shards_[s]->tree_ids.front(), s);
+    }
+  }
+  std::vector<std::vector<TreeId>> incoming(shard_count);
+  for (TreeId id : changed) {
+    auto it = std::upper_bound(
+        firsts.begin(), firsts.end(),
+        std::make_pair(id, std::numeric_limits<size_t>::max()));
+    size_t s = it == firsts.begin() ? firsts.front().second
+                                    : std::prev(it)->second;
+    incoming[s].push_back(id);
+  }
+
+  std::shared_ptr<LookupEngine> engine(new LookupEngine());
+  engine->shape_ = prev->shape_;
+  engine->shards_.resize(shard_count);
+  int64_t trees = 0;
+  int64_t postings = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (incoming[s].empty()) {
+      // Untouched: share the frozen arena with the previous epoch.
+      engine->shards_[s] = prev->shards_[s];
+      trees += static_cast<int64_t>(engine->shards_[s]->tree_ids.size());
+      postings += static_cast<int64_t>(engine->shards_[s]->entries.size());
+      m_reused->Increment();
+      continue;
+    }
+    // Dirty: recompile from the forest. The shard's new tree set is the
+    // union of its previous ids and the changed ids routed here; any of
+    // them absent from the forest is a removal.
+    const Shard& old = *prev->shards_[s];
+    std::vector<TreeId> ids = old.tree_ids;
+    ids.insert(ids.end(), incoming[s].begin(), incoming[s].end());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    auto shard = std::make_shared<Shard>();
+    std::vector<RawPosting> part;
+    for (TreeId id : ids) {
+      const PqGramIndex* bag = forest.Find(id);
+      if (bag == nullptr) continue;  // removed
+      const int32_t slot = static_cast<int32_t>(shard->tree_ids.size());
+      shard->tree_ids.push_back(id);
+      shard->tree_sizes.push_back(bag->size());
+      for (const auto& [fp, count] : bag->counts()) {
+        part.push_back({fp, slot, count});
+      }
+    }
+    trees += static_cast<int64_t>(shard->tree_ids.size());
+    postings += static_cast<int64_t>(part.size());
+    FreezeShard(shard.get(), std::move(part));
+    engine->shards_[s] = std::move(shard);
+    m_recompiled->Increment();
+  }
+  engine->num_trees_ = static_cast<int>(trees);
+  engine->posting_entries_ = postings;
+  m_incremental->Increment();
+  if (Metrics::enabled()) {
+    m_incremental_us->Record(Metrics::NowUs() - start_us);
   }
   return engine;
 }
@@ -338,7 +437,7 @@ std::vector<LookupResult> LookupEngine::Lookup(
   std::vector<std::vector<LookupResult>> parts(shard_count);
   std::vector<LookupEngineStats> part_stats(shard_count);
   auto score = [&](int64_t s) {
-    ScoreShard(shards_[static_cast<size_t>(s)], tuples, query.size(), tau,
+    ScoreShard(*shards_[static_cast<size_t>(s)], tuples, query.size(), tau,
                &parts[static_cast<size_t>(s)],
                &part_stats[static_cast<size_t>(s)]);
   };
@@ -472,7 +571,7 @@ std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
     std::vector<LookupEngineStats> part_stats(shards_.size());
     pool->ParallelFor(
         static_cast<int64_t>(shards_.size()), [&](int64_t s) {
-          ScoreShardTopK(shards_[static_cast<size_t>(s)], tuples,
+          ScoreShardTopK(*shards_[static_cast<size_t>(s)], tuples,
                          query.size(), k, &heaps[static_cast<size_t>(s)],
                          &part_stats[static_cast<size_t>(s)]);
         });
@@ -481,8 +580,8 @@ std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
     }
     for (const LookupEngineStats& part : part_stats) local_stats += part;
   } else {
-    for (const Shard& shard : shards_) {
-      ScoreShardTopK(shard, tuples, query.size(), k, &merged,
+    for (const std::shared_ptr<const Shard>& shard : shards_) {
+      ScoreShardTopK(*shard, tuples, query.size(), k, &merged,
                      &local_stats);
     }
   }

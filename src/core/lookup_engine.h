@@ -36,6 +36,14 @@
 // A snapshot is immutable after Build, so concurrent lookups need no
 // locking; writers publish a fresh snapshot (see service/server.h for
 // the epoch-published shared_ptr protocol pqidxd uses).
+//
+// Snapshots are maintained the same way the paper maintains the index
+// itself (Lemma 2: In = I0 \ lambda(Delta-) |+| lambda(Delta+)):
+// ApplyDelta derives the next snapshot from the previous one by
+// copy-on-write -- only the shards whose tree-id range owns a changed
+// tree are recompiled into fresh arenas, every untouched shard is shared
+// with the previous epoch through its shared_ptr -- so publishing a
+// commit of k edits costs O(shards touched by k), not O(total postings).
 
 #ifndef PQIDX_CORE_LOOKUP_ENGINE_H_
 #define PQIDX_CORE_LOOKUP_ENGINE_H_
@@ -78,6 +86,19 @@ class LookupEngine {
                                                    int num_shards = 1);
   static std::shared_ptr<const LookupEngine> Build(
       const InvertedForestIndex& inverted, int num_shards = 1);
+
+  // Derives the next snapshot from `prev` by copy-on-write. `changed`
+  // lists every tree id whose bag differs between the snapshot and
+  // `forest` (Lemma 2's lambda(Delta+) and lambda(Delta-)): an id
+  // present in `forest` is an insert or update, an id absent from it is
+  // a removal. Only the shards owning a changed id are recompiled from
+  // `forest`; every other shard is shared with `prev`. The caller must
+  // list every differing id -- an unlisted change would be silently
+  // missed in a shared shard. Falls back to a full Build when `prev` is
+  // empty (there are no shard ranges to route into).
+  static std::shared_ptr<const LookupEngine> ApplyDelta(
+      const std::shared_ptr<const LookupEngine>& prev,
+      const ForestIndex& forest, const std::vector<TreeId>& changed);
 
   const PqShape& shape() const { return shape_; }
   int size() const { return num_trees_; }
@@ -158,6 +179,11 @@ class LookupEngine {
       const std::vector<int64_t>& tree_sizes, std::vector<RawPosting> raw,
       int num_shards);
 
+  // Freezes one shard's posting arena from its local-slot raw postings
+  // (sorts by (fp, slot), builds fps/offsets/entries with the wide-count
+  // spill). tree_ids/tree_sizes must already be filled in.
+  static void FreezeShard(Shard* shard, std::vector<RawPosting> part);
+
   static std::vector<QueryTuple> QueryTuples(const PqGramIndex& query);
 
   // Scores one shard for Lookup: accumulates overlaps rarest-first with
@@ -178,7 +204,9 @@ class LookupEngine {
   PqShape shape_;
   int num_trees_ = 0;
   int64_t posting_entries_ = 0;
-  std::vector<Shard> shards_;
+  // Shards are individually refcounted so ApplyDelta can share the
+  // untouched ones between consecutive snapshot epochs.
+  std::vector<std::shared_ptr<const Shard>> shards_;
 };
 
 }  // namespace pqidx

@@ -1,20 +1,17 @@
 #include "core/parallel_build.h"
 
-#include "common/thread_pool.h"
 #include "core/distance.h"
 
 namespace pqidx {
 
 ForestIndex BuildForestIndexParallel(
     const std::vector<std::pair<TreeId, const Tree*>>& trees,
-    const PqShape& shape, int num_threads) {
+    const PqShape& shape, ThreadPool* pool) {
+  PQIDX_CHECK(pool != nullptr);
   std::vector<PqGramIndex> bags(trees.size(), PqGramIndex(shape));
-  {
-    ThreadPool pool(num_threads);
-    pool.ParallelFor(static_cast<int64_t>(trees.size()), [&](int64_t i) {
-      bags[static_cast<size_t>(i)] = BuildIndex(*trees[i].second, shape);
-    });
-  }
+  pool->ParallelFor(static_cast<int64_t>(trees.size()), [&](int64_t i) {
+    bags[static_cast<size_t>(i)] = BuildIndex(*trees[i].second, shape);
+  });
   ForestIndex forest(shape);
   for (size_t i = 0; i < trees.size(); ++i) {
     forest.AddIndex(trees[i].first, std::move(bags[i]));
@@ -24,26 +21,47 @@ ForestIndex BuildForestIndexParallel(
 
 ForestIndex BuildForestIndexParallel(const std::vector<Tree>& trees,
                                      const PqShape& shape,
-                                     int num_threads) {
+                                     ThreadPool* pool) {
   std::vector<std::pair<TreeId, const Tree*>> refs;
   refs.reserve(trees.size());
   for (size_t i = 0; i < trees.size(); ++i) {
     refs.emplace_back(static_cast<TreeId>(i), &trees[i]);
   }
-  return BuildForestIndexParallel(refs, shape, num_threads);
+  return BuildForestIndexParallel(refs, shape, pool);
+}
+
+std::vector<double> AllDistancesParallel(const ForestIndex& forest,
+                                         const PqGramIndex& query,
+                                         ThreadPool* pool) {
+  PQIDX_CHECK(pool != nullptr);
+  std::vector<TreeId> ids = forest.TreeIds();
+  std::vector<double> distances(ids.size(), 0.0);
+  pool->ParallelFor(static_cast<int64_t>(ids.size()), [&](int64_t i) {
+    distances[static_cast<size_t>(i)] =
+        PqGramDistance(query, *forest.Find(ids[static_cast<size_t>(i)]));
+  });
+  return distances;
+}
+
+ForestIndex BuildForestIndexParallel(
+    const std::vector<std::pair<TreeId, const Tree*>>& trees,
+    const PqShape& shape, int num_threads) {
+  ThreadPool pool(num_threads);
+  return BuildForestIndexParallel(trees, shape, &pool);
+}
+
+ForestIndex BuildForestIndexParallel(const std::vector<Tree>& trees,
+                                     const PqShape& shape,
+                                     int num_threads) {
+  ThreadPool pool(num_threads);
+  return BuildForestIndexParallel(trees, shape, &pool);
 }
 
 std::vector<double> AllDistancesParallel(const ForestIndex& forest,
                                          const PqGramIndex& query,
                                          int num_threads) {
-  std::vector<TreeId> ids = forest.TreeIds();
-  std::vector<double> distances(ids.size(), 0.0);
   ThreadPool pool(num_threads);
-  pool.ParallelFor(static_cast<int64_t>(ids.size()), [&](int64_t i) {
-    distances[static_cast<size_t>(i)] =
-        PqGramDistance(query, *forest.Find(ids[static_cast<size_t>(i)]));
-  });
-  return distances;
+  return AllDistancesParallel(forest, query, &pool);
 }
 
 }  // namespace pqidx

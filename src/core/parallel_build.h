@@ -3,6 +3,11 @@
 // Profile computation is read-only over each tree and dominates indexing
 // cost (paper Section 9.1), so the batch parallelizes perfectly.
 //
+// Every entry point takes a caller-owned ThreadPool so long-lived callers
+// (the server, the tools, the benches) amortize worker startup across
+// calls; the `num_threads` overloads remain for one-shot use and spin up
+// a pool just for that call.
+//
 // Thread-safety note: the trees' shared LabelDict is only *read* here
 // (all labels were interned at construction), which is safe; interning
 // while a parallel build runs is not.
@@ -13,23 +18,35 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/forest_index.h"
 #include "tree/tree.h"
 
 namespace pqidx {
 
-// Builds a forest index over `trees` with ids 0..n-1 using `num_threads`
-// workers.
+// Builds a forest index over `trees` with ids 0..n-1 on a caller-owned
+// pool (must not be null).
 ForestIndex BuildForestIndexParallel(const std::vector<Tree>& trees,
-                                     const PqShape& shape, int num_threads);
+                                     const PqShape& shape, ThreadPool* pool);
 
 // As above with explicit (id, tree) pairs.
 ForestIndex BuildForestIndexParallel(
     const std::vector<std::pair<TreeId, const Tree*>>& trees,
-    const PqShape& shape, int num_threads);
+    const PqShape& shape, ThreadPool* pool);
 
 // Distances of `query` against every tree bag of `forest`, in TreeIds()
-// order, computed across `num_threads` workers.
+// order, computed across a caller-owned pool (must not be null).
+std::vector<double> AllDistancesParallel(const ForestIndex& forest,
+                                         const PqGramIndex& query,
+                                         ThreadPool* pool);
+
+// One-shot conveniences: construct a fresh pool of `num_threads` workers
+// for the duration of the call.
+ForestIndex BuildForestIndexParallel(const std::vector<Tree>& trees,
+                                     const PqShape& shape, int num_threads);
+ForestIndex BuildForestIndexParallel(
+    const std::vector<std::pair<TreeId, const Tree*>>& trees,
+    const PqShape& shape, int num_threads);
 std::vector<double> AllDistancesParallel(const ForestIndex& forest,
                                          const PqGramIndex& query,
                                          int num_threads);

@@ -1,7 +1,9 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -46,6 +48,9 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   PQIDX_CHECK(options_.max_group_commit >= 1);
   PQIDX_CHECK(options_.lookup_threads >= 0);
   PQIDX_CHECK(options_.lookup_shards >= 0);
+  PQIDX_CHECK(options_.commit_pipeline_depth >= 1);
+  PQIDX_CHECK(options_.snapshot_full_rebuild_every >= 0);
+  PQIDX_CHECK(options_.staging_threads >= 0);
   Metrics& metrics = Metrics::Default();
   for (uint8_t t = static_cast<uint8_t>(MessageType::kPing);
        t <= static_cast<uint8_t>(MessageType::kStatsSnapshot); ++t) {
@@ -55,6 +60,10 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   }
   m_batch_edits_ = metrics.histogram("server.group_commit_batch");
   m_rebuild_us_ = metrics.histogram("server.snapshot_rebuild_us");
+  m_snapshot_incremental_us_ =
+      metrics.histogram("server.snapshot_incremental_us");
+  m_snapshot_full_us_ = metrics.histogram("server.snapshot_full_us");
+  m_pipeline_depth_ = metrics.gauge("server.pipeline_depth");
   m_queue_depth_ = metrics.gauge("server.write_queue_depth");
   m_active_connections_ = metrics.gauge("server.active_connections");
   m_snapshot_epoch_ = metrics.gauge("server.snapshot_epoch");
@@ -77,7 +86,10 @@ Status Server::Start(std::unique_ptr<Listener> listener) {
   if (options_.lookup_threads > 0) {
     lookup_pool_ = std::make_unique<ThreadPool>(options_.lookup_threads);
   }
-  PublishEngine();  // epoch 1: the initial snapshot of the store
+  if (options_.staging_threads > 0) {
+    staging_pool_ = std::make_unique<ThreadPool>(options_.staging_threads);
+  }
+  PublishEngine({});  // epoch 1: the initial snapshot of the store
   listener_ = std::move(listener);
   pool_ = std::make_unique<ThreadPool>(options_.max_connections);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -89,14 +101,30 @@ std::shared_ptr<const LookupEngine> Server::EngineSnapshot() const {
   return engine_;
 }
 
-void Server::PublishEngine() {
+void Server::PublishEngine(const std::vector<TreeId>& changed) {
   const auto start = std::chrono::steady_clock::now();
   int shards = options_.lookup_shards;
   if (shards == 0) {
-    shards = options_.lookup_threads > 0 ? options_.lookup_threads * 2 : 1;
+    // A one-shard snapshot would make every incremental publish a full
+    // recompile (the lone shard owns every tree), so the default keeps
+    // enough shards for copy-on-write sharing even without lookup
+    // threads. Build() clamps to the tree count for tiny forests.
+    shards = std::max(16, options_.lookup_threads * 2);
+  }
+  std::shared_ptr<const LookupEngine> prev = EngineSnapshot();
+  // Full builds: the initial snapshot, and every Nth publish thereafter
+  // (cadence 1 rebuilds every time; 0 never after the first). Everything
+  // in between derives the next epoch from the previous one by
+  // copy-on-write, recompiling only the shards owning changed trees.
+  bool full = prev == nullptr || changed.empty();
+  if (!full && options_.snapshot_full_rebuild_every > 0 &&
+      publishes_since_full_ + 1 >= options_.snapshot_full_rebuild_every) {
+    full = true;
   }
   std::shared_ptr<const LookupEngine> next =
-      LookupEngine::Build(replica_, shards);
+      full ? LookupEngine::Build(replica_, shards)
+           : LookupEngine::ApplyDelta(prev, replica_, changed);
+  publishes_since_full_ = full ? 0 : publishes_since_full_ + 1;
   const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -108,7 +136,10 @@ void Server::PublishEngine() {
   last_rebuild_us_.store(us);
   snapshot_rebuild_us_.fetch_add(us);
   m_snapshot_epoch_->Set(snapshot_epoch_.load());
-  if (Metrics::enabled()) m_rebuild_us_->Record(us);
+  if (Metrics::enabled()) {
+    m_rebuild_us_->Record(us);
+    (full ? m_snapshot_full_us_ : m_snapshot_incremental_us_)->Record(us);
+  }
 }
 
 void Server::Stop() {
@@ -372,11 +403,13 @@ Status Server::SubmitEdit(PendingEdit* edit) {
   m_queue_depth_->Set(static_cast<int64_t>(write_queue_.size()));
   for (;;) {
     if (edit->done) return edit->result;
-    if (!leader_active_ && !write_queue_.empty()) {
-      // Become the group-commit leader. Optionally hold leadership so
-      // concurrent writers can pile into this batch -- the same window a
-      // slow fsync opens naturally.
-      leader_active_ = true;
+    if (active_commits_ < options_.commit_pipeline_depth &&
+        !write_queue_.empty()) {
+      // Become a batch leader. Optionally hold leadership so concurrent
+      // writers can pile into this batch -- the same window a slow fsync
+      // opens naturally.
+      ++active_commits_;
+      m_pipeline_depth_->Set(active_commits_);
       if (options_.commit_hold_us > 0) {
         lock.unlock();
         std::this_thread::sleep_for(
@@ -390,11 +423,22 @@ Status Server::SubmitEdit(PendingEdit* edit) {
         write_queue_.pop_front();
       }
       m_queue_depth_->Set(static_cast<int64_t>(write_queue_.size()));
+      if (batch.empty()) {
+        // Another leader drained the queue during the hold window.
+        --active_commits_;
+        m_pipeline_depth_->Set(active_commits_);
+        continue;
+      }
+      // The ticket is drawn under write_mutex_ together with the drain,
+      // so ticket order == queue order and the pipeline's turnstiles
+      // replay the exact serial-leader commit order.
+      const uint64_t ticket = next_ticket_++;
       lock.unlock();
-      CommitBatch(batch);
+      CommitBatch(batch, ticket);
       lock.lock();
       for (PendingEdit* done : batch) done->done = true;
-      leader_active_ = false;
+      --active_commits_;
+      m_pipeline_depth_->Set(active_commits_);
       write_cv_.notify_all();
       continue;  // our own edit is usually in `batch`; re-check
     }
@@ -402,19 +446,215 @@ Status Server::SubmitEdit(PendingEdit* edit) {
   }
 }
 
-void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
+void Server::AwaitTurn(uint64_t* turn, uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(commit_mutex_);
+  commit_cv_.wait(lock, [&] { return *turn == ticket; });
+}
+
+void Server::FinishTurn(uint64_t* turn) {
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    ++*turn;
+  }
+  commit_cv_.notify_all();
+}
+
+void Server::ValidateBatch(const std::vector<PendingEdit*>& batch,
+                           uint64_t ticket, StagedBatch* staged) {
+  // Validation runs with the index exclusively locked: it reads replica_
+  // and overlay_, and installs this batch's pending bags into overlay_.
+  // The staging workers only *read* shared state (each works on its own
+  // tree group and its own PendingEdit objects), so fanning out under
+  // the exclusive lock is safe.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+
+  // Group the batch by tree id (batch order preserved within a group):
+  // distinct trees are independent by contract, so their validation +
+  // next-bag materialization parallelize; edits of one tree chain
+  // sequentially, mirroring the catalog checks inside
+  // PersistentForestIndex::ApplyBatch. Crucially this proves minus is a
+  // sub-bag of the stored bag, which the storage layer's UpdateTree
+  // contract requires of its callers.
+  std::vector<std::vector<size_t>> groups;
+  {
+    std::map<TreeId, size_t> group_of;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto [it, inserted] = group_of.try_emplace(batch[i]->id, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  }
+  std::vector<uint8_t> edit_ok(batch.size(), 0);
+  // One composed next bag per group that staged anything.
+  std::vector<std::unique_ptr<PqGramIndex>> group_bags(groups.size());
+  auto validate_group = [&](int64_t g) {
+    const std::vector<size_t>& group = groups[static_cast<size_t>(g)];
+    const TreeId id = batch[group.front()]->id;
+    auto pending = overlay_.find(id);
+    const PqGramIndex* current = pending != overlay_.end()
+                                     ? &pending->second.bag
+                                     : replica_.Find(id);
+    std::unique_ptr<PqGramIndex>& composed =
+        group_bags[static_cast<size_t>(g)];
+    for (size_t i : group) {
+      PendingEdit& edit = *batch[i];
+      const PqGramIndex* cur = composed != nullptr ? composed.get() : current;
+      if (edit.is_add) {
+        if (cur != nullptr) {
+          edit.result = FailedPreconditionError("tree already indexed");
+          continue;
+        }
+        composed = std::make_unique<PqGramIndex>(edit.add_or_plus);
+      } else {
+        if (cur == nullptr) {
+          edit.result = NotFoundError("tree not indexed");
+          continue;
+        }
+        bool sub_bag = true;
+        for (const auto& [fp, count] : edit.minus.counts()) {
+          if (cur->Count(fp) < count) {
+            sub_bag = false;
+            break;
+          }
+        }
+        if (!sub_bag) {
+          edit.result = InvalidArgumentError(
+              "minus bag is not a sub-bag of the stored bag");
+          continue;
+        }
+        auto next = std::make_unique<PqGramIndex>(*cur);
+        for (const auto& [fp, count] : edit.minus.counts()) {
+          next->Remove(fp, count);
+        }
+        for (const auto& [fp, count] : edit.add_or_plus.counts()) {
+          next->Add(fp, count);
+        }
+        composed = std::move(next);
+      }
+      edit_ok[i] = 1;
+    }
+  };
+  if (staging_pool_ != nullptr && groups.size() > 1) {
+    staging_pool_->ParallelFor(static_cast<int64_t>(groups.size()),
+                               validate_group);
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      validate_group(static_cast<int64_t>(g));
+    }
+  }
+
+  // Assemble the store edits in batch order and stage the composed bags:
+  // `scratch` owns the copy this batch will apply to replica_ in its
+  // storage turn; overlay_ gets its own copy tagged with our ticket so
+  // successor batches validate against the pending state. (Two copies on
+  // purpose: a successor may overwrite the overlay entry with a further
+  // composed bag before our storage turn runs.)
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!edit_ok[i]) continue;
+    PendingEdit& edit = *batch[i];
+    PersistentForestIndex::BatchEdit batch_edit;
+    batch_edit.id = edit.id;
+    if (edit.is_add) {
+      batch_edit.add = &edit.add_or_plus;
+    } else {
+      batch_edit.plus = &edit.add_or_plus;
+      batch_edit.minus = &edit.minus;
+    }
+    staged->edits.push_back(batch_edit);
+    staged->edit_to_batch.push_back(i);
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (group_bags[g] == nullptr) continue;
+    const TreeId id = batch[groups[g].front()]->id;
+    overlay_.insert_or_assign(id, PendingBag{*group_bags[g], ticket});
+    staged->scratch.insert_or_assign(id, std::move(*group_bags[g]));
+  }
+  staged->failure_stamp = failure_stamp_;
+}
+
+void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
+                         uint64_t ticket) {
   const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   PersistentForestIndex::ApplyBatchTimings timings;
-  const int64_t applied = CommitBatchLocked(batch, &timings);
-  if (applied == 0) return;  // replica unchanged: keep the old snapshot
-  // Publish the batch to readers: compile a fresh snapshot from the
-  // updated replica and swap it in. Readers already scoring on the old
-  // snapshot keep their shared_ptr; new lookups see this epoch. This
-  // runs OUTSIDE index_mutex_: compiling is O(total postings), it only
-  // reads replica_, and the group-commit protocol makes this leader the
-  // sole replica_ mutator until the batch is acknowledged -- so stats()
-  // shared readers are never blocked behind a rebuild.
-  PublishEngine();
+
+  // Phase V (ticket-ordered): validation + δ-materialization. At
+  // pipeline depth d this overlaps the WAL write/fsync of up to d-1
+  // predecessor batches.
+  AwaitTurn(&validate_turn_, ticket);
+  StagedBatch staged;
+  ValidateBatch(batch, ticket, &staged);
+  FinishTurn(&validate_turn_);
+
+  // Phase S (ticket-ordered): the WAL transaction, the replica delta,
+  // and the snapshot publish. Storage commits run strictly in ticket
+  // order, so the on-disk WAL sees the same atomic, ordered transactions
+  // as the serial leader and the crash matrix's before/after-batch
+  // guarantee carries over unchanged.
+  AwaitTurn(&storage_turn_, ticket);
+  int64_t applied = 0;
+  if (!staged.edits.empty()) {
+    // A predecessor batch that failed after our validation invalidates
+    // our premises (we validated against its pending overlay bags):
+    // abort before touching the store.
+    bool aborted;
+    {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      aborted = failure_stamp_ != staged.failure_stamp;
+    }
+    Status committed;
+    std::vector<Status> results;
+    if (aborted) {
+      committed = FailedPreconditionError(
+          "aborted: an earlier pipelined batch failed");
+      results.assign(staged.edits.size(), committed);
+    } else {
+      committed = index_->ApplyBatch(staged.edits, &results, &timings,
+                                     staging_pool_.get());
+    }
+    for (size_t j = 0; j < staged.edits.size(); ++j) {
+      PendingEdit& edit = *batch[staged.edit_to_batch[j]];
+      edit.result = results[j];
+      // The replica validation mirrors the catalog validation inside
+      // ApplyBatch, so a staged edit can only fail with the whole batch.
+      PQIDX_DCHECK(results[j].ok() == committed.ok());
+      if (results[j].ok()) ++applied;
+    }
+    if (committed.ok() && applied > 0) {
+      std::vector<TreeId> changed;
+      changed.reserve(staged.scratch.size());
+      {
+        std::unique_lock<std::shared_mutex> lock(index_mutex_);
+        for (auto& [id, bag] : staged.scratch) {
+          changed.push_back(id);
+          replica_.AddIndex(id, std::move(bag));
+          // Retire our overlay entries; a successor batch may already
+          // have replaced one with its own further-composed bag, in
+          // which case it stays (tagged with the successor's ticket).
+          auto it = overlay_.find(id);
+          if (it != overlay_.end() && it->second.ticket == ticket) {
+            overlay_.erase(it);
+          }
+        }
+      }
+      // Publish the batch to readers: swap in the next snapshot epoch.
+      // This runs OUTSIDE index_mutex_ (it only reads replica_, and
+      // storage turns are the sole replica_ mutators, strictly ordered)
+      // but INSIDE the storage turn so epochs advance in ticket order.
+      PublishEngine(changed);
+    } else {
+      // The store rolled the whole batch back. Successors may have
+      // validated against our (now vacuous) overlay bags: clear the
+      // overlay and bump the failure stamp so they abort at their
+      // storage turn instead of applying edits premised on ours.
+      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      overlay_.clear();
+      ++failure_stamp_;
+      applied = 0;
+    }
+  }
+  FinishTurn(&storage_turn_);
+
+  if (applied == 0) return;
   edits_applied_.fetch_add(applied);
   edit_commits_.fetch_add(1);
   m_edits_applied_->Add(applied);
@@ -438,92 +678,6 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch) {
               " publish_us=" + std::to_string(last_rebuild_us_.load()));
     }
   }
-}
-
-int64_t Server::CommitBatchLocked(
-    const std::vector<PendingEdit*>& batch,
-    PersistentForestIndex::ApplyBatchTimings* timings) {
-  // Validation, commit, and replica update run with the index
-  // exclusively locked: the replica and the persistent store change
-  // together or not at all.
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
-
-  // Validate each edit against the replica (with a scratch overlay so
-  // edits earlier in the batch are visible to later ones), mirroring the
-  // checks PersistentForestIndex::ApplyBatch applies to its catalog.
-  // Crucially this proves minus is a sub-bag of the stored bag, which the
-  // storage layer's UpdateTree contract requires of its callers.
-  std::map<TreeId, PqGramIndex> scratch;
-  std::vector<PersistentForestIndex::BatchEdit> edits;
-  std::vector<size_t> edit_to_batch;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    PendingEdit& edit = *batch[i];
-    auto it = scratch.find(edit.id);
-    const PqGramIndex* current =
-        it != scratch.end() ? &it->second : replica_.Find(edit.id);
-    if (edit.is_add) {
-      if (current != nullptr) {
-        edit.result = FailedPreconditionError("tree already indexed");
-        continue;
-      }
-      scratch.insert_or_assign(edit.id, edit.add_or_plus);
-    } else {
-      if (current == nullptr) {
-        edit.result = NotFoundError("tree not indexed");
-        continue;
-      }
-      bool sub_bag = true;
-      for (const auto& [fp, count] : edit.minus.counts()) {
-        if (current->Count(fp) < count) {
-          sub_bag = false;
-          break;
-        }
-      }
-      if (!sub_bag) {
-        edit.result = InvalidArgumentError(
-            "minus bag is not a sub-bag of the stored bag");
-        continue;
-      }
-      PqGramIndex next = *current;
-      for (const auto& [fp, count] : edit.minus.counts()) {
-        next.Remove(fp, count);
-      }
-      for (const auto& [fp, count] : edit.add_or_plus.counts()) {
-        next.Add(fp, count);
-      }
-      scratch.insert_or_assign(edit.id, std::move(next));
-    }
-    PersistentForestIndex::BatchEdit batch_edit;
-    batch_edit.id = edit.id;
-    if (edit.is_add) {
-      batch_edit.add = &edit.add_or_plus;
-    } else {
-      batch_edit.plus = &edit.add_or_plus;
-      batch_edit.minus = &edit.minus;
-    }
-    edits.push_back(batch_edit);
-    edit_to_batch.push_back(i);
-  }
-
-  if (edits.empty()) return 0;  // nothing valid: nothing to commit
-
-  std::vector<Status> results;
-  Status committed = index_->ApplyBatch(edits, &results, timings);
-  int64_t applied = 0;
-  for (size_t j = 0; j < edits.size(); ++j) {
-    PendingEdit& edit = *batch[edit_to_batch[j]];
-    edit.result = results[j];
-    // The replica validation above mirrors the catalog validation inside
-    // ApplyBatch, so a staged edit can only fail with the whole batch.
-    PQIDX_DCHECK(results[j].ok() == committed.ok());
-    if (results[j].ok()) ++applied;
-  }
-  if (!committed.ok() || applied == 0) return 0;  // replica stays as-is
-
-  for (auto& [id, bag] : scratch) {
-    replica_.AddIndex(id, std::move(bag));
-  }
-  return applied;
 }
 
 }  // namespace pqidx

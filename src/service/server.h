@@ -17,13 +17,29 @@
 //     ForestIndex replica after each batch and atomically swaps it in
 //     (the replica itself is only read by the write path's validation);
 //   * writes go through group commit: a writer enqueues its edit and the
-//     first free writer becomes the leader, drains the queue, and
+//     first free writer becomes a batch leader, drains the queue, and
 //     applies the whole batch as ONE WAL transaction
 //     (PersistentForestIndex::ApplyBatch -- one fsync pair for the
 //     entire batch). Writers submitted while a leader is committing are
 //     coalesced into the next batch, amortizing durability cost exactly
 //     where the paper's incremental update makes the writes themselves
-//     cheap.
+//     cheap;
+//   * group commits pipeline (`commit_pipeline_depth`): up to that many
+//     batch leaders run at once, each batch holding a ticket drawn in
+//     queue order. Validation + δ-materialization run in ticket order
+//     against the replica plus an overlay of the predecessors' pending
+//     bags, overlapping the predecessor's WAL write/fsync; the storage
+//     commits themselves also run in ticket order, so the WAL sees the
+//     same strictly ordered, atomic transactions as the serial leader
+//     and the crash guarantee (a recovered store is exactly the state
+//     before or after a batch) is unchanged. If a batch fails at the
+//     storage layer, in-flight successors that validated against its
+//     pending bags abort with an error before touching the store;
+//   * snapshots are published incrementally: the leader derives the next
+//     LookupEngine epoch from the previous one via
+//     LookupEngine::ApplyDelta (copy-on-write: only shards owning
+//     touched trees recompile), with a full Build every
+//     `snapshot_full_rebuild_every` publishes as defragmentation.
 //
 // Responses are sent only after the edit is durable (commit before ack).
 // Invalid edits (unknown tree, duplicate add, minus bag not a sub-bag of
@@ -35,7 +51,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -76,17 +94,39 @@ struct ServerOptions {
   // PQIDX_SLOW_OP_US environment variable, default 100ms); negative
   // disables slow-op logging for this server.
   int64_t slow_op_us = 0;
-  // Shards the lookup snapshot is compiled into; 0 derives a default
-  // from lookup_threads. Results never depend on the shard count.
+  // Shards the lookup snapshot is compiled into; 0 derives a default:
+  // at least 16 (so incremental publication has shards to share; a
+  // single-shard snapshot would recompile everything on every commit),
+  // or 2x lookup_threads when that is larger. Results never depend on
+  // the shard count.
   //
-  // Trade-off: the group-commit leader recompiles the whole snapshot --
-  // O(total postings) -- after every committed batch (outside
-  // index_mutex_, so concurrent lookups and stats() never wait on it),
-  // which puts snapshot compilation on the write-ack path: write
-  // latency grows with forest size, group commit amortizes it across
-  // the batch, and a committed edit is always visible to the next
-  // lookup once its response arrives (read-your-writes).
+  // Trade-off: snapshot publication sits on the write-ack path (outside
+  // index_mutex_, so concurrent lookups and stats() never wait on it):
+  // a committed edit is always visible to the next lookup once its
+  // response arrives (read-your-writes). Incremental publication
+  // (LookupEngine::ApplyDelta) makes that cost O(shards touched by the
+  // batch) instead of O(total postings).
   int lookup_shards = 0;
+  // How many group-commit batches may be in flight at once (>= 1).
+  // 1 is the classic serial leader. At depth d, batch N+1's validation
+  // and δ-materialization overlap batch N's WAL write + fsync; the WAL
+  // transactions themselves stay strictly ordered.
+  int commit_pipeline_depth = 1;
+  // Publish a full LookupEngine::Build every N snapshot publishes,
+  // deriving the ones in between incrementally from the previous epoch
+  // (copy-on-write shard reuse). 1 rebuilds fully every time (the
+  // pre-incremental behavior); 0 never rebuilds fully after the initial
+  // snapshot. The periodic full build re-balances shard tree ranges
+  // that incremental routing slowly skews and doubles as a validation /
+  // defragmentation pass.
+  int snapshot_full_rebuild_every = 64;
+  // Dedicated threads for the write path's parallel work: per-tree
+  // validation + δ-materialization during group commit, and the
+  // flatten/hash/merge half of PersistentForestIndex::ApplyBatch's
+  // δ-staging. 0 stages inline on the leader thread. This pool is
+  // separate from the connection pool (leaders run on connection
+  // threads and a pool must not wait on itself).
+  int staging_threads = 0;
 };
 
 class Server {
@@ -132,31 +172,69 @@ class Server {
   // Group commit: blocks until `edit` is durable (or rejected) and
   // returns its result. The calling thread may serve as batch leader.
   Status SubmitEdit(PendingEdit* edit);
-  void CommitBatch(const std::vector<PendingEdit*>& batch);
-  // The store-and-replica mutation half of CommitBatch, run under
-  // index_mutex_ held exclusively; returns how many edits were applied
-  // (0 when the replica is unchanged). `timings` receives the store's
-  // ApplyBatch phase split for the slow-op log.
-  int64_t CommitBatchLocked(
-      const std::vector<PendingEdit*>& batch,
-      PersistentForestIndex::ApplyBatchTimings* timings);
+
+  // One validated batch between its two pipeline phases: the composed
+  // next bag per touched tree, the store edits in batch order, and the
+  // failure stamp observed at validation (a stamp change before the
+  // storage turn means a predecessor batch this validation may have
+  // depended on failed, so the batch must abort).
+  struct StagedBatch {
+    std::map<TreeId, PqGramIndex> scratch;
+    std::vector<PersistentForestIndex::BatchEdit> edits;
+    std::vector<size_t> edit_to_batch;
+    uint64_t failure_stamp = 0;
+  };
+
+  // Runs one batch through the pipeline: awaits the validate turn for
+  // `ticket`, validates + materializes (ValidateBatch), then awaits the
+  // storage turn, commits the WAL transaction, applies the replica
+  // delta, and publishes the next snapshot epoch.
+  void CommitBatch(const std::vector<PendingEdit*>& batch, uint64_t ticket);
+
+  // Validation + δ-materialization under index_mutex_ held exclusively:
+  // checks each edit against the replica overlaid with the predecessors'
+  // pending bags (and a local overlay so edits earlier in the batch are
+  // visible to later ones), composes the next bag per touched tree, and
+  // installs those bags into overlay_ tagged with `ticket` for successor
+  // batches. Independent trees fan out across staging_pool_.
+  void ValidateBatch(const std::vector<PendingEdit*>& batch,
+                     uint64_t ticket, StagedBatch* staged);
+
+  // Ticket-ordered turnstiles for the two pipeline phases.
+  void AwaitTurn(uint64_t* turn, uint64_t ticket);
+  void FinishTurn(uint64_t* turn);
 
   // The current lookup snapshot (never null after Start()).
   std::shared_ptr<const LookupEngine> EngineSnapshot() const;
-  // Compiles a snapshot from replica_ and publishes it. Takes no lock:
-  // the caller must be the sole thread mutating replica_ for the
-  // duration (true in Start(), before handlers exist, and for the
-  // group-commit leader until its batch is acknowledged).
-  void PublishEngine();
+  // Publishes the next snapshot epoch: derived incrementally from the
+  // previous one for the trees in `changed`, or compiled from scratch
+  // when `changed` is empty / the full-rebuild cadence is due. Takes no
+  // lock on replica_: the caller must be the sole thread mutating it
+  // for the duration (true in Start(), before handlers exist, and for
+  // the storage-turn holder until it finishes its turn).
+  void PublishEngine(const std::vector<TreeId>& changed);
 
   PersistentForestIndex* const index_;
   const ServerOptions options_;
 
-  // Write-path state: replica_ is the mutable bag-level view the
-  // group-commit leader validates and mutates together with the store,
-  // both under index_mutex_ held exclusively. Lookups do NOT read it.
+  // Write-path state: replica_ is the mutable bag-level view batch
+  // leaders validate against and mutate together with the store;
+  // overlay_ holds the pending (validated, not yet committed) next bags
+  // of in-flight batches, keyed by tree and tagged with the staging
+  // batch's ticket. Both live under index_mutex_; replica_ mutation is
+  // additionally serialized by the storage turnstile. Lookups do NOT
+  // read either.
   mutable std::shared_mutex index_mutex_;
   ForestIndex replica_;
+  struct PendingBag {
+    PqGramIndex bag;
+    uint64_t ticket;
+  };
+  std::map<TreeId, PendingBag> overlay_;
+  // Bumped (under index_mutex_) whenever a batch fails after validation;
+  // successors compare their validation-time snapshot of it before
+  // touching the store.
+  uint64_t failure_stamp_ = 0;
 
   // Read-path state: the immutable snapshot lookups score against.
   // engine_mutex_ only guards the pointer swap/copy (nanoseconds);
@@ -164,12 +242,25 @@ class Server {
   mutable std::mutex engine_mutex_;
   std::shared_ptr<const LookupEngine> engine_;
   std::unique_ptr<ThreadPool> lookup_pool_;
+  // Write-path staging workers (ServerOptions::staging_threads).
+  std::unique_ptr<ThreadPool> staging_pool_;
+  // Publishes since the last full Build; only the storage-turn holder
+  // (or Start, before handlers exist) touches it.
+  int64_t publishes_since_full_ = 0;
 
-  // Group-commit queue.
+  // Group-commit queue. Tickets are drawn under write_mutex_ at batch
+  // drain time, so ticket order == queue order.
   std::mutex write_mutex_;
   std::condition_variable write_cv_;
   std::deque<PendingEdit*> write_queue_;
-  bool leader_active_ = false;
+  int active_commits_ = 0;
+  uint64_t next_ticket_ = 0;
+
+  // Pipeline turnstiles (see AwaitTurn/FinishTurn).
+  std::mutex commit_mutex_;
+  std::condition_variable commit_cv_;
+  uint64_t validate_turn_ = 0;
+  uint64_t storage_turn_ = 0;
 
   // Lifecycle.
   std::unique_ptr<Listener> listener_;
@@ -202,6 +293,9 @@ class Server {
   Histogram* m_request_us_[8] = {};
   Histogram* m_batch_edits_;
   Histogram* m_rebuild_us_;
+  Histogram* m_snapshot_incremental_us_;
+  Histogram* m_snapshot_full_us_;
+  Gauge* m_pipeline_depth_;
   Gauge* m_queue_depth_;
   Gauge* m_active_connections_;
   Gauge* m_snapshot_epoch_;

@@ -55,6 +55,14 @@ class LinearHashTable {
   uint64_t entry_count() const { return entry_count_; }
   uint32_t bucket_count() const { return bucket_count_; }
 
+  // Deterministic partition of the key space into `regions` classes,
+  // derived from the same hash BucketFor consumes. Worker threads
+  // pre-aggregate deltas per region so the (single-threaded) table
+  // mutation can then apply them region by region; keys in one region
+  // share their low hash bits, i.e. they collapse onto congruent buckets.
+  static uint32_t StagingRegion(uint32_t tree, uint64_t fp,
+                                uint32_t regions);
+
   // Verifies meta/bucket invariants (entry counts, chain structure,
   // entries hashed to the right bucket). Aborts on violation; tests.
   void CheckConsistency();

@@ -116,8 +116,8 @@ Status Pager::Close() {
 }
 
 StatusOr<PageId> Pager::AllocatePage() {
-  PQIDX_CHECK(file_ != nullptr);
   if (poisoned_) return PoisonedError();
+  PQIDX_CHECK(file_ != nullptr);
   PageId id = page_count_++;
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/false);
   PQIDX_RETURN_IF_ERROR(frame.status());
@@ -261,8 +261,8 @@ Status Pager::ApplyDirtyInPlace(const std::vector<PageId>& dirty,
 }
 
 Status Pager::Commit() {
-  PQIDX_CHECK(file_ != nullptr);
   if (poisoned_) return PoisonedError();
+  PQIDX_CHECK(file_ != nullptr);
   const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   StatusOr<std::vector<PageId>> dirty = WriteWal();
   if (!dirty.ok()) {
@@ -296,6 +296,9 @@ Status Pager::Commit() {
 }
 
 Status Pager::Rollback() {
+  // A poisoned (or crash-simulated) handle has nothing left to roll
+  // back; refuse instead of touching the dead file.
+  if (poisoned_) return PoisonedError();
   PQIDX_CHECK(file_ != nullptr);
   pool_.clear();
   lru_.clear();
@@ -312,10 +315,14 @@ Status Pager::CommitWithCrash(CrashPoint point) {
     (void)SyncFile(file_);
   }
   // Simulate process death: drop all volatile state without cleanup.
+  // Poison the handle so concurrent users (a server pipelining further
+  // commits through this store) get clean errors instead of touching
+  // the dead file; only reopening recovers.
   std::fclose(file_);
   file_ = nullptr;
   pool_.clear();
   lru_.clear();
+  poisoned_ = true;
   return Status::Ok();
 }
 

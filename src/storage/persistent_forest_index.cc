@@ -39,6 +39,56 @@ void Store(uint8_t* page, int offset, T value) {
   std::memcpy(page + offset, &value, sizeof(T));
 }
 
+// One (tree, fp) tuple delta tagged with its staging region; the unit of
+// the parallel δ-phase (flatten/hash in parallel, merge per region in
+// parallel, apply serially).
+struct StagedDelta {
+  uint32_t region;
+  uint32_t tree;
+  uint64_t fp;
+  int64_t delta;
+};
+
+// How many staging regions a pool of `lanes` workers gets. More regions
+// than lanes keeps the merge balanced when the hash skews; the cap keeps
+// the per-region fixed cost negligible for small batches.
+uint32_t StagingRegions(int lanes) {
+  return static_cast<uint32_t>(std::min(64, std::max(1, lanes * 2)));
+}
+
+// Gathers region `region`'s tuples from the per-edit flats, orders them
+// by key, and coalesces duplicate keys into net deltas (zero nets are
+// dropped entirely). Safe to run for distinct regions concurrently.
+void MergeRegionRun(const std::vector<std::vector<StagedDelta>>& flat,
+                    uint32_t region, std::vector<StagedDelta>* run) {
+  for (const std::vector<StagedDelta>& edit_deltas : flat) {
+    for (const StagedDelta& d : edit_deltas) {
+      if (d.region == region) run->push_back(d);
+    }
+  }
+  std::sort(run->begin(), run->end(),
+            [](const StagedDelta& a, const StagedDelta& b) {
+              return a.tree < b.tree || (a.tree == b.tree && a.fp < b.fp);
+            });
+  size_t w = 0;
+  for (size_t i = 0; i < run->size();) {
+    size_t k = i;
+    int64_t net = 0;
+    while (k < run->size() && (*run)[k].tree == (*run)[i].tree &&
+           (*run)[k].fp == (*run)[i].fp) {
+      net += (*run)[k].delta;
+      ++k;
+    }
+    if (net != 0) {
+      (*run)[w] = (*run)[i];
+      (*run)[w].delta = net;
+      ++w;
+    }
+    i = k;
+  }
+  run->resize(w);
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<PersistentForestIndex>>
@@ -219,7 +269,8 @@ Status PersistentForestIndex::AddTree(TreeId id, const Tree& tree) {
 }
 
 Status PersistentForestIndex::BulkAdd(
-    const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags) {
+    const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
+    ThreadPool* pool) {
   for (const auto& [id, bag] : bags) {
     if (!(bag->shape() == shape_)) {
       return InvalidArgumentError("index shape does not match the store");
@@ -229,13 +280,42 @@ Status PersistentForestIndex::BulkAdd(
                                      " already in the store");
     }
   }
-  for (const auto& [id, bag] : bags) {
+  const uint32_t regions =
+      pool == nullptr ? 1 : StagingRegions(pool->num_threads());
+  std::vector<std::vector<StagedDelta>> flat(bags.size());
+  auto flatten = [&](int64_t j) {
+    const auto& [id, bag] = bags[static_cast<size_t>(j)];
+    const uint32_t tree = static_cast<uint32_t>(id);
+    std::vector<StagedDelta>& out = flat[static_cast<size_t>(j)];
+    out.reserve(bag->counts().size());
     for (const auto& [fp, count] : bag->counts()) {
-      Status status = table_.AddDelta(static_cast<uint32_t>(id), fp, count);
+      out.push_back({LinearHashTable::StagingRegion(tree, fp, regions),
+                     tree, fp, count});
+    }
+  };
+  std::vector<std::vector<StagedDelta>> runs(regions);
+  auto merge = [&](int64_t r) {
+    MergeRegionRun(flat, static_cast<uint32_t>(r),
+                   &runs[static_cast<size_t>(r)]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(flat.size()), flatten);
+    pool->ParallelFor(static_cast<int64_t>(regions), merge);
+  } else {
+    for (size_t j = 0; j < flat.size(); ++j) {
+      flatten(static_cast<int64_t>(j));
+    }
+    for (uint32_t r = 0; r < regions; ++r) {
+      merge(static_cast<int64_t>(r));
+    }
+  }
+  for (const std::vector<StagedDelta>& run : runs) {
+    for (const StagedDelta& d : run) {
+      Status status = table_.AddDelta(d.tree, d.fp, d.delta);
       if (!status.ok()) return RollbackAndReload(status);
     }
-    catalog_[id] = bag->size();
   }
+  for (const auto& [id, bag] : bags) catalog_[id] = bag->size();
   Status stored = StoreCatalog();
   if (!stored.ok()) return RollbackAndReload(stored);
   return CommitOrCrash();
@@ -243,11 +323,14 @@ Status PersistentForestIndex::BulkAdd(
 
 Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
                                          std::vector<Status>* results,
-                                         ApplyBatchTimings* timings) {
+                                         ApplyBatchTimings* timings,
+                                         ThreadPool* pool) {
   static Counter* const m_batches =
       Metrics::Default().counter("apply_batch.batches");
   static Counter* const m_edits =
       Metrics::Default().counter("apply_batch.edits_staged");
+  static Histogram* const m_stage_parallelism =
+      Metrics::Default().histogram("apply_batch.stage_parallelism");
   static Histogram* const m_batch_edits =
       Metrics::Default().histogram("apply_batch.batch_edits");
   static Histogram* const m_validate_us =
@@ -332,8 +415,11 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     return Status::Ok();  // nothing to commit
   }
 
-  // Phase 2: stage the tuple deltas. Any failure here (I/O, or a minus
-  // tuple the stored bag lacks) aborts the whole transaction.
+  // Phase 2: stage the tuple deltas. Any failure here (I/O, or a
+  // negative net the stored bag cannot cover) aborts the whole
+  // transaction. Flattening/hashing and the per-region net-delta merge
+  // are side-effect-free and fan out across `pool`; only the final
+  // region-ordered apply touches the (non-thread-safe) table and pager.
   auto fail_batch = [&](Status cause) {
     for (size_t i = 0; i < edits.size(); ++i) {
       if (staged[i]) (*results)[i] = cause;
@@ -341,24 +427,52 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     if (timings != nullptr) *timings = split;
     return RollbackAndReload(std::move(cause));
   };
+  std::vector<size_t> staged_edits;
+  staged_edits.reserve(static_cast<size_t>(num_staged));
   for (size_t i = 0; i < edits.size(); ++i) {
-    if (!staged[i]) continue;
-    const BatchEdit& edit = edits[i];
-    uint32_t tree = static_cast<uint32_t>(edit.id);
+    if (staged[i]) staged_edits.push_back(i);
+  }
+  const int lanes = pool == nullptr ? 1 : pool->num_threads();
+  const uint32_t regions = pool == nullptr ? 1 : StagingRegions(lanes);
+  std::vector<std::vector<StagedDelta>> flat(staged_edits.size());
+  auto flatten = [&](int64_t j) {
+    const BatchEdit& edit = edits[staged_edits[static_cast<size_t>(j)]];
+    const uint32_t tree = static_cast<uint32_t>(edit.id);
+    std::vector<StagedDelta>& out = flat[static_cast<size_t>(j)];
+    auto emit = [&](const PqGramIndex& bag, int64_t sign) {
+      for (const auto& [fp, count] : bag.counts()) {
+        out.push_back({LinearHashTable::StagingRegion(tree, fp, regions),
+                       tree, fp, sign * count});
+      }
+    };
     if (edit.add != nullptr) {
-      for (const auto& [fp, count] : edit.add->counts()) {
-        Status status = table_.AddDelta(tree, fp, count);
-        if (!status.ok()) return fail_batch(std::move(status));
-      }
+      out.reserve(edit.add->counts().size());
+      emit(*edit.add, 1);
     } else {
-      for (const auto& [fp, count] : edit.minus->counts()) {
-        Status status = table_.AddDelta(tree, fp, -count);
-        if (!status.ok()) return fail_batch(std::move(status));
-      }
-      for (const auto& [fp, count] : edit.plus->counts()) {
-        Status status = table_.AddDelta(tree, fp, count);
-        if (!status.ok()) return fail_batch(std::move(status));
-      }
+      out.reserve(edit.minus->counts().size() +
+                  edit.plus->counts().size());
+      emit(*edit.minus, -1);
+      emit(*edit.plus, 1);
+    }
+  };
+  std::vector<std::vector<StagedDelta>> runs(regions);
+  auto merge = [&](int64_t r) {
+    MergeRegionRun(flat, static_cast<uint32_t>(r),
+                   &runs[static_cast<size_t>(r)]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(flat.size()), flatten);
+    pool->ParallelFor(static_cast<int64_t>(regions), merge);
+  } else {
+    for (size_t j = 0; j < flat.size(); ++j) {
+      flatten(static_cast<int64_t>(j));
+    }
+    merge(0);
+  }
+  for (const std::vector<StagedDelta>& run : runs) {
+    for (const StagedDelta& d : run) {
+      Status status = table_.AddDelta(d.tree, d.fp, d.delta);
+      if (!status.ok()) return fail_batch(std::move(status));
     }
   }
 
@@ -383,6 +497,7 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
   m_batches->Increment();
   m_edits->Add(num_staged);
   if (timed) {
+    m_stage_parallelism->Record(lanes);
     m_batch_edits->Record(num_staged);
     m_validate_us->Record(split.validate_us);
     m_delta_us->Record(split.delta_us);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/forest_index.h"
 #include "core/pqgram_index.h"
 #include "edit/edit_log.h"
@@ -56,9 +57,12 @@ class PersistentForestIndex {
   Status AddTree(TreeId id, const Tree& tree);
 
   // Registers many bags under one commit (one WAL transaction, one fsync
-  // pair): the fast path for initial ingest. All-or-nothing.
+  // pair): the fast path for initial ingest. All-or-nothing. With `pool`,
+  // the tuple deltas are flattened, hashed, and grouped by staging region
+  // in parallel before the (single-threaded) table apply.
   Status BulkAdd(
-      const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags);
+      const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
+      ThreadPool* pool = nullptr);
 
   // One edit of a group-committed batch (see ApplyBatch): either an
   // AddIndex (`add` set) or an UpdateTree (`plus` and `minus` set).
@@ -93,9 +97,22 @@ class PersistentForestIndex {
   // no edit survives validation. `timings`, when non-null, receives the
   // phase split of this run (as far as it got); the same split also
   // lands in the "apply_batch.*" registry histograms on success.
+  //
+  // With `pool`, the δ-phase fans out: each staged edit's bags are
+  // flattened into (key, delta) tuples and hashed to a staging region in
+  // parallel, per-region workers merge the tuples into net deltas, and
+  // only the net deltas are applied to the hash table (serially, region
+  // by region -- the pager is not thread-safe). One consequence of
+  // merging: per (tree, fp) key the batch's deltas are summed before the
+  // apply, so an update retracting and re-adding the same tuple never
+  // touches the table at all, and a minus tuple the stored bag lacks is
+  // only detected when its *net* is negative (callers pre-validate
+  // sub-bags, as the contract above already requires). The WAL
+  // transaction and its single fsync pair are unchanged.
   Status ApplyBatch(const std::vector<BatchEdit>& edits,
                     std::vector<Status>* results,
-                    ApplyBatchTimings* timings = nullptr);
+                    ApplyBatchTimings* timings = nullptr,
+                    ThreadPool* pool = nullptr);
 
   // Materializes every cataloged bag in one table sweep -- the fast way
   // to build an in-memory serving replica of the whole store. Fails on

@@ -17,17 +17,24 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/forest_index.h"
 #include "core/pqgram_index.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/transport.h"
 #include "storage/pager.h"
 #include "storage/persistent_forest_index.h"
 
@@ -128,8 +135,11 @@ void ExpectStoreEquals(PersistentForestIndex* store,
 
 // One randomized workload: build a store several commits deep (mixed
 // ApplyBatch / BulkAdd / RemoveTree), crash the final ApplyBatch at
-// `point`, reopen, and require exactly the post-batch state.
-void RunCrashWorkload(Pager::CrashPoint point, int workload) {
+// `point`, reopen, and require exactly the post-batch state. With
+// `pool`, every BulkAdd/ApplyBatch stages its deltas in parallel --
+// the net state written (and recovered) must be identical either way.
+void RunCrashWorkload(Pager::CrashPoint point, int workload,
+                      ThreadPool* pool) {
   const PqShape shape{2, 3};
   const std::string name =
       "crash_matrix_" +
@@ -160,7 +170,7 @@ void RunCrashWorkload(Pager::CrashPoint point, int workload) {
         mirror.AddIndex(id, *bags.back());
         refs.emplace_back(id, bags.back().get());
       }
-      ASSERT_TRUE(store->BulkAdd(refs).ok());
+      ASSERT_TRUE(store->BulkAdd(refs, pool).ok());
     }
 
     // 1-3 committed randomized batches, with an occasional RemoveTree
@@ -169,7 +179,8 @@ void RunCrashWorkload(Pager::CrashPoint point, int workload) {
     for (int b = 0; b < committed_batches; ++b) {
       PlannedBatch batch = PlanBatch(&rng, &mirror, &next_id);
       std::vector<Status> results;
-      ASSERT_TRUE(store->ApplyBatch(batch.edits, &results).ok());
+      ASSERT_TRUE(store->ApplyBatch(batch.edits, &results, nullptr,
+                                    pool).ok());
       for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.ToString();
       if (rng.Bernoulli(0.3)) {
         std::vector<TreeId> present = mirror.TreeIds();
@@ -186,7 +197,8 @@ void RunCrashWorkload(Pager::CrashPoint point, int workload) {
     PlannedBatch batch = PlanBatch(&rng, &mirror, &next_id);
     std::vector<Status> results;
     ASSERT_TRUE(store->CrashNextCommit(point).ok());
-    ASSERT_TRUE(store->ApplyBatch(batch.edits, &results).ok());
+    ASSERT_TRUE(store->ApplyBatch(batch.edits, &results, nullptr,
+                                  pool).ok());
     // The store object is dead now (the pager dropped its file handle);
     // it is discarded without further use, exactly like a real crash.
   }
@@ -202,15 +214,21 @@ void RunCrashWorkload(Pager::CrashPoint point, int workload) {
 }
 
 TEST(CrashMatrixTest, AfterWalSealRecoversDurably) {
+  // Even workloads stage serially, odd ones through a pool: the durable
+  // bytes must not depend on how the deltas were staged.
+  ThreadPool pool(3);
   for (int workload = 0; workload < 50; ++workload) {
-    RunCrashWorkload(Pager::CrashPoint::kAfterWalSeal, workload);
+    RunCrashWorkload(Pager::CrashPoint::kAfterWalSeal, workload,
+                     workload % 2 == 1 ? &pool : nullptr);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
 TEST(CrashMatrixTest, DuringInPlaceRecoversDurably) {
+  ThreadPool pool(3);
   for (int workload = 0; workload < 50; ++workload) {
-    RunCrashWorkload(Pager::CrashPoint::kDuringInPlace, workload);
+    RunCrashWorkload(Pager::CrashPoint::kDuringInPlace, workload,
+                     workload % 2 == 1 ? &pool : nullptr);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -342,6 +360,118 @@ TEST(CrashMatrixTest, WriteFailureSweepNeverTearsABatch) {
   // commit, so each raw write of the transaction was failed exactly once.
   ASSERT_GE(committed_at, 1) << "sweep never reached a successful commit";
   RemoveStoreFiles(path);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined server commits x pager crash.
+
+// A pager crash in the middle of a PIPELINED commit stream (depth 3,
+// parallel staging, incremental snapshots). Both crash points fire after
+// the WAL seal, so the crashed batch is durable and its writers are
+// acked; every batch behind it in the pipeline hits the poisoned pager,
+// fails, and must leave nothing durable. Reopening recovers exactly the
+// acked edits -- the atomic before/after-batch guarantee survives
+// overlapped commits.
+TEST(CrashMatrixTest, PipelinedServerCrashKeepsExactlyAckedEdits) {
+  for (Pager::CrashPoint point : {Pager::CrashPoint::kAfterWalSeal,
+                                  Pager::CrashPoint::kDuringInPlace}) {
+    const bool seal = point == Pager::CrashPoint::kAfterWalSeal;
+    const PqShape shape{2, 2};
+    const std::string path = TempPath(
+        std::string("crash_matrix_pipeline_") + (seal ? "seal" : "inplace") +
+        ".db");
+    RemoveStoreFiles(path);
+    StatusOr<StorePtr> created = PersistentForestIndex::Create(path, shape);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    StorePtr store = std::move(created).value();
+
+    ServerOptions options;
+    options.max_connections = 8;
+    options.commit_pipeline_depth = 3;
+    options.staging_threads = 2;
+    options.snapshot_full_rebuild_every = 4;
+    options.commit_hold_us = 200;
+    Server server(store.get(), options);
+    auto listener = std::make_unique<PipeListener>();
+    PipeListener* connect_point = listener.get();
+    ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+    auto connect = [&] {
+      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
+      EXPECT_TRUE(conn.ok());
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect(std::move(*conn));
+      EXPECT_TRUE(client.ok()) << client.status().ToString();
+      return std::move(client).value();
+    };
+
+    constexpr int kWriters = 4;
+    constexpr int kEditsPerWriter = 12;
+    {
+      // Seed one tree per writer; these commits land before the crash
+      // is armed.
+      std::unique_ptr<Client> seeder = connect();
+      for (int w = 0; w < kWriters; ++w) {
+        PqGramIndex bag(shape);
+        bag.Add(static_cast<PqGramFingerprint>(w + 1), 1);
+        ASSERT_TRUE(seeder->AddIndex(static_cast<TreeId>(w), bag).ok());
+      }
+    }
+    ASSERT_TRUE(store->CrashNextCommit(point).ok());
+
+    std::mutex acked_mutex;
+    std::vector<std::vector<PqGramFingerprint>> acked(kWriters);
+    int total_acked = 0;
+    int total_failed = 0;
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        std::unique_ptr<Client> client = connect();
+        for (int i = 0; i < kEditsPerWriter; ++i) {
+          PqGramIndex plus(shape);
+          const PqGramFingerprint fp =
+              static_cast<PqGramFingerprint>(1000 + w * 100 + i);
+          plus.Add(fp, 1);
+          Status s = client->ApplyDeltas(static_cast<TreeId>(w), plus,
+                                         PqGramIndex(shape), 1);
+          std::lock_guard<std::mutex> lock(acked_mutex);
+          if (s.ok()) {
+            acked[static_cast<size_t>(w)].push_back(fp);
+            ++total_acked;
+          } else {
+            ++total_failed;
+          }
+        }
+      });
+    }
+    for (std::thread& t : writers) t.join();
+    server.Stop();
+
+    // Exactly one commit crashed (acked, durable); everything after it
+    // failed against the poisoned pager.
+    EXPECT_GE(total_acked, 1);
+    EXPECT_GT(total_failed, 0);
+    EXPECT_EQ(total_acked + total_failed, kWriters * kEditsPerWriter);
+
+    store.reset();  // discard the poisoned handle, like a real crash
+    StatusOr<StorePtr> reopened = PersistentForestIndex::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->pager().wal_replays(), 1);
+    (*reopened)->CheckConsistency();
+    for (int w = 0; w < kWriters; ++w) {
+      PqGramIndex expected(shape);
+      expected.Add(static_cast<PqGramFingerprint>(w + 1), 1);
+      for (PqGramFingerprint fp : acked[static_cast<size_t>(w)]) {
+        expected.Add(fp, 1);
+      }
+      StatusOr<PqGramIndex> stored =
+          (*reopened)->MaterializeIndex(static_cast<TreeId>(w));
+      ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+      EXPECT_EQ(*stored, expected)
+          << "writer " << w << " (" << (seal ? "seal" : "inplace") << ")";
+    }
+    RemoveStoreFiles(path);
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -317,6 +318,136 @@ TEST(LookupEngineTest, PruningStatsAccounting) {
   EXPECT_LE(selective.scored, loose.scored);
 }
 
+// Incremental snapshot maintenance: a randomized edit log evolves the
+// forest (updates, inserts, removals, re-inserts) while ApplyDelta
+// chains snapshot to snapshot; every epoch must stay result-identical
+// to a from-scratch Build AND to the scan, across the full tau sweep.
+TEST(LookupEngineTest, ApplyDeltaTracksEditLogEvolution) {
+  Rng rng(83);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  std::map<TreeId, Tree> docs;
+  for (TreeId id = 0; id < 14; ++id) {
+    Tree doc = GenerateDblpLike(dict, &rng, 50);
+    forest.AddTree(id, doc);
+    docs.insert_or_assign(id, std::move(doc));
+  }
+
+  ThreadPool pool(3);
+  auto engine = LookupEngine::Build(forest, 4);
+  TreeId next_id = 14;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<TreeId> changed;
+    // Update a few documents through their edit logs.
+    for (int e = 0; e < 3; ++e) {
+      auto it = docs.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(docs.size())));
+      EditLog log;
+      GenerateEditScript(&it->second, &rng, 10, EditScriptOptions{}, &log);
+      ASSERT_TRUE(forest.ApplyLog(it->first, it->second, log).ok());
+      changed.push_back(it->first);
+    }
+    // Remove one tree (the changed list carries the id; ApplyDelta sees
+    // it absent from the forest) and insert a brand-new one.
+    if (round % 2 == 0 && docs.size() > 4) {
+      auto it = docs.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(docs.size())));
+      ASSERT_TRUE(forest.RemoveTree(it->first));
+      changed.push_back(it->first);
+      docs.erase(it);
+    }
+    {
+      Tree doc = GenerateDblpLike(dict, &rng, 50);
+      forest.AddTree(next_id, doc);
+      changed.push_back(next_id);
+      docs.insert_or_assign(next_id, std::move(doc));
+      ++next_id;
+    }
+
+    engine = LookupEngine::ApplyDelta(engine, forest, changed);
+    ASSERT_EQ(engine->size(), forest.size());
+    auto rebuilt = LookupEngine::Build(forest, 4);
+    ASSERT_EQ(engine->posting_entries(), rebuilt->posting_entries());
+
+    PqGramIndex query =
+        BuildIndex(docs.begin()->second, shape);
+    for (double tau : kTaus) {
+      std::vector<LookupResult> want = forest.Lookup(query, tau);
+      ExpectSameResults(engine->Lookup(query, tau), want, "incremental");
+      ExpectSameResults(engine->Lookup(query, tau, &pool), want,
+                        "incremental parallel");
+      ExpectSameResults(rebuilt->Lookup(query, tau), want, "rebuilt");
+    }
+    ExpectSameResults(engine->TopK(query, 5), forest.TopK(query, 5),
+                      "incremental topk");
+  }
+}
+
+// ApplyDelta edge cases: identity on an empty changed list, full-build
+// fallback from an empty snapshot, evolution down to an empty forest and
+// back, and shards whose counts exceed int32 surviving recompilation.
+TEST(LookupEngineTest, ApplyDeltaEdgeCasesAndWideCounts) {
+  const PqShape shape{2, 2};
+  const int64_t kWide = int64_t{3} << 31;  // > INT32_MAX
+  ForestIndex forest(shape);
+  auto engine = LookupEngine::Build(forest, 3);
+
+  // Empty changed list: the same snapshot comes back.
+  EXPECT_EQ(LookupEngine::ApplyDelta(engine, forest, {}).get(),
+            engine.get());
+
+  // Empty previous snapshot: falls back to a full build.
+  Tree doc = MustParse("a(b,c)");
+  PqGramIndex huge = BuildIndex(doc, shape);
+  const PqGramFingerprint fp = huge.counts().begin()->first;
+  huge.Add(fp, kWide);
+  forest.AddIndex(1, huge);
+  forest.AddTree(2, MustParse("a(b,x)"));
+  forest.AddIndex(3, PqGramIndex(shape));  // empty bag rides along
+  engine = LookupEngine::ApplyDelta(engine, forest, {1, 2, 3});
+  ASSERT_EQ(engine->size(), 3);
+
+  PqGramIndex query = BuildIndex(doc, shape);
+  query.Add(fp, kWide + 12345);
+  ThreadPool pool(2);
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "wide counts via ApplyDelta");
+  }
+  const double hostile[] = {-0.5, -1.0, -1e308,
+                            -std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::quiet_NaN()};
+  for (double tau : hostile) {
+    EXPECT_TRUE(engine->Lookup(query, tau).empty());
+    EXPECT_TRUE(engine->Lookup(query, tau, &pool).empty());
+  }
+
+  // Evolve the wide-count bag (still wide) through another delta.
+  huge.Add(fp, 7);
+  forest.AddIndex(1, huge);
+  engine = LookupEngine::ApplyDelta(engine, forest, {1});
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "wide counts evolved");
+  }
+
+  // Remove everything, then repopulate from the empty snapshot.
+  ASSERT_TRUE(forest.RemoveTree(1));
+  ASSERT_TRUE(forest.RemoveTree(2));
+  ASSERT_TRUE(forest.RemoveTree(3));
+  engine = LookupEngine::ApplyDelta(engine, forest, {1, 2, 3});
+  ASSERT_EQ(engine->size(), 0);
+  EXPECT_TRUE(engine->Lookup(query, 1.0).empty());
+  forest.AddTree(9, MustParse("a(b,c)"));
+  engine = LookupEngine::ApplyDelta(engine, forest, {9});
+  ASSERT_EQ(engine->size(), 1);
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "repopulated from empty");
+  }
+}
+
 // Named to run in the TSan CI job: readers race an engine-swapping
 // writer through the same shared_ptr slot pqidxd uses.
 TEST(LookupEngineParallelTest, ConcurrentLookupsDuringSnapshotSwaps) {
@@ -383,6 +514,74 @@ TEST(LookupEngineParallelTest, ConcurrentLookupsDuringSnapshotSwaps) {
   for (double tau : kTaus) {
     ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
                       "final snapshot");
+  }
+}
+
+// Incremental variant: epochs chain through ApplyDelta, so consecutive
+// snapshots SHARE untouched shards. Readers score shards the writer is
+// concurrently sharing into new epochs and releasing from old ones --
+// the exact aliasing pqidxd produces under pipelined commits (TSan job).
+TEST(LookupEngineParallelTest, ConcurrentLookupsDuringIncrementalSwaps) {
+  Rng rng(73);
+  auto dict = std::make_shared<LabelDict>();
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  std::vector<Tree> docs;
+  for (TreeId id = 0; id < 16; ++id) {
+    docs.push_back(GenerateDblpLike(dict, &rng, 50));
+    forest.AddTree(id, docs.back());
+  }
+
+  std::mutex engine_mutex;
+  std::shared_ptr<const LookupEngine> engine = LookupEngine::Build(forest, 4);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> lookups_done{0};
+
+  std::thread writer([&] {
+    Rng wrng(79);
+    auto current = engine;
+    for (int round = 0; round < 40; ++round) {
+      const TreeId id = static_cast<TreeId>(wrng.NextBounded(docs.size()));
+      EditLog log;
+      GenerateEditScript(&docs[id], &wrng, 6, EditScriptOptions{}, &log);
+      ASSERT_TRUE(forest.ApplyLog(id, docs[id], log).ok());
+      current = LookupEngine::ApplyDelta(current, forest, {id});
+      std::lock_guard<std::mutex> lock(engine_mutex);
+      engine = current;
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rrng(200 + r);
+      auto query_doc = GenerateDblpLike(nullptr, &rrng, 50);
+      PqGramIndex query = BuildIndex(query_doc, shape);
+      while (!stop.load()) {
+        std::shared_ptr<const LookupEngine> snapshot;
+        {
+          std::lock_guard<std::mutex> lock(engine_mutex);
+          snapshot = engine;
+        }
+        std::vector<LookupResult> hits = snapshot->Lookup(query, 0.9);
+        for (size_t i = 1; i < hits.size(); ++i) {
+          ASSERT_TRUE(hits[i - 1].distance < hits[i].distance ||
+                      (hits[i - 1].distance == hits[i].distance &&
+                       hits[i - 1].tree_id < hits[i].tree_id));
+        }
+        lookups_done.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(lookups_done.load(), 0);
+
+  PqGramIndex query = BuildIndex(docs[0], shape);
+  for (double tau : kTaus) {
+    ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
+                      "final incremental snapshot");
   }
 }
 

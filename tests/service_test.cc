@@ -972,6 +972,111 @@ TEST(ServiceStressTest, ConcurrentClientsOverPipe) {
   RunStressWorkload(&service, "svc_stress_pipe.db");
 }
 
+// The same full-equivalence stress workload with the write pipeline on:
+// up to three batches in flight (validation of batch N+1 overlapping the
+// WAL commit of batch N), parallel delta staging, and incremental
+// snapshot publication. Every response must still match the
+// single-threaded library and the store must reopen clean -- the
+// pipeline is pure mechanism, never visible in results. Runs under TSan
+// in CI (lookups race pipelined commits).
+TEST(ServiceStressTest, ConcurrentClientsWithPipelinedCommits) {
+  ServerOptions options;
+  options.max_connections = 8;
+  options.commit_pipeline_depth = 3;
+  options.staging_threads = 2;
+  options.snapshot_full_rebuild_every = 8;
+  options.commit_hold_us = 200;
+  TestService service("svc_stress_pipeline.db", PqShape{2, 3}, options);
+  RunStressWorkload(&service, "svc_stress_pipeline.db");
+}
+
+// Writers hammering ONE tree while commits pipeline: successor batches
+// must validate against the predecessor's pending (overlay) bag, not the
+// stale replica, or acknowledged edits would vanish. Every acked delta
+// must be present in the final stored bag.
+TEST(ServiceStressTest, PipelinedCommitsChainEditsOfOneTree) {
+  ServerOptions options;
+  options.max_connections = 8;
+  options.commit_pipeline_depth = 4;
+  options.staging_threads = 2;
+  options.snapshot_full_rebuild_every = 4;
+  const PqShape shape{2, 2};
+  TestService service("svc_pipeline_chain.db", shape, options);
+
+  constexpr int kWriters = 5;
+  constexpr int kEditsPerWriter = 24;
+  {
+    std::unique_ptr<Client> seed = service.MustConnect();
+    PqGramIndex bag(shape);
+    bag.Add(static_cast<PqGramFingerprint>(1), 1);
+    ASSERT_TRUE(seed->AddIndex(0, bag).ok());
+  }
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::unique_ptr<Client> client = service.MustConnect();
+      for (int i = 0; i < kEditsPerWriter; ++i) {
+        PqGramIndex plus(shape);
+        plus.Add(static_cast<PqGramFingerprint>(100 + w * 1000 + i), 1);
+        if (!client->ApplyDeltas(0, plus, PqGramIndex(shape), 1).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  service.server->Stop();
+
+  service.index->CheckConsistency();
+  StatusOr<PqGramIndex> stored = service.index->MaterializeIndex(0);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->Count(static_cast<PqGramFingerprint>(1)), 1);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kEditsPerWriter; ++i) {
+      EXPECT_EQ(
+          stored->Count(static_cast<PqGramFingerprint>(100 + w * 1000 + i)),
+          1)
+          << "writer " << w << " edit " << i;
+    }
+  }
+}
+
+// Snapshot cadence: with --full-rebuild-every N, most publishes go down
+// the incremental (ApplyDelta) path and every Nth is a full rebuild;
+// both feed their own registry histogram.
+TEST(ServiceMetricsTest, SnapshotPublishesSplitIncrementalVsFull) {
+  MetricsSnapshot before = Metrics::Default().Snapshot();
+  ServerOptions options;
+  options.snapshot_full_rebuild_every = 4;
+  const PqShape shape{2, 2};
+  TestService service("svc_snapshot_cadence.db", shape, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+  for (TreeId id = 0; id < 10; ++id) {
+    PqGramIndex bag(shape);
+    bag.Add(static_cast<PqGramFingerprint>(10 + id), 1);
+    ASSERT_TRUE(client->AddIndex(id, bag).ok());
+  }
+  ServiceStats stats = service.server->stats();
+  EXPECT_GE(stats.snapshot_epoch, 11);  // initial publish + one per commit
+  service.server->Stop();
+
+  MetricsSnapshot after = Metrics::Default().Snapshot();
+  const int64_t incremental =
+      HistCount(after, "server.snapshot_incremental_us") -
+      HistCount(before, "server.snapshot_incremental_us");
+  const int64_t full = HistCount(after, "server.snapshot_full_us") -
+                       HistCount(before, "server.snapshot_full_us");
+  EXPECT_GT(incremental, 0);
+  EXPECT_GT(full, 0);
+  EXPECT_GT(incremental, full);  // cadence 4: most publishes incremental
+  const int64_t reused =
+      CounterValue(after, "lookup_engine.shards_reused") -
+      CounterValue(before, "lookup_engine.shards_reused");
+  EXPECT_GT(reused, 0);  // copy-on-write actually shared shards
+}
+
 TEST(ServiceStressTest, ConcurrentClientsOverTcpLoopback) {
   StatusOr<std::unique_ptr<TcpListener>> listener = TcpListener::Listen(0);
   if (!listener.ok()) {

@@ -39,11 +39,19 @@
 //
 //   pqidx serve <index-file> [-p P] [-q Q] [--port N] [-t THREADS]
 //               [--lookup-threads N] [--stats-interval SECS]
+//               [--commit-pipeline-depth D] [--full-rebuild-every N]
+//               [--staging-threads N]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
 //       index file with the given shape if it does not exist. With
 //       --stats-interval, dumps the metrics registry to stdout every
-//       SECS seconds. Stop with SIGINT/SIGTERM; final service statistics
+//       SECS seconds. --commit-pipeline-depth D overlaps up to D group
+//       commits (validation + delta staging of batch N+1 runs while batch
+//       N is inside its WAL fsync); --staging-threads adds a pool that
+//       parallelizes delta staging within each batch; lookup snapshots
+//       are maintained incrementally (copy-on-write per shard), with a
+//       full defragmenting rebuild every --full-rebuild-every publishes
+//       (0 = never). Stop with SIGINT/SIGTERM; final service statistics
 //       and the full registry are printed on exit.
 //
 //   pqidx store <subcommand> ...
@@ -73,7 +81,9 @@
 #include "core/forest_index.h"
 #include "core/join.h"
 #include "core/incremental.h"
+#include "core/parallel_build.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "edit/tree_diff.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -91,7 +101,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  pqidx build  <index-file> [-p P] [-q Q] <doc.xml>...\n"
+               "  pqidx build  <index-file> [-p P] [-q Q] [-t THREADS] "
+               "<doc.xml>...\n"
                "  pqidx info   <index-file>\n"
                "  pqidx lookup <index-file> <query.xml> [tau]\n"
                "  pqidx update <index-file> <tree-id> <old.xml> <new.xml>\n"
@@ -103,6 +114,8 @@ int Usage() {
                "  pqidx join   <left-index> <right-index> [tau]\n"
                "  pqidx serve  <index-file> [-p P] [-q Q] [--port N] "
                "[-t THREADS] [--lookup-threads N] [--stats-interval SECS]\n"
+               "               [--commit-pipeline-depth D] "
+               "[--full-rebuild-every N] [--staging-threads N]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -135,17 +148,35 @@ PqShape ParseShapeFlags(std::vector<std::string>* args) {
 
 int CmdBuild(std::vector<std::string> args) {
   PqShape shape = ParseShapeFlags(&args);
-  if (args.size() < 2) return Usage();
+  int threads = 1;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-t" && i + 1 < args.size()) {
+      threads = std::atoi(args[++i].c_str());
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  if (args.size() < 2 || threads < 1) return Usage();
   const std::string index_path = args[0];
-  ForestIndex forest(shape);
+  // Parse serially (XML parsing interns labels into the shared dict,
+  // which is not thread-safe), then compute the per-tree profiles across
+  // a pool -- profile computation dominates build cost (paper S9.1).
   auto dict = std::make_shared<LabelDict>();
+  std::vector<Tree> trees;
+  trees.reserve(args.size() - 1);
   for (size_t i = 1; i < args.size(); ++i) {
     StatusOr<Tree> tree = ParseXmlFile(args[i], dict);
     if (!tree.ok()) return Fail(tree.status());
+    trees.push_back(std::move(*tree));
+  }
+  ThreadPool pool(threads);
+  ForestIndex forest = BuildForestIndexParallel(trees, shape, &pool);
+  for (size_t i = 1; i < args.size(); ++i) {
     TreeId id = static_cast<TreeId>(i - 1);
-    forest.AddTree(id, *tree);
     std::printf("tree %-4d %-40s %d nodes, %lld pq-grams\n", id,
-                args[i].c_str(), tree->size(),
+                args[i].c_str(), trees[id].size(),
                 static_cast<long long>(forest.Find(id)->size()));
   }
   if (Status s = SaveForestIndex(forest, index_path); !s.ok()) {
@@ -362,6 +393,9 @@ int CmdServe(std::vector<std::string> args) {
   int threads = 4;
   int lookup_threads = 0;
   int stats_interval = 0;
+  int pipeline_depth = 1;
+  int full_rebuild_every = 64;
+  int staging_threads = 0;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
@@ -372,12 +406,19 @@ int CmdServe(std::vector<std::string> args) {
       lookup_threads = std::atoi(args[++i].c_str());
     } else if (args[i] == "--stats-interval" && i + 1 < args.size()) {
       stats_interval = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--commit-pipeline-depth" && i + 1 < args.size()) {
+      pipeline_depth = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--full-rebuild-every" && i + 1 < args.size()) {
+      full_rebuild_every = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--staging-threads" && i + 1 < args.size()) {
+      staging_threads = std::atoi(args[++i].c_str());
     } else {
       rest.push_back(args[i]);
     }
   }
   if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1 ||
-      lookup_threads < 0 || stats_interval < 0) {
+      lookup_threads < 0 || stats_interval < 0 || pipeline_depth < 1 ||
+      full_rebuild_every < 0 || staging_threads < 0) {
     return Usage();
   }
   const std::string& index_path = rest[0];
@@ -412,6 +453,9 @@ int CmdServe(std::vector<std::string> args) {
   ServerOptions options;
   options.max_connections = threads;
   options.lookup_threads = lookup_threads;
+  options.commit_pipeline_depth = pipeline_depth;
+  options.snapshot_full_rebuild_every = full_rebuild_every;
+  options.staging_threads = staging_threads;
   Server server(index->get(), options);
   if (Status s = server.Start(std::move(*listener)); !s.ok()) {
     return Fail(s);
