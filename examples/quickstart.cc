@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "core/distance.h"
 #include "core/incremental.h"
 #include "core/pqgram_index.h"
@@ -46,12 +47,15 @@ int main() {
 
   // Rename the 'c' node, delete 'b', wrap 'e','f' under a new node.
   NodeId c = doc.child(doc.root(), 1);
-  ApplyAndLog(EditOperation::Rename(c, x), &doc, &log);
-  ApplyAndLog(EditOperation::Delete(doc.child(doc.root(), 0)), &doc, &log);
-  ApplyAndLog(
-      EditOperation::Insert(doc.AllocateId(),
-                            doc.mutable_dict()->Intern("wrap"), c, 0, 2),
-      &doc, &log);
+  PQIDX_CHECK(ApplyAndLog(EditOperation::Rename(c, x), &doc, &log).ok());
+  PQIDX_CHECK(
+      ApplyAndLog(EditOperation::Delete(doc.child(doc.root(), 0)), &doc, &log)
+          .ok());
+  PQIDX_CHECK(ApplyAndLog(EditOperation::Insert(
+                              doc.AllocateId(),
+                              doc.mutable_dict()->Intern("wrap"), c, 0, 2),
+                          &doc, &log)
+                  .ok());
   std::printf("\nafter %d edits: %s\n", log.size(), ToNotation(doc).c_str());
 
   // --- 4. Incremental maintenance (Algorithm 1) --------------------------

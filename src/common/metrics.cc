@@ -185,7 +185,7 @@ Metrics& Metrics::Default() {
 }
 
 Counter* Metrics::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -197,7 +197,7 @@ Counter* Metrics::counter(std::string_view name) {
 }
 
 Gauge* Metrics::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -208,7 +208,7 @@ Gauge* Metrics::gauge(std::string_view name) {
 }
 
 Histogram* Metrics::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -221,7 +221,7 @@ Histogram* Metrics::histogram(std::string_view name) {
 
 MetricsSnapshot Metrics::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& [name, counter] : counters_) {
     MetricSample sample;
     sample.kind = MetricSample::Kind::kCounter;
@@ -258,7 +258,7 @@ MetricsSnapshot Metrics::Snapshot() const {
 }
 
 void Metrics::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) {
     counter->v_.store(0, std::memory_order_relaxed);
   }
@@ -284,7 +284,10 @@ int64_t Metrics::NowUs() {
 SlowOpLog& SlowOpLog::Default() {
   static SlowOpLog instance = [] {
     int64_t threshold_us = 100 * 1000;  // 100ms
-    if (const char* env = std::getenv("PQIDX_SLOW_OP_US")) {
+    // getenv races with setenv, but this runs once (static init, under
+    // the C++ magic-static lock) and nothing in the process calls
+    // setenv, so the mt-unsafe warning does not apply here.
+    if (const char* env = std::getenv("PQIDX_SLOW_OP_US")) {  // NOLINT(concurrency-mt-unsafe)
       char* end = nullptr;
       long long parsed = std::strtoll(env, &end, 10);
       if (end != env) threshold_us = parsed;
@@ -308,7 +311,7 @@ void SlowOpLog::ForceReport(std::string_view op, int64_t total_us,
                static_cast<long long>(total_us),
                static_cast<int>(detail.size()), detail.data());
   Entry entry{std::string(op), total_us, std::string(detail)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (ring_.size() < kRingCapacity) {
     ring_.push_back(std::move(entry));
   } else {
@@ -319,7 +322,7 @@ void SlowOpLog::ForceReport(std::string_view op, int64_t total_us,
 }
 
 std::vector<SlowOpLog::Entry> SlowOpLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Oldest first: once the ring wraps, next_ points at the oldest slot.
   std::vector<Entry> out;
   out.reserve(ring_.size());
@@ -331,7 +334,7 @@ std::vector<SlowOpLog::Entry> SlowOpLog::Entries() const {
 }
 
 void SlowOpLog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ring_.clear();
   next_ = 0;
   dropped_ = 0;

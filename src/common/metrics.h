@@ -34,11 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace pqidx {
 
@@ -160,15 +161,15 @@ class Metrics {
   // The process-wide registry every component instruments against.
   static Metrics& Default();
 
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) PQIDX_EXCLUDES(mutex_);
+  Gauge* gauge(std::string_view name) PQIDX_EXCLUDES(mutex_);
+  Histogram* histogram(std::string_view name) PQIDX_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const PQIDX_EXCLUDES(mutex_);
 
   // Zeroes every registered metric (registrations survive). Test aid;
   // do not call while other threads are recording.
-  void Reset();
+  void Reset() PQIDX_EXCLUDES(mutex_);
 
   // Global instrumentation kill switch: when off, Histogram::Record via
   // ScopedTimer and the timer's clock reads are skipped. Counters and
@@ -186,10 +187,13 @@ class Metrics {
   static int64_t NowUs();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PQIDX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PQIDX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PQIDX_GUARDED_BY(mutex_);
 
   static std::atomic<bool> enabled_;
 };
@@ -247,21 +251,23 @@ class SlowOpLog {
 
   // Logs when `total_us` >= the threshold (and the threshold is > 0).
   void Report(std::string_view op, int64_t total_us,
-              std::string_view detail);
+              std::string_view detail) PQIDX_EXCLUDES(mutex_);
   // Logs unconditionally: for callers that apply their own threshold
   // (ServerOptions::slow_op_us overrides the log's).
   void ForceReport(std::string_view op, int64_t total_us,
-                   std::string_view detail);
+                   std::string_view detail) PQIDX_EXCLUDES(mutex_);
 
-  std::vector<Entry> Entries() const;
-  void Clear();
+  std::vector<Entry> Entries() const PQIDX_EXCLUDES(mutex_);
+  void Clear() PQIDX_EXCLUDES(mutex_);
 
  private:
   std::atomic<int64_t> threshold_us_;
-  mutable std::mutex mutex_;
-  std::vector<Entry> ring_;  // newest appended; bounded to kRingCapacity
-  size_t next_ = 0;          // ring write position once full
-  int64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  // Newest appended; bounded to kRingCapacity.
+  std::vector<Entry> ring_ PQIDX_GUARDED_BY(mutex_);
+  // Ring write position once full.
+  size_t next_ PQIDX_GUARDED_BY(mutex_) = 0;
+  int64_t dropped_ PQIDX_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pqidx

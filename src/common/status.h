@@ -34,7 +34,11 @@ const char* StatusCodeName(StatusCode code);
 
 // Value type describing the outcome of an operation. Cheap to copy in the
 // OK case; carries a message otherwise.
-class Status {
+//
+// [[nodiscard]] at class level: every function returning a Status (or
+// StatusOr) must have its result examined. Call sites that deliberately
+// drop an error write `(void)Fn();` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -70,7 +74,7 @@ Status UnavailableError(std::string message);
 // Union of a Status and a T. Either holds a value (and status().ok()) or an
 // error status. Move-friendly; `value()` aborts if not ok.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, mirroring absl::StatusOr: allows
   // `return some_value;` and `return some_error();` from the same function.

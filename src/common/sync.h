@@ -1,0 +1,189 @@
+// Capability-annotated synchronization primitives: thin, header-only
+// wrappers over the std types that carry the Clang thread-safety
+// attributes from common/thread_annotations.h. All locking in the
+// project goes through these -- tools/lint.py rule R6 forbids the raw
+// std primitives outside this header -- so -DPQIDX_THREAD_SAFETY=ON
+// (CMakeLists.txt) can prove every guarded access holds the right lock
+// at compile time. On non-Clang compilers the attributes vanish and
+// each wrapper inlines to the std call it wraps.
+//
+// Conventions (docs/ARCHITECTURE.md, "Locking model"):
+//
+//   * every Mutex / SharedMutex member documents what it guards by
+//     putting PQIDX_GUARDED_BY on those members (lint rule R8 requires
+//     at least one reference per mutex member);
+//   * condition waits are written as explicit loops --
+//     `while (!pred) cv.Wait(&mu);` -- not predicate lambdas: the
+//     analysis is intra-procedural, so a lambda reading guarded state
+//     would need its own escape hatch;
+//   * MutexLock supports Unlock()/Lock() for windows where a blocking
+//     call must run unlocked (group-commit leaders); the reader/writer
+//     scopes are plain RAII.
+
+#ifndef PQIDX_COMMON_SYNC_H_
+#define PQIDX_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace pqidx {
+
+class CondVar;
+
+// Exclusive mutex (std::mutex) as a Clang capability.
+class PQIDX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PQIDX_ACQUIRE() { mu_.lock(); }
+  void Unlock() PQIDX_RELEASE() { mu_.unlock(); }
+  bool TryLock() PQIDX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex (std::shared_mutex) as a Clang capability.
+class PQIDX_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PQIDX_ACQUIRE() { mu_.lock(); }
+  void Unlock() PQIDX_RELEASE() { mu_.unlock(); }
+  void LockShared() PQIDX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() PQIDX_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive scope over a Mutex. Unlock()/Lock() reopen the scope
+// around blocking calls that must run unlocked; the destructor releases
+// only if currently held.
+class PQIDX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PQIDX_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PQIDX_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() PQIDX_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  void Lock() PQIDX_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+// RAII exclusive scope over a SharedMutex.
+class PQIDX_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) PQIDX_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() PQIDX_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) scope over a SharedMutex.
+class PQIDX_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) PQIDX_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  // Generic (not exclusive) release: the scope holds the capability
+  // shared, and the analysis rejects an exclusive release of it.
+  ~ReaderLock() PQIDX_RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable bound to Mutex. Wait() takes the Mutex the caller
+// holds; spurious wakeups are possible, so callers loop:
+//   MutexLock lock(&mu);
+//   while (!condition) cv.Wait(&mu);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases *mu, sleeps, and reacquires *mu before
+  // returning.
+  void Wait(Mutex* mu) PQIDX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Ticket-ordered turnstile: Await(t) blocks until every holder of a
+// smaller ticket has called Finish(), which admits ticket t+1. The
+// group-commit pipeline (service/server.cc) runs its validate and
+// storage phases through one turnstile each so phase N of batch B
+// starts only after phase N of batch B-1 finished, while the other
+// phases overlap freely.
+class Turnstile {
+ public:
+  Turnstile() = default;
+  Turnstile(const Turnstile&) = delete;
+  Turnstile& operator=(const Turnstile&) = delete;
+
+  // Blocks until it is `ticket`'s turn. Tickets must be taken in order
+  // starting at 0; each must be finished exactly once.
+  void Await(uint64_t ticket) PQIDX_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    while (turn_ != ticket) cv_.Wait(&mutex_);
+  }
+
+  // Ends the current turn, admitting the next ticket.
+  void Finish() PQIDX_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(&mutex_);
+      ++turn_;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  uint64_t turn_ PQIDX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace pqidx
+
+#endif  // PQIDX_COMMON_SYNC_H_

@@ -6,14 +6,13 @@
 #ifndef PQIDX_COMMON_THREAD_POOL_H_
 #define PQIDX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 
 namespace pqidx {
 
@@ -34,31 +33,35 @@ class ThreadPool {
   // pending completion accounting -- plain fan-out/fan-in only. Debug
   // builds enforce the no-re-entrancy rule with a check; release builds
   // would deadlock in Wait() instead, so the rule is load-bearing.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) PQIDX_EXCLUDES(mutex_);
 
   // Blocks until every scheduled task has finished. Calling this from a
   // worker of the same pool would self-deadlock (the waiter occupies the
   // thread that must drain the queue); debug builds check against it.
-  void Wait();
+  void Wait() PQIDX_EXCLUDES(mutex_);
 
   // Convenience fan-out: runs fn(i) for i in [0, count) across the pool
   // and waits for completion.
-  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn)
+      PQIDX_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PQIDX_EXCLUDES(mutex_);
 
   // The pool whose WorkerLoop is running on the current thread, if any;
   // lets debug builds detect re-entrant Schedule/Wait calls.
   static thread_local const ThreadPool* current_pool_;
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ PQIDX_GUARDED_BY(mutex_);
+  // Written only by the constructor, before any other thread can hold a
+  // reference to the pool; joined by the destructor. num_threads()
+  // reads it lock-free under that immutable-after-construction contract.
   std::vector<std::thread> workers_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  int in_flight_ PQIDX_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ PQIDX_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pqidx

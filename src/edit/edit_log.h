@@ -14,6 +14,7 @@
 #ifndef PQIDX_EDIT_EDIT_LOG_H_
 #define PQIDX_EDIT_EDIT_LOG_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/serde.h"
@@ -38,7 +39,7 @@ class EditLog {
 
   // Appends the inverse of a forward operation. Used by ApplyAndLog.
   void Append(EditOperation inverse_op) {
-    inverse_ops_.push_back(inverse_op);
+    inverse_ops_.push_back(std::move(inverse_op));
   }
 
   // Applies the log to `tree` (ēn first, ē1 last), i.e. rolls Tn back to

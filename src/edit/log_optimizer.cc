@@ -23,7 +23,7 @@ class SequenceOptimizer {
   SequenceOptimizer(Tree* base, LogOptimizerStats* stats)
       : sim_(base), stats_(stats) {}
 
-  std::vector<EditOperation> Run(std::vector<EditOperation> ops) {
+  std::vector<EditOperation> Run(const std::vector<EditOperation>& ops) {
     if (stats_ != nullptr) stats_->input_ops = static_cast<int>(ops.size());
     for (const EditOperation& op : ops) {
       Process(op);
@@ -161,18 +161,18 @@ class SequenceOptimizer {
 
 }  // namespace
 
-std::vector<EditOperation> OptimizeOpSequence(Tree* base,
-                                              std::vector<EditOperation> ops,
-                                              LogOptimizerStats* stats) {
+std::vector<EditOperation> OptimizeOpSequence(
+    Tree* base, const std::vector<EditOperation>& ops,
+    LogOptimizerStats* stats) {
   SequenceOptimizer optimizer(base, stats);
-  return optimizer.Run(std::move(ops));
+  return optimizer.Run(ops);
 }
 
-std::vector<EditOperation> OptimizeOpSequence(const Tree& base,
-                                              std::vector<EditOperation> ops,
-                                              LogOptimizerStats* stats) {
+std::vector<EditOperation> OptimizeOpSequence(
+    const Tree& base, const std::vector<EditOperation>& ops,
+    LogOptimizerStats* stats) {
   Tree clone = base.Clone();
-  return OptimizeOpSequence(&clone, std::move(ops), stats);
+  return OptimizeOpSequence(&clone, ops, stats);
 }
 
 EditLog OptimizeLog(Tree* tn, const EditLog& log, LogOptimizerStats* stats) {
@@ -181,7 +181,7 @@ EditLog OptimizeLog(Tree* tn, const EditLog& log, LogOptimizerStats* stats) {
   std::vector<EditOperation> seq(log.inverse_ops().rbegin(),
                                  log.inverse_ops().rend());
   std::vector<EditOperation> optimized =
-      OptimizeOpSequence(tn, std::move(seq), stats);
+      OptimizeOpSequence(tn, seq, stats);
   EditLog result;
   for (auto it = optimized.rbegin(); it != optimized.rend(); ++it) {
     result.Append(*it);

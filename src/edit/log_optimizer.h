@@ -46,10 +46,10 @@ struct LogOptimizerStats {
 // roll it back before returning (O(|ops|) total), while the `const Tree&`
 // variants work on a clone (O(|tree|) extra, but never touch the input).
 std::vector<EditOperation> OptimizeOpSequence(
-    const Tree& base, std::vector<EditOperation> ops,
+    const Tree& base, const std::vector<EditOperation>& ops,
     LogOptimizerStats* stats = nullptr);
 std::vector<EditOperation> OptimizeOpSequence(
-    Tree* base, std::vector<EditOperation> ops,
+    Tree* base, const std::vector<EditOperation>& ops,
     LogOptimizerStats* stats = nullptr);
 
 // Optimizes an inverse log that applies to `tn` (the resulting tree).

@@ -82,7 +82,13 @@ Status Server::Start(std::unique_ptr<Listener> listener) {
   PQIDX_CHECK_MSG(!started_.exchange(true), "Server started twice");
   StatusOr<ForestIndex> replica = index_->MaterializeForest();
   PQIDX_RETURN_IF_ERROR(replica.status());
-  replica_ = *std::move(replica);
+  {
+    // No handler threads exist yet; the lock satisfies the analysis and
+    // costs one uncontended acquire.
+    WriterLock lock(&index_mutex_);
+    replica_ = *std::move(replica);
+    shape_ = replica_.shape();
+  }
   if (options_.lookup_threads > 0) {
     lookup_pool_ = std::make_unique<ThreadPool>(options_.lookup_threads);
   }
@@ -97,7 +103,7 @@ Status Server::Start(std::unique_ptr<Listener> listener) {
 }
 
 std::shared_ptr<const LookupEngine> Server::EngineSnapshot() const {
-  std::lock_guard<std::mutex> lock(engine_mutex_);
+  MutexLock lock(&engine_mutex_);
   return engine_;
 }
 
@@ -121,15 +127,16 @@ void Server::PublishEngine(const std::vector<TreeId>& changed) {
       publishes_since_full_ + 1 >= options_.snapshot_full_rebuild_every) {
     full = true;
   }
+  const ForestIndex& replica = replica_for_publish();
   std::shared_ptr<const LookupEngine> next =
-      full ? LookupEngine::Build(replica_, shards)
-           : LookupEngine::ApplyDelta(prev, replica_, changed);
+      full ? LookupEngine::Build(replica, shards)
+           : LookupEngine::ApplyDelta(prev, replica, changed);
   publishes_since_full_ = full ? 0 : publishes_since_full_ + 1;
   const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - start)
                          .count();
   {
-    std::lock_guard<std::mutex> lock(engine_mutex_);
+    MutexLock lock(&engine_mutex_);
     engine_ = std::move(next);
   }
   snapshot_epoch_.fetch_add(1);
@@ -146,7 +153,7 @@ void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   listener_->Close();
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     for (const std::weak_ptr<Connection>& weak : connections_) {
       if (std::shared_ptr<Connection> conn = weak.lock()) conn->Close();
     }
@@ -159,10 +166,12 @@ void Server::Stop() {
 
 ServiceStats Server::stats() const {
   ServiceStats stats;
-  stats.p = replica_.shape().p;
-  stats.q = replica_.shape().q;
+  // shape_ is immutable after Start(); reading replica_.shape() here
+  // without the lock used to race the storage turns mutating replica_.
+  stats.p = shape_.p;
+  stats.q = shape_.q;
   {
-    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    ReaderLock lock(&index_mutex_);
     stats.tree_count = replica_.size();
   }
   stats.lookups = lookups_.load();
@@ -196,6 +205,8 @@ void Server::AcceptLoop() {
       std::string payload =
           StatusPayload(UnavailableError("server at connection capacity"));
       header.payload_size = static_cast<uint32_t>(payload.size());
+      // Best-effort courtesy reply; the connection is being refused
+      // either way, so a send failure changes nothing.
       (void)conn->Send(EncodeFrame(header, payload));
       conn->Close();
       continue;
@@ -203,7 +214,7 @@ void Server::AcceptLoop() {
     active_connections_.fetch_add(1);
     m_active_connections_->Set(active_connections_.load());
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(&connections_mutex_);
       std::erase_if(connections_,
                     [](const std::weak_ptr<Connection>& w) {
                       return w.expired();
@@ -214,7 +225,7 @@ void Server::AcceptLoop() {
   }
 }
 
-void Server::HandleConnection(std::shared_ptr<Connection> conn) {
+void Server::HandleConnection(const std::shared_ptr<Connection>& conn) {
   std::string buffer;
   for (;;) {
     Status received = conn->ReceiveExact(kFrameHeaderSize, &buffer);
@@ -244,6 +255,8 @@ void Server::HandleConnection(std::shared_ptr<Connection> conn) {
       error_header.request_id = 0;
       std::string payload = StatusPayload(decoded);
       error_header.payload_size = static_cast<uint32_t>(payload.size());
+      // Best-effort error report; the handler tears the stream down on
+      // the next line regardless of whether the peer saw it.
       (void)conn->Send(EncodeFrame(error_header, payload));
       break;
     }
@@ -341,7 +354,7 @@ std::string Server::HandleAddTree(std::string_view payload) {
     m_protocol_errors_->Increment();
     return StatusPayload(request.status());
   }
-  if (!(request->bag.shape() == replica_.shape())) {
+  if (!(request->bag.shape() == shape_)) {
     return StatusPayload(InvalidArgumentError("bag shape mismatch"));
   }
   PendingEdit edit;
@@ -358,8 +371,8 @@ std::string Server::HandleApplyEdits(std::string_view payload) {
     m_protocol_errors_->Increment();
     return StatusPayload(request.status());
   }
-  if (!(request->plus.shape() == replica_.shape()) ||
-      !(request->minus.shape() == replica_.shape())) {
+  if (!(request->plus.shape() == shape_) ||
+      !(request->minus.shape() == shape_)) {
     return StatusPayload(InvalidArgumentError("delta bag shape mismatch"));
   }
   PendingEdit edit;
@@ -393,7 +406,7 @@ std::string Server::HandleStatsSnapshot(std::string_view payload) {
 }
 
 Status Server::SubmitEdit(PendingEdit* edit) {
-  std::unique_lock<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   if (static_cast<int>(write_queue_.size()) >= options_.max_write_queue) {
     rejected_.fetch_add(1);
     m_rejected_->Increment();
@@ -411,10 +424,10 @@ Status Server::SubmitEdit(PendingEdit* edit) {
       ++active_commits_;
       m_pipeline_depth_->Set(active_commits_);
       if (options_.commit_hold_us > 0) {
-        lock.unlock();
+        lock.Unlock();
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.commit_hold_us));
-        lock.lock();
+        lock.Lock();
       }
       std::vector<PendingEdit*> batch;
       while (!write_queue_.empty() &&
@@ -433,30 +446,66 @@ Status Server::SubmitEdit(PendingEdit* edit) {
       // so ticket order == queue order and the pipeline's turnstiles
       // replay the exact serial-leader commit order.
       const uint64_t ticket = next_ticket_++;
-      lock.unlock();
+      lock.Unlock();
       CommitBatch(batch, ticket);
-      lock.lock();
+      lock.Lock();
       for (PendingEdit* done : batch) done->done = true;
       --active_commits_;
       m_pipeline_depth_->Set(active_commits_);
-      write_cv_.notify_all();
+      write_cv_.NotifyAll();
       continue;  // our own edit is usually in `batch`; re-check
     }
-    write_cv_.wait(lock);
+    write_cv_.Wait(&write_mutex_);
   }
 }
 
-void Server::AwaitTurn(uint64_t* turn, uint64_t ticket) {
-  std::unique_lock<std::mutex> lock(commit_mutex_);
-  commit_cv_.wait(lock, [&] { return *turn == ticket; });
-}
-
-void Server::FinishTurn(uint64_t* turn) {
-  {
-    std::lock_guard<std::mutex> lock(commit_mutex_);
-    ++*turn;
+void Server::ValidateGroup(const std::vector<PendingEdit*>& batch,
+                           const std::vector<size_t>& group,
+                           std::vector<uint8_t>* edit_ok,
+                           std::unique_ptr<PqGramIndex>* composed) const {
+  const TreeId id = batch[group.front()]->id;
+  auto pending = overlay_.find(id);
+  const PqGramIndex* current = pending != overlay_.end()
+                                   ? &pending->second.bag
+                                   : replica_.Find(id);
+  for (size_t i : group) {
+    PendingEdit& edit = *batch[i];
+    const PqGramIndex* cur =
+        *composed != nullptr ? composed->get() : current;
+    if (edit.is_add) {
+      if (cur != nullptr) {
+        edit.result = FailedPreconditionError("tree already indexed");
+        continue;
+      }
+      *composed = std::make_unique<PqGramIndex>(edit.add_or_plus);
+    } else {
+      if (cur == nullptr) {
+        edit.result = NotFoundError("tree not indexed");
+        continue;
+      }
+      bool sub_bag = true;
+      for (const auto& [fp, count] : edit.minus.counts()) {
+        if (cur->Count(fp) < count) {
+          sub_bag = false;
+          break;
+        }
+      }
+      if (!sub_bag) {
+        edit.result = InvalidArgumentError(
+            "minus bag is not a sub-bag of the stored bag");
+        continue;
+      }
+      auto next = std::make_unique<PqGramIndex>(*cur);
+      for (const auto& [fp, count] : edit.minus.counts()) {
+        next->Remove(fp, count);
+      }
+      for (const auto& [fp, count] : edit.add_or_plus.counts()) {
+        next->Add(fp, count);
+      }
+      *composed = std::move(next);
+    }
+    (*edit_ok)[i] = 1;
   }
-  commit_cv_.notify_all();
 }
 
 void Server::ValidateBatch(const std::vector<PendingEdit*>& batch,
@@ -466,7 +515,7 @@ void Server::ValidateBatch(const std::vector<PendingEdit*>& batch,
   // The staging workers only *read* shared state (each works on its own
   // tree group and its own PendingEdit objects), so fanning out under
   // the exclusive lock is safe.
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  WriterLock lock(&index_mutex_);
 
   // Group the batch by tree id (batch order preserved within a group):
   // distinct trees are independent by contract, so their validation +
@@ -487,52 +536,13 @@ void Server::ValidateBatch(const std::vector<PendingEdit*>& batch,
   std::vector<uint8_t> edit_ok(batch.size(), 0);
   // One composed next bag per group that staged anything.
   std::vector<std::unique_ptr<PqGramIndex>> group_bags(groups.size());
-  auto validate_group = [&](int64_t g) {
-    const std::vector<size_t>& group = groups[static_cast<size_t>(g)];
-    const TreeId id = batch[group.front()]->id;
-    auto pending = overlay_.find(id);
-    const PqGramIndex* current = pending != overlay_.end()
-                                     ? &pending->second.bag
-                                     : replica_.Find(id);
-    std::unique_ptr<PqGramIndex>& composed =
-        group_bags[static_cast<size_t>(g)];
-    for (size_t i : group) {
-      PendingEdit& edit = *batch[i];
-      const PqGramIndex* cur = composed != nullptr ? composed.get() : current;
-      if (edit.is_add) {
-        if (cur != nullptr) {
-          edit.result = FailedPreconditionError("tree already indexed");
-          continue;
-        }
-        composed = std::make_unique<PqGramIndex>(edit.add_or_plus);
-      } else {
-        if (cur == nullptr) {
-          edit.result = NotFoundError("tree not indexed");
-          continue;
-        }
-        bool sub_bag = true;
-        for (const auto& [fp, count] : edit.minus.counts()) {
-          if (cur->Count(fp) < count) {
-            sub_bag = false;
-            break;
-          }
-        }
-        if (!sub_bag) {
-          edit.result = InvalidArgumentError(
-              "minus bag is not a sub-bag of the stored bag");
-          continue;
-        }
-        auto next = std::make_unique<PqGramIndex>(*cur);
-        for (const auto& [fp, count] : edit.minus.counts()) {
-          next->Remove(fp, count);
-        }
-        for (const auto& [fp, count] : edit.add_or_plus.counts()) {
-          next->Add(fp, count);
-        }
-        composed = std::move(next);
-      }
-      edit_ok[i] = 1;
-    }
+  // no-tsa: the lambda runs on staging workers that do not themselves
+  // hold index_mutex_ -- the leader (this thread) holds it exclusively
+  // for the whole fan-out and the workers touch disjoint slots, which
+  // is ValidateGroup's documented PQIDX_REQUIRES contract.
+  auto validate_group = [&](int64_t g) PQIDX_NO_THREAD_SAFETY_ANALYSIS {
+    ValidateGroup(batch, groups[static_cast<size_t>(g)], &edit_ok,
+                  &group_bags[static_cast<size_t>(g)]);
   };
   if (staging_pool_ != nullptr && groups.size() > 1) {
     staging_pool_->ParallelFor(static_cast<int64_t>(groups.size()),
@@ -580,17 +590,17 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
   // Phase V (ticket-ordered): validation + δ-materialization. At
   // pipeline depth d this overlaps the WAL write/fsync of up to d-1
   // predecessor batches.
-  AwaitTurn(&validate_turn_, ticket);
+  validate_turnstile_.Await(ticket);
   StagedBatch staged;
   ValidateBatch(batch, ticket, &staged);
-  FinishTurn(&validate_turn_);
+  validate_turnstile_.Finish();
 
   // Phase S (ticket-ordered): the WAL transaction, the replica delta,
   // and the snapshot publish. Storage commits run strictly in ticket
   // order, so the on-disk WAL sees the same atomic, ordered transactions
   // as the serial leader and the crash matrix's before/after-batch
   // guarantee carries over unchanged.
-  AwaitTurn(&storage_turn_, ticket);
+  storage_turnstile_.Await(ticket);
   int64_t applied = 0;
   if (!staged.edits.empty()) {
     // A predecessor batch that failed after our validation invalidates
@@ -598,7 +608,7 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
     // abort before touching the store.
     bool aborted;
     {
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      ReaderLock lock(&index_mutex_);
       aborted = failure_stamp_ != staged.failure_stamp;
     }
     Status committed;
@@ -623,7 +633,7 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
       std::vector<TreeId> changed;
       changed.reserve(staged.scratch.size());
       {
-        std::unique_lock<std::shared_mutex> lock(index_mutex_);
+        WriterLock lock(&index_mutex_);
         for (auto& [id, bag] : staged.scratch) {
           changed.push_back(id);
           replica_.AddIndex(id, std::move(bag));
@@ -646,13 +656,13 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
       // validated against our (now vacuous) overlay bags: clear the
       // overlay and bump the failure stamp so they abort at their
       // storage turn instead of applying edits premised on ours.
-      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      WriterLock lock(&index_mutex_);
       overlay_.clear();
       ++failure_stamp_;
       applied = 0;
     }
   }
-  FinishTurn(&storage_turn_);
+  storage_turnstile_.Finish();
 
   if (applied == 0) return;
   edits_applied_.fetch_add(applied);

@@ -50,19 +50,17 @@
 #define PQIDX_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/forest_index.h"
 #include "core/lookup_engine.h"
@@ -144,9 +142,9 @@ class Server {
 
   // Stops accepting, interrupts every live connection, and joins all
   // handlers. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() PQIDX_EXCLUDES(connections_mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const PQIDX_EXCLUDES(index_mutex_);
 
  private:
   struct PendingEdit {
@@ -158,8 +156,8 @@ class Server {
     bool done = false;
   };
 
-  void AcceptLoop();
-  void HandleConnection(std::shared_ptr<Connection> conn);
+  void AcceptLoop() PQIDX_EXCLUDES(connections_mutex_);
+  void HandleConnection(const std::shared_ptr<Connection>& conn);
 
   // Decodes and serves one request; returns the response payload.
   std::string HandleRequest(MessageType type, std::string_view payload);
@@ -171,7 +169,7 @@ class Server {
 
   // Group commit: blocks until `edit` is durable (or rejected) and
   // returns its result. The calling thread may serve as batch leader.
-  Status SubmitEdit(PendingEdit* edit);
+  Status SubmitEdit(PendingEdit* edit) PQIDX_EXCLUDES(write_mutex_);
 
   // One validated batch between its two pipeline phases: the composed
   // next bag per touched tree, the store edits in batch order, and the
@@ -189,7 +187,8 @@ class Server {
   // `ticket`, validates + materializes (ValidateBatch), then awaits the
   // storage turn, commits the WAL transaction, applies the replica
   // delta, and publishes the next snapshot epoch.
-  void CommitBatch(const std::vector<PendingEdit*>& batch, uint64_t ticket);
+  void CommitBatch(const std::vector<PendingEdit*>& batch, uint64_t ticket)
+      PQIDX_EXCLUDES(index_mutex_, engine_mutex_);
 
   // Validation + δ-materialization under index_mutex_ held exclusively:
   // checks each edit against the replica overlaid with the predecessors'
@@ -198,24 +197,52 @@ class Server {
   // installs those bags into overlay_ tagged with `ticket` for successor
   // batches. Independent trees fan out across staging_pool_.
   void ValidateBatch(const std::vector<PendingEdit*>& batch,
-                     uint64_t ticket, StagedBatch* staged);
+                     uint64_t ticket, StagedBatch* staged)
+      PQIDX_EXCLUDES(index_mutex_);
 
-  // Ticket-ordered turnstiles for the two pipeline phases.
-  void AwaitTurn(uint64_t* turn, uint64_t ticket);
-  void FinishTurn(uint64_t* turn);
+  // Validates + composes the next bag for one same-tree group of a
+  // batch. Requires the leader's exclusive index_mutex_: it reads
+  // replica_ and overlay_ and writes only its own group's slots in
+  // `edit_ok` / `composed` (which is how fanning the groups across
+  // staging workers while the *leader* holds the lock stays sound --
+  // see the no-tsa escape at the call site in ValidateBatch).
+  void ValidateGroup(const std::vector<PendingEdit*>& batch,
+                     const std::vector<size_t>& group,
+                     std::vector<uint8_t>* edit_ok,
+                     std::unique_ptr<PqGramIndex>* composed) const
+      PQIDX_REQUIRES(index_mutex_);
 
   // The current lookup snapshot (never null after Start()).
-  std::shared_ptr<const LookupEngine> EngineSnapshot() const;
+  std::shared_ptr<const LookupEngine> EngineSnapshot() const
+      PQIDX_EXCLUDES(engine_mutex_);
   // Publishes the next snapshot epoch: derived incrementally from the
   // previous one for the trees in `changed`, or compiled from scratch
   // when `changed` is empty / the full-rebuild cadence is due. Takes no
-  // lock on replica_: the caller must be the sole thread mutating it
-  // for the duration (true in Start(), before handlers exist, and for
-  // the storage-turn holder until it finishes its turn).
-  void PublishEngine(const std::vector<TreeId>& changed);
+  // lock on replica_ (see replica_for_publish): the caller must be the
+  // sole thread mutating it for the duration (true in Start(), before
+  // handlers exist, and for the storage-turn holder until it finishes
+  // its turn).
+  void PublishEngine(const std::vector<TreeId>& changed)
+      PQIDX_EXCLUDES(index_mutex_, engine_mutex_);
+
+  // no-tsa: replica_ is guarded by index_mutex_, but PublishEngine
+  // compiles snapshots from it with no lock held -- its caller is the
+  // storage-turn holder (or Start before handlers exist), the only
+  // thread that may mutate replica_, and taking even the shared lock
+  // for the O(postings) build would block successor batches' validation
+  // and defeat the commit pipeline.
+  const ForestIndex& replica_for_publish() const
+      PQIDX_NO_THREAD_SAFETY_ANALYSIS {
+    return replica_;
+  }
 
   PersistentForestIndex* const index_;
   const ServerOptions options_;
+
+  // The forest's pq-gram shape: set once by Start() from the store,
+  // before any handler thread exists, and immutable afterwards, so
+  // request handlers read it lock-free.
+  PqShape shape_;
 
   // Write-path state: replica_ is the mutable bag-level view batch
   // leaders validate against and mutate together with the store;
@@ -224,23 +251,22 @@ class Server {
   // batch's ticket. Both live under index_mutex_; replica_ mutation is
   // additionally serialized by the storage turnstile. Lookups do NOT
   // read either.
-  mutable std::shared_mutex index_mutex_;
-  ForestIndex replica_;
+  mutable SharedMutex index_mutex_;
+  ForestIndex replica_ PQIDX_GUARDED_BY(index_mutex_);
   struct PendingBag {
     PqGramIndex bag;
     uint64_t ticket;
   };
-  std::map<TreeId, PendingBag> overlay_;
-  // Bumped (under index_mutex_) whenever a batch fails after validation;
-  // successors compare their validation-time snapshot of it before
-  // touching the store.
-  uint64_t failure_stamp_ = 0;
+  std::map<TreeId, PendingBag> overlay_ PQIDX_GUARDED_BY(index_mutex_);
+  // Bumped whenever a batch fails after validation; successors compare
+  // their validation-time snapshot of it before touching the store.
+  uint64_t failure_stamp_ PQIDX_GUARDED_BY(index_mutex_) = 0;
 
   // Read-path state: the immutable snapshot lookups score against.
   // engine_mutex_ only guards the pointer swap/copy (nanoseconds);
   // scoring itself runs on a private shared_ptr copy with no lock held.
-  mutable std::mutex engine_mutex_;
-  std::shared_ptr<const LookupEngine> engine_;
+  mutable Mutex engine_mutex_;
+  std::shared_ptr<const LookupEngine> engine_ PQIDX_GUARDED_BY(engine_mutex_);
   std::unique_ptr<ThreadPool> lookup_pool_;
   // Write-path staging workers (ServerOptions::staging_threads).
   std::unique_ptr<ThreadPool> staging_pool_;
@@ -250,17 +276,16 @@ class Server {
 
   // Group-commit queue. Tickets are drawn under write_mutex_ at batch
   // drain time, so ticket order == queue order.
-  std::mutex write_mutex_;
-  std::condition_variable write_cv_;
-  std::deque<PendingEdit*> write_queue_;
-  int active_commits_ = 0;
-  uint64_t next_ticket_ = 0;
+  Mutex write_mutex_;
+  CondVar write_cv_;
+  std::deque<PendingEdit*> write_queue_ PQIDX_GUARDED_BY(write_mutex_);
+  int active_commits_ PQIDX_GUARDED_BY(write_mutex_) = 0;
+  uint64_t next_ticket_ PQIDX_GUARDED_BY(write_mutex_) = 0;
 
-  // Pipeline turnstiles (see AwaitTurn/FinishTurn).
-  std::mutex commit_mutex_;
-  std::condition_variable commit_cv_;
-  uint64_t validate_turn_ = 0;
-  uint64_t storage_turn_ = 0;
+  // Pipeline turnstiles (common/sync.h): each phase of batch N starts
+  // only after the same phase of batch N-1 finished its turn.
+  Turnstile validate_turnstile_;
+  Turnstile storage_turnstile_;
 
   // Lifecycle.
   std::unique_ptr<Listener> listener_;
@@ -269,8 +294,9 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::atomic<int> active_connections_{0};
-  std::mutex connections_mutex_;
-  std::vector<std::weak_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_
+      PQIDX_GUARDED_BY(connections_mutex_);
 
   // Counters (see ServiceStats).
   std::atomic<int64_t> lookups_{0};

@@ -15,6 +15,27 @@ namespace {
 
 Status EndOfStream() { return OutOfRangeError("end of stream"); }
 
+// Maps both strerror_r flavors onto the caller's buffer: the XSI
+// variant returns int and fills the buffer, the GNU variant returns the
+// message pointer directly (and may ignore the buffer). Only one
+// overload is instantiated per libc, hence [[maybe_unused]].
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* msg,
+                                            const char* /*buf*/) {
+  return msg;
+}
+
+// "<prefix>: <errno message>" via the thread-safe strerror_r (plain
+// strerror shares a static buffer across threads; clang-tidy's
+// concurrency-mt-unsafe flags it).
+std::string ErrnoMessage(const char* prefix, int err) {
+  char buf[128] = {};
+  const char* msg = StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+  return std::string(prefix) + ": " + msg;
+}
+
 // --- pipe ---------------------------------------------------------------
 
 // One direction of a pipe: a bounded byte buffer with blocking
@@ -22,16 +43,18 @@ Status EndOfStream() { return OutOfRangeError("end of stream"); }
 struct PipeQueue {
   explicit PipeQueue(size_t capacity) : capacity(capacity) {}
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::string buffer;
-  size_t read_pos = 0;  // consumed prefix of `buffer`
+  Mutex mutex;
+  CondVar cv;
+  std::string buffer PQIDX_GUARDED_BY(mutex);
+  size_t read_pos PQIDX_GUARDED_BY(mutex) = 0;  // consumed buffer prefix
   size_t capacity;
-  bool closed = false;
+  bool closed PQIDX_GUARDED_BY(mutex) = false;
 
-  size_t available() const { return buffer.size() - read_pos; }
+  size_t available() const PQIDX_REQUIRES(mutex) {
+    return buffer.size() - read_pos;
+  }
 
-  void Compact() {
+  void Compact() PQIDX_REQUIRES(mutex) {
     if (read_pos > 0 && read_pos >= buffer.size() / 2) {
       buffer.erase(0, read_pos);
       read_pos = 0;
@@ -52,14 +75,14 @@ class PipeConnection : public Connection {
     PipeQueue& q = *write_queue_;
     size_t sent = 0;
     while (sent < bytes.size()) {
-      std::unique_lock<std::mutex> lock(q.mutex);
-      q.cv.wait(lock, [&q] { return q.closed || q.available() < q.capacity; });
+      MutexLock lock(&q.mutex);
+      while (!q.closed && q.available() >= q.capacity) q.cv.Wait(&q.mutex);
       if (q.closed) return IoError("pipe closed");
       size_t room = q.capacity - q.available();
       size_t n = std::min(room, bytes.size() - sent);
       q.buffer.append(bytes.data() + sent, n);
       sent += n;
-      q.cv.notify_all();
+      q.cv.NotifyAll();
     }
     return Status::Ok();
   }
@@ -68,8 +91,8 @@ class PipeConnection : public Connection {
     out->clear();
     PipeQueue& q = *read_queue_;
     while (out->size() < n) {
-      std::unique_lock<std::mutex> lock(q.mutex);
-      q.cv.wait(lock, [&q] { return q.closed || q.available() > 0; });
+      MutexLock lock(&q.mutex);
+      while (!q.closed && q.available() == 0) q.cv.Wait(&q.mutex);
       if (q.available() == 0) {
         // closed and drained
         if (out->empty()) return EndOfStream();
@@ -79,16 +102,16 @@ class PipeConnection : public Connection {
       out->append(q.buffer, q.read_pos, take);
       q.read_pos += take;
       q.Compact();
-      q.cv.notify_all();
+      q.cv.NotifyAll();
     }
     return Status::Ok();
   }
 
   void Close() override {
     for (PipeQueue* q : {read_queue_.get(), write_queue_.get()}) {
-      std::lock_guard<std::mutex> lock(q->mutex);
+      MutexLock lock(&q->mutex);
       q->closed = true;
-      q->cv.notify_all();
+      q->cv.NotifyAll();
     }
   }
 
@@ -120,7 +143,7 @@ class TcpConnection : public Connection {
                          MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return IoError(std::string("send: ") + std::strerror(errno));
+        return IoError(ErrnoMessage("send", errno));
       }
       sent += static_cast<size_t>(n);
     }
@@ -136,7 +159,7 @@ class TcpConnection : public Connection {
       ssize_t got = ::recv(fd_, chunk, want, 0);
       if (got < 0) {
         if (errno == EINTR) continue;
-        return IoError(std::string("recv: ") + std::strerror(errno));
+        return IoError(ErrnoMessage("recv", errno));
       }
       if (got == 0) {
         if (out->empty()) return EndOfStream();
@@ -170,17 +193,17 @@ MakePipePair(size_t capacity) {
 StatusOr<std::unique_ptr<Connection>> PipeListener::Connect() {
   auto [client_end, server_end] = MakePipePair(capacity_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (closed_) return UnavailableError("listener closed");
     pending_.push_back(std::move(server_end));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return std::move(client_end);
 }
 
 StatusOr<std::unique_ptr<Connection>> PipeListener::Accept() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  MutexLock lock(&mutex_);
+  while (!closed_ && pending_.empty()) cv_.Wait(&mutex_);
   if (!pending_.empty()) {
     std::unique_ptr<Connection> conn = std::move(pending_.front());
     pending_.pop_front();
@@ -191,15 +214,15 @@ StatusOr<std::unique_ptr<Connection>> PipeListener::Accept() {
 
 void PipeListener::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 StatusOr<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return IoError(ErrnoMessage("socket", errno));
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -207,19 +230,18 @@ StatusOr<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status = IoError(std::string("bind: ") + std::strerror(errno));
+    Status status = IoError(ErrnoMessage("bind", errno));
     ::close(fd);
     return status;
   }
   if (::listen(fd, SOMAXCONN) < 0) {
-    Status status = IoError(std::string("listen: ") + std::strerror(errno));
+    Status status = IoError(ErrnoMessage("listen", errno));
     ::close(fd);
     return status;
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    Status status =
-        IoError(std::string("getsockname: ") + std::strerror(errno));
+    Status status = IoError(ErrnoMessage("getsockname", errno));
     ::close(fd);
     return status;
   }
@@ -240,14 +262,14 @@ StatusOr<std::unique_ptr<Connection>> TcpListener::Accept() {
       return conn;
     }
     if (errno == EINTR) continue;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (closed_) return UnavailableError("listener closed");
-    return IoError(std::string("accept: ") + std::strerror(errno));
+    return IoError(ErrnoMessage("accept", errno));
   }
 }
 
 void TcpListener::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (closed_) return;
   closed_ = true;
   // Unblocks a pending accept() (Linux returns EINVAL after shutdown on a
@@ -264,14 +286,14 @@ StatusOr<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
     return InvalidArgumentError("not a numeric IPv4 address: " + host);
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return IoError(ErrnoMessage("socket", errno));
   for (;;) {
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
         0) {
       break;
     }
     if (errno == EINTR) continue;
-    Status status = IoError(std::string("connect: ") + std::strerror(errno));
+    Status status = IoError(ErrnoMessage("connect", errno));
     ::close(fd);
     return status;
   }

@@ -15,16 +15,15 @@
 #ifndef PQIDX_SERVICE_TRANSPORT_H_
 #define PQIDX_SERVICE_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace pqidx {
 
@@ -69,17 +68,18 @@ class PipeListener : public Listener {
  public:
   explicit PipeListener(size_t capacity = 1 << 20) : capacity_(capacity) {}
 
-  StatusOr<std::unique_ptr<Connection>> Connect();
+  StatusOr<std::unique_ptr<Connection>> Connect() PQIDX_EXCLUDES(mutex_);
 
-  StatusOr<std::unique_ptr<Connection>> Accept() override;
-  void Close() override;
+  StatusOr<std::unique_ptr<Connection>> Accept() override
+      PQIDX_EXCLUDES(mutex_);
+  void Close() override PQIDX_EXCLUDES(mutex_);
 
  private:
   size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Connection>> pending_;
-  bool closed_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Connection>> pending_ PQIDX_GUARDED_BY(mutex_);
+  bool closed_ PQIDX_GUARDED_BY(mutex_) = false;
 };
 
 // --- TCP loopback transport ---------------------------------------------
@@ -94,16 +94,19 @@ class TcpListener : public Listener {
 
   int port() const { return port_; }
 
-  StatusOr<std::unique_ptr<Connection>> Accept() override;
-  void Close() override;
+  StatusOr<std::unique_ptr<Connection>> Accept() override
+      PQIDX_EXCLUDES(mutex_);
+  void Close() override PQIDX_EXCLUDES(mutex_);
 
  private:
   TcpListener(int fd, int port) : fd_(fd), port_(port) {}
 
+  // The listening socket; Close() only shuts it down (never closes),
+  // so concurrent Accept()/Close() may use the fd without locking.
   int fd_;
   int port_;
-  std::mutex mutex_;
-  bool closed_ = false;
+  Mutex mutex_;
+  bool closed_ PQIDX_GUARDED_BY(mutex_) = false;
 };
 
 // Connects to a pqidxd TCP endpoint (numeric IPv4 host, e.g. 127.0.0.1).

@@ -312,6 +312,8 @@ Status Pager::CommitWithCrash(CrashPoint point) {
   PQIDX_RETURN_IF_ERROR(dirty.status());
   if (point == CrashPoint::kDuringInPlace) {
     PQIDX_RETURN_IF_ERROR(ApplyDirtyInPlace(*dirty, /*limit=*/1));
+    // Deliberately dropped: we are simulating a crash mid-commit, so a
+    // sync failure here is indistinguishable from the crash itself.
     (void)SyncFile(file_);
   }
   // Simulate process death: drop all volatile state without cleanup.

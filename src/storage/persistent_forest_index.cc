@@ -223,14 +223,18 @@ Status PersistentForestIndex::CommitOrCrash() {
 // Discards uncommitted page changes and restores the in-memory caches
 // (catalog, linear-hash meta) from the committed state.
 Status PersistentForestIndex::RollbackAndReload(Status cause) {
-  pager_.Rollback();
+  // The reload steps are deliberately best-effort: we are already on the
+  // error path and must surface `cause`, not a secondary reload failure
+  // (a reload that fails leaves the caches as ReadPage/Attach/LoadCatalog
+  // left them, and the next operation reports its own error).
+  (void)pager_.Rollback();
   StatusOr<const uint8_t*> page = pager_.ReadPage(0);
   if (page.ok()) {
     catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
     PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
-    table_.Attach(hash_meta).ok();
+    (void)table_.Attach(hash_meta);
   }
-  LoadCatalog().ok();
+  (void)LoadCatalog();
   return cause;
 }
 

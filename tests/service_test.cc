@@ -1153,5 +1153,61 @@ TEST(ServiceStressTest, ConcurrentClientsOverTcpLoopback) {
   }
 }
 
+// Regression test (runs under TSan in CI): stats() used to read
+// replica_.shape() without holding index_mutex_ while storage turns
+// mutate replica_ -- found by the thread-safety annotation retrofit
+// (the shape is now cached in an immutable-after-Start member). This
+// hammers stats() against a write-heavy workload so any reintroduced
+// unlocked replica_ access that touches mutated memory (verified for
+// an unlocked replica_.size() read) shows up as a TSan report.
+TEST(ServiceStressTest, StatsRaceWritersRegression) {
+  ServerOptions options;
+  options.max_connections = 4;
+  options.commit_pipeline_depth = 2;
+  options.staging_threads = 2;
+  TestService service("svc_stats_race.db", PqShape{2, 3}, options);
+
+  std::atomic<bool> done{false};
+  std::thread stats_reader([&] {
+    while (!done.load()) {
+      ServiceStats stats = service.server->stats();
+      EXPECT_EQ(stats.p, 2);
+      EXPECT_EQ(stats.q, 3);
+      EXPECT_GE(stats.tree_count, 0);
+    }
+  });
+
+  constexpr int kWriters = 3;
+  constexpr int kTreesPerWriter = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::unique_ptr<Client> client = service.MustConnect();
+      Rng rng(0xace0 + static_cast<uint64_t>(w));
+      for (int t = 0; t < kTreesPerWriter; ++t) {
+        TreeId id = static_cast<TreeId>(w * kTreesPerWriter + t);
+        RandomTreeOptions tree_options;
+        tree_options.num_nodes = 24;
+        Tree tree = GenerateRandomTree(nullptr, &rng, tree_options);
+        if (!client->AddTree(id, tree).ok()) failures.fetch_add(1);
+        EditLog log;
+        GenerateEditScript(&tree, &rng, 4, EditScriptOptions{}, &log);
+        if (!client->ApplyEdits(id, tree, log).ok()) failures.fetch_add(1);
+      }
+      client->Close();
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  stats_reader.join();
+
+  ASSERT_EQ(failures.load(), 0);
+  ServiceStats stats = service.server->stats();
+  EXPECT_EQ(stats.tree_count, kWriters * kTreesPerWriter);
+  service.server->Stop();
+}
+
 }  // namespace
 }  // namespace pqidx

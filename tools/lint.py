@@ -15,6 +15,19 @@ common/check.h) that generic linters don't know about:
       common/check.h; parse and I/O paths report Status instead
   R5  include guards match the file path: src/foo/bar.h guards with
       PQIDX_FOO_BAR_H_
+  R6  no raw standard synchronization primitives (std::mutex,
+      std::shared_mutex, std::condition_variable, std::lock_guard,
+      std::unique_lock, std::shared_lock, std::scoped_lock, or their
+      headers) outside src/common/sync.h: use the annotated wrappers
+      from common/sync.h so Clang's thread-safety analysis sees every
+      lock; annotate intentional exceptions with `// lint:allow-raw-sync`
+  R7  every PQIDX_NO_THREAD_SAFETY_ANALYSIS escape hatch carries a
+      justification: a comment containing `no-tsa:` on the same line or
+      within the preceding lines
+  R8  every Mutex / SharedMutex member is referenced by at least one
+      PQIDX_* thread-safety annotation in the same file (GUARDED_BY,
+      REQUIRES, EXCLUDES, ACQUIRE, ...): an unannotated capability
+      member means the analysis silently checks nothing for it
 
 Usage: tools/lint.py [repo-root] [--quiet]
 Exits 0 when clean, 1 with file:line diagnostics otherwise.
@@ -26,6 +39,23 @@ import sys
 
 LINT_DIRS = ("src",)
 ALLOW_NEW_MARKER = "lint:allow-new"
+ALLOW_RAW_SYNC_MARKER = "lint:allow-raw-sync"
+NO_TSA_JUSTIFICATION = "no-tsa:"
+# How far back (in lines) an R7 justification comment may sit from the
+# PQIDX_NO_THREAD_SAFETY_ANALYSIS it justifies.
+NO_TSA_LOOKBACK = 8
+RAW_SYNC_ALLOWED_FILES = {os.path.join("src", "common", "sync.h")}
+# The macro layer defines the annotations; R7/R8 would misfire on it.
+ANNOTATION_EXEMPT_FILES = RAW_SYNC_ALLOWED_FILES | {
+    os.path.join("src", "common", "thread_annotations.h")}
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b|"
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+CAPABILITY_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:Mutex|SharedMutex)\s+(\w+)\s*;")
 SMART_PTR_WRAP = re.compile(r"\b(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*\w*\s*\(\s*$|"
                             r"\b(?:unique_ptr|shared_ptr)\s*<[^;]*\(\s*new\b")
 EXIT_ALLOWED_FILES = {os.path.join("src", "common", "check.h")}
@@ -134,6 +164,37 @@ def check_file(root, rel_path, errors):
                 masked_line):
             report("R4", "no direct abort/exit outside common/check.h; "
                          "parse and I/O paths must return Status")
+
+        if (rel_path not in RAW_SYNC_ALLOWED_FILES
+                and ALLOW_RAW_SYNC_MARKER not in raw_line
+                and RAW_SYNC_RE.search(masked_line)):
+            report("R6", "raw std synchronization primitive; use the "
+                         "annotated wrappers from common/sync.h")
+
+        if (rel_path not in ANNOTATION_EXEMPT_FILES
+                and "PQIDX_NO_THREAD_SAFETY_ANALYSIS" in masked_line):
+            window = raw_lines[max(0, lineno - 1 - NO_TSA_LOOKBACK):lineno]
+            if not any(NO_TSA_JUSTIFICATION in line for line in window):
+                report("R7", "PQIDX_NO_THREAD_SAFETY_ANALYSIS without a "
+                             f"`{NO_TSA_JUSTIFICATION}` justification comment "
+                             "on or above the escape hatch")
+
+    if rel_path not in ANNOTATION_EXEMPT_FILES:
+        for lineno, masked_line in enumerate(masked_lines, start=1):
+            member = CAPABILITY_MEMBER_RE.match(masked_line)
+            if not member:
+                continue
+            name = member.group(1)
+            # Any PQIDX_* annotation naming the member counts:
+            # PQIDX_GUARDED_BY(name), PQIDX_REQUIRES(name),
+            # PQIDX_EXCLUDES(other, name), PQIDX_ACQUIRE(name), ...
+            referenced = re.search(
+                rf"PQIDX_[A-Z_]+\([^)]*\b{re.escape(name)}\b", masked)
+            if not referenced:
+                errors.append(
+                    f"{rel_path}:{lineno}: [R8] capability member `{name}` is "
+                    "not referenced by any PQIDX_* annotation in this file; "
+                    "the thread-safety analysis checks nothing for it")
 
     if rel_path.endswith(".h"):
         guard = expected_guard(rel_path)
