@@ -47,6 +47,14 @@ struct ClientResult {
   int failures = 0;
 };
 
+// Transient connect failures (e.g. admission control while client
+// threads ramp up) retry with backoff instead of failing the run.
+BackoffPolicy ConnectRetryPolicy() {
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  return policy;
+}
+
 // Lookup-only sweep: `readers` concurrent clients hammer a read-only
 // server with lookups against an established forest. Since the server
 // scores against its epoch-published snapshot without taking index_mutex_,
@@ -75,10 +83,8 @@ double RunReaderSweep(int readers, const PqShape& shape,
   Rng seed_rng(7000);
   auto dict = std::make_shared<LabelDict>();
   {
-    StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
-    if (!conn.ok()) return -1;
-    StatusOr<std::unique_ptr<Client>> client =
-        Client::Connect(std::move(*conn));
+    StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+        [&] { return connect_point->Connect(); }, ConnectRetryPolicy());
     if (!client.ok()) return -1;
     for (TreeId id = 0; id < kForestTrees; ++id) {
       Tree tree = GenerateDblpLike(dict, &seed_rng, kTreeNodes);
@@ -93,10 +99,8 @@ double RunReaderSweep(int readers, const PqShape& shape,
   std::vector<std::thread> threads;
   for (int c = 0; c < readers; ++c) {
     threads.emplace_back([&, c] {
-      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
-      if (!conn.ok()) { ok.store(false); return; }
-      StatusOr<std::unique_ptr<Client>> client =
-          Client::Connect(std::move(*conn));
+      StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+          [&] { return connect_point->Connect(); }, ConnectRetryPolicy());
       if (!client.ok()) { ok.store(false); return; }
       Rng rng(8000 + c);
       PqGramIndex query =
@@ -176,10 +180,8 @@ double RunWriteWorkload(const WriteWorkloadConfig& cfg, const PqShape& shape,
   {
     Rng rng(9100);
     auto dict = std::make_shared<LabelDict>();
-    StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
-    if (!conn.ok()) return -1;
-    StatusOr<std::unique_ptr<Client>> client =
-        Client::Connect(std::move(*conn));
+    StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+        [&] { return connect_point->Connect(); }, ConnectRetryPolicy());
     if (!client.ok()) return -1;
     for (TreeId id = 0; id < kSeedTrees; ++id) {
       Tree tree = GenerateDblpLike(dict, &rng, kTreeNodes);
@@ -197,10 +199,8 @@ double RunWriteWorkload(const WriteWorkloadConfig& cfg, const PqShape& shape,
   std::vector<std::thread> threads;
   for (int c = 0; c < cfg.writers; ++c) {
     threads.emplace_back([&, c] {
-      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
-      if (!conn.ok()) { ok.store(false); return; }
-      StatusOr<std::unique_ptr<Client>> client =
-          Client::Connect(std::move(*conn));
+      StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+          [&] { return connect_point->Connect(); }, ConnectRetryPolicy());
       if (!client.ok()) { ok.store(false); return; }
       Rng rng(9200 + c);
       auto dict = std::make_shared<LabelDict>();
@@ -313,10 +313,8 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {
-      StatusOr<std::unique_ptr<Connection>> conn = connect_point->Connect();
-      if (!conn.ok()) { ok.store(false); return; }
-      StatusOr<std::unique_ptr<Client>> client =
-          Client::Connect(std::move(*conn));
+      StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+          [&] { return connect_point->Connect(); }, ConnectRetryPolicy());
       if (!client.ok()) { ok.store(false); return; }
       Rng rng(1000 + c);
       auto dict = std::make_shared<LabelDict>();

@@ -46,6 +46,50 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   { (void)pqidx::AddTreeRequest::Decode(payload); }
   { (void)pqidx::ApplyEditsRequest::Decode(payload); }
 
+  // Replication handshake (kSubscribe): what the leader reads from an
+  // untrusted subscriber. Accepted requests must round-trip.
+  {
+    pqidx::StatusOr<pqidx::SubscribeRequest> request =
+        pqidx::SubscribeRequest::Decode(payload);
+    if (request.ok()) {
+      pqidx::ByteWriter writer;
+      request->Encode(&writer);
+      pqidx::StatusOr<pqidx::SubscribeRequest> again =
+          pqidx::SubscribeRequest::Decode(writer.data());
+      if (!again.ok() || again->from_ticket != request->from_ticket ||
+          again->force_snapshot != request->force_snapshot) {
+        __builtin_trap();
+      }
+    }
+  }
+
+  // Replication stream (kSubscribeAck / kDeltaFrame): what a follower
+  // reads from a malicious or corrupted leader before applying it to
+  // its local store. Accepted frames must round-trip entry for entry.
+  {
+    pqidx::ByteReader reader(payload);
+    pqidx::Status transported;
+    if (pqidx::DecodeStatus(&reader, &transported).ok()) {
+      (void)pqidx::SubscribeAck::Decode(&reader);
+    }
+  }
+  {
+    pqidx::StatusOr<pqidx::DeltaFrame> frame =
+        pqidx::DeltaFrame::Decode(payload);
+    if (frame.ok()) {
+      pqidx::ByteWriter writer;
+      frame->Encode(&writer);
+      pqidx::StatusOr<pqidx::DeltaFrame> again =
+          pqidx::DeltaFrame::Decode(writer.data());
+      if (!again.ok() || again->ticket != frame->ticket ||
+          again->publish_us != frame->publish_us ||
+          again->last_chunk != frame->last_chunk ||
+          !(again->entries == frame->entries)) {
+        __builtin_trap();
+      }
+    }
+  }
+
   // Response decoders (the client's attack surface: a malicious or
   // corrupted server).
   {

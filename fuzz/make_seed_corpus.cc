@@ -279,6 +279,67 @@ Status MakeWireSeeds(const std::string& dir) {
     PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "stats_snapshot_response_frame.bin",
                                     EncodeFrame(header, writer.data())));
   }
+  {
+    // A kSubscribe handshake frame (replication follower -> leader).
+    SubscribeRequest request;
+    request.from_ticket = 42;
+    request.force_snapshot = false;
+    ByteWriter writer;
+    request.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kSubscribe;
+    header.request_id = 6;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "subscribe_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    // The matching kSubscribeAck response (status + ack).
+    SubscribeAck ack;
+    ack.mode = SubscribeAck::Mode::kSnapshot;
+    ack.ticket = 42;
+    ack.p = static_cast<uint8_t>(shape.p);
+    ack.q = static_cast<uint8_t>(shape.q);
+    ByteWriter writer;
+    EncodeStatus(Status::Ok(), &writer);
+    ack.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kSubscribeAck;
+    header.flags = kFrameFlagResponse;
+    header.request_id = 6;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "subscribe_ack_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
+  {
+    // A kDeltaFrame with both entry kinds (a whole-bag add and an
+    // (I+, I-) update), so mutations start from an accepting path
+    // through DecodeDeltaEntry's branches.
+    DeltaFrame frame;
+    frame.ticket = 43;
+    frame.publish_us = 1234567;
+    frame.last_chunk = true;
+    DeltaEntry add;
+    add.tree_id = 7;
+    add.is_add = true;
+    add.plus = bag;
+    frame.entries.push_back(std::move(add));
+    DeltaEntry update;
+    update.tree_id = 9;
+    update.is_add = false;
+    update.plus = bag;
+    update.minus = PqGramIndex(shape);
+    frame.entries.push_back(std::move(update));
+    ByteWriter writer;
+    frame.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kDeltaFrame;
+    header.flags = kFrameFlagResponse;
+    header.request_id = 6;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "delta_frame.bin",
+                                    EncodeFrame(header, writer.data())));
+  }
   return Status::Ok();
 }
 

@@ -23,6 +23,7 @@
 #ifndef PQIDX_COMMON_SYNC_H_
 #define PQIDX_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -141,6 +142,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  // As Wait, but returns after at most `timeout_us` microseconds.
+  // Returns false on timeout, true when notified (spurious wakeups
+  // count as notifications; callers loop on their predicate either
+  // way).
+  bool WaitFor(Mutex* mu, int64_t timeout_us) PQIDX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,5 +1,7 @@
 #include "service/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/incremental.h"
@@ -21,6 +23,29 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(
   }
   client->shape_ = shape;
   return client;
+}
+
+StatusOr<std::unique_ptr<Client>> Client::ConnectWithRetry(
+    const Dialer& dial, const BackoffPolicy& policy, uint64_t seed) {
+  // The whole dial + handshake retries as a unit: the Stats round trip
+  // inside Connect is where an admission-control rejection surfaces,
+  // and that is as transient as a refused dial.
+  Backoff backoff(policy, seed);
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<std::unique_ptr<Connection>> conn = dial();
+    if (conn.ok()) {
+      StatusOr<std::unique_ptr<Client>> client =
+          Connect(std::move(conn).value());
+      if (client.ok()) return client;
+      if (policy.max_attempts > 0 && attempt >= policy.max_attempts) {
+        return client;
+      }
+    } else if (policy.max_attempts > 0 && attempt >= policy.max_attempts) {
+      return conn.status();
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(backoff.NextDelayUs()));
+  }
 }
 
 Status Client::RoundTrip(MessageType type, std::string_view payload,

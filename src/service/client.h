@@ -25,6 +25,7 @@
 #include "core/forest_index.h"
 #include "core/pqgram_index.h"
 #include "edit/edit_log.h"
+#include "service/retry.h"
 #include "service/transport.h"
 #include "service/wire.h"
 #include "tree/tree.h"
@@ -39,6 +40,15 @@ class Client {
   // admission control.
   static StatusOr<std::unique_ptr<Client>> Connect(
       std::unique_ptr<Connection> connection);
+
+  // Dial + Connect with exponential backoff + jitter (service/retry.h):
+  // retries transient failures -- connection refused while the server
+  // is still binding, admission-control rejection under load -- until
+  // the policy's attempt budget is spent (max_attempts 0 retries
+  // forever). Returns the last error when the budget runs out.
+  static StatusOr<std::unique_ptr<Client>> ConnectWithRetry(
+      const Dialer& dial, const BackoffPolicy& policy = BackoffPolicy(),
+      uint64_t seed = 1);
 
   ~Client() { Close(); }
 

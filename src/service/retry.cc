@@ -1,0 +1,72 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pqidx {
+
+Backoff::Backoff(const BackoffPolicy& policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  PQIDX_CHECK(policy_.initial_backoff_us >= 0);
+  PQIDX_CHECK(policy_.max_backoff_us >= policy_.initial_backoff_us);
+  PQIDX_CHECK(policy_.multiplier >= 1.0);
+  PQIDX_CHECK(policy_.jitter >= 0.0 && policy_.jitter < 1.0);
+  PQIDX_CHECK(policy_.max_attempts >= 0);
+  Reset();
+}
+
+void Backoff::Reset() {
+  attempts_ = 0;
+  next_backoff_us_ = policy_.initial_backoff_us;
+}
+
+bool Backoff::Exhausted() const {
+  return policy_.max_attempts > 0 && attempts_ >= policy_.max_attempts;
+}
+
+int64_t Backoff::NextDelayUs() {
+  ++attempts_;
+  const int64_t base = next_backoff_us_;
+  next_backoff_us_ = std::min<int64_t>(
+      policy_.max_backoff_us,
+      static_cast<int64_t>(static_cast<double>(base) * policy_.multiplier) +
+          1);
+  // Uniform perturbation in [1 - jitter, 1 + jitter].
+  const double factor =
+      1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return std::max<int64_t>(
+      0, static_cast<int64_t>(static_cast<double>(base) * factor));
+}
+
+StatusOr<std::unique_ptr<Connection>> DialWithRetry(
+    const Dialer& dial, const BackoffPolicy& policy, uint64_t seed,
+    const std::atomic<bool>* cancel) {
+  Backoff backoff(policy, seed);
+  for (int attempt = 1;; ++attempt) {
+    if (cancel != nullptr && cancel->load()) {
+      return UnavailableError("dial cancelled");
+    }
+    StatusOr<std::unique_ptr<Connection>> conn = dial();
+    if (conn.ok()) return conn;
+    if (policy.max_attempts > 0 && attempt >= policy.max_attempts) {
+      return conn;
+    }
+    // Sleep in short slices so cancellation (follower Stop, ^C in a
+    // tool) never waits out a long backoff.
+    int64_t remaining_us = backoff.NextDelayUs();
+    while (remaining_us > 0) {
+      if (cancel != nullptr && cancel->load()) {
+        return UnavailableError("dial cancelled");
+      }
+      const int64_t slice_us = std::min<int64_t>(remaining_us, 10'000);
+      std::this_thread::sleep_for(std::chrono::microseconds(slice_us));
+      remaining_us -= slice_us;
+    }
+  }
+}
+
+}  // namespace pqidx

@@ -1,0 +1,66 @@
+// Reconnect/backoff policy shared by everything that dials a pqidxd
+// endpoint: the replication follower's reconnect loop
+// (service/replication.h) and the client connect paths in tools and
+// loadgen. Exponential backoff with multiplicative growth, a hard cap,
+// and deterministic jitter (common/random.h, seeded by the caller), so
+// a fleet of reconnecting followers does not stampede the leader in
+// lockstep.
+
+#ifndef PQIDX_SERVICE_RETRY_H_
+#define PQIDX_SERVICE_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "service/transport.h"
+
+namespace pqidx {
+
+struct BackoffPolicy {
+  int64_t initial_backoff_us = 10'000;   // first retry delay (10 ms)
+  int64_t max_backoff_us = 2'000'000;    // delay cap (2 s)
+  double multiplier = 2.0;               // growth per failed attempt
+  // Each delay is perturbed uniformly in [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+  // Total connection attempts before giving up; 0 retries forever.
+  int max_attempts = 0;
+};
+
+// Tracks one retry sequence: NextDelayUs() returns the jittered delay to
+// sleep before the next attempt and advances the sequence.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed);
+
+  int64_t NextDelayUs();
+  int attempts() const { return attempts_; }
+  // True when the policy's attempt budget is spent.
+  bool Exhausted() const;
+  void Reset();
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+  int64_t next_backoff_us_ = 0;
+};
+
+// A factory producing fresh connections to one endpoint (e.g. a bound
+// TcpConnect call or PipeListener::Connect).
+using Dialer = std::function<StatusOr<std::unique_ptr<Connection>>()>;
+
+// Dials until a connection succeeds, the policy's attempt budget runs
+// out (the last dial error is returned), or `*cancel` becomes true
+// (returns UNAVAILABLE). The backoff sleep polls `cancel` so
+// cancellation is prompt; `cancel` may be null.
+StatusOr<std::unique_ptr<Connection>> DialWithRetry(
+    const Dialer& dial, const BackoffPolicy& policy, uint64_t seed = 1,
+    const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_SERVICE_RETRY_H_

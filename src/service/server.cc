@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "service/replication.h"
 
 namespace pqidx {
 namespace {
@@ -34,6 +35,12 @@ const char* OpcodeName(MessageType type) {
       return "stats";
     case MessageType::kStatsSnapshot:
       return "stats_snapshot";
+    case MessageType::kSubscribe:
+      return "subscribe";
+    case MessageType::kSubscribeAck:
+      return "subscribe_ack";
+    case MessageType::kDeltaFrame:
+      return "delta_frame";
   }
   PQIDX_CHECK_MSG(false, "unreachable message type");
   return "";
@@ -52,8 +59,10 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   PQIDX_CHECK(options_.snapshot_full_rebuild_every >= 0);
   PQIDX_CHECK(options_.staging_threads >= 0);
   Metrics& metrics = Metrics::Default();
+  PQIDX_CHECK(options_.replication_history >= 0);
+  PQIDX_CHECK(options_.replication_max_queue >= 1);
   for (uint8_t t = static_cast<uint8_t>(MessageType::kPing);
-       t <= static_cast<uint8_t>(MessageType::kStatsSnapshot); ++t) {
+       t <= static_cast<uint8_t>(MessageType::kDeltaFrame); ++t) {
     m_request_us_[t] = metrics.histogram(
         std::string("server.") + OpcodeName(static_cast<MessageType>(t)) +
         "_us");
@@ -79,15 +88,28 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
 Server::~Server() { Stop(); }
 
 Status Server::Start(std::unique_ptr<Listener> listener) {
-  PQIDX_CHECK_MSG(!started_.exchange(true), "Server started twice");
+  if (started_.exchange(true)) {
+    // A second Start used to CHECK-abort; a caller bug this cheap to
+    // report must not take the process down.
+    return FailedPreconditionError("server already started");
+  }
   StatusOr<ForestIndex> replica = index_->MaterializeForest();
   PQIDX_RETURN_IF_ERROR(replica.status());
+  cursor_base_ = index_->replication_cursor();
+  // A store populated outside replication (bulk ingest) still sits at
+  // cursor 0 -- the ticket that also means "follower with nothing".
+  // Serve it as logical cursor 1 so the snapshots it ships are stamped
+  // with a resumable ticket; otherwise every reconnecting follower
+  // would re-snapshot forever. Deterministic across leader restarts
+  // (the first commit durably advances the cursor past 1).
+  if (cursor_base_ == 0 && replica->size() > 0) cursor_base_ = 1;
   {
     // No handler threads exist yet; the lock satisfies the analysis and
     // costs one uncontended acquire.
     WriterLock lock(&index_mutex_);
     replica_ = *std::move(replica);
     shape_ = replica_.shape();
+    replica_ticket_ = cursor_base_;
   }
   if (options_.lookup_threads > 0) {
     lookup_pool_ = std::make_unique<ThreadPool>(options_.lookup_threads);
@@ -95,10 +117,19 @@ Status Server::Start(std::unique_ptr<Listener> listener) {
   if (options_.staging_threads > 0) {
     staging_pool_ = std::make_unique<ThreadPool>(options_.staging_threads);
   }
+  if (options_.replication) {
+    ReplicationHubOptions hub_options;
+    hub_options.history = options_.replication_history;
+    hub_options.max_queue = options_.replication_max_queue;
+    hub_ = std::make_unique<ReplicationHub>(hub_options);
+    hub_->Initialize(cursor_base_);
+  }
   PublishEngine({});  // epoch 1: the initial snapshot of the store
-  listener_ = std::move(listener);
-  pool_ = std::make_unique<ThreadPool>(options_.max_connections);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (listener != nullptr) {
+    listener_ = std::move(listener);
+    pool_ = std::make_unique<ThreadPool>(options_.max_connections);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -151,14 +182,17 @@ void Server::PublishEngine(const std::vector<TreeId>& changed) {
 
 void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
-  listener_->Close();
+  if (listener_ != nullptr) listener_->Close();
   {
     MutexLock lock(&connections_mutex_);
     for (const std::weak_ptr<Connection>& weak : connections_) {
       if (std::shared_ptr<Connection> conn = weak.lock()) conn->Close();
     }
   }
-  accept_thread_.join();
+  // End every subscription so ServeSubscriber handlers stop waiting for
+  // frames and observe their closed connections.
+  if (hub_ != nullptr) hub_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
   // Joining the pool drains the handlers; their connections are already
   // shut down, so every blocked Send/ReceiveExact has returned.
   pool_.reset();
@@ -271,6 +305,13 @@ void Server::HandleConnection(const std::shared_ptr<Connection>& conn) {
         break;
       }
     }
+    if (header.type == MessageType::kSubscribe) {
+      // A subscription takes over the connection: the peer sends
+      // nothing further and this end streams delta frames until one
+      // side drops.
+      ServeSubscriber(conn, header, payload);
+      break;
+    }
     const int64_t request_start_us =
         Metrics::enabled() ? Metrics::NowUs() : 0;
     std::string response = HandleRequest(header.type, payload);
@@ -312,6 +353,15 @@ std::string Server::HandleRequest(MessageType type,
       return HandleStats();
     case MessageType::kStatsSnapshot:
       return HandleStatsSnapshot(payload);
+    case MessageType::kSubscribe:
+    case MessageType::kSubscribeAck:
+    case MessageType::kDeltaFrame:
+      // kSubscribe is intercepted before dispatch (HandleConnection);
+      // the stream messages are only ever valid leader -> follower.
+      protocol_errors_.fetch_add(1);
+      m_protocol_errors_->Increment();
+      return StatusPayload(InvalidArgumentError(
+          "replication opcode outside a subscription stream"));
   }
   // DecodeFrameHeader admits only the enumerated types.
   PQIDX_CHECK_MSG(false, "unreachable message type");
@@ -348,6 +398,17 @@ std::string Server::HandleLookup(std::string_view payload) {
 }
 
 std::string Server::HandleAddTree(std::string_view payload) {
+  if (options_.read_only) {
+    return StatusPayload(
+        FailedPreconditionError("read-only follower rejects edits"));
+  }
+  if (payload.size() > kMaxEditPayload) {
+    // The cap (wire.h) keeps a committed batch re-encodable into delta
+    // frames: every chunk fits under the frame limit.
+    protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
+    return StatusPayload(InvalidArgumentError("edit payload too large"));
+  }
   StatusOr<AddTreeRequest> request = AddTreeRequest::Decode(payload);
   if (!request.ok()) {
     protocol_errors_.fetch_add(1);
@@ -365,6 +426,15 @@ std::string Server::HandleAddTree(std::string_view payload) {
 }
 
 std::string Server::HandleApplyEdits(std::string_view payload) {
+  if (options_.read_only) {
+    return StatusPayload(
+        FailedPreconditionError("read-only follower rejects edits"));
+  }
+  if (payload.size() > kMaxEditPayload) {
+    protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
+    return StatusPayload(InvalidArgumentError("edit payload too large"));
+  }
   StatusOr<ApplyEditsRequest> request = ApplyEditsRequest::Decode(payload);
   if (!request.ok()) {
     protocol_errors_.fetch_add(1);
@@ -447,7 +517,10 @@ Status Server::SubmitEdit(PendingEdit* edit) {
       // replay the exact serial-leader commit order.
       const uint64_t ticket = next_ticket_++;
       lock.Unlock();
-      CommitBatch(batch, ticket);
+      // The durable replication cursor for this batch: pipeline tickets
+      // restart at 0 every Start, so offset them past the store's
+      // cursor (+1 keeps cursor 0 meaning "nothing replicated").
+      CommitBatch(batch, ticket, cursor_base_ + ticket + 1);
       lock.Lock();
       for (PendingEdit* done : batch) done->done = true;
       --active_commits_;
@@ -583,7 +656,7 @@ void Server::ValidateBatch(const std::vector<PendingEdit*>& batch,
 }
 
 void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
-                         uint64_t ticket) {
+                         uint64_t ticket, uint64_t cursor) {
   const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   PersistentForestIndex::ApplyBatchTimings timings;
 
@@ -594,6 +667,25 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
   StagedBatch staged;
   ValidateBatch(batch, ticket, &staged);
   validate_turnstile_.Finish();
+
+  // Re-encode the batch's bags as delta-frame chunks in the overlap
+  // zone (off both turnstiles, so it costs pipelined batches nothing).
+  // Pre-encoding before the commit is exact: a staged edit only fails
+  // together with its whole batch, which then publishes nothing.
+  std::vector<std::string> chunks;
+  if (hub_ != nullptr && !staged.edits.empty()) {
+    std::vector<DeltaEntryView> views;
+    views.reserve(staged.edits.size());
+    for (const PersistentForestIndex::BatchEdit& edit : staged.edits) {
+      DeltaEntryView view;
+      view.tree_id = edit.id;
+      view.is_add = edit.add != nullptr;
+      view.plus = view.is_add ? edit.add : edit.plus;
+      view.minus = view.is_add ? nullptr : edit.minus;
+      views.push_back(view);
+    }
+    chunks = EncodeDeltaFrameChunks(cursor, Metrics::NowUs(), views);
+  }
 
   // Phase S (ticket-ordered): the WAL transaction, the replica delta,
   // and the snapshot publish. Storage commits run strictly in ticket
@@ -619,7 +711,7 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
       results.assign(staged.edits.size(), committed);
     } else {
       committed = index_->ApplyBatch(staged.edits, &results, &timings,
-                                     staging_pool_.get());
+                                     staging_pool_.get(), cursor);
     }
     for (size_t j = 0; j < staged.edits.size(); ++j) {
       PendingEdit& edit = *batch[staged.edit_to_batch[j]];
@@ -645,12 +737,21 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
             overlay_.erase(it);
           }
         }
+        // Advance before Publish (below) so a subscriber registering
+        // under a ReaderLock either sees this cursor in replica_ or
+        // gets this frame from the hub -- never neither.
+        replica_ticket_ = cursor;
       }
       // Publish the batch to readers: swap in the next snapshot epoch.
       // This runs OUTSIDE index_mutex_ (it only reads replica_, and
       // storage turns are the sole replica_ mutators, strictly ordered)
       // but INSIDE the storage turn so epochs advance in ticket order.
       PublishEngine(changed);
+      // Fan out to followers, also inside the storage turn so the hub
+      // sees strictly increasing tickets. Publish never blocks on a
+      // subscriber (bounded queues + drop policy), so this adds only
+      // the fan-out memcpys to the commit path.
+      if (hub_ != nullptr) hub_->Publish(cursor, std::move(chunks));
     } else {
       // The store rolled the whole batch back. Successors may have
       // validated against our (now vacuous) overlay bags: clear the
@@ -688,6 +789,161 @@ void Server::CommitBatch(const std::vector<PendingEdit*>& batch,
               " publish_us=" + std::to_string(last_rebuild_us_.load()));
     }
   }
+}
+
+void Server::ServeSubscriber(const std::shared_ptr<Connection>& conn,
+                             const FrameHeader& header,
+                             std::string_view payload) {
+  auto send_ack = [&](const Status& status, const SubscribeAck& ack) {
+    ByteWriter writer;
+    EncodeStatus(status, &writer);
+    if (status.ok()) ack.Encode(&writer);
+    const std::string body = writer.Release();
+    FrameHeader response_header;
+    response_header.type = MessageType::kSubscribeAck;
+    response_header.flags = kFrameFlagResponse;
+    response_header.request_id = header.request_id;
+    response_header.payload_size = static_cast<uint32_t>(body.size());
+    return conn->Send(EncodeFrame(response_header, body));
+  };
+  StatusOr<SubscribeRequest> request = SubscribeRequest::Decode(payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
+    (void)send_ack(request.status(), SubscribeAck());
+    return;
+  }
+  if (hub_ == nullptr) {
+    (void)send_ack(FailedPreconditionError("replication is disabled"),
+                   SubscribeAck());
+    return;
+  }
+  Subscription sub;
+  SubscribeAck ack;
+  ack.p = static_cast<uint8_t>(shape_.p);
+  ack.q = static_cast<uint8_t>(shape_.q);
+  std::vector<std::string> snapshot_chunks;
+  {
+    // Register-then-capture under one reader scope: the storage turn
+    // advances replica_ + replica_ticket_ under the writer lock BEFORE
+    // its hub Publish, so a frame is either reflected in the image
+    // encoded here or enqueued on the fresh subscription -- never lost,
+    // and duplicates are filtered by the subscription's skip_to_.
+    ReaderLock lock(&index_mutex_);
+    // Cursor 0 means "nothing replicated yet". That only delta-resumes
+    // against a leader that was empty at its own cursor 0; a store
+    // populated before replication existed (cursor_base_ 0 with trees)
+    // must ship a snapshot or the follower would silently miss them.
+    const bool force_snapshot =
+        request->force_snapshot ||
+        (request->from_ticket == 0 && replica_.size() > 0);
+    const ReplicationHub::Resume resume = hub_->Register(
+        &sub, request->from_ticket, force_snapshot, replica_ticket_);
+    if (resume == ReplicationHub::Resume::kSnapshot) {
+      ack.mode = SubscribeAck::Mode::kSnapshot;
+      ack.ticket = replica_ticket_;
+      const std::vector<TreeId> ids = replica_.TreeIds();
+      std::vector<DeltaEntryView> views;
+      views.reserve(ids.size());
+      for (TreeId id : ids) {
+        DeltaEntryView view;
+        view.tree_id = id;
+        view.is_add = true;
+        view.plus = replica_.Find(id);
+        views.push_back(view);
+      }
+      snapshot_chunks =
+          EncodeDeltaFrameChunks(ack.ticket, Metrics::NowUs(), views);
+    } else {
+      ack.mode = SubscribeAck::Mode::kDelta;
+      ack.ticket = request->from_ticket;
+    }
+  }
+  auto send_chunks = [&](const std::vector<std::string>& chunks) {
+    for (const std::string& chunk : chunks) {
+      FrameHeader frame_header;
+      frame_header.type = MessageType::kDeltaFrame;
+      frame_header.flags = kFrameFlagResponse;
+      frame_header.request_id = header.request_id;
+      frame_header.payload_size = static_cast<uint32_t>(chunk.size());
+      if (!conn->Send(EncodeFrame(frame_header, chunk)).ok()) return false;
+    }
+    return true;
+  };
+  bool live = send_ack(Status::Ok(), ack).ok();
+  if (live) live = send_chunks(snapshot_chunks);
+  // Stream until the subscriber drops, the hub drops it (slow), or the
+  // server stops. Quiet periods send heartbeat frames: the newest
+  // ticket with no entries, so the follower can compute freshness lag.
+  constexpr int64_t kHeartbeatUs = 500'000;
+  while (live && !stopped_.load()) {
+    ReplicatedFrame frame;
+    const Subscription::Next next = sub.Wait(kHeartbeatUs, &frame);
+    if (next == Subscription::Next::kDone) break;
+    if (next == Subscription::Next::kTimeout) {
+      live = send_chunks(
+          EncodeDeltaFrameChunks(hub_->last_ticket(), Metrics::NowUs(), {}));
+      continue;
+    }
+    live = send_chunks(*frame.chunks);
+  }
+  hub_->Unregister(&sub);
+}
+
+Status Server::ApplyReplicated(std::vector<DeltaFrame> frames) {
+  if (!started_.load() || stopped_.load()) {
+    return FailedPreconditionError("server not running");
+  }
+  if (!options_.read_only) {
+    return FailedPreconditionError(
+        "ApplyReplicated requires a read-only (follower) server");
+  }
+  // Coalesce the run into one group-commit batch stamped with the
+  // newest ticket. Frames at or below the durable cursor are replays
+  // the leader re-sent across a reconnect.
+  const uint64_t durable = index_->replication_cursor();
+  uint64_t cursor = durable;
+  std::deque<PendingEdit> edits;  // deque: stable addresses for `batch`
+  std::vector<PendingEdit*> batch;
+  for (DeltaFrame& frame : frames) {
+    if (frame.ticket <= durable) continue;
+    if (frame.ticket > cursor) cursor = frame.ticket;
+    for (DeltaEntry& entry : frame.entries) {
+      PendingEdit& edit = edits.emplace_back();
+      edit.id = entry.tree_id;
+      edit.is_add = entry.is_add;
+      edit.add_or_plus = std::move(entry.plus);
+      edit.minus = std::move(entry.minus);
+      batch.push_back(&edit);
+    }
+  }
+  if (batch.empty()) return Status::Ok();
+  uint64_t ticket;
+  {
+    MutexLock lock(&write_mutex_);
+    while (active_commits_ >= options_.commit_pipeline_depth) {
+      write_cv_.Wait(&write_mutex_);
+    }
+    ++active_commits_;
+    m_pipeline_depth_->Set(active_commits_);
+    ticket = next_ticket_++;
+  }
+  CommitBatch(batch, ticket, cursor);
+  {
+    MutexLock lock(&write_mutex_);
+    --active_commits_;
+    m_pipeline_depth_->Set(active_commits_);
+    write_cv_.NotifyAll();
+  }
+  for (const PendingEdit* edit : batch) {
+    if (!edit->result.ok()) {
+      // The leader committed this edit; a local rejection means the
+      // stores diverged -- the follower must resync from a snapshot.
+      return DataLossError("replicated batch diverged: " +
+                           edit->result.message());
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace pqidx

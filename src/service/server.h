@@ -70,6 +70,8 @@
 
 namespace pqidx {
 
+class ReplicationHub;
+
 struct ServerOptions {
   // Concurrent connections == handler threads (thread-per-connection).
   int max_connections = 8;
@@ -125,6 +127,18 @@ struct ServerOptions {
   // separate from the connection pool (leaders run on connection
   // threads and a pool must not wait on itself).
   int staging_threads = 0;
+  // Replication fan-out (service/replication.h): when on, every
+  // committed batch is published to subscribed followers and kSubscribe
+  // connections are served. Off removes the hub (and the per-commit
+  // re-encode of the batch's bags) entirely.
+  bool replication = true;
+  // ReplicationHubOptions::history / ::max_queue.
+  int replication_history = 256;
+  int replication_max_queue = 256;
+  // Read-only follower mode: edit requests (kAddTree / kApplyEdits) are
+  // rejected with FAILED_PRECONDITION; the only writer is then
+  // ApplyReplicated (the replication stream). Forced on by Follower.
+  bool read_only = false;
 };
 
 class Server {
@@ -137,7 +151,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Builds the serving replica and starts accepting on `listener`.
+  // Builds the serving replica and starts accepting on `listener`. A
+  // null listener starts the server without a network endpoint (it is
+  // then driven in-process: lookups via a follower's streamed state,
+  // writes via ApplyReplicated). Starting a started server returns
+  // FAILED_PRECONDITION.
   Status Start(std::unique_ptr<Listener> listener);
 
   // Stops accepting, interrupts every live connection, and joins all
@@ -145,6 +163,20 @@ class Server {
   void Stop() PQIDX_EXCLUDES(connections_mutex_);
 
   ServiceStats stats() const PQIDX_EXCLUDES(index_mutex_);
+
+  // Applies a run of streamed delta frames (ascending tickets) as ONE
+  // group-commit batch: one WAL transaction stamped with the newest
+  // ticket, one replica delta, one snapshot epoch, one hub publish per
+  // frame's worth of state (coalesced under the newest ticket). Frames
+  // at or below the store's durable cursor are skipped (duplicates
+  // after a reconnect). Only valid on a read-only server; any edit the
+  // leader committed but this store rejects means divergence and
+  // returns DATA_LOSS.
+  Status ApplyReplicated(std::vector<DeltaFrame> frames)
+      PQIDX_EXCLUDES(write_mutex_, index_mutex_, engine_mutex_);
+
+  // The replication hub (null when ServerOptions::replication is off).
+  ReplicationHub* hub() const { return hub_.get(); }
 
  private:
   struct PendingEdit {
@@ -167,6 +199,15 @@ class Server {
   std::string HandleStats();
   std::string HandleStatsSnapshot(std::string_view payload);
 
+  // Serves one kSubscribe request: registers with the hub, sends the
+  // ack (plus the snapshot image when the cursor cannot delta-resume),
+  // then streams frames and heartbeats until the subscriber drops, the
+  // hub drops it, or the server stops. Takes over the connection; the
+  // handler loop ends when this returns.
+  void ServeSubscriber(const std::shared_ptr<Connection>& conn,
+                       const FrameHeader& header, std::string_view payload)
+      PQIDX_EXCLUDES(index_mutex_);
+
   // Group commit: blocks until `edit` is durable (or rejected) and
   // returns its result. The calling thread may serve as batch leader.
   Status SubmitEdit(PendingEdit* edit) PQIDX_EXCLUDES(write_mutex_);
@@ -185,9 +226,12 @@ class Server {
 
   // Runs one batch through the pipeline: awaits the validate turn for
   // `ticket`, validates + materializes (ValidateBatch), then awaits the
-  // storage turn, commits the WAL transaction, applies the replica
-  // delta, and publishes the next snapshot epoch.
-  void CommitBatch(const std::vector<PendingEdit*>& batch, uint64_t ticket)
+  // storage turn, commits the WAL transaction (durably stamped with
+  // `cursor`, the replication cursor), applies the replica delta,
+  // publishes the next snapshot epoch, and hands the batch's delta
+  // frame to the hub.
+  void CommitBatch(const std::vector<PendingEdit*>& batch, uint64_t ticket,
+                   uint64_t cursor)
       PQIDX_EXCLUDES(index_mutex_, engine_mutex_);
 
   // Validation + δ-materialization under index_mutex_ held exclusively:
@@ -261,6 +305,11 @@ class Server {
   // Bumped whenever a batch fails after validation; successors compare
   // their validation-time snapshot of it before touching the store.
   uint64_t failure_stamp_ PQIDX_GUARDED_BY(index_mutex_) = 0;
+  // The replication cursor replica_ reflects: the storage-turn holder
+  // advances it together with the replica delta, so a subscriber that
+  // registers and snapshots replica_ under one ReaderLock gets an image
+  // consistent with this ticket (service/replication.h).
+  uint64_t replica_ticket_ PQIDX_GUARDED_BY(index_mutex_) = 0;
 
   // Read-path state: the immutable snapshot lookups score against.
   // engine_mutex_ only guards the pointer swap/copy (nanoseconds);
@@ -286,6 +335,13 @@ class Server {
   // only after the same phase of batch N-1 finished its turn.
   Turnstile validate_turnstile_;
   Turnstile storage_turnstile_;
+
+  // Replication fan-out (null when disabled). Pipeline tickets restart
+  // at 0 every Start, so the durable replication cursor is derived:
+  // cursor_base_ (the store's cursor at Start) + ticket + 1 on a
+  // leader, the streamed frame's own ticket on a follower.
+  std::unique_ptr<ReplicationHub> hub_;
+  uint64_t cursor_base_ = 0;
 
   // Lifecycle.
   std::unique_ptr<Listener> listener_;
@@ -316,7 +372,7 @@ class Server {
   // several servers); these mirror the same events into the
   // process-wide registry, plus per-opcode latency histograms indexed
   // by MessageType value.
-  Histogram* m_request_us_[8] = {};
+  Histogram* m_request_us_[10] = {};
   Histogram* m_batch_edits_;
   Histogram* m_rebuild_us_;
   Histogram* m_snapshot_incremental_us_;

@@ -68,7 +68,7 @@ Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
   uint8_t type;
   PQIDX_RETURN_IF_ERROR(reader.GetU8(&type));
   if (type < static_cast<uint8_t>(MessageType::kPing) ||
-      type > static_cast<uint8_t>(MessageType::kStatsSnapshot)) {
+      type > static_cast<uint8_t>(MessageType::kDeltaFrame)) {
     return DataLossError("unknown message type");
   }
   uint8_t flags;
@@ -155,6 +155,165 @@ StatusOr<ApplyEditsRequest> ApplyEditsRequest::Decode(
   request.minus = *std::move(minus);
   PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
   return request;
+}
+
+// --- replication --------------------------------------------------------
+
+void SubscribeRequest::Encode(ByteWriter* writer) const {
+  writer->PutU64(from_ticket);
+  writer->PutU8(force_snapshot ? 1 : 0);
+}
+
+StatusOr<SubscribeRequest> SubscribeRequest::Decode(
+    std::string_view payload) {
+  ByteReader reader(payload);
+  SubscribeRequest request;
+  PQIDX_RETURN_IF_ERROR(reader.GetU64(&request.from_ticket));
+  uint8_t force;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&force));
+  if (force > 1) return DataLossError("bad subscribe flags");
+  request.force_snapshot = force != 0;
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return request;
+}
+
+void SubscribeAck::Encode(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(mode));
+  writer->PutU64(ticket);
+  writer->PutU8(p);
+  writer->PutU8(q);
+}
+
+StatusOr<SubscribeAck> SubscribeAck::Decode(ByteReader* reader) {
+  SubscribeAck ack;
+  uint8_t mode;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&mode));
+  if (mode > static_cast<uint8_t>(Mode::kSnapshot)) {
+    return DataLossError("unknown subscribe ack mode");
+  }
+  ack.mode = static_cast<Mode>(mode);
+  PQIDX_RETURN_IF_ERROR(reader->GetU64(&ack.ticket));
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&ack.p));
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&ack.q));
+  return ack;
+}
+
+namespace {
+
+void EncodeDeltaEntry(const DeltaEntry& entry, ByteWriter* writer) {
+  writer->PutSignedVarint(entry.tree_id);
+  writer->PutU8(entry.is_add ? 1 : 0);
+  entry.plus.Serialize(writer);
+  if (!entry.is_add) entry.minus.Serialize(writer);
+}
+
+Status DecodeDeltaEntry(ByteReader* reader, DeltaEntry* entry) {
+  PQIDX_RETURN_IF_ERROR(GetTreeId(reader, &entry->tree_id));
+  uint8_t is_add;
+  PQIDX_RETURN_IF_ERROR(reader->GetU8(&is_add));
+  if (is_add > 1) return DataLossError("bad delta entry kind");
+  entry->is_add = is_add != 0;
+  StatusOr<PqGramIndex> plus = PqGramIndex::Deserialize(reader);
+  PQIDX_RETURN_IF_ERROR(plus.status());
+  entry->plus = *std::move(plus);
+  if (!entry->is_add) {
+    StatusOr<PqGramIndex> minus = PqGramIndex::Deserialize(reader);
+    PQIDX_RETURN_IF_ERROR(minus.status());
+    entry->minus = *std::move(minus);
+  }
+  return Status::Ok();
+}
+
+// The fixed part of one delta-frame chunk: ticket + publish_us +
+// last_chunk + a worst-case entry-count varint.
+constexpr size_t kDeltaChunkOverhead = 8 + 10 + 1 + 5;
+
+}  // namespace
+
+void DeltaFrame::Encode(ByteWriter* writer) const {
+  writer->PutU64(ticket);
+  writer->PutSignedVarint(publish_us);
+  writer->PutU8(last_chunk ? 1 : 0);
+  writer->PutVarint(entries.size());
+  for (const DeltaEntry& entry : entries) EncodeDeltaEntry(entry, writer);
+}
+
+StatusOr<DeltaFrame> DeltaFrame::Decode(std::string_view payload) {
+  ByteReader reader(payload);
+  DeltaFrame frame;
+  PQIDX_RETURN_IF_ERROR(reader.GetU64(&frame.ticket));
+  PQIDX_RETURN_IF_ERROR(reader.GetSignedVarint(&frame.publish_us));
+  uint8_t last;
+  PQIDX_RETURN_IF_ERROR(reader.GetU8(&last));
+  if (last > 1) return DataLossError("bad delta frame flag");
+  frame.last_chunk = last != 0;
+  uint64_t count;
+  PQIDX_RETURN_IF_ERROR(reader.GetVarint(&count));
+  // An entry costs >= 4 bytes (tree id, kind, one empty bag); a count
+  // the remaining bytes cannot hold is corrupt (and must not drive a
+  // huge reserve()).
+  if (count > reader.remaining() / 4 + 1) {
+    return DataLossError("delta entry count exceeds payload");
+  }
+  frame.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DeltaEntry entry;
+    PQIDX_RETURN_IF_ERROR(DecodeDeltaEntry(&reader, &entry));
+    frame.entries.push_back(std::move(entry));
+  }
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return frame;
+}
+
+std::vector<std::string> EncodeDeltaFrameChunks(
+    uint64_t ticket, int64_t publish_us,
+    const std::vector<DeltaEntryView>& entries, size_t max_payload) {
+  // Encode each entry once, then pack greedily: a chunk closes when the
+  // next entry would push it past `max_payload`. A single entry larger
+  // than the budget still becomes its own chunk (kMaxEditPayload keeps
+  // such an entry under the hard frame limit).
+  std::vector<std::string> encoded;
+  encoded.reserve(entries.size());
+  for (const DeltaEntryView& entry : entries) {
+    ByteWriter writer;
+    writer.PutSignedVarint(entry.tree_id);
+    writer.PutU8(entry.is_add ? 1 : 0);
+    entry.plus->Serialize(&writer);
+    if (!entry.is_add) entry.minus->Serialize(&writer);
+    encoded.push_back(writer.Release());
+  }
+  std::vector<std::string> chunks;
+  size_t i = 0;
+  do {
+    size_t bytes = kDeltaChunkOverhead;
+    size_t end = i;
+    while (end < encoded.size() &&
+           (end == i || bytes + encoded[end].size() <= max_payload)) {
+      bytes += encoded[end].size();
+      ++end;
+    }
+    ByteWriter writer;
+    writer.PutU64(ticket);
+    writer.PutSignedVarint(publish_us);
+    writer.PutU8(end == encoded.size() ? 1 : 0);  // last_chunk
+    writer.PutVarint(end - i);
+    std::string chunk = writer.Release();
+    for (; i < end; ++i) chunk.append(encoded[i]);
+    chunks.push_back(std::move(chunk));
+  } while (i < encoded.size());
+  return chunks;
+}
+
+std::vector<std::string> EncodeDeltaFrameChunks(const DeltaFrame& frame,
+                                                size_t max_payload) {
+  std::vector<DeltaEntryView> views;
+  views.reserve(frame.entries.size());
+  for (const DeltaEntry& entry : frame.entries) {
+    views.push_back({entry.tree_id, entry.is_add, &entry.plus,
+                     entry.is_add ? nullptr : &entry.minus});
+  }
+  return EncodeDeltaFrameChunks(frame.ticket, frame.publish_us, views,
+                                max_payload);
 }
 
 // --- responses ----------------------------------------------------------

@@ -53,7 +53,20 @@ enum class MessageType : uint8_t {
   kApplyEdits = 4,
   kStats = 5,
   kStatsSnapshot = 6,  // full metrics registry (common/metrics.h)
+  // Replication (service/replication.h): a follower subscribes with its
+  // durable cursor; the leader answers with a kSubscribeAck (delta
+  // resume or full-snapshot fallback) and then pushes one kDeltaFrame
+  // per committed batch on the same connection.
+  kSubscribe = 7,
+  kSubscribeAck = 8,
+  kDeltaFrame = 9,
 };
+
+// Edit requests (kAddTree / kApplyEdits) are capped below the frame
+// limit so a committed batch's bags always re-encode into delta-frame
+// chunks that themselves fit under kMaxFramePayload (a delta entry
+// costs at most the original request payload plus a few bytes).
+inline constexpr uint32_t kMaxEditPayload = kMaxFramePayload - 4096;
 
 inline constexpr uint8_t kFrameFlagResponse = 0x01;
 
@@ -103,6 +116,94 @@ struct ApplyEditsRequest {
   void Encode(ByteWriter* writer) const;
   static StatusOr<ApplyEditsRequest> Decode(std::string_view payload);
 };
+
+// --- replication payloads -----------------------------------------------
+
+// Follower -> leader: stream every batch committed with a replication
+// ticket > `from_ticket` (the follower's durable cursor; 0 subscribes
+// from the beginning). `force_snapshot` demands a full-snapshot resync
+// even when the leader could resume by delta -- the follower's recovery
+// path when it detects divergence from the stream.
+struct SubscribeRequest {
+  uint64_t from_ticket = 0;
+  bool force_snapshot = false;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<SubscribeRequest> Decode(std::string_view payload);
+};
+
+// Leader -> follower: the response to kSubscribe (after the transported
+// status). kDelta resumes the stream right after the follower's cursor.
+// kSnapshot means the leader cannot resume by delta (it no longer
+// retains the frames the follower is missing, the cursor is from
+// another history, or the follower forced a resync): the first streamed
+// kDeltaFrame (ticket == `ticket`, chunked like any large batch) then
+// carries the leader's full state as add entries, and the follower must
+// install it into a fresh store before applying later frames.
+struct SubscribeAck {
+  enum class Mode : uint8_t { kDelta = 0, kSnapshot = 1 };
+
+  Mode mode = Mode::kDelta;
+  uint64_t ticket = 0;  // the stream cursor; frames after it follow
+  uint8_t p = 0;        // index shape (the follower must match it)
+  uint8_t q = 0;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<SubscribeAck> Decode(ByteReader* reader);
+};
+
+// One edit of a committed batch as it travels in a delta frame: either
+// a whole-tree bag (`is_add`, AddTree) or the paper's (I+, I-) bags of
+// one updateIndex run.
+struct DeltaEntry {
+  TreeId tree_id = 0;
+  bool is_add = false;
+  PqGramIndex plus;   // the whole bag for is_add
+  PqGramIndex minus;  // empty for is_add
+
+  bool operator==(const DeltaEntry& other) const {
+    return tree_id == other.tree_id && is_add == other.is_add &&
+           plus == other.plus && minus == other.minus;
+  }
+};
+
+// One committed batch's delta bags, pushed leader -> follower. A batch
+// whose bags exceed the frame limit is split into several chunks that
+// carry the same ticket; the follower accumulates entries until it sees
+// `last_chunk` and applies the assembled batch atomically at `ticket`.
+struct DeltaFrame {
+  uint64_t ticket = 0;
+  int64_t publish_us = 0;  // leader Metrics::NowUs() at publish time
+  bool last_chunk = true;
+  std::vector<DeltaEntry> entries;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<DeltaFrame> Decode(std::string_view payload);
+};
+
+// Borrowed view of a DeltaEntry: what the leader encodes straight from
+// a committed batch's staged bags without copying them. `minus` is
+// ignored (may be null) when `is_add`.
+struct DeltaEntryView {
+  TreeId tree_id = 0;
+  bool is_add = false;
+  const PqGramIndex* plus = nullptr;
+  const PqGramIndex* minus = nullptr;
+};
+
+// Splits one batch into one or more encoded chunk payloads, each at
+// most `max_payload` bytes (oversized single entries get a chunk of
+// their own; kMaxEditPayload guarantees those still fit a frame).
+// Exactly the last chunk has last_chunk set; an empty entry list
+// yields a single empty chunk (the heartbeat frame).
+std::vector<std::string> EncodeDeltaFrameChunks(
+    uint64_t ticket, int64_t publish_us,
+    const std::vector<DeltaEntryView>& entries,
+    size_t max_payload = kMaxFramePayload - 64);
+
+// Convenience over the view-based encoder.
+std::vector<std::string> EncodeDeltaFrameChunks(
+    const DeltaFrame& frame, size_t max_payload = kMaxFramePayload - 64);
 
 // --- response payloads --------------------------------------------------
 

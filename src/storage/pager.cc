@@ -121,7 +121,7 @@ StatusOr<PageId> Pager::AllocatePage() {
   PageId id = page_count_++;
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/false);
   PQIDX_RETURN_IF_ERROR(frame.status());
-  (*frame)->dirty = true;
+  MarkDirty(*frame);
   std::memset((*frame)->data.data(), 0, kPageSize);
   return id;
 }
@@ -139,7 +139,7 @@ StatusOr<uint8_t*> Pager::MutablePage(PageId id) {
   if (id >= page_count_) return OutOfRangeError("page id out of range");
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/true);
   PQIDX_RETURN_IF_ERROR(frame.status());
-  (*frame)->dirty = true;
+  MarkDirty(*frame);
   return (*frame)->data.data();
 }
 
@@ -148,9 +148,11 @@ StatusOr<Pager::Frame*> Pager::GetFrame(PageId id, bool fetch_from_disk) {
   if (it != pool_.end()) {
     ++cache_hits_;
     m_cache_hits_->Increment();
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(id);
-    it->second.lru_pos = lru_.begin();
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(id);
+      it->second.lru_pos = lru_.begin();
+    }
     return &it->second;
   }
   ++cache_misses_;
@@ -160,6 +162,7 @@ StatusOr<Pager::Frame*> Pager::GetFrame(PageId id, bool fetch_from_disk) {
   frame.data.assign(kPageSize, 0);
   lru_.push_front(id);
   frame.lru_pos = lru_.begin();
+  frame.in_lru = true;
   if (fetch_from_disk && id < committed_page_count_) {
     Status status = ReadFromFile(id, frame.data.data());
     if (!status.ok()) {
@@ -171,19 +174,35 @@ StatusOr<Pager::Frame*> Pager::GetFrame(PageId id, bool fetch_from_disk) {
   return &frame;
 }
 
+void Pager::MarkDirty(Frame* frame) {
+  if (frame->dirty) return;
+  frame->dirty = true;
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+}
+
+void Pager::MarkClean(PageId id, Frame* frame) {
+  frame->dirty = false;
+  if (!frame->in_lru) {
+    lru_.push_front(id);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
 Status Pager::EvictIfNeeded() {
-  if (static_cast<int>(pool_.size()) < pool_capacity_) return Status::Ok();
-  // Evict the least recently used *clean* page. Dirty pages must survive
-  // until the next Commit, so the pool may temporarily exceed capacity
-  // under write-heavy transactions.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    auto fit = pool_.find(*it);
-    PQIDX_CHECK(fit != pool_.end());
-    if (!fit->second.dirty) {
-      lru_.erase(std::next(it).base());
-      pool_.erase(fit);
-      return Status::Ok();
-    }
+  // `lru_` holds only clean frames, so eviction pops from the back
+  // without scanning. Dirty pages are pinned until the next Commit, so
+  // the pool may temporarily exceed capacity under write-heavy
+  // transactions; the loop drains the excess as soon as commits free
+  // eviction candidates again.
+  while (static_cast<int>(pool_.size()) >= pool_capacity_ &&
+         !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    pool_.erase(victim);
   }
   return Status::Ok();
 }
@@ -284,7 +303,7 @@ Status Pager::Commit() {
   }
   std::remove(WalPath().c_str());
   for (PageId id : *dirty) {
-    pool_.at(id).dirty = false;
+    MarkClean(id, &pool_.at(id));
   }
   committed_page_count_ = page_count_;
   ++commits_;

@@ -104,9 +104,14 @@ class Pager {
   int64_t wal_discards() const { return wal_discards_; }
 
  private:
+  // `lru_` holds only clean frames (the eviction candidates); a dirty
+  // frame is pinned until Commit and leaves the list, so eviction never
+  // scans past pinned pages -- a transaction dirtying more pages than
+  // the pool holds stays O(1) per fault instead of O(dirty).
   struct Frame {
     std::vector<uint8_t> data;
     bool dirty = false;
+    bool in_lru = false;
     std::list<PageId>::iterator lru_pos;
   };
 
@@ -120,6 +125,10 @@ class Pager {
 
   StatusOr<Frame*> GetFrame(PageId id, bool fetch_from_disk);
   Status EvictIfNeeded();
+  // Pins the frame until the next Commit (removes it from `lru_`).
+  void MarkDirty(Frame* frame);
+  // Re-admits a committed frame as an eviction candidate.
+  void MarkClean(PageId id, Frame* frame);
   Status WriteFrameToFile(PageId id, const Frame& frame);
   Status ReadFromFile(PageId id, uint8_t* out);
 
@@ -134,7 +143,7 @@ class Pager {
   PageId committed_page_count_ = 0;
   int pool_capacity_;
   std::unordered_map<PageId, Frame> pool_;
-  std::list<PageId> lru_;  // front = most recent
+  std::list<PageId> lru_;  // clean frames only; front = most recent
   int64_t commits_ = 0;
   int fail_after_writes_ = -1;  // < 0: no injection
   bool poisoned_ = false;

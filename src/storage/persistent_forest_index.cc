@@ -19,6 +19,10 @@ constexpr int kShapePOff = 8;
 constexpr int kShapeQOff = 9;
 constexpr int kHashMetaOff = 12;
 constexpr int kCatalogHeadOff = 16;
+// u64 replication cursor (service/replication.h). Added after v1 files
+// already existed: the bytes were zero then, and cursor 0 means "never
+// replicated", so old files stay readable without a version bump.
+constexpr int kCursorOff = 20;
 
 // Catalog page layout.
 constexpr int kCatNextOff = 0;
@@ -153,6 +157,7 @@ Status PersistentForestIndex::OpenExisting(const std::string& path) {
   if (!shape_.Valid()) return DataLossError("bad index shape");
   PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
   catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
+  cursor_ = Load<uint64_t>(*page, kCursorOff);
   PQIDX_RETURN_IF_ERROR(table_.Attach(hash_meta));
   return LoadCatalog();
 }
@@ -212,6 +217,15 @@ Status PersistentForestIndex::StoreCatalog() {
   return Status::Ok();
 }
 
+Status PersistentForestIndex::StoreCursor(uint64_t cursor) {
+  if (cursor <= cursor_) return Status::Ok();
+  StatusOr<uint8_t*> page = pager_.MutablePage(0);
+  PQIDX_RETURN_IF_ERROR(page.status());
+  Store(*page, kCursorOff, cursor);
+  cursor_ = cursor;
+  return Status::Ok();
+}
+
 Status PersistentForestIndex::CommitOrCrash() {
   if (crash_armed_) {
     crash_armed_ = false;
@@ -231,6 +245,7 @@ Status PersistentForestIndex::RollbackAndReload(Status cause) {
   StatusOr<const uint8_t*> page = pager_.ReadPage(0);
   if (page.ok()) {
     catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
+    cursor_ = Load<uint64_t>(*page, kCursorOff);
     PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
     (void)table_.Attach(hash_meta);
   }
@@ -274,7 +289,7 @@ Status PersistentForestIndex::AddTree(TreeId id, const Tree& tree) {
 
 Status PersistentForestIndex::BulkAdd(
     const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
-    ThreadPool* pool) {
+    ThreadPool* pool, uint64_t cursor) {
   for (const auto& [id, bag] : bags) {
     if (!(bag->shape() == shape_)) {
       return InvalidArgumentError("index shape does not match the store");
@@ -322,13 +337,15 @@ Status PersistentForestIndex::BulkAdd(
   for (const auto& [id, bag] : bags) catalog_[id] = bag->size();
   Status stored = StoreCatalog();
   if (!stored.ok()) return RollbackAndReload(stored);
+  stored = StoreCursor(cursor);
+  if (!stored.ok()) return RollbackAndReload(stored);
   return CommitOrCrash();
 }
 
 Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
                                          std::vector<Status>* results,
                                          ApplyBatchTimings* timings,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool, uint64_t cursor) {
   static Counter* const m_batches =
       Metrics::Default().counter("apply_batch.batches");
   static Counter* const m_edits =
@@ -482,9 +499,11 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
 
   lap(&split.delta_us);
 
-  // Phase 3: catalog + one commit.
+  // Phase 3: catalog + cursor + one commit.
   for (const auto& [id, size] : staged_sizes) catalog_[id] = size;
   Status stored = StoreCatalog();
+  if (!stored.ok()) return fail_batch(std::move(stored));
+  stored = StoreCursor(cursor);
   if (!stored.ok()) return fail_batch(std::move(stored));
   lap(&split.update_us);
   Status committed = CommitOrCrash();

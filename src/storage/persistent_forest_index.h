@@ -49,6 +49,13 @@ class PersistentForestIndex {
   int size() const { return static_cast<int>(catalog_.size()); }
   std::vector<TreeId> TreeIds() const;
 
+  // The durable replication cursor: the highest replication ticket whose
+  // batch this store has committed (0 when it never replicated). Written
+  // atomically with the batch it belongs to (ApplyBatch / BulkAdd), so a
+  // recovered follower resumes exactly after its last durable batch.
+  // Files written before the cursor existed read 0.
+  uint64_t replication_cursor() const { return cursor_; }
+
   // |I(id)|, or -1 if unknown.
   int64_t TreeBagSize(TreeId id) const;
 
@@ -59,10 +66,12 @@ class PersistentForestIndex {
   // Registers many bags under one commit (one WAL transaction, one fsync
   // pair): the fast path for initial ingest. All-or-nothing. With `pool`,
   // the tuple deltas are flattened, hashed, and grouped by staging region
-  // in parallel before the (single-threaded) table apply.
+  // in parallel before the (single-threaded) table apply. A nonzero
+  // `cursor` advances the replication cursor in the same transaction
+  // (followers installing a leader snapshot pass the snapshot's ticket).
   Status BulkAdd(
       const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr, uint64_t cursor = 0);
 
   // One edit of a group-committed batch (see ApplyBatch): either an
   // AddIndex (`add` set) or an UpdateTree (`plus` and `minus` set).
@@ -109,10 +118,14 @@ class PersistentForestIndex {
   // only detected when its *net* is negative (callers pre-validate
   // sub-bags, as the contract above already requires). The WAL
   // transaction and its single fsync pair are unchanged.
+  // A nonzero `cursor` is persisted as the replication cursor inside the
+  // batch's WAL transaction (but only when at least one edit commits):
+  // leaders stamp each batch with its replication ticket, followers
+  // stamp replicated batches with the ticket streamed to them.
   Status ApplyBatch(const std::vector<BatchEdit>& edits,
                     std::vector<Status>* results,
                     ApplyBatchTimings* timings = nullptr,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr, uint64_t cursor = 0);
 
   // Materializes every cataloged bag in one table sweep -- the fast way
   // to build an in-memory serving replica of the whole store. Fails on
@@ -169,6 +182,10 @@ class PersistentForestIndex {
 
   Status LoadCatalog();
   Status StoreCatalog();
+  // Advances the durable replication cursor on the meta page (part of
+  // the caller's open transaction). Cursors never move backwards; 0 is
+  // a no-op so non-replicating callers skip the page-0 write entirely.
+  Status StoreCursor(uint64_t cursor);
   Status CommitOrCrash();
   Status RollbackAndReload(Status cause);
 
@@ -176,6 +193,7 @@ class PersistentForestIndex {
   LinearHashTable table_{&pager_};
   PqShape shape_;
   PageId catalog_head_ = 0;
+  uint64_t cursor_ = 0;  // durable replication cursor (meta page)
   std::map<TreeId, int64_t> catalog_;  // tree -> |I(T)|
   bool crash_armed_ = false;
   Pager::CrashPoint crash_point_ = Pager::CrashPoint::kAfterWalSeal;

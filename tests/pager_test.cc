@@ -117,6 +117,47 @@ TEST(PagerTest, EvictionKeepsDataCorrect) {
   EXPECT_GT(pager.cache_hits(), 0);
 }
 
+// A transaction may dirty more pages than the pool holds. Dirty frames
+// are pinned (unevictable) until Commit, so the pool legitimately
+// overflows its capacity; reads of committed pages must still fault in
+// and resolve correctly while every eviction candidate is pinned, and
+// the oversized commit must leave the file consistent.
+TEST(PagerTest, TransactionLargerThanPoolStaysCorrect) {
+  std::string path = TempPath("pager_bigtxn.db");
+  const int kPages = 48;  // 6x the pool
+  {
+    Pager pager(/*pool_pages=*/8);
+    ASSERT_TRUE(pager.Open(path, true).ok());
+    for (int i = 0; i < kPages; ++i) {
+      ASSERT_TRUE(pager.AllocatePage().ok());
+      FillPage(pager.MutablePage(static_cast<PageId>(i)).value(),
+               static_cast<uint8_t>(i));
+    }
+    ASSERT_TRUE(pager.Commit().ok());
+
+    // Dirty every page again in one transaction, interleaved with reads
+    // of earlier (already re-dirtied, pinned) and later (clean, faulted
+    // from disk) pages while the pool is saturated with pinned frames.
+    Rng rng(7);
+    for (int i = 0; i < kPages; ++i) {
+      FillPage(pager.MutablePage(static_cast<PageId>(i)).value(),
+               static_cast<uint8_t>(i + 100));
+      PageId probe = static_cast<PageId>(rng.NextBounded(kPages));
+      uint8_t expect = static_cast<uint8_t>(
+          probe <= static_cast<PageId>(i) ? probe + 100 : probe);
+      ASSERT_TRUE(PageMatches(pager.ReadPage(probe).value(), expect));
+    }
+    ASSERT_TRUE(pager.Commit().ok());
+    ASSERT_TRUE(pager.Close().ok());
+  }
+  Pager pager(/*pool_pages=*/8);
+  ASSERT_TRUE(pager.Open(path, false).ok());
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(PageMatches(pager.ReadPage(static_cast<PageId>(i)).value(),
+                            static_cast<uint8_t>(i + 100)));
+  }
+}
+
 TEST(PagerTest, CrashAfterWalSealRecoversCommittedState) {
   std::string path = TempPath("pager_crash1.db");
   {

@@ -1209,5 +1209,169 @@ TEST(ServiceStressTest, StatsRaceWritersRegression) {
   service.server->Stop();
 }
 
+// --- replication wire payloads ------------------------------------------
+
+TEST(WireReplicationTest, SubscribeRequestRoundTrip) {
+  SubscribeRequest request;
+  request.from_ticket = 0xdeadbeef12345678ULL;
+  request.force_snapshot = true;
+  ByteWriter writer;
+  request.Encode(&writer);
+  const std::string bytes = writer.Release();
+  StatusOr<SubscribeRequest> decoded = SubscribeRequest::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->from_ticket, request.from_ticket);
+  EXPECT_EQ(decoded->force_snapshot, true);
+
+  // Hostile inputs: truncated, trailing bytes, bad flag byte.
+  EXPECT_FALSE(SubscribeRequest::Decode(bytes.substr(0, 3)).ok());
+  EXPECT_FALSE(SubscribeRequest::Decode(bytes + "x").ok());
+  std::string bad_flag = bytes;
+  bad_flag.back() = 2;
+  EXPECT_FALSE(SubscribeRequest::Decode(bad_flag).ok());
+}
+
+TEST(WireReplicationTest, SubscribeAckRoundTrip) {
+  SubscribeAck ack;
+  ack.mode = SubscribeAck::Mode::kSnapshot;
+  ack.ticket = 42;
+  ack.p = 2;
+  ack.q = 3;
+  ByteWriter writer;
+  ack.Encode(&writer);
+  const std::string bytes = writer.Release();
+  ByteReader reader(bytes);
+  StatusOr<SubscribeAck> decoded = SubscribeAck::Decode(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->mode, SubscribeAck::Mode::kSnapshot);
+  EXPECT_EQ(decoded->ticket, 42u);
+  EXPECT_EQ(decoded->p, 2);
+  EXPECT_EQ(decoded->q, 3);
+
+  std::string bad_mode = bytes;
+  bad_mode.front() = 7;
+  ByteReader bad_reader(bad_mode);
+  EXPECT_FALSE(SubscribeAck::Decode(&bad_reader).ok());
+}
+
+TEST(WireReplicationTest, DeltaFrameRoundTrip) {
+  const PqShape shape{2, 3};
+  Rng rng(77);
+  auto dict = std::make_shared<LabelDict>();
+  DeltaFrame frame;
+  frame.ticket = 9;
+  frame.publish_us = 123456789;
+  frame.last_chunk = true;
+  {
+    DeltaEntry add;
+    add.tree_id = 3;
+    add.is_add = true;
+    add.plus = BuildIndex(GenerateDblpLike(dict, &rng, 40), shape);
+    // minus stays default: it is not serialized for is_add entries.
+    frame.entries.push_back(std::move(add));
+    DeltaEntry update;
+    update.tree_id = 4;
+    update.is_add = false;
+    update.plus = BuildIndex(GenerateDblpLike(dict, &rng, 20), shape);
+    update.minus = BuildIndex(GenerateDblpLike(dict, &rng, 10), shape);
+    frame.entries.push_back(std::move(update));
+  }
+  ByteWriter writer;
+  frame.Encode(&writer);
+  const std::string bytes = writer.Release();
+  StatusOr<DeltaFrame> decoded = DeltaFrame::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->ticket, frame.ticket);
+  EXPECT_EQ(decoded->publish_us, frame.publish_us);
+  EXPECT_EQ(decoded->last_chunk, frame.last_chunk);
+  ASSERT_EQ(decoded->entries.size(), frame.entries.size());
+  EXPECT_TRUE(decoded->entries[0] == frame.entries[0]);
+  EXPECT_TRUE(decoded->entries[1] == frame.entries[1]);
+
+  // Hostile inputs survive as status errors, never UB.
+  EXPECT_FALSE(DeltaFrame::Decode(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(DeltaFrame::Decode(bytes + "zz").ok());
+}
+
+TEST(WireReplicationTest, ChunkedEncodeReassembles) {
+  const PqShape shape{2, 3};
+  Rng rng(78);
+  auto dict = std::make_shared<LabelDict>();
+  // Entries bigger than the chunk budget force several chunks.
+  std::vector<PqGramIndex> bags;
+  for (int i = 0; i < 6; ++i) {
+    bags.push_back(BuildIndex(GenerateDblpLike(dict, &rng, 200), shape));
+  }
+  std::vector<DeltaEntryView> views;
+  for (int i = 0; i < 6; ++i) {
+    DeltaEntryView view;
+    view.tree_id = i;
+    view.is_add = true;
+    view.plus = &bags[static_cast<size_t>(i)];
+    views.push_back(view);
+  }
+  const std::vector<std::string> chunks =
+      EncodeDeltaFrameChunks(5, 99, views, /*max_payload=*/2048);
+  ASSERT_GT(chunks.size(), 1u);
+  std::vector<DeltaEntry> assembled;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    ASSERT_LE(chunks[i].size(), kMaxFramePayload);
+    StatusOr<DeltaFrame> chunk = DeltaFrame::Decode(chunks[i]);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    EXPECT_EQ(chunk->ticket, 5u);
+    EXPECT_EQ(chunk->publish_us, 99);
+    EXPECT_EQ(chunk->last_chunk, i + 1 == chunks.size());
+    for (DeltaEntry& entry : chunk->entries) {
+      assembled.push_back(std::move(entry));
+    }
+  }
+  ASSERT_EQ(assembled.size(), views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(assembled[i].tree_id, views[i].tree_id);
+    EXPECT_TRUE(assembled[i].is_add);
+    EXPECT_TRUE(assembled[i].plus == *views[i].plus);
+  }
+
+  // An empty entry list still yields exactly one (heartbeat) chunk.
+  const std::vector<std::string> heartbeat = EncodeDeltaFrameChunks(7, 1, {});
+  ASSERT_EQ(heartbeat.size(), 1u);
+  StatusOr<DeltaFrame> hb = DeltaFrame::Decode(heartbeat[0]);
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(hb->ticket, 7u);
+  EXPECT_TRUE(hb->last_chunk);
+  EXPECT_TRUE(hb->entries.empty());
+}
+
+// --- server lifecycle regressions ---------------------------------------
+
+TEST(ServiceTest, DoubleStartReturnsFailedPrecondition) {
+  // A second Start used to CHECK-abort the process; it must report the
+  // caller bug as a status instead.
+  StorePtr index = MustCreate("svc_double_start.db", PqShape{2, 3});
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start(std::make_unique<PipeListener>()).ok());
+  Status again = server.Start(std::make_unique<PipeListener>());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST(ServiceTest, ReadOnlyServerRejectsEdits) {
+  ServerOptions options;
+  options.read_only = true;
+  TestService service("svc_read_only.db", PqShape{2, 3}, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+  Rng rng(31);
+  auto dict = std::make_shared<LabelDict>();
+  Tree tree = GenerateDblpLike(dict, &rng, 30);
+  Status add = client->AddTree(1, tree);
+  ASSERT_FALSE(add.ok());
+  EXPECT_EQ(add.code(), StatusCode::kFailedPrecondition);
+  // Reads still work.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Lookup(tree, 0.5).ok());
+  service.server->Stop();
+}
+
 }  // namespace
 }  // namespace pqidx

@@ -8,9 +8,11 @@
 //   pqidx info   <index-file>
 //       Prints per-tree and total index statistics.
 //
-//   pqidx lookup <index-file> <query.xml> [tau]
+//   pqidx lookup <index-file | host:port> <query.xml> [tau]
 //       Approximate lookup: all indexed trees within pq-gram distance tau
-//       (default 0.5) of the query document, most similar first.
+//       (default 0.5) of the query document, most similar first. With
+//       host:port, runs the lookup against a live pqidxd (a leader or a
+//       --follow standby) instead of a snapshot file.
 //
 //   pqidx update <index-file> <tree-id> <old.xml> <new.xml>
 //       Diffs the two versions (optimal root-preserving edit script),
@@ -40,7 +42,8 @@
 //   pqidx serve <index-file> [-p P] [-q Q] [--port N] [-t THREADS]
 //               [--lookup-threads N] [--stats-interval SECS]
 //               [--commit-pipeline-depth D] [--full-rebuild-every N]
-//               [--staging-threads N]
+//               [--staging-threads N] [--replication-history N]
+//               [--replication-max-queue N] [--follow HOST:PORT]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
 //       index file with the given shape if it does not exist. With
@@ -54,6 +57,21 @@
 //       (0 = never). Stop with SIGINT/SIGTERM; final service statistics
 //       and the full registry are printed on exit.
 //
+//       Any serving pqidxd is also a replication leader: followers
+//       subscribe to its committed-batch stream. --replication-history N
+//       bounds how many recent batches are kept for delta resume (an
+//       older cursor forces a snapshot); --replication-max-queue N
+//       disconnects a subscriber that falls N frames behind (it will
+//       reconnect and resume by cursor).
+//
+//       --follow HOST:PORT runs a warm standby instead of a leader: it
+//       subscribes to the pqidxd at HOST:PORT from its local store's
+//       durable cursor (streaming only the missed batches; a full
+//       snapshot only when the leader cannot delta-resume), applies the
+//       streamed deltas to <index-file>, and serves read-only lookups
+//       at the streamed epoch. The index shape comes from the leader;
+//       -p/-q are ignored. docs/USAGE.md has a walkthrough.
+//
 //   pqidx store <subcommand> ...
 //       Manage a durable document store (crash-safe paged index plus the
 //       documents themselves):
@@ -64,6 +82,7 @@
 //         store ls     <dir>
 //         store verify <dir>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -86,6 +105,8 @@
 #include "common/thread_pool.h"
 #include "edit/tree_diff.h"
 #include "service/client.h"
+#include "service/replication.h"
+#include "service/retry.h"
 #include "service/server.h"
 #include "service/transport.h"
 #include "storage/document_store.h"
@@ -104,7 +125,7 @@ int Usage() {
                "  pqidx build  <index-file> [-p P] [-q Q] [-t THREADS] "
                "<doc.xml>...\n"
                "  pqidx info   <index-file>\n"
-               "  pqidx lookup <index-file> <query.xml> [tau]\n"
+               "  pqidx lookup <index-file | host:port> <query.xml> [tau]\n"
                "  pqidx update <index-file> <tree-id> <old.xml> <new.xml>\n"
                "  pqidx dist   <a.xml> <b.xml> [-p P] [-q Q] [--ted] "
                "[--canonical]\n"
@@ -116,6 +137,8 @@ int Usage() {
                "[-t THREADS] [--lookup-threads N] [--stats-interval SECS]\n"
                "               [--commit-pipeline-depth D] "
                "[--full-rebuild-every N] [--staging-threads N]\n"
+               "               [--replication-history N] "
+               "[--replication-max-queue N] [--follow HOST:PORT]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -205,21 +228,53 @@ int CmdInfo(std::vector<std::string> args) {
   return 0;
 }
 
-int CmdLookup(std::vector<std::string> args) {
-  if (args.size() < 2 || args.size() > 3) return Usage();
-  double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
-  StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
-  if (!forest.ok()) return Fail(forest.status());
-  StatusOr<Tree> query = ParseXmlFile(args[1]);
-  if (!query.ok()) return Fail(query.status());
-  std::vector<LookupResult> hits = forest->Lookup(*query, tau);
+void PrintHits(const std::vector<LookupResult>& hits, double tau) {
   if (hits.empty()) {
     std::printf("no tree within distance %.3f\n", tau);
-    return 0;
+    return;
   }
   for (const LookupResult& hit : hits) {
     std::printf("tree %-4d dist %.4f\n", hit.tree_id, hit.distance);
   }
+}
+
+// `pqidx lookup host:port query.xml [tau]`: run the lookup on a live
+// pqidxd (a leader or a --follow standby) instead of a snapshot file.
+// The query tree parses locally; only its pq-gram bag crosses the wire.
+int CmdRemoteLookup(const std::string& endpoint, const std::string& query_path,
+                    double tau) {
+  size_t colon = endpoint.rfind(':');
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (host.empty() || port < 1 || port > 65535) {
+    return Fail(InvalidArgumentError("expected host:port, got " + endpoint));
+  }
+  StatusOr<Tree> query = ParseXmlFile(query_path);
+  if (!query.ok()) return Fail(query.status());
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+      [&host, port]() { return TcpConnect(host, static_cast<uint16_t>(port)); },
+      policy);
+  if (!client.ok()) return Fail(client.status());
+  StatusOr<std::vector<LookupResult>> hits = (*client)->Lookup(*query, tau);
+  if (!hits.ok()) return Fail(hits.status());
+  PrintHits(*hits, tau);
+  return 0;
+}
+
+int CmdLookup(std::vector<std::string> args) {
+  if (args.size() < 2 || args.size() > 3) return Usage();
+  double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
+  // host:port targets a live server; anything else is an index file.
+  if (args[0].find(':') != std::string::npos) {
+    return CmdRemoteLookup(args[0], args[1], tau);
+  }
+  StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
+  if (!forest.ok()) return Fail(forest.status());
+  StatusOr<Tree> query = ParseXmlFile(args[1]);
+  if (!query.ok()) return Fail(query.status());
+  PrintHits(forest->Lookup(*query, tau), tau);
   return 0;
 }
 
@@ -332,11 +387,13 @@ int CmdRemoteStats(const std::string& endpoint) {
   if (host.empty() || port < 1 || port > 65535) {
     return Fail(InvalidArgumentError("expected host:port, got " + endpoint));
   }
-  StatusOr<std::unique_ptr<Connection>> conn =
-      TcpConnect(host, static_cast<uint16_t>(port));
-  if (!conn.ok()) return Fail(conn.status());
-  StatusOr<std::unique_ptr<Client>> client =
-      Client::Connect(std::move(*conn));
+  // Retry transient connect failures (server still binding, admission
+  // control under load) a few times before giving up.
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+      [&host, port]() { return TcpConnect(host, static_cast<uint16_t>(port)); },
+      policy);
   if (!client.ok()) return Fail(client.status());
   StatusOr<MetricsSnapshot> snapshot = (*client)->StatsSnapshot();
   if (!snapshot.ok()) return Fail(snapshot.status());
@@ -387,6 +444,72 @@ int CmdJoin(std::vector<std::string> args) {
   return 0;
 }
 
+// `pqidx serve --follow leader-host:port`: a warm standby. The Follower
+// (service/replication.h) owns the store, the subscription, and its own
+// read-only Server; this wrapper only parses flags, binds the serving
+// port, and waits for a signal.
+int CmdServeFollower(const std::string& index_path, const std::string& leader,
+                     int port, int threads, int lookup_threads) {
+  size_t colon = leader.rfind(':');
+  std::string host = colon != std::string::npos ? leader.substr(0, colon)
+                                                : std::string();
+  int leader_port =
+      colon != std::string::npos ? std::atoi(leader.c_str() + colon + 1) : 0;
+  if (host.empty() || leader_port < 1 || leader_port > 65535) {
+    return Fail(
+        InvalidArgumentError("--follow expects host:port, got " + leader));
+  }
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  // The listener is (re)created on every serving-stack build (a
+  // snapshot resync tears the server down), so the bound port is
+  // reported through this shared cell.
+  auto bound_port = std::make_shared<std::atomic<int>>(0);
+  FollowerOptions options;
+  options.store_path = index_path;
+  options.dial = [host, leader_port]() {
+    return TcpConnect(host, static_cast<uint16_t>(leader_port));
+  };
+  options.listen =
+      [port, bound_port]() -> StatusOr<std::unique_ptr<Listener>> {
+    StatusOr<std::unique_ptr<TcpListener>> listener =
+        TcpListener::Listen(static_cast<uint16_t>(port));
+    PQIDX_RETURN_IF_ERROR(listener.status());
+    bound_port->store((*listener)->port());
+    return StatusOr<std::unique_ptr<Listener>>(
+        std::move(listener).value());
+  };
+  options.server.max_connections = threads;
+  options.server.lookup_threads = lookup_threads;
+
+  Follower follower(std::move(options));
+  if (Status s = follower.Start(); !s.ok()) return Fail(s);
+  std::printf("pqidxd following %s: serving %s read-only on 127.0.0.1:%d "
+              "(cursor %llu); stop with SIGINT\n",
+              leader.c_str(), index_path.c_str(), bound_port->load(),
+              static_cast<unsigned long long>(follower.cursor()));
+  std::fflush(stdout);
+
+  int caught = 0;
+  sigwait(&signals, &caught);
+  std::printf("caught signal %d, shutting down\n", caught);
+  follower.Stop();
+  Status stream = follower.stream_status();
+  std::printf("follower stopped at cursor %llu (%lld reconnects, %lld "
+              "snapshot resyncs)%s%s\n",
+              static_cast<unsigned long long>(follower.cursor()),
+              static_cast<long long>(follower.reconnects()),
+              static_cast<long long>(follower.snapshot_resyncs()),
+              stream.ok() ? "" : "; stream error: ",
+              stream.ok() ? "" : stream.ToString().c_str());
+  return 0;
+}
+
 int CmdServe(std::vector<std::string> args) {
   PqShape shape = ParseShapeFlags(&args);
   int port = 0;
@@ -396,6 +519,10 @@ int CmdServe(std::vector<std::string> args) {
   int pipeline_depth = 1;
   int full_rebuild_every = 64;
   int staging_threads = 0;
+  ServerOptions defaults;
+  int replication_history = defaults.replication_history;
+  int replication_max_queue = defaults.replication_max_queue;
+  std::string follow;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
@@ -412,16 +539,29 @@ int CmdServe(std::vector<std::string> args) {
       full_rebuild_every = std::atoi(args[++i].c_str());
     } else if (args[i] == "--staging-threads" && i + 1 < args.size()) {
       staging_threads = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--replication-history" && i + 1 < args.size()) {
+      replication_history = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--replication-max-queue" &&
+               i + 1 < args.size()) {
+      replication_max_queue = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--follow" && i + 1 < args.size()) {
+      follow = args[++i];
     } else {
       rest.push_back(args[i]);
     }
   }
   if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1 ||
       lookup_threads < 0 || stats_interval < 0 || pipeline_depth < 1 ||
-      full_rebuild_every < 0 || staging_threads < 0) {
+      full_rebuild_every < 0 || staging_threads < 0 ||
+      replication_history < 1 || replication_max_queue < 1) {
     return Usage();
   }
   const std::string& index_path = rest[0];
+
+  if (!follow.empty()) {
+    return CmdServeFollower(index_path, follow, port, threads,
+                            lookup_threads);
+  }
 
   // Open the index, creating a fresh one if the file does not exist yet.
   StatusOr<std::unique_ptr<PersistentForestIndex>> index =
@@ -456,6 +596,8 @@ int CmdServe(std::vector<std::string> args) {
   options.commit_pipeline_depth = pipeline_depth;
   options.snapshot_full_rebuild_every = full_rebuild_every;
   options.staging_threads = staging_threads;
+  options.replication_history = replication_history;
+  options.replication_max_queue = replication_max_queue;
   Server server(index->get(), options);
   if (Status s = server.Start(std::move(*listener)); !s.ok()) {
     return Fail(s);
