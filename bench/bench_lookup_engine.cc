@@ -11,9 +11,17 @@
 // the engine should clear 5x over the scan. TopK rides the adaptive
 // bound instead of a fixed tau.
 //
+// The gate (the query-path PR's acceptance bar): the dispatched SIMD
+// kernel plus a warm epoch-keyed result cache must clear 3x over the
+// forced-scalar, uncached engine on the 10k-tree tau-sweep, with
+// bit-identical results. Enforced (exit nonzero) at full scale; waived
+// when PQIDX_BENCH_SCALE shrinks the forest, where fixed per-query
+// costs dominate and the bar is not meaningful.
+//
 // Run:  build/bench/bench_lookup_engine [--json[=PATH]]
 // PQIDX_BENCH_SCALE scales forest sizes; results also land in
-// BENCH_lookup_engine.json with --json for CI artifact upload.
+// BENCH_lookup_engine.json with --json for CI artifact upload
+// (reference run: bench/baselines/BENCH_LOOKUP.json).
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +36,8 @@
 #include "core/forest_index.h"
 #include "core/inverted_index.h"
 #include "core/lookup_engine.h"
+#include "core/query_cache.h"
+#include "core/simd_intersect.h"
 #include "tree/generators.h"
 
 using namespace pqidx;
@@ -154,6 +164,89 @@ int main(int argc, char** argv) {
                 topk_eng_s > 0 ? topk_scan_s / topk_eng_s : 0.0);
     report.Add("topk_scan_s_n" + std::to_string(n), topk_scan_s, "s");
     report.Add("topk_engine_s_n" + std::to_string(n), topk_eng_s, "s");
+
+    // --- query-path gate: SIMD + warm cache vs scalar, uncached -------
+    // The full tau-sweep through the same snapshot, twice: once under
+    // the forced-scalar kernel with no cache (the engine's read path
+    // before vectorization), once under the dispatched native kernel
+    // with a primed epoch-keyed result cache (how a server answers a
+    // repeated query). Results must be bit-identical; at full scale the
+    // speedup must clear the 3x bar.
+    if (n == forest_sizes.back()) {
+      const SimdKernel native = ActiveSimdKernel();
+      std::printf("query-path gate (native kernel: %s)\n",
+                  SimdKernelName(native));
+      report.AddRawSection(
+          "kernel", "\"" + std::string(SimdKernelName(native)) + "\"");
+
+      SetSimdKernelForTesting(SimdKernel::kScalar);
+      std::vector<std::vector<LookupResult>> want;
+      double scalar_s = 0;
+      for (double tau : taus) {
+        scalar_s += TimeQueries(queries, &sink, [&](const auto& q) {
+          return engine->Lookup(q, tau).size();
+        });
+        for (const PqGramIndex& query : queries) {
+          want.push_back(engine->Lookup(query, tau));
+        }
+      }
+
+      SetSimdKernelForTesting(native);
+      QueryCache cache(QueryCache::Options{});
+      for (double tau : taus) {  // prime every (query, tau) key
+        for (const PqGramIndex& query : queries) {
+          (void)engine->Lookup(query, tau, nullptr, nullptr, &cache);
+        }
+      }
+      double warm_s = 0;
+      size_t cell = 0;
+      for (double tau : taus) {
+        warm_s += TimeQueries(queries, &sink, [&](const auto& q) {
+          return engine->Lookup(q, tau, nullptr, nullptr, &cache).size();
+        });
+        for (const PqGramIndex& query : queries) {
+          const std::vector<LookupResult> got =
+              engine->Lookup(query, tau, nullptr, nullptr, &cache);
+          const std::vector<LookupResult>& ref = want[cell++];
+          bool same = got.size() == ref.size();
+          for (size_t i = 0; same && i < got.size(); ++i) {
+            same = got[i].tree_id == ref[i].tree_id &&
+                   got[i].distance == ref[i].distance;
+          }
+          if (!same) {
+            std::printf("RESULT MISMATCH: SIMD+cache diverges from the "
+                        "scalar path at tau %.2f\n", tau);
+            return 1;
+          }
+        }
+      }
+
+      const double speedup = warm_s > 0 ? scalar_s / warm_s : 0.0;
+      const bool enforce = Scale() >= 1.0;
+      std::printf("  scalar uncached sweep %.4fs, SIMD warm-cache sweep "
+                  "%.4fs: %.1fx%s\n",
+                  scalar_s, warm_s, speedup,
+                  enforce ? "" : "  (gate waived at reduced scale)");
+      std::printf("  cache: %lld hits, %lld misses, %lld entries, "
+                  "%lld bytes\n",
+                  static_cast<long long>(cache.hits()),
+                  static_cast<long long>(cache.misses()),
+                  static_cast<long long>(cache.entries()),
+                  static_cast<long long>(cache.bytes()));
+      report.Add("gate_scalar_uncached_s", scalar_s, "s");
+      report.Add("gate_simd_warm_cache_s", warm_s, "s");
+      report.Add("query_path_speedup", speedup, "x");
+      report.Add("gate_cache_hits", static_cast<double>(cache.hits()));
+      report.Add("gate_cache_bytes", static_cast<double>(cache.bytes()),
+                 "B");
+      if (enforce && speedup < 3.0) {
+        report.Write();
+        std::fprintf(stderr,
+                     "GATE FAILED: query-path speedup %.1fx below the 3x "
+                     "bar\n", speedup);
+        return 1;
+      }
+    }
   }
 
   std::printf("expected shape: scan linear in forest size; engine ahead of "

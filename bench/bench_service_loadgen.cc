@@ -58,10 +58,12 @@ BackoffPolicy ConnectRetryPolicy() {
 // Lookup-only sweep: `readers` concurrent clients hammer a read-only
 // server with lookups against an established forest. Since the server
 // scores against its epoch-published snapshot without taking index_mutex_,
-// throughput should grow with the reader count. Returns requests/second,
-// or a negative value on failure.
+// throughput should grow with the reader count. With `topk` >= 0 the
+// readers issue kTopK requests (the wire-level top-k opcode) instead of
+// threshold lookups. Returns requests/second, or a negative value on
+// failure.
 double RunReaderSweep(int readers, const PqShape& shape,
-                      std::vector<double>* latencies) {
+                      std::vector<double>* latencies, int topk = -1) {
   const int kForestTrees = 64;
   const int kLookupsPerReader = Scaled(200);
   const int kTreeNodes = 60;
@@ -109,7 +111,8 @@ double RunReaderSweep(int readers, const PqShape& shape,
       for (int i = 0; i < kLookupsPerReader; ++i) {
         WallTimer timer;
         StatusOr<std::vector<LookupResult>> hits =
-            (*client)->Lookup(query, 0.6);
+            topk >= 0 ? (*client)->TopK(query, topk)
+                      : (*client)->Lookup(query, 0.6);
         r.lookup_s.push_back(timer.Seconds());
         if (!hits.ok()) ++r.failures;
       }
@@ -432,14 +435,30 @@ int main(int argc, char** argv) {
 
   // Reader scaling: lookup-only throughput as concurrent readers grow.
   // Every lookup scores a private snapshot copy, so more readers should
-  // mean more throughput, not more contention.
-  PrintHeader("lookup-only reader scaling (snapshot reads)");
-  std::printf("%10s %14s %12s %12s\n", "readers", "lookups/s", "p50 [ms]",
+  // mean more throughput, not more contention. --topk[=K] switches the
+  // readers to the wire-level kTopK opcode (default K 10), exercising
+  // the per-shard heap path end to end.
+  int sweep_topk = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--topk") {
+      sweep_topk = 10;
+    } else if (arg.rfind("--topk=", 0) == 0) {
+      sweep_topk = std::atoi(arg.c_str() + 7);
+      if (sweep_topk < 0) sweep_topk = 10;
+    }
+  }
+  PrintHeader(sweep_topk >= 0
+                  ? "top-k reader scaling (kTopK, k=" +
+                        std::to_string(sweep_topk) + ")"
+                  : "lookup-only reader scaling (snapshot reads)");
+  std::printf("%10s %14s %12s %12s\n", "readers",
+              sweep_topk >= 0 ? "topk/s" : "lookups/s", "p50 [ms]",
               "p99 [ms]");
   double single_reader = 0;
   for (int readers : {1, 4, 8}) {
     std::vector<double> latencies;
-    const double rate = RunReaderSweep(readers, shape, &latencies);
+    const double rate = RunReaderSweep(readers, shape, &latencies, sweep_topk);
     if (rate < 0) {
       std::fprintf(stderr, "reader sweep failed at %d readers\n", readers);
       return 1;

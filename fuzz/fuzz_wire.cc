@@ -46,6 +46,26 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   { (void)pqidx::AddTreeRequest::Decode(payload); }
   { (void)pqidx::ApplyEditsRequest::Decode(payload); }
 
+  // Top-k requests (kTopK): accepted payloads carry a bounded k and
+  // must round-trip.
+  {
+    pqidx::StatusOr<pqidx::TopKRequest> request =
+        pqidx::TopKRequest::Decode(payload);
+    if (request.ok()) {
+      if (request->k < 0 || request->k > pqidx::TopKRequest::kMaxK) {
+        __builtin_trap();
+      }
+      pqidx::ByteWriter writer;
+      request->Encode(&writer);
+      pqidx::StatusOr<pqidx::TopKRequest> again =
+          pqidx::TopKRequest::Decode(writer.data());
+      if (!again.ok() || again->k != request->k ||
+          !(again->query == request->query)) {
+        __builtin_trap();
+      }
+    }
+  }
+
   // Replication handshake (kSubscribe): what the leader reads from an
   // untrusted subscriber. Accepted requests must round-trip.
   {

@@ -172,6 +172,19 @@ Status MakeWireSeeds(const std::string& dir) {
         WriteSeed(dir, "lookup_frame.bin", EncodeFrame(header, writer.data())));
   }
   {
+    TopKRequest request;
+    request.query = bag;
+    request.k = 10;
+    ByteWriter writer;
+    request.Encode(&writer);
+    FrameHeader header;
+    header.type = MessageType::kTopK;
+    header.request_id = 6;
+    header.payload_size = static_cast<uint32_t>(writer.data().size());
+    PQIDX_RETURN_IF_ERROR(
+        WriteSeed(dir, "topk_frame.bin", EncodeFrame(header, writer.data())));
+  }
+  {
     AddTreeRequest request;
     request.tree_id = 7;
     request.bag = bag;

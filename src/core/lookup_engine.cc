@@ -1,14 +1,26 @@
 #include "core/lookup_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <iterator>
 #include <limits>
 #include <utility>
 
 #include "common/metrics.h"
+#include "core/simd_intersect.h"
 
 namespace pqidx {
 namespace {
+
+// The SIMD kernels read the arena as interleaved int32 pairs.
+static_assert(sizeof(PqGramFingerprint) == sizeof(uint64_t),
+              "galloping search assumes 64-bit fingerprints");
+
+// Shard uids are minted here and never reused, so a QueryCache entry
+// keyed by a uid can only ever match the exact frozen arena it was
+// computed from (no ABA across snapshot epochs).
+std::atomic<uint64_t> g_next_shard_uid{1};
 
 // The pq-gram distance formula, exactly as PqGramDistance computes it:
 // lookup results must be bit-identical to the scanning baseline, so the
@@ -70,6 +82,15 @@ void RecordQueryMetrics(const LookupEngineStats& stats, int64_t start_us) {
   }
 }
 
+uint64_t MixFingerprint(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 std::shared_ptr<const LookupEngine> LookupEngine::Build(
@@ -115,6 +136,7 @@ std::shared_ptr<const LookupEngine> LookupEngine::Build(
 }
 
 void LookupEngine::FreezeShard(Shard* shard, std::vector<RawPosting> part) {
+  shard->uid = g_next_shard_uid.fetch_add(1, std::memory_order_relaxed);
   std::sort(part.begin(), part.end(),
             [](const RawPosting& a, const RawPosting& b) {
               return a.fp < b.fp || (a.fp == b.fp && a.slot < b.slot);
@@ -301,6 +323,35 @@ std::shared_ptr<const LookupEngine> LookupEngine::ApplyDelta(
   return engine;
 }
 
+std::vector<uint64_t> LookupEngine::ShardUids() const {
+  std::vector<uint64_t> uids;
+  uids.reserve(shards_.size());
+  for (const std::shared_ptr<const Shard>& shard : shards_) {
+    uids.push_back(shard->uid);
+  }
+  return uids;
+}
+
+QueryFingerprint LookupEngine::FingerprintQuery(
+    const std::vector<QueryTuple>& tuples, int64_t query_size, uint64_t op,
+    uint64_t param) {
+  // Two independently seeded lanes over the same sequence; both are
+  // compared on a cache hit, so a collision needs both to collide.
+  uint64_t lo = MixFingerprint(op ^ 0x243f6a8885a308d3ULL);
+  uint64_t hi = MixFingerprint(op + 0x452821e638d01377ULL);
+  lo = MixFingerprint(lo ^ param);
+  hi = MixFingerprint(hi + param);
+  lo = MixFingerprint(lo ^ static_cast<uint64_t>(query_size));
+  hi = MixFingerprint(hi + static_cast<uint64_t>(query_size));
+  for (const QueryTuple& t : tuples) {
+    lo = MixFingerprint(lo ^ t.fp);
+    lo = MixFingerprint(lo ^ static_cast<uint64_t>(t.count));
+    hi = MixFingerprint(hi + (t.fp * 0x9e3779b97f4a7c15ULL));
+    hi = MixFingerprint(hi + static_cast<uint64_t>(t.count));
+  }
+  return {lo, hi};
+}
+
 std::vector<LookupEngine::QueryTuple> LookupEngine::QueryTuples(
     const PqGramIndex& query) {
   std::vector<QueryTuple> tuples;
@@ -322,20 +373,26 @@ void LookupEngine::ScoreShard(const Shard& shard,
                               std::vector<LookupResult>* out,
                               LookupEngineStats* stats) const {
   const size_t n = shard.tree_ids.size();
+  static_assert(sizeof(Entry) == 2 * sizeof(int32_t),
+                "kernels read the arena as interleaved int32 pairs");
   struct List {
     uint32_t begin;
     uint32_t length;
     int64_t qcount;
     PqGramFingerprint fp;
   };
+  // Query tuples arrive fingerprint-ascending and shard.fps is sorted,
+  // so each tuple's list is found by galloping forward from the
+  // previous position instead of bisecting the whole array.
   std::vector<List> lists;
   lists.reserve(tuples.size());
+  size_t pos = 0;
   for (const QueryTuple& t : tuples) {
-    auto it = std::lower_bound(shard.fps.begin(), shard.fps.end(), t.fp);
-    if (it == shard.fps.end() || *it != t.fp) continue;
-    size_t idx = static_cast<size_t>(it - shard.fps.begin());
-    lists.push_back({shard.offsets[idx],
-                     shard.offsets[idx + 1] - shard.offsets[idx], t.count,
+    pos = GallopLowerBound(shard.fps.data(), shard.fps.size(), pos, t.fp);
+    if (pos == shard.fps.size()) break;
+    if (shard.fps[pos] != t.fp) continue;
+    lists.push_back({shard.offsets[pos],
+                     shard.offsets[pos + 1] - shard.offsets[pos], t.count,
                      t.fp});
   }
   // Rarest posting list first: the large lists then run with the small
@@ -356,30 +413,50 @@ void LookupEngine::ScoreShard(const Shard& shard,
   std::vector<uint8_t> pruned(n, 0);
   std::vector<int32_t> touched;
 
+  // The SIMD kernel deinterleaves each block and clamps every count
+  // against the query multiplicity up front; the scalar pass below only
+  // scatters the precomputed contributions into the accumulators. A
+  // negative contribution is the wide-count sentinel surviving the
+  // clamp and is resolved exactly from the side map.
+  constexpr size_t kBlock = 256;
+  int32_t slot_buf[kBlock];
+  int32_t contrib_buf[kBlock];
+
   for (size_t j = 0; j < lists.size(); ++j) {
     const List& list = lists[j];
     const int64_t gain_after = rest[j + 1];
-    const Entry* entry = shard.entries.data() + list.begin;
-    const Entry* end = entry + list.length;
     stats->postings_scanned += list.length;
-    for (; entry != end; ++entry) {
-      const int32_t slot = entry->slot;
-      if (pruned[static_cast<size_t>(slot)]) continue;
-      int64_t& acc = overlap[static_cast<size_t>(slot)];
-      if (acc == 0) {
-        touched.push_back(slot);
-        if (filter) {
-          required[static_cast<size_t>(slot)] = MinQualifyingOverlap(
-              tau, query_size + shard.tree_sizes[static_cast<size_t>(slot)]);
+    const int32_t qc32 = static_cast<int32_t>(
+        std::min<int64_t>(list.qcount, INT32_MAX));
+    for (size_t base = 0; base < list.length; base += kBlock) {
+      const size_t m = std::min<size_t>(kBlock, list.length - base);
+      ComputeContribs(
+          reinterpret_cast<const int32_t*>(shard.entries.data() +
+                                           list.begin + base),
+          m, qc32, slot_buf, contrib_buf);
+      for (size_t i = 0; i < m; ++i) {
+        const int32_t slot = slot_buf[i];
+        if (pruned[static_cast<size_t>(slot)]) continue;
+        int64_t& acc = overlap[static_cast<size_t>(slot)];
+        if (acc == 0) {
+          touched.push_back(slot);
+          if (filter) {
+            required[static_cast<size_t>(slot)] = MinQualifyingOverlap(
+                tau,
+                query_size + shard.tree_sizes[static_cast<size_t>(slot)]);
+          }
         }
-      }
-      acc += std::min<int64_t>(
-          list.qcount,
-          shard.EntryCount(static_cast<size_t>(entry - shard.entries.data())));
-      if (filter &&
-          acc + gain_after < required[static_cast<size_t>(slot)]) {
-        pruned[static_cast<size_t>(slot)] = 1;
-        ++stats->pruned;
+        int64_t contrib = contrib_buf[i];
+        if (contrib < 0) {
+          contrib = std::min<int64_t>(
+              list.qcount, shard.EntryCount(list.begin + base + i));
+        }
+        acc += contrib;
+        if (filter &&
+            acc + gain_after < required[static_cast<size_t>(slot)]) {
+          pruned[static_cast<size_t>(slot)] = 1;
+          ++stats->pruned;
+        }
       }
     }
   }
@@ -423,7 +500,7 @@ void LookupEngine::ScoreShard(const Shard& shard,
 
 std::vector<LookupResult> LookupEngine::Lookup(
     const PqGramIndex& query, double tau, ThreadPool* pool,
-    LookupEngineStats* stats) const {
+    LookupEngineStats* stats, QueryCache* cache) const {
   PQIDX_CHECK_MSG(query.shape() == shape_,
                   "query shape does not match lookup engine shape");
   // Distances are never negative, so tau < 0 (or NaN) matches nothing.
@@ -433,13 +510,26 @@ std::vector<LookupResult> LookupEngine::Lookup(
   if (!(tau >= 0.0)) return {};
   const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   const std::vector<QueryTuple> tuples = QueryTuples(query);
+  QueryFingerprint qfp;
+  if (cache != nullptr) {
+    qfp = FingerprintQuery(tuples, query.size(), /*op=*/0,
+                           std::bit_cast<uint64_t>(tau));
+  }
   const size_t shard_count = shards_.size();
   std::vector<std::vector<LookupResult>> parts(shard_count);
   std::vector<LookupEngineStats> part_stats(shard_count);
   auto score = [&](int64_t s) {
-    ScoreShard(*shards_[static_cast<size_t>(s)], tuples, query.size(), tau,
+    const Shard& shard = *shards_[static_cast<size_t>(s)];
+    if (cache != nullptr &&
+        cache->Get(qfp, shard.uid, &parts[static_cast<size_t>(s)])) {
+      return;
+    }
+    ScoreShard(shard, tuples, query.size(), tau,
                &parts[static_cast<size_t>(s)],
                &part_stats[static_cast<size_t>(s)]);
+    if (cache != nullptr) {
+      cache->Put(qfp, shard.uid, parts[static_cast<size_t>(s)]);
+    }
   };
   if (pool != nullptr && shard_count > 1) {
     pool->ParallelFor(static_cast<int64_t>(shard_count), score);
@@ -465,8 +555,8 @@ std::vector<LookupResult> LookupEngine::Lookup(
 
 std::vector<LookupResult> LookupEngine::Lookup(
     const Tree& query, double tau, ThreadPool* pool,
-    LookupEngineStats* stats) const {
-  return Lookup(BuildIndex(query, shape_), tau, pool, stats);
+    LookupEngineStats* stats, QueryCache* cache) const {
+  return Lookup(BuildIndex(query, shape_), tau, pool, stats, cache);
 }
 
 void LookupEngine::ScoreShardTopK(const Shard& shard,
@@ -483,12 +573,13 @@ void LookupEngine::ScoreShardTopK(const Shard& shard,
   };
   std::vector<List> lists;
   lists.reserve(tuples.size());
+  size_t pos = 0;
   for (const QueryTuple& t : tuples) {
-    auto it = std::lower_bound(shard.fps.begin(), shard.fps.end(), t.fp);
-    if (it == shard.fps.end() || *it != t.fp) continue;
-    size_t idx = static_cast<size_t>(it - shard.fps.begin());
-    lists.push_back({shard.offsets[idx],
-                     shard.offsets[idx + 1] - shard.offsets[idx], t.count,
+    pos = GallopLowerBound(shard.fps.data(), shard.fps.size(), pos, t.fp);
+    if (pos == shard.fps.size()) break;
+    if (shard.fps[pos] != t.fp) continue;
+    lists.push_back({shard.offsets[pos],
+                     shard.offsets[pos + 1] - shard.offsets[pos], t.count,
                      t.fp});
   }
   std::sort(lists.begin(), lists.end(), [](const List& a, const List& b) {
@@ -502,33 +593,47 @@ void LookupEngine::ScoreShardTopK(const Shard& shard,
   std::vector<int64_t> overlap(n, 0);
   std::vector<uint8_t> pruned(n, 0);
   int64_t candidates = 0;
+  constexpr size_t kBlock = 256;
+  int32_t slot_buf[kBlock];
+  int32_t contrib_buf[kBlock];
   for (size_t j = 0; j < lists.size(); ++j) {
     const List& list = lists[j];
     const int64_t gain_after = rest[j + 1];
-    const Entry* entry = shard.entries.data() + list.begin;
-    const Entry* end = entry + list.length;
     stats->postings_scanned += list.length;
-    for (; entry != end; ++entry) {
-      const int32_t slot = entry->slot;
-      if (pruned[static_cast<size_t>(slot)]) continue;
-      int64_t& acc = overlap[static_cast<size_t>(slot)];
-      if (acc == 0) ++candidates;
-      acc += std::min<int64_t>(
-          list.qcount,
-          shard.EntryCount(static_cast<size_t>(entry - shard.entries.data())));
-      // Adaptive bound: once the heap holds k results, a candidate whose
-      // best attainable rank cannot beat the current k-th best is dead.
-      // The k-th best only improves, so the decision stays valid.
-      if (static_cast<int>(heap->size()) == k) {
-        const LookupResult& worst = heap->front();
-        LookupResult best_attainable{
-            shard.tree_ids[static_cast<size_t>(slot)],
-            BagDistance(acc + gain_after,
-                        query_size +
-                            shard.tree_sizes[static_cast<size_t>(slot)])};
-        if (!RanksBefore(best_attainable, worst)) {
-          pruned[static_cast<size_t>(slot)] = 1;
-          ++stats->pruned;
+    const int32_t qc32 = static_cast<int32_t>(
+        std::min<int64_t>(list.qcount, INT32_MAX));
+    for (size_t base = 0; base < list.length; base += kBlock) {
+      const size_t m = std::min<size_t>(kBlock, list.length - base);
+      ComputeContribs(
+          reinterpret_cast<const int32_t*>(shard.entries.data() +
+                                           list.begin + base),
+          m, qc32, slot_buf, contrib_buf);
+      for (size_t i = 0; i < m; ++i) {
+        const int32_t slot = slot_buf[i];
+        if (pruned[static_cast<size_t>(slot)]) continue;
+        int64_t& acc = overlap[static_cast<size_t>(slot)];
+        if (acc == 0) ++candidates;
+        int64_t contrib = contrib_buf[i];
+        if (contrib < 0) {
+          contrib = std::min<int64_t>(
+              list.qcount, shard.EntryCount(list.begin + base + i));
+        }
+        acc += contrib;
+        // Adaptive bound: once the heap holds k results, a candidate
+        // whose best attainable rank cannot beat the current k-th best
+        // is dead. The k-th best only improves, so the decision stays
+        // valid.
+        if (static_cast<int>(heap->size()) == k) {
+          const LookupResult& worst = heap->front();
+          LookupResult best_attainable{
+              shard.tree_ids[static_cast<size_t>(slot)],
+              BagDistance(acc + gain_after,
+                          query_size +
+                              shard.tree_sizes[static_cast<size_t>(slot)])};
+          if (!RanksBefore(best_attainable, worst)) {
+            pruned[static_cast<size_t>(slot)] = 1;
+            ++stats->pruned;
+          }
         }
       }
     }
@@ -556,25 +661,47 @@ void LookupEngine::ScoreShardTopK(const Shard& shard,
 
 std::vector<LookupResult> LookupEngine::TopK(const PqGramIndex& query,
                                              int k, ThreadPool* pool,
-                                             LookupEngineStats* stats) const {
+                                             LookupEngineStats* stats,
+                                             QueryCache* cache) const {
   PQIDX_CHECK_MSG(query.shape() == shape_,
                   "query shape does not match lookup engine shape");
   if (k <= 0) return {};
   const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
   const std::vector<QueryTuple> tuples = QueryTuples(query);
+  QueryFingerprint qfp;
+  if (cache != nullptr) {
+    qfp = FingerprintQuery(tuples, query.size(), /*op=*/1,
+                           static_cast<uint64_t>(k));
+  }
   LookupEngineStats local_stats;
   std::vector<LookupResult> merged;
-  if (pool != nullptr && shards_.size() > 1) {
+  if (cache != nullptr || (pool != nullptr && shards_.size() > 1)) {
     // Independent per-shard heaps; the global top k is a subset of the
-    // union of the per-shard top k.
+    // union of the per-shard top k. The cache requires this mode even
+    // sequentially: a cached partial must not depend on the heap state
+    // other shards left behind.
     std::vector<std::vector<LookupResult>> heaps(shards_.size());
     std::vector<LookupEngineStats> part_stats(shards_.size());
-    pool->ParallelFor(
-        static_cast<int64_t>(shards_.size()), [&](int64_t s) {
-          ScoreShardTopK(*shards_[static_cast<size_t>(s)], tuples,
-                         query.size(), k, &heaps[static_cast<size_t>(s)],
-                         &part_stats[static_cast<size_t>(s)]);
-        });
+    auto score = [&](int64_t s) {
+      const Shard& shard = *shards_[static_cast<size_t>(s)];
+      if (cache != nullptr &&
+          cache->Get(qfp, shard.uid, &heaps[static_cast<size_t>(s)])) {
+        return;
+      }
+      ScoreShardTopK(shard, tuples, query.size(), k,
+                     &heaps[static_cast<size_t>(s)],
+                     &part_stats[static_cast<size_t>(s)]);
+      if (cache != nullptr) {
+        cache->Put(qfp, shard.uid, heaps[static_cast<size_t>(s)]);
+      }
+    };
+    if (pool != nullptr && shards_.size() > 1) {
+      pool->ParallelFor(static_cast<int64_t>(shards_.size()), score);
+    } else {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        score(static_cast<int64_t>(s));
+      }
+    }
     for (const std::vector<LookupResult>& heap : heaps) {
       merged.insert(merged.end(), heap.begin(), heap.end());
     }

@@ -57,6 +57,7 @@
 #include "core/forest_index.h"
 #include "core/inverted_index.h"
 #include "core/pqgram_index.h"
+#include "core/query_cache.h"
 
 namespace pqidx {
 
@@ -105,24 +106,36 @@ class LookupEngine {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int64_t posting_entries() const { return posting_entries_; }
 
+  // The process-unique ids of this snapshot's shards, in shard order.
+  // A shard shared with a previous epoch (ApplyDelta copy-on-write)
+  // keeps its uid; a recompiled or freshly built shard gets a new one.
+  // QueryCache keys embed these, which is the whole epoch protocol.
+  std::vector<uint64_t> ShardUids() const;
+
   // Approximate lookup: all trees T with dist(query, T) <= tau, most
   // similar first (ties by tree id) -- bit-identical to
   // ForestIndex::Lookup. With `pool`, shards are scored in parallel;
   // `stats`, when non-null, receives the work counters of this call.
+  // With `cache`, per-shard partial results are served from / inserted
+  // into it (cached shards contribute no work counters).
   std::vector<LookupResult> Lookup(const PqGramIndex& query, double tau,
                                    ThreadPool* pool = nullptr,
-                                   LookupEngineStats* stats = nullptr) const;
+                                   LookupEngineStats* stats = nullptr,
+                                   QueryCache* cache = nullptr) const;
   std::vector<LookupResult> Lookup(const Tree& query, double tau,
                                    ThreadPool* pool = nullptr,
-                                   LookupEngineStats* stats = nullptr) const;
+                                   LookupEngineStats* stats = nullptr,
+                                   QueryCache* cache = nullptr) const;
 
   // The k most similar trees, most similar first (ties by tree id);
   // identical to ForestIndex::TopK. Sequentially the pruning bound
-  // tightens from the current k-th best across shards; with `pool`,
+  // tightens from the current k-th best across shards; with `pool` (or
+  // `cache`, whose entries must not depend on cross-shard state),
   // shards compute independent top-k heaps that are merged at the end.
   std::vector<LookupResult> TopK(const PqGramIndex& query, int k,
                                  ThreadPool* pool = nullptr,
-                                 LookupEngineStats* stats = nullptr) const;
+                                 LookupEngineStats* stats = nullptr,
+                                 QueryCache* cache = nullptr) const;
 
  private:
   // One posting: tree (as a shard-local slot) and tuple multiplicity.
@@ -141,6 +154,9 @@ class LookupEngine {
 
   // An independent slice of the forest: dense slots, own posting arena.
   struct Shard {
+    // Process-unique id minted at freeze time, never reused. Shards
+    // shared across epochs keep theirs; see ShardUids().
+    uint64_t uid = 0;
     std::vector<TreeId> tree_ids;             // slot -> tree id (ascending)
     std::vector<int64_t> tree_sizes;          // slot -> |I(T)|
     std::vector<PqGramFingerprint> fps;       // sorted ascending
@@ -185,6 +201,13 @@ class LookupEngine {
   static void FreezeShard(Shard* shard, std::vector<RawPosting> part);
 
   static std::vector<QueryTuple> QueryTuples(const PqGramIndex& query);
+
+  // 128-bit cache fingerprint of (op, param, query size, sorted query
+  // tuples). `op` separates Lookup from TopK keys; `param` carries the
+  // tau bit pattern or k.
+  static QueryFingerprint FingerprintQuery(
+      const std::vector<QueryTuple>& tuples, int64_t query_size,
+      uint64_t op, uint64_t param);
 
   // Scores one shard for Lookup: accumulates overlaps rarest-first with
   // the tau-derived count filter and appends qualifying results.

@@ -120,6 +120,33 @@ StatusOr<std::vector<LookupResult>> Client::Lookup(const Tree& query,
   return Lookup(BuildIndex(query, shape_), tau);
 }
 
+StatusOr<std::vector<LookupResult>> Client::TopK(const PqGramIndex& query,
+                                                 int k) {
+  if (!(query.shape() == shape_)) {
+    return InvalidArgumentError("query shape does not match server shape");
+  }
+  if (k < 0 || k > TopKRequest::kMaxK) {
+    return InvalidArgumentError("top-k count out of range");
+  }
+  TopKRequest request;
+  request.query = query;
+  request.k = k;
+  ByteWriter writer;
+  request.Encode(&writer);
+  std::string payload = writer.Release();
+  std::string body;
+  PQIDX_RETURN_IF_ERROR(RoundTrip(MessageType::kTopK, payload, &body));
+  ByteReader reader(body);
+  StatusOr<LookupResponse> response = LookupResponse::Decode(&reader);
+  PQIDX_RETURN_IF_ERROR(response.status());
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after payload");
+  return std::move(response->results);
+}
+
+StatusOr<std::vector<LookupResult>> Client::TopK(const Tree& query, int k) {
+  return TopK(BuildIndex(query, shape_), k);
+}
+
 Status Client::AddTree(TreeId id, const Tree& tree) {
   return AddIndex(id, BuildIndex(tree, shape_));
 }

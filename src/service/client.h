@@ -66,6 +66,12 @@ class Client {
                                              double tau);
   StatusOr<std::vector<LookupResult>> Lookup(const Tree& query, double tau);
 
+  // The k most similar trees to `query` on the server (kTopK), most
+  // similar first; fewer when the index holds fewer trees. `k` must be
+  // in [0, TopKRequest::kMaxK].
+  StatusOr<std::vector<LookupResult>> TopK(const PqGramIndex& query, int k);
+  StatusOr<std::vector<LookupResult>> TopK(const Tree& query, int k);
+
   // Registers a tree under `id`. The bag is built locally.
   Status AddTree(TreeId id, const Tree& tree);
   // Registers a prebuilt bag (must have the server's shape).

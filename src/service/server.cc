@@ -41,6 +41,8 @@ const char* OpcodeName(MessageType type) {
       return "subscribe_ack";
     case MessageType::kDeltaFrame:
       return "delta_frame";
+    case MessageType::kTopK:
+      return "topk";
   }
   PQIDX_CHECK_MSG(false, "unreachable message type");
   return "";
@@ -62,7 +64,7 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   PQIDX_CHECK(options_.replication_history >= 0);
   PQIDX_CHECK(options_.replication_max_queue >= 1);
   for (uint8_t t = static_cast<uint8_t>(MessageType::kPing);
-       t <= static_cast<uint8_t>(MessageType::kDeltaFrame); ++t) {
+       t <= static_cast<uint8_t>(MessageType::kTopK); ++t) {
     m_request_us_[t] = metrics.histogram(
         std::string("server.") + OpcodeName(static_cast<MessageType>(t)) +
         "_us");
@@ -83,6 +85,13 @@ Server::Server(PersistentForestIndex* index, ServerOptions options)
   m_protocol_errors_ = metrics.counter("server.protocol_errors");
   slow_us_ = options_.slow_op_us != 0 ? options_.slow_op_us
                                       : SlowOpLog::Default().threshold_us();
+  PQIDX_CHECK(options_.query_cache_mb >= 0);
+  if (!options_.query_cache_off && options_.query_cache_mb > 0) {
+    QueryCache::Options cache_options;
+    cache_options.max_bytes =
+        static_cast<size_t>(options_.query_cache_mb) << 20;
+    query_cache_ = std::make_unique<QueryCache>(cache_options);
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -168,8 +177,12 @@ void Server::PublishEngine(const std::vector<TreeId>& changed) {
                          .count();
   {
     MutexLock lock(&engine_mutex_);
-    engine_ = std::move(next);
+    engine_ = next;
   }
+  // Reconcile the result cache with the new epoch's shard set: entries
+  // for shards the publish recompiled (or, on a full build, all of
+  // them) are dead by uid and reclaimed here; shared shards stay warm.
+  if (query_cache_ != nullptr) query_cache_->OnPublish(next->ShardUids());
   snapshot_epoch_.fetch_add(1);
   last_rebuild_us_.store(us);
   snapshot_rebuild_us_.fetch_add(us);
@@ -345,6 +358,8 @@ std::string Server::HandleRequest(MessageType type,
       return StatusPayload(Status::Ok());
     case MessageType::kLookup:
       return HandleLookup(payload);
+    case MessageType::kTopK:
+      return HandleTopK(payload);
     case MessageType::kAddTree:
       return HandleAddTree(payload);
     case MessageType::kApplyEdits:
@@ -385,8 +400,35 @@ std::string Server::HandleLookup(std::string_view payload) {
   // concurrent commits publish new snapshots without ever blocking this.
   LookupEngineStats engine_stats;
   LookupResponse response;
-  response.results = engine->Lookup(request->query, request->tau,
-                                    lookup_pool_.get(), &engine_stats);
+  response.results =
+      engine->Lookup(request->query, request->tau, lookup_pool_.get(),
+                     &engine_stats, query_cache_.get());
+  lookups_.fetch_add(1);
+  m_lookups_->Increment();
+  candidates_pruned_.fetch_add(engine_stats.pruned);
+  candidates_scored_.fetch_add(engine_stats.scored);
+  ByteWriter writer;
+  EncodeStatus(Status::Ok(), &writer);
+  response.Encode(&writer);
+  return writer.Release();
+}
+
+std::string Server::HandleTopK(std::string_view payload) {
+  StatusOr<TopKRequest> request = TopKRequest::Decode(payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1);
+    m_protocol_errors_->Increment();
+    return StatusPayload(request.status());
+  }
+  std::shared_ptr<const LookupEngine> engine = EngineSnapshot();
+  if (!(request->query.shape() == engine->shape())) {
+    return StatusPayload(InvalidArgumentError("query shape mismatch"));
+  }
+  LookupEngineStats engine_stats;
+  LookupResponse response;
+  response.results =
+      engine->TopK(request->query, request->k, lookup_pool_.get(),
+                   &engine_stats, query_cache_.get());
   lookups_.fetch_add(1);
   m_lookups_->Increment();
   candidates_pruned_.fetch_add(engine_stats.pruned);

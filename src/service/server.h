@@ -139,6 +139,13 @@ struct ServerOptions {
   // rejected with FAILED_PRECONDITION; the only writer is then
   // ApplyReplicated (the replication stream). Forced on by Follower.
   bool read_only = false;
+  // Byte budget (MiB) of the epoch-keyed query-result cache serving
+  // kLookup / kTopK (core/query_cache.h). Entries are keyed per engine
+  // shard, so incremental snapshot publishes keep results for untouched
+  // shards warm; full rebuilds invalidate wholesale. 0 (or
+  // query_cache_off) disables the cache entirely.
+  int query_cache_mb = 32;
+  bool query_cache_off = false;
 };
 
 class Server {
@@ -194,6 +201,7 @@ class Server {
   // Decodes and serves one request; returns the response payload.
   std::string HandleRequest(MessageType type, std::string_view payload);
   std::string HandleLookup(std::string_view payload);
+  std::string HandleTopK(std::string_view payload);
   std::string HandleAddTree(std::string_view payload);
   std::string HandleApplyEdits(std::string_view payload);
   std::string HandleStats();
@@ -316,6 +324,10 @@ class Server {
   // scoring itself runs on a private shared_ptr copy with no lock held.
   mutable Mutex engine_mutex_;
   std::shared_ptr<const LookupEngine> engine_ PQIDX_GUARDED_BY(engine_mutex_);
+  // Epoch-keyed result cache for kLookup / kTopK (null when disabled).
+  // Internally synchronized; PublishEngine reconciles it against the
+  // new snapshot's shard uids after every swap.
+  std::unique_ptr<QueryCache> query_cache_;
   std::unique_ptr<ThreadPool> lookup_pool_;
   // Write-path staging workers (ServerOptions::staging_threads).
   std::unique_ptr<ThreadPool> staging_pool_;
@@ -372,7 +384,7 @@ class Server {
   // several servers); these mirror the same events into the
   // process-wide registry, plus per-opcode latency histograms indexed
   // by MessageType value.
-  Histogram* m_request_us_[10] = {};
+  Histogram* m_request_us_[11] = {};
   Histogram* m_batch_edits_;
   Histogram* m_rebuild_us_;
   Histogram* m_snapshot_incremental_us_;

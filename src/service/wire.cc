@@ -68,7 +68,7 @@ Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
   uint8_t type;
   PQIDX_RETURN_IF_ERROR(reader.GetU8(&type));
   if (type < static_cast<uint8_t>(MessageType::kPing) ||
-      type > static_cast<uint8_t>(MessageType::kDeltaFrame)) {
+      type > static_cast<uint8_t>(MessageType::kTopK)) {
     return DataLossError("unknown message type");
   }
   uint8_t flags;
@@ -110,6 +110,27 @@ StatusOr<LookupRequest> LookupRequest::Decode(std::string_view payload) {
   if (!std::isfinite(request.tau) || request.tau < 0.0) {
     return InvalidArgumentError("tau must be finite and non-negative");
   }
+  StatusOr<PqGramIndex> query = PqGramIndex::Deserialize(&reader);
+  PQIDX_RETURN_IF_ERROR(query.status());
+  request.query = *std::move(query);
+  PQIDX_RETURN_IF_ERROR(ExpectEnd(reader));
+  return request;
+}
+
+void TopKRequest::Encode(ByteWriter* writer) const {
+  writer->PutSignedVarint(k);
+  query.Serialize(writer);
+}
+
+StatusOr<TopKRequest> TopKRequest::Decode(std::string_view payload) {
+  ByteReader reader(payload);
+  TopKRequest request;
+  int64_t wide_k;
+  PQIDX_RETURN_IF_ERROR(reader.GetSignedVarint(&wide_k));
+  if (wide_k < 0 || wide_k > kMaxK) {
+    return InvalidArgumentError("top-k count out of range");
+  }
+  request.k = static_cast<int32_t>(wide_k);
   StatusOr<PqGramIndex> query = PqGramIndex::Deserialize(&reader);
   PQIDX_RETURN_IF_ERROR(query.status());
   request.query = *std::move(query);

@@ -60,6 +60,9 @@ enum class MessageType : uint8_t {
   kSubscribe = 7,
   kSubscribeAck = 8,
   kDeltaFrame = 9,
+  // The engine's adaptive-tau-bound top-k over the wire: best K matches
+  // instead of the full result set of a threshold lookup.
+  kTopK = 10,
 };
 
 // Edit requests (kAddTree / kApplyEdits) are capped below the frame
@@ -95,6 +98,21 @@ struct LookupRequest {
 
   void Encode(ByteWriter* writer) const;
   static StatusOr<LookupRequest> Decode(std::string_view payload);
+};
+
+// The k most similar trees to `query` (kTopK). The response reuses
+// LookupResponse. `k` is bounded on decode: a hostile k must not drive
+// the server's per-shard heaps.
+struct TopKRequest {
+  PqGramIndex query;
+  int32_t k = 0;
+
+  // Requests above this are rejected on decode; a client wanting more
+  // than a million results should use a threshold lookup.
+  static constexpr int32_t kMaxK = 1 << 20;
+
+  void Encode(ByteWriter* writer) const;
+  static StatusOr<TopKRequest> Decode(std::string_view payload);
 };
 
 struct AddTreeRequest {

@@ -141,6 +141,10 @@ Status LinearHashTable::LoadMeta() {
   bucket_count_ = Load<uint32_t>(*meta, kMetaBucketCountOff);
   entry_count_ = Load<uint64_t>(*meta, kMetaEntryCountOff);
   free_head_ = Load<uint32_t>(*meta, kMetaFreeHeadOff);
+  // A reload ends any deferral window: the disk image just loaded is
+  // the truth (rollback recovery re-Attaches mid-deferral).
+  defer_meta_ = false;
+  meta_dirty_ = false;
   // Reject meta images that violate the linear-hash state equations
   // before any field is used: an oversized level would shift out of
   // range in BucketFor, and an inconsistent bucket count would walk
@@ -165,7 +169,22 @@ Status LinearHashTable::StoreMeta() {
   Store(*meta, kMetaBucketCountOff, bucket_count_);
   Store(*meta, kMetaEntryCountOff, entry_count_);
   Store(*meta, kMetaFreeHeadOff, free_head_);
+  meta_dirty_ = false;
   return Status::Ok();
+}
+
+Status LinearHashTable::CommitMeta() {
+  if (defer_meta_) {
+    meta_dirty_ = true;
+    return Status::Ok();
+  }
+  return StoreMeta();
+}
+
+Status LinearHashTable::FlushDeferredMeta() {
+  defer_meta_ = false;
+  if (!meta_dirty_) return Status::Ok();
+  return StoreMeta();
 }
 
 uint32_t LinearHashTable::BucketFor(uint64_t hash) const {
@@ -274,11 +293,15 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
   StatusOr<PageId> head = BucketHead(bucket);
   PQIDX_RETURN_IF_ERROR(head.status());
 
-  // Pass 1: find the key; remember the last page of the chain and the
-  // previous page of each link for unlinking.
+  // One walk resolves everything a mutation can need: the key's page
+  // and slot (update / removal), the chain tail and its predecessor
+  // (removal unlinking), and the first page with free space (insertion
+  // lands there without a second walk).
   PageId found_page = 0;
   int found_slot = -1;
   PageId last_page = 0, prev_of_last = 0;
+  PageId space_page = 0;
+  int space_slot = 0;
   uint64_t steps = 0;
   for (PageId page = *head, prev = 0; page != 0;) {
     PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
@@ -295,6 +318,10 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
           break;
         }
       }
+    }
+    if (space_page == 0 && count < kEntriesPerPage) {
+      space_page = page;
+      space_slot = count;
     }
     PageId next = Load<uint32_t>(*data, kBucketNextOff);
     if (next == 0) {
@@ -345,52 +372,40 @@ Status LinearHashTable::AddDelta(uint32_t tree, uint64_t fp,
       PQIDX_RETURN_IF_ERROR(FreeBucketPage(last_page));
     }
     --entry_count_;
-    return StoreMeta();
+    return CommitMeta();
   }
 
-  // Insert: first page in the chain with space, else a new overflow page.
+  // Insert at the position the walk already found: the first page with
+  // space, else a new overflow page linked off the chain tail.
   if (delta < 0) {
     return FailedPreconditionError(
         "decrement of an absent pq-gram tuple");
   }
-  steps = 0;
-  for (PageId page = *head; page != 0;) {
-    PQIDX_RETURN_IF_ERROR(CheckChainStep(*pager_, &steps));
-    StatusOr<const uint8_t*> read = pager_->ReadPage(page);
-    PQIDX_RETURN_IF_ERROR(read.status());
-    int count;
-    PQIDX_RETURN_IF_ERROR(CheckedBucketCount(*read, &count));
-    PageId next = Load<uint32_t>(*read, kBucketNextOff);
-    if (count < kEntriesPerPage) {
-      StatusOr<uint8_t*> data = pager_->MutablePage(page);
-      PQIDX_RETURN_IF_ERROR(data.status());
-      StoreEntry(*data, count, {tree, fp, delta});
-      Store(*data, kBucketCountOff, static_cast<uint16_t>(count + 1));
-      ++entry_count_;
-      PQIDX_RETURN_IF_ERROR(StoreMeta());
-      if (ShouldSplit()) return SplitOne();
-      return Status::Ok();
-    }
-    if (next == 0) {
-      StatusOr<PageId> fresh = AllocateBucketPage();
-      PQIDX_RETURN_IF_ERROR(fresh.status());
-      {
-        StatusOr<uint8_t*> data = pager_->MutablePage(*fresh);
-        PQIDX_RETURN_IF_ERROR(data.status());
-        StoreEntry(*data, 0, {tree, fp, delta});
-        Store(*data, kBucketCountOff, uint16_t{1});
-      }
-      StatusOr<uint8_t*> tail = pager_->MutablePage(page);
-      PQIDX_RETURN_IF_ERROR(tail.status());
-      Store(*tail, kBucketNextOff, static_cast<uint32_t>(*fresh));
-      ++entry_count_;
-      PQIDX_RETURN_IF_ERROR(StoreMeta());
-      if (ShouldSplit()) return SplitOne();
-      return Status::Ok();
-    }
-    page = next;
+  if (last_page == 0) {
+    return DataLossError("bucket chain without a head page");
   }
-  return DataLossError("bucket chain without a head page");
+  if (space_page != 0) {
+    StatusOr<uint8_t*> data = pager_->MutablePage(space_page);
+    PQIDX_RETURN_IF_ERROR(data.status());
+    StoreEntry(*data, space_slot, {tree, fp, delta});
+    Store(*data, kBucketCountOff, static_cast<uint16_t>(space_slot + 1));
+  } else {
+    StatusOr<PageId> fresh = AllocateBucketPage();
+    PQIDX_RETURN_IF_ERROR(fresh.status());
+    {
+      StatusOr<uint8_t*> data = pager_->MutablePage(*fresh);
+      PQIDX_RETURN_IF_ERROR(data.status());
+      StoreEntry(*data, 0, {tree, fp, delta});
+      Store(*data, kBucketCountOff, uint16_t{1});
+    }
+    StatusOr<uint8_t*> tail = pager_->MutablePage(last_page);
+    PQIDX_RETURN_IF_ERROR(tail.status());
+    Store(*tail, kBucketNextOff, static_cast<uint32_t>(*fresh));
+  }
+  ++entry_count_;
+  PQIDX_RETURN_IF_ERROR(CommitMeta());
+  if (ShouldSplit()) return SplitOne();
+  return Status::Ok();
 }
 
 bool LinearHashTable::ShouldSplit() const {
@@ -492,7 +507,7 @@ Status LinearHashTable::SplitOne() {
                     "split redistribution out of range");
     PQIDX_RETURN_IF_ERROR(append(bucket, entry));
   }
-  return StoreMeta();
+  return CommitMeta();
 }
 
 Status LinearHashTable::ForEach(

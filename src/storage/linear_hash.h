@@ -45,8 +45,21 @@ class LinearHashTable {
   StatusOr<int64_t> Get(uint32_t tree, uint64_t fp);
 
   // Adds `delta` to the count of (tree, fp), inserting or removing the
-  // entry as needed. Fails if the result would be negative.
+  // entry as needed. Fails if the result would be negative. One chain
+  // walk resolves update, removal, and insertion position alike.
   Status AddDelta(uint32_t tree, uint64_t fp, int64_t delta);
+
+  // Batched meta-page writes for bulk mutation (ApplyBatch): between
+  // DeferMetaUpdates() and FlushDeferredMeta(), AddDelta/SplitOne update
+  // only the cached meta fields and the meta page is written once at
+  // flush time instead of once per entry. The cached fields stay
+  // authoritative throughout, so reads and splits observe the true
+  // state; the caller must flush before Pager::Commit() (the WAL
+  // transaction must carry a meta page consistent with the data pages)
+  // and must re-Attach() after a rollback, which it already does to
+  // restore the cached fields.
+  void DeferMetaUpdates() { defer_meta_ = true; }
+  Status FlushDeferredMeta();
 
   // Invokes fn(tree, fp, count) for every entry (unspecified order).
   Status ForEach(
@@ -87,6 +100,8 @@ class LinearHashTable {
 
   Status LoadMeta();
   Status StoreMeta();
+  // StoreMeta, or a dirty mark while meta updates are deferred.
+  Status CommitMeta();
 
   Pager* pager_;
   PageId meta_page_ = 0;
@@ -96,6 +111,9 @@ class LinearHashTable {
   uint32_t bucket_count_ = 0;
   uint64_t entry_count_ = 0;
   PageId free_head_ = 0;
+  // Deferred-meta state (DeferMetaUpdates / FlushDeferredMeta).
+  bool defer_meta_ = false;
+  bool meta_dirty_ = false;
 };
 
 }  // namespace pqidx

@@ -490,11 +490,20 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     }
     merge(0);
   }
+  // The whole batch is one WAL transaction, so the hash meta page only
+  // needs to be written once: defer its per-entry updates and flush
+  // before the catalog/cursor writes join the same commit. A failure
+  // lands in RollbackAndReload, whose re-Attach restores the cached
+  // meta fields and ends the deferral window.
+  table_.DeferMetaUpdates();
   for (const std::vector<StagedDelta>& run : runs) {
     for (const StagedDelta& d : run) {
       Status status = table_.AddDelta(d.tree, d.fp, d.delta);
       if (!status.ok()) return fail_batch(std::move(status));
     }
+  }
+  if (Status flushed = table_.FlushDeferredMeta(); !flushed.ok()) {
+    return fail_batch(std::move(flushed));
   }
 
   lap(&split.delta_us);

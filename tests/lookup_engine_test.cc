@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -20,6 +21,7 @@
 #include "core/forest_index.h"
 #include "core/inverted_index.h"
 #include "core/lookup_engine.h"
+#include "core/simd_intersect.h"
 #include "edit/edit_script.h"
 #include "tree/generators.h"
 #include "tree/tree_builder.h"
@@ -582,6 +584,158 @@ TEST(LookupEngineParallelTest, ConcurrentLookupsDuringIncrementalSwaps) {
   for (double tau : kTaus) {
     ExpectSameResults(engine->Lookup(query, tau), forest.Lookup(query, tau),
                       "final incremental snapshot");
+  }
+}
+
+// Restores the process-wide kernel selection on scope exit so a failing
+// SIMD test cannot leak a forced kernel into later tests.
+class ScopedSimdKernel {
+ public:
+  ScopedSimdKernel() : saved_(ActiveSimdKernel()) {}
+  ~ScopedSimdKernel() { SetSimdKernelForTesting(saved_); }
+  ScopedSimdKernel(const ScopedSimdKernel&) = delete;
+  ScopedSimdKernel& operator=(const ScopedSimdKernel&) = delete;
+
+ private:
+  SimdKernel saved_;
+};
+
+constexpr SimdKernel kAllKernels[] = {SimdKernel::kScalar, SimdKernel::kSse41,
+                                      SimdKernel::kAvx2, SimdKernel::kNeon};
+
+TEST(SimdIntersectTest, GallopLowerBoundMatchesStdLowerBound) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = rng.NextBounded(64);
+    std::vector<uint64_t> data(n);
+    for (uint64_t& v : data) v = rng.NextBounded(96);
+    std::sort(data.begin(), data.end());
+    const size_t begin = n == 0 ? 0 : rng.NextBounded(n + 1);
+    // Probe present values, absent values, and the extremes.
+    const uint64_t probes[] = {0, rng.NextBounded(100), 95, 96,
+                               std::numeric_limits<uint64_t>::max()};
+    for (uint64_t target : probes) {
+      const size_t want =
+          std::lower_bound(data.begin() + begin, data.end(), target) -
+          data.begin();
+      EXPECT_EQ(GallopLowerBound(data.data(), n, begin, target), want)
+          << "n=" << n << " begin=" << begin << " target=" << target;
+    }
+  }
+}
+
+// ComputeContribs must agree with the obvious scalar loop on every
+// supported kernel, across lengths that straddle every vector-tail
+// boundary, with the kWideCount sentinel (-1) passed through intact.
+TEST(SimdIntersectTest, ComputeContribsMatchesScalarReference) {
+  ScopedSimdKernel restore;
+  Rng rng(43);
+  const int32_t qcounts[] = {0, 1, 7, std::numeric_limits<int32_t>::max()};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                   size_t{15}, size_t{16}, size_t{17}, size_t{33},
+                   size_t{70}}) {
+    std::vector<int32_t> pairs(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      pairs[2 * i] = static_cast<int32_t>(rng.NextBounded(1 << 20));
+      // Mix small counts, INT32_MAX, and the wide-count sentinel.
+      const uint64_t pick = rng.NextBounded(10);
+      pairs[2 * i + 1] =
+          pick == 0 ? -1
+          : pick == 1
+              ? std::numeric_limits<int32_t>::max()
+              : static_cast<int32_t>(rng.NextBounded(1000));
+    }
+    for (int32_t qcount : qcounts) {
+      std::vector<int32_t> want_slots(n), want_contribs(n);
+      for (size_t i = 0; i < n; ++i) {
+        want_slots[i] = pairs[2 * i];
+        want_contribs[i] = std::min(pairs[2 * i + 1], qcount);
+        if (pairs[2 * i + 1] == -1) want_contribs[i] = -1;
+      }
+      for (SimdKernel kernel : kAllKernels) {
+        if (!SetSimdKernelForTesting(kernel)) continue;
+        std::vector<int32_t> slots(n), contribs(n);
+        ComputeContribs(pairs.data(), n, qcount, slots.data(),
+                        contribs.data());
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(slots[i], want_slots[i])
+              << SimdKernelName(kernel) << " n=" << n << " i=" << i;
+          ASSERT_EQ(contribs[i], want_contribs[i])
+              << SimdKernelName(kernel) << " n=" << n << " i=" << i
+              << " qcount=" << qcount;
+        }
+      }
+    }
+  }
+}
+
+// Every available kernel must produce results bit-identical to the
+// forest scan AND to the forced-scalar engine, across random forests,
+// the full tau sweep, hostile taus, wide counts, and TopK.
+TEST(SimdIntersectTest, AllKernelsBitIdenticalToScalarOnRandomForests) {
+  ScopedSimdKernel restore;
+  Rng rng(47);
+  auto dict = std::make_shared<LabelDict>();
+  ThreadPool pool(4);
+
+  const PqShape shape{2, 3};
+  ForestIndex forest(shape);
+  for (TreeId id = 0; id < 40; ++id) {
+    Tree doc = id % 2 == 0 ? GenerateXmarkLike(dict, &rng, 100)
+                           : GenerateDblpLike(dict, &rng, 70);
+    forest.AddTree(id, doc);
+  }
+  // A wide-count bag so min(qcount, count) exercises the sentinel path.
+  const int64_t kWide = int64_t{3} << 31;
+  Tree wide_doc = MustParse("a(b,c)");
+  PqGramIndex wide_bag = BuildIndex(wide_doc, shape);
+  const PqGramFingerprint wide_fp = wide_bag.counts().begin()->first;
+  wide_bag.Add(wide_fp, kWide);
+  forest.AddIndex(1000, wide_bag);
+
+  std::vector<PqGramIndex> queries;
+  for (int q = 0; q < 3; ++q) {
+    queries.push_back(BuildIndex(GenerateDblpLike(dict, &rng, 60), shape));
+  }
+  PqGramIndex wide_query = BuildIndex(wide_doc, shape);
+  wide_query.Add(wide_fp, kWide + 999);
+  queries.push_back(std::move(wide_query));
+  queries.push_back(PqGramIndex(shape));
+
+  const double hostile[] = {-0.5, -1e308,
+                            -std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::quiet_NaN()};
+
+  for (int shards : {1, 4}) {
+    ASSERT_TRUE(SetSimdKernelForTesting(SimdKernel::kScalar));
+    auto scalar_engine = LookupEngine::Build(forest, shards);
+    for (SimdKernel kernel : kAllKernels) {
+      // A rejected kernel (wrong architecture / missing CPU feature)
+      // leaves the previous selection in place.
+      if (!SetSimdKernelForTesting(kernel)) continue;
+      auto engine = LookupEngine::Build(forest, shards);
+      for (const PqGramIndex& query : queries) {
+        for (double tau : kTaus) {
+          std::vector<LookupResult> want = forest.Lookup(query, tau);
+          ExpectSameResults(engine->Lookup(query, tau), want,
+                            SimdKernelName(kernel));
+          ExpectSameResults(engine->Lookup(query, tau, &pool), want,
+                            SimdKernelName(kernel));
+          // The snapshot built under the scalar kernel answers
+          // identically when scored by this kernel (same arenas).
+          ExpectSameResults(scalar_engine->Lookup(query, tau), want,
+                            "scalar snapshot under forced kernel");
+        }
+        for (double tau : hostile) {
+          EXPECT_TRUE(engine->Lookup(query, tau).empty())
+              << SimdKernelName(kernel);
+        }
+        for (int k : {0, 1, 5, 100}) {
+          ExpectSameResults(engine->TopK(query, k), forest.TopK(query, k),
+                            SimdKernelName(kernel));
+        }
+      }
+    }
   }
 }
 

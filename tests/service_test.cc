@@ -120,6 +120,17 @@ TEST(WireTest, RequestPayloadRoundTrips) {
     EXPECT_DOUBLE_EQ(decoded->tau, 0.75);
   }
   {
+    TopKRequest request;
+    request.query = bag;
+    request.k = 17;
+    ByteWriter writer;
+    request.Encode(&writer);
+    StatusOr<TopKRequest> decoded = TopKRequest::Decode(writer.data());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->query, bag);
+    EXPECT_EQ(decoded->k, 17);
+  }
+  {
     AddTreeRequest request;
     request.tree_id = -12;
     request.bag = bag;
@@ -181,6 +192,47 @@ TEST(WireTest, RequestPayloadRejectsMalformedBytes) {
   EXPECT_FALSE(
       AddTreeRequest::Decode(std::string_view(padded).substr(0, 3)).ok());
   EXPECT_FALSE(ApplyEditsRequest::Decode("\x01").ok());
+}
+
+TEST(WireTest, TopKRequestRejectsMalformedBytes) {
+  Rng rng(13);
+  TopKRequest request;
+  request.query =
+      BuildIndex(GenerateDblpLike(nullptr, &rng, 15), PqShape{2, 2});
+  request.k = 25;
+  ByteWriter writer;
+  request.Encode(&writer);
+  const std::string_view encoded = writer.data();
+
+  // Every strict prefix of a valid payload is rejected, never accepted
+  // with a partial bag or a default k.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(TopKRequest::Decode(encoded.substr(0, len)).ok())
+        << "prefix length " << len;
+  }
+  // Trailing garbage after a valid payload is rejected too.
+  EXPECT_FALSE(TopKRequest::Decode(std::string(encoded) + "x").ok());
+
+  // Hostile k: negative and above the decode bound.
+  for (int32_t k : {-1, -1000000, TopKRequest::kMaxK + 1,
+                    std::numeric_limits<int32_t>::max()}) {
+    TopKRequest bad;
+    bad.query = request.query;
+    bad.k = k;
+    ByteWriter bad_writer;
+    bad.Encode(&bad_writer);
+    StatusOr<TopKRequest> decoded = TopKRequest::Decode(bad_writer.data());
+    EXPECT_FALSE(decoded.ok()) << "k " << k;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << "k " << k;
+  }
+  // The bound itself is accepted.
+  TopKRequest max_request;
+  max_request.query = request.query;
+  max_request.k = TopKRequest::kMaxK;
+  ByteWriter max_writer;
+  max_request.Encode(&max_writer);
+  EXPECT_TRUE(TopKRequest::Decode(max_writer.data()).ok());
 }
 
 TEST(WireTest, StatusAndResponseRoundTrips) {
@@ -343,6 +395,18 @@ struct TestService {
   PipeListener* connect_point = nullptr;
 };
 
+// Counter value in a snapshot, or 0 when absent (registry cells are
+// process-wide and accumulate across servers, so tests compare deltas).
+int64_t CounterValue(const MetricsSnapshot& snap, std::string_view name) {
+  const MetricSample* sample = snap.Find(name);
+  return sample != nullptr ? sample->value : 0;
+}
+
+int64_t HistCount(const MetricsSnapshot& snap, std::string_view name) {
+  const MetricSample* sample = snap.Find(name);
+  return sample != nullptr ? sample->count : 0;
+}
+
 TEST(ServiceTest, ConnectLearnsShapeAndPings) {
   TestService service("svc_ping.db", PqShape{2, 3});
   std::unique_ptr<Client> client = service.MustConnect();
@@ -433,6 +497,161 @@ TEST(ServiceTest, ParallelLookupScoringMatchesInMemoryLibrary) {
   ASSERT_TRUE(stats.ok());
   EXPECT_GT(stats->snapshot_epoch, 1);
   EXPECT_GT(stats->candidates_scored, 0);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, TopKRoundTripMatchesInMemoryLibrary) {
+  const PqShape shape{2, 3};
+  TestService service("svc_topk.db", shape);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(37);
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex library(shape);
+  std::vector<Tree> trees;
+  for (TreeId id = 0; id < 12; ++id) {
+    trees.push_back(GenerateDblpLike(dict, &rng, 60));
+    ASSERT_TRUE(client->AddTree(id, trees.back()).ok());
+    library.AddTree(id, trees.back());
+  }
+
+  const MetricsSnapshot before = Metrics::Default().Snapshot();
+  for (int k : {1, 3, 7, 100}) {
+    for (TreeId id = 0; id < 3; ++id) {
+      StatusOr<std::vector<LookupResult>> remote =
+          client->TopK(trees[static_cast<size_t>(id)], k);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      std::vector<LookupResult> local =
+          library.TopK(trees[static_cast<size_t>(id)], k);
+      ASSERT_EQ(remote->size(), local.size()) << "k " << k;
+      for (size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ((*remote)[i].tree_id, local[i].tree_id);
+        EXPECT_DOUBLE_EQ((*remote)[i].distance, local[i].distance);
+      }
+    }
+  }
+  // k = 0 is a valid request for an empty answer.
+  StatusOr<std::vector<LookupResult>> none = client->TopK(trees[0], 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  // Out-of-range k never reaches the wire.
+  StatusOr<std::vector<LookupResult>> negative = client->TopK(trees[0], -1);
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<std::vector<LookupResult>> huge =
+      client->TopK(trees[0], TopKRequest::kMaxK + 1);
+  EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+
+  // The per-opcode histogram ticked once per accepted kTopK request,
+  // and the lookups counter includes them.
+  StatusOr<MetricsSnapshot> after = client->StatsSnapshot();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(
+      HistCount(*after, "server.topk_us") - HistCount(before, "server.topk_us"),
+      13);
+  service.server->Stop();
+}
+
+TEST(ServiceTest, QueryCacheServesRepeatsAndSurvivesEdits) {
+  const PqShape shape{2, 3};
+  ServerOptions options;
+  options.query_cache_mb = 8;
+  TestService service("svc_qcache.db", shape, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(41);
+  auto dict = std::make_shared<LabelDict>();
+  ForestIndex library(shape);
+  std::vector<Tree> trees;
+  for (TreeId id = 0; id < 10; ++id) {
+    trees.push_back(GenerateDblpLike(dict, &rng, 60));
+    ASSERT_TRUE(client->AddTree(id, trees.back()).ok());
+    library.AddTree(id, trees.back());
+  }
+
+  auto expect_matches_library = [&](const Tree& query, double tau,
+                                    const char* what) {
+    StatusOr<std::vector<LookupResult>> remote = client->Lookup(query, tau);
+    ASSERT_TRUE(remote.ok()) << what;
+    std::vector<LookupResult> local = library.Lookup(query, tau);
+    ASSERT_EQ(remote->size(), local.size()) << what;
+    for (size_t i = 0; i < local.size(); ++i) {
+      EXPECT_EQ((*remote)[i].tree_id, local[i].tree_id) << what;
+      EXPECT_DOUBLE_EQ((*remote)[i].distance, local[i].distance) << what;
+    }
+  };
+
+  // Cold then repeated: the repeats are served from the cache -- hit
+  // counters move, answers stay identical to the in-memory library.
+  const MetricsSnapshot before = Metrics::Default().Snapshot();
+  expect_matches_library(trees[0], 0.8, "cold");
+  StatusOr<MetricsSnapshot> cold = client->StatsSnapshot();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(CounterValue(*cold, "query_cache.misses") -
+                CounterValue(before, "query_cache.misses"),
+            0);
+
+  expect_matches_library(trees[0], 0.8, "warm 1");
+  expect_matches_library(trees[0], 0.8, "warm 2");
+  ASSERT_TRUE(client->TopK(trees[0], 5).ok());
+  ASSERT_TRUE(client->TopK(trees[0], 5).ok());
+  StatusOr<MetricsSnapshot> warm = client->StatsSnapshot();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(CounterValue(*warm, "query_cache.hits") -
+                CounterValue(*cold, "query_cache.hits"),
+            0);
+  EXPECT_GT(CounterValue(*warm, "query_cache.entries"), 0);
+  EXPECT_GT(CounterValue(*warm, "query_cache.bytes"), 0);
+
+  // An edit republishes the engine (incremental ApplyDelta) and the
+  // cache reconciles: stale entries for recompiled shards are dropped,
+  // and post-edit answers track the new index state exactly.
+  EditLog log;
+  GenerateEditScript(&trees[0], &rng, 12, EditScriptOptions{}, &log);
+  ASSERT_TRUE(library.ApplyLog(0, trees[0], log).ok());
+  ASSERT_TRUE(client->ApplyEdits(0, trees[0], log).ok());
+  for (double tau : {0.0, 0.5, 0.8, 1.0}) {
+    expect_matches_library(trees[0], tau, "post edit");
+    expect_matches_library(trees[0], tau, "post edit warm");
+  }
+  StatusOr<MetricsSnapshot> final_snap = client->StatsSnapshot();
+  ASSERT_TRUE(final_snap.ok());
+  EXPECT_GE(CounterValue(*final_snap, "query_cache.stale") -
+                CounterValue(before, "query_cache.stale"),
+            0);
+  service.server->Stop();
+  service.index->CheckConsistency();
+}
+
+TEST(ServiceTest, QueryCacheOffServesIdenticalAnswers) {
+  const PqShape shape{2, 2};
+  ServerOptions options;
+  options.query_cache_off = true;
+  TestService service("svc_qcache_off.db", shape, options);
+  std::unique_ptr<Client> client = service.MustConnect();
+
+  Rng rng(43);
+  ForestIndex library(shape);
+  std::vector<Tree> trees;
+  for (TreeId id = 0; id < 6; ++id) {
+    trees.push_back(GenerateDblpLike(nullptr, &rng, 40));
+    ASSERT_TRUE(client->AddTree(id, trees.back()).ok());
+    library.AddTree(id, trees.back());
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    StatusOr<std::vector<LookupResult>> remote = client->Lookup(trees[1], 0.7);
+    ASSERT_TRUE(remote.ok());
+    std::vector<LookupResult> local = library.Lookup(trees[1], 0.7);
+    ASSERT_EQ(remote->size(), local.size());
+    for (size_t i = 0; i < local.size(); ++i) {
+      EXPECT_EQ((*remote)[i].tree_id, local[i].tree_id);
+      EXPECT_DOUBLE_EQ((*remote)[i].distance, local[i].distance);
+    }
+    StatusOr<std::vector<LookupResult>> top = client->TopK(trees[1], 4);
+    ASSERT_TRUE(top.ok());
+    std::vector<LookupResult> local_top = library.TopK(trees[1], 4);
+    ASSERT_EQ(top->size(), local_top.size());
+  }
   service.server->Stop();
 }
 
@@ -771,18 +990,6 @@ void RunStressWorkload(TestService* service,
 }
 
 // --- observability (kStatsSnapshot + slow-op log) -----------------------
-
-// Counter value in a snapshot, or 0 when absent (registry cells are
-// process-wide and accumulate across servers, so tests compare deltas).
-int64_t CounterValue(const MetricsSnapshot& snap, std::string_view name) {
-  const MetricSample* sample = snap.Find(name);
-  return sample != nullptr ? sample->value : 0;
-}
-
-int64_t HistCount(const MetricsSnapshot& snap, std::string_view name) {
-  const MetricSample* sample = snap.Find(name);
-  return sample != nullptr ? sample->count : 0;
-}
 
 TEST(ServiceTest, StatsSnapshotRoundTripsOverPipe) {
   const PqShape shape{2, 3};

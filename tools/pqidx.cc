@@ -8,11 +8,13 @@
 //   pqidx info   <index-file>
 //       Prints per-tree and total index statistics.
 //
-//   pqidx lookup <index-file | host:port> <query.xml> [tau]
+//   pqidx lookup <index-file | host:port> <query.xml> [tau] [--topk K]
 //       Approximate lookup: all indexed trees within pq-gram distance tau
 //       (default 0.5) of the query document, most similar first. With
 //       host:port, runs the lookup against a live pqidxd (a leader or a
-//       --follow standby) instead of a snapshot file.
+//       --follow standby) instead of a snapshot file. --topk K asks for
+//       the K most similar trees instead of a distance threshold (the
+//       kTopK opcode when remote); tau is then ignored.
 //
 //   pqidx update <index-file> <tree-id> <old.xml> <new.xml>
 //       Diffs the two versions (optimal root-preserving edit script),
@@ -44,6 +46,7 @@
 //               [--commit-pipeline-depth D] [--full-rebuild-every N]
 //               [--staging-threads N] [--replication-history N]
 //               [--replication-max-queue N] [--follow HOST:PORT]
+//               [--query-cache-mb N] [--query-cache-off]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
 //       index file with the given shape if it does not exist. With
@@ -55,7 +58,11 @@
 //       are maintained incrementally (copy-on-write per shard), with a
 //       full defragmenting rebuild every --full-rebuild-every publishes
 //       (0 = never). Stop with SIGINT/SIGTERM; final service statistics
-//       and the full registry are printed on exit.
+//       and the full registry are printed on exit. --query-cache-mb N
+//       sizes the epoch-keyed query-result cache serving kLookup/kTopK
+//       (default 32 MiB; hit/miss/evict/stale counters show up as
+//       query_cache.* in `pqidx stats host:port`); --query-cache-off
+//       disables it.
 //
 //       Any serving pqidxd is also a replication leader: followers
 //       subscribe to its committed-batch stream. --replication-history N
@@ -125,7 +132,8 @@ int Usage() {
                "  pqidx build  <index-file> [-p P] [-q Q] [-t THREADS] "
                "<doc.xml>...\n"
                "  pqidx info   <index-file>\n"
-               "  pqidx lookup <index-file | host:port> <query.xml> [tau]\n"
+               "  pqidx lookup <index-file | host:port> <query.xml> [tau] "
+               "[--topk K]\n"
                "  pqidx update <index-file> <tree-id> <old.xml> <new.xml>\n"
                "  pqidx dist   <a.xml> <b.xml> [-p P] [-q Q] [--ted] "
                "[--canonical]\n"
@@ -139,6 +147,7 @@ int Usage() {
                "[--full-rebuild-every N] [--staging-threads N]\n"
                "               [--replication-history N] "
                "[--replication-max-queue N] [--follow HOST:PORT]\n"
+               "               [--query-cache-mb N] [--query-cache-off]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
   return 2;
 }
@@ -238,11 +247,12 @@ void PrintHits(const std::vector<LookupResult>& hits, double tau) {
   }
 }
 
-// `pqidx lookup host:port query.xml [tau]`: run the lookup on a live
-// pqidxd (a leader or a --follow standby) instead of a snapshot file.
-// The query tree parses locally; only its pq-gram bag crosses the wire.
+// `pqidx lookup host:port query.xml [tau] [--topk K]`: run the lookup
+// (or, with --topk, the kTopK request) on a live pqidxd (a leader or a
+// --follow standby) instead of a snapshot file. The query tree parses
+// locally; only its pq-gram bag crosses the wire.
 int CmdRemoteLookup(const std::string& endpoint, const std::string& query_path,
-                    double tau) {
+                    double tau, int topk) {
   size_t colon = endpoint.rfind(':');
   std::string host = endpoint.substr(0, colon);
   int port = std::atoi(endpoint.c_str() + colon + 1);
@@ -257,6 +267,14 @@ int CmdRemoteLookup(const std::string& endpoint, const std::string& query_path,
       [&host, port]() { return TcpConnect(host, static_cast<uint16_t>(port)); },
       policy);
   if (!client.ok()) return Fail(client.status());
+  if (topk >= 0) {
+    StatusOr<std::vector<LookupResult>> hits = (*client)->TopK(*query, topk);
+    if (!hits.ok()) return Fail(hits.status());
+    for (const LookupResult& hit : *hits) {
+      std::printf("tree %-4d dist %.4f\n", hit.tree_id, hit.distance);
+    }
+    return 0;
+  }
   StatusOr<std::vector<LookupResult>> hits = (*client)->Lookup(*query, tau);
   if (!hits.ok()) return Fail(hits.status());
   PrintHits(*hits, tau);
@@ -264,16 +282,33 @@ int CmdRemoteLookup(const std::string& endpoint, const std::string& query_path,
 }
 
 int CmdLookup(std::vector<std::string> args) {
+  int topk = -1;  // < 0: threshold lookup
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--topk" && i + 1 < args.size()) {
+      topk = std::atoi(args[++i].c_str());
+      if (topk < 0) return Usage();
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
   if (args.size() < 2 || args.size() > 3) return Usage();
   double tau = args.size() == 3 ? std::atof(args[2].c_str()) : 0.5;
   // host:port targets a live server; anything else is an index file.
   if (args[0].find(':') != std::string::npos) {
-    return CmdRemoteLookup(args[0], args[1], tau);
+    return CmdRemoteLookup(args[0], args[1], tau, topk);
   }
   StatusOr<ForestIndex> forest = LoadForestIndex(args[0]);
   if (!forest.ok()) return Fail(forest.status());
   StatusOr<Tree> query = ParseXmlFile(args[1]);
   if (!query.ok()) return Fail(query.status());
+  if (topk >= 0) {
+    for (const LookupResult& hit : forest->TopK(*query, topk)) {
+      std::printf("tree %-4d dist %.4f\n", hit.tree_id, hit.distance);
+    }
+    return 0;
+  }
   PrintHits(forest->Lookup(*query, tau), tau);
   return 0;
 }
@@ -522,6 +557,8 @@ int CmdServe(std::vector<std::string> args) {
   ServerOptions defaults;
   int replication_history = defaults.replication_history;
   int replication_max_queue = defaults.replication_max_queue;
+  int query_cache_mb = defaults.query_cache_mb;
+  bool query_cache_off = defaults.query_cache_off;
   std::string follow;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -546,6 +583,10 @@ int CmdServe(std::vector<std::string> args) {
       replication_max_queue = std::atoi(args[++i].c_str());
     } else if (args[i] == "--follow" && i + 1 < args.size()) {
       follow = args[++i];
+    } else if (args[i] == "--query-cache-mb" && i + 1 < args.size()) {
+      query_cache_mb = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--query-cache-off") {
+      query_cache_off = true;
     } else {
       rest.push_back(args[i]);
     }
@@ -553,7 +594,8 @@ int CmdServe(std::vector<std::string> args) {
   if (rest.size() != 1 || port < 0 || port > 65535 || threads < 1 ||
       lookup_threads < 0 || stats_interval < 0 || pipeline_depth < 1 ||
       full_rebuild_every < 0 || staging_threads < 0 ||
-      replication_history < 1 || replication_max_queue < 1) {
+      replication_history < 1 || replication_max_queue < 1 ||
+      query_cache_mb < 0) {
     return Usage();
   }
   const std::string& index_path = rest[0];
@@ -598,6 +640,8 @@ int CmdServe(std::vector<std::string> args) {
   options.staging_threads = staging_threads;
   options.replication_history = replication_history;
   options.replication_max_queue = replication_max_queue;
+  options.query_cache_mb = query_cache_mb;
+  options.query_cache_off = query_cache_off;
   Server server(index->get(), options);
   if (Status s = server.Start(std::move(*listener)); !s.ok()) {
     return Fail(s);
