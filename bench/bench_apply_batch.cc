@@ -43,7 +43,7 @@ PqGramIndex RandomBag(const PqShape& shape, Rng* rng, int tuples) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  JsonReport report("WRITE", argc, argv);
+  ReportBuilder report("WRITE", argc, argv);
   const PqShape shape{2, 3};
 
   // --- Section 1: incremental vs full snapshot publish -----------------
@@ -207,13 +207,9 @@ int main(int argc, char** argv) {
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
 
-  report.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
+  report.AddRegistry();
 
-  if (publish_speedup < 5.0) {
-    std::fprintf(stderr,
-                 "incremental publish speedup %.1fx below the 5x bar\n",
-                 publish_speedup);
-    return 1;
-  }
-  return 0;
+  report.Require(publish_speedup >= 5.0,
+                 "incremental publish speedup below the 5x bar");
+  return report.ExitCode();
 }

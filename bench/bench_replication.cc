@@ -125,13 +125,14 @@ bool CloneStore(const std::string& from, const std::string& to) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  JsonReport report("REPL", argc, argv);
+  ReportBuilder report("REPL", argc, argv);
   const PqShape shape{2, 3};
   const int kTrees = Scaled(10000);
   const int kNodes = 30;
   const int kMissed = kTrees / 100 > 0 ? kTrees / 100 : 1;
   // The fsync floor under catch-up makes the 5x bar unreachable on tiny
-  // forests; only enforce it when the run is at (near) full scale.
+  // forests; only enforce it when the run is at (near) full scale
+  // (RequireAtScale below uses the matching scale threshold).
   const bool kEnforceGate = kTrees >= 5000;
   const std::string leader_path = "/tmp/pqidx_bench_repl_leader.idx";
   const std::string follower_path = "/tmp/pqidx_bench_repl_follower.idx";
@@ -232,13 +233,10 @@ int main(int argc, char** argv) {
     server.Stop();
     RemoveStore(leader_path);
     RemoveStore(follower_path);
-    report.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
+    report.AddRegistry();
 
-    if (kEnforceGate && speedup < 5.0) {
-      std::fprintf(stderr,
-                   "catch-up speedup %.1fx below the 5x bar\n", speedup);
-      return 1;
-    }
+    report.RequireAtScale(speedup >= 5.0, 0.5,
+                          "catch-up speedup below the 5x bar");
   }
-  return 0;
+  return report.ExitCode();
 }

@@ -33,14 +33,6 @@ using namespace pqidx::bench;
 
 namespace {
 
-double Percentile(std::vector<double>* sorted_in_place, double pct) {
-  std::vector<double>& v = *sorted_in_place;
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  size_t rank = static_cast<size_t>(pct / 100.0 * (v.size() - 1) + 0.5);
-  return v[std::min(rank, v.size() - 1)];
-}
-
 struct ClientResult {
   std::vector<double> lookup_s;
   std::vector<double> edit_s;
@@ -277,7 +269,7 @@ double RunWriteWorkload(const WriteWorkloadConfig& cfg, const PqShape& shape,
 }  // namespace
 
 int main(int argc, char** argv) {
-  JsonReport report("service_loadgen", argc, argv);
+  ReportBuilder report("service_loadgen", argc, argv);
   const PqShape shape{2, 3};
   const int kClients = 8;
   const int kTreesPerClient = 8;
@@ -393,12 +385,9 @@ int main(int argc, char** argv) {
 
   std::printf("%-28s %10.0f req/s\n", "throughput",
               ok.load() ? requests / wall_s : 0);
-  std::printf("%-28s %10.3f ms  p95 %.3f  p99 %.3f\n", "lookup latency p50",
-              Percentile(&lookups, 50) * 1e3, Percentile(&lookups, 95) * 1e3,
-              Percentile(&lookups, 99) * 1e3);
-  std::printf("%-28s %10.3f ms  p95 %.3f  p99 %.3f\n", "edit latency p50",
-              Percentile(&edits, 50) * 1e3, Percentile(&edits, 95) * 1e3,
-              Percentile(&edits, 99) * 1e3);
+  report.Add("throughput", requests / wall_s, "req/s");
+  report.AddLatencyMs("lookup", &lookups);
+  report.AddLatencyMs("edit", &edits);
   std::printf("%-28s %10lld edits / %lld commits = %.2f edits/commit "
               "(largest batch %lld)\n",
               "group commit",
@@ -407,30 +396,18 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.max_batch));
   std::printf("%-28s %10d\n", "client-visible failures", failures);
 
-  report.Add("throughput", requests / wall_s, "req/s");
-  report.Add("lookup_p50", Percentile(&lookups, 50) * 1e3, "ms");
-  report.Add("lookup_p95", Percentile(&lookups, 95) * 1e3, "ms");
-  report.Add("lookup_p99", Percentile(&lookups, 99) * 1e3, "ms");
-  report.Add("edit_p50", Percentile(&edits, 50) * 1e3, "ms");
-  report.Add("edit_p95", Percentile(&edits, 95) * 1e3, "ms");
-  report.Add("edit_p99", Percentile(&edits, 99) * 1e3, "ms");
   report.Add("edits_applied", static_cast<double>(stats.edits_applied));
   report.Add("edit_commits", static_cast<double>(stats.edit_commits));
   report.Add("edits_per_commit", batching);
   report.Add("max_batch", static_cast<double>(stats.max_batch));
   report.Add("failures", failures);
 
-  if (!ok.load() || failures > 0) {
-    std::fprintf(stderr, "loadgen saw failures\n");
-    return 1;
-  }
-  if (stats.edit_commits > 0 && stats.max_batch < 2) {
-    // With 8 concurrent writers and a 200us hold, batches of one mean
-    // group commit is broken; fail loudly so CI notices.
-    std::fprintf(stderr, "group commit did not batch (max batch %lld)\n",
-                 static_cast<long long>(stats.max_batch));
-    return 1;
-  }
+  report.Require(ok.load() && failures == 0, "loadgen saw failures");
+  // With 8 concurrent writers and a 200us hold, batches of one mean
+  // group commit is broken; fail loudly so CI notices.
+  report.Require(!(stats.edit_commits > 0 && stats.max_batch < 2),
+                 "group commit did not batch (max batch " +
+                     std::to_string(stats.max_batch) + ")");
   std::remove(path.c_str());
 
   // Reader scaling: lookup-only throughput as concurrent readers grow.
@@ -578,6 +555,6 @@ int main(int argc, char** argv) {
 
   // Embed the full process-wide registry so the BENCH json carries every
   // counter/gauge/histogram the run produced.
-  report.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
-  return 0;
+  report.AddRegistry();
+  return report.ExitCode();
 }

@@ -5,11 +5,14 @@
 #ifndef PQIDX_BENCH_BENCH_UTIL_H_
 #define PQIDX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "common/metrics.h"
 
 namespace pqidx::bench {
 
@@ -51,6 +54,15 @@ double TimeIt(Fn&& fn) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Nearest-rank percentile over per-op samples; sorts in place.
+inline double Percentile(std::vector<double>* sorted_in_place, double pct) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(pct / 100.0 * (v.size() - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
 }
 
 // Machine-readable bench output. Construct with the bench name and main's
@@ -156,6 +168,73 @@ class JsonReport {
   std::string path_;
   std::vector<Metric> metrics_;
   std::vector<RawSection> raw_sections_;
+};
+
+// The shared per-bench report shell: wraps JsonReport with the
+// boilerplate every bench used to hand-roll -- latency-percentile rows,
+// the embedded metrics registry, and within-run acceptance gates with a
+// single exit code. Gates follow the committed convention: Require()
+// always fails the run; RequireAtScale() enforces only at (near) full
+// scale and reports-but-waives below it, so CI's reduced
+// PQIDX_BENCH_SCALE smokes the sweep without flaking on machine noise.
+class ReportBuilder {
+ public:
+  ReportBuilder(std::string bench_name, int argc = 0, char** argv = nullptr)
+      : name_(bench_name), report_(std::move(bench_name), argc, argv) {}
+
+  JsonReport& json() { return report_; }
+
+  void Add(const std::string& name, double value,
+           const std::string& unit = "") {
+    report_.Add(name, value, unit);
+  }
+
+  // Records <prefix>_p50/_p95/_p99 (milliseconds) from per-op latencies
+  // in seconds and prints the aligned row.
+  void AddLatencyMs(const std::string& prefix, std::vector<double>* seconds) {
+    const double p50 = Percentile(seconds, 50) * 1e3;
+    const double p95 = Percentile(seconds, 95) * 1e3;
+    const double p99 = Percentile(seconds, 99) * 1e3;
+    std::printf("%-28s %10.3f ms  p95 %.3f  p99 %.3f\n",
+                (prefix + " latency p50").c_str(), p50, p95, p99);
+    report_.Add(prefix + "_p50", p50, "ms");
+    report_.Add(prefix + "_p95", p95, "ms");
+    report_.Add(prefix + "_p99", p99, "ms");
+  }
+
+  // Embeds the full process-wide metrics registry, which is what CI
+  // parse-asserts in every BENCH_*.json.
+  void AddRegistry() {
+    report_.AddRawSection("registry", Metrics::Default().Snapshot().ToJson());
+  }
+
+  // Within-run acceptance gate: a false `ok` fails the run (ExitCode 1).
+  void Require(bool ok, const std::string& message) {
+    if (ok) return;
+    failed_ = true;
+    std::fprintf(stderr, "%s: FAILED: %s\n", name_.c_str(), message.c_str());
+  }
+
+  // Enforces the gate only at PQIDX_BENCH_SCALE >= min_scale; below it
+  // a failing condition is reported and waived.
+  void RequireAtScale(bool ok, double min_scale, const std::string& message) {
+    if (Scale() >= min_scale) {
+      Require(ok, message);
+      return;
+    }
+    if (!ok) {
+      std::printf("%s: gate waived at scale %g (< %g): %s\n", name_.c_str(),
+                  Scale(), min_scale, message.c_str());
+    }
+  }
+
+  bool failed() const { return failed_; }
+  int ExitCode() const { return failed_ ? 1 : 0; }
+
+ private:
+  std::string name_;
+  JsonReport report_;
+  bool failed_ = false;
 };
 
 }  // namespace pqidx::bench

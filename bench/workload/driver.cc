@@ -1,0 +1,335 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/lookup_engine.h"
+#include "service/client.h"
+#include "workload/oracle.h"
+
+namespace pqidx::workload {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Per-client execution state: its connection, its slice of the op
+// stream, its owned bags (the client-side replica every ApplyDeltas
+// call is synthesized from), and its share of the measurements.
+struct ClientState {
+  std::unique_ptr<Client> client;
+  std::vector<Op> ops;
+  std::map<TreeId, PqGramIndex> bags;
+  std::vector<double> lookup_s;
+  std::vector<double> topk_s;
+  std::vector<double> edit_s;
+  int failures = 0;
+};
+
+// Runs ops [begin, end) of one client's stream. Queries are anchored on
+// the *initial* seeded bags (`forest`), so they are well-defined even
+// while concurrent edits keep the served state in flux; the oracle's
+// quiesce-point sweeps are where answers are checked.
+void RunSlice(const ForestIndex& forest, ClientState* state, int begin,
+              int end) {
+  for (int i = begin; i < end && i < static_cast<int>(state->ops.size());
+       ++i) {
+    const Op& op = state->ops[static_cast<size_t>(i)];
+    switch (op.kind) {
+      case OpKind::kLookup: {
+        const PqGramIndex* base = forest.Find(op.tree);
+        if (base == nullptr) { ++state->failures; break; }
+        PqGramIndex query = MakeQuery(*base, op.noise_seed);
+        auto start = std::chrono::steady_clock::now();
+        StatusOr<std::vector<LookupResult>> hits =
+            state->client->Lookup(query, op.tau);
+        state->lookup_s.push_back(SecondsSince(start));
+        if (!hits.ok()) ++state->failures;
+        break;
+      }
+      case OpKind::kTopK: {
+        const PqGramIndex* base = forest.Find(op.tree);
+        if (base == nullptr) { ++state->failures; break; }
+        PqGramIndex query = MakeQuery(*base, op.noise_seed);
+        auto start = std::chrono::steady_clock::now();
+        StatusOr<std::vector<LookupResult>> hits =
+            state->client->TopK(query, op.k);
+        state->topk_s.push_back(SecondsSince(start));
+        if (!hits.ok()) ++state->failures;
+        break;
+      }
+      case OpKind::kEdit: {
+        auto it = state->bags.find(op.tree);
+        if (it == state->bags.end()) { ++state->failures; break; }
+        BagDelta delta = SynthesizeDelta(it->second, op.noise_seed);
+        auto start = std::chrono::steady_clock::now();
+        Status s = state->client->ApplyDeltas(op.tree, delta.plus,
+                                              delta.minus, 1);
+        state->edit_s.push_back(SecondsSince(start));
+        if (s.ok()) {
+          ApplyDeltaToBag(&it->second, delta);
+        } else {
+          ++state->failures;
+        }
+        break;
+      }
+    }
+  }
+}
+
+// Applies `burst_trees` x `burst_depth` ephemeral deltas through
+// `control` and reverts them in exact reverse order, asserting the
+// post-revert index answers a pinned query grid bit-identically. With
+// an in-process server, also pins the engine snapshots on both sides of
+// the burst and proves the reverted epoch carries identical content in
+// freshly recompiled shards.
+Status RunBursts(const WorkloadSpec& spec, const DriverOptions& options,
+                 const ForestIndex& mirror, Client* control, int round,
+                 RunResult* result) {
+  std::vector<BurstPlan> plans =
+      PlanBursts(spec, mirror, static_cast<uint64_t>(round));
+  if (plans.empty()) return Status::Ok();
+
+  auto diverged = [&](const std::string& what) {
+    return DataLossError("ephemeral burst divergence [" + DescribeSpec(spec) +
+                         ", round " + std::to_string(round) + "]: " + what);
+  };
+
+  // Pin the query grid and the pre-burst answers.
+  std::vector<double> taus = spec.taus;
+  taus.push_back(1.0);
+  Rng rng(spec.seed ^ (0xb57ULL + static_cast<uint64_t>(round) * 0x9e3779b97f4a7c15ULL));
+  std::vector<PqGramIndex> queries;
+  for (const BurstPlan& plan : plans) {
+    const PqGramIndex* base = mirror.Find(plan.tree);
+    if (base != nullptr) queries.push_back(MakeQuery(*base, rng.Next()));
+  }
+  std::vector<std::vector<LookupResult>> pre;
+  std::vector<std::vector<LookupResult>> pre_topk;
+  for (const PqGramIndex& query : queries) {
+    for (double tau : taus) {
+      StatusOr<std::vector<LookupResult>> hits = control->Lookup(query, tau);
+      if (!hits.ok()) return hits.status();
+      pre.push_back(std::move(*hits));
+    }
+    StatusOr<std::vector<LookupResult>> hits =
+        control->TopK(query, spec.topk_k);
+    if (!hits.ok()) return hits.status();
+    pre_topk.push_back(std::move(*hits));
+  }
+  StatusOr<ServiceStats> pre_stats = control->Stats();
+  if (!pre_stats.ok()) return pre_stats.status();
+  std::shared_ptr<const LookupEngine> pre_engine;
+  if (options.server != nullptr) {
+    pre_engine = options.server->EngineSnapshotForTesting();
+  }
+
+  // Apply, then revert in exact reverse order with inverted deltas.
+  for (const BurstPlan& plan : plans) {
+    for (const BagDelta& delta : plan.deltas) {
+      PQIDX_RETURN_IF_ERROR(
+          control->ApplyDeltas(plan.tree, delta.plus, delta.minus, 1));
+    }
+  }
+  for (auto plan = plans.rbegin(); plan != plans.rend(); ++plan) {
+    for (auto delta = plan->deltas.rbegin(); delta != plan->deltas.rend();
+         ++delta) {
+      BagDelta inverse = Inverse(*delta);
+      PQIDX_RETURN_IF_ERROR(
+          control->ApplyDeltas(plan->tree, inverse.plus, inverse.minus, 1));
+    }
+  }
+
+  // Post-revert, the served answers must be bit-identical to the
+  // pre-burst ones (commit-before-ack + publish-before-ack: the last
+  // revert's response means the reverted snapshot is live).
+  size_t slot = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (double tau : taus) {
+      StatusOr<std::vector<LookupResult>> hits =
+          control->Lookup(queries[q], tau);
+      if (!hits.ok()) return hits.status();
+      ++result->burst_comparisons;
+      std::string diff = DescribeResultDiff(pre[slot++], *hits);
+      if (!diff.empty()) {
+        return diverged("post-revert Lookup(tau " + std::to_string(tau) +
+                        ") differs from pre-burst: " + diff);
+      }
+    }
+    StatusOr<std::vector<LookupResult>> hits =
+        control->TopK(queries[q], spec.topk_k);
+    if (!hits.ok()) return hits.status();
+    ++result->burst_comparisons;
+    std::string diff = DescribeResultDiff(pre_topk[q], *hits);
+    if (!diff.empty()) {
+      return diverged("post-revert TopK differs from pre-burst: " + diff);
+    }
+  }
+
+  // The burst must have really gone through the publish path: every
+  // apply and revert is a committed batch, so the epoch advanced.
+  StatusOr<ServiceStats> post_stats = control->Stats();
+  if (!post_stats.ok()) return post_stats.status();
+  if (post_stats->snapshot_epoch <= pre_stats->snapshot_epoch) {
+    return diverged("snapshot_epoch did not advance across the burst (" +
+                    std::to_string(pre_stats->snapshot_epoch) + " -> " +
+                    std::to_string(post_stats->snapshot_epoch) + ")");
+  }
+
+  // In-process deep check: the reverted epoch's snapshot serves content
+  // identical to the pinned pre-burst snapshot -- same tree count, same
+  // posting volume, same answers when scored directly (no cache in the
+  // way) -- even though the touched shards were recompiled under fresh
+  // uids (which is what keeps the query cache from ever serving a
+  // pre-revert entry).
+  if (pre_engine != nullptr) {
+    std::shared_ptr<const LookupEngine> post_engine =
+        options.server->EngineSnapshotForTesting();
+    if (post_engine->size() != pre_engine->size() ||
+        post_engine->posting_entries() != pre_engine->posting_entries()) {
+      return diverged(
+          "post-revert snapshot shape differs: size " +
+          std::to_string(pre_engine->size()) + " -> " +
+          std::to_string(post_engine->size()) + ", posting entries " +
+          std::to_string(pre_engine->posting_entries()) + " -> " +
+          std::to_string(post_engine->posting_entries()));
+    }
+    if (post_engine->ShardUids() == pre_engine->ShardUids()) {
+      return diverged(
+          "burst published no new shard uids -- the apply/revert epochs "
+          "never recompiled a shard");
+    }
+    for (const PqGramIndex& query : queries) {
+      for (double tau : taus) {
+        ++result->burst_comparisons;
+        std::string diff = DescribeResultDiff(pre_engine->Lookup(query, tau),
+                                              post_engine->Lookup(query, tau));
+        if (!diff.empty()) {
+          return diverged("pinned pre-burst engine vs post-revert engine "
+                          "(tau " + std::to_string(tau) + "): " + diff);
+        }
+      }
+    }
+  }
+
+  result->bursts += static_cast<int64_t>(plans.size());
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec, const Dialer& dial,
+                                const DriverOptions& options) {
+  if (spec.num_trees < 1 || spec.num_clients < 1 ||
+      spec.num_trees < spec.num_clients) {
+    return InvalidArgumentError(
+        "workload spec needs num_trees >= num_clients >= 1");
+  }
+  if (spec.rounds < 1 || spec.taus.empty()) {
+    return InvalidArgumentError("workload spec needs rounds >= 1 and taus");
+  }
+
+  // The control connection seeds the forest and later carries oracle
+  // sweeps and bursts.
+  StatusOr<std::unique_ptr<Client>> control =
+      Client::ConnectWithRetry(dial, options.connect_policy, spec.seed);
+  if (!control.ok()) return control.status();
+  const ForestIndex forest = SeedForest(spec);
+  for (TreeId id = 0; id < spec.num_trees; ++id) {
+    PQIDX_RETURN_IF_ERROR((*control)->AddIndex(id, *forest.Find(id)));
+  }
+
+  std::unique_ptr<Oracle> oracle;
+  if (options.oracle) oracle = std::make_unique<Oracle>(spec);
+
+  std::vector<ClientState> states(static_cast<size_t>(spec.num_clients));
+  for (int c = 0; c < spec.num_clients; ++c) {
+    ClientState& state = states[static_cast<size_t>(c)];
+    StatusOr<std::unique_ptr<Client>> client = Client::ConnectWithRetry(
+        dial, options.connect_policy, spec.seed + 100 + static_cast<uint64_t>(c));
+    if (!client.ok()) return client.status();
+    state.client = std::move(client).value();
+    state.ops = ClientOps(spec, c);
+    TreeId begin = 0;
+    TreeId end = 0;
+    OwnedRange(spec, c, &begin, &end);
+    for (TreeId id = begin; id < end; ++id) {
+      state.bags.emplace(id, *forest.Find(id));
+    }
+  }
+
+  RunResult result;
+  const int chunk = (spec.ops_per_client + spec.rounds - 1) / spec.rounds;
+  for (int round = 0; round < spec.rounds; ++round) {
+    const int begin = round * chunk;
+    const int end = std::min(spec.ops_per_client, begin + chunk);
+    if (begin < end) {
+      auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      threads.reserve(states.size());
+      for (ClientState& state : states) {
+        threads.emplace_back([&forest, &state, begin, end] {
+          RunSlice(forest, &state, begin, end);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      result.work_s += SecondsSince(start);
+    }
+
+    // Quiesce point: every edit of the round is acked (and published --
+    // pqidxd publishes before the ack), so the served state equals the
+    // mirror after the same slice.
+    if (oracle != nullptr) {
+      oracle->Advance(begin, end);
+      PQIDX_RETURN_IF_ERROR(oracle->Check(
+          control->get(), static_cast<uint64_t>(round)));
+    }
+    if (spec.burst_trees > 0 && spec.burst_depth > 0) {
+      // Bursts need a bag-accurate view of the forest to synthesize
+      // valid deltas; that is the oracle's mirror.
+      if (oracle == nullptr) {
+        return FailedPreconditionError(
+            "ephemeral bursts require the oracle (the mirror supplies "
+            "current bag state)");
+      }
+      PQIDX_RETURN_IF_ERROR(RunBursts(spec, options, oracle->mirror(),
+                                      control->get(), round, &result));
+      // The burst is ephemeral by construction: the mirror is untouched.
+      PQIDX_RETURN_IF_ERROR(oracle->Check(
+          control->get(), 0x5000 + static_cast<uint64_t>(round)));
+    }
+  }
+
+  for (ClientState& state : states) {
+    result.lookups += static_cast<int64_t>(state.lookup_s.size());
+    result.topks += static_cast<int64_t>(state.topk_s.size());
+    result.edits += static_cast<int64_t>(state.edit_s.size());
+    result.failures += state.failures;
+    result.lookup_s.insert(result.lookup_s.end(), state.lookup_s.begin(),
+                           state.lookup_s.end());
+    result.topk_s.insert(result.topk_s.end(), state.topk_s.begin(),
+                         state.topk_s.end());
+    result.edit_s.insert(result.edit_s.end(), state.edit_s.begin(),
+                         state.edit_s.end());
+    state.client->Close();
+  }
+  if (oracle != nullptr) {
+    result.oracle_checks = oracle->checks();
+    result.oracle_comparisons = oracle->comparisons();
+  }
+  StatusOr<ServiceStats> stats = (*control)->Stats();
+  if (!stats.ok()) return stats.status();
+  result.stats = *stats;
+  (*control)->Close();
+  return result;
+}
+
+}  // namespace pqidx::workload

@@ -1,0 +1,86 @@
+// The workload driver: executes a WorkloadSpec against a live pqidxd
+// endpoint (pipe or TCP -- anything a Dialer can reach) with one
+// connection per client thread, and interleaves differential-oracle
+// checks and ephemeral-edit bursts at quiesce points.
+//
+// Execution is round-based: every client runs the same slice of its
+// seeded op stream concurrently, the driver joins them (a quiesce --
+// every edit is acked, and pqidxd publishes the snapshot before the
+// ack, so the served state is exactly the mirror's state), then the
+// oracle advances its mirror through the same slice and sweeps the
+// server (oracle.h). Mid-round lookups are throughput traffic over an
+// index in flux; correctness is asserted at the quiesce points, where
+// the state is uniquely determined by the spec.
+//
+// Ephemeral bursts run at round boundaries on the control connection:
+// `burst_trees` trees each get `burst_depth` deltas applied and then
+// reverted in reverse order (bag arithmetic over integer counts is
+// exact, so the inverse run restores every bag bit-for-bit). The driver
+// pins a set of seeded queries before the burst and asserts the
+// post-revert answers are bit-identical; with an in-process Server it
+// additionally pins the pre-burst engine snapshot and proves the
+// post-revert epoch serves identical content from recompiled (fresh
+// uid) shards.
+
+#ifndef PQIDX_BENCH_WORKLOAD_DRIVER_H_
+#define PQIDX_BENCH_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "service/retry.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "workload/workload.h"
+
+namespace pqidx::workload {
+
+struct DriverOptions {
+  // Run the differential oracle (mirror replay + sweeps at every round
+  // boundary). Requires the server to start empty: the driver seeds it
+  // from the spec. Off turns the run into a pure load generator.
+  bool oracle = true;
+  // When the server runs in-process, passing it enables the deep burst
+  // checks (pinned snapshot content, fresh shard uids after revert).
+  Server* server = nullptr;
+  // Connect retry policy for every connection the driver opens.
+  BackoffPolicy connect_policy;
+
+  DriverOptions() { connect_policy.max_attempts = 5; }
+};
+
+// Everything one run produced. Latency vectors are per-opcode
+// wall-clock seconds, one entry per request, across all clients.
+struct RunResult {
+  double work_s = 0;  // summed round execution time (excludes checks)
+  int64_t lookups = 0;
+  int64_t topks = 0;
+  int64_t edits = 0;
+  int failures = 0;  // client-visible request failures
+  std::vector<double> lookup_s;
+  std::vector<double> topk_s;
+  std::vector<double> edit_s;
+  int64_t oracle_checks = 0;
+  int64_t oracle_comparisons = 0;
+  int64_t bursts = 0;             // burst trees applied + reverted
+  int64_t burst_comparisons = 0;  // pre/post result-list comparisons
+  ServiceStats stats{};           // server stats after the run
+
+  double throughput() const {
+    const double ops = static_cast<double>(lookups + topks + edits);
+    return work_s > 0 ? ops / work_s : 0;
+  }
+};
+
+// Runs the full scenario: seeds the forest through `dial`, executes
+// every client's stream in `spec.rounds` rounds, and runs oracle sweeps
+// and bursts at the boundaries. Returns the run's measurements, or the
+// first error -- oracle divergence comes back as DATA_LOSS with a
+// reproduction hint.
+StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec, const Dialer& dial,
+                                const DriverOptions& options);
+
+}  // namespace pqidx::workload
+
+#endif  // PQIDX_BENCH_WORKLOAD_DRIVER_H_

@@ -1,0 +1,145 @@
+#include "workload/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pqidx::workload {
+
+namespace {
+
+std::string DescribeResult(const LookupResult& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(tree %d, dist %.17g)", r.tree_id,
+                r.distance);
+  return buf;
+}
+
+}  // namespace
+
+std::string DescribeResultDiff(const std::vector<LookupResult>& expect,
+                               const std::vector<LookupResult>& got) {
+  if (expect.size() != got.size()) {
+    return "expected " + std::to_string(expect.size()) + " results, got " +
+           std::to_string(got.size());
+  }
+  for (size_t i = 0; i < expect.size(); ++i) {
+    // Exact comparison on the raw doubles: the engine is documented
+    // bit-identical and the wire ships bit_cast doubles.
+    if (expect[i].tree_id != got[i].tree_id ||
+        expect[i].distance != got[i].distance) {
+      return "result " + std::to_string(i) + ": expected " +
+             DescribeResult(expect[i]) + ", got " + DescribeResult(got[i]);
+    }
+  }
+  return "";
+}
+
+Oracle::Oracle(const WorkloadSpec& spec)
+    : spec_(spec), mirror_(SeedForest(spec)) {
+  streams_.reserve(static_cast<size_t>(spec.num_clients));
+  for (int c = 0; c < spec.num_clients; ++c) {
+    streams_.push_back(ClientOps(spec, c));
+  }
+}
+
+void Oracle::Advance(int begin, int end) {
+  for (const std::vector<Op>& stream : streams_) {
+    const int stop = std::min(end, static_cast<int>(stream.size()));
+    for (int i = begin; i < stop; ++i) {
+      const Op& op = stream[static_cast<size_t>(i)];
+      if (op.kind != OpKind::kEdit) continue;
+      const PqGramIndex* found = mirror_.Find(op.tree);
+      if (found == nullptr) continue;
+      PqGramIndex bag = *found;
+      ApplyDeltaToBag(&bag, SynthesizeDelta(bag, op.noise_seed));
+      mirror_.AddIndex(op.tree, std::move(bag));
+    }
+  }
+}
+
+Status Oracle::Diverged(const std::string& what, uint64_t check_seed) const {
+  return DataLossError(
+      "oracle divergence [" + DescribeSpec(spec_) + ", check_seed " +
+      std::to_string(check_seed) + "]: " + what +
+      " (reproduce: rerun with the same --seed and preset)");
+}
+
+Status Oracle::Check(Client* client, uint64_t check_seed) {
+  ++checks_;
+  Rng rng(check_seed ^ spec_.seed);
+
+  // Served tree count must match the mirror (no tree lost or invented).
+  StatusOr<ServiceStats> stats = client->Stats();
+  if (!stats.ok()) return stats.status();
+  if (stats->tree_count != mirror_.size()) {
+    return Diverged("server tree_count " + std::to_string(stats->tree_count) +
+                        " != mirror " + std::to_string(mirror_.size()),
+                    check_seed);
+  }
+
+  // Sweep taus for a seeded set of queries drawn near zipfian-hot trees.
+  std::vector<double> taus = spec_.taus;
+  taus.push_back(1.0);  // tau >= 1 returns the full ranking
+  const int kQueriesPerCheck = 6;
+  for (int q = 0; q < kQueriesPerCheck; ++q) {
+    TreeId base_id =
+        static_cast<TreeId>(rng.Zipf(spec_.num_trees, spec_.theta));
+    const PqGramIndex* base = mirror_.Find(base_id);
+    if (base == nullptr) continue;
+    PqGramIndex query = MakeQuery(*base, rng.Next());
+
+    std::vector<LookupResult> full;  // server's tau = 1 answer
+    for (double tau : taus) {
+      std::vector<LookupResult> expect = mirror_.Lookup(query, tau);
+      // Cold pass: may score every shard and populate the cache.
+      StatusOr<std::vector<LookupResult>> cold = client->Lookup(query, tau);
+      if (!cold.ok()) return cold.status();
+      ++comparisons_;
+      std::string diff = DescribeResultDiff(expect, *cold);
+      if (!diff.empty()) {
+        return Diverged("Lookup(base tree " + std::to_string(base_id) +
+                            ", tau " + std::to_string(tau) + ") cold: " + diff,
+                        check_seed);
+      }
+      // Warm pass: same query again, now likely served from the
+      // epoch-keyed cache. A stale or corrupt entry shows up here.
+      StatusOr<std::vector<LookupResult>> warm = client->Lookup(query, tau);
+      if (!warm.ok()) return warm.status();
+      ++comparisons_;
+      diff = DescribeResultDiff(expect, *warm);
+      if (!diff.empty()) {
+        return Diverged("Lookup(base tree " + std::to_string(base_id) +
+                            ", tau " + std::to_string(tau) + ") warm: " + diff,
+                        check_seed);
+      }
+      if (tau >= 1.0) full = std::move(*cold);
+    }
+
+    // TopK must be the first k of the full similarity ranking and match
+    // the mirror's TopK exactly.
+    const int k = spec_.topk_k;
+    StatusOr<std::vector<LookupResult>> topk = client->TopK(query, k);
+    if (!topk.ok()) return topk.status();
+    std::vector<LookupResult> prefix(
+        full.begin(),
+        full.begin() + std::min<size_t>(static_cast<size_t>(k), full.size()));
+    ++comparisons_;
+    std::string diff = DescribeResultDiff(prefix, *topk);
+    if (!diff.empty()) {
+      return Diverged("TopK(base tree " + std::to_string(base_id) +
+                          ", k " + std::to_string(k) +
+                          ") vs full-Lookup prefix: " + diff,
+                      check_seed);
+    }
+    ++comparisons_;
+    diff = DescribeResultDiff(mirror_.TopK(query, k), *topk);
+    if (!diff.empty()) {
+      return Diverged("TopK(base tree " + std::to_string(base_id) +
+                          ", k " + std::to_string(k) + ") vs mirror: " + diff,
+                      check_seed);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pqidx::workload

@@ -1,0 +1,78 @@
+// The differential oracle of the workload harness: a mirror ForestIndex
+// replayed from the same seeded op streams the driver ships over the
+// wire, plus full-tau-sweep equality checks against the served
+// LookupEngine.
+//
+// Soundness of exact comparison: the wire protocol transports distances
+// via bit_cast (service/wire.cc), the LookupEngine documents
+// bit-identical results to ForestIndex::Lookup for every tau, and the
+// workload's determinism rules (workload.h) make the mirror reach the
+// same forest state as the server at every quiesce point -- so every
+// comparison below is `==` on tree ids and on raw double distances, no
+// epsilons anywhere. Any mismatch is a real divergence.
+//
+// Each Check() performs, for a seeded set of queries:
+//   * per tau: server Lookup vs mirror Lookup, bit-identical;
+//   * the same Lookup again -- the first answer may have been scored
+//     cold and inserted into the query cache, the second served warm;
+//     both must match the mirror (cache-warm vs cache-cold);
+//   * TopK(k) vs the first k of the full Lookup at tau = 1 (every tree
+//     qualifies at tau >= 1, so that is the total similarity ranking)
+//     and vs the mirror's TopK;
+//   * served tree_count vs the mirror's size.
+
+#ifndef PQIDX_BENCH_WORKLOAD_ORACLE_H_
+#define PQIDX_BENCH_WORKLOAD_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/forest_index.h"
+#include "service/client.h"
+#include "workload/workload.h"
+
+namespace pqidx::workload {
+
+// Compares two result lists exactly; on mismatch returns a description
+// of the first difference ("" when equal). Shared by the oracle and the
+// burst pre/post comparison in the driver.
+std::string DescribeResultDiff(const std::vector<LookupResult>& expect,
+                               const std::vector<LookupResult>& got);
+
+class Oracle {
+ public:
+  explicit Oracle(const WorkloadSpec& spec);
+
+  // Advances the mirror through ops [begin, end) of every client's
+  // stream (edits only; reads do not change state). The driver calls
+  // this at a quiesce point after all clients finished the same range.
+  void Advance(int begin, int end);
+
+  // The mirror at the current quiesce point.
+  const ForestIndex& mirror() const { return mirror_; }
+
+  // Runs one full differential sweep through `client`. `check_seed`
+  // varies the query set between checks. Returns DATA_LOSS with a
+  // reproduction hint on any divergence.
+  Status Check(Client* client, uint64_t check_seed);
+
+  // How many sweeps ran and how many exact result-list comparisons they
+  // performed (for reporting; a sweep that compares nothing is a bug).
+  int64_t checks() const { return checks_; }
+  int64_t comparisons() const { return comparisons_; }
+
+ private:
+  Status Diverged(const std::string& what, uint64_t check_seed) const;
+
+  WorkloadSpec spec_;
+  ForestIndex mirror_;
+  std::vector<std::vector<Op>> streams_;  // per client
+  int64_t checks_ = 0;
+  int64_t comparisons_ = 0;
+};
+
+}  // namespace pqidx::workload
+
+#endif  // PQIDX_BENCH_WORKLOAD_ORACLE_H_

@@ -1,0 +1,196 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/fingerprint.h"
+#include "tree/generators.h"
+#include "tree/tree.h"
+
+namespace pqidx::workload {
+
+namespace {
+
+// Domain-separation salts so the query, edit, and stream generators
+// never reuse each other's randomness for the same seed.
+constexpr uint64_t kStreamSalt = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kTreeSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kQuerySalt = 0x94d049bb133111ebULL;
+constexpr uint64_t kEditSalt = 0x2545f4914f6cdd1dULL;
+constexpr uint64_t kBurstSalt = 0xd6e8feb86659fd93ULL;
+
+uint64_t MixSeed(uint64_t seed, uint64_t salt, uint64_t lane) {
+  uint64_t x = seed ^ salt ^ (lane * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// The `rank`-th smallest fingerprint of `bag` (rank taken mod distinct).
+// Content-ranked selection is what keeps delta synthesis deterministic:
+// unordered_map iteration order depends on insertion history, which
+// differs between the driver's bag replica and the oracle's mirror.
+PqGramFingerprint FingerprintByRank(const PqGramIndex& bag, uint64_t rank) {
+  std::vector<PqGramFingerprint> fps;
+  fps.reserve(static_cast<size_t>(bag.distinct()));
+  for (const auto& [fp, count] : bag.counts()) fps.push_back(fp);
+  size_t nth = static_cast<size_t>(rank % fps.size());
+  std::nth_element(fps.begin(), fps.begin() + static_cast<ptrdiff_t>(nth),
+                   fps.end());
+  return fps[nth];
+}
+
+}  // namespace
+
+WorkloadSpec PresetSpec(char preset) {
+  WorkloadSpec spec;
+  spec.preset = preset;
+  switch (preset) {
+    case 'B':  // mixed
+      spec.mix = OpMix{0.50, 0.10, 0.40};
+      break;
+    case 'C':  // write-heavy
+      spec.mix = OpMix{0.10, 0.05, 0.85};
+      break;
+    default:  // 'A': read-heavy
+      spec.preset = 'A';
+      spec.mix = OpMix{0.90, 0.05, 0.05};
+      break;
+  }
+  return spec;
+}
+
+void OwnedRange(const WorkloadSpec& spec, int client, TreeId* begin,
+                TreeId* end) {
+  int64_t n = spec.num_trees;
+  int64_t c = spec.num_clients;
+  *begin = static_cast<TreeId>(client * n / c);
+  *end = static_cast<TreeId>((client + 1) * n / c);
+}
+
+std::vector<Op> ClientOps(const WorkloadSpec& spec, int client) {
+  Rng rng(MixSeed(spec.seed, kStreamSalt, static_cast<uint64_t>(client)));
+  TreeId own_begin = 0;
+  TreeId own_end = 0;
+  OwnedRange(spec, client, &own_begin, &own_end);
+  const int own_count = own_end - own_begin;
+
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(spec.ops_per_client));
+  const double total = spec.mix.lookup + spec.mix.topk + spec.mix.edit;
+  const double p_lookup = spec.mix.lookup / total;
+  const double p_topk = spec.mix.topk / total;
+  for (int i = 0; i < spec.ops_per_client; ++i) {
+    Op op;
+    const double roll = rng.NextDouble();
+    if (roll < p_lookup || own_count == 0) {
+      op.kind = OpKind::kLookup;
+      op.tree = static_cast<TreeId>(rng.Zipf(spec.num_trees, spec.theta));
+      op.tau = spec.taus[rng.NextBounded(spec.taus.size())];
+    } else if (roll < p_lookup + p_topk) {
+      op.kind = OpKind::kTopK;
+      op.tree = static_cast<TreeId>(rng.Zipf(spec.num_trees, spec.theta));
+      op.k = spec.topk_k;
+    } else {
+      op.kind = OpKind::kEdit;
+      op.tree = own_begin +
+                static_cast<TreeId>(rng.Zipf(own_count, spec.theta));
+    }
+    op.noise_seed = rng.Next();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+PqGramIndex SeedBag(const WorkloadSpec& spec, TreeId id) {
+  Rng rng(MixSeed(spec.seed, kTreeSalt, static_cast<uint64_t>(id)));
+  auto dict = std::make_shared<LabelDict>();
+  Tree tree = GenerateDblpLike(dict, &rng, spec.tree_records);
+  return BuildIndex(tree, spec.shape);
+}
+
+ForestIndex SeedForest(const WorkloadSpec& spec) {
+  ForestIndex forest(spec.shape);
+  for (TreeId id = 0; id < spec.num_trees; ++id) {
+    forest.AddIndex(id, SeedBag(spec, id));
+  }
+  return forest;
+}
+
+PqGramIndex MakeQuery(const PqGramIndex& base, uint64_t noise_seed) {
+  PqGramIndex query = base;
+  Rng rng(MixSeed(noise_seed, kQuerySalt, 0));
+  const int extra = 1 + static_cast<int>(rng.NextBounded(2));
+  for (int i = 0; i < extra; ++i) {
+    query.Add(static_cast<PqGramFingerprint>(rng.Next()), 1);
+  }
+  if (!query.empty() && rng.Bernoulli(0.5)) {
+    query.Remove(FingerprintByRank(query, rng.Next()), 1);
+  }
+  return query;
+}
+
+BagDelta SynthesizeDelta(const PqGramIndex& bag, uint64_t noise_seed) {
+  BagDelta delta{PqGramIndex(bag.shape()), PqGramIndex(bag.shape())};
+  Rng rng(MixSeed(noise_seed, kEditSalt, 0));
+  if (!bag.empty()) {
+    PqGramFingerprint victim = FingerprintByRank(bag, rng.Next());
+    delta.minus.Add(victim, 1);
+    // Usually the retraction is churn (the occurrence comes right
+    // back); one in four sticks, so bags shrink as well as grow.
+    if (!rng.Bernoulli(0.25)) delta.plus.Add(victim, 1);
+  }
+  delta.plus.Add(static_cast<PqGramFingerprint>(rng.Next()), 1);
+  return delta;
+}
+
+void ApplyDeltaToBag(PqGramIndex* bag, const BagDelta& delta) {
+  for (const auto& [fp, count] : delta.minus.counts()) bag->Remove(fp, count);
+  for (const auto& [fp, count] : delta.plus.counts()) bag->Add(fp, count);
+}
+
+BagDelta Inverse(const BagDelta& delta) {
+  return BagDelta{delta.minus, delta.plus};
+}
+
+std::vector<BurstPlan> PlanBursts(const WorkloadSpec& spec,
+                                  const ForestIndex& current,
+                                  uint64_t burst_seed) {
+  Rng rng(MixSeed(spec.seed, kBurstSalt, burst_seed));
+  std::vector<BurstPlan> plans;
+  plans.reserve(static_cast<size_t>(spec.burst_trees));
+  for (int b = 0; b < spec.burst_trees; ++b) {
+    BurstPlan plan;
+    plan.tree = static_cast<TreeId>(rng.Zipf(spec.num_trees, spec.theta));
+    const PqGramIndex* found = current.Find(plan.tree);
+    if (found == nullptr) continue;  // never removed today, but stay safe
+    PqGramIndex bag = *found;
+    for (int d = 0; d < spec.burst_depth; ++d) {
+      BagDelta delta = SynthesizeDelta(bag, rng.Next());
+      ApplyDeltaToBag(&bag, delta);
+      plan.deltas.push_back(std::move(delta));
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+std::string DescribeSpec(const WorkloadSpec& spec) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "preset %c seed %llu: %d trees, %d clients x %d ops "
+                "(%.0f/%.0f/%.0f lookup/topk/edit, theta %.2f), "
+                "bursts %dx depth %d",
+                spec.preset, static_cast<unsigned long long>(spec.seed),
+                spec.num_trees, spec.num_clients, spec.ops_per_client,
+                spec.mix.lookup * 100, spec.mix.topk * 100,
+                spec.mix.edit * 100, spec.theta, spec.burst_trees,
+                spec.burst_depth);
+  return buf;
+}
+
+}  // namespace pqidx::workload

@@ -1,0 +1,149 @@
+// Deterministic workload generation for the pqidxd harness
+// (bench/workload): seeded scenario presets that compose zipfian
+// tree/query skew, read/write/topk mix presets, and ephemeral
+// apply-then-revert edit bursts.
+//
+// Everything here is a pure function of (spec, seed): the driver
+// (driver.h) and the differential oracle (oracle.h) both replay the same
+// op streams -- the driver against a live server over the wire, the
+// oracle against a mirror ForestIndex -- and the two must agree
+// bit-for-bit. Determinism rests on three rules:
+//
+//   * the seeded forest is a pure function of (seed, tree id), so driver
+//     and oracle build identical initial bags without coordinating;
+//   * each client owns a disjoint contiguous tree-id range and only
+//     edits its own trees, so cross-client edit interleavings commute
+//     and the per-client sequential replay the oracle performs reaches
+//     the same forest state as any concurrent execution;
+//   * edit deltas are synthesized from (current bag content, op seed)
+//     with fingerprint selection by sorted rank -- never by hash-map
+//     iteration order -- so both sides derive the same (I+, I-) bags.
+
+#ifndef PQIDX_BENCH_WORKLOAD_WORKLOAD_H_
+#define PQIDX_BENCH_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/pqgram_index.h"
+
+namespace pqidx::workload {
+
+// Fractions of lookup / top-k / edit requests in an op stream.
+// Normalized at use; preset mixes sum to 1 already.
+struct OpMix {
+  double lookup = 0.90;
+  double topk = 0.05;
+  double edit = 0.05;
+};
+
+// One scenario: forest shape and size, client count, op mix, skew, and
+// the ephemeral-burst knobs. Everything downstream derives from this
+// plus `seed`, so a failing run reproduces from the spec alone.
+struct WorkloadSpec {
+  uint64_t seed = 1;
+  PqShape shape{2, 3};
+  // Preset tag ('A' read-heavy, 'B' mixed, 'C' write-heavy) -- purely
+  // informational; the mix field is authoritative.
+  char preset = 'A';
+  OpMix mix;
+
+  int num_trees = 256;     // seeded forest size
+  int tree_records = 6;    // DBLP-like records per seeded tree
+  int num_clients = 4;
+  int ops_per_client = 400;
+  int rounds = 4;          // oracle checks at each round boundary
+
+  // Zipf exponent for tree/query skew (YCSB's theta knob): lookups and
+  // edits concentrate on low-rank trees as theta grows; 0 is uniform.
+  double theta = 0.99;
+  std::vector<double> taus{0.2, 0.5, 0.8};
+  int topk_k = 10;
+
+  // Ephemeral edits: at each round boundary, `burst_trees` trees get
+  // `burst_depth` edits applied and then reverted in reverse order; the
+  // post-revert index must serve bit-identical results. 0 disables.
+  int burst_trees = 0;
+  int burst_depth = 0;
+};
+
+// The canonical presets: A = read-heavy 90/5/5, B = mixed 50/10/40,
+// C = write-heavy 10/5/85 (lookup/topk/edit). Anything else returns A.
+WorkloadSpec PresetSpec(char preset);
+
+enum class OpKind : uint8_t { kLookup, kTopK, kEdit };
+
+// One generated request. `tree` is the edit target (owned by the
+// issuing client) or the query-basis tree; `noise_seed` drives the
+// query perturbation / delta synthesis for this op.
+struct Op {
+  OpKind kind;
+  TreeId tree;
+  double tau = 0;
+  int k = 0;
+  uint64_t noise_seed = 0;
+};
+
+// The contiguous tree-id range client `client` owns (and is alone in
+// editing): [*begin, *end).
+void OwnedRange(const WorkloadSpec& spec, int client, TreeId* begin,
+                TreeId* end);
+
+// The full deterministic op stream of one client.
+std::vector<Op> ClientOps(const WorkloadSpec& spec, int client);
+
+// The initial bag of tree `id`: a DBLP-like tree generated from
+// (seed, id) alone.
+PqGramIndex SeedBag(const WorkloadSpec& spec, TreeId id);
+
+// The full seeded forest (ids [0, num_trees)).
+ForestIndex SeedForest(const WorkloadSpec& spec);
+
+// A query near `base`: the base bag perturbed by a couple of seeded
+// tuple insertions/retractions, so lookups hit real neighborhoods
+// instead of exact matches.
+PqGramIndex MakeQuery(const PqGramIndex& base, uint64_t noise_seed);
+
+// An (I+, I-) delta pair, the unit both ApplyDeltas and the mirror
+// replay consume.
+struct BagDelta {
+  PqGramIndex plus;
+  PqGramIndex minus;
+};
+
+// Synthesizes the delta of one edit op from the target's current bag:
+// retract one content-ranked tuple occurrence (sometimes for good, so
+// bags shrink too) and insert a fresh seeded tuple. minus is always a
+// sub-bag of `bag` (Lemma 2's precondition).
+BagDelta SynthesizeDelta(const PqGramIndex& bag, uint64_t noise_seed);
+
+// bag := bag \ minus |+| plus.
+void ApplyDeltaToBag(PqGramIndex* bag, const BagDelta& delta);
+
+// The inverse delta: applying Inverse(d) after d restores the bag
+// exactly (bag arithmetic over integer counts is exact).
+BagDelta Inverse(const BagDelta& delta);
+
+// One ephemeral burst against one tree: `deltas` applied in order, then
+// reverted via Inverse in reverse order.
+struct BurstPlan {
+  TreeId tree;
+  std::vector<BagDelta> deltas;
+};
+
+// Plans the bursts for one round boundary from the current forest state
+// (the oracle mirror at the quiesce point). Burst targets are drawn
+// zipfian over the whole forest; depth comes from the spec.
+std::vector<BurstPlan> PlanBursts(const WorkloadSpec& spec,
+                                  const ForestIndex& current,
+                                  uint64_t burst_seed);
+
+// Human-readable one-line scenario description for logs.
+std::string DescribeSpec(const WorkloadSpec& spec);
+
+}  // namespace pqidx::workload
+
+#endif  // PQIDX_BENCH_WORKLOAD_WORKLOAD_H_

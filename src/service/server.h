@@ -185,6 +185,19 @@ class Server {
   // The replication hub (null when ServerOptions::replication is off).
   ReplicationHub* hub() const { return hub_.get(); }
 
+  // Testing hook: the current epoch-published snapshot. The workload
+  // harness (bench/workload) pins it on both sides of an ephemeral
+  // apply-then-revert burst to prove the post-revert epoch serves
+  // bit-identical content from freshly recompiled shards.
+  std::shared_ptr<const LookupEngine> EngineSnapshotForTesting() const
+      PQIDX_EXCLUDES(engine_mutex_) {
+    return EngineSnapshot();
+  }
+
+  // Testing hook: the epoch-keyed result cache (null when disabled).
+  // Internally synchronized; tests read its hit/miss/stale counters.
+  QueryCache* query_cache_for_testing() const { return query_cache_.get(); }
+
  private:
   struct PendingEdit {
     TreeId id = 0;

@@ -37,14 +37,18 @@
 #include "service/transport.h"
 #include "storage/pager.h"
 #include "storage/persistent_forest_index.h"
+#include "test_util.h"
 
 namespace pqidx {
 namespace {
 
 using StorePtr = std::unique_ptr<PersistentForestIndex>;
 
+// One exclusive scratch dir per test process (see test_util.h): keeps
+// parallel `ctest -j` shards and reruns from colliding on store names.
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  static pqidx::testing::ScopedTempDir dir;
+  return dir.File(name);
 }
 
 void RemoveStoreFiles(const std::string& path) {

@@ -267,6 +267,60 @@ TEST(QueryCacheEpochTest, IncrementalPublishKeepsUntouchedShardsWarm) {
   EXPECT_EQ(fx.cache.misses() - misses_cold, EpochFixture::kShards);
 }
 
+// An ephemeral apply-then-revert burst recompiles the touched shard
+// twice. The reverted snapshot's content is bit-identical to the
+// pre-burst snapshot, but the recompiled shard carries a fresh uid --
+// so the cache must miss there (it can never resurrect the pre-burst
+// entry for content that was rebuilt) while every untouched shard stays
+// warm and answers remain bit-identical throughout.
+TEST(QueryCacheEpochTest, RevertedBurstNeverServesStaleHits) {
+  EpochFixture fx;
+  const double tau = 0.8;
+  const std::vector<LookupResult> pre =
+      fx.engine->Lookup(fx.query, tau, nullptr, nullptr, &fx.cache);
+  ASSERT_EQ(fx.cache.entries(), EpochFixture::kShards);
+
+  // Burst: edit one tree's bag and publish, then restore the original
+  // bag and publish again -- the workload driver's ephemeral burst in
+  // miniature (two incremental publishes, net content change zero).
+  const TreeId victim = 5;
+  const PqGramIndex original = *fx.forest.Find(victim);
+  PqGramIndex edited = original;
+  edited.Add(static_cast<PqGramFingerprint>(0xdeadbeefcafef00d), 3);
+  fx.forest.AddIndex(victim, edited);
+  auto mid = LookupEngine::ApplyDelta(fx.engine, fx.forest, {victim});
+  fx.cache.OnPublish(mid->ShardUids());
+  // Publishing the mid epoch reclaims exactly the touched shard's entry.
+  EXPECT_EQ(fx.cache.stale(), 1);
+  EXPECT_EQ(fx.cache.entries(), EpochFixture::kShards - 1);
+
+  fx.forest.AddIndex(victim, original);
+  auto post = LookupEngine::ApplyDelta(mid, fx.forest, {victim});
+  fx.cache.OnPublish(post->ShardUids());
+
+  // Content restored exactly...
+  EXPECT_EQ(*fx.forest.Find(victim), original);
+  EXPECT_EQ(post->size(), fx.engine->size());
+  EXPECT_EQ(post->posting_entries(), fx.engine->posting_entries());
+
+  // ...behind a fresh uid on the recompiled shard: the next lookup
+  // hits every shared shard and misses exactly the rebuilt one. A
+  // stale hit would show up as kShards hits here (or as a result
+  // mismatch if the pre-burst entry had diverged).
+  int64_t hits_before = fx.cache.hits();
+  const int64_t misses_before = fx.cache.misses();
+  ExpectSameResults(post->Lookup(fx.query, tau, nullptr, nullptr, &fx.cache),
+                    pre, "post-revert cold");
+  EXPECT_EQ(fx.cache.hits() - hits_before, EpochFixture::kShards - 1);
+  EXPECT_EQ(fx.cache.misses() - misses_before, 1);
+
+  // The miss repopulated the fresh uid's entry: fully warm now.
+  hits_before = fx.cache.hits();
+  ExpectSameResults(post->Lookup(fx.query, tau, nullptr, nullptr, &fx.cache),
+                    pre, "post-revert warm");
+  EXPECT_EQ(fx.cache.hits() - hits_before, EpochFixture::kShards);
+}
+
 // Readers hammer cache-enabled lookups (sequential and pooled) while a
 // writer edits trees, publishes ApplyDelta snapshots, and reclaims dead
 // uids -- the server's publish path in miniature. TSan'd in CI.

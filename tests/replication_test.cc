@@ -29,13 +29,18 @@
 #include "service/transport.h"
 #include "service/wire.h"
 #include "storage/persistent_forest_index.h"
+#include "test_util.h"
 #include "tree/generators.h"
 
 namespace pqidx {
 namespace {
 
+// One exclusive scratch dir per test process: parallel `ctest -j`
+// shards (one process per discovered test) and back-to-back reruns
+// never collide on the fixed store names below.
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  static pqidx::testing::ScopedTempDir dir;
+  return dir.File(name);
 }
 
 // Tests reuse fixed store names under TempDir(). Leader stores are

@@ -1,10 +1,16 @@
-// Shared helpers for pqidx tests: profile set algebra, delta-store
-// materialization, and random-workload drivers used by the property tests.
+// Shared helpers for pqidx tests: hermetic scratch directories, profile
+// set algebra, delta-store materialization, and random-workload drivers
+// used by the property tests.
 
 #ifndef PQIDX_TESTS_TEST_UTIL_H_
 #define PQIDX_TESTS_TEST_UTIL_H_
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,6 +21,46 @@
 #include "tree/tree.h"
 
 namespace pqidx::testing {
+
+// An exclusive scratch directory (mkdtemp under $TMPDIR, else /tmp).
+// Tests that reuse fixed store names collide when `ctest -j` runs
+// binaries in parallel or a killed run leaves files behind; routing
+// every path through one of these makes each process hermetic. The
+// directory and its (direct) entries are removed on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = base != nullptr && *base != '\0' ? base : "/tmp";
+    tmpl += "/pqidx_test_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) path_ = buf.data();
+  }
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        std::remove((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
 
 // Materializes the pq-grams currently represented by a delta store.
 inline std::set<PqGram> StoreToSet(const DeltaStore& store) {

@@ -1,0 +1,316 @@
+// Property tests for the workload harness (bench/workload).
+//
+// The harness's correctness claims are load-bearing for the bench gate
+// in CI, so they are asserted here independently of the bench binary:
+//
+//   * the seeded generator is deterministic and clients only edit trees
+//     they own (the commutativity precondition the oracle relies on);
+//   * TopK(k) equals the first k of the full similarity ranking
+//     (Lookup at tau >= 1) on every compiled SIMD kernel, across random
+//     seeds and evolved forests;
+//   * an apply-then-revert burst restores bit-identical lookup results
+//     and identical snapshot-visible content (tree bags, engine size,
+//     posting entries) while recompiled shards carry fresh uids;
+//   * the driver runs end to end over a pipe with the differential
+//     oracle on and reports the checks it performed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/forest_index.h"
+#include "core/lookup_engine.h"
+#include "core/simd_intersect.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "storage/persistent_forest_index.h"
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/oracle.h"
+#include "workload/workload.h"
+
+namespace pqidx {
+namespace {
+
+using workload::ApplyDeltaToBag;
+using workload::BagDelta;
+using workload::BurstPlan;
+using workload::ClientOps;
+using workload::DescribeResultDiff;
+using workload::DriverOptions;
+using workload::Inverse;
+using workload::MakeQuery;
+using workload::Op;
+using workload::OpKind;
+using workload::OwnedRange;
+using workload::PlanBursts;
+using workload::PresetSpec;
+using workload::RunResult;
+using workload::RunWorkload;
+using workload::SeedForest;
+using workload::SynthesizeDelta;
+using workload::WorkloadSpec;
+
+// Restores the process-wide kernel selection on scope exit so a failing
+// SIMD test cannot leak a forced kernel into later tests.
+class ScopedSimdKernel {
+ public:
+  ScopedSimdKernel() : saved_(ActiveSimdKernel()) {}
+  ~ScopedSimdKernel() { SetSimdKernelForTesting(saved_); }
+  ScopedSimdKernel(const ScopedSimdKernel&) = delete;
+  ScopedSimdKernel& operator=(const ScopedSimdKernel&) = delete;
+
+ private:
+  SimdKernel saved_;
+};
+
+constexpr SimdKernel kAllKernels[] = {SimdKernel::kScalar, SimdKernel::kSse41,
+                                      SimdKernel::kAvx2, SimdKernel::kNeon};
+
+WorkloadSpec SmallSpec(char preset, uint64_t seed) {
+  WorkloadSpec spec = PresetSpec(preset);
+  spec.seed = seed;
+  spec.num_trees = 48;
+  spec.tree_records = 5;
+  spec.num_clients = 3;
+  spec.ops_per_client = 90;
+  spec.rounds = 2;
+  return spec;
+}
+
+// The generator contract the oracle's sequential replay depends on:
+// identical streams on every call, and every edit targeting a tree the
+// issuing client owns exclusively.
+TEST(WorkloadGeneratorTest, StreamsAreDeterministicAndOwnershipHolds) {
+  const WorkloadSpec spec = SmallSpec('B', 7);
+  for (int c = 0; c < spec.num_clients; ++c) {
+    const std::vector<Op> a = ClientOps(spec, c);
+    const std::vector<Op> b = ClientOps(spec, c);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), static_cast<size_t>(spec.ops_per_client));
+    TreeId own_begin = 0, own_end = 0;
+    OwnedRange(spec, c, &own_begin, &own_end);
+    ASSERT_LT(own_begin, own_end);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].kind, b[i].kind);
+      EXPECT_EQ(a[i].tree, b[i].tree);
+      EXPECT_EQ(a[i].tau, b[i].tau);
+      EXPECT_EQ(a[i].k, b[i].k);
+      EXPECT_EQ(a[i].noise_seed, b[i].noise_seed);
+      if (a[i].kind == OpKind::kEdit) {
+        EXPECT_GE(a[i].tree, own_begin) << "client " << c << " op " << i;
+        EXPECT_LT(a[i].tree, own_end) << "client " << c << " op " << i;
+      }
+    }
+  }
+
+  // Ranges of distinct clients are disjoint and cover [0, num_trees).
+  TreeId covered = 0;
+  for (int c = 0; c < spec.num_clients; ++c) {
+    TreeId begin = 0, end = 0;
+    OwnedRange(spec, c, &begin, &end);
+    EXPECT_EQ(begin, covered);
+    covered = end;
+  }
+  EXPECT_EQ(covered, static_cast<TreeId>(spec.num_trees));
+
+  // Two independently seeded forests answer queries identically.
+  const ForestIndex f1 = SeedForest(spec);
+  const ForestIndex f2 = SeedForest(spec);
+  ASSERT_EQ(f1.size(), f2.size());
+  Rng rng(99);
+  for (int q = 0; q < 8; ++q) {
+    const TreeId base = static_cast<TreeId>(rng.Zipf(spec.num_trees, 0.99));
+    const PqGramIndex query = MakeQuery(*f1.Find(base), rng.Next());
+    EXPECT_EQ(
+        DescribeResultDiff(f1.Lookup(query, 1.0), f2.Lookup(query, 1.0)), "");
+  }
+}
+
+// TopK(k) must be exactly the first k entries of the full similarity
+// ranking, on every SIMD kernel this build and CPU support, for random
+// seeds and forests evolved away from their seed state.
+TEST(WorkloadOracleTest, TopKMatchesFullLookupPrefixAcrossKernels) {
+  ScopedSimdKernel restore;
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    WorkloadSpec spec = SmallSpec('B', seed);
+    ForestIndex forest = SeedForest(spec);
+
+    // Evolve some bags with synthesized deltas so the ranking reflects
+    // post-edit content, not just the seeded forest.
+    Rng rng(seed * 77 + 1);
+    for (int i = 0; i < 16; ++i) {
+      const TreeId id = static_cast<TreeId>(rng.Zipf(spec.num_trees, 0.99));
+      PqGramIndex bag = *forest.Find(id);
+      ApplyDeltaToBag(&bag, SynthesizeDelta(bag, rng.Next()));
+      forest.AddIndex(id, std::move(bag));
+    }
+
+    // The query set is fixed before the kernel loop so every kernel
+    // answers the same questions.
+    std::vector<PqGramIndex> queries;
+    for (int q = 0; q < 6; ++q) {
+      const TreeId base = static_cast<TreeId>(rng.Zipf(spec.num_trees, 0.99));
+      queries.push_back(MakeQuery(*forest.Find(base), rng.Next()));
+    }
+
+    for (SimdKernel kernel : kAllKernels) {
+      if (!SetSimdKernelForTesting(kernel)) continue;
+      const auto engine = LookupEngine::Build(forest, 5);
+      for (const PqGramIndex& query : queries) {
+        const std::vector<LookupResult> full = engine->Lookup(query, 1.0);
+        EXPECT_EQ(DescribeResultDiff(forest.Lookup(query, 1.0), full), "")
+            << SimdKernelName(kernel) << " seed " << seed;
+        for (int k : {0, 1, 3, spec.topk_k, 1 << 20}) {
+          const std::vector<LookupResult> prefix(
+              full.begin(),
+              full.begin() +
+                  std::min<size_t>(static_cast<size_t>(k), full.size()));
+          EXPECT_EQ(DescribeResultDiff(prefix, engine->TopK(query, k)), "")
+              << SimdKernelName(kernel) << " seed " << seed << " k " << k;
+        }
+      }
+    }
+  }
+}
+
+// An ephemeral burst applied and then reverted in reverse order must
+// leave no observable trace: every touched bag restored exactly, every
+// pinned query answering bit-identically, snapshot shape (tree count,
+// posting entries) unchanged -- while the recompiled shards carry fresh
+// uids (the property the query-cache epoch protocol keys on).
+TEST(WorkloadOracleTest, ApplyThenRevertRestoresBitIdenticalState) {
+  WorkloadSpec spec = SmallSpec('C', 21);
+  spec.burst_trees = 5;
+  spec.burst_depth = 4;
+  ForestIndex forest = SeedForest(spec);
+  const auto engine0 = LookupEngine::Build(forest, 7);
+
+  // Pin queries and their pre-burst answers.
+  Rng rng(991);
+  std::vector<PqGramIndex> queries;
+  for (int q = 0; q < 6; ++q) {
+    const TreeId base = static_cast<TreeId>(rng.Zipf(spec.num_trees, 0.99));
+    queries.push_back(MakeQuery(*forest.Find(base), rng.Next()));
+  }
+  const std::vector<double> taus = {0.3, 0.7, 1.0};
+  std::vector<std::vector<LookupResult>> pre_lookups, pre_topks;
+  for (const PqGramIndex& query : queries) {
+    for (double tau : taus) pre_lookups.push_back(engine0->Lookup(query, tau));
+    pre_topks.push_back(engine0->TopK(query, spec.topk_k));
+  }
+
+  const std::vector<BurstPlan> plans = PlanBursts(spec, forest, 0xfeed);
+  ASSERT_FALSE(plans.empty());
+  std::map<TreeId, PqGramIndex> originals;
+  std::vector<TreeId> touched;
+  for (const BurstPlan& plan : plans) {
+    if (originals.emplace(plan.tree, *forest.Find(plan.tree)).second) {
+      touched.push_back(plan.tree);
+    }
+    ASSERT_EQ(plan.deltas.size(), static_cast<size_t>(spec.burst_depth));
+  }
+
+  // Apply every delta, publishing one incremental snapshot per tree.
+  std::shared_ptr<const LookupEngine> engine = engine0;
+  for (const BurstPlan& plan : plans) {
+    for (const BagDelta& delta : plan.deltas) {
+      PqGramIndex bag = *forest.Find(plan.tree);
+      ApplyDeltaToBag(&bag, delta);
+      forest.AddIndex(plan.tree, std::move(bag));
+    }
+    engine = LookupEngine::ApplyDelta(engine, forest, {plan.tree});
+  }
+
+  // Revert: inverse deltas in reverse order.
+  for (auto plan = plans.rbegin(); plan != plans.rend(); ++plan) {
+    for (auto delta = plan->deltas.rbegin(); delta != plan->deltas.rend();
+         ++delta) {
+      PqGramIndex bag = *forest.Find(plan->tree);
+      ApplyDeltaToBag(&bag, Inverse(*delta));
+      forest.AddIndex(plan->tree, std::move(bag));
+    }
+    engine = LookupEngine::ApplyDelta(engine, forest, {plan->tree});
+  }
+
+  // Bags restored exactly (bag arithmetic over integer counts).
+  for (const auto& [id, original] : originals) {
+    EXPECT_EQ(*forest.Find(id), original) << "tree " << id;
+  }
+
+  // Snapshot-visible content identical...
+  EXPECT_EQ(engine->size(), engine0->size());
+  EXPECT_EQ(engine->posting_entries(), engine0->posting_entries());
+  size_t at = 0;
+  for (const PqGramIndex& query : queries) {
+    for (double tau : taus) {
+      EXPECT_EQ(DescribeResultDiff(pre_lookups[at++], engine->Lookup(query,
+                                                                     tau)),
+                "");
+    }
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(
+        DescribeResultDiff(pre_topks[q], engine->TopK(queries[q],
+                                                      spec.topk_k)),
+        "");
+  }
+
+  // ...but served from recompiled shards: at least the touched shards
+  // were rebuilt, so the uid vectors must differ (no stale cache hit
+  // can survive the burst).
+  EXPECT_NE(engine->ShardUids(), engine0->ShardUids());
+}
+
+// End to end: the driver seeds a live in-process server over a pipe,
+// runs the full scenario with bursts, and the oracle performs sweeps
+// without detecting a divergence.
+TEST(WorkloadDriverTest, EndToEndOverPipeWithOracle) {
+  pqidx::testing::ScopedTempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+
+  WorkloadSpec spec = SmallSpec('B', 31);
+  spec.ops_per_client = 60;
+  spec.burst_trees = 2;
+  spec.burst_depth = 2;
+
+  StatusOr<std::unique_ptr<PersistentForestIndex>> store =
+      PersistentForestIndex::Create(tmp.File("workload.idx"), spec.shape);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::unique_ptr<PersistentForestIndex> index = std::move(store).value();
+
+  ServerOptions options;
+  options.max_connections = spec.num_clients + 2;
+  Server server(index.get(), options);
+  auto listener = std::make_unique<PipeListener>();
+  PipeListener* connect_point = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  DriverOptions driver_options;
+  driver_options.oracle = true;
+  driver_options.server = &server;
+  StatusOr<RunResult> run = RunWorkload(
+      spec, [connect_point] { return connect_point->Connect(); },
+      driver_options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  EXPECT_EQ(run->failures, 0);
+  EXPECT_EQ(run->lookups + run->topks + run->edits,
+            static_cast<int64_t>(spec.num_clients) * spec.ops_per_client);
+  EXPECT_GT(run->oracle_checks, 0);
+  EXPECT_GT(run->oracle_comparisons, 0);
+  EXPECT_GT(run->bursts, 0);
+  EXPECT_GT(run->burst_comparisons, 0);
+  EXPECT_EQ(run->stats.tree_count, static_cast<int64_t>(spec.num_trees));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pqidx

@@ -119,8 +119,11 @@
 #include "storage/document_store.h"
 #include "storage/index_store.h"
 #include "storage/persistent_forest_index.h"
+#include "bench_util.h"
 #include "ted/zhang_shasha.h"
 #include "tree/stats.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
 #include "xml/xml_parser.h"
 
 namespace pqidx {
@@ -148,7 +151,12 @@ int Usage() {
                "               [--replication-history N] "
                "[--replication-max-queue N] [--follow HOST:PORT]\n"
                "               [--query-cache-mb N] [--query-cache-off]\n"
-               "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n");
+               "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n"
+               "  pqidx workload [host:port] [--preset A|B|C] [--seed N] "
+               "[--clients N] [--ops N]\n"
+               "               [--trees N] [--theta X] [--rounds N] "
+               "[--burst-trees N] [--burst-depth D]\n"
+               "               [--tcp] [--no-oracle]\n");
   return 2;
 }
 
@@ -785,6 +793,165 @@ int CmdStore(std::vector<std::string> args) {
   return Usage();
 }
 
+// Runs a seeded workload scenario (bench/workload) with the
+// differential oracle: by default against a throwaway in-process server
+// (pipe transport, or loopback TCP with --tcp), or against a remote
+// pqidxd at host:port. The oracle seeds the forest itself, so a remote
+// target must start empty; --no-oracle turns the run into a pure load
+// generator (and disables the bursts, which need the oracle's mirror
+// for valid delta synthesis). Exits nonzero on any divergence.
+int CmdWorkload(std::vector<std::string> args) {
+  workload::WorkloadSpec spec = workload::PresetSpec('A');
+  spec.seed = 1;
+  spec.num_trees = 192;
+  spec.ops_per_client = 240;
+  spec.rounds = 3;
+  spec.burst_trees = 4;
+  spec.burst_depth = 3;
+  bool oracle = true;
+  bool tcp = false;
+  std::string endpoint;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--preset" && i + 1 < args.size()) {
+      const std::string& p = args[++i];
+      if (p.size() != 1 || (p[0] != 'A' && p[0] != 'B' && p[0] != 'C')) {
+        return Usage();
+      }
+      const workload::WorkloadSpec preset = workload::PresetSpec(p[0]);
+      spec.preset = preset.preset;
+      spec.mix = preset.mix;
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      spec.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--clients" && i + 1 < args.size()) {
+      spec.num_clients = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--ops" && i + 1 < args.size()) {
+      spec.ops_per_client = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--trees" && i + 1 < args.size()) {
+      spec.num_trees = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--theta" && i + 1 < args.size()) {
+      spec.theta = std::atof(args[++i].c_str());
+    } else if (args[i] == "--rounds" && i + 1 < args.size()) {
+      spec.rounds = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--burst-trees" && i + 1 < args.size()) {
+      spec.burst_trees = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--burst-depth" && i + 1 < args.size()) {
+      spec.burst_depth = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--no-oracle") {
+      oracle = false;
+    } else if (args[i] == "--tcp") {
+      tcp = true;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.size() > 1 || spec.num_clients < 1 || spec.num_trees < 1 ||
+      spec.ops_per_client < 0 || spec.rounds < 1 || spec.burst_trees < 0 ||
+      spec.burst_depth < 0 || spec.theta < 0) {
+    return Usage();
+  }
+  if (!rest.empty()) endpoint = rest[0];
+  if (!oracle) {
+    spec.burst_trees = 0;  // bursts need the oracle's mirror
+    spec.burst_depth = 0;
+  }
+
+  // A throwaway self-hosted server unless an endpoint was given.
+  std::unique_ptr<PersistentForestIndex> index;
+  std::unique_ptr<Server> server;
+  std::string store_path;
+  Dialer dial;
+  workload::DriverOptions options;
+  options.oracle = oracle;
+  if (endpoint.empty()) {
+    store_path = "/tmp/pqidx_workload_cli.idx";
+    std::remove(store_path.c_str());
+    std::remove((store_path + ".wal").c_str());
+    StatusOr<std::unique_ptr<PersistentForestIndex>> created =
+        PersistentForestIndex::Create(store_path, spec.shape);
+    if (!created.ok()) return Fail(created.status());
+    index = std::move(created).value();
+    ServerOptions server_options;
+    server_options.max_connections = spec.num_clients + 2;
+    server = std::make_unique<Server>(index.get(), server_options);
+    options.server = server.get();
+    if (tcp) {
+      StatusOr<std::unique_ptr<TcpListener>> listener =
+          TcpListener::Listen(0);
+      if (!listener.ok()) return Fail(listener.status());
+      const int port = (*listener)->port();
+      dial = [port] {
+        return TcpConnect("127.0.0.1", static_cast<uint16_t>(port));
+      };
+      if (Status s = server->Start(std::move(listener).value()); !s.ok()) {
+        return Fail(s);
+      }
+    } else {
+      auto listener = std::make_unique<PipeListener>();
+      PipeListener* connect_point = listener.get();
+      dial = [connect_point] { return connect_point->Connect(); };
+      if (Status s = server->Start(std::move(listener)); !s.ok()) {
+        return Fail(s);
+      }
+    }
+  } else {
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) return Usage();
+    const std::string host = endpoint.substr(0, colon);
+    const int port = std::atoi(endpoint.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return Usage();
+    dial = [host, port] {
+      return TcpConnect(host, static_cast<uint16_t>(port));
+    };
+    // The server's shape must match the spec's (the driver seeds bags
+    // built with spec.shape); learn it from a probe connection.
+    StatusOr<std::unique_ptr<Client>> probe =
+        Client::ConnectWithRetry(dial, BackoffPolicy{}, spec.seed);
+    if (!probe.ok()) return Fail(probe.status());
+    spec.shape = (*probe)->shape();
+    (*probe)->Close();
+  }
+
+  std::printf("%s\n", workload::DescribeSpec(spec).c_str());
+  StatusOr<workload::RunResult> run =
+      workload::RunWorkload(spec, dial, options);
+  if (server != nullptr) server->Stop();
+  if (!store_path.empty()) {
+    std::remove(store_path.c_str());
+    std::remove((store_path + ".wal").c_str());
+  }
+  if (!run.ok()) return Fail(run.status());
+
+  std::printf("throughput    %10.0f req/s  (%lld lookups, %lld topk, "
+              "%lld edits)\n",
+              run->throughput(), static_cast<long long>(run->lookups),
+              static_cast<long long>(run->topks),
+              static_cast<long long>(run->edits));
+  auto row = [](const char* label, std::vector<double>* v) {
+    if (v->empty()) return;
+    std::printf("%-13s %10.3f ms p50  %.3f p95  %.3f p99\n", label,
+                bench::Percentile(v, 50) * 1e3,
+                bench::Percentile(v, 95) * 1e3,
+                bench::Percentile(v, 99) * 1e3);
+  };
+  row("lookup", &run->lookup_s);
+  row("topk", &run->topk_s);
+  row("edit", &run->edit_s);
+  if (oracle) {
+    std::printf("oracle        %10lld sweeps, %lld comparisons, "
+                "%lld burst trees (%lld comparisons) -- all bit-identical\n",
+                static_cast<long long>(run->oracle_checks),
+                static_cast<long long>(run->oracle_comparisons),
+                static_cast<long long>(run->bursts),
+                static_cast<long long>(run->burst_comparisons));
+  }
+  if (run->failures > 0) {
+    std::fprintf(stderr, "pqidx: %d request failures\n", run->failures);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -800,6 +967,7 @@ int Main(int argc, char** argv) {
   if (command == "join") return CmdJoin(std::move(args));
   if (command == "serve") return CmdServe(std::move(args));
   if (command == "store") return CmdStore(std::move(args));
+  if (command == "workload") return CmdWorkload(std::move(args));
   return Usage();
 }
 
