@@ -43,7 +43,7 @@
 #include "service/replication.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "tree/generators.h"
 
 using namespace pqidx;
@@ -83,10 +83,10 @@ FollowerOptions MakeFollowerOptions(PipeListener* leader_point,
 // bench's wall clock, so the store is seeded once and cloned).
 bool SeedStore(const std::string& path, const PqShape& shape,
                const std::vector<PqGramIndex>& bags, uint64_t cursor) {
-  StatusOr<std::unique_ptr<PersistentForestIndex>> created =
-      PersistentForestIndex::Create(path, shape, kPoolPages);
+  StatusOr<std::unique_ptr<ShardedStore>> created =
+      ShardedStore::Create(path, shape, /*shards=*/1, kPoolPages);
   if (!created.ok()) return false;
-  std::unique_ptr<PersistentForestIndex> store = std::move(created).value();
+  std::unique_ptr<ShardedStore> store = std::move(created).value();
   std::vector<std::pair<TreeId, const PqGramIndex*>> pairs;
   pairs.reserve(bags.size());
   for (size_t i = 0; i < bags.size(); ++i) {
@@ -153,10 +153,10 @@ int main(int argc, char** argv) {
   bags.clear();
   bags.shrink_to_fit();
   if (!CloneStore(leader_path, follower_path)) return 1;
-  StatusOr<std::unique_ptr<PersistentForestIndex>> opened =
-      PersistentForestIndex::Open(leader_path, kPoolPages);
+  StatusOr<std::unique_ptr<ShardedStore>> opened =
+      ShardedStore::Open(leader_path, kPoolPages);
   if (!opened.ok()) return 1;
-  std::unique_ptr<PersistentForestIndex> store = std::move(opened).value();
+  std::unique_ptr<ShardedStore> store = std::move(opened).value();
 
   PrintHeader("replication: bootstrap and catch-up (" +
               std::to_string(kTrees) + " trees)");

@@ -25,7 +25,7 @@
 #include "service/client.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "tree/generators.h"
 
 using namespace pqidx;
@@ -63,8 +63,8 @@ double RunReaderSweep(int readers, const PqShape& shape,
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
 
-  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
-      PersistentForestIndex::Create(path, shape);
+  StatusOr<std::unique_ptr<ShardedStore>> index =
+      ShardedStore::Create(path, shape);
   if (!index.ok()) return -1;
   ServerOptions options;
   options.max_connections = readers + 1;
@@ -156,8 +156,8 @@ double RunWriteWorkload(const WriteWorkloadConfig& cfg, const PqShape& shape,
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
 
-  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
-      PersistentForestIndex::Create(path, shape);
+  StatusOr<std::unique_ptr<ShardedStore>> index =
+      ShardedStore::Create(path, shape);
   if (!index.ok()) return -1;
   ServerOptions options;
   options.max_connections = cfg.writers + 1;
@@ -277,8 +277,8 @@ int main(int argc, char** argv) {
   const int kTreeNodes = 60;
   const std::string path = "/tmp/pqidx_bench_service.idx";
 
-  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
-      PersistentForestIndex::Create(path, shape);
+  StatusOr<std::unique_ptr<ShardedStore>> index =
+      ShardedStore::Create(path, shape);
   if (!index.ok()) {
     std::fprintf(stderr, "create: %s\n", index.status().ToString().c_str());
     return 1;

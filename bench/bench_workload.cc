@@ -20,6 +20,8 @@
 // revert-heavy traffic. Knobs: PQIDX_BENCH_SCALE, --json[=PATH],
 // --seed=N, --baseline=PATH.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,7 +34,7 @@
 #include "common/metrics.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "workload/driver.h"
 #include "workload/oracle.h"
 #include "workload/workload.h"
@@ -63,7 +65,7 @@ bool BaselineMetric(const std::string& doc, const std::string& name,
 // One in-process server over a fresh store, reachable through `dial`.
 struct Harness {
   std::string path;
-  std::unique_ptr<PersistentForestIndex> index;
+  std::unique_ptr<ShardedStore> index;
   std::unique_ptr<Server> server;
   std::unique_ptr<TcpListener> tcp_keepalive;  // owns nothing for pipe
   Dialer dial;
@@ -71,6 +73,16 @@ struct Harness {
   ~Harness() {
     if (server != nullptr) server->Stop();
     if (!path.empty()) {
+      index.reset();
+      std::remove((path + "/MANIFEST").c_str());
+      for (int k = 0; k < 64; ++k) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "shard-%04d", k);
+        const std::string shard = path + "/" + name;
+        std::remove(shard.c_str());
+        std::remove((shard + ".wal").c_str());
+      }
+      ::rmdir(path.c_str());
       std::remove(path.c_str());
       std::remove((path + ".wal").c_str());
     }
@@ -78,14 +90,12 @@ struct Harness {
 };
 
 std::unique_ptr<Harness> StartHarness(const PqShape& shape, int clients,
-                                      bool tcp) {
+                                      bool tcp, int store_shards) {
   auto harness = std::make_unique<Harness>();
   harness->path = "/tmp/pqidx_bench_workload.idx";
-  std::remove(harness->path.c_str());
-  std::remove((harness->path + ".wal").c_str());
 
-  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
-      PersistentForestIndex::Create(harness->path, shape);
+  StatusOr<std::unique_ptr<ShardedStore>> index =
+      ShardedStore::Create(harness->path, shape, store_shards);
   if (!index.ok()) {
     std::fprintf(stderr, "create: %s\n", index.status().ToString().c_str());
     return nullptr;
@@ -140,9 +150,10 @@ WorkloadSpec ScenarioSpec(char preset, uint64_t seed) {
 // Runs one scenario end to end; false means the run (or the oracle)
 // failed and the binary must exit nonzero.
 bool RunScenario(const WorkloadSpec& spec, bool tcp, const std::string& cell,
-                 ReportBuilder* report, double* throughput_out) {
+                 ReportBuilder* report, double* throughput_out,
+                 int store_shards = 1) {
   std::unique_ptr<Harness> harness =
-      StartHarness(spec.shape, spec.num_clients, tcp);
+      StartHarness(spec.shape, spec.num_clients, tcp, store_shards);
   if (harness == nullptr) return false;
 
   DriverOptions options;
@@ -228,6 +239,19 @@ int main(int argc, char** argv) {
     WorkloadSpec spec = ScenarioSpec('A', seed + 1);
     spec.ops_per_client = Scaled(120);
     if (!RunScenario(spec, /*tcp=*/true, "tcp_a", &report, nullptr)) {
+      return 1;
+    }
+  }
+
+  // The mixed preset against a 4-shard store: every edit routes through
+  // the group-commit protocol and the differential oracle still has to
+  // match the single-store semantics bit for bit.
+  PrintHeader("preset B on a 4-shard store");
+  {
+    WorkloadSpec spec = ScenarioSpec('B', seed + 3);
+    spec.ops_per_client = Scaled(120);
+    if (!RunScenario(spec, /*tcp=*/false, "sharded_b", &report, nullptr,
+                     /*store_shards=*/4)) {
       return 1;
     }
   }

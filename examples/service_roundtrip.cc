@@ -23,7 +23,7 @@
 #include "service/client.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "tree/generators.h"
 
 using namespace pqidx;
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
 
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
-  auto index = PersistentForestIndex::Create(path, shape);
+  auto index = ShardedStore::Create(path, shape);
   if (!index.ok()) {
     std::printf("create failed: %s\n", index.status().ToString().c_str());
     return 1;

@@ -1,0 +1,42 @@
+// Fuzz harness for the sharded-store manifest codec
+// (storage/shard_manifest.h). DecodeShardManifest is the first thing a
+// sharded open trusts from disk, so it must bounds-check every field and
+// reject torn slot images via the per-slot checksum -- never crash, never
+// accept an out-of-range shard count or routing mode. Accepted inputs are
+// re-encoded and must decode back to the same commit point (slot identity
+// aside: re-encoding writes both slots from the winner).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "storage/shard_manifest.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+  pqidx::StatusOr<pqidx::ShardManifest> decoded =
+      pqidx::DecodeShardManifest(input);
+  if (!decoded.ok()) return 0;
+
+  // Everything a caller acts on must be in range.
+  if (decoded->shard_count < 1 ||
+      decoded->shard_count > pqidx::kMaxStoreShards) {
+    std::abort();
+  }
+  if (decoded->routing != pqidx::kShardRoutingModulo) std::abort();
+
+  // Round-trip: the surviving commit point re-encodes losslessly.
+  std::string bytes = pqidx::EncodeShardManifest(*decoded);
+  if (bytes.size() != pqidx::kShardManifestSize) std::abort();
+  pqidx::StatusOr<pqidx::ShardManifest> again =
+      pqidx::DecodeShardManifest(bytes);
+  if (!again.ok()) std::abort();
+  if (again->shard_count != decoded->shard_count ||
+      again->committed_ticket != decoded->committed_ticket ||
+      again->committed_cursor != decoded->committed_cursor) {
+    std::abort();
+  }
+  return 0;
+}

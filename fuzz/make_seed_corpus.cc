@@ -21,6 +21,7 @@
 #include "service/wire.h"
 #include "storage/linear_hash.h"
 #include "storage/pager.h"
+#include "storage/shard_manifest.h"
 #include "storage/tree_store.h"
 #include "tree/generators.h"
 #include "xml/xml_writer.h"
@@ -148,6 +149,44 @@ Status MakePagerSeeds(const std::string& dir) {
       WriteSeed(dir, "sealed_wal.bin", std::string(1, '\x02') + wal_image));
   // Seed for the page-file surface: a committed 3-page file.
   PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "page_file.bin", file_image));
+  return Status::Ok();
+}
+
+Status MakeManifestSeeds(const std::string& dir) {
+  {
+    // A fresh store's manifest: both slots at ticket 0.
+    ShardManifest manifest;
+    manifest.shard_count = 4;
+    PQIDX_RETURN_IF_ERROR(
+        WriteSeed(dir, "fresh.manifest", EncodeShardManifest(manifest)));
+  }
+  {
+    // A lived-in manifest with distinct slot generations: slot A holds
+    // the previous commit, slot B the latest, as after a group commit.
+    ShardManifest manifest;
+    manifest.shard_count = 16;
+    manifest.committed_ticket = 41;
+    manifest.committed_cursor = 1000;
+    std::string bytes = EncodeShardManifest(manifest);
+    uint8_t slot[kShardManifestSlotSize];
+    EncodeShardManifestSlot(42, 1007, slot);
+    bytes.replace(kShardManifestSlotBOff, kShardManifestSlotSize,
+                  reinterpret_cast<const char*>(slot), kShardManifestSlotSize);
+    PQIDX_RETURN_IF_ERROR(
+        WriteSeed(dir, "two_generations.manifest", bytes));
+  }
+  {
+    // A torn slot-B write: decode must fall back to slot A. Seeds the
+    // checksum-rejection path the fuzzer mutates outward from.
+    ShardManifest manifest;
+    manifest.shard_count = 2;
+    manifest.committed_ticket = 9;
+    manifest.committed_cursor = 9;
+    std::string bytes = EncodeShardManifest(manifest);
+    bytes[kShardManifestSlotBOff + 3] =
+        static_cast<char>(bytes[kShardManifestSlotBOff + 3] ^ 0x40);
+    PQIDX_RETURN_IF_ERROR(WriteSeed(dir, "torn_slot.manifest", bytes));
+  }
   return Status::Ok();
 }
 
@@ -370,6 +409,7 @@ int main(int argc, char** argv) {
       {"xml_scanner", pqidx::MakeXmlSeeds},
       {"linear_hash", pqidx::MakeLinearHashSeeds},
       {"pager", pqidx::MakePagerSeeds},
+      {"manifest", pqidx::MakeManifestSeeds},
       {"wire", pqidx::MakeWireSeeds},
   };
   for (const Job& job : jobs) {

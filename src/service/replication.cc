@@ -311,7 +311,7 @@ Status Follower::ReceiveDeltaFrame(Connection* conn, DeltaFrame* out) {
   }
 }
 
-StatusOr<std::unique_ptr<PersistentForestIndex>> Follower::InstallSnapshot(
+StatusOr<std::unique_ptr<ShardedStore>> Follower::InstallSnapshot(
     const SubscribeAck& ack, DeltaFrame image) {
   if (image.ticket != ack.ticket) {
     return DataLossError("snapshot image ticket mismatch");
@@ -328,16 +328,16 @@ StatusOr<std::unique_ptr<PersistentForestIndex>> Follower::InstallSnapshot(
     }
     bags.emplace_back(entry.tree_id, &entry.plus);
   }
-  StatusOr<std::unique_ptr<PersistentForestIndex>> created =
-      PersistentForestIndex::Create(options_.store_path, shape,
-                                    options_.pool_pages);
+  StatusOr<std::unique_ptr<ShardedStore>> created =
+      ShardedStore::Create(options_.store_path, shape,
+                           options_.store_shards, options_.pool_pages);
   PQIDX_RETURN_IF_ERROR(created.status());
   PQIDX_RETURN_IF_ERROR((*created)->BulkAdd(bags, nullptr, ack.ticket));
   return created;
 }
 
 StatusOr<std::shared_ptr<Follower::Serving>> Follower::BuildServing(
-    std::unique_ptr<PersistentForestIndex> store) {
+    std::unique_ptr<ShardedStore> store) {
   auto serving = std::make_shared<Serving>();
   serving->store = std::move(store);
   serving->server =
@@ -356,14 +356,13 @@ Status Follower::Start() {
   if (started_.exchange(true)) {
     return FailedPreconditionError("follower already started");
   }
-  std::unique_ptr<PersistentForestIndex> store;
+  std::unique_ptr<ShardedStore> store;
   uint64_t from_ticket = 0;
   {
     // An absent (or unreadable) store subscribes from zero; the leader
     // then answers with a snapshot that recreates it.
-    StatusOr<std::unique_ptr<PersistentForestIndex>> opened =
-        PersistentForestIndex::Open(options_.store_path,
-                                    options_.pool_pages);
+    StatusOr<std::unique_ptr<ShardedStore>> opened =
+        ShardedStore::Open(options_.store_path, options_.pool_pages);
     if (opened.ok()) {
       store = std::move(opened).value();
       from_ticket = store->replication_cursor();
@@ -381,7 +380,7 @@ Status Follower::Start() {
     DeltaFrame image;
     PQIDX_RETURN_IF_ERROR(ReceiveDeltaFrame(handshake->conn.get(), &image));
     store.reset();  // release the file before Create replaces it
-    StatusOr<std::unique_ptr<PersistentForestIndex>> installed =
+    StatusOr<std::unique_ptr<ShardedStore>> installed =
         InstallSnapshot(ack, std::move(image));
     PQIDX_RETURN_IF_ERROR(installed.status());
     store = std::move(installed).value();
@@ -392,9 +391,9 @@ Status Follower::Start() {
     shape.p = ack.p;
     shape.q = ack.q;
     if (!shape.Valid()) return DataLossError("bad subscribe ack shape");
-    StatusOr<std::unique_ptr<PersistentForestIndex>> created =
-        PersistentForestIndex::Create(options_.store_path, shape,
-                                      options_.pool_pages);
+    StatusOr<std::unique_ptr<ShardedStore>> created =
+        ShardedStore::Create(options_.store_path, shape,
+                             options_.store_shards, options_.pool_pages);
     PQIDX_RETURN_IF_ERROR(created.status());
     store = std::move(created).value();
   }
@@ -475,7 +474,7 @@ Status Follower::Resync(Handshake handshake) {
   }
   if (retired != nullptr) retired->server->Stop();
   retired.reset();
-  StatusOr<std::unique_ptr<PersistentForestIndex>> installed =
+  StatusOr<std::unique_ptr<ShardedStore>> installed =
       InstallSnapshot(handshake.ack, std::move(image));
   PQIDX_RETURN_IF_ERROR(installed.status());
   StatusOr<std::shared_ptr<Serving>> serving =

@@ -57,7 +57,7 @@
 #include "service/server.h"
 #include "service/transport.h"
 #include "service/wire.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 
 namespace pqidx {
 
@@ -193,6 +193,11 @@ struct FollowerOptions {
   // (truncated) when the leader answers with a snapshot.
   std::string store_path;
   int pool_pages = 256;
+  // Shard count of the follower's local store when it is (re)created
+  // (subscribe-from-zero or snapshot install). An existing store keeps
+  // its own layout; a follower may shard differently from its leader
+  // (replication is layout-agnostic -- the cursor is a single ticket).
+  int store_shards = 1;
   // Options for the follower's own Server. read_only is forced on
   // (client edits are rejected); its replication hub stays live, so a
   // follower can itself feed further followers.
@@ -261,7 +266,7 @@ class Follower {
   // The serving stack: declaration order makes the server (which holds
   // a raw pointer into the store) destroy first.
   struct Serving {
-    std::unique_ptr<PersistentForestIndex> store;
+    std::unique_ptr<ShardedStore> store;
     std::unique_ptr<Server> server;
   };
 
@@ -277,11 +282,11 @@ class Follower {
   Status ReceiveDeltaFrame(Connection* conn, DeltaFrame* out);
   // Builds a fresh store from a streamed snapshot image (add entries),
   // durably stamped with the snapshot's ticket.
-  StatusOr<std::unique_ptr<PersistentForestIndex>> InstallSnapshot(
+  StatusOr<std::unique_ptr<ShardedStore>> InstallSnapshot(
       const SubscribeAck& ack, DeltaFrame image);
   // Wraps `store` in a started read-only Server.
   StatusOr<std::shared_ptr<Serving>> BuildServing(
-      std::unique_ptr<PersistentForestIndex> store);
+      std::unique_ptr<ShardedStore> store);
   // Drains the current connection until it breaks; queues frames.
   Status StreamFrames() PQIDX_EXCLUDES(pending_mutex_, conn_mutex_);
   // Snapshot resync: quiesces the apply thread, rebuilds the store from

@@ -50,7 +50,7 @@ const char* OpcodeName(MessageType type) {
 
 }  // namespace
 
-Server::Server(PersistentForestIndex* index, ServerOptions options)
+Server::Server(ShardedStore* index, ServerOptions options)
     : index_(index), options_(options) {
   PQIDX_CHECK(options_.max_connections >= 1);
   PQIDX_CHECK(options_.max_write_queue >= 0);

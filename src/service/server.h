@@ -1,4 +1,5 @@
-// pqidxd: a concurrent index service over one PersistentForestIndex.
+// pqidxd: a concurrent index service over one ShardedStore (one or
+// more PersistentForestIndex shards under a per-batch group commit).
 //
 // Request pipeline (docs/ARCHITECTURE.md, "The service"):
 //
@@ -66,7 +67,7 @@
 #include "core/lookup_engine.h"
 #include "service/transport.h"
 #include "service/wire.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 
 namespace pqidx {
 
@@ -152,7 +153,7 @@ class Server {
  public:
   // Serves `index`, which must outlive the server and must not be used
   // by anyone else while the server runs.
-  Server(PersistentForestIndex* index, ServerOptions options);
+  Server(ShardedStore* index, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -301,7 +302,7 @@ class Server {
     return replica_;
   }
 
-  PersistentForestIndex* const index_;
+  ShardedStore* const index_;
   const ServerOptions options_;
 
   // The forest's pq-gram shape: set once by Start() from the store,

@@ -102,6 +102,10 @@ uint32_t LinearHashTable::StagingRegion(uint32_t tree, uint64_t fp,
   return static_cast<uint32_t>(KeyHash(tree, fp) % regions);
 }
 
+uint32_t LinearHashTable::BucketForKey(uint32_t tree, uint64_t fp) const {
+  return BucketFor(KeyHash(tree, fp));
+}
+
 Status LinearHashTable::Create(PageId meta_page) {
   meta_page_ = meta_page;
   level_ = 0;

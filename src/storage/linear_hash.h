@@ -68,6 +68,12 @@ class LinearHashTable {
   uint64_t entry_count() const { return entry_count_; }
   uint32_t bucket_count() const { return bucket_count_; }
 
+  // Snapshot of the destination bucket for a key under the *current*
+  // level/split state. Callers use it to sort staged deltas so the
+  // serial apply clusters its page touches; splits triggered mid-apply
+  // may relocate later keys, so this is a sort key, not an invariant.
+  uint32_t BucketForKey(uint32_t tree, uint64_t fp) const;
+
   // Deterministic partition of the key space into `regions` classes,
   // derived from the same hash BucketFor consumes. Worker threads
   // pre-aggregate deltas per region so the (single-threaded) table

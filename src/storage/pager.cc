@@ -38,17 +38,21 @@ bool ReadRaw(std::FILE* file, void* data, size_t size) {
 
 }  // namespace
 
-Pager::Pager(int pool_pages)
+Pager::Pager(int pool_pages, std::string metric_prefix)
     : pool_capacity_(std::max(pool_pages, 8)),
-      m_cache_hits_(Metrics::Default().counter("pager.cache_hits")),
-      m_cache_misses_(Metrics::Default().counter("pager.cache_misses")),
-      m_commits_(Metrics::Default().counter("pager.commits")),
-      m_fsyncs_(Metrics::Default().counter("pager.fsyncs")),
-      m_wal_bytes_(Metrics::Default().counter("pager.wal_bytes")),
-      m_wal_replays_(Metrics::Default().counter("pager.wal_replays")),
-      m_wal_discards_(Metrics::Default().counter("pager.wal_discards")),
-      m_commit_us_(Metrics::Default().histogram("pager.commit_us")),
-      m_replay_us_(Metrics::Default().histogram("pager.replay_us")) {}
+      m_cache_hits_(Metrics::Default().counter(metric_prefix + ".cache_hits")),
+      m_cache_misses_(
+          Metrics::Default().counter(metric_prefix + ".cache_misses")),
+      m_commits_(Metrics::Default().counter(metric_prefix + ".commits")),
+      m_fsyncs_(Metrics::Default().counter(metric_prefix + ".fsyncs")),
+      m_wal_bytes_(Metrics::Default().counter(metric_prefix + ".wal_bytes")),
+      m_wal_replays_(
+          Metrics::Default().counter(metric_prefix + ".wal_replays")),
+      m_wal_discards_(
+          Metrics::Default().counter(metric_prefix + ".wal_discards")),
+      m_commit_us_(Metrics::Default().histogram(metric_prefix + ".commit_us")),
+      m_replay_us_(
+          Metrics::Default().histogram(metric_prefix + ".replay_us")) {}
 
 Pager::~Pager() {
   if (file_ != nullptr) {
@@ -76,11 +80,25 @@ Status Pager::PoisonedError() const {
       "pager poisoned by a failed commit; reopen to recover");
 }
 
-Status Pager::Open(const std::string& path, bool create) {
+namespace {
+Status DeferredPendingError() {
+  return FailedPreconditionError(
+      "a sealed WAL is parked; call ResolveDeferredWal before page "
+      "operations");
+}
+}  // namespace
+
+Status Pager::Open(const std::string& path, bool create,
+                   bool defer_sealed_wal) {
   PQIDX_CHECK(file_ == nullptr);
   path_ = path;
   poisoned_ = false;
   fail_after_writes_ = -1;
+  prepared_ = false;
+  prepared_dirty_.clear();
+  deferred_pending_ = false;
+  deferred_records_.clear();
+  deferred_page_count_ = 0;
   file_ = std::fopen(path.c_str(), create ? "wb+" : "rb+");
   if (file_ == nullptr) {
     return IoError("cannot open page file: " + path);
@@ -89,20 +107,43 @@ Status Pager::Open(const std::string& path, bool create) {
     std::remove(WalPath().c_str());
     page_count_ = 0;
   } else {
-    PQIDX_RETURN_IF_ERROR(ReplayOrDiscardWal());
-    if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
-    long size = std::ftell(file_);
-    if (size < 0 || size % kPageSize != 0) {
-      return DataLossError("page file size is not a multiple of the page "
-                           "size: " + path);
+    if (defer_sealed_wal) {
+      std::vector<WalImage> records;
+      bool sealed = false;
+      uint32_t sealed_page_count = 0;
+      if (ParseWal(&records, &sealed, &sealed_page_count)) {
+        if (sealed) {
+          // Park the transaction: the caller inspects it and resolves.
+          deferred_pending_ = true;
+          deferred_records_ = std::move(records);
+          deferred_page_count_ = sealed_page_count;
+        } else {
+          ++wal_discards_;
+          m_wal_discards_->Increment();
+          std::remove(WalPath().c_str());
+        }
+      }
+    } else {
+      PQIDX_RETURN_IF_ERROR(ReplayOrDiscardWal());
     }
-    if (size / kPageSize > static_cast<long>(UINT32_MAX)) {
-      return DataLossError("page file exceeds the 32-bit page id space: " +
-                           path);
-    }
-    page_count_ = static_cast<PageId>(size / kPageSize);
+    PQIDX_RETURN_IF_ERROR(RefreshPageCountFromFile());
   }
   committed_page_count_ = page_count_;
+  return Status::Ok();
+}
+
+Status Pager::RefreshPageCountFromFile() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
+  long size = std::ftell(file_);
+  if (size < 0 || size % kPageSize != 0) {
+    return DataLossError("page file size is not a multiple of the page "
+                         "size: " + path_);
+  }
+  if (size / kPageSize > static_cast<long>(UINT32_MAX)) {
+    return DataLossError("page file exceeds the 32-bit page id space: " +
+                         path_);
+  }
+  page_count_ = static_cast<PageId>(size / kPageSize);
   return Status::Ok();
 }
 
@@ -117,6 +158,7 @@ Status Pager::Close() {
 
 StatusOr<PageId> Pager::AllocatePage() {
   if (poisoned_) return PoisonedError();
+  if (deferred_pending_) return DeferredPendingError();
   PQIDX_CHECK(file_ != nullptr);
   PageId id = page_count_++;
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/false);
@@ -128,6 +170,7 @@ StatusOr<PageId> Pager::AllocatePage() {
 
 StatusOr<const uint8_t*> Pager::ReadPage(PageId id) {
   if (poisoned_) return PoisonedError();
+  if (deferred_pending_) return DeferredPendingError();
   if (id >= page_count_) return OutOfRangeError("page id out of range");
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/true);
   PQIDX_RETURN_IF_ERROR(frame.status());
@@ -136,6 +179,7 @@ StatusOr<const uint8_t*> Pager::ReadPage(PageId id) {
 
 StatusOr<uint8_t*> Pager::MutablePage(PageId id) {
   if (poisoned_) return PoisonedError();
+  if (deferred_pending_) return DeferredPendingError();
   if (id >= page_count_) return OutOfRangeError("page id out of range");
   StatusOr<Frame*> frame = GetFrame(id, /*fetch_from_disk=*/true);
   PQIDX_RETURN_IF_ERROR(frame.status());
@@ -280,9 +324,16 @@ Status Pager::ApplyDirtyInPlace(const std::vector<PageId>& dirty,
 }
 
 Status Pager::Commit() {
+  PQIDX_RETURN_IF_ERROR(PrepareCommit());
+  return FinishPreparedCommit();
+}
+
+Status Pager::PrepareCommit() {
   if (poisoned_) return PoisonedError();
+  if (deferred_pending_) return DeferredPendingError();
   PQIDX_CHECK(file_ != nullptr);
-  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+  PQIDX_CHECK(!prepared_);
+  prepared_start_us_ = Metrics::enabled() ? Metrics::NowUs() : 0;
   StatusOr<std::vector<PageId>> dirty = WriteWal();
   if (!dirty.ok()) {
     // The WAL never sealed: nothing durable happened, but the sidecar
@@ -290,10 +341,22 @@ Status Pager::Commit() {
     poisoned_ = true;
     return dirty.status();
   }
-  if (dirty->empty() && page_count_ == committed_page_count_) {
-    return Status::Ok();
+  prepared_ = true;
+  prepared_dirty_ = std::move(*dirty);
+  return Status::Ok();
+}
+
+Status Pager::FinishPreparedCommit() {
+  if (poisoned_) return PoisonedError();
+  PQIDX_CHECK(file_ != nullptr);
+  PQIDX_CHECK(prepared_);
+  prepared_ = false;
+  std::vector<PageId> dirty = std::move(prepared_dirty_);
+  prepared_dirty_.clear();
+  if (dirty.empty() && page_count_ == committed_page_count_) {
+    return Status::Ok();  // nothing was written: WriteWal no-op'ed
   }
-  Status applied = ApplyDirtyInPlace(*dirty, /*limit=*/-1);
+  Status applied = ApplyDirtyInPlace(dirty, /*limit=*/-1);
   Status synced = applied.ok() ? SyncCounted(file_) : applied;
   if (!synced.ok()) {
     // The WAL is sealed, the main file may be torn: durable but not
@@ -302,16 +365,28 @@ Status Pager::Commit() {
     return synced;
   }
   std::remove(WalPath().c_str());
-  for (PageId id : *dirty) {
+  for (PageId id : dirty) {
     MarkClean(id, &pool_.at(id));
   }
   committed_page_count_ = page_count_;
   ++commits_;
   m_commits_->Increment();
   if (Metrics::enabled()) {
-    m_commit_us_->Record(Metrics::NowUs() - start_us);
+    m_commit_us_->Record(Metrics::NowUs() - prepared_start_us_);
   }
   return Status::Ok();
+}
+
+Status Pager::AbortPreparedCommit() {
+  if (poisoned_) return PoisonedError();
+  PQIDX_CHECK(file_ != nullptr);
+  PQIDX_CHECK(prepared_);
+  prepared_ = false;
+  prepared_dirty_.clear();
+  // Drop the sealed WAL first so a crash mid-abort cannot resurrect the
+  // transaction, then roll the in-memory state back to the last commit.
+  std::remove(WalPath().c_str());
+  return Rollback();
 }
 
 Status Pager::Rollback() {
@@ -339,26 +414,29 @@ Status Pager::CommitWithCrash(CrashPoint point) {
   // Poison the handle so concurrent users (a server pipelining further
   // commits through this store) get clean errors instead of touching
   // the dead file; only reopening recovers.
-  std::fclose(file_);
-  file_ = nullptr;
-  pool_.clear();
-  lru_.clear();
-  poisoned_ = true;
+  CrashAbandon();
   return Status::Ok();
 }
 
-Status Pager::ReplayOrDiscardWal() {
-  std::FILE* wal = std::fopen(WalPath().c_str(), "rb");
-  if (wal == nullptr) return Status::Ok();  // no WAL: clean shutdown
-  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+void Pager::CrashAbandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  pool_.clear();
+  lru_.clear();
+  prepared_ = false;
+  prepared_dirty_.clear();
+  poisoned_ = true;
+}
 
-  struct Record {
-    PageId id;
-    std::vector<uint8_t> data;
-  };
-  std::vector<Record> records;
-  bool sealed = false;
-  uint32_t sealed_page_count = 0;
+bool Pager::ParseWal(std::vector<WalImage>* records, bool* sealed,
+                     uint32_t* sealed_page_count) {
+  records->clear();
+  *sealed = false;
+  *sealed_page_count = 0;
+  std::FILE* wal = std::fopen(WalPath().c_str(), "rb");
+  if (wal == nullptr) return false;  // no WAL: clean shutdown
 
   uint32_t magic = 0;
   if (ReadRaw(wal, &magic, sizeof(magic)) && magic == kWalMagic) {
@@ -373,16 +451,16 @@ Status Pager::ReplayOrDiscardWal() {
             !ReadRaw(wal, &seal_checksum, sizeof(seal_checksum))) {
           break;
         }
-        if (num_records == records.size() &&
+        if (num_records == records->size() &&
             seal_checksum ==
                 Fnv1a(reinterpret_cast<const uint8_t*>(&num_records),
                       sizeof(num_records), new_page_count)) {
-          sealed = true;
-          sealed_page_count = new_page_count;
+          *sealed = true;
+          *sealed_page_count = new_page_count;
         }
         break;
       }
-      Record record;
+      WalImage record;
       record.id = id_or_seal;
       record.data.resize(kPageSize);
       uint64_t checksum;
@@ -391,55 +469,108 @@ Status Pager::ReplayOrDiscardWal() {
           checksum != Fnv1a(record.data.data(), kPageSize, record.id)) {
         break;  // torn tail
       }
-      records.push_back(std::move(record));
+      records->push_back(std::move(record));
     }
   }
   std::fclose(wal);
+  return true;
+}
 
-  if (sealed) {
-    // The transaction was durable: finish applying it. A record id at or
-    // beyond the sealed page count can only come from corruption the
-    // per-record checksums missed; refuse to seek the main file to an
-    // arbitrary offset on its say-so.
-    for (const Record& record : records) {
-      if (record.id >= sealed_page_count) {
-        return DataLossError("WAL record beyond sealed page count");
-      }
-      if (std::fseek(file_, static_cast<long>(record.id) * kPageSize,
-                     SEEK_SET) != 0 ||
-          !WriteRaw(file_, record.data.data(), kPageSize)) {
-        return IoError("WAL replay write failed");
-      }
+Status Pager::ApplySealedWal(const std::vector<WalImage>& records,
+                             uint32_t sealed_page_count, int64_t start_us) {
+  // The transaction was durable: finish applying it. A record id at or
+  // beyond the sealed page count can only come from corruption the
+  // per-record checksums missed; refuse to seek the main file to an
+  // arbitrary offset on its say-so.
+  for (const WalImage& record : records) {
+    if (record.id >= sealed_page_count) {
+      return DataLossError("WAL record beyond sealed page count");
     }
-    // Pages allocated but never dirtied materialize as zero pages.
-    if (sealed_page_count > 0) {
-      long want = static_cast<long>(sealed_page_count) * kPageSize;
-      if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
-      long have = std::ftell(file_);
-      if (have < want) {
-        std::vector<uint8_t> zeros(kPageSize, 0);
-        while (have < want) {
-          if (!WriteRaw(file_, zeros.data(), kPageSize)) {
-            return IoError("WAL replay extend failed");
-          }
-          have += kPageSize;
+    if (std::fseek(file_, static_cast<long>(record.id) * kPageSize,
+                   SEEK_SET) != 0 ||
+        !WriteRaw(file_, record.data.data(), kPageSize)) {
+      return IoError("WAL replay write failed");
+    }
+  }
+  // Pages allocated but never dirtied materialize as zero pages.
+  if (sealed_page_count > 0) {
+    long want = static_cast<long>(sealed_page_count) * kPageSize;
+    if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek failed");
+    long have = std::ftell(file_);
+    if (have < want) {
+      std::vector<uint8_t> zeros(kPageSize, 0);
+      while (have < want) {
+        if (!WriteRaw(file_, zeros.data(), kPageSize)) {
+          return IoError("WAL replay extend failed");
         }
+        have += kPageSize;
       }
     }
-    PQIDX_RETURN_IF_ERROR(SyncCounted(file_));
+  }
+  PQIDX_RETURN_IF_ERROR(SyncCounted(file_));
+  ++wal_replays_;
+  m_wal_replays_->Increment();
+  if (Metrics::enabled()) {
+    m_replay_us_->Record(Metrics::NowUs() - start_us);
+  }
+  std::remove(WalPath().c_str());
+  return Status::Ok();
+}
+
+Status Pager::ReplayOrDiscardWal() {
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+  std::vector<WalImage> records;
+  bool sealed = false;
+  uint32_t sealed_page_count = 0;
+  if (!ParseWal(&records, &sealed, &sealed_page_count)) {
+    return Status::Ok();
   }
   if (sealed) {
-    ++wal_replays_;
-    m_wal_replays_->Increment();
-    if (Metrics::enabled()) {
-      m_replay_us_->Record(Metrics::NowUs() - start_us);
+    return ApplySealedWal(records, sealed_page_count, start_us);
+  }
+  ++wal_discards_;
+  m_wal_discards_->Increment();
+  std::remove(WalPath().c_str());
+  return Status::Ok();
+}
+
+Status Pager::ReadDeferredWalPage(PageId id, uint8_t* out) const {
+  if (!deferred_pending_) {
+    return FailedPreconditionError("no deferred WAL is parked");
+  }
+  // The dirty set is unique per commit, but scan backwards anyway so a
+  // hypothetical duplicate resolves to the last (winning) image.
+  for (auto it = deferred_records_.rbegin(); it != deferred_records_.rend();
+       ++it) {
+    if (it->id == id) {
+      std::memcpy(out, it->data.data(), kPageSize);
+      return Status::Ok();
     }
+  }
+  return NotFoundError("deferred WAL does not touch page " +
+                       std::to_string(id));
+}
+
+Status Pager::ResolveDeferredWal(bool replay) {
+  if (!deferred_pending_) {
+    return FailedPreconditionError("no deferred WAL is parked");
+  }
+  const int64_t start_us = Metrics::enabled() ? Metrics::NowUs() : 0;
+  deferred_pending_ = false;
+  std::vector<WalImage> records = std::move(deferred_records_);
+  deferred_records_.clear();
+  const uint32_t sealed_page_count = deferred_page_count_;
+  deferred_page_count_ = 0;
+  if (replay) {
+    PQIDX_RETURN_IF_ERROR(ApplySealedWal(records, sealed_page_count,
+                                         start_us));
   } else {
     ++wal_discards_;
     m_wal_discards_->Increment();
+    std::remove(WalPath().c_str());
   }
-  // Sealed and applied, or unsealed and discarded: either way, drop it.
-  std::remove(WalPath().c_str());
+  PQIDX_RETURN_IF_ERROR(RefreshPageCountFromFile());
+  committed_page_count_ = page_count_;
   return Status::Ok();
 }
 

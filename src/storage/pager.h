@@ -35,16 +35,26 @@ using PageId = uint32_t;
 
 class Pager {
  public:
-  // `pool_pages` bounds the buffer pool (minimum 8).
-  explicit Pager(int pool_pages = 256);
+  // `pool_pages` bounds the buffer pool (minimum 8). `metric_prefix`
+  // names the registry cells ("pager" by default -> "pager.cache_hits",
+  // ...); sharded stores pass "pager.s<k>" so per-shard I/O is
+  // distinguishable in `kStatsSnapshot`.
+  explicit Pager(int pool_pages = 256, std::string metric_prefix = "pager");
   ~Pager();
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
   // Opens (or with `create` initializes) the page file at `path`,
-  // replaying or discarding any leftover WAL.
-  Status Open(const std::string& path, bool create);
+  // replaying or discarding any leftover WAL. With `defer_sealed_wal`,
+  // a *sealed* WAL is parsed but neither replayed nor removed: the
+  // caller inspects its images (ReadDeferredWalPage) and then decides
+  // with ResolveDeferredWal whether the transaction commits or rolls
+  // back -- the hook sharded-store recovery uses to land a torn
+  // multi-shard group on a consistent cut. Unsealed/torn WALs are
+  // discarded as usual.
+  Status Open(const std::string& path, bool create,
+              bool defer_sealed_wal = false);
   Status Close();
   bool is_open() const { return file_ != nullptr; }
 
@@ -65,9 +75,32 @@ class Pager {
   // Durably and atomically applies all changes since the last Commit.
   Status Commit();
 
+  // Two-phase variant of Commit() for multi-shard group commit.
+  // PrepareCommit runs step (1): the transaction's page images are
+  // durable in the sealed WAL but the main file is untouched, so the
+  // outcome is still two-sided -- FinishPreparedCommit applies it in
+  // place (steps 2-3), AbortPreparedCommit drops the WAL and rolls the
+  // pool back. A crash between prepare and finish leaves the sealed
+  // WAL for Open() to replay (or for deferred-WAL recovery to judge).
+  Status PrepareCommit();
+  Status FinishPreparedCommit();
+  Status AbortPreparedCommit();
+  bool prepared() const { return prepared_; }
+
   // Drops uncommitted changes (dirty pool pages and pages allocated
   // since the last commit).
   Status Rollback();
+
+  // --- deferred-WAL recovery (Open with defer_sealed_wal) -------------------
+
+  // True while a sealed WAL from a previous run is parked awaiting
+  // ResolveDeferredWal; all page operations fail until it is resolved.
+  bool has_deferred_wal() const { return deferred_pending_; }
+  // Copies the deferred transaction's image of `id` (kPageSize bytes)
+  // into `out`; NotFound if the transaction did not touch that page.
+  Status ReadDeferredWalPage(PageId id, uint8_t* out) const;
+  // Replays (commit) or discards (roll back) the parked WAL.
+  Status ResolveDeferredWal(bool replay);
 
   // --- test hooks -----------------------------------------------------------
 
@@ -79,6 +112,12 @@ class Pager {
     kDuringInPlace,   // WAL sealed, only the first dirty page written
   };
   Status CommitWithCrash(CrashPoint point);
+
+  // Simulates process death at an arbitrary point: closes the file
+  // handle and drops all volatile state, leaving the on-disk files
+  // exactly as they are (including a prepared-but-unfinished WAL). The
+  // pager becomes unusable; reopen to recover.
+  void CrashAbandon();
 
   // Simulates an I/O failure: the next `after` raw file writes succeed,
   // then every write fails until the pager is reopened. A Commit that
@@ -135,7 +174,23 @@ class Pager {
   // WAL: gather dirty pages, write + seal; returns the dirty page ids.
   StatusOr<std::vector<PageId>> WriteWal();
   Status ApplyDirtyInPlace(const std::vector<PageId>& dirty, int limit);
+
+  // A parsed WAL page image (recovery and deferred-WAL inspection).
+  struct WalImage {
+    PageId id;
+    std::vector<uint8_t> data;
+  };
+  // Parses <path>.wal if present. Returns false when no WAL file
+  // exists; otherwise fills `records` with the checksummed prefix and
+  // sets `sealed`/`sealed_page_count` from a valid seal record.
+  bool ParseWal(std::vector<WalImage>* records, bool* sealed,
+                uint32_t* sealed_page_count);
+  // Applies a sealed WAL's images to the main file (replay), counts the
+  // replay, and removes the WAL file.
+  Status ApplySealedWal(const std::vector<WalImage>& records,
+                        uint32_t sealed_page_count, int64_t start_us);
   Status ReplayOrDiscardWal();
+  Status RefreshPageCountFromFile();
 
   std::string path_;
   std::FILE* file_ = nullptr;
@@ -147,6 +202,15 @@ class Pager {
   int64_t commits_ = 0;
   int fail_after_writes_ = -1;  // < 0: no injection
   bool poisoned_ = false;
+  // Two-phase commit state: set by PrepareCommit, consumed by
+  // Finish/AbortPreparedCommit.
+  bool prepared_ = false;
+  std::vector<PageId> prepared_dirty_;
+  int64_t prepared_start_us_ = 0;
+  // Deferred sealed-WAL state (Open with defer_sealed_wal).
+  bool deferred_pending_ = false;
+  std::vector<WalImage> deferred_records_;
+  uint32_t deferred_page_count_ = 0;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
   int64_t fsyncs_ = 0;

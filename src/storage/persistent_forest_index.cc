@@ -1,6 +1,7 @@
 #include "storage/persistent_forest_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/metrics.h"
@@ -23,6 +24,10 @@ constexpr int kCatalogHeadOff = 16;
 // already existed: the bytes were zero then, and cursor 0 means "never
 // replicated", so old files stay readable without a version bump.
 constexpr int kCursorOff = 20;
+// u64 store commit ticket (storage/sharded_store.h). Same
+// compatibility argument: pre-shard files read 0, and ticket 0 means
+// "never group-committed", so no version bump either.
+constexpr int kTicketOff = 28;
 
 // Catalog page layout.
 constexpr int kCatNextOff = 0;
@@ -43,15 +48,21 @@ void Store(uint8_t* page, int offset, T value) {
   std::memcpy(page + offset, &value, sizeof(T));
 }
 
-// One (tree, fp) tuple delta tagged with its staging region; the unit of
-// the parallel δ-phase (flatten/hash in parallel, merge per region in
-// parallel, apply serially).
+// One (tree, fp) tuple delta tagged with its staging region and its
+// destination bucket snapshot; the unit of the parallel δ-phase
+// (flatten/hash in parallel, merge per region in parallel, apply
+// serially in bucket order so page touches cluster).
 struct StagedDelta {
   uint32_t region;
+  uint32_t bucket;
   uint32_t tree;
   uint64_t fp;
   int64_t delta;
 };
+
+// Bench hook (SetBucketSortEnabled): the bucket-clustered apply order
+// is on by default; BENCH_WRITE flips it off to measure the win.
+std::atomic<bool> g_bucket_sort_enabled{true};
 
 // How many staging regions a pool of `lanes` workers gets. More regions
 // than lanes keeps the merge balanced when the hash skews; the cap keeps
@@ -61,8 +72,12 @@ uint32_t StagingRegions(int lanes) {
 }
 
 // Gathers region `region`'s tuples from the per-edit flats, orders them
-// by key, and coalesces duplicate keys into net deltas (zero nets are
-// dropped entirely). Safe to run for distinct regions concurrently.
+// by (bucket, key) -- equal keys share a bucket, so coalescing below
+// still sees duplicates adjacent -- and coalesces duplicate keys into
+// net deltas (zero nets are dropped entirely). The bucket-major order
+// is what clusters the serial apply's page touches; with the bench
+// hook off it degrades to plain key order. Safe to run for distinct
+// regions concurrently.
 void MergeRegionRun(const std::vector<std::vector<StagedDelta>>& flat,
                     uint32_t region, std::vector<StagedDelta>* run) {
   for (const std::vector<StagedDelta>& edit_deltas : flat) {
@@ -70,8 +85,12 @@ void MergeRegionRun(const std::vector<std::vector<StagedDelta>>& flat,
       if (d.region == region) run->push_back(d);
     }
   }
+  const bool by_bucket = g_bucket_sort_enabled.load(std::memory_order_relaxed);
   std::sort(run->begin(), run->end(),
-            [](const StagedDelta& a, const StagedDelta& b) {
+            [by_bucket](const StagedDelta& a, const StagedDelta& b) {
+              if (by_bucket && a.bucket != b.bucket) {
+                return a.bucket < b.bucket;
+              }
               return a.tree < b.tree || (a.tree == b.tree && a.fp < b.fp);
             });
   size_t w = 0;
@@ -95,21 +114,45 @@ void MergeRegionRun(const std::vector<std::vector<StagedDelta>>& flat,
 
 }  // namespace
 
+void PersistentForestIndex::SetBucketSortEnabled(bool enabled) {
+  g_bucket_sort_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PersistentForestIndex::bucket_sort_enabled() {
+  return g_bucket_sort_enabled.load(std::memory_order_relaxed);
+}
+
 StatusOr<std::unique_ptr<PersistentForestIndex>>
 PersistentForestIndex::Create(const std::string& path, PqShape shape,
                               int pool_pages) {
+  OpenOptions options;
+  options.pool_pages = pool_pages;
+  return Create(path, shape, options);
+}
+
+StatusOr<std::unique_ptr<PersistentForestIndex>>
+PersistentForestIndex::Create(const std::string& path, PqShape shape,
+                              const OpenOptions& options) {
   PQIDX_CHECK(shape.Valid());
-  std::unique_ptr<PersistentForestIndex> store(
-      new PersistentForestIndex(pool_pages));
+  std::unique_ptr<PersistentForestIndex> store(new PersistentForestIndex(
+      options.pool_pages, options.metric_prefix));
   PQIDX_RETURN_IF_ERROR(store->InitializeNew(path, shape));
   return store;
 }
 
 StatusOr<std::unique_ptr<PersistentForestIndex>>
 PersistentForestIndex::Open(const std::string& path, int pool_pages) {
-  std::unique_ptr<PersistentForestIndex> store(
-      new PersistentForestIndex(pool_pages));
-  PQIDX_RETURN_IF_ERROR(store->OpenExisting(path));
+  OpenOptions options;
+  options.pool_pages = pool_pages;
+  return Open(path, options);
+}
+
+StatusOr<std::unique_ptr<PersistentForestIndex>>
+PersistentForestIndex::Open(const std::string& path,
+                            const OpenOptions& options) {
+  std::unique_ptr<PersistentForestIndex> store(new PersistentForestIndex(
+      options.pool_pages, options.metric_prefix));
+  PQIDX_RETURN_IF_ERROR(store->OpenExisting(path, options));
   return store;
 }
 
@@ -139,8 +182,26 @@ Status PersistentForestIndex::InitializeNew(const std::string& path,
   return pager_.Commit();
 }
 
-Status PersistentForestIndex::OpenExisting(const std::string& path) {
-  PQIDX_RETURN_IF_ERROR(pager_.Open(path, /*create=*/false));
+Status PersistentForestIndex::OpenExisting(const std::string& path,
+                                           const OpenOptions& options) {
+  PQIDX_RETURN_IF_ERROR(pager_.Open(path, /*create=*/false,
+                                    /*defer_sealed_wal=*/options.bound_replay));
+  if (pager_.has_deferred_wal()) {
+    // A crash left this shard's group-commit transaction sealed. Its
+    // meta-page image carries the store ticket the group stamped;
+    // replay only when that group reached the manifest commit point
+    // (ticket <= bound). A WAL that never stamped a ticket (legacy
+    // single-store transaction) is a complete sealed commit with no
+    // group to be torn from, so it replays unconditionally.
+    std::vector<uint8_t> page0(kPageSize);
+    uint64_t wal_ticket = 0;
+    if (pager_.ReadDeferredWalPage(0, page0.data()).ok()) {
+      wal_ticket = Load<uint64_t>(page0.data(), kTicketOff);
+    }
+    const bool replay =
+        wal_ticket == 0 || wal_ticket <= options.replay_ticket_bound;
+    PQIDX_RETURN_IF_ERROR(pager_.ResolveDeferredWal(replay));
+  }
   if (pager_.page_count() == 0) {
     return DataLossError("empty index file: " + path);
   }
@@ -158,6 +219,7 @@ Status PersistentForestIndex::OpenExisting(const std::string& path) {
   PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
   catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
   cursor_ = Load<uint64_t>(*page, kCursorOff);
+  ticket_ = Load<uint64_t>(*page, kTicketOff);
   PQIDX_RETURN_IF_ERROR(table_.Attach(hash_meta));
   return LoadCatalog();
 }
@@ -226,12 +288,39 @@ Status PersistentForestIndex::StoreCursor(uint64_t cursor) {
   return Status::Ok();
 }
 
-Status PersistentForestIndex::CommitOrCrash() {
+Status PersistentForestIndex::StoreTicket(uint64_t ticket) {
+  if (ticket <= ticket_) return Status::Ok();
+  StatusOr<uint8_t*> page = pager_.MutablePage(0);
+  PQIDX_RETURN_IF_ERROR(page.status());
+  Store(*page, kTicketOff, ticket);
+  ticket_ = ticket;
+  return Status::Ok();
+}
+
+Status PersistentForestIndex::CommitOrCrash(bool prepare) {
+  if (prepare) {
+    // Group-commit prepare: the crash hook stays on the full-commit
+    // path; the sharded store injects its own inter-shard crash points.
+    return pager_.PrepareCommit();
+  }
   if (crash_armed_) {
     crash_armed_ = false;
     return pager_.CommitWithCrash(crash_point_);
   }
   return pager_.Commit();
+}
+
+// Restores the in-memory caches (catalog head, cursor, ticket,
+// linear-hash meta, catalog map) from the committed page 0.
+Status PersistentForestIndex::ReloadCaches() {
+  StatusOr<const uint8_t*> page = pager_.ReadPage(0);
+  PQIDX_RETURN_IF_ERROR(page.status());
+  catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
+  cursor_ = Load<uint64_t>(*page, kCursorOff);
+  ticket_ = Load<uint64_t>(*page, kTicketOff);
+  PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
+  PQIDX_RETURN_IF_ERROR(table_.Attach(hash_meta));
+  return LoadCatalog();
 }
 
 // Discards uncommitted page changes and restores the in-memory caches
@@ -242,15 +331,17 @@ Status PersistentForestIndex::RollbackAndReload(Status cause) {
   // (a reload that fails leaves the caches as ReadPage/Attach/LoadCatalog
   // left them, and the next operation reports its own error).
   (void)pager_.Rollback();
-  StatusOr<const uint8_t*> page = pager_.ReadPage(0);
-  if (page.ok()) {
-    catalog_head_ = Load<uint32_t>(*page, kCatalogHeadOff);
-    cursor_ = Load<uint64_t>(*page, kCursorOff);
-    PageId hash_meta = Load<uint32_t>(*page, kHashMetaOff);
-    (void)table_.Attach(hash_meta);
-  }
-  (void)LoadCatalog();
+  (void)ReloadCaches();
   return cause;
+}
+
+Status PersistentForestIndex::FinishPrepared() {
+  return pager_.FinishPreparedCommit();
+}
+
+Status PersistentForestIndex::AbortPrepared() {
+  PQIDX_RETURN_IF_ERROR(pager_.AbortPreparedCommit());
+  return ReloadCaches();
 }
 
 std::vector<TreeId> PersistentForestIndex::TreeIds() const {
@@ -290,6 +381,14 @@ Status PersistentForestIndex::AddTree(TreeId id, const Tree& tree) {
 Status PersistentForestIndex::BulkAdd(
     const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
     ThreadPool* pool, uint64_t cursor) {
+  TxnOptions txn;
+  txn.cursor = cursor;
+  return BulkAdd(bags, pool, txn);
+}
+
+Status PersistentForestIndex::BulkAdd(
+    const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
+    ThreadPool* pool, const TxnOptions& txn) {
   for (const auto& [id, bag] : bags) {
     if (!(bag->shape() == shape_)) {
       return InvalidArgumentError("index shape does not match the store");
@@ -309,7 +408,7 @@ Status PersistentForestIndex::BulkAdd(
     out.reserve(bag->counts().size());
     for (const auto& [fp, count] : bag->counts()) {
       out.push_back({LinearHashTable::StagingRegion(tree, fp, regions),
-                     tree, fp, count});
+                     table_.BucketForKey(tree, fp), tree, fp, count});
     }
   };
   std::vector<std::vector<StagedDelta>> runs(regions);
@@ -337,15 +436,27 @@ Status PersistentForestIndex::BulkAdd(
   for (const auto& [id, bag] : bags) catalog_[id] = bag->size();
   Status stored = StoreCatalog();
   if (!stored.ok()) return RollbackAndReload(stored);
-  stored = StoreCursor(cursor);
+  stored = StoreCursor(txn.cursor);
   if (!stored.ok()) return RollbackAndReload(stored);
-  return CommitOrCrash();
+  stored = StoreTicket(txn.ticket);
+  if (!stored.ok()) return RollbackAndReload(stored);
+  return CommitOrCrash(txn.prepare);
 }
 
 Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
                                          std::vector<Status>* results,
                                          ApplyBatchTimings* timings,
                                          ThreadPool* pool, uint64_t cursor) {
+  TxnOptions txn;
+  txn.cursor = cursor;
+  return ApplyBatch(edits, results, timings, pool, txn);
+}
+
+Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
+                                         std::vector<Status>* results,
+                                         ApplyBatchTimings* timings,
+                                         ThreadPool* pool,
+                                         const TxnOptions& txn) {
   static Counter* const m_batches =
       Metrics::Default().counter("apply_batch.batches");
   static Counter* const m_edits =
@@ -463,7 +574,8 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
     auto emit = [&](const PqGramIndex& bag, int64_t sign) {
       for (const auto& [fp, count] : bag.counts()) {
         out.push_back({LinearHashTable::StagingRegion(tree, fp, regions),
-                       tree, fp, sign * count});
+                       table_.BucketForKey(tree, fp), tree, fp,
+                       sign * count});
       }
     };
     if (edit.add != nullptr) {
@@ -508,14 +620,17 @@ Status PersistentForestIndex::ApplyBatch(const std::vector<BatchEdit>& edits,
 
   lap(&split.delta_us);
 
-  // Phase 3: catalog + cursor + one commit.
+  // Phase 3: catalog + cursor/ticket stamps + one commit (or, in
+  // prepare mode, one WAL seal the caller finishes or aborts).
   for (const auto& [id, size] : staged_sizes) catalog_[id] = size;
   Status stored = StoreCatalog();
   if (!stored.ok()) return fail_batch(std::move(stored));
-  stored = StoreCursor(cursor);
+  stored = StoreCursor(txn.cursor);
+  if (!stored.ok()) return fail_batch(std::move(stored));
+  stored = StoreTicket(txn.ticket);
   if (!stored.ok()) return fail_batch(std::move(stored));
   lap(&split.update_us);
-  Status committed = CommitOrCrash();
+  Status committed = CommitOrCrash(txn.prepare);
   lap(&split.storage_us);
   if (timings != nullptr) *timings = split;
   if (!committed.ok()) {

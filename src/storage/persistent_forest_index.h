@@ -36,14 +36,34 @@ namespace pqidx {
 
 class PersistentForestIndex {
  public:
+  // Create/Open knobs. `metric_prefix` names the underlying pager's
+  // registry cells ("pager" by default; sharded stores pass
+  // "pager.s<k>"). The replay bound implements sharded-store recovery:
+  // with `bound_replay` set, a sealed WAL left by a crash is replayed
+  // only when the store ticket stamped in its meta-page image is
+  // nonzero and <= `replay_ticket_bound` -- a ticket beyond the bound
+  // identifies a group-commit transaction whose group never reached
+  // its manifest commit point, so it is discarded (rolled back) to
+  // keep the multi-shard cut consistent.
+  struct OpenOptions {
+    int pool_pages = 256;
+    std::string metric_prefix = "pager";
+    bool bound_replay = false;
+    uint64_t replay_ticket_bound = 0;
+  };
+
   // Creates a fresh index file at `path` (replacing any existing file).
   static StatusOr<std::unique_ptr<PersistentForestIndex>> Create(
       const std::string& path, PqShape shape, int pool_pages = 256);
+  static StatusOr<std::unique_ptr<PersistentForestIndex>> Create(
+      const std::string& path, PqShape shape, const OpenOptions& options);
 
   // Opens an existing index file, recovering from a crashed commit if a
   // write-ahead log is present.
   static StatusOr<std::unique_ptr<PersistentForestIndex>> Open(
       const std::string& path, int pool_pages = 256);
+  static StatusOr<std::unique_ptr<PersistentForestIndex>> Open(
+      const std::string& path, const OpenOptions& options);
 
   const PqShape& shape() const { return shape_; }
   int size() const { return static_cast<int>(catalog_.size()); }
@@ -55,6 +75,14 @@ class PersistentForestIndex {
   // recovered follower resumes exactly after its last durable batch.
   // Files written before the cursor existed read 0.
   uint64_t replication_cursor() const { return cursor_; }
+
+  // The durable store commit ticket: a monotone per-transaction stamp a
+  // sharded store writes into every touched shard's meta page inside
+  // that shard's WAL transaction (TxnOptions::ticket). Recovery uses it
+  // to decide whether a crashed shard WAL belongs to a group that
+  // reached its manifest commit point. 0 for stores that never ran
+  // under a sharded group commit (including all pre-shard files).
+  uint64_t store_ticket() const { return ticket_; }
 
   // |I(id)|, or -1 if unknown.
   int64_t TreeBagSize(TreeId id) const;
@@ -72,6 +100,23 @@ class PersistentForestIndex {
   Status BulkAdd(
       const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
       ThreadPool* pool = nullptr, uint64_t cursor = 0);
+
+  // Per-transaction stamps and commit mode for ApplyBatch/BulkAdd.
+  // `cursor`/`ticket` are written to the meta page inside the batch's
+  // WAL transaction (0 skips the respective stamp; both are monotone).
+  // With `prepare`, the transaction stops after the WAL seal+fsync
+  // (Pager::PrepareCommit): the mutation is durable but not applied
+  // until FinishPrepared(), and AbortPrepared() rolls it back -- the
+  // two-phase hook ShardedStore's group commit is built on.
+  struct TxnOptions {
+    uint64_t cursor = 0;
+    uint64_t ticket = 0;
+    bool prepare = false;
+  };
+
+  Status BulkAdd(
+      const std::vector<std::pair<TreeId, const PqGramIndex*>>& bags,
+      ThreadPool* pool, const TxnOptions& txn);
 
   // One edit of a group-committed batch (see ApplyBatch): either an
   // AddIndex (`add` set) or an UpdateTree (`plus` and `minus` set).
@@ -126,6 +171,19 @@ class PersistentForestIndex {
                     std::vector<Status>* results,
                     ApplyBatchTimings* timings = nullptr,
                     ThreadPool* pool = nullptr, uint64_t cursor = 0);
+  Status ApplyBatch(const std::vector<BatchEdit>& edits,
+                    std::vector<Status>* results,
+                    ApplyBatchTimings* timings, ThreadPool* pool,
+                    const TxnOptions& txn);
+
+  // Completes or rolls back a transaction left prepared by
+  // ApplyBatch/BulkAdd with TxnOptions::prepare. FinishPrepared applies
+  // the sealed WAL in place (the commit's second fsync); AbortPrepared
+  // drops the WAL and restores the in-memory caches to the last commit.
+  Status FinishPrepared();
+  Status AbortPrepared();
+  // True between a successful prepare and its finish/abort.
+  bool prepared() const { return pager_.prepared(); }
 
   // Materializes every cataloged bag in one table sweep -- the fast way
   // to build an in-memory serving replica of the whole store. Fails on
@@ -162,10 +220,22 @@ class PersistentForestIndex {
   // Aborts on structural inconsistency (catalog vs. table); tests.
   void CheckConsistency();
 
+  // Hash-table occupancy snapshots (per-shard observability).
+  uint64_t table_entry_count() const { return table_.entry_count(); }
+  uint32_t table_bucket_count() const { return table_.bucket_count(); }
+
   const Pager& pager() const { return pager_; }
   // Test hook: mutable pager access for fault injection
   // (Pager::InjectWriteFailureAfter).
   Pager* mutable_pager() { return &pager_; }
+
+  // Bench/test hook (process-wide): toggles the bucket-clustered apply
+  // order in the δ-phase. On (the default) the staged net deltas are
+  // sorted by destination hash bucket so the serial table apply
+  // clusters its page touches; off restores plain key order, the
+  // before/after comparison BENCH_WRITE reports.
+  static void SetBucketSortEnabled(bool enabled);
+  static bool bucket_sort_enabled();
 
   // Test hook: run a mutation and crash mid-commit (see Pager).
   Status CrashNextCommit(Pager::CrashPoint point) {
@@ -175,10 +245,11 @@ class PersistentForestIndex {
   }
 
  private:
-  explicit PersistentForestIndex(int pool_pages) : pager_(pool_pages) {}
+  PersistentForestIndex(int pool_pages, const std::string& metric_prefix)
+      : pager_(pool_pages, metric_prefix) {}
 
   Status InitializeNew(const std::string& path, PqShape shape);
-  Status OpenExisting(const std::string& path);
+  Status OpenExisting(const std::string& path, const OpenOptions& options);
 
   Status LoadCatalog();
   Status StoreCatalog();
@@ -186,7 +257,12 @@ class PersistentForestIndex {
   // the caller's open transaction). Cursors never move backwards; 0 is
   // a no-op so non-replicating callers skip the page-0 write entirely.
   Status StoreCursor(uint64_t cursor);
-  Status CommitOrCrash();
+  // Same discipline for the store commit ticket.
+  Status StoreTicket(uint64_t ticket);
+  // Restores catalog_head_/cursor_/ticket_/table_ caches from the
+  // committed page 0 (after a rollback or abort).
+  Status ReloadCaches();
+  Status CommitOrCrash(bool prepare = false);
   Status RollbackAndReload(Status cause);
 
   Pager pager_;
@@ -194,6 +270,7 @@ class PersistentForestIndex {
   PqShape shape_;
   PageId catalog_head_ = 0;
   uint64_t cursor_ = 0;  // durable replication cursor (meta page)
+  uint64_t ticket_ = 0;  // durable store commit ticket (meta page)
   std::map<TreeId, int64_t> catalog_;  // tree -> |I(T)|
   bool crash_armed_ = false;
   Pager::CrashPoint crash_point_ = Pager::CrashPoint::kAfterWalSeal;

@@ -1,0 +1,110 @@
+#include "storage/shard_manifest.h"
+
+#include <cstring>
+
+namespace pqidx {
+namespace {
+
+uint64_t Fnv1a(const uint8_t* data, size_t size, uint64_t seed = 0) {
+  uint64_t hash = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+T Load(const uint8_t* p, size_t offset) {
+  T value;
+  std::memcpy(&value, p + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void StoreAt(uint8_t* p, size_t offset, T value) {
+  std::memcpy(p + offset, &value, sizeof(T));
+}
+
+uint32_t SlotCrc(uint64_t ticket, uint64_t cursor) {
+  uint8_t bytes[16];
+  StoreAt(bytes, 0, ticket);
+  StoreAt(bytes, 8, cursor);
+  return static_cast<uint32_t>(Fnv1a(bytes, sizeof(bytes), 0x534c4f54));
+}
+
+// Parses one slot; returns true when the checksum matches.
+bool ParseSlot(const uint8_t* p, size_t offset, uint64_t* ticket,
+               uint64_t* cursor) {
+  *ticket = Load<uint64_t>(p, offset);
+  *cursor = Load<uint64_t>(p, offset + 8);
+  return Load<uint32_t>(p, offset + 16) == SlotCrc(*ticket, *cursor);
+}
+
+}  // namespace
+
+StatusOr<ShardManifest> DecodeShardManifest(std::string_view bytes) {
+  if (bytes.size() < kShardManifestSize) {
+    return DataLossError("shard manifest truncated");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  if (Load<uint32_t>(p, 0) != kShardManifestMagic) {
+    return DataLossError("not a pqidx shard manifest");
+  }
+  if (Load<uint32_t>(p, 4) != kShardManifestVersion) {
+    return DataLossError("unsupported shard manifest version");
+  }
+  ShardManifest manifest;
+  manifest.shard_count = Load<uint32_t>(p, 8);
+  if (manifest.shard_count == 0 || manifest.shard_count > kMaxStoreShards) {
+    return DataLossError("shard manifest has an invalid shard count");
+  }
+  manifest.routing = Load<uint32_t>(p, 12);
+  if (manifest.routing != kShardRoutingModulo) {
+    return DataLossError("unknown shard routing mode");
+  }
+  uint64_t ticket_a = 0, cursor_a = 0, ticket_b = 0, cursor_b = 0;
+  const bool a_ok = ParseSlot(p, kShardManifestSlotAOff, &ticket_a, &cursor_a);
+  const bool b_ok = ParseSlot(p, kShardManifestSlotBOff, &ticket_b, &cursor_b);
+  if (!a_ok && !b_ok) {
+    return DataLossError("shard manifest has no valid commit slot");
+  }
+  // The valid slot with the higher ticket is the durable commit point
+  // (a torn write invalidates at most the slot being written).
+  if (b_ok && (!a_ok || ticket_b >= ticket_a)) {
+    manifest.committed_ticket = ticket_b;
+    manifest.committed_cursor = cursor_b;
+    manifest.committed_in_slot_b = true;
+  } else {
+    manifest.committed_ticket = ticket_a;
+    manifest.committed_cursor = cursor_a;
+    manifest.committed_in_slot_b = false;
+  }
+  return manifest;
+}
+
+void EncodeShardManifestSlot(uint64_t ticket, uint64_t cursor,
+                             uint8_t out[kShardManifestSlotSize]) {
+  StoreAt(out, 0, ticket);
+  StoreAt(out, 8, cursor);
+  StoreAt(out, 16, SlotCrc(ticket, cursor));
+  StoreAt(out, 20, uint32_t{0});
+}
+
+std::string EncodeShardManifest(const ShardManifest& manifest) {
+  std::string bytes(kShardManifestSize, '\0');
+  uint8_t* p = reinterpret_cast<uint8_t*>(bytes.data());
+  StoreAt(p, 0, kShardManifestMagic);
+  StoreAt(p, 4, kShardManifestVersion);
+  StoreAt(p, 8, manifest.shard_count);
+  StoreAt(p, 12, manifest.routing);
+  EncodeShardManifestSlot(manifest.committed_ticket,
+                          manifest.committed_cursor,
+                          p + kShardManifestSlotAOff);
+  EncodeShardManifestSlot(manifest.committed_ticket,
+                          manifest.committed_cursor,
+                          p + kShardManifestSlotBOff);
+  return bytes;
+}
+
+}  // namespace pqidx

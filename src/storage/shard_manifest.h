@@ -1,0 +1,70 @@
+// The sharded store's manifest: one small file (`MANIFEST` inside the
+// store directory) recording the immutable shard topology and the
+// durable group-commit point.
+//
+// Layout (fixed 80 bytes, little-endian; FORMATS.md):
+//   off  0  u32 magic   "PQSM"
+//   off  4  u32 version (1)
+//   off  8  u32 shard_count (1..kMaxShards)
+//   off 12  u32 routing mode (0 = modulo over tree id)
+//   off 16  16 reserved bytes (zero)
+//   off 32  slot A: u64 ticket, u64 cursor, u32 crc, u32 pad
+//   off 56  slot B: same shape
+//
+// The {ticket, cursor} pair is the 2PC commit point of a multi-shard
+// group commit: group commit writes ONE alternating slot and fsyncs, so
+// a torn slot write can never destroy the previous durable point --
+// decode picks the checksum-valid slot with the higher ticket. The
+// header fields are written once at create time and never change.
+
+#ifndef PQIDX_STORAGE_SHARD_MANIFEST_H_
+#define PQIDX_STORAGE_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pqidx {
+
+inline constexpr size_t kShardManifestSize = 80;
+inline constexpr size_t kShardManifestSlotSize = 24;
+inline constexpr size_t kShardManifestSlotAOff = 32;
+inline constexpr size_t kShardManifestSlotBOff = 56;
+inline constexpr uint32_t kShardManifestMagic = 0x5051534d;  // "PQSM"
+inline constexpr uint32_t kShardManifestVersion = 1;
+inline constexpr uint32_t kShardRoutingModulo = 0;
+inline constexpr uint32_t kMaxStoreShards = 1024;
+
+struct ShardManifest {
+  uint32_t shard_count = 1;
+  uint32_t routing = kShardRoutingModulo;
+  // The durable commit point: every group with ticket <= committed_ticket
+  // reached its manifest commit and must roll forward on recovery;
+  // tickets beyond it roll back.
+  uint64_t committed_ticket = 0;
+  uint64_t committed_cursor = 0;
+  // Which slot holds the committed point (the next write goes to the
+  // other one). Filled by decode; encode honors it.
+  bool committed_in_slot_b = false;
+};
+
+// Decodes a manifest image. Pure and bounds-checked: never reads outside
+// `bytes` and never aborts, whatever the input -- the fuzz_manifest
+// harness drives arbitrary bytes through this. Requires at least one
+// checksum-valid slot (create writes both).
+StatusOr<ShardManifest> DecodeShardManifest(std::string_view bytes);
+
+// Encodes a complete manifest image (header + both slots carrying the
+// committed point).
+std::string EncodeShardManifest(const ShardManifest& manifest);
+
+// Encodes one 24-byte durable {ticket, cursor} slot; group commit
+// overwrites a single slot in place with this.
+void EncodeShardManifestSlot(uint64_t ticket, uint64_t cursor,
+                             uint8_t out[kShardManifestSlotSize]);
+
+}  // namespace pqidx
+
+#endif  // PQIDX_STORAGE_SHARD_MANIFEST_H_

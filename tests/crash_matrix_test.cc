@@ -37,6 +37,7 @@
 #include "service/transport.h"
 #include "storage/pager.h"
 #include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "test_util.h"
 
 namespace pqidx {
@@ -385,9 +386,10 @@ TEST(CrashMatrixTest, PipelinedServerCrashKeepsExactlyAckedEdits) {
         std::string("crash_matrix_pipeline_") + (seal ? "seal" : "inplace") +
         ".db");
     RemoveStoreFiles(path);
-    StatusOr<StorePtr> created = PersistentForestIndex::Create(path, shape);
+    StatusOr<std::unique_ptr<ShardedStore>> created =
+        ShardedStore::Create(path, shape);
     ASSERT_TRUE(created.ok()) << created.status().ToString();
-    StorePtr store = std::move(created).value();
+    std::unique_ptr<ShardedStore> store = std::move(created).value();
 
     ServerOptions options;
     options.max_connections = 8;
@@ -421,7 +423,9 @@ TEST(CrashMatrixTest, PipelinedServerCrashKeepsExactlyAckedEdits) {
         ASSERT_TRUE(seeder->AddIndex(static_cast<TreeId>(w), bag).ok());
       }
     }
-    ASSERT_TRUE(store->CrashNextCommit(point).ok());
+    // A single-shard store delegates commits to its one shard, so the
+    // shard-level crash hook covers the whole service commit.
+    ASSERT_TRUE(store->shard(0)->CrashNextCommit(point).ok());
 
     std::mutex acked_mutex;
     std::vector<std::vector<PqGramFingerprint>> acked(kWriters);
@@ -475,6 +479,230 @@ TEST(CrashMatrixTest, PipelinedServerCrashKeepsExactlyAckedEdits) {
           << "writer " << w << " (" << (seal ? "seal" : "inplace") << ")";
     }
     RemoveStoreFiles(path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded group commit x inter-shard crash points.
+
+// Removes a sharded store directory (ScopedTempDir only reaps direct
+// file entries, not nested directories).
+void RemoveShardedStoreDir(const std::string& path) {
+  std::remove((path + "/MANIFEST").c_str());
+  for (int k = 0; k < 16; ++k) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "shard-%04d", k);
+    const std::string shard = path + "/" + name;
+    std::remove(shard.c_str());
+    std::remove((shard + ".wal").c_str());
+  }
+  ::rmdir(path.c_str());
+}
+
+// Plans a batch that touches EVERY shard of a `shards`-way store: one
+// new tree per shard (ids chosen so id % shards covers each shard) and,
+// when the shard already holds a tree, one update alongside it. The
+// mirror is advanced eagerly, like PlanBatch.
+PlannedBatch PlanShardSpanningBatch(Rng* rng, ForestIndex* mirror,
+                                    TreeId* next_id, int shards) {
+  PlannedBatch batch;
+  const std::vector<TreeId> present = mirror->TreeIds();
+  for (int k = 0; k < shards; ++k) {
+    while (static_cast<int>(*next_id %
+                            static_cast<uint32_t>(shards)) != k) {
+      ++*next_id;
+    }
+    PersistentForestIndex::BatchEdit add_edit;
+    add_edit.id = (*next_id)++;
+    auto bag = std::make_unique<PqGramIndex>(RandomBag(
+        rng, mirror->shape(), static_cast<int>(rng->Uniform(4, 16))));
+    mirror->AddIndex(add_edit.id, *bag);
+    add_edit.add = bag.get();
+    batch.bags.push_back(std::move(bag));
+    batch.edits.push_back(add_edit);
+
+    for (TreeId id : present) {
+      if (static_cast<int>(id % static_cast<uint32_t>(shards)) != k) {
+        continue;
+      }
+      const PqGramIndex* current = mirror->Find(id);
+      auto minus = std::make_unique<PqGramIndex>(RandomSubBag(rng, *current));
+      auto plus = std::make_unique<PqGramIndex>(RandomBag(
+          rng, mirror->shape(), static_cast<int>(rng->Uniform(0, 6))));
+      PqGramIndex updated = *current;
+      for (const auto& [fp, count] : minus->counts()) {
+        updated.Remove(fp, count);
+      }
+      for (const auto& [fp, count] : plus->counts()) updated.Add(fp, count);
+      mirror->AddIndex(id, std::move(updated));  // replaces
+      PersistentForestIndex::BatchEdit update_edit;
+      update_edit.id = id;
+      update_edit.plus = plus.get();
+      update_edit.minus = minus.get();
+      batch.bags.push_back(std::move(plus));
+      batch.bags.push_back(std::move(minus));
+      batch.edits.push_back(update_edit);
+      break;
+    }
+  }
+  return batch;
+}
+
+// One sharded crash workload: a 3-shard store several group commits
+// deep, then one shard-spanning group crashed at `point` (after
+// `after_shard` shards passed that phase). Recovery must land on the
+// manifest-consistent cut: the whole group rolled back for a crash
+// before the manifest decide, the whole group rolled forward after it
+// -- never a torn mix -- and the reconciled ticket/cursor must match.
+void RunShardedGroupCrash(ShardedStore::GroupCrashPoint point,
+                          int after_shard, int workload) {
+  constexpr int kShards = 3;
+  const PqShape shape{2, 3};
+  const std::string path = TempPath(
+      "crash_matrix_group_" + std::to_string(static_cast<int>(point)) + "_" +
+      std::to_string(after_shard) + "_" + std::to_string(workload) +
+      ".store");
+  RemoveShardedStoreDir(path);
+
+  Rng rng(0x5AD00 + static_cast<uint64_t>(workload) * 131 +
+          static_cast<uint64_t>(after_shard) * 7 +
+          static_cast<uint64_t>(point));
+  ForestIndex mirror(shape);
+  TreeId next_id = 0;
+  uint64_t committed_cursor = 0;
+  {
+    StatusOr<std::unique_ptr<ShardedStore>> created =
+        ShardedStore::Create(path, shape, kShards);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<ShardedStore> store = std::move(created).value();
+
+    // Seed every shard through one BulkAdd group commit.
+    {
+      std::vector<std::unique_ptr<PqGramIndex>> bags;
+      std::vector<std::pair<TreeId, const PqGramIndex*>> refs;
+      for (int i = 0; i < kShards * 2; ++i) {
+        TreeId id = next_id++;
+        bags.push_back(std::make_unique<PqGramIndex>(
+            RandomBag(&rng, shape, static_cast<int>(rng.Uniform(4, 16)))));
+        mirror.AddIndex(id, *bags.back());
+        refs.emplace_back(id, bags.back().get());
+      }
+      ASSERT_TRUE(store->BulkAdd(refs, nullptr, ++committed_cursor).ok());
+    }
+
+    // A few committed shard-spanning groups.
+    const int committed = 1 + workload % 3;
+    for (int b = 0; b < committed; ++b) {
+      PlannedBatch batch =
+          PlanShardSpanningBatch(&rng, &mirror, &next_id, kShards);
+      std::vector<Status> results;
+      ASSERT_TRUE(store->ApplyBatch(batch.edits, &results, nullptr, nullptr,
+                                    ++committed_cursor)
+                      .ok());
+      for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+
+    // The torn group: crash between shard commits.
+    const ForestIndex before = mirror;
+    PlannedBatch batch =
+        PlanShardSpanningBatch(&rng, &mirror, &next_id, kShards);
+    const uint64_t crashed_ticket = store->committed_ticket() + 1;
+    ASSERT_TRUE(store->CrashNextGroup(point, after_shard).ok());
+    std::vector<Status> results;
+    ASSERT_TRUE(store->ApplyBatch(batch.edits, &results, nullptr, nullptr,
+                                  committed_cursor + 1)
+                    .ok());
+
+    // Reopen and reconcile. A crash before the manifest decide rolls
+    // the whole group back; at or after it, the whole group forward.
+    const bool rolls_forward =
+        point != ShardedStore::GroupCrashPoint::kAfterPrepare;
+    const ForestIndex& expected = rolls_forward ? mirror : before;
+    const uint64_t expected_cursor =
+        rolls_forward ? committed_cursor + 1 : committed_cursor;
+
+    StatusOr<std::unique_ptr<ShardedStore>> reopened =
+        ShardedStore::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    (*reopened)->CheckConsistency();
+    StatusOr<ForestIndex> recovered = (*reopened)->MaterializeForest();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(*recovered == expected)
+        << "point " << static_cast<int>(point) << " after_shard "
+        << after_shard << " workload " << workload
+        << ": recovery landed on a torn cut";
+    EXPECT_EQ((*reopened)->replication_cursor(), expected_cursor);
+    if (rolls_forward) {
+      EXPECT_EQ((*reopened)->committed_ticket(), crashed_ticket);
+    } else {
+      EXPECT_LT((*reopened)->committed_ticket(), crashed_ticket);
+    }
+
+    // Per-shard WAL accounting: prepared-but-undecided WALs are
+    // discarded, decided ones replayed, finished shards left none.
+    int64_t replays = 0;
+    int64_t discards = 0;
+    for (int k = 0; k < kShards; ++k) {
+      replays += (*reopened)->shard(k)->pager().wal_replays();
+      discards += (*reopened)->shard(k)->pager().wal_discards();
+    }
+    switch (point) {
+      case ShardedStore::GroupCrashPoint::kAfterPrepare:
+        EXPECT_EQ(replays, 0);
+        EXPECT_EQ(discards, after_shard + 1);
+        break;
+      case ShardedStore::GroupCrashPoint::kAfterManifest:
+        EXPECT_EQ(replays, kShards);
+        EXPECT_EQ(discards, 0);
+        break;
+      case ShardedStore::GroupCrashPoint::kAfterFinish:
+        EXPECT_EQ(replays, kShards - (after_shard + 1));
+        EXPECT_EQ(discards, 0);
+        break;
+    }
+
+    // The recovered store must keep committing normally. On rollback
+    // the crashed group's mirror edits never landed, so the follow-up
+    // batch's expectation rebases on the recovered cut.
+    if (!rolls_forward) mirror = before;
+    PlannedBatch next =
+        PlanShardSpanningBatch(&rng, &mirror, &next_id, kShards);
+    std::vector<Status> next_results;
+    ASSERT_TRUE((*reopened)
+                    ->ApplyBatch(next.edits, &next_results)
+                    .ok());
+    StatusOr<ForestIndex> final_state = (*reopened)->MaterializeForest();
+    ASSERT_TRUE(final_state.ok());
+    EXPECT_TRUE(*final_state == mirror);
+  }
+  RemoveShardedStoreDir(path);
+}
+
+TEST(CrashMatrixTest, ShardedGroupCrashAfterPrepareRollsBack) {
+  for (int after_shard = 0; after_shard < 3; ++after_shard) {
+    for (int workload = 0; workload < 6; ++workload) {
+      RunShardedGroupCrash(ShardedStore::GroupCrashPoint::kAfterPrepare,
+                           after_shard, workload);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CrashMatrixTest, ShardedGroupCrashAfterManifestRollsForward) {
+  for (int workload = 0; workload < 6; ++workload) {
+    RunShardedGroupCrash(ShardedStore::GroupCrashPoint::kAfterManifest, 0,
+                         workload);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, ShardedGroupCrashMidFinishRollsForward) {
+  for (int after_shard = 0; after_shard < 2; ++after_shard) {
+    for (int workload = 0; workload < 6; ++workload) {
+      RunShardedGroupCrash(ShardedStore::GroupCrashPoint::kAfterFinish,
+                           after_shard, workload);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 

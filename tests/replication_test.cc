@@ -28,7 +28,7 @@
 #include "service/server.h"
 #include "service/transport.h"
 #include "service/wire.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "test_util.h"
 #include "tree/generators.h"
 
@@ -52,11 +52,11 @@ void RemoveStore(const std::string& name) {
   std::remove((TempPath(name) + ".wal").c_str());
 }
 
-using StorePtr = std::unique_ptr<PersistentForestIndex>;
+using StorePtr = std::unique_ptr<ShardedStore>;
 
 StorePtr MustCreate(const std::string& name, PqShape shape) {
   StatusOr<StorePtr> store =
-      PersistentForestIndex::Create(TempPath(name), shape);
+      ShardedStore::Create(TempPath(name), shape);
   EXPECT_TRUE(store.ok()) << store.status().ToString();
   return std::move(store).value();
 }

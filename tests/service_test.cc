@@ -24,7 +24,7 @@
 #include "service/server.h"
 #include "service/transport.h"
 #include "service/wire.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "tree/generators.h"
 
 namespace pqidx {
@@ -34,11 +34,11 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-using StorePtr = std::unique_ptr<PersistentForestIndex>;
+using StorePtr = std::unique_ptr<ShardedStore>;
 
 StorePtr MustCreate(const std::string& name, PqShape shape) {
   StatusOr<StorePtr> store =
-      PersistentForestIndex::Create(TempPath(name), shape);
+      ShardedStore::Create(TempPath(name), shape);
   EXPECT_TRUE(store.ok()) << store.status().ToString();
   return std::move(store).value();
 }
@@ -983,7 +983,7 @@ void RunStressWorkload(TestService* service,
   // And it must reopen clean from disk.
   service->index.reset();
   StatusOr<StorePtr> reopened =
-      PersistentForestIndex::Open(TempPath(reopen_name));
+      ShardedStore::Open(TempPath(reopen_name));
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   (*reopened)->CheckConsistency();
   EXPECT_EQ((*reopened)->size(), kClients * kTreesPerClient);

@@ -30,7 +30,7 @@
 #include "core/simd_intersect.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "test_util.h"
 #include "workload/driver.h"
 #include "workload/oracle.h"
@@ -281,10 +281,10 @@ TEST(WorkloadDriverTest, EndToEndOverPipeWithOracle) {
   spec.burst_trees = 2;
   spec.burst_depth = 2;
 
-  StatusOr<std::unique_ptr<PersistentForestIndex>> store =
-      PersistentForestIndex::Create(tmp.File("workload.idx"), spec.shape);
+  StatusOr<std::unique_ptr<ShardedStore>> store =
+      ShardedStore::Create(tmp.File("workload.idx"), spec.shape);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
-  std::unique_ptr<PersistentForestIndex> index = std::move(store).value();
+  std::unique_ptr<ShardedStore> index = std::move(store).value();
 
   ServerOptions options;
   options.max_connections = spec.num_clients + 2;

@@ -47,9 +47,14 @@
 //               [--staging-threads N] [--replication-history N]
 //               [--replication-max-queue N] [--follow HOST:PORT]
 //               [--query-cache-mb N] [--query-cache-off]
+//               [--store-shards N]
 //       Serves a persistent forest index over the pqidxd wire protocol on
 //       127.0.0.1 (an ephemeral port unless --port is given). Creates the
-//       index file with the given shape if it does not exist. With
+//       store with the given shape if nothing exists at the path yet:
+//       --store-shards N > 1 creates a sharded store (a directory of N
+//       independent page files committed as a group; docs/FORMATS.md),
+//       N = 1 (the default) the classic single file. An existing store
+//       keeps its layout; --store-shards is then ignored. With
 //       --stats-interval, dumps the metrics registry to stdout every
 //       SECS seconds. --commit-pipeline-depth D overlaps up to D group
 //       commits (validation + delta staging of batch N+1 runs while batch
@@ -93,6 +98,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <unistd.h>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -119,6 +125,7 @@
 #include "storage/document_store.h"
 #include "storage/index_store.h"
 #include "storage/persistent_forest_index.h"
+#include "storage/sharded_store.h"
 #include "bench_util.h"
 #include "ted/zhang_shasha.h"
 #include "tree/stats.h"
@@ -150,13 +157,14 @@ int Usage() {
                "[--full-rebuild-every N] [--staging-threads N]\n"
                "               [--replication-history N] "
                "[--replication-max-queue N] [--follow HOST:PORT]\n"
-               "               [--query-cache-mb N] [--query-cache-off]\n"
+               "               [--query-cache-mb N] [--query-cache-off] "
+               "[--store-shards N]\n"
                "  pqidx store  create|ingest|commit|lookup|ls|verify ...\n"
                "  pqidx workload [host:port] [--preset A|B|C] [--seed N] "
                "[--clients N] [--ops N]\n"
                "               [--trees N] [--theta X] [--rounds N] "
                "[--burst-trees N] [--burst-depth D]\n"
-               "               [--tcp] [--no-oracle]\n");
+               "               [--tcp] [--no-oracle] [--store-shards N]\n");
   return 2;
 }
 
@@ -492,7 +500,8 @@ int CmdJoin(std::vector<std::string> args) {
 // read-only Server; this wrapper only parses flags, binds the serving
 // port, and waits for a signal.
 int CmdServeFollower(const std::string& index_path, const std::string& leader,
-                     int port, int threads, int lookup_threads) {
+                     int port, int threads, int lookup_threads,
+                     int store_shards) {
   size_t colon = leader.rfind(':');
   std::string host = colon != std::string::npos ? leader.substr(0, colon)
                                                 : std::string();
@@ -515,6 +524,7 @@ int CmdServeFollower(const std::string& index_path, const std::string& leader,
   auto bound_port = std::make_shared<std::atomic<int>>(0);
   FollowerOptions options;
   options.store_path = index_path;
+  options.store_shards = store_shards;
   options.dial = [host, leader_port]() {
     return TcpConnect(host, static_cast<uint16_t>(leader_port));
   };
@@ -567,6 +577,7 @@ int CmdServe(std::vector<std::string> args) {
   int replication_max_queue = defaults.replication_max_queue;
   int query_cache_mb = defaults.query_cache_mb;
   bool query_cache_off = defaults.query_cache_off;
+  int store_shards = 1;
   std::string follow;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -595,6 +606,8 @@ int CmdServe(std::vector<std::string> args) {
       query_cache_mb = std::atoi(args[++i].c_str());
     } else if (args[i] == "--query-cache-off") {
       query_cache_off = true;
+    } else if (args[i] == "--store-shards" && i + 1 < args.size()) {
+      store_shards = std::atoi(args[++i].c_str());
     } else {
       rest.push_back(args[i]);
     }
@@ -603,28 +616,31 @@ int CmdServe(std::vector<std::string> args) {
       lookup_threads < 0 || stats_interval < 0 || pipeline_depth < 1 ||
       full_rebuild_every < 0 || staging_threads < 0 ||
       replication_history < 1 || replication_max_queue < 1 ||
-      query_cache_mb < 0) {
+      query_cache_mb < 0 || store_shards < 1 || store_shards > 1024) {
     return Usage();
   }
   const std::string& index_path = rest[0];
 
   if (!follow.empty()) {
     return CmdServeFollower(index_path, follow, port, threads,
-                            lookup_threads);
+                            lookup_threads, store_shards);
   }
 
-  // Open the index, creating a fresh one if the file does not exist yet.
-  StatusOr<std::unique_ptr<PersistentForestIndex>> index =
-      PersistentForestIndex::Open(index_path);
+  // Open the index, creating a fresh one if nothing exists at the path
+  // yet. An existing store keeps its on-disk layout whatever
+  // --store-shards says (the shard count is fixed at create time).
+  StatusOr<std::unique_ptr<ShardedStore>> index =
+      ShardedStore::Open(index_path);
   if (!index.ok()) {
     if (std::FILE* f = std::fopen(index_path.c_str(), "rb")) {
       std::fclose(f);
       return Fail(index.status());  // exists but unreadable: report that
     }
-    index = PersistentForestIndex::Create(index_path, shape);
+    index = ShardedStore::Create(index_path, shape, store_shards);
     if (!index.ok()) return Fail(index.status());
-    std::printf("created %s (%d,%d-grams)\n", index_path.c_str(), shape.p,
-                shape.q);
+    std::printf("created %s (%d,%d-grams, %d shard%s)\n", index_path.c_str(),
+                shape.p, shape.q, store_shards,
+                store_shards == 1 ? "" : "s");
   }
 
   // Handle SIGINT/SIGTERM with sigwait: block them before any server
@@ -793,6 +809,23 @@ int CmdStore(std::vector<std::string> args) {
   return Usage();
 }
 
+// Removes a throwaway store: either the legacy single file (plus WAL)
+// or a sharded store directory.
+void RemoveThrowawayStore(const std::string& path) {
+  std::remove((path + "/MANIFEST").c_str());
+  for (int k = 0; k < 1024; ++k) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "shard-%04d", k);
+    const std::string shard = path + "/" + name;
+    const bool removed = std::remove(shard.c_str()) == 0;
+    std::remove((shard + ".wal").c_str());
+    if (!removed) break;
+  }
+  ::rmdir(path.c_str());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
 // Runs a seeded workload scenario (bench/workload) with the
 // differential oracle: by default against a throwaway in-process server
 // (pipe transport, or loopback TCP with --tcp), or against a remote
@@ -810,6 +843,7 @@ int CmdWorkload(std::vector<std::string> args) {
   spec.burst_depth = 3;
   bool oracle = true;
   bool tcp = false;
+  int store_shards = 1;
   std::string endpoint;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -841,13 +875,16 @@ int CmdWorkload(std::vector<std::string> args) {
       oracle = false;
     } else if (args[i] == "--tcp") {
       tcp = true;
+    } else if (args[i] == "--store-shards" && i + 1 < args.size()) {
+      store_shards = std::atoi(args[++i].c_str());
     } else {
       rest.push_back(args[i]);
     }
   }
   if (rest.size() > 1 || spec.num_clients < 1 || spec.num_trees < 1 ||
       spec.ops_per_client < 0 || spec.rounds < 1 || spec.burst_trees < 0 ||
-      spec.burst_depth < 0 || spec.theta < 0) {
+      spec.burst_depth < 0 || spec.theta < 0 || store_shards < 1 ||
+      store_shards > 1024) {
     return Usage();
   }
   if (!rest.empty()) endpoint = rest[0];
@@ -857,7 +894,7 @@ int CmdWorkload(std::vector<std::string> args) {
   }
 
   // A throwaway self-hosted server unless an endpoint was given.
-  std::unique_ptr<PersistentForestIndex> index;
+  std::unique_ptr<ShardedStore> index;
   std::unique_ptr<Server> server;
   std::string store_path;
   Dialer dial;
@@ -865,10 +902,8 @@ int CmdWorkload(std::vector<std::string> args) {
   options.oracle = oracle;
   if (endpoint.empty()) {
     store_path = "/tmp/pqidx_workload_cli.idx";
-    std::remove(store_path.c_str());
-    std::remove((store_path + ".wal").c_str());
-    StatusOr<std::unique_ptr<PersistentForestIndex>> created =
-        PersistentForestIndex::Create(store_path, spec.shape);
+    StatusOr<std::unique_ptr<ShardedStore>> created =
+        ShardedStore::Create(store_path, spec.shape, store_shards);
     if (!created.ok()) return Fail(created.status());
     index = std::move(created).value();
     ServerOptions server_options;
@@ -917,8 +952,8 @@ int CmdWorkload(std::vector<std::string> args) {
       workload::RunWorkload(spec, dial, options);
   if (server != nullptr) server->Stop();
   if (!store_path.empty()) {
-    std::remove(store_path.c_str());
-    std::remove((store_path + ".wal").c_str());
+    index.reset();
+    RemoveThrowawayStore(store_path);
   }
   if (!run.ok()) return Fail(run.status());
 

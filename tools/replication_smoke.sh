@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end replication smoke over real loopback TCP: a leader pqidxd,
 # a --follow warm standby, and the acceptance check that both answer a
-# lookup bit-identically. CI runs this in the plain, ASan, and TSan
-# jobs; locally:
+# lookup bit-identically. Scenario 1 serves a legacy single-file store;
+# scenario 2 serves a 4-shard leader seeded over the wire, with the
+# standby keeping a different shard count (2) to prove replication is
+# layout-agnostic. CI runs this in the plain, ASan, and TSan jobs;
+# locally:
 #
 #   tools/replication_smoke.sh [path-to-pqidx]
 #
@@ -12,6 +15,8 @@ set -eu
 PQIDX=${1:-./build/tools/pqidx}
 LEADER_PORT=${LEADER_PORT:-17391}
 FOLLOWER_PORT=${FOLLOWER_PORT:-17392}
+SHARDED_LEADER_PORT=${SHARDED_LEADER_PORT:-17393}
+SHARDED_FOLLOWER_PORT=${SHARDED_FOLLOWER_PORT:-17394}
 DIR=$(mktemp -d)
 LEADER_PID=""
 FOLLOWER_PID=""
@@ -53,6 +58,7 @@ grep -q "tree " "$DIR/leader.out"
 
 # The standby converges asynchronously: poll until its lookup answer is
 # byte-identical to the leader's.
+converged=0
 for _ in $(seq 1 120); do
   if "$PQIDX" lookup "127.0.0.1:$FOLLOWER_PORT" "$DIR/query.xml" 0.6 \
       > "$DIR/follower.out" 2>/dev/null &&
@@ -60,9 +66,47 @@ for _ in $(seq 1 120); do
     echo "replication smoke: follower converged, lookups identical:"
     cat "$DIR/follower.out"
     "$PQIDX" stats "127.0.0.1:$FOLLOWER_PORT" | grep replication || true
+    converged=1
+    break
+  fi
+  sleep 0.5
+done
+if [ "$converged" -ne 1 ]; then
+  echo "replication smoke: follower never converged" >&2
+  exit 1
+fi
+kill "$FOLLOWER_PID" 2>/dev/null; FOLLOWER_PID=""
+kill "$LEADER_PID" 2>/dev/null; LEADER_PID=""
+wait 2>/dev/null || true
+
+# --- Scenario 2: sharded leader, differently-sharded standby ------------
+# A fresh 4-shard leader seeded over the wire by the workload driver;
+# the standby builds its own 2-shard store from the replication stream.
+"$PQIDX" serve "$DIR/sharded.store" --store-shards 4 \
+  --port "$SHARDED_LEADER_PORT" &
+LEADER_PID=$!
+"$PQIDX" workload "127.0.0.1:$SHARDED_LEADER_PORT" --preset B --no-oracle \
+  --trees 48 --ops 30 --rounds 1 --clients 2 --seed 7
+"$PQIDX" serve "$DIR/sharded_standby.store" --store-shards 2 \
+  --follow "127.0.0.1:$SHARDED_LEADER_PORT" \
+  --port "$SHARDED_FOLLOWER_PORT" &
+FOLLOWER_PID=$!
+
+# tau 1.0 covers the whole unit-normalized distance range, so the
+# byte-identity check compares a full result list, not an empty one.
+"$PQIDX" lookup "127.0.0.1:$SHARDED_LEADER_PORT" "$DIR/query.xml" 1.0 \
+  > "$DIR/sharded_leader.out"
+grep -q "tree " "$DIR/sharded_leader.out"
+
+for _ in $(seq 1 120); do
+  if "$PQIDX" lookup "127.0.0.1:$SHARDED_FOLLOWER_PORT" "$DIR/query.xml" 1.0 \
+      > "$DIR/sharded_follower.out" 2>/dev/null &&
+      cmp -s "$DIR/sharded_leader.out" "$DIR/sharded_follower.out"; then
+    echo "replication smoke: sharded leader (4) -> standby (2) identical:"
+    head -3 "$DIR/sharded_follower.out"
     exit 0
   fi
   sleep 0.5
 done
-echo "replication smoke: follower never converged" >&2
+echo "replication smoke: sharded follower never converged" >&2
 exit 1
